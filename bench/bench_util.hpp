@@ -1,0 +1,32 @@
+// Shared helpers for the table/figure reproduction harnesses. Every bench
+// binary prints (a) the regenerated rows/series in the paper's layout and
+// (b) a paper-vs-measured recap so EXPERIMENTS.md can be cross-checked
+// directly from bench output.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace opsched::bench {
+
+inline void header(const std::string& experiment, const std::string& what) {
+  std::cout << "\n================================================================\n"
+            << experiment << " — " << what << "\n"
+            << "================================================================\n";
+}
+
+/// Paper-vs-measured recap line.
+inline void recap(const std::string& item, const std::string& paper,
+                  const std::string& measured) {
+  std::printf("  %-44s paper: %-12s measured: %s\n", item.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+inline void section(const std::string& title) {
+  std::cout << "\n--- " << title << " ---\n";
+}
+
+}  // namespace opsched::bench

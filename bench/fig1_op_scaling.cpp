@@ -1,0 +1,76 @@
+// Figure 1: execution time of Conv2DBackpropFilter, Conv2DBackpropInput and
+// Conv2D as the intra-op thread count sweeps 1..68 (no hyper-threading,
+// threads with data sharing packed per tile). The paper finds optima at 26,
+// 36 and 45 threads with up to 17.3% over the 68-thread default.
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "machine/cost_model.hpp"
+#include "models/op_factory.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+
+using namespace opsched;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int runs = flags.get_int("runs", 1000);
+
+  bench::header("Figure 1", "operation scaling vs intra-op parallelism");
+
+  const MachineSpec spec = MachineSpec::knl();
+  const CostModel model(spec);
+
+  const std::vector<Node> ops = {fig1_backprop_filter(), fig1_backprop_input(),
+                                 fig1_conv2d()};
+
+  TablePrinter table({"Threads", "Conv2DBackpropFilter (s)",
+                      "Conv2DBackpropInput (s)", "Conv2D (s)"});
+  table.set_title("Total execution time of " + std::to_string(runs) +
+                  " runs, input " + ops[0].input_shape.to_string());
+
+  std::vector<int> sweep;
+  for (int n = 1; n <= static_cast<int>(spec.num_cores); ++n)
+    if (n == 1 || n % 4 == 0) sweep.push_back(n);
+
+  CsvWriter csv("fig1_op_scaling.csv");
+  csv.write_row({"threads", "conv2d_backprop_filter_s",
+                 "conv2d_backprop_input_s", "conv2d_s"});
+
+  for (int n : sweep) {
+    std::vector<std::string> row = {std::to_string(n)};
+    std::vector<double> csv_row = {static_cast<double>(n)};
+    for (const Node& op : ops) {
+      // Best affinity at this width (the paper pins for best placement).
+      const double t = std::min(model.exec_time_ms(op, n, AffinityMode::kSpread),
+                                n % 2 == 0
+                                    ? model.exec_time_ms(op, n, AffinityMode::kShared)
+                                    : 1e300) *
+                       runs / 1000.0;
+      row.push_back(fmt_double(t, 2));
+      csv_row.push_back(t);
+    }
+    table.add_row(row);
+    csv.write_row_doubles(csv_row);
+  }
+  table.print(std::cout);
+
+  bench::section("found optima (threads) and gain over 68-thread default");
+  const char* names[] = {"Conv2DBackpropFilter", "Conv2DBackpropInput",
+                         "Conv2D"};
+  const int paper_opt[] = {26, 36, 45};
+  const int max_threads = static_cast<int>(spec.num_cores);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const auto best = model.ground_truth_optimum(ops[i], max_threads);
+    const double t_default =
+        model.exec_time_ms(ops[i], max_threads, AffinityMode::kSpread);
+    const double gain = (t_default - best.time_ms) / t_default;
+    bench::recap(std::string(names[i]),
+                 std::to_string(paper_opt[i]) + " thr",
+                 std::to_string(best.threads) + " thr (" +
+                     fmt_percent(gain, 1) + " faster than 68)");
+  }
+  bench::recap("max gain over default", "17.3%", "see rows above");
+  std::cout << "series written to fig1_op_scaling.csv\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 3: the headline ablation. For each of the four models:
+//   (a) Strategies 1+2 vs recommendation      (paper: 1.02/1.12/1.02/1.14)
+//   (b) +Strategy 3 vs Strategies 1+2         (paper: 1.35/1.15/1.07/1.25)
+//   (c) +Strategy 4 vs Strategy 3             (paper: 1.08/1.04/1.07/1.00)
+//   (d) full runtime vs recommendation        (paper: 1.49/1.34/1.17/1.43)
+//       and vs manual grid optimization       (paper: 1.41/1.27/1.19/1.41)
+// Optional ablation: --candidates N varies Strategy 3's candidate count.
+#include <map>
+
+#include "bench/bench_util.hpp"
+#include "core/runtime.hpp"
+#include "models/models.hpp"
+#include "util/flags.hpp"
+
+using namespace opsched;
+
+namespace {
+
+double step_time(const Graph& g, const MachineSpec& spec, unsigned strategies,
+                 std::size_t candidates) {
+  RuntimeOptions opt;
+  opt.strategies = strategies;
+  opt.num_candidates = candidates;
+  Runtime rt(spec, opt);
+  rt.profile(g);
+  // Two steps: the first warms the decision cache / interference recorder,
+  // the second is the steady-state measurement (the paper reports steady
+  // steps; step times are stable across steps).
+  rt.run_step(g);
+  return rt.run_step(g).time_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::size_t candidates =
+      static_cast<std::size_t>(flags.get_int("candidates", 3));
+
+  bench::header("Figure 3", "strategy-by-strategy speedup breakdown");
+  if (candidates != 3)
+    std::cout << "(ablation: Strategy 3 candidates = " << candidates << ")\n";
+
+  const MachineSpec spec = MachineSpec::knl();
+
+  struct PaperRow {
+    double s12, s3, s4, ours, manual;
+  };
+  const std::map<std::string, PaperRow> paper = {
+      {"resnet50", {1.02, 1.35, 1.08, 1.49, 1.41}},
+      {"dcgan", {1.12, 1.15, 1.04, 1.34, 1.27}},
+      {"inception_v3", {1.02, 1.07, 1.07, 1.17, 1.19}},
+      {"lstm", {1.14, 1.25, 1.00, 1.43, 1.41}},
+  };
+
+  TablePrinter table({"Model", "S1+2 vs rec", "S3 vs S1+2", "S4 vs S3",
+                      "Ours vs rec", "Manual vs rec"});
+  for (const std::string name :
+       {"resnet50", "dcgan", "inception_v3", "lstm"}) {
+    const Graph g = build_model(name);
+
+    Runtime base_rt(spec);
+    const double rec = base_rt.run_step_recommendation(g).time_ms;
+    const ManualOptimum manual = base_rt.manual_optimize(g);
+
+    const double s12 = step_time(g, spec, kStrategyS12, candidates);
+    const double s123 = step_time(g, spec, kStrategyS123, candidates);
+    const double all = step_time(g, spec, kStrategyAll, candidates);
+
+    table.add_row({name, fmt_speedup(rec / s12), fmt_speedup(s12 / s123),
+                   fmt_speedup(s123 / all), fmt_speedup(rec / all),
+                   fmt_speedup(rec / manual.time_ms)});
+
+    const PaperRow& p = paper.at(name);
+    bench::recap(name + " S1+2 vs rec", fmt_speedup(p.s12),
+                 fmt_speedup(rec / s12));
+    bench::recap(name + " S3 vs S1+2", fmt_speedup(p.s3),
+                 fmt_speedup(s12 / s123));
+    bench::recap(name + " S4 vs S3", fmt_speedup(p.s4),
+                 fmt_speedup(s123 / all));
+    bench::recap(name + " ours vs rec", fmt_speedup(p.ours),
+                 fmt_speedup(rec / all));
+    bench::recap(
+        name + " manual vs rec (grid " + std::to_string(manual.inter_op) +
+            "x" + std::to_string(manual.intra_op) + ")",
+        fmt_speedup(p.manual), fmt_speedup(rec / manual.time_ms));
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "Paper headline: 36% mean improvement over recommendation "
+               "(up to 49%), at or above manual optimization for 3 of 4 "
+               "models.\n";
+  return 0;
+}

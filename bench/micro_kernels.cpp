@@ -1,0 +1,77 @@
+// Micro-benchmarks (google-benchmark) of the real host kernels across team
+// widths — the host-side analogue of Figure 1: per-op scalability is real,
+// shape-dependent, and not monotone in thread count.
+#include <benchmark/benchmark.h>
+
+#include "ops/kernels.hpp"
+#include "threading/thread_team.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace opsched;
+
+Tensor random_tensor(const TensorShape& shape, std::uint64_t seed) {
+  Tensor t(shape);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+void BM_Conv2D(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  ThreadTeam team(width);
+  const Tensor input = random_tensor(TensorShape{4, 16, 16, 32}, 1);
+  const Tensor filter = random_tensor(TensorShape{3, 3, 32, 32}, 2);
+  Tensor output(TensorShape{4, 16, 16, 32});
+  for (auto _ : state) {
+    kernels::conv2d(team, input, filter, output);
+    benchmark::DoNotOptimize(output.data());
+  }
+}
+BENCHMARK(BM_Conv2D)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Conv2DBackpropFilter(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  ThreadTeam team(width);
+  const Tensor input = random_tensor(TensorShape{4, 16, 16, 32}, 1);
+  const Tensor d_out = random_tensor(TensorShape{4, 16, 16, 32}, 3);
+  Tensor d_filter(TensorShape{3, 3, 32, 32});
+  for (auto _ : state) {
+    kernels::conv2d_backprop_filter(team, input, d_out, d_filter);
+    benchmark::DoNotOptimize(d_filter.data());
+  }
+}
+BENCHMARK(BM_Conv2DBackpropFilter)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_MatMul(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  ThreadTeam team(width);
+  const Tensor a = random_tensor(TensorShape{128, 256}, 4);
+  const Tensor b = random_tensor(TensorShape{256, 128}, 5);
+  Tensor out(TensorShape{128, 128});
+  for (auto _ : state) {
+    kernels::matmul(team, a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_BiasAddSmall(benchmark::State& state) {
+  // A deliberately tiny op: wide teams lose — the host-side Observation 1.
+  const auto width = static_cast<std::size_t>(state.range(0));
+  ThreadTeam team(width);
+  const Tensor input = random_tensor(TensorShape{4, 8, 8, 16}, 6);
+  const Tensor bias = random_tensor(TensorShape{16}, 7);
+  Tensor output(TensorShape{4, 8, 8, 16});
+  for (auto _ : state) {
+    kernels::bias_add(team, input, bias, output);
+    benchmark::DoNotOptimize(output.data());
+  }
+}
+BENCHMARK(BM_BiasAddSmall)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

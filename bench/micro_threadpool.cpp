@@ -1,0 +1,72 @@
+// Micro-benchmarks (google-benchmark) for the real thread-pool substrate:
+// the costs the paper's Strategy 2 is designed around. Team construction
+// (thread spawn + bind) is orders of magnitude more expensive than reusing
+// a cached team, which is why the runtime avoids frequent concurrency
+// changes.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+
+#include "threading/team_pool.hpp"
+#include "threading/thread_team.hpp"
+
+namespace {
+
+using opsched::CoreSet;
+using opsched::TeamPool;
+using opsched::ThreadTeam;
+
+void BM_TeamCreateDestroy(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ThreadTeam team(width);
+    benchmark::DoNotOptimize(&team);
+  }
+  state.SetLabel("spawn+join of a full team (Strategy 2's avoided cost)");
+}
+BENCHMARK(BM_TeamCreateDestroy)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ParallelForReuse(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  ThreadTeam team(width);
+  std::vector<double> data(1 << 16, 1.0);
+  for (auto _ : state) {
+    team.parallel_for(data.size(), [&](std::size_t b, std::size_t e,
+                                       std::size_t) {
+      for (std::size_t i = b; i < e; ++i) data[i] *= 1.000001;
+    });
+  }
+  state.SetLabel("parallel_for on a cached team (the cheap path)");
+}
+BENCHMARK(BM_ParallelForReuse)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_TeamPoolLookup(benchmark::State& state) {
+  TeamPool pool(16);
+  // Pre-create the widths so the loop measures pure cache hits.
+  for (std::size_t w : {2, 4, 8}) pool.team(w);
+  std::size_t w = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&pool.team(w));
+    w = w == 8 ? 2 : w * 2;
+  }
+  state.SetLabel("cached team lookup when switching widths");
+}
+BENCHMARK(BM_TeamPoolLookup);
+
+void BM_DispatchLatency(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  ThreadTeam team(width);
+  std::atomic<std::size_t> sink{0};
+  for (auto _ : state) {
+    team.parallel_for(width, [&](std::size_t b, std::size_t e, std::size_t) {
+      sink.fetch_add(e - b, std::memory_order_relaxed);
+    });
+  }
+  state.SetLabel("empty-body dispatch+barrier round trip");
+}
+BENCHMARK(BM_DispatchLatency)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

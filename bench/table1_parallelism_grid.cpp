@@ -1,0 +1,65 @@
+// Table I: whole-model step time of ResNet-50 and DCGAN under the
+// inter-op x intra-op grid {1,2,4} x {34,68,136}. Baseline (speedup 1.0) is
+// the TensorFlow-recommended configuration inter=1, intra=68. The paper's
+// best grid point is 2x34 (1.27x / 1.28x); intra=136 collapses.
+#include "bench/bench_util.hpp"
+#include "core/runtime.hpp"
+#include "models/models.hpp"
+#include "util/flags.hpp"
+
+using namespace opsched;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  (void)flags;
+
+  bench::header("Table I", "NN step time under inter-op x intra-op grids");
+
+  const MachineSpec spec = MachineSpec::knl();
+  const Graph resnet = build_resnet50();
+  const Graph dcgan = build_dcgan();
+
+  Runtime rt(spec);
+  const double base_resnet = rt.run_step_fifo(resnet, 1, 68).time_ms;
+  const double base_dcgan = rt.run_step_fifo(dcgan, 1, 68).time_ms;
+
+  TablePrinter table({"Inter-op", "Intra-op", "ResNet-50 (ms)", "Speedup",
+                      "DCGAN (ms)", "Speedup"});
+  table.set_title(
+      "Baseline: recommendation (inter=1, intra=68). Paper best: 2 x 34.");
+
+  // Paper's speedups for the recap, ResNet then DCGAN, row order below.
+  const double paper_resnet[] = {0.98, 1.00, 0.61, 1.27, 1.14,
+                                 0.34, 1.18, 0.45, 0.29};
+  const double paper_dcgan[] = {1.21, 1.00, 0.50, 1.28, 1.04,
+                                0.42, 1.21, 0.93, 0.36};
+  int row = 0;
+  double best_resnet = 0.0, best_dcgan = 0.0;
+  for (int inter : {1, 2, 4}) {
+    for (int intra : {34, 68, 136}) {
+      const double t_resnet = rt.run_step_fifo(resnet, inter, intra).time_ms;
+      const double t_dcgan = rt.run_step_fifo(dcgan, inter, intra).time_ms;
+      const double s_resnet = base_resnet / t_resnet;
+      const double s_dcgan = base_dcgan / t_dcgan;
+      best_resnet = std::max(best_resnet, s_resnet);
+      best_dcgan = std::max(best_dcgan, s_dcgan);
+      table.add_row({std::to_string(inter), std::to_string(intra),
+                     fmt_double(t_resnet, 0), fmt_double(s_resnet, 2),
+                     fmt_double(t_dcgan, 0), fmt_double(s_dcgan, 2)});
+      bench::recap("inter=" + std::to_string(inter) +
+                       " intra=" + std::to_string(intra),
+                   fmt_double(paper_resnet[row], 2) + " / " +
+                       fmt_double(paper_dcgan[row], 2),
+                   fmt_double(s_resnet, 2) + " / " + fmt_double(s_dcgan, 2));
+      ++row;
+    }
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+
+  bench::section("summary");
+  bench::recap("best grid speedup (ResNet-50)", "1.27x",
+               fmt_speedup(best_resnet));
+  bench::recap("best grid speedup (DCGAN)", "1.28x", fmt_speedup(best_dcgan));
+  return 0;
+}

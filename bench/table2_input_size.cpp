@@ -1,0 +1,59 @@
+// Table II: the best intra-op parallelism shifts with the input data size.
+// For three conv ops x three Inception-v3 input sizes, report the optimal
+// thread count and the performance variance vs. always using 68 threads.
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "machine/cost_model.hpp"
+#include "models/op_factory.hpp"
+#include "util/flags.hpp"
+
+using namespace opsched;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int runs = flags.get_int("runs", 1000);
+
+  bench::header("Table II", "impact of input data size on the optimum");
+
+  const MachineSpec spec = MachineSpec::knl();
+  const CostModel model(spec);
+  const int max_threads = static_cast<int>(spec.num_cores);
+
+  struct ShapeCase {
+    std::int64_t n, h, w, c;
+  };
+  const ShapeCase shapes[] = {{32, 8, 8, 384}, {32, 17, 17, 384},
+                              {32, 8, 8, 2048}};
+  const OpKind kinds[] = {OpKind::kConv2DBackpropFilter,
+                          OpKind::kConv2DBackpropInput, OpKind::kConv2D};
+  // Paper's measured optima per (op, shape) row for the recap.
+  const int paper_opt[3][3] = {{26, 42, 68}, {36, 56, 68}, {45, 63, 66}};
+
+  TablePrinter table({"Operation Type", "Input data size", "Time (s)",
+                      "Best Intra-Op", "Variance vs 68"});
+  for (std::size_t ki = 0; ki < 3; ++ki) {
+    for (std::size_t si = 0; si < 3; ++si) {
+      const ShapeCase& s = shapes[si];
+      const Node op = make_conv_op(kinds[ki], s.n, s.h, s.w, s.c, 3, 3, s.c);
+      const auto best = model.ground_truth_optimum(op, max_threads);
+      const double t68 =
+          model.exec_time_ms(op, max_threads, AffinityMode::kSpread);
+      const double variance = (t68 - best.time_ms) / t68;
+      table.add_row({std::string(op_kind_name(kinds[ki])),
+                     op.input_shape.to_string(),
+                     fmt_double(best.time_ms * runs / 1000.0, 1),
+                     std::to_string(best.threads), fmt_percent(variance, 1)});
+      bench::recap(std::string(op_kind_name(kinds[ki])) + " " +
+                       op.input_shape.to_string(),
+                   std::to_string(paper_opt[ki][si]) + " thr",
+                   std::to_string(best.threads) + " thr");
+    }
+    if (ki + 1 < 3) table.add_rule();
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "Observation 2 (paper): the best concurrency changes with the "
+               "input data size.\n";
+  return 0;
+}

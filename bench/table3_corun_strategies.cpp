@@ -1,0 +1,88 @@
+// Table III: co-running Conv2DBackpropFilter and Conv2DBackpropInput at
+// input (32,8,8,2048) under three strategies:
+//   serial execution (68 threads each)            — baseline,
+//   hyper-threaded co-run (68+68 on shared cores) — paper speedup 1.03x,
+//   partitioned co-run (34+34 disjoint cores)     — paper speedup 1.38x.
+#include "bench/bench_util.hpp"
+#include "machine/sim_machine.hpp"
+#include "models/op_factory.hpp"
+#include "util/flags.hpp"
+
+using namespace opsched;
+
+namespace {
+
+/// Runs the two ops under a launcher callback and returns the span.
+template <typename LaunchFn>
+double span_of(SimMachine& machine, LaunchFn&& launch) {
+  machine.reset();
+  launch();
+  double last = 0.0;
+  while (auto c = machine.advance()) last = c->finish_ms;
+  return last;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int runs = flags.get_int("runs", 1000);
+
+  bench::header("Table III", "co-running two operations, three strategies");
+
+  const MachineSpec spec = MachineSpec::knl();
+  const CostModel model(spec);
+  SimMachine machine(spec, model);
+  const std::size_t cores = spec.num_cores;
+
+  Node bf = table3_backprop_filter();
+  bf.id = 0;
+  Node bi = table3_backprop_input();
+  bi.id = 1;
+
+  // Strategy "serial": one after the other, 68 threads each.
+  const double serial =
+      model.exec_time_ms(bf, static_cast<int>(cores), AffinityMode::kSpread) +
+      model.exec_time_ms(bi, static_cast<int>(cores), AffinityMode::kSpread);
+
+  // Strategy "hyper-threading": both at 68 threads, stacked on all cores.
+  const double ht = span_of(machine, [&] {
+    machine.launch(bf, static_cast<int>(cores), AffinityMode::kSpread,
+                   CoreSet::all(cores), LaunchKind::kStacked);
+    machine.launch(bi, static_cast<int>(cores), AffinityMode::kSpread,
+                   CoreSet::all(cores), LaunchKind::kStacked);
+  });
+
+  // Strategy "threads control": disjoint halves, 34 threads each.
+  const double split = span_of(machine, [&] {
+    machine.launch(bf, static_cast<int>(cores / 2), AffinityMode::kSpread,
+                   CoreSet::range(cores, 0, cores / 2));
+    machine.launch(bi, static_cast<int>(cores / 2), AffinityMode::kSpread,
+                   CoreSet::range(cores, cores / 2, cores / 2));
+  });
+
+  TablePrinter table({"Strategies", "#Threads", "Time (s)", "Speedup"});
+  const double scale = runs / 1000.0;
+  table.add_row({"Serial execution", "68", fmt_double(serial * scale, 1),
+                 fmt_double(1.0, 2)});
+  table.add_row({"Co-run with hyper-threading", "68+68",
+                 fmt_double(ht * scale, 1), fmt_double(serial / ht, 2)});
+  table.add_row({"Co-run with threads control", "34+34",
+                 fmt_double(split * scale, 1), fmt_double(serial / split, 2)});
+  table.print(std::cout);
+
+  bench::section("paper vs measured");
+  bench::recap("hyper-threading co-run speedup", "1.03x",
+               fmt_speedup(serial / ht));
+  bench::recap("partitioned co-run speedup", "1.38x",
+               fmt_speedup(serial / split));
+  const double bf34 = model.exec_time_ms(bf, 34, AffinityMode::kSpread);
+  const double bf68 = model.exec_time_ms(bf, 68, AffinityMode::kSpread);
+  const double bi34 = model.exec_time_ms(bi, 34, AffinityMode::kSpread);
+  const double bi68 = model.exec_time_ms(bi, 68, AffinityMode::kSpread);
+  bench::recap("BackpropFilter loss at 34 thr", "25%",
+               fmt_percent((bf34 - bf68) / bf34, 0));
+  bench::recap("BackpropInput loss at 34 thr", "17%",
+               fmt_percent((bi34 - bi68) / bi34, 0));
+  return 0;
+}

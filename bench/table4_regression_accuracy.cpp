@@ -1,0 +1,90 @@
+// Table IV: prediction accuracy of the counter-feature regression models
+// for N (sample cases) in {1,4,8,16}. Train on ResNet-50 + Inception-v3
+// operations, test on DCGAN (held out), per-thread-count models, metrics
+// accuracy = 1 - mean|err|/y and R^2. The paper's point is NEGATIVE: none
+// of these is good enough to steer concurrency control (best ~67%).
+#include "bench/bench_util.hpp"
+#include <set>
+
+#include "machine/cost_model.hpp"
+#include "models/models.hpp"
+#include "perf/regression_study.hpp"
+#include "util/flags.hpp"
+
+using namespace opsched;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  // Evaluate a subset of per-thread-count cases to keep runtime moderate;
+  // --eval_cases 0 scores all 68 as in the paper.
+  const int eval_cases = flags.get_int("eval_cases", 12);
+
+  bench::header("Table IV", "regression-model prediction accuracy");
+
+  const MachineSpec spec = MachineSpec::knl();
+  const CostModel model(spec);
+
+  // Training ops: ResNet-50 + Inception-v3 (the paper also varies batch to
+  // enlarge the training set; we include two batch sizes).
+  // Deduplicate by (kind, shape): repeated instances of one op would let
+  // the models memorize rather than generalize.
+  const auto collect = [](std::vector<Node>& out, const Graph& g) {
+    std::set<std::pair<OpKind, std::uint64_t>> seen;
+    for (const Node& n : g.nodes()) {
+      if (!op_kind_tunable(n.kind)) continue;
+      if (seen.insert({n.kind, CostModel::op_time_key(n)}).second)
+        out.push_back(n);
+    }
+  };
+  std::vector<Node> train_nodes;
+  collect(train_nodes, build_resnet50(16));
+  collect(train_nodes, build_resnet50(64));
+  collect(train_nodes, build_inception_v3(16));
+  const Graph dcgan = build_dcgan();
+  std::vector<Node> test_nodes;
+  collect(test_nodes, dcgan);
+
+  const std::vector<std::string> regressors = {
+      "GradientBoosting", "KNeighbors", "TheilSen", "OLS", "PAR"};
+
+  TablePrinter table({"#Sample (N)", "Metric", "GradientBoosting",
+                      "KNeighbors", "TheilSen", "OLS", "PAR"});
+  // Paper's accuracy rows for the recap (percent).
+  const double paper_acc[4][5] = {{61, 56, 37, 27, 18},
+                                  {57, 67, 17, 21, 14},
+                                  {51, 56, 26, 31, 18},
+                                  {34, 26, 13, 14, 11}};
+  const int sample_counts[] = {1, 4, 8, 16};
+  double best_acc = 0.0;
+  for (int si = 0; si < 4; ++si) {
+    RegressionStudyConfig cfg;
+    cfg.num_samples = sample_counts[si];
+    cfg.eval_cases = eval_cases;
+    std::vector<std::string> acc_row = {std::to_string(sample_counts[si]),
+                                        "Accuracy"};
+    std::vector<std::string> r2_row = {"", "R2"};
+    for (std::size_t ri = 0; ri < regressors.size(); ++ri) {
+      const RegressionScore s = run_regression_study(
+          regressors[ri], train_nodes, test_nodes, model, cfg);
+      acc_row.push_back(fmt_percent(s.accuracy, 0));
+      r2_row.push_back(fmt_double(s.r2, 3));
+      best_acc = std::max(best_acc, s.accuracy);
+      bench::recap("N=" + std::to_string(sample_counts[si]) + " " +
+                       regressors[ri] + " accuracy",
+                   fmt_double(paper_acc[si][ri], 0) + "%",
+                   fmt_percent(s.accuracy, 0));
+    }
+    table.add_row(acc_row);
+    table.add_row(r2_row);
+    if (si < 3) table.add_rule();
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+
+  bench::section("conclusion");
+  std::cout << "Best accuracy " << fmt_percent(best_acc, 0)
+            << " (paper: 67% at N=4 KNeighbors) — far below the hill-climb "
+               "model's 95%+. Regression on noisy counters cannot steer "
+               "concurrency control; the paper discards it and so do we.\n";
+  return 0;
+}

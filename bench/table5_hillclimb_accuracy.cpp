@@ -1,0 +1,97 @@
+// Table V: prediction accuracy of the hill-climb + linear-interpolation
+// performance model, per model, for interval x in {2,4,8,16}. Accuracy is
+// the paper's 1 - mean|err|/y over all (op, thread count) cases not sampled
+// by the climb. Expected shape: ~95-98% at x=2, degrading hard by x=16,
+// with the small-op models (DCGAN, LSTM) degrading fastest.
+#include <set>
+
+#include "bench/bench_util.hpp"
+#include "machine/cost_model.hpp"
+#include "models/models.hpp"
+#include "perf/hill_climb.hpp"
+#include "perf/perf_db.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+
+using namespace opsched;
+
+namespace {
+
+/// Accuracy of interpolated predictions vs ground truth over every
+/// untested (op, threads, mode) point for one model graph.
+double model_accuracy(const Graph& g, const CostModel& model, int interval) {
+  HillClimbParams params;
+  params.interval = interval;
+  params.max_threads = static_cast<int>(model.spec().num_cores);
+  const HillClimbProfiler profiler(params);
+
+  std::vector<double> y_true, y_pred;
+  std::set<std::uint64_t> seen;
+  for (const Node& node : g.nodes()) {
+    if (!op_kind_tunable(node.kind)) continue;
+    const std::uint64_t key = CostModel::op_time_key(node);
+    if (!seen.insert(key).second) continue;
+
+    const MeasureFn measure = [&](int threads, AffinityMode mode) {
+      return model.exec_time_ms(node, threads, mode);
+    };
+    const ProfileCurve curve = profiler.profile(measure);
+
+    for (AffinityMode mode : {AffinityMode::kSpread, AffinityMode::kShared}) {
+      const auto& samples = curve.samples(mode);
+      if (samples.empty()) continue;
+      std::set<int> sampled;
+      for (const auto& p : samples) sampled.insert(p.threads);
+      for (int n = 1; n <= params.max_threads; ++n) {
+        if (mode == AffinityMode::kShared && n % 2 != 0) continue;
+        if (sampled.count(n)) continue;
+        y_true.push_back(model.exec_time_ms(node, n, mode));
+        y_pred.push_back(curve.predict(n, mode));
+      }
+    }
+  }
+  return mape_accuracy(y_true, y_pred);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  (void)flags;
+
+  bench::header("Table V", "hill-climb model prediction accuracy");
+
+  const MachineSpec spec = MachineSpec::knl();
+  const CostModel model(spec);
+
+  struct Row {
+    const char* name;
+    Graph graph;
+    double paper[4];
+  };
+  std::vector<Row> rows;
+  rows.push_back({"ResNet-50", build_resnet50(), {98.13, 95.45, 83.42, 31.12}});
+  rows.push_back({"DCGAN", build_dcgan(), {97.16, 94.43, 51.54, 10.14}});
+  rows.push_back(
+      {"Inception-v3", build_inception_v3(), {97.91, 94.22, 73.21, 21.21}});
+  rows.push_back({"LSTM", build_lstm(), {95.56, 90.45, 41.34, 11.03}});
+
+  TablePrinter table({"Model", "x=2", "x=4", "x=8", "x=16"});
+  table.set_title("Prediction accuracy of untested thread counts");
+  const int intervals[] = {2, 4, 8, 16};
+  for (const Row& row : rows) {
+    std::vector<std::string> cells = {row.name};
+    for (int ii = 0; ii < 4; ++ii) {
+      const double acc = model_accuracy(row.graph, model, intervals[ii]);
+      cells.push_back(fmt_percent(acc, 2));
+      bench::recap(std::string(row.name) + " x=" + std::to_string(intervals[ii]),
+                   fmt_double(row.paper[ii], 2) + "%", fmt_percent(acc, 2));
+    }
+    table.add_row(cells);
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "Shape to match: accuracy high at x=2/4, collapsing by x=16; "
+               "small-op models (DCGAN/LSTM) collapse fastest.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// autotune_ops: per-operation concurrency autotuning, the paper's
+// Section II motivation study as a library user would run it.
+//
+// Takes standalone operations at Inception-v3 input sizes, hill-climbs each
+// one, and prints the discovered optimum vs the 68-thread default — then
+// shows how the optimum moves as the input grows (Observation 2).
+//
+//   ./autotune_ops [--interval 4]
+#include <iostream>
+
+#include "machine/cost_model.hpp"
+#include "models/op_factory.hpp"
+#include "perf/hill_climb.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace opsched;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int interval = flags.get_int("interval", 4);
+
+  const MachineSpec spec = MachineSpec::knl();
+  const CostModel model(spec);
+
+  HillClimbParams params;
+  params.interval = interval;
+  params.max_threads = static_cast<int>(spec.num_cores);
+  const HillClimbProfiler profiler(params);
+
+  std::cout << "Hill-climb autotuning (interval x=" << interval
+            << ") on the simulated KNL\n\n";
+
+  struct Case {
+    const char* note;
+    Node op;
+  };
+  const Case cases[] = {
+      {"Fig.1 op", fig1_backprop_filter()},
+      {"Fig.1 op", fig1_backprop_input()},
+      {"Fig.1 op", fig1_conv2d()},
+      {"larger input",
+       make_conv_op(OpKind::kConv2DBackpropFilter, 32, 17, 17, 384, 3, 3,
+                    384)},
+      {"widest input", table3_backprop_filter()},
+      {"small matmul", make_matmul_op(20, 400, 800)},
+      {"streaming op", make_activation_op(OpKind::kBiasAdd, 64, 32, 32, 64)},
+  };
+
+  TablePrinter table({"Operation", "Input", "Best threads", "Mode",
+                      "Best (ms)", "68-thr (ms)", "Gain", "Samples"});
+  for (const Case& c : cases) {
+    const ProfileCurve curve = profiler.profile(
+        [&](int threads, AffinityMode mode) {
+          return model.exec_time_ms(c.op, threads, mode);
+        });
+    const Candidate best = curve.best();
+    const double t_default = model.exec_time_ms(
+        c.op, static_cast<int>(spec.num_cores), AffinityMode::kSpread);
+    table.add_row({std::string(op_kind_name(c.op.kind)),
+                   c.op.input_shape.to_string(), std::to_string(best.threads),
+                   affinity_mode_name(best.mode), fmt_double(best.time_ms, 2),
+                   fmt_double(t_default, 2),
+                   fmt_percent((t_default - best.time_ms) / t_default, 1),
+                   std::to_string(curve.total_samples())});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nObservation 1: the best intra-op parallelism differs per "
+               "operation.\nObservation 2: it shifts with the input size — "
+               "the widest conv wants all 68 cores.\n"
+            << "Profiling cost is bounded by 2*C/x samples per op, so a few "
+               "training steps suffice.\n";
+  return 0;
+}

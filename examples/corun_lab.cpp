@@ -1,0 +1,107 @@
+// corun_lab: interactive-style exploration of operation co-running — the
+// paper's Table III experiment generalized. Pick two ops and compare every
+// way of running them: serial, hyper-threaded stacking, and partitioned
+// splits at several ratios, on the simulated KNL.
+//
+//   ./corun_lab [--left 34] (cores given to the first op when splitting)
+#include <functional>
+#include <iostream>
+
+#include "machine/sim_machine.hpp"
+#include "models/op_factory.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace opsched;
+
+namespace {
+
+double span(SimMachine& machine, const std::function<void()>& launch) {
+  machine.reset();
+  launch();
+  double last = 0.0;
+  while (const auto c = machine.advance()) last = c->finish_ms;
+  return last;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const MachineSpec spec = MachineSpec::knl();
+  const CostModel model(spec);
+  SimMachine machine(spec, model);
+  const std::size_t cores = spec.num_cores;
+
+  Node a = table3_backprop_filter();
+  a.id = 0;
+  Node b = table3_backprop_input();
+  b.id = 1;
+
+  std::cout << "Co-running " << op_kind_name(a.kind) << " and "
+            << op_kind_name(b.kind) << " at input "
+            << a.input_shape.to_string() << "\n\n";
+
+  const double t_a = model.exec_time_ms(a, static_cast<int>(cores),
+                                        AffinityMode::kSpread);
+  const double t_b = model.exec_time_ms(b, static_cast<int>(cores),
+                                        AffinityMode::kSpread);
+  const double serial = t_a + t_b;
+
+  TablePrinter table({"Strategy", "#Threads", "Span (ms)", "Speedup",
+                      "Op A slowdown", "Op B slowdown"});
+  table.add_row({"serial (TF default)", "68 then 68", fmt_double(serial, 1),
+                 "1.00x", "1.00x", "1.00x"});
+
+  // Hyper-threaded stacking: both ops on all cores at once.
+  {
+    double fa = 0.0, fb = 0.0;
+    const double s = span(machine, [&] {
+      machine.launch(a, static_cast<int>(cores), AffinityMode::kSpread,
+                     CoreSet::all(cores), LaunchKind::kStacked);
+      machine.launch(b, static_cast<int>(cores), AffinityMode::kSpread,
+                     CoreSet::all(cores), LaunchKind::kStacked);
+    });
+    machine.reset();
+    machine.launch(a, static_cast<int>(cores), AffinityMode::kSpread,
+                   CoreSet::all(cores), LaunchKind::kStacked);
+    machine.launch(b, static_cast<int>(cores), AffinityMode::kSpread,
+                   CoreSet::all(cores), LaunchKind::kStacked);
+    while (const auto c = machine.advance()) {
+      if (c->node == 0) fa = c->actual_ms;
+      else fb = c->actual_ms;
+    }
+    table.add_row({"hyper-thread co-run", "68+68", fmt_double(s, 1),
+                   fmt_speedup(serial / s), fmt_speedup(fa / t_a),
+                   fmt_speedup(fb / t_b)});
+  }
+
+  // Partitioned splits at several ratios.
+  for (const std::size_t left :
+       {cores / 4, cores * 3 / 8, cores / 2, cores * 5 / 8, cores * 3 / 4}) {
+    const std::size_t right = cores - left;
+    double fa = 0.0, fb = 0.0;
+    machine.reset();
+    machine.launch(a, static_cast<int>(left), AffinityMode::kSpread,
+                   CoreSet::range(cores, 0, left));
+    machine.launch(b, static_cast<int>(right), AffinityMode::kSpread,
+                   CoreSet::range(cores, left, right));
+    double s = 0.0;
+    while (const auto c = machine.advance()) {
+      s = c->finish_ms;
+      if (c->node == 0) fa = c->actual_ms;
+      else fb = c->actual_ms;
+    }
+    table.add_row({"partitioned co-run",
+                   std::to_string(left) + "+" + std::to_string(right),
+                   fmt_double(s, 1), fmt_speedup(serial / s),
+                   fmt_speedup(fa / t_a), fmt_speedup(fb / t_b)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nObservation 3 (paper): co-running helps overall even though\n"
+         "individual operations slow down. The paper's 34+34 split reached\n"
+         "1.38x; hyper-threaded stacking only 1.03x.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// gpu_preview: the paper's Section VII preliminary GPU study as a library
+// walkthrough — explore an op's launch-configuration surface on the
+// simulated P100 and see how much two-stream co-running recovers.
+//
+//   ./gpu_preview [--op BiasAdd|MaxPooling|Conv2D]
+#include <iostream>
+
+#include "gpu/gpu_model.hpp"
+#include "models/op_factory.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace opsched;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string which = flags.get("op", "BiasAdd");
+
+  Node op = which == "MaxPooling"
+                ? make_activation_op(OpKind::kMaxPool, 32, 35, 35, 288)
+            : which == "Conv2D"
+                ? make_conv_op(OpKind::kConv2D, 32, 17, 17, 384, 3, 3, 384)
+                : make_activation_op(OpKind::kBiasAdd, 32, 17, 17, 768);
+
+  const GpuCostModel model(GpuSpec::p100());
+  std::cout << "Simulated Tesla P100 — op " << op_kind_name(op.kind)
+            << " at " << op.input_shape.to_string() << "\n\n";
+
+  TablePrinter surface({"Threads/block", "Blocks", "Time (ms)",
+                        "Device utilization"});
+  for (int tpb : {64, 128, 256, 512, 1024}) {
+    for (int blocks : {28, 56, 112, 224}) {
+      const GpuLaunchConfig cfg{tpb, blocks};
+      surface.add_row({std::to_string(tpb), std::to_string(blocks),
+                       fmt_double(model.exec_time_ms(op, cfg), 4),
+                       fmt_percent(model.utilization(op, cfg), 1)});
+    }
+  }
+  surface.print(std::cout);
+
+  const GpuLaunchConfig def{};
+  const GpuLaunchConfig best = model.best_config(op);
+  std::cout << "\nTF default  : 1024 threads/block x 56 blocks -> "
+            << fmt_double(model.exec_time_ms(op, def), 4) << " ms\n"
+            << "best config : " << best.threads_per_block
+            << " threads/block x " << best.num_blocks << " blocks -> "
+            << fmt_double(model.exec_time_ms(op, best), 4) << " ms\n";
+
+  const GpuCorunResult corun = gpu_corun_study(model, op, 1000);
+  std::cout << "\ntwo-stream co-run of 1000 instances: "
+            << fmt_double(corun.serial_ms / 1000.0, 1) << " s serial vs "
+            << fmt_double(corun.corun_ms / 1000.0, 1) << " s co-run ("
+            << fmt_speedup(corun.speedup)
+            << ", paper Table VII: 1.75-1.91x)\n"
+            << "Even at its best configuration the op keeps only "
+            << fmt_percent(model.utilization(op, best), 0)
+            << " of the device busy — the co-run headroom.\n";
+  return 0;
+}

@@ -1,0 +1,163 @@
+// opsched_cli: command-line front end to the library.
+//
+//   opsched_cli profile  --model resnet50 [--interval 4] [--save db.txt]
+//   opsched_cli schedule --model dcgan [--strategies s12|s123|all]
+//                        [--steps 3] [--trace out.json] [--load db.txt]
+//   opsched_cli grid     --model resnet50
+//   opsched_cli compare  --model inception_v3
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "core/runtime.hpp"
+#include "core/trace_export.hpp"
+#include "models/models.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace opsched;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: opsched_cli <profile|schedule|grid|compare> --model NAME\n"
+         "  models: resnet50 dcgan inception_v3 lstm toy_cnn\n"
+         "  profile : hill-climb all unique ops, print chosen widths\n"
+         "            [--interval X] [--save FILE]\n"
+         "  schedule: run adaptive steps  [--strategies s12|s123|all]\n"
+         "            [--steps N] [--trace FILE]\n"
+         "  grid    : Table-I style inter-op x intra-op sweep\n"
+         "  compare : recommendation vs manual grid vs adaptive\n";
+  return 2;
+}
+
+unsigned parse_strategies(const std::string& s) {
+  if (s == "s12") return kStrategyS12;
+  if (s == "s123") return kStrategyS123;
+  return kStrategyAll;
+}
+
+int cmd_profile(const Graph& g, const Flags& flags) {
+  RuntimeOptions opt;
+  opt.hill_climb_interval = flags.get_int("interval", 4);
+  Runtime rt(MachineSpec::knl(), opt);
+  const ProfilingReport report = rt.profile(g);
+  std::cout << "profiled " << report.unique_ops << " unique ops, "
+            << report.total_samples << " samples, "
+            << report.profiling_steps << " profiling steps\n\n";
+
+  // Top ops by aggregate recommended-width time, with chosen widths.
+  std::map<OpKind, std::pair<double, int>> agg;  // kind -> (time, width)
+  for (const Node& n : g.nodes()) {
+    auto& a = agg[n.kind];
+    a.first +=
+        rt.cost_model().exec_time_ms(n, 68, AffinityMode::kSpread);
+    a.second = rt.controller().choice_for(n).threads;
+  }
+  std::vector<std::pair<OpKind, std::pair<double, int>>> rows(agg.begin(),
+                                                              agg.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.first > b.second.first;
+  });
+  TablePrinter table({"Op kind", "Aggregate @68thr (ms)", "Chosen width"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, rows.size()); ++i) {
+    table.add_row({std::string(op_kind_name(rows[i].first)),
+                   fmt_double(rows[i].second.first, 2),
+                   std::to_string(rows[i].second.second)});
+  }
+  table.print(std::cout);
+
+  if (flags.has("save")) {
+    const std::string path = flags.get("save", "profiles.db");
+    rt.database().save_file(path);
+    std::cout << "profile database saved to " << path << " ("
+              << rt.database().size() << " curves)\n";
+  }
+  return 0;
+}
+
+int cmd_schedule(const Graph& g, const Flags& flags) {
+  RuntimeOptions opt;
+  opt.strategies = parse_strategies(flags.get("strategies", "all"));
+  Runtime rt(MachineSpec::knl(), opt);
+  rt.profile(g);
+  const int steps = std::max(1, flags.get_int("steps", 3));
+  TablePrinter table({"Step", "Time (ms)", "Co-runs", "Overlays",
+                      "Cache hits", "Mean co-run"});
+  StepResult last;
+  for (int s = 1; s <= steps; ++s) {
+    last = rt.run_step(g);
+    table.add_row({std::to_string(s), fmt_double(last.time_ms, 1),
+                   std::to_string(last.corun_launches),
+                   std::to_string(last.overlay_launches),
+                   std::to_string(last.cache_hits),
+                   fmt_double(last.mean_corun, 2)});
+  }
+  table.print(std::cout);
+  if (flags.has("trace")) {
+    const std::string path = flags.get("trace", "schedule.json");
+    write_chrome_trace(path, last.trace, g);
+    std::cout << "trace written to " << path << "\n";
+  }
+  return 0;
+}
+
+int cmd_grid(const Graph& g, const Flags& flags) {
+  (void)flags;
+  Runtime rt(MachineSpec::knl());
+  const double base = rt.run_step_fifo(g, 1, 68).time_ms;
+  TablePrinter table({"Inter-op", "Intra-op", "Step (ms)", "Speedup"});
+  for (int inter : {1, 2, 4}) {
+    for (int intra : {17, 34, 68, 136}) {
+      const double t = rt.run_step_fifo(g, inter, intra).time_ms;
+      table.add_row({std::to_string(inter), std::to_string(intra),
+                     fmt_double(t, 1), fmt_speedup(base / t)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_compare(const Graph& g, const Flags& flags) {
+  (void)flags;
+  Runtime rt(MachineSpec::knl());
+  rt.profile(g);
+  const double rec = rt.run_step_recommendation(g).time_ms;
+  const ManualOptimum manual = rt.manual_optimize(g);
+  rt.run_step(g);
+  const double adaptive = rt.run_step(g).time_ms;
+  TablePrinter table({"Policy", "Step (ms)", "Speedup"});
+  table.add_row({"recommendation (1 x 68)", fmt_double(rec, 1), "1.00x"});
+  table.add_row({"manual grid (" + std::to_string(manual.inter_op) + " x " +
+                     std::to_string(manual.intra_op) + ")",
+                 fmt_double(manual.time_ms, 1),
+                 fmt_speedup(rec / manual.time_ms)});
+  table.add_row({"adaptive (Strategies 1-4)", fmt_double(adaptive, 1),
+                 fmt_speedup(rec / adaptive)});
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Flags flags(argc - 1, argv + 1);
+  const std::string model = flags.get("model", "resnet50");
+
+  Graph g;
+  try {
+    g = build_model(model);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return usage();
+  }
+
+  if (cmd == "profile") return cmd_profile(g, flags);
+  if (cmd == "schedule") return cmd_schedule(g, flags);
+  if (cmd == "grid") return cmd_grid(g, flags);
+  if (cmd == "compare") return cmd_compare(g, flags);
+  return usage();
+}

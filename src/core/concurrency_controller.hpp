@@ -1,0 +1,59 @@
+// ConcurrencyController: Strategies 1 and 2 — decides each operation's
+// intra-op parallelism from the profiled performance model.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/strategies.hpp"
+#include "graph/graph.hpp"
+#include "perf/perf_db.hpp"
+
+namespace opsched {
+
+class ConcurrencyController {
+ public:
+  /// `db` must outlive the controller.
+  ConcurrencyController(const PerfDatabase& db, RuntimeOptions options);
+
+  /// Precomputes decisions for every node in `g`:
+  ///  - Strategy 1 (if enabled): per-(kind, shape) optimum from its curve.
+  ///  - Strategy 2 (if enabled): per-kind consolidation onto the optimum of
+  ///    the most time-consuming instance of the kind.
+  ///  - Neither: every op gets options.default_width (the recommendation).
+  /// Non-tunable kinds always get default_width.
+  void build(const Graph& g);
+
+  /// The width/mode this op will use when run alone (S1/S2 decision).
+  Candidate choice_for(const Node& node) const;
+
+  /// Up to k most performant candidates (Strategy 3's menu). Falls back to
+  /// {choice_for} for unprofiled or non-tunable ops.
+  std::vector<Candidate> candidates_for(const Node& node, std::size_t k) const;
+
+  /// Strategy 2 consolidated width for a kind (default_width if the kind
+  /// was not consolidated).
+  int consolidated_width(OpKind kind) const;
+
+  /// Predicted solo time of this op at its chosen configuration.
+  double predicted_time_ms(const Node& node) const;
+
+  /// Serial (1-thread) time estimate, used by Strategy 4's "smallest op
+  /// first" rule. Falls back to the chosen-candidate time when the curve
+  /// lacks a 1-thread sample.
+  double serial_time_ms(const Node& node) const;
+
+  const RuntimeOptions& options() const noexcept { return options_; }
+
+ private:
+  Candidate default_choice() const;
+
+  const PerfDatabase& db_;
+  RuntimeOptions options_;
+  /// Per-kind consolidated decision (Strategy 2).
+  std::map<OpKind, Candidate> per_kind_;
+  /// Per-key decision (Strategy 1, also the base for Strategy 2 lookups).
+  std::map<OpKey, Candidate> per_key_;
+};
+
+}  // namespace opsched

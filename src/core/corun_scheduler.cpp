@@ -1,0 +1,276 @@
+#include "core/corun_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace opsched {
+
+namespace {
+std::pair<OpKey, OpKey> ordered_pair(const OpKey& a, const OpKey& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+/// Idle-core threshold below which Strategy 4 considers the machine full.
+std::size_t spec_overlay_trigger() { return 8; }
+}  // namespace
+
+void CorunScheduler::reset_learning() {
+  bad_pairs_.clear();
+  decision_cache_.clear();
+}
+
+bool CorunScheduler::bad_pair_with_running(const OpKey& key,
+                                           const SimMachine& machine,
+                                           const Graph& g) const {
+  if (!options_.interference_recorder) return false;
+  for (const auto& task : machine.running()) {
+    const OpKey other = OpKey::of(g.node(task.node));
+    if (bad_pairs_.count(ordered_pair(key, other))) return true;
+  }
+  return false;
+}
+
+bool CorunScheduler::schedule_round(const Graph& g, SimMachine& machine,
+                                    std::deque<NodeId>& ready,
+                                    StepResult& stats) {
+  const bool s3 = (options_.strategies & kStrategy3) != 0;
+  const bool s4 = (options_.strategies & kStrategy4) != 0;
+  bool launched_any = false;
+
+  // ---- Strategy 3 (or serial execution when S3 is off) ----
+  for (;;) {
+    if (ready.empty()) break;
+    CoreSet idle = machine.idle_cores();
+    if (idle.empty()) break;
+
+    if (!s3) {
+      // Serial mode (Strategies 1-2 only): run one op at a time at its
+      // chosen width, like the paper's Figure 3(a) configuration.
+      if (!machine.quiescent()) break;
+      const Node& node = g.node(ready.front());
+      ready.pop_front();
+      Candidate c = controller_.choice_for(node);
+      c.threads = std::min<int>(c.threads, static_cast<int>(idle.count()));
+      machine.launch(node, c.threads, c.mode, idle.take_lowest(
+                         static_cast<std::size_t>(c.threads)));
+      ++stats.ops_run;
+      launched_any = true;
+      continue;
+    }
+
+    const double ongoing = machine.max_remaining_ms();
+    const bool something_running = !machine.quiescent();
+    const int idle_count = static_cast<int>(idle.count());
+
+    // Find the first ready op with an admissible candidate.
+    std::size_t chosen_pos = ready.size();
+    Candidate chosen{};
+    bool have_choice = false;
+
+    for (std::size_t pos = 0; pos < ready.size() && !have_choice; ++pos) {
+      const Node& node = g.node(ready[pos]);
+      const OpKey key = OpKey::of(node);
+
+      if (something_running && bad_pair_with_running(key, machine, g))
+        continue;
+
+      // Decision cache: identical (op, idle width) situations reuse the
+      // previous Strategy 3 outcome.
+      if (options_.decision_cache && something_running) {
+        const auto it = decision_cache_.find({key, idle_count});
+        if (it != decision_cache_.end()) {
+          const Candidate& c = it->second;
+          if (c.threads <= idle_count &&
+              c.time_ms <= ongoing * (1.0 + options_.corun_slack)) {
+            chosen = c;
+            chosen_pos = pos;
+            have_choice = true;
+            ++stats.cache_hits;
+            break;
+          }
+        }
+      }
+
+      auto cands = controller_.candidates_for(node, options_.num_candidates);
+      // Strategy 2 guard: a candidate too far from the consolidated width
+      // is replaced by the consolidated choice.
+      if ((options_.strategies & kStrategy2) != 0) {
+        const Candidate s2 = controller_.choice_for(node);
+        const int delta = std::max(
+            options_.s2_delta_guard,
+            static_cast<int>(options_.s2_guard_relative *
+                             static_cast<double>(s2.threads)));
+        for (Candidate& c : cands) {
+          if (std::abs(c.threads - s2.threads) > delta) {
+            c = s2;
+            ++stats.guard_fallbacks;
+          }
+        }
+      }
+
+      // Admissible candidates: fit the idle cores; when co-running, do not
+      // outlast the ongoing ops. Pick the fewest-threads admissible one.
+      const Candidate* best = nullptr;
+      for (const Candidate& c : cands) {
+        if (c.threads > idle_count) continue;
+        if (something_running &&
+            c.time_ms > ongoing * (1.0 + options_.corun_slack))
+          continue;
+        if (best == nullptr || c.threads < best->threads) best = &c;
+      }
+      if (best != nullptr) {
+        chosen = *best;
+        chosen_pos = pos;
+        have_choice = true;
+        if (options_.decision_cache && something_running)
+          decision_cache_[{key, idle_count}] = chosen;
+      }
+    }
+
+    if (!have_choice) {
+      if (something_running) break;  // wait for a completion
+      // Machine empty but nothing "fits": run the most time-consuming
+      // ready op, capped to the machine width.
+      std::size_t heavy_pos = 0;
+      double heavy_time = -1.0;
+      for (std::size_t pos = 0; pos < ready.size(); ++pos) {
+        const double t =
+            controller_.predicted_time_ms(g.node(ready[pos]));
+        if (t > heavy_time) {
+          heavy_time = t;
+          heavy_pos = pos;
+        }
+      }
+      chosen_pos = heavy_pos;
+      chosen = controller_.choice_for(g.node(ready[heavy_pos]));
+      chosen.threads = std::min<int>(chosen.threads, idle_count);
+      have_choice = true;
+    }
+
+    const Node& node = g.node(ready[chosen_pos]);
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(chosen_pos));
+    const bool corun = !machine.quiescent();
+    const auto id =
+        machine.launch(node, chosen.threads, chosen.mode,
+                       idle.take_lowest(static_cast<std::size_t>(chosen.threads)));
+    // Remember co-runners for the interference recorder.
+    Launched rec;
+    for (const auto& task : machine.running()) {
+      if (task.id == id) continue;
+      rec.corunners.push_back(OpKey::of(g.node(task.node)));
+    }
+    in_flight_[id] = std::move(rec);
+    ++stats.ops_run;
+    if (corun) ++stats.corun_launches;
+    launched_any = true;
+  }
+
+  // ---- Strategy 4: hyper-thread overlays ----
+  // Triggered when the machine is (nearly) full — the paper's "an operation
+  // using 68 cores" generalized to any residue too small for Strategy 3.
+  if (s4 && !ready.empty() &&
+      machine.idle_cores().count() < spec_overlay_trigger()) {
+    for (;;) {
+      // Overlays only pay off on cores whose primary is compute-bound: a
+      // memory-bound primary has no spare core cycles and the overlay only
+      // adds bandwidth pressure.
+      CoreSet eligible = machine.overlayable_cores();
+      {
+        CoreSet compute_bound(eligible.capacity());
+        for (const auto& task : machine.running()) {
+          if (task.launch_kind != LaunchKind::kOverlay &&
+              task.mem_intensity < 0.45) {
+            compute_bound = compute_bound.union_with(task.cores);
+          }
+        }
+        eligible = eligible.intersect(compute_bound);
+      }
+      if (eligible.empty() || ready.empty()) break;
+      // Smallest ready op by serial execution time.
+      std::size_t small_pos = 0;
+      double small_time = std::numeric_limits<double>::infinity();
+      for (std::size_t pos = 0; pos < ready.size(); ++pos) {
+        const double t = controller_.serial_time_ms(g.node(ready[pos]));
+        if (t < small_time) {
+          small_time = t;
+          small_pos = pos;
+        }
+      }
+      const Node& node = g.node(ready[small_pos]);
+      const OpKey key = OpKey::of(node);
+      if (bad_pair_with_running(key, machine, g)) break;
+
+      Candidate c = controller_.choice_for(node);
+      c.threads = std::min<int>(c.threads, static_cast<int>(eligible.count()));
+      // Throughput guard also applies to overlays: an overlay that would
+      // outlast everything it rides on would delay the step.
+      const double ongoing = machine.max_remaining_ms();
+      const double overlay_est = c.time_ms * 2.5;  // HT secondary slowdown bound
+      if (overlay_est > ongoing * (1.0 + options_.corun_slack)) break;
+
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(small_pos));
+      const auto id = machine.launch(
+          node, c.threads, c.mode,
+          eligible.take_lowest(static_cast<std::size_t>(c.threads)),
+          LaunchKind::kOverlay);
+      Launched rec;
+      rec.overlay = true;
+      for (const auto& task : machine.running()) {
+        if (task.id == id) continue;
+        rec.corunners.push_back(OpKey::of(g.node(task.node)));
+      }
+      in_flight_[id] = std::move(rec);
+      ++stats.ops_run;
+      ++stats.overlay_launches;
+      ++stats.corun_launches;
+      launched_any = true;
+    }
+  }
+
+  return launched_any;
+}
+
+StepResult CorunScheduler::run_step(const Graph& g, SimMachine& machine) {
+  machine.reset();
+  machine.trace().clear();
+  in_flight_.clear();
+
+  StepResult stats;
+  ReadyTracker tracker(g);
+  std::deque<NodeId> ready(tracker.initially_ready().begin(),
+                           tracker.initially_ready().end());
+
+  while (tracker.remaining() > 0) {
+    schedule_round(g, machine, ready, stats);
+    const auto comp = machine.advance();
+    if (!comp.has_value()) {
+      throw std::logic_error(
+          "CorunScheduler: deadlock — nothing running but nodes remain");
+    }
+
+    // Interference recorder: excessive co-run slowdown marks all pairs.
+    // Overlays are exempt — hyper-thread sharing slows them by design.
+    if (options_.interference_recorder &&
+        comp->actual_ms > comp->solo_ms * options_.interference_bad_ratio) {
+      const auto it = in_flight_.find(comp->id);
+      if (it != in_flight_.end() && !it->second.overlay) {
+        const OpKey me = OpKey::of(g.node(comp->node));
+        for (const OpKey& other : it->second.corunners)
+          bad_pairs_.insert(ordered_pair(me, other));
+      }
+    }
+    in_flight_.erase(comp->id);
+
+    std::vector<NodeId> newly;
+    tracker.mark_done(comp->node, newly);
+    for (NodeId id : newly) ready.push_back(id);
+  }
+
+  stats.time_ms = machine.now_ms();
+  stats.trace = machine.trace();
+  stats.mean_corun = stats.trace.mean_corun();
+  return stats;
+}
+
+}  // namespace opsched

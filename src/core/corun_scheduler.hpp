@@ -1,0 +1,90 @@
+// CorunScheduler: executes one training step on the simulated machine under
+// Strategies 1-4 (paper Section III-D). This is the component that replaces
+// TensorFlow's FIFO executor.
+//
+// Per scheduling round (whenever cores idle — at step start and after every
+// completion):
+//   Strategy 3: walk the ready queue in arrival order; for each op take its
+//   `num_candidates` most performant (threads, mode) configurations; a
+//   candidate is admissible if it fits the idle cores, respects the
+//   Strategy-2 width guard (|Δthreads| <= 2 else fall back to the S2
+//   width), is predicted not to outlast the ongoing ops (throughput guard),
+//   and does not form a recorded bad-interference pair with a running op.
+//   Among admissible candidates of the first such op, the one with the
+//   FEWEST threads wins — freeing cores for more co-runners, the paper's
+//   "maximize operations co-running" tie-break.
+//   If nothing is admissible and the machine is empty, the most
+//   time-consuming ready op runs (capped to the machine width).
+//   Strategy 4: when no idle cores remain, the smallest ready ops (by
+//   serial time) are overlaid onto spare hyper-thread contexts.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "core/concurrency_controller.hpp"
+#include "machine/sim_machine.hpp"
+
+namespace opsched {
+
+/// Outcome of one simulated training step.
+struct StepResult {
+  double time_ms = 0.0;
+  EventTrace trace;
+  /// Scheduler statistics for the step.
+  std::size_t ops_run = 0;
+  std::size_t corun_launches = 0;    // launches while something else ran
+  std::size_t overlay_launches = 0;  // Strategy 4 overlays
+  std::size_t cache_hits = 0;        // decision-cache reuses
+  std::size_t guard_fallbacks = 0;   // S2 delta-guard rewrites
+  double mean_corun = 0.0;
+};
+
+class CorunScheduler {
+ public:
+  CorunScheduler(const ConcurrencyController& controller,
+                 RuntimeOptions options)
+      : controller_(controller), options_(options) {}
+
+  /// Runs every node of `g` to completion on `machine` (which is reset
+  /// first). Deterministic for fixed inputs.
+  StepResult run_step(const Graph& g, SimMachine& machine);
+
+  /// Bad-interference pairs recorded so far (survives across steps, as in
+  /// the paper: "Our runtime can record such cases and avoid co-running
+  /// such operations in the future training steps").
+  std::size_t recorded_bad_pairs() const { return bad_pairs_.size(); }
+
+  /// Clears learned state (decision cache + interference record).
+  void reset_learning();
+
+ private:
+  struct Launched {
+    std::vector<OpKey> corunners;
+    /// Overlays slow down by design (hyper-thread sharing); the recorder
+    /// only flags *unexpected* interference, so overlays are exempt.
+    bool overlay = false;
+  };
+
+  /// One scheduling round; launches zero or more ops. Returns true if at
+  /// least one launch happened.
+  bool schedule_round(const Graph& g, SimMachine& machine,
+                      std::deque<NodeId>& ready, StepResult& stats);
+
+  bool bad_pair_with_running(const OpKey& key,
+                             const SimMachine& machine,
+                             const Graph& g) const;
+
+  const ConcurrencyController& controller_;
+  RuntimeOptions options_;
+
+  /// Interference recorder: unordered op-key pairs seen to co-run badly.
+  std::set<std::pair<OpKey, OpKey>> bad_pairs_;
+  /// Decision cache: (op key, idle-core count) -> chosen candidate.
+  std::map<std::pair<OpKey, int>, Candidate> decision_cache_;
+  /// Co-runners of each in-flight task at launch (for the recorder).
+  std::map<SimMachine::TaskId, Launched> in_flight_;
+};
+
+}  // namespace opsched

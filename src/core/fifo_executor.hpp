@@ -1,0 +1,46 @@
+// FifoExecutor: the TensorFlow-style baseline. Ready operations execute in
+// arrival (FIFO) order; at most `inter_op` run concurrently; every op uses
+// the same `intra_op` thread count. Threads are not partitioned across
+// slots — as on the real system, the OS scatters them — which the simulator
+// models by stacking contexts on cores and splitting capacity.
+//
+// The paper's baselines map to:
+//   recommendation:  inter_op = 1, intra_op = 68 (physical cores)
+//   TF default:      inter_op = 272, intra_op = 272 (logical cores) — much
+//                    slower, shown >10x off in Section IV-A
+//   manual optimum:  the best (inter_op, intra_op) grid point (Table I)
+#pragma once
+
+#include "core/corun_scheduler.hpp"  // StepResult
+#include "machine/sim_machine.hpp"
+
+namespace opsched {
+
+class FifoExecutor {
+ public:
+  FifoExecutor(int inter_op, int intra_op)
+      : inter_op_(inter_op), intra_op_(intra_op) {}
+
+  /// Runs one training step of `g` on `machine` (reset first).
+  StepResult run_step(const Graph& g, SimMachine& machine) const;
+
+  int inter_op() const noexcept { return inter_op_; }
+  int intra_op() const noexcept { return intra_op_; }
+
+ private:
+  int inter_op_;
+  int intra_op_;
+};
+
+/// Sweeps the Table-I grid and returns the best (inter, intra) and its step
+/// time — the paper's "manual optimization" procedure.
+struct ManualOptimum {
+  int inter_op = 1;
+  int intra_op = 68;
+  double time_ms = 0.0;
+};
+ManualOptimum manual_optimize(const Graph& g, SimMachine& machine,
+                              const std::vector<int>& inter_grid,
+                              const std::vector<int>& intra_grid);
+
+}  // namespace opsched

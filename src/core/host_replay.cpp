@@ -1,0 +1,113 @@
+#include "core/host_replay.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <future>
+
+#include "ops/work_profile.hpp"
+
+namespace opsched {
+
+namespace {
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+HostReplayExecutor::HostReplayExecutor(const ConcurrencyController& controller,
+                                       TeamPool& pool,
+                                       HostReplayOptions options)
+    : controller_(controller), pool_(pool), options_(options) {
+  scratch_.assign(1 << 20, 1.0);  // 8 MB stream buffer
+}
+
+double HostReplayExecutor::replay_op(ThreadTeam& team, const Node& node) {
+  const WorkProfile w = work_profile(node);
+  // Compute part: FMA chains, split across the team.
+  const auto fma_iters = static_cast<std::size_t>(
+      std::max(1.0, w.flops * options_.work_scale / 2.0));
+  // Memory part: passes over the shared stream buffer.
+  const auto stream_elems = static_cast<std::size_t>(
+      std::max(0.0, w.bytes * options_.work_scale / 8.0));
+
+  std::vector<double> partial(team.width(), 0.0);
+  team.parallel_for(fma_iters + stream_elems, [&](std::size_t b, std::size_t e,
+                                                  std::size_t worker) {
+    double acc = 1.0;
+    for (std::size_t i = b; i < e; ++i) {
+      if (i < fma_iters) {
+        acc = acc * 1.0000001 + 0.0000001;  // FMA-shaped dependency chain
+      } else {
+        acc += scratch_[(i - fma_iters) % scratch_.size()];
+      }
+    }
+    partial[worker] = acc;
+  });
+  double sum = 0.0;
+  for (double p : partial) sum += p;
+  return sum;
+}
+
+HostReplayResult HostReplayExecutor::run_step(const Graph& g) {
+  HostReplayResult result;
+  const double t0 = now_ms();
+  const std::size_t host = pool_.max_width();
+
+  ReadyTracker tracker(g);
+  std::deque<NodeId> ready(tracker.initially_ready().begin(),
+                           tracker.initially_ready().end());
+
+  while (tracker.remaining() > 0) {
+    // Claim a batch of ready ops onto disjoint core ranges: each co-run
+    // slot gets its own pinned team, so teams are never shared between
+    // concurrently running ops.
+    struct Slot {
+      NodeId node;
+      ThreadTeam* team;
+    };
+    std::vector<Slot> batch;
+    std::size_t offset = 0;
+    while (!ready.empty() &&
+           batch.size() < (options_.corun ? options_.max_corun : 1)) {
+      const Node& node = g.node(ready.front());
+      const Candidate c = controller_.choice_for(node);
+      const auto width = static_cast<std::size_t>(
+          std::clamp<int>(c.threads, 1, static_cast<int>(host)));
+      if (!batch.empty() && offset + width > host) break;  // no cores left
+      const std::size_t base = std::min(offset, host - width);
+      ThreadTeam& team =
+          pool_.team_pinned(width, CoreSet::range(host, base, width));
+      batch.push_back(Slot{ready.front(), &team});
+      ready.pop_front();
+      offset += width;
+    }
+
+    // Run the batch: first op on this thread, the rest on async launchers —
+    // each op's parallelism comes from its own team.
+    std::vector<std::future<double>> others;
+    for (std::size_t i = 1; i < batch.size(); ++i) {
+      const Slot& slot = batch[i];
+      others.push_back(std::async(std::launch::async, [this, &g, slot] {
+        return replay_op(*slot.team, g.node(slot.node));
+      }));
+      ++result.corun_launches;
+    }
+    result.checksum += replay_op(*batch.front().team, g.node(batch.front().node));
+    for (auto& f : others) result.checksum += f.get();
+
+    for (const Slot& slot : batch) {
+      std::vector<NodeId> newly;
+      tracker.mark_done(slot.node, newly);
+      for (NodeId n : newly) ready.push_back(n);
+      ++result.ops_run;
+    }
+  }
+
+  result.step_ms = now_ms() - t0;
+  return result;
+}
+
+}  // namespace opsched

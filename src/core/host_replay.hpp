@@ -1,0 +1,60 @@
+// HostReplayExecutor: executes a step graph with REAL threads on the host
+// machine, using the ConcurrencyController's width decisions.
+//
+// Each operation is replayed as a synthetic workload of equivalent compute
+// (fused-multiply-add loops) and memory traffic (stream passes) derived
+// from its WorkProfile — the numerics are synthetic, but the threading
+// behaviour is real: every op runs on a real ThreadTeam of the chosen
+// width, co-run ops genuinely contend for cores, and team reuse vs. resize
+// costs are the host's own. This is the bridge between the simulator
+// (where the paper's tables are regenerated) and physical execution: the
+// same controller drives both.
+#pragma once
+
+#include <cstdint>
+
+#include "core/concurrency_controller.hpp"
+#include "threading/team_pool.hpp"
+
+namespace opsched {
+
+struct HostReplayOptions {
+  /// Scale factor on op work so replay steps stay fast (1.0 = WorkProfile
+  /// flops/bytes taken literally — far too slow for a laptop-class host).
+  double work_scale = 1e-3;
+  /// Run co-runnable ops on concurrent teams (Strategy-3 style) instead of
+  /// serially.
+  bool corun = true;
+  /// Cap on concurrently running ops (inter-op width).
+  std::size_t max_corun = 2;
+};
+
+struct HostReplayResult {
+  double step_ms = 0.0;
+  std::size_t ops_run = 0;
+  std::size_t corun_launches = 0;
+  /// Checksum of the synthetic work (defeats dead-code elimination and
+  /// doubles as a determinism probe).
+  double checksum = 0.0;
+};
+
+class HostReplayExecutor {
+ public:
+  /// `controller` supplies per-op widths; `pool` owns the real teams.
+  HostReplayExecutor(const ConcurrencyController& controller, TeamPool& pool,
+                     HostReplayOptions options = {});
+
+  /// Executes every node of `g` in dependency order on the host.
+  HostReplayResult run_step(const Graph& g);
+
+ private:
+  /// Burns `flops`-equivalent FMAs and streams `bytes` on `team`.
+  double replay_op(ThreadTeam& team, const Node& node);
+
+  const ConcurrencyController& controller_;
+  TeamPool& pool_;
+  HostReplayOptions options_;
+  std::vector<double> scratch_;  // shared stream buffer
+};
+
+}  // namespace opsched

@@ -1,0 +1,68 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+
+namespace opsched {
+
+Runtime::Runtime(const MachineSpec& spec, RuntimeOptions options)
+    : options_(options),
+      spec_(spec),
+      model_(spec),
+      machine_(spec, model_) {
+  options_.default_width =
+      std::min<int>(options_.default_width, static_cast<int>(spec.num_cores));
+  controller_ = std::make_unique<ConcurrencyController>(db_, options_);
+  scheduler_ = std::make_unique<CorunScheduler>(*controller_, options_);
+}
+
+ProfilingReport Runtime::profile(const Graph& g) {
+  ProfilingReport report;
+  HillClimbParams params;
+  params.interval = options_.hill_climb_interval;
+  params.max_threads = static_cast<int>(spec_.num_cores);
+  const HillClimbProfiler profiler(params);
+
+  std::size_t max_samples_per_op = 0;
+  for (const Node& n : g.nodes()) {
+    if (!op_kind_tunable(n.kind)) continue;
+    const OpKey key = OpKey::of(n);
+    if (db_.contains(key)) continue;
+    const MeasureFn measure = [&](int threads, AffinityMode mode) {
+      return model_.exec_time_ms(n, threads, mode);
+    };
+    ProfileCurve curve = profiler.profile(measure);
+    max_samples_per_op =
+        std::max(max_samples_per_op, profiler.last_sample_count());
+    report.total_samples += curve.total_samples();
+    db_.put(key, std::move(curve));
+    ++report.unique_ops;
+  }
+  report.profiling_steps = max_samples_per_op;
+  controller_->build(g);
+  return report;
+}
+
+StepResult Runtime::run_step(const Graph& g) {
+  return scheduler_->run_step(g, machine_);
+}
+
+StepResult Runtime::run_step_fifo(const Graph& g, int inter_op,
+                                  int intra_op) {
+  const FifoExecutor exec(inter_op, intra_op);
+  return exec.run_step(g, machine_);
+}
+
+StepResult Runtime::run_step_recommendation(const Graph& g) {
+  return run_step_fifo(g, 1, static_cast<int>(spec_.num_cores));
+}
+
+ManualOptimum Runtime::manual_optimize(const Graph& g) {
+  const int c = static_cast<int>(spec_.num_cores);
+  // The grid the paper's Table I explores: inter x intra with intra at
+  // half/full/double the physical cores, plus small-intra points observed
+  // in Section IV-B's manual optima (16 and 2).
+  return opsched::manual_optimize(g, machine_, {1, 2, 4},
+                                  {2, 16, c / 4, c / 2, c, 2 * c});
+}
+
+}  // namespace opsched

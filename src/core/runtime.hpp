@@ -1,0 +1,67 @@
+// Runtime: the top-level object a user of this library interacts with.
+// It owns the simulated machine, profiles a training-step graph with the
+// hill-climbing performance model during the first few steps, then executes
+// steps under the adaptive scheduler (Strategies 1-4) or under baseline
+// policies for comparison — the workflow of the paper's Figure 2.
+#pragma once
+
+#include <memory>
+
+#include "core/corun_scheduler.hpp"
+#include "core/fifo_executor.hpp"
+#include "machine/sim_machine.hpp"
+#include "perf/hill_climb.hpp"
+#include "perf/perf_db.hpp"
+
+namespace opsched {
+
+/// Cost of the profiling phase.
+struct ProfilingReport {
+  std::size_t unique_ops = 0;     // distinct (kind, shape) keys profiled
+  std::size_t total_samples = 0;  // hill-climb measurements taken
+  /// Profiling steps consumed: the climb samples thread counts in lockstep
+  /// across ops, so the step count is the largest per-op sample count —
+  /// bounded by C/x * 2 as in the paper.
+  std::size_t profiling_steps = 0;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(const MachineSpec& spec, RuntimeOptions options = {});
+
+  /// Profiles every unique tunable op of `g` with the hill-climb model and
+  /// rebuilds the concurrency decisions. Idempotent per graph.
+  ProfilingReport profile(const Graph& g);
+
+  /// One adaptive training step (Strategies per options.strategies).
+  StepResult run_step(const Graph& g);
+
+  /// One baseline step under a uniform (inter, intra) FIFO policy.
+  StepResult run_step_fifo(const Graph& g, int inter_op, int intra_op);
+
+  /// The paper's recommendation baseline (inter=1, intra=physical cores).
+  StepResult run_step_recommendation(const Graph& g);
+
+  /// Grid-search manual optimization (Table I procedure).
+  ManualOptimum manual_optimize(const Graph& g);
+
+  const PerfDatabase& database() const noexcept { return db_; }
+  const CostModel& cost_model() const noexcept { return model_; }
+  SimMachine& machine() noexcept { return machine_; }
+  const RuntimeOptions& options() const noexcept { return options_; }
+  const ConcurrencyController& controller() const noexcept {
+    return *controller_;
+  }
+  CorunScheduler& scheduler() noexcept { return *scheduler_; }
+
+ private:
+  RuntimeOptions options_;
+  MachineSpec spec_;
+  CostModel model_;
+  SimMachine machine_;
+  PerfDatabase db_;
+  std::unique_ptr<ConcurrencyController> controller_;
+  std::unique_ptr<CorunScheduler> scheduler_;
+};
+
+}  // namespace opsched

@@ -1,0 +1,132 @@
+#include "gpu/gpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "machine/cost_model.hpp"
+#include "ops/work_profile.hpp"
+#include "util/rng.hpp"
+
+namespace opsched {
+
+GpuSpec GpuSpec::p100() { return GpuSpec{}; }
+
+GpuCostModel::GpuCostModel(const GpuSpec& spec) : spec_(spec) {}
+
+namespace {
+
+/// Per-thread efficiency as a function of threads per block. Small blocks
+/// under-use the SM's warp schedulers and pay per-block dispatch; huge
+/// blocks throttle occupancy via registers/shared memory. The sweet spot
+/// for streaming kernels sits around 128-512.
+double tpb_efficiency(int tpb) {
+  if (tpb <= 0) return 0.05;
+  const double t = static_cast<double>(tpb);
+  // Rises quickly to ~1 near 256, decays gently past 1024 (virtual blocks
+  // beyond the HW limit split with overhead).
+  const double rise = t / (t + 24.0);
+  const double fall = t <= 512.0 ? 1.0 : std::pow(512.0 / t, 0.35);
+  return rise * fall;
+}
+
+/// Per-kind ceiling on achievable device utilization (cuDNN kernels at
+/// these shapes leave 40-50% of the device idle — the co-run headroom).
+double kind_max_utilization(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConv2D: return 0.52;
+    case OpKind::kConv2DBackpropInput: return 0.54;
+    case OpKind::kConv2DBackpropFilter: return 0.56;
+    case OpKind::kBiasAdd: return 0.56;
+    case OpKind::kMaxPool: return 0.57;
+    default: return 0.60;
+  }
+}
+
+}  // namespace
+
+double GpuCostModel::utilization(const Node& op,
+                                 const GpuLaunchConfig& cfg) const {
+  const int hw_tpb = std::min(cfg.threads_per_block,
+                              spec_.max_threads_per_block);
+  // Blocks resident per SM are capped by the thread budget.
+  const int blocks_per_sm = std::max(
+      1, spec_.max_threads_per_sm / std::max(1, hw_tpb));
+  const int resident_blocks =
+      std::min(cfg.num_blocks, blocks_per_sm * spec_.num_sms);
+  const double sm_coverage =
+      std::min(1.0, static_cast<double>(resident_blocks) /
+                        static_cast<double>(spec_.num_sms));
+  // Tail effect: the last wave of blocks strands SMs.
+  const double waves = static_cast<double>(cfg.num_blocks) /
+                       static_cast<double>(blocks_per_sm * spec_.num_sms);
+  const double tail = waves <= 1.0 ? 1.0 : waves / std::ceil(waves);
+  // Latency hiding: one resident block per SM cannot cover memory stalls;
+  // two or more can. This is why the TF default of #SMs blocks is ~11% off
+  // the best block count in the paper's Figure 5(b).
+  const double latency_hiding = std::pow(
+      std::min<double>(resident_blocks, 2.0 * spec_.num_sms) /
+          (2.0 * spec_.num_sms),
+      0.25);
+
+  return kind_max_utilization(op.kind) * sm_coverage * tail * latency_hiding *
+         tpb_efficiency(cfg.threads_per_block);
+}
+
+double GpuCostModel::exec_time_ms(const Node& op,
+                                  const GpuLaunchConfig& cfg) const {
+  const WorkProfile w = work_profile(op);
+  const double util = std::max(1e-3, utilization(op, cfg));
+
+  const double peak_flops = spec_.sm_gflops * spec_.num_sms * 1e9;
+  const double t_comp = w.flops / (peak_flops * util) * 1e3;
+  // Bandwidth also scales with how much of the chip is active.
+  const double t_mem =
+      w.bytes / (spec_.dram_bw_gbs * 1e9 * std::min(1.0, util * 1.8)) * 1e3;
+
+  const double overhead =
+      spec_.launch_overhead_us * 1e-3 *
+      (1.0 + static_cast<double>(cfg.num_blocks) / 2000.0);
+
+  const double t = std::max(t_comp, t_mem) + overhead;
+  const double jit = jitter_factor(
+      0.02, CostModel::op_time_key(op),
+      static_cast<std::uint64_t>(cfg.threads_per_block) * 131071ULL,
+      static_cast<std::uint64_t>(cfg.num_blocks));
+  return t * jit;
+}
+
+GpuLaunchConfig GpuCostModel::best_config(const Node& op) const {
+  GpuLaunchConfig best;
+  double best_t = exec_time_ms(op, best);
+  for (int tpb : {32, 64, 128, 256, 512, 1024}) {
+    for (int blocks : {14, 28, 56, 112, 224, 448, 896}) {
+      const GpuLaunchConfig cfg{tpb, blocks};
+      const double t = exec_time_ms(op, cfg);
+      if (t < best_t) {
+        best_t = t;
+        best = cfg;
+      }
+    }
+  }
+  return best;
+}
+
+GpuCorunResult gpu_corun_study(const GpuCostModel& model, const Node& op,
+                               int runs) {
+  const GpuLaunchConfig cfg = model.best_config(op);
+  const double t_one = model.exec_time_ms(op, cfg);
+  const double util = model.utilization(op, cfg);
+
+  GpuCorunResult r;
+  r.serial_ms = 2.0 * t_one * runs;
+  // Two streams, identical kernels: the device interleaves blocks from both
+  // streams. Combined demand 2*util; when it exceeds 1.0 the excess
+  // serializes, plus a small scheduling contention term either way.
+  const double demand = 2.0 * util;
+  const double stretch = std::max(1.0, demand) * 1.06;
+  r.corun_ms = t_one * runs * stretch;
+  r.speedup = r.serial_ms / r.corun_ms;
+  return r;
+}
+
+}  // namespace opsched

@@ -1,0 +1,73 @@
+// GPU execution model for the paper's Section VII preliminary study.
+//
+// The study measures two things on a Tesla P100:
+//   (1) standalone op time as a function of the launch configuration
+//       (threads per block x thread blocks) — Figure 5,
+//   (2) the span of co-running two instances of an op on two CUDA streams
+//       versus running them serially — Table VII.
+// Both depend only on the occupancy surface of the kernel, which this
+// analytic model reproduces: block-scheduling overhead at small
+// threads-per-block, register/occupancy pressure at large, SM-count
+// quantization (tail effect) in the block dimension, and a per-kind
+// achievable-utilization ceiling that leaves room for stream overlap.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace opsched {
+
+struct GpuSpec {
+  int num_sms = 56;
+  int cuda_cores = 3584;
+  int max_threads_per_sm = 2048;
+  int max_threads_per_block = 1024;
+  double sm_gflops = 166.0;  // per-SM fp32 throughput (9.3 TFLOP/s / 56)
+  double dram_bw_gbs = 720.0;
+  double launch_overhead_us = 6.0;
+
+  /// Tesla P100 (the paper's device).
+  static GpuSpec p100();
+};
+
+/// TensorFlow's default launch configuration on this device (Section VII:
+/// 1024 threads/block, #SMs blocks).
+struct GpuLaunchConfig {
+  int threads_per_block = 1024;
+  int num_blocks = 56;
+};
+
+class GpuCostModel {
+ public:
+  explicit GpuCostModel(const GpuSpec& spec);
+
+  /// Time (ms) for one execution of `op` under `cfg`, alone on the device.
+  /// Deterministic; includes per-(op,cfg) jitter like the CPU model.
+  double exec_time_ms(const Node& op, const GpuLaunchConfig& cfg) const;
+
+  /// Fraction of the device the op can actually keep busy at `cfg`
+  /// (cuDNN-style kernels rarely exceed ~55-60%; this headroom is what
+  /// stream co-running harvests).
+  double utilization(const Node& op, const GpuLaunchConfig& cfg) const;
+
+  /// Best config over the paper's search grid (exhaustive scan).
+  GpuLaunchConfig best_config(const Node& op) const;
+
+  const GpuSpec& spec() const noexcept { return spec_; }
+
+ private:
+  GpuSpec spec_;
+};
+
+/// Two-stream co-run study (Table VII): run `runs` instances of `op`
+/// serially vs. two concurrent streams, at the op's best config.
+struct GpuCorunResult {
+  double serial_ms = 0.0;
+  double corun_ms = 0.0;
+  double speedup = 0.0;
+};
+GpuCorunResult gpu_corun_study(const GpuCostModel& model, const Node& op,
+                               int runs);
+
+}  // namespace opsched

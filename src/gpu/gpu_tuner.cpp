@@ -1,0 +1,78 @@
+#include "gpu/gpu_tuner.hpp"
+
+#include <limits>
+
+namespace opsched {
+
+const std::vector<int>& GpuTuner::tpb_axis() {
+  static const std::vector<int> axis = {32,  64,  96,  128, 192, 256,
+                                        384, 512, 640, 768, 896, 1024};
+  return axis;
+}
+
+const std::vector<int>& GpuTuner::blocks_axis() {
+  static const std::vector<int> axis = {14,  28,  42,  56,  84,  112,
+                                        168, 224, 336, 448, 672, 896};
+  return axis;
+}
+
+GpuTuneResult GpuTuner::exhaustive(const Node& op) const {
+  GpuTuneResult best;
+  best.time_ms = std::numeric_limits<double>::infinity();
+  for (int tpb : tpb_axis()) {
+    for (int blocks : blocks_axis()) {
+      const GpuLaunchConfig cfg{tpb, blocks};
+      const double t = model_.exec_time_ms(op, cfg);
+      ++best.evaluations;
+      if (t < best.time_ms) {
+        best.time_ms = t;
+        best.config = cfg;
+      }
+    }
+  }
+  return best;
+}
+
+GpuTuneResult GpuTuner::independent(const Node& op) const {
+  return independent_coarse(op, 1);
+}
+
+GpuTuneResult GpuTuner::independent_coarse(const Node& op,
+                                           int interval) const {
+  if (interval < 1) interval = 1;
+  GpuTuneResult best;
+
+  // Pass 1: blocks at the framework-default threads-per-block.
+  int best_blocks = GpuLaunchConfig{}.num_blocks;
+  double best_t = std::numeric_limits<double>::infinity();
+  const auto& blocks = blocks_axis();
+  for (std::size_t i = 0; i < blocks.size();
+       i += static_cast<std::size_t>(interval)) {
+    const GpuLaunchConfig cfg{GpuLaunchConfig{}.threads_per_block, blocks[i]};
+    const double t = model_.exec_time_ms(op, cfg);
+    ++best.evaluations;
+    if (t < best_t) {
+      best_t = t;
+      best_blocks = blocks[i];
+    }
+  }
+
+  // Pass 2: threads-per-block at the best block count.
+  best.config = GpuLaunchConfig{GpuLaunchConfig{}.threads_per_block,
+                                best_blocks};
+  best.time_ms = best_t;
+  const auto& tpbs = tpb_axis();
+  for (std::size_t i = 0; i < tpbs.size();
+       i += static_cast<std::size_t>(interval)) {
+    const GpuLaunchConfig cfg{tpbs[i], best_blocks};
+    const double t = model_.exec_time_ms(op, cfg);
+    ++best.evaluations;
+    if (t < best.time_ms) {
+      best.time_ms = t;
+      best.config = cfg;
+    }
+  }
+  return best;
+}
+
+}  // namespace opsched

@@ -1,0 +1,48 @@
+// GpuTuner: the search-space reduction the paper proposes as future work
+// (Section VII-B) for tuning GPU launch configurations:
+//
+//   "We observe that the optimal number of thread blocks seems to be
+//    independent of the optimal number of threads per block. This
+//    observation allows us to consider the two dimensions independently,
+//    and reduces the search space to O(2n). Furthermore ... there is
+//    little performance difference between [nearby] threads per block.
+//    This allows us to use a rather large interval."
+//
+// Implemented here: exhaustive O(n^2) search as ground truth, the
+// independent two-pass O(2n) search, and an intervaled variant on top.
+#pragma once
+
+#include "gpu/gpu_model.hpp"
+
+namespace opsched {
+
+struct GpuTuneResult {
+  GpuLaunchConfig config;
+  double time_ms = 0.0;
+  int evaluations = 0;  // profiling cost (kernel timings taken)
+};
+
+class GpuTuner {
+ public:
+  explicit GpuTuner(const GpuCostModel& model) : model_(model) {}
+
+  /// Candidate axes (CUDA-legal values for the P100).
+  static const std::vector<int>& tpb_axis();
+  static const std::vector<int>& blocks_axis();
+
+  /// Ground truth: evaluate the full cross product.
+  GpuTuneResult exhaustive(const Node& op) const;
+
+  /// The paper's proposal: tune blocks at the default threads-per-block,
+  /// then threads-per-block at the best block count. O(|tpb| + |blocks|).
+  GpuTuneResult independent(const Node& op) const;
+
+  /// Independent search that additionally strides each axis by `interval`
+  /// (the "rather large interval" reduction).
+  GpuTuneResult independent_coarse(const Node& op, int interval) const;
+
+ private:
+  const GpuCostModel& model_;
+};
+
+}  // namespace opsched

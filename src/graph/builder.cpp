@@ -1,0 +1,38 @@
+#include "graph/builder.hpp"
+
+namespace opsched {
+
+NodeId GraphBuilder::source(OpKind kind, const std::string& label,
+                            const TensorShape& out) {
+  Node n;
+  n.kind = kind;
+  n.label = label;
+  n.input_shape = out;
+  n.output_shape = out;
+  return graph_.add_node(std::move(n));
+}
+
+NodeId GraphBuilder::op(OpKind kind, const std::string& label,
+                        const std::vector<NodeId>& inputs,
+                        const TensorShape& input_shape,
+                        const TensorShape& aux_shape,
+                        const TensorShape& output_shape) {
+  Node n;
+  n.kind = kind;
+  n.label = label;
+  n.inputs = inputs;
+  n.input_shape = input_shape;
+  n.aux_shape = aux_shape;
+  n.output_shape = output_shape;
+  return graph_.add_node(std::move(n));
+}
+
+NodeId GraphBuilder::elementwise(OpKind kind, const std::string& label,
+                                 const std::vector<NodeId>& inputs,
+                                 const TensorShape& shape) {
+  return op(kind, label, inputs, shape, TensorShape{}, shape);
+}
+
+Graph GraphBuilder::take() { return std::move(graph_); }
+
+}  // namespace opsched

@@ -1,0 +1,42 @@
+// GraphBuilder: convenience layer for constructing training-step graphs.
+// Each helper appends one op node wired to its producers and returns the new
+// node id, so model definitions read like the layer list in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace opsched {
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Source node (no inputs): a tensor that exists at step start (input
+  /// batch, weights). Modeled as a zero-cost InputConversion-kind op? No —
+  /// sources are real ops in TF traces too; we use a dedicated source with
+  /// the given kind so layout-conversion costs (Table VI's InputConversion)
+  /// are representable.
+  NodeId source(OpKind kind, const std::string& label,
+                const TensorShape& out);
+
+  /// Generic op with explicit shapes.
+  NodeId op(OpKind kind, const std::string& label,
+            const std::vector<NodeId>& inputs, const TensorShape& input_shape,
+            const TensorShape& aux_shape, const TensorShape& output_shape);
+
+  /// Elementwise op: output shape == input shape of the first producer.
+  NodeId elementwise(OpKind kind, const std::string& label,
+                     const std::vector<NodeId>& inputs,
+                     const TensorShape& shape);
+
+  const Graph& graph() const noexcept { return graph_; }
+  Graph take();
+
+ private:
+  Graph graph_;
+};
+
+}  // namespace opsched

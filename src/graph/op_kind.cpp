@@ -1,0 +1,79 @@
+#include "graph/op_kind.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace opsched {
+
+namespace {
+constexpr std::array<std::string_view, kNumOpKinds> kNames = {
+    "Conv2D",
+    "Conv2DBackpropFilter",
+    "Conv2DBackpropInput",
+    "MatMul",
+    "MatMulGrad",
+    "MaxPooling",
+    "MaxPoolGrad",
+    "AvgPool",
+    "AvgPoolGrad",
+    "FusedBatchNorm",
+    "FusedBatchNormGrad",
+    "BiasAdd",
+    "BiasAddGrad",
+    "Relu",
+    "ReluGrad",
+    "Sigmoid",
+    "Tanh",
+    "Mul",
+    "Add",
+    "AddN",
+    "Sub",
+    "InputConversion",
+    "ToTf",
+    "Tile",
+    "Concat",
+    "Split",
+    "Transpose",
+    "Reshape",
+    "Pad",
+    "Softmax",
+    "SparseSoftmaxCross",
+    "ApplyAdam",
+    "ApplyGradientDescent",
+    "GatherEmbedding",
+};
+}  // namespace
+
+std::string_view op_kind_name(OpKind kind) noexcept {
+  const auto i = static_cast<std::size_t>(kind);
+  if (i >= kNumOpKinds) return "?";
+  return kNames[i];
+}
+
+OpKind op_kind_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kNumOpKinds; ++i) {
+    if (kNames[i] == name) return static_cast<OpKind>(i);
+  }
+  throw std::invalid_argument("op_kind_from_name: unknown op \"" +
+                              std::string(name) + "\"");
+}
+
+bool op_kind_tunable(OpKind kind) noexcept {
+  switch (kind) {
+    // Layout / reshape ops: Eigen-backed in TF-on-KNL; re-parallelizing them
+    // costs >10% (paper Section IV-A), so the runtime leaves them alone.
+    case OpKind::kReshape:
+    case OpKind::kTranspose:
+    case OpKind::kPad:
+    case OpKind::kConcat:
+    case OpKind::kSplit:
+    case OpKind::kToTf:
+    case OpKind::kInputConversion:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace opsched

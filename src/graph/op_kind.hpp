@@ -1,0 +1,73 @@
+// OpKind: the operation vocabulary. Covers every operation named in the
+// paper's tables (Conv2DBackpropFilter, InputConversion, Tile, Mul, ToTf,
+// ApplyAdam, BiasAddGrad, FusedBatchNorm, AvgPool, MaxPooling,
+// SparseSoftmaxCross, AddN, MatMul, ...) plus the remaining ops the four
+// evaluated models need for a full forward+backward+optimizer step.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace opsched {
+
+enum class OpKind : std::uint8_t {
+  // Convolution family (MKL-DNN-backed in the paper; schedulable).
+  kConv2D = 0,
+  kConv2DBackpropFilter,
+  kConv2DBackpropInput,
+  // Dense algebra.
+  kMatMul,
+  kMatMulGrad,
+  // Pooling.
+  kMaxPool,
+  kMaxPoolGrad,
+  kAvgPool,
+  kAvgPoolGrad,
+  // Normalization.
+  kFusedBatchNorm,
+  kFusedBatchNormGrad,
+  // Bias / elementwise.
+  kBiasAdd,
+  kBiasAddGrad,
+  kRelu,
+  kReluGrad,
+  kSigmoid,
+  kTanh,
+  kMul,
+  kAdd,
+  kAddN,
+  kSub,
+  // Data movement / layout (the MKL<->TF conversion ops from Table VI).
+  kInputConversion,
+  kToTf,
+  kTile,
+  kConcat,
+  kSplit,
+  kTranspose,
+  kReshape,
+  kPad,
+  // Losses and optimizer.
+  kSoftmax,
+  kSparseSoftmaxCrossEntropy,
+  kApplyAdam,
+  kApplyGradientDescent,
+  // Embedding lookup (LSTM input path).
+  kGatherEmbedding,
+  kCount  // sentinel
+};
+
+constexpr std::size_t kNumOpKinds = static_cast<std::size_t>(OpKind::kCount);
+
+/// Canonical (TensorFlow-style) name, e.g. "Conv2DBackpropFilter".
+std::string_view op_kind_name(OpKind kind) noexcept;
+
+/// Inverse of op_kind_name; throws std::invalid_argument on unknown names.
+OpKind op_kind_from_name(std::string_view name);
+
+/// True for ops the paper's runtime can re-parallelize (MKL-DNN-backed).
+/// Eigen-backed ops (cheap data movement) keep the default width in the
+/// paper because changing their concurrency is too costly; we mirror that:
+/// layout/reshape ops are non-tunable.
+bool op_kind_tunable(OpKind kind) noexcept;
+
+}  // namespace opsched

@@ -1,0 +1,164 @@
+#include "machine/cost_coeffs.hpp"
+
+#include <array>
+
+namespace opsched {
+
+namespace {
+
+constexpr std::size_t kN = kNumOpKinds;
+
+std::array<CostCoeffs, kN> build_table() {
+  std::array<CostCoeffs, kN> t{};  // defaults everywhere first
+  const auto set = [&t](OpKind k, CostCoeffs c) {
+    t[static_cast<std::size_t>(k)] = c;
+  };
+
+  // Convolution family. Forward conv parallelizes best; backprop-filter has
+  // the reduction tail (worst serial fraction) -> optima order 26 < 36 < 45
+  // at the Fig. 1 shape emerges from serial_frac/spawn ratios.
+  {
+    CostCoeffs c;
+    c.serial_frac = 0.015;
+    c.spawn_us_per_thread = 1.6;
+    c.sync_us = 4.0;
+    c.sharing_gain = 0.93;
+    c.jitter_amp = 0.015;
+    c.fixed_us = 12.0;
+    c.imbalance = 0.057;  // forward conv partitions finest -> optimum ~45
+    set(OpKind::kConv2D, c);
+
+    c.serial_frac = 0.030;
+    c.spawn_us_per_thread = 2.6;
+    c.sync_us = 6.0;
+    c.sharing_gain = 0.94;
+    c.imbalance = 0.17;  // batch-reduction chunks are coarse -> optimum ~26
+    set(OpKind::kConv2DBackpropFilter, c);
+
+    c.serial_frac = 0.020;
+    c.spawn_us_per_thread = 2.0;
+    c.sync_us = 5.0;
+    c.imbalance = 0.089;  // -> optimum ~36
+    set(OpKind::kConv2DBackpropInput, c);
+  }
+
+  // Dense algebra: scales well, some reduction tail in the grad.
+  {
+    CostCoeffs c;
+    c.serial_frac = 0.006;
+    c.spawn_us_per_thread = 1.8;
+    c.sharing_gain = 0.95;
+    c.spawn_us_per_thread = 0.8;
+    c.fixed_us = 25.0;
+    c.imbalance = 0.06;
+    set(OpKind::kMatMul, c);
+    c.serial_frac = 0.010;
+    c.imbalance = 0.12;
+    set(OpKind::kMatMulGrad, c);
+  }
+
+  // Pooling / normalization: bandwidth-leaning, moderate scalability.
+  {
+    CostCoeffs c;
+    c.serial_frac = 0.010;
+    c.spawn_us_per_thread = 2.2;
+    c.sharing_penalty = 1.04;
+    c.sharing_gain = 1.0;  // no reuse -> sharing never helps
+    set(OpKind::kMaxPool, c);
+    set(OpKind::kMaxPoolGrad, c);
+    set(OpKind::kAvgPool, c);
+    set(OpKind::kAvgPoolGrad, c);
+
+    c.serial_frac = 0.018;  // two-pass stats serialize a bit
+    c.spawn_us_per_thread = 2.4;
+    set(OpKind::kFusedBatchNorm, c);
+    c.serial_frac = 0.022;
+    set(OpKind::kFusedBatchNormGrad, c);
+  }
+
+  // Streaming elementwise: cheap per element, bandwidth-bound, thread
+  // overhead bites early -> optima at small thread counts for small shapes.
+  {
+    CostCoeffs c;
+    c.serial_frac = 0.012;
+    c.spawn_us_per_thread = 0.12;
+    c.sync_us = 2.0;
+    c.sharing_gain = 1.0;
+    c.sharing_penalty = 1.06;
+    // Primitive lookup + executor dispatch dominate tiny ops; teams of any
+    // width pay it, which is why the paper's LSTM gains little from
+    // per-op width tuning alone (Figure 3a: 1.14x).
+    c.fixed_us = 45.0;
+    set(OpKind::kBiasAdd, c);
+    set(OpKind::kRelu, c);
+    set(OpKind::kReluGrad, c);
+    set(OpKind::kMul, c);
+    set(OpKind::kAdd, c);
+    set(OpKind::kAddN, c);
+    set(OpKind::kSub, c);
+    set(OpKind::kSigmoid, c);
+    set(OpKind::kTanh, c);
+
+    c.serial_frac = 0.030;  // channel reduction limits parallelism
+    set(OpKind::kBiasAddGrad, c);
+
+    c.serial_frac = 0.015;
+    c.spawn_us_per_thread = 0.15;
+    c.fixed_us = 45.0;
+    set(OpKind::kApplyAdam, c);
+    set(OpKind::kApplyGradientDescent, c);
+  }
+
+  // Loss ops: row-parallel, small batches -> limited parallelism via
+  // granularity; the kind itself scales fine.
+  {
+    CostCoeffs c;
+    c.serial_frac = 0.020;
+    c.spawn_us_per_thread = 0.5;
+    c.fixed_us = 50.0;
+    set(OpKind::kSoftmax, c);
+    set(OpKind::kSparseSoftmaxCrossEntropy, c);
+  }
+
+  // Layout / data movement (Eigen-backed in the paper: not tunable, and
+  // poorly scaling: strided traffic, thread overhead high).
+  {
+    CostCoeffs c;
+    c.serial_frac = 0.05;
+    c.spawn_us_per_thread = 4.0;
+    // Strided gather/scatter: effective traffic is many times the tensor
+    // size (blocked-layout transposition touches cache lines sparsely).
+    c.mem_weight = 8.0;
+    c.sharing_gain = 1.0;
+    c.sharing_penalty = 1.08;
+    c.fixed_us = 20.0;
+    set(OpKind::kInputConversion, c);
+    set(OpKind::kToTf, c);
+    set(OpKind::kTile, c);
+    set(OpKind::kConcat, c);
+    set(OpKind::kSplit, c);
+    set(OpKind::kTranspose, c);
+    set(OpKind::kReshape, c);
+    set(OpKind::kPad, c);
+    set(OpKind::kGatherEmbedding, c);
+  }
+
+  return t;
+}
+
+const std::array<CostCoeffs, kN>& table() {
+  static const std::array<CostCoeffs, kN> t = build_table();
+  return t;
+}
+
+}  // namespace
+
+const CostCoeffs& cost_coeffs(OpKind kind) noexcept {
+  return table()[static_cast<std::size_t>(kind)];
+}
+
+double interference_coefficient() noexcept { return 0.55; }
+double corun_min_weight() noexcept { return 0.15; }
+double team_resize_penalty_ms() noexcept { return 0.15; }
+
+}  // namespace opsched

@@ -1,0 +1,81 @@
+// Per-operation-kind cost coefficients: the single calibration point of the
+// simulator. Values are tuned so the simulated KNL reproduces the *shapes*
+// of the paper's measurements (Fig. 1 optima near 26/36/45 threads, Table II
+// shape-dependence, Table III co-run trade-offs, Table I oversubscription
+// collapse). EXPERIMENTS.md records the resulting paper-vs-measured rows.
+#pragma once
+
+#include "graph/op_kind.hpp"
+
+namespace opsched {
+
+struct CostCoeffs {
+  /// Amdahl serial fraction f: time share that never parallelizes
+  /// (im2col setup, descriptor handling, reduction tails).
+  double serial_frac = 0.01;
+
+  /// Per-thread dispatch cost in microseconds (OpenMP fork + bind). This is
+  /// the term that makes wide teams lose on small ops — the paper's
+  /// "thread spawning overhead ... limited scalability" (Fig. 1).
+  double spawn_us_per_thread = 2.0;
+
+  /// Barrier/join cost coefficient (microseconds, scaled by log2(n)).
+  double sync_us = 3.0;
+
+  /// Time multiplier when two team threads share a tile AND the working set
+  /// fits in the shared L2 (< 1 → sharing helps: convs re-read filters).
+  double sharing_gain = 0.94;
+
+  /// Time multiplier when tile sharing only causes capacity contention
+  /// (> 1 → sharing hurts: streaming ops).
+  double sharing_penalty = 1.05;
+
+  /// Relative amplitude of the deterministic per-(op,n,mode) jitter. Real
+  /// measured scaling curves are not smooth; the hill-climb interval study
+  /// (Table V) only degrades realistically if ours are not either.
+  double jitter_amp = 0.03;
+
+  /// Scales the bandwidth term (layout ops move bytes less efficiently).
+  double mem_weight = 1.0;
+
+  /// Additive per-invocation fixed cost in microseconds (kernel launch,
+  /// primitive descriptor lookup). Dominates tiny LSTM ops.
+  double fixed_us = 8.0;
+
+  /// Intra-team oversubscription thrash per extra hw-thread/core (Table I's
+  /// intra=136 collapse): time multiplier 1 + thrash*(k-1) for k>1.
+  double oversub_thrash = 0.45;
+
+  /// Load-imbalance coefficient: MKL-DNN partitions an op into chunks of
+  /// limited granularity; past the knee, extra threads mostly wait at the
+  /// barrier. Adds serial_time * (1-f) * imbalance * (n/granularity) —
+  /// linear in n, so curves are strictly unimodal (the paper's observation
+  /// that the hill-climb's local optimum is always global) with the
+  /// optimum at n* = sqrt(granularity / imbalance). This term — not spawn
+  /// cost — is what puts the Fig. 1 optima at 26/36/45 threads for the
+  /// three conv ops at the same input size.
+  double imbalance = 0.04;
+};
+
+/// Cost (ms) of changing an op kind's team width between launches: thread
+/// re-bind plus the cache thrash of a new partitioning. This is the
+/// overhead Strategy 2 avoids by pinning one width per op kind.
+double team_resize_penalty_ms() noexcept;  // ~0.15
+
+/// Coefficients for one op kind (shared lookup table).
+const CostCoeffs& cost_coeffs(OpKind kind) noexcept;
+
+/// Global interference coefficient: how strongly co-runners' bandwidth
+/// pressure inflates an op's time (see CostModel::interference_factor).
+double interference_coefficient() noexcept;
+
+/// Floor of the per-core compute-demand weight used when distinct teams
+/// share a core via hyper-threading. A purely memory-bound op still issues
+/// some instructions, so its demand never reaches zero. Demand weight is
+/// max(corun_min_weight(), 1 - memory_intensity); the capacity of the
+/// shared core (MachineSpec::multi_team_capacity) is split in proportion.
+/// This is what lets a full-width compute op keep ~80% of its speed while a
+/// small streaming op rides its spare hyper-thread slots (Strategy 4).
+double corun_min_weight() noexcept;  // ~0.15
+
+}  // namespace opsched

@@ -1,0 +1,213 @@
+#include "machine/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/op_kind.hpp"
+
+#include "util/rng.hpp"
+
+namespace opsched {
+
+const char* affinity_mode_name(AffinityMode mode) noexcept {
+  return mode == AffinityMode::kShared ? "shared" : "spread";
+}
+
+CostModel::CostModel(const MachineSpec& spec) : spec_(spec) {}
+
+std::uint64_t CostModel::op_time_key(const Node& node) noexcept {
+  // All three shapes are cost-relevant: e.g. Tile broadcasts the same
+  // per-channel input to differently-sized feature maps.
+  return mix64(mix64(static_cast<std::uint64_t>(node.kind) + 1,
+                     node.input_shape.hash(), node.aux_shape.hash()),
+               node.output_shape.hash());
+}
+
+namespace {
+
+/// Vector efficiency of MKL kernels as a function of channel/contraction
+/// width: wide channels keep the 512-bit lanes full, narrow ones do not.
+/// Calibrated so (32,8,8,2048) convs run near peak while 384-channel ones
+/// sustain roughly half (Table II's absolute times).
+double channel_efficiency(const Node& node) {
+  double width = 0.0;
+  switch (node.kind) {
+    case OpKind::kConv2D:
+    case OpKind::kConv2DBackpropFilter:
+    case OpKind::kConv2DBackpropInput:
+      width = node.aux_shape.rank() >= 3
+                  ? static_cast<double>(node.aux_shape[2])
+                  : 64.0;
+      break;
+    case OpKind::kMatMul:
+    case OpKind::kMatMulGrad:
+      width = node.input_shape.rank() >= 2
+                  ? static_cast<double>(node.input_shape[1])
+                  : 64.0;
+      break;
+    default:
+      return 1.0;  // non-GEMM ops are bandwidth-bound; rate is irrelevant
+  }
+  return std::clamp(std::pow(width / 2048.0, 0.45), 0.25, 1.0);
+}
+
+}  // namespace
+
+double CostModel::raw_time_ms(const Node& node, const WorkProfile& w,
+                              int threads, AffinityMode mode) const {
+  const CostCoeffs& c = cost_coeffs(node.kind);
+  const double n = static_cast<double>(std::max(1, threads));
+  const double cores = static_cast<double>(spec_.num_cores);
+
+  // Hyper-thread occupancy of the team itself (intra=136 -> k=2 on KNL).
+  const double k = std::ceil(n / cores);
+  const double ht_eff = spec_.ht_efficiency(static_cast<std::size_t>(k));
+  // Thread-equivalents actually delivering compute.
+  const double delivered =
+      std::min(n, cores * k) * (k > 1.0 ? ht_eff : 1.0);
+  // Work granularity cap: more threads than independent units don't help.
+  const double n_eff = std::max(1.0, std::min(delivered, w.granularity));
+
+  // Compute term (ms): Amdahl + load-imbalance tail. The imbalance term
+  // grows as (n / granularity)^2 — past the partitioning knee, extra
+  // threads mostly wait at the barrier.
+  const double rate = spec_.core_gflops * channel_efficiency(node);
+  const double tc_serial = w.flops / (rate * 1e9) * 1e3;
+  const double rel = n / std::max(1.0, w.granularity);
+  const double imb = c.imbalance * rel;
+  const double t_comp =
+      tc_serial * (c.serial_frac + (1.0 - c.serial_frac) * (1.0 / n_eff + imb));
+
+  // Bandwidth term (ms): aggregate bandwidth grows with cores used, capped
+  // by the DRAM ceiling. Affinity-shared placement halves the tiles used,
+  // which trims effective bandwidth slightly.
+  const double cores_used = std::min(n, cores);
+  double bw = std::min(spec_.dram_bw_gbs, cores_used * spec_.bw_per_core_gbs);
+  if (mode == AffinityMode::kShared) bw *= 0.96;
+  const double t_mem = (w.bytes * c.mem_weight) / (bw * 1e9) * 1e3;
+
+  // Tile-sharing factor: helps ops whose working set fits the shared L2,
+  // hurts streaming ops. Only meaningful when >1 thread.
+  double tile = 1.0;
+  if (threads > 1) {
+    if (mode == AffinityMode::kShared) {
+      const bool fits =
+          w.working_set > 0.0 && w.working_set <= spec_.l2_per_tile_bytes;
+      tile = fits ? c.sharing_gain : c.sharing_penalty;
+    }
+  }
+
+  // Intra-team oversubscription thrash (k teams-threads per core).
+  const double thrash = k > 1.0 ? 1.0 + c.oversub_thrash * (k - 1.0) : 1.0;
+
+  const double overhead_ms =
+      (c.spawn_us_per_thread * n + c.sync_us * std::log2(n + 1.0) +
+       c.fixed_us) *
+      1e-3;
+
+  return (t_comp + t_mem) * tile * thrash + overhead_ms;
+}
+
+double CostModel::exec_time_ms(const Node& node, int threads,
+                               AffinityMode mode) const {
+  const WorkProfile w = work_profile(node);
+  const double t = raw_time_ms(node, w, threads, mode);
+  const CostCoeffs& c = cost_coeffs(node.kind);
+  // Deterministic measurement roughness: same (op,n,mode) -> same factor.
+  const double jit =
+      jitter_factor(c.jitter_amp, op_time_key(node),
+                    static_cast<std::uint64_t>(threads),
+                    static_cast<std::uint64_t>(mode) + 0x51ULL);
+  return t * jit;
+}
+
+CostModel::Optimum CostModel::ground_truth_optimum(const Node& node,
+                                                   int max_threads) const {
+  Optimum best;
+  best.time_ms = exec_time_ms(node, 1, AffinityMode::kSpread);
+  best.threads = 1;
+  best.mode = AffinityMode::kSpread;
+  for (int n = 1; n <= max_threads; ++n) {
+    for (AffinityMode mode : {AffinityMode::kSpread, AffinityMode::kShared}) {
+      // Shared placement needs pairs of threads per tile.
+      if (mode == AffinityMode::kShared && n % 2 != 0) continue;
+      const double t = exec_time_ms(node, n, mode);
+      if (t < best.time_ms) {
+        best.time_ms = t;
+        best.threads = n;
+        best.mode = mode;
+      }
+    }
+  }
+  return best;
+}
+
+double CostModel::memory_intensity(const Node& node, int threads) const {
+  const WorkProfile w = work_profile(node);
+  const CostCoeffs& c = cost_coeffs(node.kind);
+  const double n = static_cast<double>(std::max(1, threads));
+  const double cores = static_cast<double>(spec_.num_cores);
+  const double n_eff = std::max(1.0, std::min(std::min(n, cores), w.granularity));
+  const double tc = w.flops / (spec_.core_gflops * 1e9) * 1e3 / n_eff;
+  const double bw =
+      std::min(spec_.dram_bw_gbs, std::min(n, cores) * spec_.bw_per_core_gbs);
+  const double tm = (w.bytes * c.mem_weight) / (bw * 1e9) * 1e3;
+  if (tc + tm <= 0.0) return 0.0;
+  return tm / (tc + tm);
+}
+
+double CostModel::interference_factor(double corunner_pressure) const {
+  return 1.0 + interference_coefficient() * std::max(0.0, corunner_pressure);
+}
+
+CounterSample CostModel::counters(const Node& node, int threads,
+                                  AffinityMode mode, int sample_steps,
+                                  std::uint64_t seed) const {
+  const WorkProfile w = work_profile(node);
+  const double true_time = exec_time_ms(node, threads, mode);
+
+  // Noise scale: short ops are hard to measure (paper Section III-B:
+  // "execution times of some operations are short and collecting
+  // performance events ... is not accurate"). Multiplexing 26 events over
+  // more sample steps adds further error.
+  const double short_op_noise =
+      std::clamp(0.10 * std::sqrt(2.0 / std::max(true_time, 1e-3)), 0.02, 0.90);
+  const double multiplex_noise = 0.05 * std::sqrt(static_cast<double>(
+                                     std::max(1, sample_steps)));
+  const double sigma = short_op_noise + multiplex_noise;
+
+  Xoshiro256 rng(mix64(op_time_key(node), mix64(threads, sample_steps), seed));
+  const auto noisy = [&](double v) {
+    return std::max(0.0, v * (1.0 + sigma * rng.normal()));
+  };
+
+  const double instrs = std::max(1.0, w.flops);
+  // Idealized event counts before noise.
+  const double cycles = true_time * 1e-3 * 1.4e9 *
+                        static_cast<double>(std::max(1, threads));
+  const double llc_accesses = w.bytes / 64.0;
+  const double llc_miss_ratio =
+      w.working_set > spec_.l2_per_tile_bytes ? 0.55 : 0.25;
+  const double llc_misses = llc_accesses * llc_miss_ratio;
+  const double l1_hits = instrs * 0.35;
+
+  CounterSample s;
+  s.cycles_per_instr = noisy(cycles / instrs);
+  s.llc_misses_per_instr = noisy(llc_misses / instrs);
+  s.llc_accesses_per_instr = noisy(llc_accesses / instrs);
+  s.l1_hits_per_instr = noisy(l1_hits / instrs);
+  // Extra events: a redundant copy of a real signal (branches ~ instrs),
+  // plus pure-noise channels — feature selection should drop these.
+  s.extra_events = {
+      noisy(instrs * 0.18 / instrs),              // branches/instr (constant-ish)
+      noisy(instrs * 0.17 / instrs),              // cond branches (redundant)
+      std::abs(rng.normal(0.5, 0.3)),             // dTLB misses (noise)
+      std::abs(rng.normal(1.0, 0.6)),             // icache stalls (noise)
+      noisy(llc_accesses / instrs * 0.98),        // L2 accesses (redundant)
+      std::abs(rng.normal(0.2, 0.2)),             // prefetcher events (noise)
+  };
+  s.measured_time_ms = noisy(true_time);
+  return s;
+}
+
+}  // namespace opsched

@@ -1,0 +1,100 @@
+// CostModel: the analytic timing surface of the simulated machine.
+//
+//   T(op, n, mode) = [ Tc·(f + (1-f)/n_eff(n,k)) + Tm(n) ] · tile(mode)
+//                    · thrash(k) + c_spawn·n + c_sync·log2(n+1) + fixed
+//   (all multiplied by a deterministic per-(op,n,mode) jitter)
+//
+// where Tc is serial compute time (flops / core rate), Tm(n) the bandwidth
+// term saturating at the DRAM ceiling, n_eff accounts for hyper-thread
+// efficiency when n exceeds physical cores, and thrash penalizes
+// oversubscribed teams. See DESIGN.md §5 for the rationale of each term.
+//
+// The same object also synthesizes hardware-counter readings with
+// duration-dependent noise for the regression-model study (Table IV).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "machine/cost_coeffs.hpp"
+#include "machine/machine_spec.hpp"
+#include "ops/work_profile.hpp"
+
+namespace opsched {
+
+/// Thread-to-tile placement mode, the two profiling variants of the paper's
+/// hill-climb (Section III-C): threads packed two-per-tile (cache sharing)
+/// or spread one-per-tile (no sharing).
+enum class AffinityMode : std::uint8_t { kSpread = 0, kShared = 1 };
+
+const char* affinity_mode_name(AffinityMode mode) noexcept;
+
+/// Simulated hardware counter sample, normalized by instruction count the
+/// way the paper's feature pipeline normalizes (Section III-B).
+struct CounterSample {
+  double cycles_per_instr = 0.0;
+  double llc_misses_per_instr = 0.0;
+  double llc_accesses_per_instr = 0.0;
+  double l1_hits_per_instr = 0.0;
+  /// Extra correlated/noisy events so feature selection has something to
+  /// reject (branches, branch-conditionals, tlb misses, stalls...).
+  std::vector<double> extra_events;
+  /// Measured (noisy) execution time for this profiling sample, ms.
+  double measured_time_ms = 0.0;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const MachineSpec& spec);
+
+  const MachineSpec& spec() const noexcept { return spec_; }
+
+  /// Noise-free execution time (ms) of `node` run alone with `threads`
+  /// threads placed per `mode`, one hw thread per core unless threads >
+  /// physical cores (then hyper-thread slots are used, with thrash).
+  double exec_time_ms(const Node& node, int threads, AffinityMode mode) const;
+
+  /// Serial time (1 thread), convenience.
+  double serial_time_ms(const Node& node) const {
+    return exec_time_ms(node, 1, AffinityMode::kSpread);
+  }
+
+  /// Best (time, threads, mode) over all thread counts in [1, max_threads]
+  /// — ground truth used to score predictors; O(max_threads) evaluations.
+  struct Optimum {
+    double time_ms = 0.0;
+    int threads = 1;
+    AffinityMode mode = AffinityMode::kSpread;
+  };
+  Optimum ground_truth_optimum(const Node& node, int max_threads) const;
+
+  /// Fraction of exec time attributable to memory traffic at `threads`
+  /// (the co-run interference driver).
+  double memory_intensity(const Node& node, int threads) const;
+
+  /// Multiplier (>= 1) applied to an op's time given the summed bandwidth
+  /// pressure of its co-runners (each co-runner contributes
+  /// mem_intensity * core_share).
+  double interference_factor(double corunner_pressure) const;
+
+  /// Synthesized counter sample for a profiling run. `sample_steps` is the
+  /// paper's N: more profiling steps multiplex events harder and add noise.
+  /// Deterministic in (node, threads, mode, sample_steps, seed).
+  CounterSample counters(const Node& node, int threads, AffinityMode mode,
+                         int sample_steps, std::uint64_t seed) const;
+
+  /// Stable identity of (kind, input shape) used for jitter and profiling
+  /// keys: two instances with the same kind+shape behave identically, the
+  /// property the paper relies on ("performance of each step remains
+  /// stable").
+  static std::uint64_t op_time_key(const Node& node) noexcept;
+
+ private:
+  double raw_time_ms(const Node& node, const WorkProfile& w, int threads,
+                     AffinityMode mode) const;
+
+  MachineSpec spec_;
+};
+
+}  // namespace opsched

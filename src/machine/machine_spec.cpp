@@ -1,0 +1,29 @@
+#include "machine/machine_spec.hpp"
+
+namespace opsched {
+
+MachineSpec MachineSpec::knl() {
+  MachineSpec s;
+  s.num_cores = 68;
+  s.cores_per_tile = 2;
+  s.hw_threads_per_core = 4;
+  s.core_gflops = 80.0;
+  s.bw_per_core_gbs = 7.0;
+  s.dram_bw_gbs = 240.0;
+  s.l2_per_tile_bytes = 1024.0 * 1024.0;
+  return s;
+}
+
+MachineSpec MachineSpec::xeon16() {
+  MachineSpec s;
+  s.num_cores = 16;
+  s.cores_per_tile = 1;   // private L2
+  s.hw_threads_per_core = 2;
+  s.core_gflops = 45.0;
+  s.bw_per_core_gbs = 12.0;
+  s.dram_bw_gbs = 90.0;
+  s.l2_per_tile_bytes = 1024.0 * 1024.0;
+  return s;
+}
+
+}  // namespace opsched

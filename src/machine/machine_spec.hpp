@@ -1,0 +1,76 @@
+// MachineSpec: parameters of the simulated manycore platform.
+// The default preset mirrors the paper's testbed: Intel Xeon Phi 7250
+// (Knights Landing) — 68 cores, 34 tiles (2 cores/tile, shared 1MB L2),
+// 4 hardware threads per core, 16GB on-package HBM in cache mode.
+#pragma once
+
+#include <cstddef>
+
+namespace opsched {
+
+struct MachineSpec {
+  std::size_t num_cores = 68;
+  std::size_t cores_per_tile = 2;
+  std::size_t hw_threads_per_core = 4;
+
+  /// Sustained fp32 compute rate of one core in well-blocked MKL kernels
+  /// (GFLOP/s). KNL peak is ~90 GFLOP/s fp32 per core (2 VPUs x 16 lanes x
+  /// FMA x 1.4GHz); dense conv/GEMM sustain most of it at wide channel
+  /// counts. Narrow shapes lose vector efficiency — see
+  /// CostModel channel-efficiency factor.
+  double core_gflops = 80.0;
+
+  /// Achievable streaming bandwidth of a single core (GB/s). One KNL core
+  /// cannot saturate MCDRAM; bandwidth scales with cores until dram_bw_gbs.
+  double bw_per_core_gbs = 7.0;
+
+  /// Aggregate effective bandwidth ceiling (GB/s). MCDRAM cache mode
+  /// streams ~380 raw; mixed read/write training traffic lands near 240.
+  double dram_bw_gbs = 240.0;
+
+  /// Shared L2 per tile (bytes); drives the cache-sharing affinity split.
+  double l2_per_tile_bytes = 1024.0 * 1024.0;
+
+  /// Relative per-thread efficiency when k hardware threads share a core,
+  /// indexed by k (1-based). KNL SMT4 helps latency-bound code but each
+  /// thread runs well below full speed.
+  double ht_efficiency(std::size_t k) const noexcept {
+    switch (k) {
+      case 0:
+      case 1: return 1.0;
+      case 2: return 0.52;
+      case 3: return 0.40;
+      default: return 0.33;
+    }
+  }
+
+  /// Total compute capacity of one core when `m` hardware-thread contexts
+  /// from *distinct* teams share it (relative to one exclusive thread).
+  /// Two contexts gain slightly (SMT covers stalls); more thrash the L1 and
+  /// the OS timeslices beyond the 4 hardware threads.
+  double multi_team_capacity(std::size_t m) const noexcept {
+    switch (m) {
+      case 0:
+      case 1: return 1.0;
+      case 2: return 1.10;
+      case 3: return 0.80;
+      case 4: return 0.60;
+      default:
+        return 0.60 * 4.0 / static_cast<double>(m);
+    }
+  }
+
+  std::size_t num_tiles() const noexcept { return num_cores / cores_per_tile; }
+  std::size_t logical_cores() const noexcept {
+    return num_cores * hw_threads_per_core;
+  }
+
+  /// The paper's platform.
+  static MachineSpec knl();
+
+  /// A generic small Xeon-like box (used in tests to show the model is not
+  /// KNL-specific — the hill-climb model is architecture independent).
+  static MachineSpec xeon16();
+};
+
+}  // namespace opsched

@@ -1,0 +1,299 @@
+#include "models/layer_builder.hpp"
+
+#include <stdexcept>
+
+namespace opsched {
+
+void LayerBuilder::remember(NodeId id, const TensorShape& s) {
+  if (shapes_.size() <= id) shapes_.resize(id + 1);
+  shapes_[id] = s;
+}
+
+TensorShape LayerBuilder::shape_of(NodeId id) const {
+  if (id >= shapes_.size())
+    throw std::out_of_range("LayerBuilder::shape_of");
+  return shapes_[id];
+}
+
+NodeId LayerBuilder::input(const std::string& label,
+                           const TensorShape& shape) {
+  const NodeId id = gb_.source(OpKind::kInputConversion, label, shape);
+  remember(id, shape);
+  return id;
+}
+
+NodeId LayerBuilder::conv_bn_relu(NodeId in, const TensorShape& in_shape,
+                                  std::int64_t kh, std::int64_t kw,
+                                  std::int64_t filters, std::int64_t stride,
+                                  bool with_bn, const std::string& prefix) {
+  const std::int64_t n = in_shape[0], h = in_shape[1], w = in_shape[2],
+                     c = in_shape[3];
+  const TensorShape filter{kh, kw, c, filters};
+  const TensorShape out{n, h / stride, w / stride, filters};
+
+  // MKL layout boundary: convert TF layout -> MKL blocked layout.
+  const NodeId conv_in = gb_.op(OpKind::kInputConversion,
+                                prefix + "/InputConversion", {in}, in_shape,
+                                TensorShape{}, in_shape);
+  const NodeId conv = gb_.op(OpKind::kConv2D, prefix + "/Conv2D", {conv_in},
+                             in_shape, filter, out);
+  layers_.push_back({FwdLayer::Kind::kConv, conv, in_shape, filter, out,
+                     prefix});
+
+  NodeId cur = conv;
+  if (with_bn) {
+    cur = gb_.op(OpKind::kFusedBatchNorm, prefix + "/FusedBatchNorm", {cur},
+                 out, TensorShape{}, out);
+    layers_.push_back({FwdLayer::Kind::kBatchNorm, cur, out, TensorShape{},
+                       out, prefix});
+  } else {
+    cur = gb_.op(OpKind::kBiasAdd, prefix + "/BiasAdd", {cur}, out,
+                 TensorShape{}, out);
+  }
+  cur = gb_.elementwise(OpKind::kRelu, prefix + "/Relu", {cur}, out);
+  layers_.push_back(
+      {FwdLayer::Kind::kRelu, cur, out, TensorShape{}, out, prefix});
+  remember(cur, out);
+  return cur;
+}
+
+NodeId LayerBuilder::deconv_bn_relu(NodeId in, const TensorShape& in_shape,
+                                    std::int64_t kh, std::int64_t kw,
+                                    std::int64_t filters, std::int64_t stride,
+                                    bool with_bn, const std::string& prefix) {
+  const std::int64_t n = in_shape[0], h = in_shape[1], w = in_shape[2],
+                     c = in_shape[3];
+  // conv2d_transpose: output grows by stride; TF lowers it to
+  // Conv2DBackpropInput with the filter in (kh,kw,out_c,in_c) layout.
+  const TensorShape filter{kh, kw, filters, c};
+  const TensorShape out{n, h * stride, w * stride, filters};
+  const NodeId conv_in = gb_.op(OpKind::kInputConversion,
+                                prefix + "/InputConversion", {in}, in_shape,
+                                TensorShape{}, in_shape);
+  const NodeId deconv =
+      gb_.op(OpKind::kConv2DBackpropInput, prefix + "/conv2d_transpose",
+             {conv_in}, in_shape, filter, out);
+  layers_.push_back({FwdLayer::Kind::kDeconv, deconv, in_shape, filter, out,
+                     prefix});
+  NodeId cur = deconv;
+  if (with_bn) {
+    cur = gb_.op(OpKind::kFusedBatchNorm, prefix + "/FusedBatchNorm", {cur},
+                 out, TensorShape{}, out);
+    layers_.push_back({FwdLayer::Kind::kBatchNorm, cur, out, TensorShape{},
+                       out, prefix});
+  }
+  cur = gb_.elementwise(OpKind::kRelu, prefix + "/Relu", {cur}, out);
+  layers_.push_back(
+      {FwdLayer::Kind::kRelu, cur, out, TensorShape{}, out, prefix});
+  remember(cur, out);
+  return cur;
+}
+
+NodeId LayerBuilder::max_pool(NodeId in, const TensorShape& in_shape,
+                              const std::string& prefix) {
+  const TensorShape out{in_shape[0], in_shape[1] / 2, in_shape[2] / 2,
+                        in_shape[3]};
+  const NodeId id = gb_.op(OpKind::kMaxPool, prefix + "/MaxPooling", {in},
+                           in_shape, TensorShape{}, out);
+  layers_.push_back({FwdLayer::Kind::kMaxPool, id, in_shape, TensorShape{},
+                     out, prefix});
+  remember(id, out);
+  return id;
+}
+
+NodeId LayerBuilder::avg_pool3x3(NodeId in, const TensorShape& in_shape,
+                                 const std::string& prefix) {
+  const NodeId id = gb_.op(OpKind::kAvgPool, prefix + "/AvgPool", {in},
+                           in_shape, TensorShape{}, in_shape);
+  layers_.push_back({FwdLayer::Kind::kAvgPool, id, in_shape, TensorShape{},
+                     in_shape, prefix});
+  remember(id, in_shape);
+  return id;
+}
+
+NodeId LayerBuilder::global_avg_pool(NodeId in, const TensorShape& in_shape,
+                                     const std::string& prefix) {
+  const TensorShape out{in_shape[0], 1, 1, in_shape[3]};
+  const NodeId id = gb_.op(OpKind::kAvgPool, prefix + "/AvgPool", {in},
+                           in_shape, TensorShape{}, out);
+  layers_.push_back({FwdLayer::Kind::kGlobalPool, id, in_shape, TensorShape{},
+                     out, prefix});
+  remember(id, out);
+  return id;
+}
+
+NodeId LayerBuilder::dense(NodeId in, std::int64_t m, std::int64_t k,
+                           std::int64_t p, const std::string& prefix) {
+  const TensorShape in_shape{m, k};
+  const TensorShape weight{k, p};
+  const TensorShape out{m, p};
+  const NodeId mm = gb_.op(OpKind::kMatMul, prefix + "/MatMul", {in},
+                           in_shape, weight, out);
+  const NodeId bias = gb_.op(OpKind::kBiasAdd, prefix + "/BiasAdd", {mm}, out,
+                             TensorShape{}, out);
+  layers_.push_back(
+      {FwdLayer::Kind::kDense, bias, in_shape, weight, out, prefix});
+  remember(bias, out);
+  return bias;
+}
+
+NodeId LayerBuilder::concat(const std::vector<NodeId>& branches,
+                            const TensorShape& out_shape,
+                            const std::string& prefix) {
+  const NodeId id =
+      gb_.op(OpKind::kConcat, prefix + "/Concat", branches, out_shape,
+             TensorShape{}, out_shape);
+  layers_.push_back({FwdLayer::Kind::kConcat, id, out_shape, TensorShape{},
+                     out_shape, prefix});
+  remember(id, out_shape);
+  return id;
+}
+
+NodeId LayerBuilder::add(NodeId a, NodeId b, const TensorShape& shape,
+                         const std::string& prefix) {
+  const NodeId id =
+      gb_.elementwise(OpKind::kAdd, prefix + "/Add", {a, b}, shape);
+  layers_.push_back(
+      {FwdLayer::Kind::kAdd, id, shape, TensorShape{}, shape, prefix});
+  remember(id, shape);
+  return id;
+}
+
+NodeId LayerBuilder::emit_optimizer(NodeId grad,
+                                    const TensorShape& param_shape,
+                                    const std::string& prefix) {
+  return gb_.op(adam_ ? OpKind::kApplyAdam : OpKind::kApplyGradientDescent,
+                prefix + (adam_ ? "/ApplyAdam" : "/ApplyGD"), {grad},
+                param_shape, TensorShape{}, param_shape);
+}
+
+NodeId LayerBuilder::loss_and_backward(NodeId logits, std::int64_t batch,
+                                       std::int64_t classes) {
+  const TensorShape logits_shape{batch, classes};
+  NodeId d = gb_.op(OpKind::kSparseSoftmaxCrossEntropy,
+                    "loss/SparseSoftmaxCross", {logits}, logits_shape,
+                    TensorShape{}, logits_shape);
+  remember(d, logits_shape);
+
+  std::vector<NodeId> train_deps;
+
+  // Walk the recorded forward layers in reverse, threading the activation
+  // gradient `d` through and emitting weight gradients + optimizer ops.
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    const FwdLayer& layer = *it;
+    switch (layer.kind) {
+      case FwdLayer::Kind::kConv: {
+        // d(out) -> BackpropFilter (independent) + BackpropInput (chains).
+        const NodeId bf = gb_.op(OpKind::kConv2DBackpropFilter,
+                                 layer.prefix + "/Conv2DBackpropFilter",
+                                 {d, layer.fwd_node}, layer.in_shape,
+                                 layer.aux_shape, layer.aux_shape);
+        const NodeId bi = gb_.op(OpKind::kConv2DBackpropInput,
+                                 layer.prefix + "/Conv2DBackpropInput", {d},
+                                 layer.in_shape, layer.aux_shape,
+                                 layer.in_shape);
+        // MKL boundary on the way back out.
+        const NodeId totf =
+            gb_.op(OpKind::kToTf, layer.prefix + "/ToTf", {bi},
+                   layer.in_shape, TensorShape{}, layer.in_shape);
+        train_deps.push_back(
+            emit_optimizer(bf, layer.aux_shape, layer.prefix));
+        d = totf;
+        break;
+      }
+      case FwdLayer::Kind::kDeconv: {
+        // conv2d_transpose backward: dW via BackpropFilter, dX via Conv2D.
+        const NodeId bf = gb_.op(OpKind::kConv2DBackpropFilter,
+                                 layer.prefix + "/Conv2DBackpropFilter",
+                                 {d, layer.fwd_node}, layer.out_shape,
+                                 layer.aux_shape, layer.aux_shape);
+        const NodeId dx =
+            gb_.op(OpKind::kConv2D, layer.prefix + "/Conv2D_dx", {d},
+                   layer.out_shape, layer.aux_shape, layer.in_shape);
+        train_deps.push_back(
+            emit_optimizer(bf, layer.aux_shape, layer.prefix));
+        d = dx;
+        break;
+      }
+      case FwdLayer::Kind::kMaxPool: {
+        d = gb_.op(OpKind::kMaxPoolGrad, layer.prefix + "/MaxPoolGrad",
+                   {d, layer.fwd_node}, layer.in_shape, TensorShape{},
+                   layer.in_shape);
+        break;
+      }
+      case FwdLayer::Kind::kAvgPool:
+      case FwdLayer::Kind::kGlobalPool: {
+        d = gb_.op(OpKind::kAvgPoolGrad, layer.prefix + "/AvgPoolGrad", {d},
+                   layer.in_shape, TensorShape{}, layer.in_shape);
+        break;
+      }
+      case FwdLayer::Kind::kDense: {
+        // dW (independent) + dX (chains), like the conv pair.
+        const NodeId dw = gb_.op(OpKind::kMatMulGrad,
+                                 layer.prefix + "/MatMul_dw",
+                                 {d, layer.fwd_node}, layer.in_shape,
+                                 layer.aux_shape, layer.aux_shape);
+        const NodeId db =
+            gb_.op(OpKind::kBiasAddGrad, layer.prefix + "/BiasAddGrad", {d},
+                   layer.out_shape, TensorShape{},
+                   TensorShape{layer.out_shape[layer.out_shape.rank() - 1]});
+        const NodeId dx = gb_.op(OpKind::kMatMul, layer.prefix + "/MatMul_dx",
+                                 {d}, layer.out_shape, layer.aux_shape,
+                                 layer.in_shape);
+        train_deps.push_back(emit_optimizer(dw, layer.aux_shape, layer.prefix));
+        train_deps.push_back(emit_optimizer(
+            db, TensorShape{layer.out_shape[layer.out_shape.rank() - 1]},
+            layer.prefix + "/bias"));
+        d = dx;
+        break;
+      }
+      case FwdLayer::Kind::kBatchNorm: {
+        // FusedBatchNormGrad + per-channel scale broadcast (Tile) and
+        // elementwise scale (Mul) — the Tile/Mul ops prominent in ResNet's
+        // Table VI profile.
+        const NodeId bng = gb_.op(OpKind::kFusedBatchNormGrad,
+                                  layer.prefix + "/FusedBatchNormGrad",
+                                  {d, layer.fwd_node}, layer.in_shape,
+                                  TensorShape{}, layer.in_shape);
+        const TensorShape chan{layer.in_shape[3]};
+        const NodeId tile =
+            gb_.op(OpKind::kTile, layer.prefix + "/Tile", {bng}, chan,
+                   TensorShape{}, layer.in_shape);
+        const NodeId mul = gb_.elementwise(OpKind::kMul, layer.prefix + "/Mul",
+                                           {bng, tile}, layer.in_shape);
+        // gamma/beta updates.
+        train_deps.push_back(emit_optimizer(bng, chan, layer.prefix + "/gamma"));
+        d = mul;
+        break;
+      }
+      case FwdLayer::Kind::kRelu: {
+        d = gb_.op(OpKind::kReluGrad, layer.prefix + "/ReluGrad",
+                   {d, layer.fwd_node}, layer.in_shape, TensorShape{},
+                   layer.in_shape);
+        break;
+      }
+      case FwdLayer::Kind::kConcat: {
+        d = gb_.op(OpKind::kSplit, layer.prefix + "/Split", {d},
+                   layer.in_shape, TensorShape{}, layer.in_shape);
+        break;
+      }
+      case FwdLayer::Kind::kAdd: {
+        // Gradient fans out over both inputs; modeled by AddN accumulation.
+        d = gb_.elementwise(OpKind::kAddN, layer.prefix + "/AddN", {d},
+                            layer.in_shape);
+        break;
+      }
+    }
+  }
+
+  // Step barrier: all optimizer updates and the final input gradient.
+  train_deps.push_back(d);
+  const NodeId train_op =
+      gb_.op(OpKind::kAddN, "train_op", train_deps, TensorShape{1},
+             TensorShape{}, TensorShape{1});
+  remember(train_op, TensorShape{1});
+  layers_.clear();
+  return train_op;
+}
+
+}  // namespace opsched

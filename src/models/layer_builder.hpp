@@ -1,0 +1,110 @@
+// LayerBuilder: shared machinery for emitting forward + backward + optimizer
+// op traces of the four evaluated models. It is NOT an autodiff engine —
+// the runtime schedules on op kinds, shapes and dependencies only — but the
+// emitted structure is faithful to what TensorFlow produces on KNL:
+//   - MKL layout conversions (InputConversion / ToTf) around conv ops,
+//   - per-conv backward pairs (BackpropFilter + BackpropInput) that are
+//     mutually independent (the main intra-layer co-run opportunity),
+//   - batch-norm backward with its broadcast (Tile) and scale (Mul) ops,
+//   - one optimizer op per parameter tensor, all mutually independent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+namespace opsched {
+
+class LayerBuilder {
+ public:
+  explicit LayerBuilder(bool use_adam = true) : adam_(use_adam) {}
+
+  /// Batch-input source node.
+  NodeId input(const std::string& label, const TensorShape& shape);
+
+  /// Conv + optional batch-norm + ReLU forward; records what backward needs.
+  /// Returns the activation node. stride divides the spatial dims.
+  NodeId conv_bn_relu(NodeId in, const TensorShape& in_shape, std::int64_t kh,
+                      std::int64_t kw, std::int64_t filters,
+                      std::int64_t stride, bool with_bn,
+                      const std::string& prefix);
+
+  /// Deconvolution forward (TF implements conv2d_transpose as
+  /// Conv2DBackpropInput): upsamples spatial dims by `stride`.
+  NodeId deconv_bn_relu(NodeId in, const TensorShape& in_shape,
+                        std::int64_t kh, std::int64_t kw,
+                        std::int64_t filters, std::int64_t stride,
+                        bool with_bn, const std::string& prefix);
+
+  /// 2x2/stride-2 max pool forward.
+  NodeId max_pool(NodeId in, const TensorShape& in_shape,
+                  const std::string& prefix);
+
+  /// 3x3/stride-1 average pool forward (inception pool branches).
+  NodeId avg_pool3x3(NodeId in, const TensorShape& in_shape,
+                     const std::string& prefix);
+
+  /// Global average pool -> (N,1,1,C).
+  NodeId global_avg_pool(NodeId in, const TensorShape& in_shape,
+                         const std::string& prefix);
+
+  /// Fully-connected (MatMul + BiasAdd) forward on (m,k) x (k,p).
+  NodeId dense(NodeId in, std::int64_t m, std::int64_t k, std::int64_t p,
+               const std::string& prefix);
+
+  /// Concat of parallel branches (inception block join).
+  NodeId concat(const std::vector<NodeId>& branches,
+                const TensorShape& out_shape, const std::string& prefix);
+
+  /// Elementwise add of two paths (resnet skip join).
+  NodeId add(NodeId a, NodeId b, const TensorShape& shape,
+             const std::string& prefix);
+
+  /// Softmax cross-entropy loss on (batch, classes) logits; kicks off the
+  /// backward pass: emits the whole reverse trace + optimizer ops.
+  /// Returns the final step-barrier node (train_op).
+  NodeId loss_and_backward(NodeId logits, std::int64_t batch,
+                           std::int64_t classes);
+
+  /// Returned by value: emitting further layers grows the internal shape
+  /// table, so a reference would dangle across layer-builder calls.
+  TensorShape shape_of(NodeId id) const;
+  GraphBuilder& gb() noexcept { return gb_; }
+  Graph take() { return gb_.take(); }
+
+ private:
+  /// A recorded forward layer, consumed in reverse by the backward pass.
+  struct FwdLayer {
+    enum class Kind {
+      kConv,
+      kDeconv,
+      kMaxPool,
+      kAvgPool,
+      kGlobalPool,
+      kDense,
+      kBatchNorm,
+      kRelu,
+      kConcat,
+      kAdd,
+    };
+    Kind kind;
+    NodeId fwd_node = kInvalidNode;
+    TensorShape in_shape;
+    TensorShape aux_shape;  // filter / weight shape
+    TensorShape out_shape;
+    std::string prefix;
+  };
+
+  NodeId emit_optimizer(NodeId grad, const TensorShape& param_shape,
+                        const std::string& prefix);
+
+  GraphBuilder gb_;
+  std::vector<FwdLayer> layers_;
+  std::vector<TensorShape> shapes_;  // by node id
+  bool adam_;
+
+  void remember(NodeId id, const TensorShape& s);
+};
+
+}  // namespace opsched

@@ -1,0 +1,299 @@
+#include "models/models.hpp"
+
+#include <stdexcept>
+
+#include "models/layer_builder.hpp"
+
+namespace opsched {
+
+namespace {
+
+/// One ResNet bottleneck block: 1x1 reduce, 3x3, 1x1 expand, skip add.
+/// Shapes are taken by value: emitting layers invalidates references into
+/// the builder's shape table.
+NodeId bottleneck(LayerBuilder& lb, NodeId in, const TensorShape in_shape,
+                  std::int64_t mid, std::int64_t out_c, std::int64_t stride,
+                  const std::string& prefix) {
+  NodeId x = lb.conv_bn_relu(in, in_shape, 1, 1, mid, 1, /*bn=*/true,
+                             prefix + "/a");
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, mid, stride, /*bn=*/true,
+                      prefix + "/b");
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 1, 1, out_c, 1, /*bn=*/true,
+                      prefix + "/c");
+  NodeId skip = in;
+  if (in_shape[3] != out_c || stride != 1) {
+    skip = lb.conv_bn_relu(in, in_shape, 1, 1, out_c, stride, /*bn=*/true,
+                           prefix + "/proj");
+  }
+  return lb.add(x, skip, lb.shape_of(x), prefix);
+}
+
+/// One Inception-A-style block: four parallel branches joined by concat.
+/// Branch channel splits are the v3 proportions at reduced scale.
+NodeId inception_block(LayerBuilder& lb, NodeId in, const TensorShape in_shape,
+                       std::int64_t b1, std::int64_t b5, std::int64_t b3,
+                       std::int64_t bp, const std::string& prefix) {
+  const NodeId br1 =
+      lb.conv_bn_relu(in, in_shape, 1, 1, b1, 1, true, prefix + "/br1x1");
+
+  NodeId br5 =
+      lb.conv_bn_relu(in, in_shape, 1, 1, b5 / 2, 1, true, prefix + "/br5a");
+  br5 = lb.conv_bn_relu(br5, lb.shape_of(br5), 5, 5, b5, 1, true,
+                        prefix + "/br5b");
+
+  NodeId br3 =
+      lb.conv_bn_relu(in, in_shape, 1, 1, b3 / 2, 1, true, prefix + "/br3a");
+  br3 = lb.conv_bn_relu(br3, lb.shape_of(br3), 3, 3, b3, 1, true,
+                        prefix + "/br3b");
+  br3 = lb.conv_bn_relu(br3, lb.shape_of(br3), 3, 3, b3, 1, true,
+                        prefix + "/br3c");
+
+  NodeId brp = lb.avg_pool3x3(in, in_shape, prefix + "/brpool");
+  brp = lb.conv_bn_relu(brp, lb.shape_of(brp), 1, 1, bp, 1, true,
+                        prefix + "/brpool_proj");
+
+  const TensorShape out{in_shape[0], in_shape[1], in_shape[2],
+                        b1 + b5 + b3 + bp};
+  return lb.concat({br1, br5, br3, brp}, out, prefix);
+}
+
+}  // namespace
+
+Graph build_resnet50(std::int64_t batch) {
+  LayerBuilder lb(/*use_adam=*/true);
+  // CIFAR-10: 32x32x3 inputs, 10 classes.
+  NodeId x = lb.input("images", TensorShape{batch, 32, 32, 3});
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 64, 1, true, "stem");
+
+  struct Stage {
+    std::int64_t mid, out_c, blocks, stride;
+  };
+  const Stage stages[] = {
+      {64, 256, 3, 1}, {128, 512, 4, 2}, {256, 1024, 6, 2}, {512, 2048, 3, 2}};
+  int stage_idx = 0;
+  for (const Stage& s : stages) {
+    for (std::int64_t b = 0; b < s.blocks; ++b) {
+      const std::int64_t stride = b == 0 ? s.stride : 1;
+      x = bottleneck(lb, x, lb.shape_of(x), s.mid, s.out_c, stride,
+                     "res" + std::to_string(stage_idx + 2) + "_" +
+                         std::to_string(b));
+    }
+    ++stage_idx;
+  }
+
+  x = lb.global_avg_pool(x, lb.shape_of(x), "head");
+  // Flattened (batch, 2048) -> 10-way classifier.
+  x = lb.dense(x, batch, 2048, 10, "fc10");
+  lb.loss_and_backward(x, batch, 10);
+  return lb.take();
+}
+
+Graph build_dcgan(std::int64_t batch) {
+  LayerBuilder lb(/*use_adam=*/true);
+
+  // Generator: z(100) -> 7x7x256 -> deconv 14x14x128 -> deconv 28x28x64
+  // -> 1-channel image. conv2d_transpose lowers to Conv2DBackpropInput,
+  // which is why that op dominates DCGAN's profile (Table VI).
+  NodeId z = lb.input("z", TensorShape{batch, 100});
+  NodeId g = lb.dense(z, batch, 100, 7 * 7 * 256, "gen/project");
+  // Reshape to 7x7x256 (zero-cost structurally; modeled via shape change).
+  NodeId gimg = lb.gb().op(OpKind::kReshape, "gen/reshape", {g},
+                           TensorShape{batch, 7 * 7 * 256}, TensorShape{},
+                           TensorShape{batch, 7, 7, 256});
+  gimg = lb.deconv_bn_relu(gimg, TensorShape{batch, 7, 7, 256}, 5, 5, 128, 2,
+                           true, "gen/deconv1");
+  gimg = lb.deconv_bn_relu(gimg, lb.shape_of(gimg), 5, 5, 64, 2, true,
+                           "gen/deconv2");
+  gimg = lb.conv_bn_relu(gimg, lb.shape_of(gimg), 5, 5, 1, 1, false,
+                         "gen/to_image");
+
+  // Discriminator on the generated image.
+  NodeId d = lb.conv_bn_relu(gimg, lb.shape_of(gimg), 5, 5, 64, 2, true,
+                             "disc/conv1");
+  d = lb.conv_bn_relu(d, lb.shape_of(d), 5, 5, 128, 2, true, "disc/conv2");
+  const TensorShape dshape = lb.shape_of(d);  // (batch, 7, 7, 128)
+  NodeId flat = lb.gb().op(OpKind::kReshape, "disc/flatten", {d}, dshape,
+                           TensorShape{},
+                           TensorShape{batch, dshape[1] * dshape[2] * dshape[3]});
+  NodeId logits =
+      lb.dense(flat, batch, dshape[1] * dshape[2] * dshape[3], 2, "disc/fc");
+  lb.loss_and_backward(logits, batch, 2);
+  return lb.take();
+}
+
+Graph build_inception_v3(std::int64_t batch) {
+  LayerBuilder lb(/*use_adam=*/true);
+  // ImageNet stem: 299 -> 149 -> 147 -> 73 -> 71 -> 35 in the real model;
+  // we keep the three working scales (35x35, 17x17-ish, 8x8-ish) and the
+  // v3 channel widths, which is what decides op scalability (wide-channel
+  // blocks want all 68 cores -> co-running helps Inception least, Fig. 3).
+  NodeId x = lb.input("images", TensorShape{batch, 145, 145, 3});
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 32, 2, true, "stem/conv1");
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 32, 1, true, "stem/conv2");
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 64, 1, true, "stem/conv3");
+  x = lb.max_pool(x, lb.shape_of(x), "stem/pool1");  // -> 36x36
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 1, 1, 80, 1, true, "stem/conv4");
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 192, 1, true, "stem/conv5");
+
+  // Three A-blocks at 36x36, concat width 64+64+96+64 = 288.
+  for (int i = 0; i < 3; ++i) {
+    x = inception_block(lb, x, lb.shape_of(x), 64, 64, 96, 64,
+                        "mixed_a" + std::to_string(i));
+  }
+  x = lb.max_pool(x, lb.shape_of(x), "reduce_a");  // -> 18x18
+
+  // Four B-blocks at 18x18, concat width 192x4 = 768 (v3's 17x17 scale).
+  for (int i = 0; i < 4; ++i) {
+    x = inception_block(lb, x, lb.shape_of(x), 192, 192, 192, 192,
+                        "mixed_b" + std::to_string(i));
+  }
+  x = lb.max_pool(x, lb.shape_of(x), "reduce_b");  // -> 9x9
+
+  // Two C-blocks at 9x9, concat width 320+768+768+192 = 2048 (the paper's
+  // (32,8,8,2048)-class shapes).
+  for (int i = 0; i < 2; ++i) {
+    x = inception_block(lb, x, lb.shape_of(x), 320, 768, 768, 192,
+                        "mixed_c" + std::to_string(i));
+  }
+
+  x = lb.global_avg_pool(x, lb.shape_of(x), "head");
+  const std::int64_t feat = lb.shape_of(x)[3];
+  x = lb.dense(x, batch, feat, 1000, "fc1000");
+  lb.loss_and_backward(x, batch, 1000);
+  return lb.take();
+}
+
+Graph build_lstm(std::int64_t batch, std::int64_t seq_len, std::int64_t hidden,
+                 std::int64_t vocab) {
+  LayerBuilder lb(/*use_adam=*/true);
+  GraphBuilder& gb = lb.gb();
+
+  const TensorShape state_shape{batch, hidden};
+  const TensorShape gates_shape{batch, 4 * hidden};
+
+  NodeId tokens = lb.input("tokens", TensorShape{batch, seq_len});
+  // Two stacked LSTM layers unrolled over the sequence: a long chain of
+  // small ops — the workload where co-running (not wide teams) wins.
+  std::vector<NodeId> layer_state(2, tokens);
+  std::vector<NodeId> output_taps;
+  for (std::int64_t t = 0; t < seq_len; ++t) {
+    NodeId below = gb.op(OpKind::kGatherEmbedding,
+                         "embed/t" + std::to_string(t), {tokens},
+                         TensorShape{batch}, TensorShape{}, state_shape);
+    for (int layer = 0; layer < 2; ++layer) {
+      const std::string p =
+          "lstm" + std::to_string(layer) + "/t" + std::to_string(t);
+      // Gate pre-activations: [x, h] * W  (W is (2*hidden, 4*hidden)).
+      const NodeId cc = gb.op(OpKind::kConcat, p + "/concat",
+                              {below, layer_state[layer]}, state_shape,
+                              TensorShape{}, TensorShape{batch, 2 * hidden});
+      const NodeId mm =
+          gb.op(OpKind::kMatMul, p + "/MatMul", {cc},
+                TensorShape{batch, 2 * hidden},
+                TensorShape{2 * hidden, 4 * hidden}, gates_shape);
+      const NodeId ba = gb.op(OpKind::kBiasAdd, p + "/BiasAdd", {mm},
+                              gates_shape, TensorShape{}, gates_shape);
+      const NodeId split = gb.op(OpKind::kSplit, p + "/Split", {ba},
+                                 gates_shape, TensorShape{}, state_shape);
+      const NodeId sig_i =
+          gb.elementwise(OpKind::kSigmoid, p + "/sig_i", {split}, state_shape);
+      const NodeId sig_f =
+          gb.elementwise(OpKind::kSigmoid, p + "/sig_f", {split}, state_shape);
+      const NodeId sig_o =
+          gb.elementwise(OpKind::kSigmoid, p + "/sig_o", {split}, state_shape);
+      const NodeId tan_g =
+          gb.elementwise(OpKind::kTanh, p + "/tanh_g", {split}, state_shape);
+      const NodeId mul_ig = gb.elementwise(OpKind::kMul, p + "/mul_ig",
+                                           {sig_i, tan_g}, state_shape);
+      const NodeId mul_fc = gb.elementwise(OpKind::kMul, p + "/mul_fc",
+                                           {sig_f, layer_state[layer]},
+                                           state_shape);
+      const NodeId c_new = gb.elementwise(OpKind::kAdd, p + "/c_new",
+                                          {mul_ig, mul_fc}, state_shape);
+      const NodeId tan_c =
+          gb.elementwise(OpKind::kTanh, p + "/tanh_c", {c_new}, state_shape);
+      const NodeId h_new = gb.elementwise(OpKind::kMul, p + "/h_new",
+                                          {sig_o, tan_c}, state_shape);
+      layer_state[layer] = h_new;
+      below = h_new;
+    }
+    output_taps.push_back(below);
+  }
+
+  // Output projection over the concatenated taps: (batch*seq, hidden) x
+  // (hidden, vocab), then the loss drives the backward trace.
+  const NodeId all_h =
+      gb.op(OpKind::kConcat, "proj/concat", output_taps,
+            TensorShape{batch * seq_len, hidden}, TensorShape{},
+            TensorShape{batch * seq_len, hidden});
+  const NodeId logits = lb.dense(all_h, batch * seq_len, hidden, vocab,
+                                 "proj");
+  lb.loss_and_backward(logits, batch * seq_len, vocab);
+
+  // The unrolled cell ops above were emitted through GraphBuilder directly,
+  // so loss_and_backward only reverses the projection; emit a compact
+  // backward trace for the recurrent ops explicitly (MatMulGrad +
+  // elementwise grads per timestep, reverse order) — the op mix Table VI
+  // reports for LSTM (Mul, AddN, BiasAddGrad, MatMul).
+  NodeId d = logits;  // gradient carrier
+  std::vector<NodeId> adam_deps;
+  for (std::int64_t t = seq_len; t-- > 0;) {
+    for (int layer = 1; layer >= 0; --layer) {
+      const std::string p =
+          "grad/lstm" + std::to_string(layer) + "/t" + std::to_string(t);
+      const NodeId dmul = gb.elementwise(OpKind::kMul, p + "/Mul", {d},
+                                         state_shape);
+      const NodeId dadd = gb.elementwise(OpKind::kAddN, p + "/AddN", {dmul},
+                                         state_shape);
+      const NodeId dmm =
+          gb.op(OpKind::kMatMulGrad, p + "/MatMulGrad", {dadd},
+                TensorShape{batch, 2 * hidden},
+                TensorShape{2 * hidden, 4 * hidden},
+                TensorShape{2 * hidden, 4 * hidden});
+      const NodeId dbias =
+          gb.op(OpKind::kBiasAddGrad, p + "/BiasAddGrad", {dadd}, gates_shape,
+                TensorShape{}, TensorShape{4 * hidden});
+      d = dadd;
+      if (t == 0) {
+        adam_deps.push_back(gb.op(OpKind::kApplyAdam, p + "/ApplyAdam", {dmm},
+                                  TensorShape{2 * hidden, 4 * hidden},
+                                  TensorShape{},
+                                  TensorShape{2 * hidden, 4 * hidden}));
+        adam_deps.push_back(gb.op(
+            OpKind::kApplyAdam, p + "/bias/ApplyAdam", {dbias},
+            TensorShape{4 * hidden}, TensorShape{}, TensorShape{4 * hidden}));
+      }
+    }
+  }
+  adam_deps.push_back(d);
+  gb.op(OpKind::kAddN, "lstm_train_op", adam_deps, TensorShape{1},
+        TensorShape{}, TensorShape{1});
+  return lb.take();
+}
+
+Graph build_toy_cnn(std::int64_t batch) {
+  LayerBuilder lb(/*use_adam=*/false);
+  NodeId x = lb.input("images", TensorShape{batch, 16, 16, 3});
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 8, 1, false, "conv1");
+  x = lb.max_pool(x, lb.shape_of(x), "pool1");
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 16, 1, false, "conv2");
+  x = lb.global_avg_pool(x, lb.shape_of(x), "head");
+  x = lb.dense(x, batch, 16, 10, "fc");
+  lb.loss_and_backward(x, batch, 10);
+  return lb.take();
+}
+
+std::vector<std::string> model_names() {
+  return {"resnet50", "dcgan", "inception_v3", "lstm", "toy_cnn"};
+}
+
+Graph build_model(const std::string& name) {
+  if (name == "resnet50") return build_resnet50();
+  if (name == "dcgan") return build_dcgan();
+  if (name == "inception_v3") return build_inception_v3();
+  if (name == "lstm") return build_lstm();
+  if (name == "toy_cnn") return build_toy_cnn();
+  throw std::invalid_argument("build_model: unknown model " + name);
+}
+
+}  // namespace opsched

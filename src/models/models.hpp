@@ -1,0 +1,33 @@
+// Training-step op traces of the paper's four evaluated models, with the
+// datasets and batch sizes of Section IV-A:
+//   ResNet-50     / CIFAR-10  / batch 64
+//   DCGAN         / MNIST     / batch 64
+//   Inception-v3  / ImageNet  / batch 16 (motivation shapes use batch 32)
+//   LSTM          / PTB       / batch 20
+// Each graph contains the forward pass, the backward pass (with independent
+// BackpropFilter/BackpropInput pairs), MKL layout-conversion ops, and one
+// optimizer op per parameter tensor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace opsched {
+
+Graph build_resnet50(std::int64_t batch = 64);
+Graph build_dcgan(std::int64_t batch = 64);
+Graph build_inception_v3(std::int64_t batch = 16);
+Graph build_lstm(std::int64_t batch = 20, std::int64_t seq_len = 20,
+                 std::int64_t hidden = 200, std::int64_t vocab = 2000);
+
+/// A small CNN used by the host-mode (real kernel) examples and tests.
+Graph build_toy_cnn(std::int64_t batch = 8);
+
+/// Names accepted by build_model: "resnet50", "dcgan", "inception_v3",
+/// "lstm", "toy_cnn".
+std::vector<std::string> model_names();
+Graph build_model(const std::string& name);
+
+}  // namespace opsched

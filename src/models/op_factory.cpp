@@ -1,0 +1,84 @@
+#include "models/op_factory.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace opsched {
+
+Node make_conv_op(OpKind kind, std::int64_t n, std::int64_t h, std::int64_t w,
+                  std::int64_t c, std::int64_t kh, std::int64_t kw,
+                  std::int64_t f) {
+  switch (kind) {
+    case OpKind::kConv2D:
+    case OpKind::kConv2DBackpropFilter:
+    case OpKind::kConv2DBackpropInput:
+      break;
+    default:
+      throw std::invalid_argument("make_conv_op: not a conv kind");
+  }
+  Node node;
+  node.id = 0;
+  node.kind = kind;
+  node.label = std::string(op_kind_name(kind)) + "/standalone";
+  node.input_shape = TensorShape{n, h, w, c};
+  node.aux_shape = TensorShape{kh, kw, c, f};
+  // The output depends on the role: forward emits (n,h,w,f), backprop-input
+  // emits the input gradient (n,h,w,c), backprop-filter emits the filter
+  // gradient.
+  switch (kind) {
+    case OpKind::kConv2D:
+      node.output_shape = TensorShape{n, h, w, f};
+      break;
+    case OpKind::kConv2DBackpropInput:
+      node.output_shape = TensorShape{n, h, w, c};
+      break;
+    default:
+      node.output_shape = node.aux_shape;
+      break;
+  }
+  return node;
+}
+
+Node make_activation_op(OpKind kind, std::int64_t n, std::int64_t h,
+                        std::int64_t w, std::int64_t c) {
+  Node node;
+  node.id = 0;
+  node.kind = kind;
+  node.label = std::string(op_kind_name(kind)) + "/standalone";
+  node.input_shape = TensorShape{n, h, w, c};
+  node.output_shape = TensorShape{n, h, w, c};
+  return node;
+}
+
+Node make_matmul_op(std::int64_t m, std::int64_t k, std::int64_t p) {
+  Node node;
+  node.id = 0;
+  node.kind = OpKind::kMatMul;
+  node.label = "MatMul/standalone";
+  node.input_shape = TensorShape{m, k};
+  node.aux_shape = TensorShape{k, p};
+  node.output_shape = TensorShape{m, p};
+  return node;
+}
+
+Node fig1_conv2d() {
+  return make_conv_op(OpKind::kConv2D, 32, 8, 8, 384, 3, 3, 384);
+}
+Node fig1_backprop_filter() {
+  return make_conv_op(OpKind::kConv2DBackpropFilter, 32, 8, 8, 384, 3, 3,
+                      384);
+}
+Node fig1_backprop_input() {
+  return make_conv_op(OpKind::kConv2DBackpropInput, 32, 8, 8, 384, 3, 3, 384);
+}
+
+Node table3_backprop_filter() {
+  return make_conv_op(OpKind::kConv2DBackpropFilter, 32, 8, 8, 2048, 3, 3,
+                      512);
+}
+Node table3_backprop_input() {
+  return make_conv_op(OpKind::kConv2DBackpropInput, 32, 8, 8, 2048, 3, 3,
+                      512);
+}
+
+}  // namespace opsched

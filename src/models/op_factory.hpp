@@ -1,0 +1,34 @@
+// Standalone operation instances with the exact input sizes the paper's
+// motivation section studies (Fig. 1, Tables II/III use Inception-v3 shapes
+// like (32,8,8,384)). Benches use these to run ops in isolation, the way
+// the authors' standalone-op scripts do.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace opsched {
+
+/// A conv-family op: input (n,h,w,c), filter (kh,kw,c,f), SAME padding,
+/// stride 1 -> output (n,h,w,f). `kind` must be one of the Conv2D family.
+Node make_conv_op(OpKind kind, std::int64_t n, std::int64_t h, std::int64_t w,
+                  std::int64_t c, std::int64_t kh, std::int64_t kw,
+                  std::int64_t f);
+
+/// An elementwise-style op on a (n,h,w,c) activation.
+Node make_activation_op(OpKind kind, std::int64_t n, std::int64_t h,
+                        std::int64_t w, std::int64_t c);
+
+/// A matmul (m,k) x (k,p).
+Node make_matmul_op(std::int64_t m, std::int64_t k, std::int64_t p);
+
+/// The three Fig.-1 operations at the paper's Inception-v3 input size
+/// (32,17,17,384) with a 3x3x384x384 filter.
+Node fig1_conv2d();
+Node fig1_backprop_filter();
+Node fig1_backprop_input();
+
+/// The Table-III co-run pair inputs: (32,8,8,2048) with 3x3 filters.
+Node table3_backprop_filter();
+Node table3_backprop_input();
+
+}  // namespace opsched

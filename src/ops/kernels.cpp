@@ -1,0 +1,482 @@
+#include "ops/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace opsched::kernels {
+
+namespace {
+
+void check(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+/// SAME padding offset for kernel extent k with stride s: output pixel o
+/// reads input rows o*s - pad .. o*s - pad + k - 1.
+int same_pad(int k) { return (k - 1) / 2; }
+
+}  // namespace
+
+void matmul(ThreadTeam& team, const Tensor& a, const Tensor& b, Tensor& out) {
+  check(a.shape().rank() == 2 && b.shape().rank() == 2 &&
+            out.shape().rank() == 2,
+        "matmul: rank-2 tensors required");
+  const std::int64_t M = a.shape()[0], K = a.shape()[1];
+  const std::int64_t N = b.shape()[1];
+  check(b.shape()[0] == K && out.shape()[0] == M && out.shape()[1] == N,
+        "matmul: shape mismatch");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  team.parallel_for(static_cast<std::size_t>(M), [&](std::size_t begin,
+                                                     std::size_t end,
+                                                     std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) {
+      float* orow = po + i * static_cast<std::size_t>(N);
+      std::fill(orow, orow + N, 0.f);
+      const float* arow = pa + i * static_cast<std::size_t>(K);
+      for (std::int64_t k = 0; k < K; ++k) {
+        const float av = arow[k];
+        if (av == 0.f) continue;
+        const float* brow = pb + static_cast<std::size_t>(k) * N;
+        for (std::int64_t j = 0; j < N; ++j) orow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void conv2d(ThreadTeam& team, const Tensor& input, const Tensor& filter,
+            Tensor& output, int stride) {
+  check(input.shape().rank() == 4 && filter.shape().rank() == 4 &&
+            output.shape().rank() == 4,
+        "conv2d: rank-4 tensors required");
+  const std::int64_t N = input.shape()[0], H = input.shape()[1],
+                     W = input.shape()[2], C = input.shape()[3];
+  const std::int64_t KH = filter.shape()[0], KW = filter.shape()[1],
+                     FC = filter.shape()[2], F = filter.shape()[3];
+  const std::int64_t OH = output.shape()[1], OW = output.shape()[2],
+                     OF = output.shape()[3];
+  check(FC == C && OF == F && output.shape()[0] == N,
+        "conv2d: channel mismatch");
+  const int ph = same_pad(static_cast<int>(KH));
+  const int pw = same_pad(static_cast<int>(KW));
+
+  // Parallel over (n, oh) rows: contiguous output rows per worker.
+  const std::size_t rows = static_cast<std::size_t>(N * OH);
+  team.parallel_for(rows, [&](std::size_t begin, std::size_t end,
+                              std::size_t) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const std::int64_t n = static_cast<std::int64_t>(r) / OH;
+      const std::int64_t oh = static_cast<std::int64_t>(r) % OH;
+      for (std::int64_t ow = 0; ow < OW; ++ow) {
+        for (std::int64_t f = 0; f < F; ++f) {
+          float acc = 0.f;
+          for (std::int64_t kh = 0; kh < KH; ++kh) {
+            const std::int64_t ih = oh * stride - ph + kh;
+            if (ih < 0 || ih >= H) continue;
+            for (std::int64_t kw = 0; kw < KW; ++kw) {
+              const std::int64_t iw = ow * stride - pw + kw;
+              if (iw < 0 || iw >= W) continue;
+              const float* in_px = input.nhwc_ptr(n, ih, iw);
+              const float* flt =
+                  filter.data() + ((kh * KW + kw) * C) * F + f;
+              for (std::int64_t c = 0; c < C; ++c) {
+                acc += in_px[c] * flt[static_cast<std::size_t>(c) * F];
+              }
+            }
+          }
+          output.nhwc(n, oh, ow, f) = acc;
+        }
+      }
+    }
+  });
+}
+
+void conv2d_backprop_filter(ThreadTeam& team, const Tensor& input,
+                            const Tensor& d_out, Tensor& d_filter,
+                            int stride) {
+  check(input.shape().rank() == 4 && d_out.shape().rank() == 4 &&
+            d_filter.shape().rank() == 4,
+        "conv2d_backprop_filter: rank-4 tensors required");
+  const std::int64_t N = input.shape()[0], H = input.shape()[1],
+                     W = input.shape()[2], C = input.shape()[3];
+  const std::int64_t KH = d_filter.shape()[0], KW = d_filter.shape()[1],
+                     F = d_filter.shape()[3];
+  const std::int64_t OH = d_out.shape()[1], OW = d_out.shape()[2];
+  check(d_filter.shape()[2] == C && d_out.shape()[3] == F,
+        "conv2d_backprop_filter: channel mismatch");
+  const int ph = same_pad(static_cast<int>(KH));
+  const int pw = same_pad(static_cast<int>(KW));
+
+  // Parallel over filter cells (kh, kw, c): each worker owns disjoint
+  // accumulator slices, so no atomics are needed.
+  const std::size_t cells = static_cast<std::size_t>(KH * KW * C);
+  team.parallel_for(cells, [&](std::size_t begin, std::size_t end,
+                               std::size_t) {
+    for (std::size_t cell = begin; cell < end; ++cell) {
+      const std::int64_t kh = static_cast<std::int64_t>(cell) / (KW * C);
+      const std::int64_t kw = (static_cast<std::int64_t>(cell) / C) % KW;
+      const std::int64_t c = static_cast<std::int64_t>(cell) % C;
+      float* dst = d_filter.data() + cell * static_cast<std::size_t>(F);
+      std::fill(dst, dst + F, 0.f);
+      for (std::int64_t n = 0; n < N; ++n) {
+        for (std::int64_t oh = 0; oh < OH; ++oh) {
+          const std::int64_t ih = oh * stride - ph + kh;
+          if (ih < 0 || ih >= H) continue;
+          for (std::int64_t ow = 0; ow < OW; ++ow) {
+            const std::int64_t iw = ow * stride - pw + kw;
+            if (iw < 0 || iw >= W) continue;
+            const float in_v = input.nhwc(n, ih, iw, c);
+            if (in_v == 0.f) continue;
+            const float* dout_px = d_out.nhwc_ptr(n, oh, ow);
+            for (std::int64_t f = 0; f < F; ++f) dst[f] += in_v * dout_px[f];
+          }
+        }
+      }
+    }
+  });
+}
+
+void conv2d_backprop_input(ThreadTeam& team, const Tensor& filter,
+                           const Tensor& d_out, Tensor& d_input,
+                           int stride) {
+  check(filter.shape().rank() == 4 && d_out.shape().rank() == 4 &&
+            d_input.shape().rank() == 4,
+        "conv2d_backprop_input: rank-4 tensors required");
+  const std::int64_t N = d_input.shape()[0], H = d_input.shape()[1],
+                     W = d_input.shape()[2], C = d_input.shape()[3];
+  const std::int64_t KH = filter.shape()[0], KW = filter.shape()[1],
+                     F = filter.shape()[3];
+  const std::int64_t OH = d_out.shape()[1], OW = d_out.shape()[2];
+  check(filter.shape()[2] == C && d_out.shape()[3] == F,
+        "conv2d_backprop_input: channel mismatch");
+  const int ph = same_pad(static_cast<int>(KH));
+  const int pw = same_pad(static_cast<int>(KW));
+
+  const std::size_t rows = static_cast<std::size_t>(N * H);
+  team.parallel_for(rows, [&](std::size_t begin, std::size_t end,
+                              std::size_t) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const std::int64_t n = static_cast<std::int64_t>(r) / H;
+      const std::int64_t ih = static_cast<std::int64_t>(r) % H;
+      for (std::int64_t iw = 0; iw < W; ++iw) {
+        float* dst = d_input.nhwc_ptr(n, ih, iw);
+        std::fill(dst, dst + C, 0.f);
+        for (std::int64_t kh = 0; kh < KH; ++kh) {
+          const std::int64_t oh_num = ih + ph - kh;
+          if (oh_num < 0 || oh_num % stride != 0) continue;
+          const std::int64_t oh = oh_num / stride;
+          if (oh >= OH) continue;
+          for (std::int64_t kw = 0; kw < KW; ++kw) {
+            const std::int64_t ow_num = iw + pw - kw;
+            if (ow_num < 0 || ow_num % stride != 0) continue;
+            const std::int64_t ow = ow_num / stride;
+            if (ow >= OW) continue;
+            const float* dout_px = d_out.nhwc_ptr(n, oh, ow);
+            const float* flt = filter.data() + ((kh * KW + kw) * C) * F;
+            for (std::int64_t c = 0; c < C; ++c) {
+              float acc = 0.f;
+              const float* frow = flt + static_cast<std::size_t>(c) * F;
+              for (std::int64_t f = 0; f < F; ++f)
+                acc += frow[f] * dout_px[f];
+              dst[c] += acc;
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+void max_pool2x2(ThreadTeam& team, const Tensor& input, Tensor& output) {
+  check(input.shape().rank() == 4 && output.shape().rank() == 4,
+        "max_pool2x2: rank-4 tensors required");
+  const std::int64_t N = input.shape()[0], H = input.shape()[1],
+                     W = input.shape()[2], C = input.shape()[3];
+  const std::int64_t OH = output.shape()[1], OW = output.shape()[2];
+  check(OH == H / 2 && OW == W / 2 && output.shape()[3] == C,
+        "max_pool2x2: output must be (N,H/2,W/2,C)");
+  const std::size_t rows = static_cast<std::size_t>(N * OH);
+  team.parallel_for(rows, [&](std::size_t begin, std::size_t end,
+                              std::size_t) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const std::int64_t n = static_cast<std::int64_t>(r) / OH;
+      const std::int64_t oh = static_cast<std::int64_t>(r) % OH;
+      for (std::int64_t ow = 0; ow < OW; ++ow) {
+        for (std::int64_t c = 0; c < C; ++c) {
+          const float v00 = input.nhwc(n, oh * 2, ow * 2, c);
+          const float v01 = input.nhwc(n, oh * 2, ow * 2 + 1, c);
+          const float v10 = input.nhwc(n, oh * 2 + 1, ow * 2, c);
+          const float v11 = input.nhwc(n, oh * 2 + 1, ow * 2 + 1, c);
+          output.nhwc(n, oh, ow, c) =
+              std::max(std::max(v00, v01), std::max(v10, v11));
+        }
+      }
+    }
+  });
+}
+
+void avg_pool_global(ThreadTeam& team, const Tensor& input, Tensor& output) {
+  check(input.shape().rank() == 4 && output.shape().rank() == 4,
+        "avg_pool_global: rank-4 tensors required");
+  const std::int64_t N = input.shape()[0], H = input.shape()[1],
+                     W = input.shape()[2], C = input.shape()[3];
+  check(output.shape()[0] == N && output.shape()[1] == 1 &&
+            output.shape()[2] == 1 && output.shape()[3] == C,
+        "avg_pool_global: output must be (N,1,1,C)");
+  const float inv = 1.0f / static_cast<float>(H * W);
+  team.parallel_for(static_cast<std::size_t>(N), [&](std::size_t begin,
+                                                     std::size_t end,
+                                                     std::size_t) {
+    for (std::size_t n = begin; n < end; ++n) {
+      float* dst = output.data() + n * static_cast<std::size_t>(C);
+      std::fill(dst, dst + C, 0.f);
+      for (std::int64_t h = 0; h < H; ++h)
+        for (std::int64_t w = 0; w < W; ++w) {
+          const float* px = input.nhwc_ptr(static_cast<std::int64_t>(n), h, w);
+          for (std::int64_t c = 0; c < C; ++c) dst[c] += px[c];
+        }
+      for (std::int64_t c = 0; c < C; ++c) dst[c] *= inv;
+    }
+  });
+}
+
+void bias_add(ThreadTeam& team, const Tensor& input, const Tensor& bias,
+              Tensor& output) {
+  const std::int64_t C = bias.shape()[bias.shape().rank() - 1];
+  check(input.size() == output.size() &&
+            static_cast<std::int64_t>(input.size()) % C == 0,
+        "bias_add: shape mismatch");
+  const std::size_t pixels = input.size() / static_cast<std::size_t>(C);
+  const float* pin = input.data();
+  const float* pb = bias.data();
+  float* pout = output.data();
+  team.parallel_for(pixels, [&](std::size_t begin, std::size_t end,
+                                std::size_t) {
+    for (std::size_t p = begin; p < end; ++p) {
+      const float* src = pin + p * static_cast<std::size_t>(C);
+      float* dst = pout + p * static_cast<std::size_t>(C);
+      for (std::int64_t c = 0; c < C; ++c) dst[c] = src[c] + pb[c];
+    }
+  });
+}
+
+void bias_add_grad(ThreadTeam& team, const Tensor& d_out, Tensor& d_bias) {
+  const std::int64_t C = d_bias.shape()[d_bias.shape().rank() - 1];
+  check(static_cast<std::int64_t>(d_out.size()) % C == 0,
+        "bias_add_grad: shape mismatch");
+  const std::size_t pixels = d_out.size() / static_cast<std::size_t>(C);
+  // Parallel over channels: each worker owns disjoint channels.
+  team.parallel_for(static_cast<std::size_t>(C), [&](std::size_t begin,
+                                                     std::size_t end,
+                                                     std::size_t) {
+    for (std::size_t c = begin; c < end; ++c) {
+      float acc = 0.f;
+      for (std::size_t p = 0; p < pixels; ++p)
+        acc += d_out[p * static_cast<std::size_t>(C) + c];
+      d_bias[c] = acc;
+    }
+  });
+}
+
+namespace {
+template <typename F>
+void unary_ew(ThreadTeam& team, const Tensor& in, Tensor& out, F f) {
+  check(in.size() == out.size(), "elementwise: size mismatch");
+  const float* pin = in.data();
+  float* pout = out.data();
+  team.parallel_for_grain(in.size(), 1024,
+                          [&](std::size_t b, std::size_t e, std::size_t) {
+                            for (std::size_t i = b; i < e; ++i)
+                              pout[i] = f(pin[i]);
+                          });
+}
+}  // namespace
+
+void relu(ThreadTeam& team, const Tensor& input, Tensor& output) {
+  unary_ew(team, input, output, [](float x) { return x > 0.f ? x : 0.f; });
+}
+
+void relu_grad(ThreadTeam& team, const Tensor& input, const Tensor& d_out,
+               Tensor& d_input) {
+  check(input.size() == d_out.size() && input.size() == d_input.size(),
+        "relu_grad: size mismatch");
+  const float* pin = input.data();
+  const float* pd = d_out.data();
+  float* pout = d_input.data();
+  team.parallel_for_grain(input.size(), 1024,
+                          [&](std::size_t b, std::size_t e, std::size_t) {
+                            for (std::size_t i = b; i < e; ++i)
+                              pout[i] = pin[i] > 0.f ? pd[i] : 0.f;
+                          });
+}
+
+void sigmoid(ThreadTeam& team, const Tensor& input, Tensor& output) {
+  unary_ew(team, input, output,
+           [](float x) { return 1.f / (1.f + std::exp(-x)); });
+}
+
+void tanh_op(ThreadTeam& team, const Tensor& input, Tensor& output) {
+  unary_ew(team, input, output, [](float x) { return std::tanh(x); });
+}
+
+void mul(ThreadTeam& team, const Tensor& a, const Tensor& b, Tensor& out) {
+  check(a.size() == b.size() && a.size() == out.size(), "mul: size mismatch");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  team.parallel_for_grain(a.size(), 1024,
+                          [&](std::size_t bg, std::size_t e, std::size_t) {
+                            for (std::size_t i = bg; i < e; ++i)
+                              po[i] = pa[i] * pb[i];
+                          });
+}
+
+void add(ThreadTeam& team, const Tensor& a, const Tensor& b, Tensor& out) {
+  check(a.size() == b.size() && a.size() == out.size(), "add: size mismatch");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  team.parallel_for_grain(a.size(), 1024,
+                          [&](std::size_t bg, std::size_t e, std::size_t) {
+                            for (std::size_t i = bg; i < e; ++i)
+                              po[i] = pa[i] + pb[i];
+                          });
+}
+
+void add_n(ThreadTeam& team, const std::vector<const Tensor*>& inputs,
+           Tensor& out) {
+  check(!inputs.empty(), "add_n: need at least one input");
+  for (const Tensor* t : inputs)
+    check(t->size() == out.size(), "add_n: size mismatch");
+  float* po = out.data();
+  team.parallel_for_grain(
+      out.size(), 1024, [&](std::size_t b, std::size_t e, std::size_t) {
+        for (std::size_t i = b; i < e; ++i) {
+          float acc = 0.f;
+          for (const Tensor* t : inputs) acc += (*t)[i];
+          po[i] = acc;
+        }
+      });
+}
+
+void fused_batch_norm(ThreadTeam& team, const Tensor& input,
+                      const Tensor& gamma, const Tensor& beta, Tensor& output,
+                      Tensor& mean_out, Tensor& var_out, float eps) {
+  check(input.shape().rank() == 4, "fused_batch_norm: rank-4 input required");
+  const std::int64_t C = input.shape()[3];
+  check(static_cast<std::int64_t>(gamma.size()) == C &&
+            static_cast<std::int64_t>(beta.size()) == C &&
+            static_cast<std::int64_t>(mean_out.size()) == C &&
+            static_cast<std::int64_t>(var_out.size()) == C &&
+            input.size() == output.size(),
+        "fused_batch_norm: parameter size mismatch");
+  const std::size_t pixels = input.size() / static_cast<std::size_t>(C);
+  const float inv_n = 1.0f / static_cast<float>(pixels);
+
+  // Pass 1: per-channel mean/var, parallel over channels.
+  team.parallel_for(static_cast<std::size_t>(C), [&](std::size_t b,
+                                                     std::size_t e,
+                                                     std::size_t) {
+    for (std::size_t c = b; c < e; ++c) {
+      float s = 0.f, s2 = 0.f;
+      for (std::size_t p = 0; p < pixels; ++p) {
+        const float v = input[p * static_cast<std::size_t>(C) + c];
+        s += v;
+        s2 += v * v;
+      }
+      const float m = s * inv_n;
+      mean_out[c] = m;
+      var_out[c] = std::max(0.f, s2 * inv_n - m * m);
+    }
+  });
+
+  // Pass 2: normalize, parallel over pixels.
+  team.parallel_for(pixels, [&](std::size_t b, std::size_t e, std::size_t) {
+    for (std::size_t p = b; p < e; ++p) {
+      const float* src = input.data() + p * static_cast<std::size_t>(C);
+      float* dst = output.data() + p * static_cast<std::size_t>(C);
+      for (std::int64_t c = 0; c < C; ++c) {
+        const float inv_std = 1.0f / std::sqrt(var_out[static_cast<std::size_t>(c)] + eps);
+        dst[c] = gamma[static_cast<std::size_t>(c)] *
+                     (src[c] - mean_out[static_cast<std::size_t>(c)]) * inv_std +
+                 beta[static_cast<std::size_t>(c)];
+      }
+    }
+  });
+}
+
+void apply_adam(ThreadTeam& team, Tensor& param, Tensor& m, Tensor& v,
+                const Tensor& grad, float lr, float beta1, float beta2,
+                float eps, int timestep) {
+  check(param.size() == m.size() && param.size() == v.size() &&
+            param.size() == grad.size(),
+        "apply_adam: size mismatch");
+  const float bc1 = 1.f - std::pow(beta1, static_cast<float>(timestep));
+  const float bc2 = 1.f - std::pow(beta2, static_cast<float>(timestep));
+  const float alpha = lr * std::sqrt(bc2) / bc1;
+  float* pp = param.data();
+  float* pm = m.data();
+  float* pv = v.data();
+  const float* pg = grad.data();
+  team.parallel_for_grain(
+      param.size(), 1024, [&](std::size_t b, std::size_t e, std::size_t) {
+        for (std::size_t i = b; i < e; ++i) {
+          pm[i] = beta1 * pm[i] + (1.f - beta1) * pg[i];
+          pv[i] = beta2 * pv[i] + (1.f - beta2) * pg[i] * pg[i];
+          pp[i] -= alpha * pm[i] / (std::sqrt(pv[i]) + eps);
+        }
+      });
+}
+
+float sparse_softmax_xent(ThreadTeam& team, const Tensor& logits,
+                          const std::vector<int>& labels, Tensor& d_logits) {
+  check(logits.shape().rank() == 2, "sparse_softmax_xent: rank-2 required");
+  const std::int64_t N = logits.shape()[0], C = logits.shape()[1];
+  check(static_cast<std::int64_t>(labels.size()) == N &&
+            logits.size() == d_logits.size(),
+        "sparse_softmax_xent: size mismatch");
+  std::vector<double> losses(static_cast<std::size_t>(N), 0.0);
+  const float inv_n = 1.0f / static_cast<float>(N);
+  team.parallel_for(static_cast<std::size_t>(N), [&](std::size_t b,
+                                                     std::size_t e,
+                                                     std::size_t) {
+    for (std::size_t n = b; n < e; ++n) {
+      const float* row = logits.data() + n * static_cast<std::size_t>(C);
+      float* drow = d_logits.data() + n * static_cast<std::size_t>(C);
+      float mx = row[0];
+      for (std::int64_t c = 1; c < C; ++c) mx = std::max(mx, row[c]);
+      float denom = 0.f;
+      for (std::int64_t c = 0; c < C; ++c) denom += std::exp(row[c] - mx);
+      const int label = labels[n];
+      const float log_p =
+          row[label] - mx - std::log(denom);
+      losses[n] = -static_cast<double>(log_p);
+      for (std::int64_t c = 0; c < C; ++c) {
+        const float p = std::exp(row[c] - mx) / denom;
+        drow[c] = (p - (c == label ? 1.f : 0.f)) * inv_n;
+      }
+    }
+  });
+  double total = 0.0;
+  for (double l : losses) total += l;
+  return static_cast<float>(total / static_cast<double>(N));
+}
+
+void tile_axis0(ThreadTeam& team, const Tensor& input, int multiple,
+                Tensor& output) {
+  check(multiple >= 1, "tile_axis0: multiple must be >= 1");
+  check(output.size() == input.size() * static_cast<std::size_t>(multiple),
+        "tile_axis0: output size must be input size * multiple");
+  const std::size_t n = input.size();
+  float* po = output.data();
+  const float* pi = input.data();
+  team.parallel_for(static_cast<std::size_t>(multiple),
+                    [&](std::size_t b, std::size_t e, std::size_t) {
+                      for (std::size_t rep = b; rep < e; ++rep)
+                        std::copy(pi, pi + n, po + rep * n);
+                    });
+}
+
+}  // namespace opsched::kernels

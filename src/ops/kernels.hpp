@@ -1,0 +1,83 @@
+// Parallel host kernels for the operation catalog. Every kernel takes a
+// ThreadTeam so its intra-op parallelism is whatever team the runtime hands
+// it — the same control point the paper patches into MKL-DNN-backed ops.
+//
+// Layout conventions:
+//   activations: NHWC      filters: (KH, KW, C, F)
+//   matmul:      row-major (M,K) x (K,N) -> (M,N)
+// Convolutions are stride-1 "SAME"-padded unless a stride is passed.
+#pragma once
+
+#include "ops/tensor.hpp"
+#include "threading/thread_team.hpp"
+
+namespace opsched::kernels {
+
+/// out(M,N) = a(M,K) * b(K,N). Parallel over row blocks.
+void matmul(ThreadTeam& team, const Tensor& a, const Tensor& b, Tensor& out);
+
+/// 2D convolution, NHWC x (KH,KW,C,F) -> NHWC, given stride and SAME padding.
+void conv2d(ThreadTeam& team, const Tensor& input, const Tensor& filter,
+            Tensor& output, int stride = 1);
+
+/// Gradient w.r.t. the filter: dW(KH,KW,C,F) from input and dOut.
+void conv2d_backprop_filter(ThreadTeam& team, const Tensor& input,
+                            const Tensor& d_out, Tensor& d_filter,
+                            int stride = 1);
+
+/// Gradient w.r.t. the input: dX from filter and dOut.
+void conv2d_backprop_input(ThreadTeam& team, const Tensor& filter,
+                           const Tensor& d_out, Tensor& d_input,
+                           int stride = 1);
+
+/// 2x2 max pooling with stride 2 (the common case in the four models).
+void max_pool2x2(ThreadTeam& team, const Tensor& input, Tensor& output);
+
+/// Global average pool over H,W: (N,H,W,C) -> (N,1,1,C).
+void avg_pool_global(ThreadTeam& team, const Tensor& input, Tensor& output);
+
+/// out[n,h,w,c] = in[n,h,w,c] + bias[c].
+void bias_add(ThreadTeam& team, const Tensor& input, const Tensor& bias,
+              Tensor& output);
+
+/// d_bias[c] = sum over n,h,w of d_out[n,h,w,c].
+void bias_add_grad(ThreadTeam& team, const Tensor& d_out, Tensor& d_bias);
+
+void relu(ThreadTeam& team, const Tensor& input, Tensor& output);
+/// d_in = d_out where input > 0 else 0.
+void relu_grad(ThreadTeam& team, const Tensor& input, const Tensor& d_out,
+               Tensor& d_input);
+
+void sigmoid(ThreadTeam& team, const Tensor& input, Tensor& output);
+void tanh_op(ThreadTeam& team, const Tensor& input, Tensor& output);
+
+/// Elementwise binary ops (shapes must match).
+void mul(ThreadTeam& team, const Tensor& a, const Tensor& b, Tensor& out);
+void add(ThreadTeam& team, const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out = sum of all inputs (>= 1), shapes must match.
+void add_n(ThreadTeam& team, const std::vector<const Tensor*>& inputs,
+           Tensor& out);
+
+/// Batch normalization over N,H,W per channel; eps for stability.
+/// Writes normalized output and the batch mean/var (size C each).
+void fused_batch_norm(ThreadTeam& team, const Tensor& input,
+                      const Tensor& gamma, const Tensor& beta, Tensor& output,
+                      Tensor& mean_out, Tensor& var_out, float eps = 1e-5f);
+
+/// Adam parameter update (in-place on param, m, v).
+void apply_adam(ThreadTeam& team, Tensor& param, Tensor& m, Tensor& v,
+                const Tensor& grad, float lr, float beta1, float beta2,
+                float eps, int timestep);
+
+/// Row-wise softmax + cross-entropy against integer labels.
+/// logits (N, C), labels (N) as floats holding class ids.
+/// Returns mean loss; writes d_logits = softmax - onehot (scaled by 1/N).
+float sparse_softmax_xent(ThreadTeam& team, const Tensor& logits,
+                          const std::vector<int>& labels, Tensor& d_logits);
+
+/// Repeats the input `multiple` times along axis 0.
+void tile_axis0(ThreadTeam& team, const Tensor& input, int multiple,
+                Tensor& output);
+
+}  // namespace opsched::kernels

@@ -1,0 +1,167 @@
+#include "ops/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opsched::reference {
+
+namespace {
+int same_pad(int k) { return (k - 1) / 2; }
+}  // namespace
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
+  const std::int64_t M = a.shape()[0], K = a.shape()[1], N = b.shape()[1];
+  for (std::int64_t i = 0; i < M; ++i)
+    for (std::int64_t j = 0; j < N; ++j) {
+      float acc = 0.f;
+      for (std::int64_t k = 0; k < K; ++k)
+        acc += a[static_cast<std::size_t>(i * K + k)] *
+               b[static_cast<std::size_t>(k * N + j)];
+      out[static_cast<std::size_t>(i * N + j)] = acc;
+    }
+}
+
+void conv2d(const Tensor& input, const Tensor& filter, Tensor& output,
+            int stride) {
+  const std::int64_t N = input.shape()[0], H = input.shape()[1],
+                     W = input.shape()[2], C = input.shape()[3];
+  const std::int64_t KH = filter.shape()[0], KW = filter.shape()[1],
+                     F = filter.shape()[3];
+  const std::int64_t OH = output.shape()[1], OW = output.shape()[2];
+  const int ph = same_pad(static_cast<int>(KH));
+  const int pw = same_pad(static_cast<int>(KW));
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t oh = 0; oh < OH; ++oh)
+      for (std::int64_t ow = 0; ow < OW; ++ow)
+        for (std::int64_t f = 0; f < F; ++f) {
+          float acc = 0.f;
+          for (std::int64_t kh = 0; kh < KH; ++kh)
+            for (std::int64_t kw = 0; kw < KW; ++kw)
+              for (std::int64_t c = 0; c < C; ++c) {
+                const std::int64_t ih = oh * stride - ph + kh;
+                const std::int64_t iw = ow * stride - pw + kw;
+                if (ih < 0 || ih >= H || iw < 0 || iw >= W) continue;
+                acc += input.nhwc(n, ih, iw, c) *
+                       filter[static_cast<std::size_t>(
+                           ((kh * KW + kw) * C + c) * F + f)];
+              }
+          output.nhwc(n, oh, ow, f) = acc;
+        }
+}
+
+void conv2d_backprop_filter(const Tensor& input, const Tensor& d_out,
+                            Tensor& d_filter, int stride) {
+  const std::int64_t N = input.shape()[0], H = input.shape()[1],
+                     W = input.shape()[2], C = input.shape()[3];
+  const std::int64_t KH = d_filter.shape()[0], KW = d_filter.shape()[1],
+                     F = d_filter.shape()[3];
+  const std::int64_t OH = d_out.shape()[1], OW = d_out.shape()[2];
+  const int ph = same_pad(static_cast<int>(KH));
+  const int pw = same_pad(static_cast<int>(KW));
+  std::fill(d_filter.span().begin(), d_filter.span().end(), 0.f);
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t oh = 0; oh < OH; ++oh)
+      for (std::int64_t ow = 0; ow < OW; ++ow)
+        for (std::int64_t kh = 0; kh < KH; ++kh)
+          for (std::int64_t kw = 0; kw < KW; ++kw)
+            for (std::int64_t c = 0; c < C; ++c) {
+              const std::int64_t ih = oh * stride - ph + kh;
+              const std::int64_t iw = ow * stride - pw + kw;
+              if (ih < 0 || ih >= H || iw < 0 || iw >= W) continue;
+              for (std::int64_t f = 0; f < F; ++f)
+                d_filter[static_cast<std::size_t>(
+                    ((kh * KW + kw) * C + c) * F + f)] +=
+                    input.nhwc(n, ih, iw, c) * d_out.nhwc(n, oh, ow, f);
+            }
+}
+
+void conv2d_backprop_input(const Tensor& filter, const Tensor& d_out,
+                           Tensor& d_input, int stride) {
+  const std::int64_t N = d_input.shape()[0], H = d_input.shape()[1],
+                     W = d_input.shape()[2], C = d_input.shape()[3];
+  const std::int64_t KH = filter.shape()[0], KW = filter.shape()[1],
+                     F = filter.shape()[3];
+  const std::int64_t OH = d_out.shape()[1], OW = d_out.shape()[2];
+  const int ph = same_pad(static_cast<int>(KH));
+  const int pw = same_pad(static_cast<int>(KW));
+  std::fill(d_input.span().begin(), d_input.span().end(), 0.f);
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t oh = 0; oh < OH; ++oh)
+      for (std::int64_t ow = 0; ow < OW; ++ow)
+        for (std::int64_t kh = 0; kh < KH; ++kh)
+          for (std::int64_t kw = 0; kw < KW; ++kw) {
+            const std::int64_t ih = oh * stride - ph + kh;
+            const std::int64_t iw = ow * stride - pw + kw;
+            if (ih < 0 || ih >= H || iw < 0 || iw >= W) continue;
+            for (std::int64_t c = 0; c < C; ++c)
+              for (std::int64_t f = 0; f < F; ++f)
+                d_input.nhwc(n, ih, iw, c) +=
+                    filter[static_cast<std::size_t>(
+                        ((kh * KW + kw) * C + c) * F + f)] *
+                    d_out.nhwc(n, oh, ow, f);
+          }
+}
+
+void max_pool2x2(const Tensor& input, Tensor& output) {
+  const std::int64_t N = input.shape()[0], C = input.shape()[3];
+  const std::int64_t OH = output.shape()[1], OW = output.shape()[2];
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t oh = 0; oh < OH; ++oh)
+      for (std::int64_t ow = 0; ow < OW; ++ow)
+        for (std::int64_t c = 0; c < C; ++c) {
+          float m = input.nhwc(n, oh * 2, ow * 2, c);
+          m = std::max(m, input.nhwc(n, oh * 2, ow * 2 + 1, c));
+          m = std::max(m, input.nhwc(n, oh * 2 + 1, ow * 2, c));
+          m = std::max(m, input.nhwc(n, oh * 2 + 1, ow * 2 + 1, c));
+          output.nhwc(n, oh, ow, c) = m;
+        }
+}
+
+void avg_pool_global(const Tensor& input, Tensor& output) {
+  const std::int64_t N = input.shape()[0], H = input.shape()[1],
+                     W = input.shape()[2], C = input.shape()[3];
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c) {
+      float acc = 0.f;
+      for (std::int64_t h = 0; h < H; ++h)
+        for (std::int64_t w = 0; w < W; ++w) acc += input.nhwc(n, h, w, c);
+      output.nhwc(n, 0, 0, c) = acc / static_cast<float>(H * W);
+    }
+}
+
+void bias_add(const Tensor& input, const Tensor& bias, Tensor& output) {
+  const std::size_t C = bias.size();
+  for (std::size_t i = 0; i < input.size(); ++i)
+    output[i] = input[i] + bias[i % C];
+}
+
+void bias_add_grad(const Tensor& d_out, Tensor& d_bias) {
+  const std::size_t C = d_bias.size();
+  std::fill(d_bias.span().begin(), d_bias.span().end(), 0.f);
+  for (std::size_t i = 0; i < d_out.size(); ++i) d_bias[i % C] += d_out[i];
+}
+
+float sparse_softmax_xent(const Tensor& logits, const std::vector<int>& labels,
+                          Tensor& d_logits) {
+  const std::int64_t N = logits.shape()[0], C = logits.shape()[1];
+  double total = 0.0;
+  for (std::int64_t n = 0; n < N; ++n) {
+    const float* row = logits.data() + static_cast<std::size_t>(n * C);
+    float* drow = d_logits.data() + static_cast<std::size_t>(n * C);
+    float mx = row[0];
+    for (std::int64_t c = 1; c < C; ++c) mx = std::max(mx, row[c]);
+    float denom = 0.f;
+    for (std::int64_t c = 0; c < C; ++c) denom += std::exp(row[c] - mx);
+    total -= static_cast<double>(row[labels[static_cast<std::size_t>(n)]] -
+                                 mx - std::log(denom));
+    for (std::int64_t c = 0; c < C; ++c) {
+      const float p = std::exp(row[c] - mx) / denom;
+      drow[c] =
+          (p - (c == labels[static_cast<std::size_t>(n)] ? 1.f : 0.f)) /
+          static_cast<float>(N);
+    }
+  }
+  return static_cast<float>(total / static_cast<double>(N));
+}
+
+}  // namespace opsched::reference

@@ -1,0 +1,26 @@
+// Naive single-threaded reference implementations used only by the test
+// suite to validate the parallel kernels. Written as directly as possible —
+// correctness over speed — so a divergence points at the parallel code.
+#pragma once
+
+#include <vector>
+
+#include "ops/tensor.hpp"
+
+namespace opsched::reference {
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& out);
+void conv2d(const Tensor& input, const Tensor& filter, Tensor& output,
+            int stride = 1);
+void conv2d_backprop_filter(const Tensor& input, const Tensor& d_out,
+                            Tensor& d_filter, int stride = 1);
+void conv2d_backprop_input(const Tensor& filter, const Tensor& d_out,
+                           Tensor& d_input, int stride = 1);
+void max_pool2x2(const Tensor& input, Tensor& output);
+void avg_pool_global(const Tensor& input, Tensor& output);
+void bias_add(const Tensor& input, const Tensor& bias, Tensor& output);
+void bias_add_grad(const Tensor& d_out, Tensor& d_bias);
+float sparse_softmax_xent(const Tensor& logits, const std::vector<int>& labels,
+                          Tensor& d_logits);
+
+}  // namespace opsched::reference

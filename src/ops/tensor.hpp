@@ -1,0 +1,74 @@
+// Host tensor: a float32 buffer plus shape. Used by the real kernels that
+// back the host-mode examples and the numeric unit tests. The simulated path
+// never allocates tensors.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/shape.hpp"
+
+namespace opsched {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(const TensorShape& shape)
+      : shape_(shape), data_(static_cast<std::size_t>(shape.elements()), 0.f) {}
+  Tensor(const TensorShape& shape, float fill)
+      : shape_(shape),
+        data_(static_cast<std::size_t>(shape.elements()), fill) {}
+
+  const TensorShape& shape() const noexcept { return shape_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  std::span<float> span() noexcept { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  float& at(std::size_t i) {
+    if (i >= data_.size()) throw std::out_of_range("Tensor::at");
+    return data_[i];
+  }
+  float at(std::size_t i) const {
+    if (i >= data_.size()) throw std::out_of_range("Tensor::at");
+    return data_[i];
+  }
+
+  float& operator[](std::size_t i) noexcept { return data_[i]; }
+  float operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  /// NHWC element access for rank-4 tensors (no bounds check).
+  float& nhwc(std::int64_t n, std::int64_t h, std::int64_t w,
+              std::int64_t c) noexcept {
+    const std::int64_t H = shape_[1], W = shape_[2], C = shape_[3];
+    return data_[static_cast<std::size_t>(((n * H + h) * W + w) * C + c)];
+  }
+  float nhwc(std::int64_t n, std::int64_t h, std::int64_t w,
+             std::int64_t c) const noexcept {
+    const std::int64_t H = shape_[1], W = shape_[2], C = shape_[3];
+    return data_[static_cast<std::size_t>(((n * H + h) * W + w) * C + c)];
+  }
+
+  /// Pointer to the first channel of pixel (n,h,w) — for inner-loop scans.
+  const float* nhwc_ptr(std::int64_t n, std::int64_t h,
+                        std::int64_t w) const noexcept {
+    const std::int64_t H = shape_[1], W = shape_[2], C = shape_[3];
+    return data_.data() + static_cast<std::size_t>(((n * H + h) * W + w) * C);
+  }
+  float* nhwc_ptr(std::int64_t n, std::int64_t h, std::int64_t w) noexcept {
+    const std::int64_t H = shape_[1], W = shape_[2], C = shape_[3];
+    return data_.data() + static_cast<std::size_t>(((n * H + h) * W + w) * C);
+  }
+
+ private:
+  TensorShape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace opsched

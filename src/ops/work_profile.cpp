@@ -1,0 +1,200 @@
+#include "ops/work_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opsched {
+
+namespace {
+
+double d(const TensorShape& s, std::size_t i, double def = 1.0) {
+  return i < s.rank() ? static_cast<double>(s[i]) : def;
+}
+
+/// Conv-family profile. Convention used by the model builders:
+///   input  = (N, H, W, C)   — NHWC activation
+///   aux    = (KH, KW, Ci, Co) — filter
+///   output = forward: (N, OH, OW, F); backprop-input: (N, H, W, C);
+///            backprop-filter: the filter shape itself.
+WorkProfile conv_profile(OpKind kind, const TensorShape& input,
+                         const TensorShape& aux, const TensorShape& output) {
+  WorkProfile w;
+  const double kh = d(aux, 0), kw = d(aux, 1);
+  w.bytes = static_cast<double>(input.bytes()) +
+            static_cast<double>(aux.bytes()) +
+            static_cast<double>(output.bytes());
+  // Filter + one input tile are re-read per output pixel: filters dominate
+  // the reusable working set.
+  w.working_set = static_cast<double>(aux.bytes());
+  switch (kind) {
+    case OpKind::kConv2D:
+      // Each output element accumulates over KH*KW*Ci.
+      w.flops = 2.0 * static_cast<double>(output.elements()) * kh * kw *
+                d(aux, 2);
+      break;
+    case OpKind::kConv2DBackpropInput:
+      // Each input-gradient element accumulates over KH*KW*Co.
+      w.flops = 2.0 * static_cast<double>(output.elements()) * kh * kw *
+                d(aux, 3);
+      break;
+    default:  // kConv2DBackpropFilter
+      // Every activation element contributes to KH*KW*Co filter cells.
+      w.flops = 2.0 * static_cast<double>(input.elements()) * kh * kw *
+                d(aux, 3);
+      break;
+  }
+  // MKL-DNN blocks conv work into chunks whose count grows roughly with the
+  // square root of the activation volume and with the channel width. This
+  // granularity is what bounds useful parallelism: it reproduces the
+  // paper's Table II pattern where (32,8,8,384) peaks near 26-45 threads
+  // but (32,8,8,2048) wants all 68 cores.
+  {
+    const double act_elems = static_cast<double>(
+        std::max(input.elements(), output.elements()));
+    // Either channel side can carry the blocking (a C=1 input conv still
+    // parallelizes over its output channels), and spatial blocking keeps a
+    // floor under narrow-channel convs (stem layers parallelize over their
+    // large spatial extent).
+    const double chan = std::max({1.0, d(aux, 2), d(aux, 3)});
+    const double chan_factor =
+        std::max(0.5, std::pow(chan / 384.0, 0.75));
+    w.granularity =
+        std::max(1.0, 0.13 * std::sqrt(act_elems) * chan_factor);
+  }
+  return w;
+}
+
+WorkProfile matmul_profile(const TensorShape& input, const TensorShape& aux,
+                           const TensorShape& output) {
+  WorkProfile w;
+  const double m = d(input, 0), k = d(input, 1);
+  const double n = d(aux, 1, d(output, 1));
+  w.flops = 2.0 * m * k * n;
+  w.bytes = static_cast<double>(input.bytes()) +
+            static_cast<double>(aux.bytes()) +
+            static_cast<double>(output.bytes());
+  w.granularity = std::max(1.0, m);
+  w.working_set = static_cast<double>(aux.bytes());
+  return w;
+}
+
+WorkProfile elementwise_profile(const TensorShape& input, double flops_per_elem,
+                                double tensors_touched) {
+  WorkProfile w;
+  const double n = static_cast<double>(input.elements());
+  w.flops = flops_per_elem * n;
+  w.bytes = tensors_touched * 4.0 * n;
+  w.granularity = std::max(1.0, n / 64.0);  // cache-line granules
+  w.working_set = 0.0;                      // streaming, no reuse
+  return w;
+}
+
+}  // namespace
+
+WorkProfile work_profile(OpKind kind, const TensorShape& input,
+                         const TensorShape& aux, const TensorShape& output) {
+  switch (kind) {
+    case OpKind::kConv2D:
+    case OpKind::kConv2DBackpropFilter:
+    case OpKind::kConv2DBackpropInput: {
+      WorkProfile w = conv_profile(kind, input, aux, output);
+      // Backward passes re-read activations and write larger accumulators;
+      // reflect the paper's measured ordering BF > BI > FWD in bytes.
+      if (kind == OpKind::kConv2DBackpropFilter) {
+        w.bytes *= 1.6;
+        w.flops *= 1.15;
+      } else if (kind == OpKind::kConv2DBackpropInput) {
+        w.bytes *= 1.3;
+      }
+      return w;
+    }
+    case OpKind::kMatMul:
+      return matmul_profile(input, aux, output);
+    case OpKind::kMatMulGrad: {
+      WorkProfile w = matmul_profile(input, aux, output);
+      w.flops *= 2.0;  // dX and dW
+      w.bytes *= 1.5;
+      return w;
+    }
+    case OpKind::kMaxPool:
+    case OpKind::kAvgPool: {
+      // A 3x3 window reads ~9 inputs per output element.
+      WorkProfile w = elementwise_profile(input, 9.0, 2.2);
+      w.granularity = std::max(1.0, d(output, 0) * d(output, 1) * d(output, 2));
+      return w;
+    }
+    case OpKind::kMaxPoolGrad:
+    case OpKind::kAvgPoolGrad:
+      return elementwise_profile(input, 9.0, 2.5);
+    case OpKind::kFusedBatchNorm:
+      // Two passes (stats + normalize) + scale/shift.
+      return elementwise_profile(input, 4.0, 3.0);
+    case OpKind::kFusedBatchNormGrad:
+      return elementwise_profile(input, 6.0, 4.0);
+    case OpKind::kBiasAdd:
+      return elementwise_profile(input, 1.0, 2.0);
+    case OpKind::kBiasAddGrad: {
+      // Reduction over all but the channel dimension.
+      WorkProfile w = elementwise_profile(input, 1.0, 1.0);
+      const double channels =
+          input.rank() > 0 ? static_cast<double>(input[input.rank() - 1]) : 1.0;
+      w.granularity = std::max(1.0, channels);
+      return w;
+    }
+    case OpKind::kRelu:
+    case OpKind::kReluGrad:
+      return elementwise_profile(input, 1.0, 2.0);
+    case OpKind::kSigmoid:
+    case OpKind::kTanh:
+      return elementwise_profile(input, 8.0, 2.0);
+    case OpKind::kMul:
+    case OpKind::kAdd:
+    case OpKind::kSub:
+      return elementwise_profile(input, 1.0, 3.0);
+    case OpKind::kAddN:
+      return elementwise_profile(input, 2.0, 3.0);
+    case OpKind::kInputConversion:
+    case OpKind::kToTf:
+    case OpKind::kTranspose:
+      // Pure layout shuffles: no flops, strided traffic (expensive per byte).
+      return elementwise_profile(input, 0.25, 2.6);
+    case OpKind::kTile: {
+      WorkProfile w = elementwise_profile(output, 0.25, 2.0);
+      w.bytes += static_cast<double>(input.bytes());
+      return w;
+    }
+    case OpKind::kConcat:
+    case OpKind::kSplit:
+    case OpKind::kReshape:
+    case OpKind::kPad:
+      return elementwise_profile(input, 0.1, 2.0);
+    case OpKind::kSoftmax:
+      return elementwise_profile(input, 6.0, 2.0);
+    case OpKind::kSparseSoftmaxCrossEntropy: {
+      WorkProfile w = elementwise_profile(input, 8.0, 2.0);
+      // Row-wise reductions: batch rows are the independent units.
+      w.granularity = std::max(1.0, d(input, 0));
+      return w;
+    }
+    case OpKind::kApplyAdam:
+      // m, v, param reads+writes plus grad read: heavy streaming traffic.
+      return elementwise_profile(input, 10.0, 7.0);
+    case OpKind::kApplyGradientDescent:
+      return elementwise_profile(input, 2.0, 3.0);
+    case OpKind::kGatherEmbedding: {
+      WorkProfile w = elementwise_profile(output, 0.1, 2.0);
+      w.granularity = std::max(1.0, d(output, 0));
+      return w;
+    }
+    case OpKind::kCount:
+      break;
+  }
+  return elementwise_profile(input, 1.0, 2.0);
+}
+
+WorkProfile work_profile(const Node& node) {
+  return work_profile(node.kind, node.input_shape, node.aux_shape,
+                      node.output_shape);
+}
+
+}  // namespace opsched

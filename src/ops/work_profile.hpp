@@ -1,0 +1,33 @@
+// WorkProfile: how much computation and memory traffic an operation instance
+// represents, derived purely from (OpKind, shapes). This feeds the simulated
+// machine's cost model; it is the moral equivalent of the per-op cost
+// estimates TensorFlow's own cost model derives for placement.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace opsched {
+
+struct WorkProfile {
+  /// Floating-point operations for one execution of the instance.
+  double flops = 0.0;
+  /// Main-memory bytes moved (inputs read + outputs written, once each).
+  double bytes = 0.0;
+  /// Upper bound on useful parallelism (independent work units); using more
+  /// threads than this cannot help (e.g. BiasAddGrad reducing to C channels).
+  double granularity = 1.0;
+  /// Working-set bytes touched repeatedly (drives tile-sharing benefit).
+  double working_set = 0.0;
+};
+
+/// Computes the profile for one node. Never fails: unknown patterns fall
+/// back to elementwise-on-input-shape behaviour.
+WorkProfile work_profile(const Node& node);
+
+/// Convenience: profile from kind + shapes without building a Node.
+WorkProfile work_profile(OpKind kind, const TensorShape& input,
+                         const TensorShape& aux, const TensorShape& output);
+
+}  // namespace opsched

@@ -1,0 +1,48 @@
+#include "perf/boosting.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace opsched {
+
+void GradientBoostingRegressor::fit(const Dataset& train) {
+  if (train.size() == 0)
+    throw std::invalid_argument("GradientBoostingRegressor: empty dataset");
+  trees_.clear();
+  train_mse_.clear();
+  base_ = mean(train.y);
+
+  std::vector<double> residual(train.size());
+  std::vector<double> current(train.size(), base_);
+  for (std::size_t i = 0; i < train.size(); ++i)
+    residual[i] = train.y[i] - base_;
+
+  for (int t = 0; t < params_.num_trees; ++t) {
+    Dataset stage;
+    stage.x = train.x;
+    stage.y = residual;
+    auto tree = std::make_unique<DecisionTreeRegressor>(
+        DecisionTreeRegressor::Params{params_.max_depth,
+                                      params_.min_samples_leaf});
+    tree->fit(stage);
+    double mse = 0.0;
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      current[i] += params_.learning_rate * tree->predict(train.x[i]);
+      residual[i] = train.y[i] - current[i];
+      mse += residual[i] * residual[i];
+    }
+    train_mse_.push_back(mse / static_cast<double>(train.size()));
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoostingRegressor::predict(
+    std::span<const double> features) const {
+  double acc = base_;
+  for (const auto& tree : trees_)
+    acc += params_.learning_rate * tree->predict(features);
+  return acc;
+}
+
+}  // namespace opsched

@@ -1,0 +1,40 @@
+// Gradient boosting for regression: shallow CART trees fit to residuals
+// with shrinkage (Friedman's L2 boosting).
+#pragma once
+
+#include <memory>
+
+#include "perf/tree.hpp"
+
+namespace opsched {
+
+struct GradientBoostingParams {
+  int num_trees = 120;
+  double learning_rate = 0.08;
+  int max_depth = 3;
+  std::size_t min_samples_leaf = 3;
+};
+
+class GradientBoostingRegressor : public Regressor {
+ public:
+  using Params = GradientBoostingParams;
+
+  explicit GradientBoostingRegressor(Params params = {}) : params_(params) {}
+  void fit(const Dataset& train) override;
+  double predict(std::span<const double> features) const override;
+  std::string name() const override { return "GradientBoosting"; }
+
+  /// Training loss (MSE) after each boosting round — tests assert it is
+  /// non-increasing, the defining property of boosting.
+  const std::vector<double>& training_curve() const noexcept {
+    return train_mse_;
+  }
+
+ private:
+  Params params_;
+  double base_ = 0.0;
+  std::vector<std::unique_ptr<DecisionTreeRegressor>> trees_;
+  std::vector<double> train_mse_;
+};
+
+}  // namespace opsched

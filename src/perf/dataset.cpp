@@ -1,0 +1,52 @@
+#include "perf/dataset.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace opsched {
+
+void Dataset::add(std::vector<double> features, double target) {
+  if (!x.empty() && features.size() != x[0].size())
+    throw std::invalid_argument("Dataset::add: feature width mismatch");
+  x.push_back(std::move(features));
+  y.push_back(target);
+}
+
+void Standardizer::fit(const Dataset& train) {
+  if (train.size() == 0)
+    throw std::invalid_argument("Standardizer::fit: empty dataset");
+  const std::size_t f = train.num_features();
+  means_.assign(f, 0.0);
+  scales_.assign(f, 1.0);
+  for (const auto& row : train.x)
+    for (std::size_t j = 0; j < f; ++j) means_[j] += row[j];
+  for (double& m : means_) m /= static_cast<double>(train.size());
+  std::vector<double> var(f, 0.0);
+  for (const auto& row : train.x)
+    for (std::size_t j = 0; j < f; ++j)
+      var[j] += (row[j] - means_[j]) * (row[j] - means_[j]);
+  for (std::size_t j = 0; j < f; ++j) {
+    const double s = std::sqrt(var[j] / static_cast<double>(train.size()));
+    scales_[j] = s > 1e-12 ? s : 1.0;
+  }
+}
+
+std::vector<double> Standardizer::transform(
+    std::span<const double> row) const {
+  if (row.size() != means_.size())
+    throw std::invalid_argument("Standardizer::transform: width mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j)
+    out[j] = (row[j] - means_[j]) / scales_[j];
+  return out;
+}
+
+Dataset Standardizer::transform(const Dataset& d) const {
+  Dataset out;
+  out.y = d.y;
+  out.x.reserve(d.size());
+  for (const auto& row : d.x) out.x.push_back(transform(row));
+  return out;
+}
+
+}  // namespace opsched

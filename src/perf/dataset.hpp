@@ -1,0 +1,38 @@
+// Dataset: feature rows + targets for the regression study, with
+// standardization fit on training data only (no leakage).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace opsched {
+
+struct Dataset {
+  /// One row of features per sample.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+
+  std::size_t size() const noexcept { return x.size(); }
+  std::size_t num_features() const { return x.empty() ? 0 : x[0].size(); }
+
+  void add(std::vector<double> features, double target);
+};
+
+/// Per-feature affine scaling to zero mean / unit variance.
+class Standardizer {
+ public:
+  /// Fits on `train`; constant features get scale 1 (left centred only).
+  void fit(const Dataset& train);
+  std::vector<double> transform(std::span<const double> row) const;
+  Dataset transform(const Dataset& d) const;
+
+  const std::vector<double>& means() const noexcept { return means_; }
+  const std::vector<double>& scales() const noexcept { return scales_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+}  // namespace opsched

@@ -1,0 +1,73 @@
+#include "perf/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace opsched {
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t i = 0; i < cols_; ++i)
+    for (std::size_t j = i; j < cols_; ++j) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < rows_; ++r)
+        acc += at(r, i) * at(r, j);
+      g.at(i, j) = acc;
+      g.at(j, i) = acc;
+    }
+  return g;
+}
+
+std::vector<double> Matrix::t_times(const std::vector<double>& y) const {
+  if (y.size() != rows_)
+    throw std::invalid_argument("Matrix::t_times: size mismatch");
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += at(r, c) * y[r];
+  return out;
+}
+
+std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n)
+    throw std::invalid_argument("solve_linear: dimensions");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) pivot = r;
+    if (std::abs(a.at(pivot, col)) < 1e-12)
+      throw std::runtime_error("solve_linear: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(a.at(pivot, c), a.at(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) / a.at(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c)
+        a.at(r, c) -= factor * a.at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a.at(i, c) * x[c];
+    x[i] = acc / a.at(i, i);
+  }
+  return x;
+}
+
+std::vector<double> solve_normal_equations(const Matrix& x,
+                                           const std::vector<double>& y,
+                                           double lambda) {
+  Matrix g = x.gram();
+  for (std::size_t i = 0; i < g.rows(); ++i) g.at(i, i) += lambda;
+  return solve_linear(std::move(g), x.t_times(y));
+}
+
+}  // namespace opsched

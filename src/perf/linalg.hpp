@@ -1,0 +1,45 @@
+// Dense linear algebra just large enough for the regression models:
+// row-major matrices, Gaussian elimination with partial pivoting, and
+// normal-equation solves. Feature dimensionality here is ~10 and sample
+// counts are hundreds, so simplicity beats cleverness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace opsched {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// A^T * A (cols x cols).
+  Matrix gram() const;
+  /// A^T * y.
+  std::vector<double> t_times(const std::vector<double>& y) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b in-place via Gaussian elimination with partial pivoting.
+/// A must be square. Throws std::runtime_error if singular (pivot ~ 0).
+std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+/// Solves the ridge-regularized normal equations
+/// (X^T X + lambda I) w = X^T y. lambda = 0 gives OLS.
+std::vector<double> solve_normal_equations(const Matrix& x,
+                                           const std::vector<double>& y,
+                                           double lambda);
+
+}  // namespace opsched

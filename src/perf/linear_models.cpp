@@ -1,0 +1,132 @@
+#include "perf/linear_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "perf/linalg.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace opsched {
+
+namespace {
+double dot_with_bias(const std::vector<double>& w,
+                     std::span<const double> x) {
+  double acc = w[0];
+  for (std::size_t j = 0; j < x.size(); ++j) acc += w[j + 1] * x[j];
+  return acc;
+}
+}  // namespace
+
+void LeastSquaresRegressor::fit(const Dataset& train) {
+  if (train.size() == 0)
+    throw std::invalid_argument("LeastSquaresRegressor: empty dataset");
+  const std::size_t f = train.num_features();
+  fallback_mean_ = mean(train.y);
+  Matrix x(train.size(), f + 1);
+  for (std::size_t r = 0; r < train.size(); ++r) {
+    x.at(r, 0) = 1.0;
+    for (std::size_t j = 0; j < f; ++j) x.at(r, j + 1) = train.x[r][j];
+  }
+  try {
+    weights_ = solve_normal_equations(x, train.y, lambda_);
+    degenerate_ = false;
+  } catch (const std::runtime_error&) {
+    // Singular normal equations (collinear features): degrade gracefully.
+    degenerate_ = true;
+  }
+}
+
+double LeastSquaresRegressor::predict(std::span<const double> features) const {
+  if (degenerate_ || weights_.empty()) return fallback_mean_;
+  if (features.size() + 1 != weights_.size())
+    throw std::invalid_argument("LeastSquaresRegressor: width mismatch");
+  return dot_with_bias(weights_, features);
+}
+
+void TheilSenRegressor::fit(const Dataset& train) {
+  const std::size_t n = train.size();
+  if (n < 2) throw std::invalid_argument("TheilSenRegressor: need >=2 rows");
+  const std::size_t f = train.num_features();
+  slopes_.assign(f, 0.0);
+  Xoshiro256 rng(seed_);
+
+  for (std::size_t j = 0; j < f; ++j) {
+    std::vector<double> slope_estimates;
+    slope_estimates.reserve(static_cast<std::size_t>(pairs_per_feature_));
+    for (int p = 0; p < pairs_per_feature_; ++p) {
+      const std::size_t a = rng.uniform_index(n);
+      const std::size_t b = rng.uniform_index(n);
+      if (a == b) continue;
+      const double dx = train.x[a][j] - train.x[b][j];
+      if (std::abs(dx) < 1e-12) continue;
+      slope_estimates.push_back((train.y[a] - train.y[b]) / dx);
+    }
+    slopes_[j] = slope_estimates.empty() ? 0.0 : median(slope_estimates);
+  }
+
+  std::vector<double> residuals(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = train.y[r];
+    for (std::size_t j = 0; j < f; ++j) acc -= slopes_[j] * train.x[r][j];
+    residuals[r] = acc;
+  }
+  intercept_ = median(residuals);
+}
+
+double TheilSenRegressor::predict(std::span<const double> features) const {
+  if (features.size() != slopes_.size())
+    throw std::invalid_argument("TheilSenRegressor: width mismatch");
+  double acc = intercept_;
+  for (std::size_t j = 0; j < features.size(); ++j)
+    acc += slopes_[j] * features[j];
+  return acc;
+}
+
+void PassiveAggressiveRegressor::fit(const Dataset& train) {
+  const std::size_t n = train.size();
+  if (n == 0)
+    throw std::invalid_argument("PassiveAggressiveRegressor: empty dataset");
+  const std::size_t f = train.num_features();
+  weights_.assign(f, 0.0);
+  bias_ = 0.0;
+  Xoshiro256 rng(seed_);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int e = 0; e < epochs_; ++e) {
+    // Fisher-Yates shuffle with our deterministic engine.
+    for (std::size_t i = n; i-- > 1;) {
+      const std::size_t j = rng.uniform_index(i + 1);
+      std::swap(order[i], order[j]);
+    }
+    for (std::size_t idx : order) {
+      const auto& x = train.x[idx];
+      double pred = bias_;
+      for (std::size_t j = 0; j < f; ++j) pred += weights_[j] * x[j];
+      const double err = train.y[idx] - pred;
+      const double loss = std::max(0.0, std::abs(err) - epsilon_);
+      if (loss == 0.0) continue;
+      double norm2 = 1.0;  // bias contributes 1
+      for (double v : x) norm2 += v * v;
+      // PA-I update with aggressiveness cap C.
+      const double tau = std::min(c_, loss / norm2) * (err > 0 ? 1.0 : -1.0);
+      for (std::size_t j = 0; j < f; ++j) weights_[j] += tau * x[j];
+      bias_ += tau;
+    }
+  }
+}
+
+double PassiveAggressiveRegressor::predict(
+    std::span<const double> features) const {
+  if (features.size() != weights_.size())
+    throw std::invalid_argument("PassiveAggressiveRegressor: width mismatch");
+  double acc = bias_;
+  for (std::size_t j = 0; j < features.size(); ++j)
+    acc += weights_[j] * features[j];
+  return acc;
+}
+
+}  // namespace opsched

@@ -1,0 +1,69 @@
+// Linear-family regressors: OLS, ridge, Theil-Sen, passive-aggressive.
+#pragma once
+
+#include <cstdint>
+
+#include "perf/regressor.hpp"
+
+namespace opsched {
+
+/// Ordinary least squares with an intercept term (lambda = 0) or ridge
+/// regression (lambda > 0). Falls back to the mean target if the normal
+/// equations are singular.
+class LeastSquaresRegressor : public Regressor {
+ public:
+  explicit LeastSquaresRegressor(double lambda = 0.0) : lambda_(lambda) {}
+  void fit(const Dataset& train) override;
+  double predict(std::span<const double> features) const override;
+  std::string name() const override {
+    return lambda_ == 0.0 ? "OLS" : "Ridge";
+  }
+  const std::vector<double>& weights() const noexcept { return weights_; }
+
+ private:
+  double lambda_;
+  std::vector<double> weights_;  // [bias, w_0, ..., w_{f-1}]
+  double fallback_mean_ = 0.0;
+  bool degenerate_ = false;
+};
+
+/// Multivariate Theil-Sen: robust slopes from the median of random-pair
+/// estimates, per feature, then a median-residual intercept. Mirrors the
+/// spirit of sklearn's TheilSenRegressor at our scale.
+class TheilSenRegressor : public Regressor {
+ public:
+  explicit TheilSenRegressor(std::uint64_t seed = 42, int pairs_per_feature = 400)
+      : seed_(seed), pairs_per_feature_(pairs_per_feature) {}
+  void fit(const Dataset& train) override;
+  double predict(std::span<const double> features) const override;
+  std::string name() const override { return "TheilSen"; }
+
+ private:
+  std::uint64_t seed_;
+  int pairs_per_feature_;
+  std::vector<double> slopes_;
+  double intercept_ = 0.0;
+};
+
+/// Passive-aggressive regression (online epsilon-insensitive updates,
+/// Crammer et al. 2006), a few epochs over shuffled data.
+class PassiveAggressiveRegressor : public Regressor {
+ public:
+  explicit PassiveAggressiveRegressor(std::uint64_t seed = 42,
+                                      double epsilon = 0.05, double c = 1.0,
+                                      int epochs = 8)
+      : seed_(seed), epsilon_(epsilon), c_(c), epochs_(epochs) {}
+  void fit(const Dataset& train) override;
+  double predict(std::span<const double> features) const override;
+  std::string name() const override { return "PAR"; }
+
+ private:
+  std::uint64_t seed_;
+  double epsilon_;
+  double c_;
+  int epochs_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace opsched

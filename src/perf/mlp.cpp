@@ -1,0 +1,83 @@
+#include "perf/mlp.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace opsched {
+
+double MlpRegressor::forward(std::span<const double> x,
+                             std::vector<double>* hidden_out) const {
+  const std::size_t h = w1_.size();
+  double out = w2_[h];  // output bias
+  if (hidden_out) hidden_out->assign(h, 0.0);
+  for (std::size_t i = 0; i < h; ++i) {
+    double z = w1_[i][num_features_];  // hidden bias
+    for (std::size_t j = 0; j < num_features_; ++j) z += w1_[i][j] * x[j];
+    const double a = std::tanh(z);
+    if (hidden_out) (*hidden_out)[i] = a;
+    out += w2_[i] * a;
+  }
+  return out;
+}
+
+void MlpRegressor::fit(const Dataset& train) {
+  if (train.size() == 0)
+    throw std::invalid_argument("MlpRegressor: empty dataset");
+  num_features_ = train.num_features();
+  const std::size_t h = static_cast<std::size_t>(params_.hidden);
+  Xoshiro256 rng(seed_);
+
+  y_mean_ = mean(train.y);
+  y_scale_ = stddev(train.y);
+  if (y_scale_ < 1e-12) y_scale_ = 1.0;
+
+  w1_.assign(h, std::vector<double>(num_features_ + 1, 0.0));
+  w2_.assign(h + 1, 0.0);
+  const double init = 1.0 / std::sqrt(static_cast<double>(num_features_ + 1));
+  for (auto& row : w1_)
+    for (double& w : row) w = rng.uniform(-init, init);
+  for (double& w : w2_) w = rng.uniform(-init, init);
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> hidden(h);
+
+  for (int e = 0; e < params_.epochs; ++e) {
+    for (std::size_t i = train.size(); i-- > 1;) {
+      const std::size_t j = rng.uniform_index(i + 1);
+      std::swap(order[i], order[j]);
+    }
+    for (std::size_t idx : order) {
+      const auto& x = train.x[idx];
+      const double target = (train.y[idx] - y_mean_) / y_scale_;
+      const double pred = forward(x, &hidden);
+      const double err = pred - target;
+      // Output layer.
+      const double lr = params_.learning_rate;
+      for (std::size_t i = 0; i < h; ++i) {
+        const double grad_w2 = err * hidden[i];
+        // Backprop through tanh.
+        const double grad_a = err * w2_[i];
+        const double grad_z = grad_a * (1.0 - hidden[i] * hidden[i]);
+        w2_[i] -= lr * grad_w2;
+        for (std::size_t f = 0; f < num_features_; ++f)
+          w1_[i][f] -= lr * grad_z * x[f];
+        w1_[i][num_features_] -= lr * grad_z;
+      }
+      w2_[h] -= lr * err;
+    }
+  }
+}
+
+double MlpRegressor::predict(std::span<const double> features) const {
+  if (w1_.empty()) throw std::logic_error("MlpRegressor: predict before fit");
+  if (features.size() != num_features_)
+    throw std::invalid_argument("MlpRegressor: width mismatch");
+  return forward(features, nullptr) * y_scale_ + y_mean_;
+}
+
+}  // namespace opsched

@@ -1,0 +1,40 @@
+// Single-hidden-layer perceptron regressor trained with plain SGD — the
+// "MLP (sgd)" row of the paper's regressor zoo.
+#pragma once
+
+#include <cstdint>
+
+#include "perf/regressor.hpp"
+
+namespace opsched {
+
+struct MlpParams {
+  int hidden = 16;
+  double learning_rate = 0.01;
+  int epochs = 200;
+};
+
+class MlpRegressor : public Regressor {
+ public:
+  using Params = MlpParams;
+
+  explicit MlpRegressor(std::uint64_t seed = 42, Params params = {})
+      : seed_(seed), params_(params) {}
+  void fit(const Dataset& train) override;
+  double predict(std::span<const double> features) const override;
+  std::string name() const override { return "MLP"; }
+
+ private:
+  double forward(std::span<const double> x, std::vector<double>* hidden_out) const;
+
+  std::uint64_t seed_;
+  Params params_;
+  // w1: hidden x (f+1) with bias column; w2: hidden + 1 (bias last).
+  std::vector<std::vector<double>> w1_;
+  std::vector<double> w2_;
+  std::size_t num_features_ = 0;
+  // Target scaling keeps SGD stable across very different time magnitudes.
+  double y_mean_ = 0.0, y_scale_ = 1.0;
+};
+
+}  // namespace opsched

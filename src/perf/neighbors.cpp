@@ -1,0 +1,46 @@
+#include "perf/neighbors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace opsched {
+
+void KNeighborsRegressor::fit(const Dataset& train) {
+  if (train.size() == 0)
+    throw std::invalid_argument("KNeighborsRegressor: empty dataset");
+  train_ = train;
+}
+
+double KNeighborsRegressor::predict(std::span<const double> features) const {
+  if (train_.size() == 0)
+    throw std::logic_error("KNeighborsRegressor: predict before fit");
+  if (features.size() != train_.num_features())
+    throw std::invalid_argument("KNeighborsRegressor: width mismatch");
+
+  std::vector<std::pair<double, double>> dist_target;
+  dist_target.reserve(train_.size());
+  for (std::size_t r = 0; r < train_.size(); ++r) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < features.size(); ++j) {
+      const double d = train_.x[r][j] - features[j];
+      d2 += d * d;
+    }
+    dist_target.emplace_back(d2, train_.y[r]);
+  }
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(k_), dist_target.size());
+  std::partial_sort(dist_target.begin(),
+                    dist_target.begin() + static_cast<std::ptrdiff_t>(k),
+                    dist_target.end(),
+                    [](const auto& a, const auto& b) { return a.first < b.first; });
+  double wsum = 0.0, acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = 1.0 / (std::sqrt(dist_target[i].first) + 1e-9);
+    wsum += w;
+    acc += w * dist_target[i].second;
+  }
+  return acc / wsum;
+}
+
+}  // namespace opsched

@@ -1,0 +1,21 @@
+// k-nearest-neighbors regression (distance-weighted mean of the k closest
+// training targets in standardized feature space).
+#pragma once
+
+#include "perf/regressor.hpp"
+
+namespace opsched {
+
+class KNeighborsRegressor : public Regressor {
+ public:
+  explicit KNeighborsRegressor(int k = 5) : k_(k) {}
+  void fit(const Dataset& train) override;
+  double predict(std::span<const double> features) const override;
+  std::string name() const override { return "KNeighbors"; }
+
+ private:
+  int k_;
+  Dataset train_;
+};
+
+}  // namespace opsched

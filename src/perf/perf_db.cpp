@@ -1,0 +1,85 @@
+#include "perf/perf_db.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace opsched {
+
+void PerfDatabase::put(const OpKey& key, ProfileCurve curve) {
+  curves_[key] = std::move(curve);
+}
+
+bool PerfDatabase::contains(const OpKey& key) const {
+  return curves_.count(key) > 0;
+}
+
+const ProfileCurve& PerfDatabase::at(const OpKey& key) const {
+  const auto it = curves_.find(key);
+  if (it == curves_.end())
+    throw std::out_of_range("PerfDatabase::at: unprofiled op");
+  return it->second;
+}
+
+const ProfileCurve* PerfDatabase::find(const OpKey& key) const {
+  const auto it = curves_.find(key);
+  return it == curves_.end() ? nullptr : &it->second;
+}
+
+std::size_t PerfDatabase::total_samples() const {
+  std::size_t n = 0;
+  for (const auto& [k, c] : curves_) n += c.total_samples();
+  return n;
+}
+
+void PerfDatabase::save(std::ostream& out) const {
+  for (const auto& [key, curve] : curves_) {
+    for (AffinityMode mode : {AffinityMode::kSpread, AffinityMode::kShared}) {
+      for (const ProfilePoint& p : curve.samples(mode)) {
+        out << static_cast<int>(key.kind) << ' ' << key.shape_hash << ' '
+            << static_cast<int>(mode) << ' ' << p.threads << ' '
+            << p.time_ms << '\n';
+      }
+    }
+  }
+}
+
+void PerfDatabase::load(std::istream& in) {
+  std::map<OpKey, ProfileCurve> loaded;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    int kind_id = -1, mode_id = -1, threads = 0;
+    std::uint64_t shape_hash = 0;
+    double time_ms = 0.0;
+    if (!(ls >> kind_id >> shape_hash >> mode_id >> threads >> time_ms) ||
+        kind_id < 0 || kind_id >= static_cast<int>(kNumOpKinds) ||
+        (mode_id != 0 && mode_id != 1) || threads < 1 || time_ms <= 0.0) {
+      throw std::runtime_error("PerfDatabase::load: malformed line " +
+                               std::to_string(line_no));
+    }
+    const OpKey key{static_cast<OpKind>(kind_id), shape_hash};
+    loaded[key].add_sample(static_cast<AffinityMode>(mode_id), threads,
+                           time_ms);
+  }
+  curves_ = std::move(loaded);
+}
+
+void PerfDatabase::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("PerfDatabase::save_file: cannot open " + path);
+  save(out);
+}
+
+void PerfDatabase::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("PerfDatabase::load_file: cannot open " + path);
+  load(in);
+}
+
+}  // namespace opsched

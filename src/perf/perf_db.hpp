@@ -1,0 +1,59 @@
+// PerfDatabase: profiled curves keyed by (op kind, input shape). Two
+// instances of an operation with identical kind and shapes share a curve —
+// the stability property the paper's profiling step relies on.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "perf/hill_climb.hpp"
+
+namespace opsched {
+
+/// Profile key: operation type + input/aux shape identity.
+struct OpKey {
+  OpKind kind = OpKind::kConv2D;
+  std::uint64_t shape_hash = 0;
+
+  static OpKey of(const Node& node) {
+    // Keyed on every cost-relevant shape (input, filter, output): two
+    // instances share a profile curve only if they behave identically.
+    return OpKey{node.kind, node.input_shape.hash() * 31 +
+                                node.aux_shape.hash() * 17 +
+                                node.output_shape.hash()};
+  }
+  auto operator<=>(const OpKey&) const = default;
+};
+
+class PerfDatabase {
+ public:
+  /// Inserts or replaces the curve for `key`.
+  void put(const OpKey& key, ProfileCurve curve);
+
+  bool contains(const OpKey& key) const;
+  const ProfileCurve& at(const OpKey& key) const;
+  const ProfileCurve* find(const OpKey& key) const;
+
+  std::size_t size() const noexcept { return curves_.size(); }
+
+  /// Total profiling samples across all curves (the profiling cost the
+  /// paper bounds at N <= C/x * 2 per op).
+  std::size_t total_samples() const;
+
+  /// Persistence: a long-running training service profiles once and reuses
+  /// the database across jobs. One text line per sample:
+  ///   kind_id shape_hash mode threads time_ms
+  void save(std::ostream& out) const;
+  void load(std::istream& in);  // replaces current contents; throws on
+                                // malformed input
+  void save_file(const std::string& path) const;
+  void load_file(const std::string& path);
+
+ private:
+  std::map<OpKey, ProfileCurve> curves_;
+};
+
+}  // namespace opsched

@@ -1,0 +1,57 @@
+// The regression-model study (paper Section III-B / Table IV): build
+// hardware-counter feature datasets from profiling runs on the simulated
+// machine, train per-thread-count regressors, and score their prediction
+// accuracy on a held-out model. The point of this pipeline — in the paper
+// and here — is a *negative* result: counter-based regression is not
+// accurate enough to steer concurrency control.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "machine/cost_model.hpp"
+#include "perf/dataset.hpp"
+#include "perf/regressor.hpp"
+
+namespace opsched {
+
+struct RegressionStudyConfig {
+  /// The paper's N: number of profiling sample cases (training steps spent
+  /// collecting counters at distinct thread counts).
+  int num_samples = 4;
+  /// How many of the 68 per-thread-count prediction cases to evaluate
+  /// (evenly spaced); 0 = all.
+  int eval_cases = 0;
+  /// Feature count kept by decision-tree selection (paper keeps 4).
+  std::size_t selected_features = 4;
+  std::uint64_t seed = 7;
+};
+
+/// Feature extraction: averaged counter readings over `num_samples`
+/// profiling cases with evenly-spaced thread counts.
+std::vector<double> counter_features(const Node& node, const CostModel& model,
+                                     const RegressionStudyConfig& cfg);
+
+/// Builds the dataset predicting exec time at `target_threads` from counter
+/// features of each node.
+Dataset build_counter_dataset(const std::vector<Node>& nodes,
+                              const CostModel& model,
+                              const RegressionStudyConfig& cfg,
+                              int target_threads);
+
+struct RegressionScore {
+  std::string regressor;
+  double accuracy = 0.0;  // paper's 1 - mean|err|/y metric
+  double r2 = 0.0;
+};
+
+/// Trains `regressor_name` per thread-count case on `train_nodes`, evaluates
+/// on `test_nodes`, and aggregates the paper's two metrics across cases.
+RegressionScore run_regression_study(const std::string& regressor_name,
+                                     const std::vector<Node>& train_nodes,
+                                     const std::vector<Node>& test_nodes,
+                                     const CostModel& model,
+                                     const RegressionStudyConfig& cfg);
+
+}  // namespace opsched

@@ -1,0 +1,42 @@
+#include "perf/regressor.hpp"
+
+#include <stdexcept>
+
+#include "perf/boosting.hpp"
+#include "perf/linear_models.hpp"
+#include "perf/mlp.hpp"
+#include "perf/neighbors.hpp"
+#include "perf/tree.hpp"
+
+namespace opsched {
+
+std::vector<double> Regressor::predict_all(const Dataset& d) const {
+  std::vector<double> out;
+  out.reserve(d.size());
+  for (const auto& row : d.x) out.push_back(predict(row));
+  return out;
+}
+
+std::unique_ptr<Regressor> make_regressor(const std::string& name,
+                                          std::uint64_t seed) {
+  if (name == "OLS") return std::make_unique<LeastSquaresRegressor>(0.0);
+  if (name == "Ridge") return std::make_unique<LeastSquaresRegressor>(1.0);
+  if (name == "TheilSen") return std::make_unique<TheilSenRegressor>(seed);
+  if (name == "PAR")
+    return std::make_unique<PassiveAggressiveRegressor>(seed);
+  if (name == "KNeighbors") return std::make_unique<KNeighborsRegressor>(5);
+  if (name == "DecisionTree")
+    return std::make_unique<DecisionTreeRegressor>();
+  if (name == "GradientBoosting")
+    return std::make_unique<GradientBoostingRegressor>();
+  if (name == "MLP") return std::make_unique<MlpRegressor>(seed);
+  throw std::invalid_argument("make_regressor: unknown regressor " + name);
+}
+
+std::vector<std::string> regressor_names() {
+  return {"OLS",        "Ridge",        "TheilSen",
+          "PAR",        "KNeighbors",   "DecisionTree",
+          "GradientBoosting", "MLP"};
+}
+
+}  // namespace opsched

@@ -1,0 +1,39 @@
+// Regressor: the interface shared by all regression models in the paper's
+// Section III-B study. The paper tries ten families; we implement the five
+// it tabulates (gradient boosting, k-neighbors, Theil-Sen, OLS, passive-
+// aggressive) plus ridge, a decision tree (also used for feature selection)
+// and a small MLP, all from scratch.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "perf/dataset.hpp"
+
+namespace opsched {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fits the model; may be called once per instance.
+  virtual void fit(const Dataset& train) = 0;
+
+  virtual double predict(std::span<const double> features) const = 0;
+
+  std::vector<double> predict_all(const Dataset& d) const;
+
+  virtual std::string name() const = 0;
+};
+
+/// Factory by paper-table name: "OLS", "Ridge", "TheilSen", "PAR",
+/// "KNeighbors", "DecisionTree", "GradientBoosting", "MLP".
+std::unique_ptr<Regressor> make_regressor(const std::string& name,
+                                          std::uint64_t seed = 42);
+
+/// All names make_regressor accepts.
+std::vector<std::string> regressor_names();
+
+}  // namespace opsched

@@ -1,0 +1,167 @@
+#include "perf/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace opsched {
+
+namespace {
+double sum_of(const Dataset& d, const std::vector<std::size_t>& idx) {
+  double s = 0.0;
+  for (std::size_t i : idx) s += d.y[i];
+  return s;
+}
+double sse_of(const Dataset& d, const std::vector<std::size_t>& idx) {
+  if (idx.empty()) return 0.0;
+  const double m = sum_of(d, idx) / static_cast<double>(idx.size());
+  double s = 0.0;
+  for (std::size_t i : idx) s += (d.y[i] - m) * (d.y[i] - m);
+  return s;
+}
+}  // namespace
+
+void DecisionTreeRegressor::fit(const Dataset& train) {
+  if (train.size() == 0)
+    throw std::invalid_argument("DecisionTreeRegressor: empty dataset");
+  nodes_.clear();
+  importance_.assign(train.num_features(), 0.0);
+  std::vector<std::size_t> indices(train.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  build(train, indices, 0);
+  const double total =
+      std::accumulate(importance_.begin(), importance_.end(), 0.0);
+  if (total > 0.0)
+    for (double& v : importance_) v /= total;
+}
+
+std::int32_t DecisionTreeRegressor::build(const Dataset& d,
+                                          std::vector<std::size_t>& indices,
+                                          int depth) {
+  const std::int32_t my_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(TreeNode{});
+  const double node_mean =
+      sum_of(d, indices) / static_cast<double>(indices.size());
+  nodes_[static_cast<std::size_t>(my_id)].value = node_mean;
+
+  if (depth >= params_.max_depth ||
+      indices.size() < 2 * params_.min_samples_leaf) {
+    return my_id;
+  }
+
+  const double parent_sse = sse_of(d, indices);
+  if (parent_sse < 1e-12) return my_id;
+
+  // Best split: scan sorted values per feature, O(F * n log n).
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = 1e-12;
+
+  const std::size_t f_count = d.num_features();
+  std::vector<std::size_t> sorted = indices;
+  for (std::size_t f = 0; f < f_count; ++f) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) { return d.x[a][f] < d.x[b][f]; });
+    // Prefix sums for O(1) variance of both sides.
+    double left_sum = 0.0, left_sq = 0.0;
+    double total_sum = 0.0, total_sq = 0.0;
+    for (std::size_t i : sorted) {
+      total_sum += d.y[i];
+      total_sq += d.y[i] * d.y[i];
+    }
+    const double n_total = static_cast<double>(sorted.size());
+    for (std::size_t pos = 0; pos + 1 < sorted.size(); ++pos) {
+      const double yv = d.y[sorted[pos]];
+      left_sum += yv;
+      left_sq += yv * yv;
+      const std::size_t n_left = pos + 1;
+      const std::size_t n_right = sorted.size() - n_left;
+      if (n_left < params_.min_samples_leaf ||
+          n_right < params_.min_samples_leaf)
+        continue;
+      // Skip ties: can't split between equal feature values.
+      if (d.x[sorted[pos]][f] == d.x[sorted[pos + 1]][f]) continue;
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse_left =
+          left_sq - left_sum * left_sum / static_cast<double>(n_left);
+      const double sse_right =
+          right_sq - right_sum * right_sum / static_cast<double>(n_right);
+      const double gain = parent_sse - sse_left - sse_right;
+      (void)n_total;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold =
+            0.5 * (d.x[sorted[pos]][f] + d.x[sorted[pos + 1]][f]);
+      }
+    }
+  }
+
+  if (best_feature < 0) return my_id;
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : indices) {
+    if (d.x[i][static_cast<std::size_t>(best_feature)] <= best_threshold)
+      left_idx.push_back(i);
+    else
+      right_idx.push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return my_id;
+
+  importance_[static_cast<std::size_t>(best_feature)] += best_gain;
+
+  const std::int32_t left_id = build(d, left_idx, depth + 1);
+  const std::int32_t right_id = build(d, right_idx, depth + 1);
+  TreeNode& me = nodes_[static_cast<std::size_t>(my_id)];
+  me.is_leaf = false;
+  me.feature = best_feature;
+  me.threshold = best_threshold;
+  me.left = left_id;
+  me.right = right_id;
+  return my_id;
+}
+
+double DecisionTreeRegressor::predict(std::span<const double> features) const {
+  if (nodes_.empty())
+    throw std::logic_error("DecisionTreeRegressor: predict before fit");
+  std::size_t cur = 0;
+  for (;;) {
+    const TreeNode& n = nodes_[cur];
+    if (n.is_leaf) return n.value;
+    const double v = features[static_cast<std::size_t>(n.feature)];
+    cur = static_cast<std::size_t>(v <= n.threshold ? n.left : n.right);
+  }
+}
+
+std::vector<std::size_t> select_features_by_tree(const Dataset& train,
+                                                 std::size_t k) {
+  DecisionTreeRegressor tree;
+  tree.fit(train);
+  const auto& imp = tree.feature_importance();
+  std::vector<std::size_t> order(imp.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return imp[a] > imp[b]; });
+  order.resize(std::min(k, order.size()));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+Dataset project_features(const Dataset& d,
+                         const std::vector<std::size_t>& features) {
+  Dataset out;
+  out.y = d.y;
+  out.x.reserve(d.size());
+  for (const auto& row : d.x) {
+    std::vector<double> proj;
+    proj.reserve(features.size());
+    for (std::size_t f : features) proj.push_back(row.at(f));
+    out.x.push_back(std::move(proj));
+  }
+  return out;
+}
+
+}  // namespace opsched

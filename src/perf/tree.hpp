@@ -1,0 +1,60 @@
+// CART regression tree (variance-reduction splits) + feature importance.
+// Doubles as the paper's decision-tree feature-selection estimator
+// (Section III-B: "We employ the decision tree estimator to select
+// features").
+#pragma once
+
+#include <cstdint>
+
+#include "perf/regressor.hpp"
+
+namespace opsched {
+
+struct DecisionTreeParams {
+  int max_depth = 8;
+  std::size_t min_samples_leaf = 3;
+};
+
+class DecisionTreeRegressor : public Regressor {
+ public:
+  using Params = DecisionTreeParams;
+
+  explicit DecisionTreeRegressor(Params params = {}) : params_(params) {}
+  void fit(const Dataset& train) override;
+  double predict(std::span<const double> features) const override;
+  std::string name() const override { return "DecisionTree"; }
+
+  /// Total variance reduction contributed by each feature, normalized to
+  /// sum to 1 (0s if the tree is a single leaf).
+  const std::vector<double>& feature_importance() const noexcept {
+    return importance_;
+  }
+
+ private:
+  struct TreeNode {
+    bool is_leaf = true;
+    double value = 0.0;
+    int feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  std::int32_t build(const Dataset& d, std::vector<std::size_t>& indices,
+                     int depth);
+
+  Params params_;
+  std::vector<TreeNode> nodes_;
+  std::vector<double> importance_;
+};
+
+/// Selects the indices of the `k` most important features according to a
+/// decision tree fit on `train`. Ties broken by lower index.
+std::vector<std::size_t> select_features_by_tree(const Dataset& train,
+                                                 std::size_t k);
+
+/// Projects a dataset onto a feature subset.
+Dataset project_features(const Dataset& d,
+                         const std::vector<std::size_t>& features);
+
+}  // namespace opsched

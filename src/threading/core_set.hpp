@@ -1,0 +1,60 @@
+// CoreSet: a set of core ids, used both by the real thread pool (affinity
+// hints) and by the simulated machine (core allocation accounting for the
+// scheduler's Strategy 3/4 decisions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace opsched {
+
+/// Dynamic bitset over core ids [0, capacity). Semantics follow the usual
+/// set algebra; all operations are O(words). Core ids are *physical core*
+/// ids on the simulated machine (hyper-thread slots are tracked separately
+/// by the machine, matching how the paper reasons about "cores" vs
+/// "hardware threads").
+class CoreSet {
+ public:
+  CoreSet() = default;
+  explicit CoreSet(std::size_t capacity);
+
+  /// Set with cores [first, first+count) present.
+  static CoreSet range(std::size_t capacity, std::size_t first,
+                       std::size_t count);
+  /// Full set of `capacity` cores.
+  static CoreSet all(std::size_t capacity);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t count() const noexcept;
+  bool empty() const noexcept { return count() == 0; }
+
+  bool contains(std::size_t core) const;
+  void add(std::size_t core);
+  void remove(std::size_t core);
+  void clear();
+
+  /// Set algebra. Operands must share capacity.
+  CoreSet union_with(const CoreSet& other) const;
+  CoreSet intersect(const CoreSet& other) const;
+  CoreSet minus(const CoreSet& other) const;
+  bool disjoint_with(const CoreSet& other) const;
+  bool is_subset_of(const CoreSet& other) const;
+
+  /// The `n` lowest-id cores in this set; throws if fewer available.
+  CoreSet take_lowest(std::size_t n) const;
+  /// All members in ascending order.
+  std::vector<std::size_t> to_vector() const;
+
+  bool operator==(const CoreSet& other) const;
+
+  /// Debug representation like "{0-3,8,10-11}".
+  std::string to_string() const;
+
+ private:
+  void check_capacity(const CoreSet& other) const;
+  std::size_t capacity_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace opsched

@@ -1,0 +1,35 @@
+#include "threading/team_pool.hpp"
+
+#include <stdexcept>
+
+namespace opsched {
+
+TeamPool::TeamPool(std::size_t max_width) : max_width_(max_width) {
+  if (max_width_ == 0)
+    throw std::invalid_argument("TeamPool: max_width must be >0");
+}
+
+ThreadTeam& TeamPool::team(std::size_t width) {
+  return team_pinned(width, CoreSet());
+}
+
+ThreadTeam& TeamPool::team_pinned(std::size_t width, const CoreSet& affinity) {
+  if (width == 0 || width > max_width_)
+    throw std::invalid_argument("TeamPool: width out of range");
+  const auto key = std::make_pair(width, affinity.to_string());
+  const std::scoped_lock lock(mutex_);
+  auto it = teams_.find(key);
+  if (it == teams_.end()) {
+    it = teams_
+             .emplace(key, std::make_unique<ThreadTeam>(width, affinity))
+             .first;
+  }
+  return *it->second;
+}
+
+std::size_t TeamPool::teams_created() const {
+  const std::scoped_lock lock(mutex_);
+  return teams_.size();
+}
+
+}  // namespace opsched

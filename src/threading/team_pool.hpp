@@ -1,0 +1,49 @@
+// TeamPool: caches ThreadTeams by width so the runtime can switch an
+// operation's intra-op parallelism without re-spawning threads every time.
+//
+// The paper's Strategy 2 exists precisely because frequent concurrency
+// changes cost real time (thread spawn + bind + cache thrash). The pool makes
+// the *reuse* path cheap and leaves the *first-use* path expensive, so both
+// sides of that trade-off are observable in benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "threading/core_set.hpp"
+#include "threading/thread_team.hpp"
+
+namespace opsched {
+
+class TeamPool {
+ public:
+  /// `max_width` bounds team sizes (e.g. host logical cores).
+  explicit TeamPool(std::size_t max_width);
+
+  /// Returns a team of exactly `width` workers, creating it on first use.
+  /// The returned reference stays valid for the pool's lifetime.
+  /// Thread-safe; distinct widths can be fetched concurrently, but a single
+  /// team must not run two parallel_for calls at once.
+  ThreadTeam& team(std::size_t width);
+
+  /// Like team(), but pinned to the given cores (affinity sets are part of
+  /// the cache key).
+  ThreadTeam& team_pinned(std::size_t width, const CoreSet& affinity);
+
+  /// Number of distinct teams created so far (spawn-cost accounting).
+  std::size_t teams_created() const;
+
+  std::size_t max_width() const noexcept { return max_width_; }
+
+ private:
+  const std::size_t max_width_;
+  mutable std::mutex mutex_;
+  // Key: (width, affinity string). Affinity as canonical string keeps the
+  // key simple; team counts are tiny (tens), lookup cost is irrelevant.
+  std::map<std::pair<std::size_t, std::string>, std::unique_ptr<ThreadTeam>>
+      teams_;
+};
+
+}  // namespace opsched

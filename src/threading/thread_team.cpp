@@ -1,0 +1,134 @@
+#include "threading/thread_team.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace opsched {
+
+std::size_t host_logical_cores() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadTeam::ThreadTeam(std::size_t width, const CoreSet& affinity)
+    : width_(width) {
+  if (width_ == 0) throw std::invalid_argument("ThreadTeam: width must be >0");
+  std::vector<std::size_t> pins;
+  const bool pin = affinity.count() >= width_;
+  if (pin) {
+    pins = affinity.to_vector();
+  }
+  workers_.reserve(width_);
+  for (std::size_t i = 0; i < width_; ++i) {
+    const std::size_t core = pin ? pins[i] : 0;
+    workers_.emplace_back(
+        [this, i, core, pin] { worker_loop(i, core, pin); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadTeam::apply_affinity(std::size_t core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % CPU_SETSIZE, &set);
+  // Best effort: containers and cpuset-restricted environments may refuse.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+void ThreadTeam::worker_loop(std::size_t index, std::size_t pin_core,
+                             bool pin) {
+  if (pin) apply_affinity(pin_core);
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_ && epoch_ == seen_epoch) return;
+      seen_epoch = epoch_;
+      task = task_;
+    }
+    if (task.fn != nullptr && task.n > 0) {
+      // Static contiguous chunking in worker order: worker i takes the i-th
+      // chunk so that neighbouring iterations run on neighbouring workers.
+      const std::size_t grain = std::max<std::size_t>(1, task.grain);
+      const std::size_t chunks = (task.n + grain - 1) / grain;
+      const std::size_t per = (chunks + width_ - 1) / width_;
+      const std::size_t begin = std::min(task.n, index * per * grain);
+      const std::size_t end = std::min(task.n, (index + 1) * per * grain);
+      if (begin < end) {
+        try {
+          (*task.fn)(begin, end, index);
+        } catch (...) {
+          const std::scoped_lock lock(mutex_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+      }
+    }
+    {
+      const std::scoped_lock lock(mutex_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadTeam::dispatch_and_wait(const Task& task) {
+  std::unique_lock lock(mutex_);
+  task_ = task;
+  remaining_ = width_;
+  ++epoch_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadTeam::parallel_for(std::size_t n, const RangeFn& fn) {
+  parallel_for_grain(n, 1, fn);
+}
+
+void ThreadTeam::parallel_for_grain(std::size_t n, std::size_t grain,
+                                    const RangeFn& fn) {
+  if (n == 0) return;
+  Task task;
+  task.n = n;
+  task.grain = grain;
+  task.fn = &fn;
+  dispatch_and_wait(task);
+}
+
+void ThreadTeam::run_on_all(const std::function<void(std::size_t)>& fn) {
+  const RangeFn wrapper = [&fn](std::size_t, std::size_t, std::size_t worker) {
+    fn(worker);
+  };
+  // One iteration per worker so each worker's chunk is exactly itself.
+  Task task;
+  task.n = width_;
+  task.grain = 1;
+  task.fn = &wrapper;
+  dispatch_and_wait(task);
+}
+
+}  // namespace opsched

@@ -1,0 +1,87 @@
+// ThreadTeam: a fixed-width group of worker threads executing data-parallel
+// loops. This is the real-host analogue of an MKL-DNN OpenMP team: one team
+// runs one operation at a chosen intra-op parallelism.
+//
+// Design notes (per the C++ Core Guidelines concurrency rules):
+//  - workers are joined in the destructor (no detach, RAII lifetime),
+//  - all waits use condition variables with predicates (CP.42),
+//  - the team is reusable across many parallel_for calls without re-spawning
+//    threads; *creating* a team is deliberately the expensive part, because
+//    thread spawn/bind cost is exactly the overhead the paper's Strategy 2
+//    tries to avoid, and we want that cost measurable (see
+//    bench/micro_threadpool).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "threading/core_set.hpp"
+
+namespace opsched {
+
+/// Loop body for parallel_for: receives [begin, end) and the worker index.
+using RangeFn = std::function<void(std::size_t begin, std::size_t end,
+                                   std::size_t worker)>;
+
+class ThreadTeam {
+ public:
+  /// Spawns `width` workers. If `affinity` is non-empty it must contain at
+  /// least `width` cores; worker i is pinned (best effort) to the i-th core
+  /// in ascending order. Neighbouring workers get neighbouring cores, which
+  /// mirrors the paper's "threads with continuous IDs share a tile" policy.
+  explicit ThreadTeam(std::size_t width, const CoreSet& affinity = CoreSet());
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  /// Blocks until in-flight work finishes, then joins all workers.
+  ~ThreadTeam();
+
+  std::size_t width() const noexcept { return width_; }
+
+  /// Runs `fn` over [0, n) split into static contiguous chunks, one per
+  /// worker, assigned in worker order (worker 0 gets the first chunk, etc. —
+  /// neighbour iterations land on neighbour workers). Blocks until all
+  /// workers finish. Exceptions thrown by `fn` are rethrown here (first one
+  /// wins). Must not be called concurrently from two threads.
+  void parallel_for(std::size_t n, const RangeFn& fn);
+
+  /// Same but with an explicit grain: chunks are multiples of `grain` where
+  /// possible (useful for cache-line-aligned writes).
+  void parallel_for_grain(std::size_t n, std::size_t grain, const RangeFn& fn);
+
+  /// Runs fn(worker) once on every worker (for per-thread setup).
+  void run_on_all(const std::function<void(std::size_t worker)>& fn);
+
+ private:
+  struct Task {
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    const RangeFn* fn = nullptr;
+  };
+
+  void worker_loop(std::size_t index, std::size_t pin_core, bool pin);
+  void dispatch_and_wait(const Task& task);
+  static void apply_affinity(std::size_t core);
+
+  const std::size_t width_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Task task_;
+  std::uint64_t epoch_ = 0;       // incremented per dispatched task
+  std::size_t remaining_ = 0;     // workers still running current task
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Returns the largest sensible team width on the host (logical cores).
+std::size_t host_logical_cores() noexcept;
+
+}  // namespace opsched

@@ -1,0 +1,48 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace opsched {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row_doubles(const std::vector<double>& cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os << v;
+    s.push_back(os.str());
+  }
+  write_row(s);
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+}  // namespace opsched

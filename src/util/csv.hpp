@@ -1,0 +1,29 @@
+// Minimal CSV writer. Benchmarks optionally dump their series as CSV next to
+// the human-readable tables so figures can be re-plotted.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace opsched {
+
+/// Writes rows of cells to a CSV file. Escapes quotes/commas per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+  /// Convenience overload: formats doubles with max precision.
+  void write_row_doubles(const std::vector<double>& cells);
+
+  /// Flushes and closes; also called by the destructor.
+  void close();
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace opsched

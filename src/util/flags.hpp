@@ -1,0 +1,29 @@
+// Tiny command-line flag parser for the bench/example binaries.
+// Supports --name=value and --name value forms plus boolean --name.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace opsched {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  int get_int(const std::string& name, int def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace opsched

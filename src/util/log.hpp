@@ -1,0 +1,48 @@
+// Leveled logging with a compile-out-able debug level. Kept deliberately
+// simple: the runtime's own overhead is part of what the paper measures, so
+// hot paths must not log.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace opsched {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level() noexcept;
+
+/// Thread-safe write of one line to stderr with a level prefix.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace opsched
+
+#define OPSCHED_LOG(level)                                   \
+  if (static_cast<int>(level) < static_cast<int>(::opsched::log_level())) \
+    ;                                                        \
+  else                                                       \
+    ::opsched::detail::LogMessage(level)
+
+#define OPSCHED_DEBUG OPSCHED_LOG(::opsched::LogLevel::kDebug)
+#define OPSCHED_INFO OPSCHED_LOG(::opsched::LogLevel::kInfo)
+#define OPSCHED_WARN OPSCHED_LOG(::opsched::LogLevel::kWarn)
+#define OPSCHED_ERROR OPSCHED_LOG(::opsched::LogLevel::kError)

@@ -1,0 +1,74 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace opsched {
+
+std::uint64_t mix64(std::uint64_t a) noexcept {
+  SplitMix64 sm(a);
+  return sm.next();
+}
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
+  SplitMix64 sm(a ^ (b * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL));
+  sm.next();
+  return sm.next();
+}
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b, std::uint64_t c) noexcept {
+  return mix64(mix64(a, b), c);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform() noexcept {
+  // 53 mantissa bits -> exact double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Xoshiro256::uniform_index(std::uint64_t n) noexcept {
+  // Simple modulo; bias is negligible for our n << 2^64 use cases.
+  return (*this)() % n;
+}
+
+double Xoshiro256::normal() noexcept {
+  // Box-Muller. Guard against log(0).
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+double Xoshiro256::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double jitter_factor(double amp, std::uint64_t a, std::uint64_t b,
+                     std::uint64_t c) noexcept {
+  const std::uint64_t h = mix64(a, b, c);
+  // Map to [-1, 1): take the top 53 bits as a uniform double in [0,1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return 1.0 + amp * (2.0 * u - 1.0);
+}
+
+}  // namespace opsched

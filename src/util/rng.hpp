@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation for opsched.
+//
+// Everything in this project that looks random (cost-model jitter, synthetic
+// counter noise, workload generation) must be reproducible run-to-run so that
+// benchmark tables are stable and tests can assert on exact values. We
+// therefore avoid std::random_device and expose explicitly-seeded engines.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace opsched {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used both as a standalone
+/// generator for hashing-style use ("give me a stable pseudo-random value for
+/// this key") and to seed Xoshiro256**.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mix of one/two/three keys into a uniform 64-bit value.
+/// Deterministic across platforms; used for per-(op, threads, mode) jitter.
+std::uint64_t mix64(std::uint64_t a) noexcept;
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept;
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b, std::uint64_t c) noexcept;
+
+/// Xoshiro256**: fast general-purpose engine, satisfies
+/// UniformRandomBitGenerator so it plugs into <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+  /// Standard normal via Box-Muller (cached second value discarded for
+  /// simplicity; perf is irrelevant at our call rates).
+  double normal() noexcept;
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Deterministic jitter factor in [1-amp, 1+amp] keyed by (a, b, c).
+/// Same key -> same factor, forever. Used by the cost model so that a given
+/// (op, thread-count, affinity-mode) point always lands at the same time.
+double jitter_factor(double amp, std::uint64_t a, std::uint64_t b,
+                     std::uint64_t c) noexcept;
+
+}  // namespace opsched

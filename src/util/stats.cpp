@@ -1,0 +1,170 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace opsched {
+
+double sum(std::span<const double> xs) noexcept {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return sum(xs) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(n - 1);
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  return std::sqrt(variance(xs));
+}
+
+double min_of(std::span<const double> xs) noexcept {
+  double m = xs.empty() ? 0.0 : xs[0];
+  for (double x : xs) m = std::min(m, x);
+  return m;
+}
+
+double max_of(std::span<const double> xs) noexcept {
+  double m = xs.empty() ? 0.0 : xs[0];
+  for (double x : xs) m = std::max(m, x);
+  return m;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("percentile: p out of [0,100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2)
+    throw std::invalid_argument("linear_fit: need >=2 equal-length inputs");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  LinearFit fit;
+  fit.slope = sxx == 0.0 ? 0.0 : sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  std::vector<double> pred(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    pred[i] = fit.intercept + fit.slope * xs[i];
+  fit.r2 = r2_score(ys, pred);
+  return fit;
+}
+
+double r2_score(std::span<const double> y_true,
+                std::span<const double> y_pred) {
+  if (y_true.size() != y_pred.size() || y_true.empty())
+    throw std::invalid_argument("r2_score: size mismatch or empty");
+  const double my = mean(y_true);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+    ss_tot += (y_true[i] - my) * (y_true[i] - my);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double mape(std::span<const double> y_true, std::span<const double> y_pred) {
+  if (y_true.size() != y_pred.size() || y_true.empty())
+    throw std::invalid_argument("mape: size mismatch or empty");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const double denom = std::abs(y_true[i]) < 1e-300 ? 1e-300 : y_true[i];
+    acc += std::abs((y_pred[i] - y_true[i]) / denom);
+  }
+  return acc / static_cast<double>(y_true.size());
+}
+
+double mape_accuracy(std::span<const double> y_true,
+                     std::span<const double> y_pred) {
+  return std::max(0.0, 1.0 - mape(y_true, y_pred));
+}
+
+double lerp_through(std::span<const double> xs, std::span<const double> ys,
+                    double x) {
+  if (xs.size() != ys.size() || xs.empty())
+    throw std::invalid_argument("lerp_through: size mismatch or empty");
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  // xs is sorted ascending; find the enclosing segment.
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const auto hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] * (1.0 - t) + ys[hi] * t;
+}
+
+double rmse(std::span<const double> y_true, std::span<const double> y_pred) {
+  if (y_true.size() != y_pred.size() || y_true.empty())
+    throw std::invalid_argument("rmse: size mismatch or empty");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i)
+    acc += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+  return std::sqrt(acc / static_cast<double>(y_true.size()));
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2)
+    throw std::invalid_argument("pearson: need >=2 equal-length inputs");
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double mean_ratio(std::span<const double> numer,
+                  std::span<const double> denom) {
+  if (numer.size() != denom.size() || numer.empty())
+    throw std::invalid_argument("mean_ratio: size mismatch or empty");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < numer.size(); ++i) {
+    acc += numer[i] / denom[i];
+  }
+  return acc / static_cast<double>(numer.size());
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("geomean: empty input");
+  double acc = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) throw std::invalid_argument("geomean: non-positive input");
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace opsched

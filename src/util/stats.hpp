@@ -1,0 +1,68 @@
+// Small statistics toolkit used by the performance models and the
+// benchmark/metric reporting code. All functions are pure and operate on
+// std::span<const double> so callers never copy data.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace opsched {
+
+double sum(std::span<const double> xs) noexcept;
+double mean(std::span<const double> xs) noexcept;
+/// Sample variance (divides by n-1); returns 0 for n < 2.
+double variance(std::span<const double> xs) noexcept;
+double stddev(std::span<const double> xs) noexcept;
+double min_of(std::span<const double> xs) noexcept;
+double max_of(std::span<const double> xs) noexcept;
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+/// Median (50th percentile).
+double median(std::span<const double> xs);
+
+/// Result of an ordinary least squares fit y = a + b*x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+
+/// OLS fit of a simple line; xs.size() == ys.size() >= 2 required.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Coefficient of determination of predictions vs. truth.
+/// Returns 1 - SS_res/SS_tot; if SS_tot == 0, returns 1 when residuals are
+/// also 0 and 0 otherwise.
+double r2_score(std::span<const double> y_true, std::span<const double> y_pred);
+
+/// The paper's prediction-accuracy metric (Section III-B):
+///   accuracy = 1 - (1/n) * sum_i |yhat_i - y_i| / y_i
+/// clamped to [0, 1] (large errors would otherwise push it negative, and the
+/// paper reports accuracies like "10%" for terrible predictors, implying a
+/// floor at 0 per-sample is NOT applied but the mean is reported as-is; we
+/// clamp only the final value at 0 to keep tables readable).
+double mape_accuracy(std::span<const double> y_true,
+                     std::span<const double> y_pred);
+
+/// Mean absolute percentage error, unclamped.
+double mape(std::span<const double> y_true, std::span<const double> y_pred);
+
+/// Piecewise-linear interpolation through (xs, ys) sorted by xs.
+/// Evaluates at x, clamping outside the domain to the boundary values.
+double lerp_through(std::span<const double> xs, std::span<const double> ys,
+                    double x);
+
+/// Root mean squared error.
+double rmse(std::span<const double> y_true, std::span<const double> y_pred);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Arithmetic mean of pairwise ratios a_i / b_i (used for speedup summaries).
+double mean_ratio(std::span<const double> numer, std::span<const double> denom);
+
+/// Geometric mean; all inputs must be > 0.
+double geomean(std::span<const double> xs);
+
+}  // namespace opsched

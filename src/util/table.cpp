@@ -1,0 +1,101 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace opsched {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  aligns_.assign(headers_.size(), Align::kRight);
+  if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+}
+
+void TablePrinter::set_alignments(std::vector<Align> aligns) {
+  if (aligns.size() != headers_.size())
+    throw std::invalid_argument("TablePrinter: alignment count != columns");
+  aligns_ = std::move(aligns);
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("TablePrinter: cell count != columns");
+  rows_.push_back(Row{std::move(cells), /*is_rule=*/false});
+}
+
+void TablePrinter::add_rule() { rows_.push_back(Row{{}, /*is_rule=*/true}); }
+
+void TablePrinter::set_title(std::string title) { title_ = std::move(title); }
+
+void TablePrinter::print(std::ostream& os) const { os << to_string(); }
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const Row& r : rows_) {
+    if (r.is_rule) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      widths[c] = std::max(widths[c], r.cells[c].size());
+  }
+
+  const auto pad = [&](const std::string& s, std::size_t w, Align a) {
+    std::string out;
+    const std::size_t padding = w > s.size() ? w - s.size() : 0;
+    if (a == Align::kRight) out.append(padding, ' ');
+    out += s;
+    if (a == Align::kLeft) out.append(padding, ' ');
+    return out;
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+
+  const auto rule = [&] {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      line.append(widths[c] + 2, '-');
+      if (c + 1 < widths.size()) line += '+';
+    }
+    return line;
+  }();
+
+  os << rule << "\n";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ' << pad(headers_[c], widths[c], aligns_[c]) << ' ';
+    if (c + 1 < headers_.size()) os << '|';
+  }
+  os << "\n" << rule << "\n";
+  for (const Row& r : rows_) {
+    if (r.is_rule) {
+      os << rule << "\n";
+      continue;
+    }
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      os << ' ' << pad(r.cells[c], widths[c], aligns_[c]) << ' ';
+      if (c + 1 < r.cells.size()) os << '|';
+    }
+    os << "\n";
+  }
+  os << rule << "\n";
+  return os.str();
+}
+
+std::string fmt_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_speedup(double v, int decimals) {
+  return fmt_double(v, decimals) + "x";
+}
+
+std::string fmt_percent(double v, int decimals) {
+  return fmt_double(100.0 * v, decimals) + "%";
+}
+
+}  // namespace opsched

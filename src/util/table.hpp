@@ -1,0 +1,58 @@
+// Fixed-width ASCII table printer. Every benchmark harness prints
+// paper-table-shaped output through this, so the rows the user sees line up
+// with the rows in the paper's evaluation section.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace opsched {
+
+/// Column alignment for TablePrinter.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of strings and prints them with aligned columns,
+/// a header rule, and an optional title. Example:
+///
+///   TablePrinter t({"Operation", "Time (ms)", "Speedup"});
+///   t.add_row({"Conv2D", "14.8", "1.08"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Sets per-column alignment; default is left for column 0, right for the
+  /// rest (numbers on the right, names on the left).
+  void set_alignments(std::vector<Align> aligns);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule between row groups (e.g. between models).
+  void add_rule();
+
+  void set_title(std::string title);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_rule = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  std::string title_;
+};
+
+/// Formats a double with the given number of decimals (no locale surprises).
+std::string fmt_double(double v, int decimals = 2);
+/// Formats a ratio as e.g. "1.38x".
+std::string fmt_speedup(double v, int decimals = 2);
+/// Formats a fraction as a percentage, e.g. 0.9545 -> "95.45%".
+std::string fmt_percent(double v, int decimals = 2);
+
+}  // namespace opsched

@@ -1,0 +1,130 @@
+// Model parallelism (paper Section V): partitioning and the paper's two
+// claims — fewer co-run opportunities per worker, unchanged intra-op
+// concurrency control.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/cluster.hpp"
+#include "models/models.hpp"
+
+namespace opsched {
+namespace {
+
+TEST(ModelParallel, PartitionCoversEveryNodeExactlyOnce) {
+  const Graph g = build_resnet50();
+  for (std::size_t stages : {1u, 2u, 4u}) {
+    const auto parts = partition_model(g, stages);
+    ASSERT_EQ(parts.size(), stages);
+    std::size_t total = 0;
+    for (const ModelStage& s : parts) {
+      total += s.graph.size();
+      // Each stage is itself a valid DAG.
+      EXPECT_EQ(s.graph.topo_order().size(), s.graph.size());
+    }
+    EXPECT_EQ(total, g.size());
+  }
+  EXPECT_THROW(partition_model(g, 0), std::invalid_argument);
+}
+
+TEST(ModelParallel, SingleStageHasNoBoundaryTraffic) {
+  const Graph g = build_dcgan();
+  const auto parts = partition_model(g, 1);
+  EXPECT_DOUBLE_EQ(parts[0].boundary_bytes, 0.0);
+  EXPECT_EQ(parts[0].graph.size(), g.size());
+}
+
+TEST(ModelParallel, CrossStageEdgesAccounted) {
+  const Graph g = build_dcgan();
+  const auto parts = partition_model(g, 4);
+  double boundary = 0.0;
+  for (const ModelStage& s : parts) boundary += s.boundary_bytes;
+  EXPECT_GT(boundary, 0.0);  // the model does not cut for free
+  // The last stage ships nothing onward in this accounting only if no
+  // forward edge leaves it — by construction of contiguous topo cuts.
+  EXPECT_DOUBLE_EQ(parts.back().boundary_bytes, 0.0);
+}
+
+TEST(ModelParallel, PaperClaimFewerCorunOpportunitiesPerWorker) {
+  // "the number of operations available for scheduling is smaller ...
+  //  less opportunities to co-run operations"
+  const Graph g = build_resnet50();
+  ClusterOptions single;
+  single.num_workers = 1;
+  ModelParallelCluster one(MachineSpec::knl(), single);
+  one.profile(g);
+  const ModelParallelStepResult r1 = one.run_step();
+
+  ClusterOptions four;
+  four.num_workers = 4;
+  ModelParallelCluster quad(MachineSpec::knl(), four);
+  quad.profile(g);
+  const ModelParallelStepResult r4 = quad.run_step();
+
+  double mean4 = 0.0;
+  for (double c : r4.stage_corun) mean4 += c;
+  mean4 /= static_cast<double>(r4.stage_corun.size());
+  // Qualitative claim: partitioning does not *increase* co-running (a
+  // modest tolerance absorbs scheduling noise at stage boundaries).
+  EXPECT_LE(mean4, r1.stage_corun[0] * 1.15);
+}
+
+TEST(ModelParallel, PaperClaimIntraOpControlUnchanged) {
+  // "our control over intra-op parallelism should remain the same":
+  // an op's chosen width on a partitioned worker equals its width in the
+  // single-machine runtime (same kind+shape profile).
+  const Graph g = build_dcgan();
+  ClusterOptions opt;
+  opt.num_workers = 2;
+  ModelParallelCluster cluster(MachineSpec::knl(), opt);
+  cluster.profile(g);
+
+  Runtime whole(MachineSpec::knl());
+  whole.profile(g);
+
+  for (std::size_t w = 0; w < 2; ++w) {
+    const Graph& stage = cluster.stages()[w].graph;
+    for (const Node& n : stage.nodes()) {
+      if (!op_kind_tunable(n.kind)) continue;
+      // Compare per-key S1 decisions (kind consolidation differs when a
+      // stage lacks the kind's heaviest instance; the per-key profile is
+      // the invariant the paper refers to).
+      const auto c_stage =
+          cluster.worker(w).controller().candidates_for(n, 1);
+      const auto c_whole = whole.controller().candidates_for(n, 1);
+      ASSERT_FALSE(c_stage.empty());
+      ASSERT_FALSE(c_whole.empty());
+      EXPECT_EQ(c_stage[0].threads, c_whole[0].threads) << n.label;
+    }
+  }
+}
+
+TEST(ModelParallel, AdaptiveStillBeatsRecommendationPerStage) {
+  const Graph g = build_resnet50();
+  ClusterOptions opt;
+  opt.num_workers = 2;
+  ModelParallelCluster cluster(MachineSpec::knl(), opt);
+  cluster.profile(g);
+  const ModelParallelStepResult rec = cluster.run_step_recommendation();
+  cluster.run_step();  // warm caches
+  const ModelParallelStepResult adaptive = cluster.run_step();
+  EXPECT_LT(adaptive.time_ms, rec.time_ms);
+}
+
+TEST(ModelParallel, StepTimeDecomposes) {
+  const Graph g = build_dcgan();
+  ClusterOptions opt;
+  opt.num_workers = 3;
+  ModelParallelCluster cluster(MachineSpec::knl(), opt);
+  cluster.profile(g);
+  const ModelParallelStepResult r = cluster.run_step();
+  double sum = r.transfer_ms;
+  for (double s : r.stage_ms) sum += s;
+  EXPECT_NEAR(r.time_ms, sum, 1e-9);
+  EXPECT_THROW(ModelParallelCluster(MachineSpec::knl(), ClusterOptions{0})
+                   .run_step(),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace opsched

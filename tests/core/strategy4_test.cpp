@@ -1,0 +1,100 @@
+// Strategy 4 in isolation: on the full model graphs the ready queue is
+// rarely non-empty while the machine is full, so overlays barely appear in
+// the Figure-3/4 benches (documented in EXPERIMENTS.md). These tests craft
+// the situation the paper describes — a compute-bound op holding all cores
+// with small ops waiting — and verify the overlay machinery end to end.
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "graph/builder.hpp"
+
+namespace opsched {
+namespace {
+
+/// One huge compute-bound conv (wants all 68 cores) plus many small
+/// streaming ops, all ready at once.
+Graph full_width_plus_small(int num_small) {
+  GraphBuilder gb;
+  const NodeId src =
+      gb.source(OpKind::kInputConversion, "in", TensorShape{2, 2, 2, 2});
+  // (32,8,8,2048)-class conv: granularity beyond 68, optimum = all cores.
+  gb.op(OpKind::kConv2D, "whale", {src}, TensorShape{32, 8, 8, 2048},
+        TensorShape{3, 3, 2048, 512}, TensorShape{32, 8, 8, 512});
+  for (int i = 0; i < num_small; ++i) {
+    gb.op(OpKind::kMul, "minnow" + std::to_string(i), {src},
+          TensorShape{8, 8, 8, 16}, TensorShape{}, TensorShape{8, 8, 8, 16});
+  }
+  return gb.take();
+}
+
+StepResult run_masked(const Graph& g, unsigned strategies) {
+  RuntimeOptions opt;
+  opt.strategies = strategies;
+  Runtime rt(MachineSpec::knl(), opt);
+  rt.profile(g);
+  return rt.run_step(g);
+}
+
+TEST(Strategy4, OverlaysEngageUnderFullWidthComputeOp) {
+  const Graph g = full_width_plus_small(6);
+  const StepResult with_s4 = run_masked(g, kStrategyAll);
+  EXPECT_GT(with_s4.overlay_launches, 0u)
+      << "small ops should ride the whale's spare hyper-thread contexts";
+  EXPECT_EQ(with_s4.ops_run, g.size());
+}
+
+TEST(Strategy4, OverlaysImproveOrMatchStepTime) {
+  const Graph g = full_width_plus_small(6);
+  const StepResult without = run_masked(g, kStrategyS123);
+  const StepResult with_s4 = run_masked(g, kStrategyAll);
+  EXPECT_LE(with_s4.time_ms, without.time_ms * 1.02);
+}
+
+TEST(Strategy4, RaisesCorunLevel) {
+  const Graph g = full_width_plus_small(6);
+  const StepResult without = run_masked(g, kStrategyS123);
+  const StepResult with_s4 = run_masked(g, kStrategyAll);
+  EXPECT_GE(with_s4.trace.mean_corun(), without.trace.mean_corun());
+  EXPECT_GT(with_s4.trace.max_corun(), 1);
+}
+
+TEST(Strategy4, SkipsMemoryBoundPrimaries) {
+  // A full-width *streaming* op has no spare core cycles: overlaying onto
+  // it only adds bandwidth pressure, so Strategy 4 must decline.
+  GraphBuilder gb;
+  const NodeId src =
+      gb.source(OpKind::kInputConversion, "in", TensorShape{2, 2, 2, 2});
+  // Huge Adam update: bandwidth-bound, runs near full width.
+  gb.op(OpKind::kApplyAdam, "streaming_whale", {src},
+        TensorShape{64, 64, 64, 64}, TensorShape{},
+        TensorShape{64, 64, 64, 64});
+  for (int i = 0; i < 4; ++i) {
+    gb.op(OpKind::kMul, "minnow" + std::to_string(i), {src},
+          TensorShape{8, 8, 8, 16}, TensorShape{}, TensorShape{8, 8, 8, 16});
+  }
+  const Graph g = gb.take();
+  const StepResult r = run_masked(g, kStrategyAll);
+  EXPECT_EQ(r.overlay_launches, 0u)
+      << "no overlay onto a memory-bound primary";
+  EXPECT_EQ(r.ops_run, g.size());
+}
+
+TEST(Strategy4, OverlayGuardRejectsOutlastingOps) {
+  // The "small" op is actually as big as the whale: overlaying it would
+  // extend the step, so the guard must reject it.
+  GraphBuilder gb;
+  const NodeId src =
+      gb.source(OpKind::kInputConversion, "in", TensorShape{2, 2, 2, 2});
+  gb.op(OpKind::kConv2D, "whale", {src}, TensorShape{32, 8, 8, 2048},
+        TensorShape{3, 3, 2048, 512}, TensorShape{32, 8, 8, 512});
+  gb.op(OpKind::kConv2DBackpropFilter, "second_whale", {src},
+        TensorShape{32, 8, 8, 2048}, TensorShape{3, 3, 2048, 512},
+        TensorShape{3, 3, 2048, 512});
+  const Graph g = gb.take();
+  const StepResult r = run_masked(g, kStrategyAll);
+  EXPECT_EQ(r.overlay_launches, 0u);
+  EXPECT_EQ(r.ops_run, g.size());
+}
+
+}  // namespace
+}  // namespace opsched

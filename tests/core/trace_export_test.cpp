@@ -1,0 +1,93 @@
+// Chrome-tracing export of schedule traces.
+#include "core/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/runtime.hpp"
+#include "graph/builder.hpp"
+#include "models/models.hpp"
+
+namespace opsched {
+namespace {
+
+TEST(TraceExport, EmptyTraceIsEmptyArray) {
+  const Graph g;
+  EventTrace trace;
+  const std::string json = trace_to_chrome_json(trace, g);
+  EXPECT_EQ(json.find('['), 0u);
+  EXPECT_NE(json.find(']'), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\""), std::string::npos);
+}
+
+TEST(TraceExport, PairsLaunchAndFinish) {
+  GraphBuilder gb;
+  const NodeId a =
+      gb.source(OpKind::kConv2D, "my_op", TensorShape{2, 4, 4, 8});
+  const Graph g = gb.take();
+
+  EventTrace trace;
+  trace.record(1.0, true, a, OpKind::kConv2D, 1);
+  trace.record(3.5, false, a, OpKind::kConv2D, 0);
+  const std::string json = trace_to_chrome_json(trace, g);
+  EXPECT_NE(json.find("\"name\":\"my_op\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);   // ms -> us
+  EXPECT_NE(json.find("\"dur\":2500"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"Conv2D\""), std::string::npos);
+}
+
+TEST(TraceExport, OverlappingOpsGetDistinctLanes) {
+  GraphBuilder gb;
+  const NodeId a = gb.source(OpKind::kConv2D, "a", TensorShape{2, 4, 4, 8});
+  const NodeId b = gb.source(OpKind::kConv2D, "b", TensorShape{2, 4, 4, 8});
+  const Graph g = gb.take();
+
+  EventTrace trace;
+  trace.record(0.0, true, a, OpKind::kConv2D, 1);
+  trace.record(0.5, true, b, OpKind::kConv2D, 2);
+  trace.record(1.0, false, a, OpKind::kConv2D, 1);
+  trace.record(1.5, false, b, OpKind::kConv2D, 0);
+  const std::string json = trace_to_chrome_json(trace, g);
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+}
+
+TEST(TraceExport, EscapesQuotesInLabels) {
+  GraphBuilder gb;
+  const NodeId a =
+      gb.source(OpKind::kConv2D, "weird\"label", TensorShape{2, 4, 4, 8});
+  const Graph g = gb.take();
+  EventTrace trace;
+  trace.record(0.0, true, a, OpKind::kConv2D, 1);
+  trace.record(1.0, false, a, OpKind::kConv2D, 0);
+  const std::string json = trace_to_chrome_json(trace, g);
+  EXPECT_NE(json.find("weird\\\"label"), std::string::npos);
+}
+
+TEST(TraceExport, FullStepTraceRoundTripsToFile) {
+  const Graph g = build_dcgan();
+  Runtime rt(MachineSpec::knl());
+  rt.profile(g);
+  const StepResult r = rt.run_step(g);
+
+  const std::string path = std::string(::testing::TempDir()) + "/trace.json";
+  write_chrome_trace(path, r.trace, g);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  // One complete event per executed op.
+  std::size_t events = 0;
+  for (std::size_t pos = 0; (pos = content.find("\"ph\":\"X\"", pos)) !=
+                            std::string::npos;
+       ++pos)
+    ++events;
+  EXPECT_EQ(events, g.size());
+  EXPECT_THROW(write_chrome_trace("/no-such-dir-xyz/t.json", r.trace, g),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace opsched

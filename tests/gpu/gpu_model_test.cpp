@@ -1,0 +1,102 @@
+// GPU cost model (paper Section VII): launch-configuration surface and
+// two-stream co-run behaviour.
+#include "gpu/gpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/op_factory.hpp"
+
+namespace opsched {
+namespace {
+
+class GpuModelTest : public ::testing::Test {
+ protected:
+  GpuCostModel model_{GpuSpec::p100()};
+  Node bias_ = make_activation_op(OpKind::kBiasAdd, 32, 17, 17, 768);
+  Node pool_ = make_activation_op(OpKind::kMaxPool, 32, 35, 35, 288);
+  Node conv_ = make_conv_op(OpKind::kConv2D, 32, 17, 17, 384, 3, 3, 384);
+};
+
+TEST_F(GpuModelTest, SpecMatchesP100) {
+  const GpuSpec spec = GpuSpec::p100();
+  EXPECT_EQ(spec.num_sms, 56);
+  EXPECT_EQ(spec.cuda_cores, 3584);
+  EXPECT_EQ(spec.max_threads_per_block, 1024);
+}
+
+TEST_F(GpuModelTest, TimesPositiveAndDeterministic) {
+  for (int tpb : {64, 256, 1024, 4096}) {
+    for (int blocks : {14, 56, 224}) {
+      const GpuLaunchConfig cfg{tpb, blocks};
+      const double t = model_.exec_time_ms(bias_, cfg);
+      EXPECT_GT(t, 0.0);
+      EXPECT_DOUBLE_EQ(t, model_.exec_time_ms(bias_, cfg));
+    }
+  }
+}
+
+TEST_F(GpuModelTest, UtilizationBounded) {
+  for (int tpb : {32, 128, 1024}) {
+    for (int blocks : {14, 56, 896}) {
+      const double u = model_.utilization(conv_, {tpb, blocks});
+      EXPECT_GT(u, 0.0);
+      EXPECT_LT(u, 0.65);  // cuDNN-style ceiling leaves co-run headroom
+    }
+  }
+}
+
+TEST_F(GpuModelTest, DefaultConfigIsNotOptimal) {
+  // Section VII's core observation: TF's default (1024 threads/block,
+  // #SMs blocks) loses to the best configuration.
+  const GpuLaunchConfig def{};
+  for (const Node* op : {&bias_, &pool_}) {
+    const GpuLaunchConfig best = model_.best_config(*op);
+    const double t_def = model_.exec_time_ms(*op, def);
+    const double t_best = model_.exec_time_ms(*op, best);
+    EXPECT_LT(t_best, t_def * 0.99)
+        << op_kind_name(op->kind) << ": default should be beatable";
+  }
+}
+
+TEST_F(GpuModelTest, TooFewBlocksStrandSms) {
+  // 14 blocks on 56 SMs: three quarters of the device idles.
+  const double t14 = model_.exec_time_ms(bias_, {1024, 14});
+  const double t56 = model_.exec_time_ms(bias_, {1024, 56});
+  EXPECT_GT(t14, t56 * 1.5);
+}
+
+TEST_F(GpuModelTest, ExtremeThreadsPerBlockSlow) {
+  const double t256 = model_.exec_time_ms(pool_, {256, 112});
+  const double t16384 = model_.exec_time_ms(pool_, {16384, 112});
+  const double t32 = model_.exec_time_ms(pool_, {32, 112});
+  EXPECT_GT(t16384, t256);
+  EXPECT_GT(t32, t256);
+}
+
+TEST_F(GpuModelTest, CorunSpeedupInPaperRange) {
+  // Table VII: 1.75x - 1.91x for the five studied ops.
+  for (const Node* op : {&conv_, &bias_, &pool_}) {
+    const GpuCorunResult r = gpu_corun_study(model_, *op, 100);
+    EXPECT_GT(r.speedup, 1.5) << op_kind_name(op->kind);
+    EXPECT_LT(r.speedup, 2.0) << op_kind_name(op->kind);
+    EXPECT_NEAR(r.serial_ms / r.corun_ms, r.speedup, 1e-9);
+  }
+}
+
+TEST_F(GpuModelTest, CorunNeverSlowerThanSerial) {
+  for (int runs : {1, 10, 1000}) {
+    const GpuCorunResult r = gpu_corun_study(model_, conv_, runs);
+    EXPECT_GE(r.speedup, 1.0);
+    EXPECT_GT(r.corun_ms, 0.0);
+  }
+}
+
+TEST_F(GpuModelTest, BiggerOpsTakeLonger) {
+  const Node small = make_activation_op(OpKind::kBiasAdd, 8, 17, 17, 768);
+  const GpuLaunchConfig cfg{256, 112};
+  EXPECT_LT(model_.exec_time_ms(small, cfg),
+            model_.exec_time_ms(bias_, cfg));
+}
+
+}  // namespace
+}  // namespace opsched

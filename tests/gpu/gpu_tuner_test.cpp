@@ -1,0 +1,87 @@
+// GpuTuner (paper Section VII-B's proposed search reduction).
+#include "gpu/gpu_tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/op_factory.hpp"
+
+namespace opsched {
+namespace {
+
+class GpuTunerTest : public ::testing::Test {
+ protected:
+  GpuCostModel model_{GpuSpec::p100()};
+  GpuTuner tuner_{model_};
+};
+
+TEST_F(GpuTunerTest, ExhaustiveEvaluatesFullGrid) {
+  const Node op = make_activation_op(OpKind::kBiasAdd, 32, 17, 17, 768);
+  const GpuTuneResult r = tuner_.exhaustive(op);
+  EXPECT_EQ(static_cast<std::size_t>(r.evaluations),
+            GpuTuner::tpb_axis().size() * GpuTuner::blocks_axis().size());
+  // The found config is the minimum of the grid.
+  for (int tpb : GpuTuner::tpb_axis())
+    for (int blocks : GpuTuner::blocks_axis())
+      EXPECT_LE(r.time_ms,
+                model_.exec_time_ms(op, {tpb, blocks}) + 1e-12);
+}
+
+TEST_F(GpuTunerTest, IndependentIsMuchCheaper) {
+  const Node op = make_activation_op(OpKind::kMaxPool, 32, 35, 35, 288);
+  const GpuTuneResult ex = tuner_.exhaustive(op);
+  const GpuTuneResult ind = tuner_.independent(op);
+  EXPECT_LT(ind.evaluations, ex.evaluations / 4);
+  // O(2n) = |blocks| + |tpb| evaluations.
+  EXPECT_EQ(static_cast<std::size_t>(ind.evaluations),
+            GpuTuner::tpb_axis().size() + GpuTuner::blocks_axis().size());
+}
+
+class TunerQuality : public ::testing::TestWithParam<OpKind> {};
+
+TEST_P(TunerQuality, IndependentNearExhaustive) {
+  // The paper's dimensional-independence claim: the O(2n) search lands
+  // within ~10% of the exhaustive optimum for every studied op kind.
+  const GpuCostModel model(GpuSpec::p100());
+  const GpuTuner tuner(model);
+  Node op;
+  switch (GetParam()) {
+    case OpKind::kBiasAdd:
+      op = make_activation_op(OpKind::kBiasAdd, 32, 17, 17, 768);
+      break;
+    case OpKind::kMaxPool:
+      op = make_activation_op(OpKind::kMaxPool, 32, 35, 35, 288);
+      break;
+    default:
+      op = make_conv_op(GetParam(), 32, 17, 17, 384, 3, 3, 384);
+      break;
+  }
+  const GpuTuneResult ex = tuner.exhaustive(op);
+  const GpuTuneResult ind = tuner.independent(op);
+  EXPECT_LE(ind.time_ms, ex.time_ms * 1.10) << op_kind_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(StudiedOps, TunerQuality,
+                         ::testing::Values(OpKind::kBiasAdd, OpKind::kMaxPool,
+                                           OpKind::kConv2D,
+                                           OpKind::kConv2DBackpropInput,
+                                           OpKind::kConv2DBackpropFilter));
+
+TEST_F(GpuTunerTest, CoarseIntervalCheaperStillReasonable) {
+  const Node op = make_activation_op(OpKind::kBiasAdd, 32, 17, 17, 768);
+  const GpuTuneResult fine = tuner_.independent(op);
+  const GpuTuneResult coarse = tuner_.independent_coarse(op, 3);
+  EXPECT_LT(coarse.evaluations, fine.evaluations);
+  EXPECT_LE(coarse.time_ms, fine.time_ms * 1.25);
+  // Degenerate interval values are clamped.
+  const GpuTuneResult clamped = tuner_.independent_coarse(op, 0);
+  EXPECT_EQ(clamped.evaluations, fine.evaluations);
+}
+
+TEST_F(GpuTunerTest, TunedBeatsFrameworkDefault) {
+  const Node op = make_activation_op(OpKind::kBiasAdd, 32, 17, 17, 768);
+  const double t_default = model_.exec_time_ms(op, GpuLaunchConfig{});
+  EXPECT_LT(tuner_.independent(op).time_ms, t_default);
+}
+
+}  // namespace
+}  // namespace opsched

@@ -1,0 +1,252 @@
+// Properties of the analytic cost model: these encode the paper's
+// Observations 1-3 (per-op optima below 68 threads; optima shift with input
+// size; curves are unimodal so hill climbing finds the global optimum).
+#include "machine/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/op_factory.hpp"
+
+namespace opsched {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  MachineSpec spec_ = MachineSpec::knl();
+  CostModel model_{spec_};
+};
+
+TEST_F(CostModelTest, TimesArePositiveAndFinite) {
+  const Node op = fig1_conv2d();
+  for (int n = 1; n <= 272; ++n) {
+    const double t = model_.exec_time_ms(op, n, AffinityMode::kSpread);
+    EXPECT_GT(t, 0.0);
+    EXPECT_TRUE(std::isfinite(t));
+  }
+}
+
+TEST_F(CostModelTest, DeterministicPerConfiguration) {
+  const Node op = fig1_backprop_filter();
+  EXPECT_DOUBLE_EQ(model_.exec_time_ms(op, 26, AffinityMode::kSpread),
+                   model_.exec_time_ms(op, 26, AffinityMode::kSpread));
+}
+
+TEST_F(CostModelTest, IdenticalShapesShareTimes) {
+  // Two instances with the same kind+shape behave identically — the
+  // stability property profiling relies on.
+  Node a = fig1_conv2d();
+  Node b = fig1_conv2d();
+  a.id = 1;
+  b.id = 99;
+  a.label = "first";
+  b.label = "second";
+  EXPECT_DOUBLE_EQ(model_.exec_time_ms(a, 40, AffinityMode::kSpread),
+                   model_.exec_time_ms(b, 40, AffinityMode::kSpread));
+  EXPECT_EQ(CostModel::op_time_key(a), CostModel::op_time_key(b));
+}
+
+TEST_F(CostModelTest, MoreWorkTakesLonger) {
+  const Node small = make_conv_op(OpKind::kConv2D, 8, 8, 8, 64, 3, 3, 64);
+  const Node large = make_conv_op(OpKind::kConv2D, 32, 8, 8, 64, 3, 3, 64);
+  for (int n : {1, 17, 34, 68}) {
+    EXPECT_LT(model_.exec_time_ms(small, n, AffinityMode::kSpread),
+              model_.exec_time_ms(large, n, AffinityMode::kSpread));
+  }
+}
+
+TEST_F(CostModelTest, Observation1OptimaBelowAllCores) {
+  // Fig. 1: the three conv ops at (32,8,8,384) peak well below 68 threads,
+  // in the order BF < BI < FWD.
+  const auto bf = model_.ground_truth_optimum(fig1_backprop_filter(), 68);
+  const auto bi = model_.ground_truth_optimum(fig1_backprop_input(), 68);
+  const auto fw = model_.ground_truth_optimum(fig1_conv2d(), 68);
+  EXPECT_LT(bf.threads, 45);
+  EXPECT_LT(bi.threads, 55);
+  EXPECT_LT(fw.threads, 60);
+  EXPECT_LT(bf.threads, bi.threads);
+  EXPECT_LT(bi.threads, fw.threads);
+  // And the 68-thread default loses measurably (paper: up to 17.3%).
+  const double t68 =
+      model_.exec_time_ms(fig1_backprop_filter(), 68, AffinityMode::kSpread);
+  EXPECT_GT((t68 - bf.time_ms) / t68, 0.05);
+}
+
+TEST_F(CostModelTest, Observation2OptimaShiftWithInputSize) {
+  const auto small = model_.ground_truth_optimum(
+      make_conv_op(OpKind::kConv2DBackpropFilter, 32, 8, 8, 384, 3, 3, 384),
+      68);
+  const auto large = model_.ground_truth_optimum(
+      make_conv_op(OpKind::kConv2DBackpropFilter, 32, 8, 8, 2048, 3, 3, 512),
+      68);
+  EXPECT_LT(small.threads, large.threads);
+  EXPECT_GE(large.threads, 60);  // the big shape wants (nearly) all cores
+}
+
+class UnimodalityTest : public ::testing::TestWithParam<OpKind> {};
+
+TEST_P(UnimodalityTest, LocalOptimumIsGlobal) {
+  // The paper: "the local optimum is always the global optimum. As the
+  // number of threads changes, the variance of execution time is shown as
+  // a convex function." Verify no descending segment after the curve rises
+  // beyond jitter tolerance.
+  const MachineSpec spec = MachineSpec::knl();
+  const CostModel model(spec);
+  Node op;
+  op.kind = GetParam();
+  op.input_shape = TensorShape{32, 17, 17, 384};
+  op.aux_shape = TensorShape{3, 3, 384, 384};
+  op.output_shape = TensorShape{32, 17, 17, 384};
+
+  // Smooth out jitter with a 3-point moving minimum, then require the
+  // smoothed curve to be descending-then-ascending (single valley).
+  std::vector<double> t;
+  for (int n = 1; n <= 68; ++n)
+    t.push_back(model.exec_time_ms(op, n, AffinityMode::kSpread));
+  int direction_changes = 0;
+  bool ascending = false;
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    const double prev = std::min({t[i - 1], t[i]});
+    const double next = std::min({t[i], t[i + 1]});
+    const double tol = 0.08;  // jitter guard
+    if (!ascending && next > prev * (1.0 + tol)) {
+      ascending = true;
+      ++direction_changes;
+    } else if (ascending && next < prev * (1.0 - tol)) {
+      ++direction_changes;
+    }
+  }
+  EXPECT_LE(direction_changes, 1)
+      << "curve for " << op_kind_name(GetParam()) << " is not unimodal";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTunableKinds, UnimodalityTest,
+    ::testing::Values(OpKind::kConv2D, OpKind::kConv2DBackpropFilter,
+                      OpKind::kConv2DBackpropInput, OpKind::kMatMul,
+                      OpKind::kFusedBatchNorm, OpKind::kBiasAdd,
+                      OpKind::kRelu, OpKind::kApplyAdam, OpKind::kMaxPool));
+
+TEST_F(CostModelTest, OversubscriptionCollapses) {
+  // Table I: intra-op 136 (2 threads/core) is much slower than 68.
+  const Node op = table3_backprop_filter();
+  const double t68 = model_.exec_time_ms(op, 68, AffinityMode::kSpread);
+  const double t136 = model_.exec_time_ms(op, 136, AffinityMode::kSpread);
+  EXPECT_GT(t136, t68 * 1.2);
+}
+
+TEST_F(CostModelTest, SharedModeHelpsReuseHurtsStreaming) {
+  // Convs (filter reuse) benefit from tile sharing; streaming relu pays.
+  const Node conv = make_conv_op(OpKind::kConv2D, 8, 16, 16, 64, 3, 3, 64);
+  EXPECT_LT(model_.exec_time_ms(conv, 16, AffinityMode::kShared),
+            model_.exec_time_ms(conv, 16, AffinityMode::kSpread) * 1.02);
+  const Node relu = make_activation_op(OpKind::kRelu, 64, 32, 32, 64);
+  EXPECT_GT(model_.exec_time_ms(relu, 16, AffinityMode::kShared),
+            model_.exec_time_ms(relu, 16, AffinityMode::kSpread) * 0.99);
+}
+
+TEST_F(CostModelTest, MemoryIntensityBounds) {
+  const Node conv = table3_backprop_filter();
+  const Node relu = make_activation_op(OpKind::kRelu, 64, 32, 32, 64);
+  for (int n : {1, 17, 34, 68}) {
+    const double mc = model_.memory_intensity(conv, n);
+    const double mr = model_.memory_intensity(relu, n);
+    EXPECT_GE(mc, 0.0);
+    EXPECT_LE(mc, 1.0);
+    EXPECT_GE(mr, 0.0);
+    EXPECT_LE(mr, 1.0);
+    EXPECT_LT(mc, mr);  // conv is compute-bound, relu streaming
+  }
+}
+
+TEST_F(CostModelTest, InterferenceFactorMonotone) {
+  EXPECT_DOUBLE_EQ(model_.interference_factor(0.0), 1.0);
+  EXPECT_GT(model_.interference_factor(0.5), 1.0);
+  EXPECT_GT(model_.interference_factor(1.0),
+            model_.interference_factor(0.5));
+  EXPECT_DOUBLE_EQ(model_.interference_factor(-1.0), 1.0);  // clamped
+}
+
+TEST_F(CostModelTest, CountersDeterministicAndNoisier_WhenShort) {
+  const Node big = table3_backprop_filter();
+  const Node tiny = make_activation_op(OpKind::kMul, 2, 4, 4, 8);
+
+  const CounterSample a = model_.counters(big, 34, AffinityMode::kSpread, 4, 7);
+  const CounterSample b = model_.counters(big, 34, AffinityMode::kSpread, 4, 7);
+  EXPECT_DOUBLE_EQ(a.cycles_per_instr, b.cycles_per_instr);
+  EXPECT_DOUBLE_EQ(a.measured_time_ms, b.measured_time_ms);
+
+  // Relative spread of repeated tiny-op measurements exceeds the big op's
+  // (the paper's reason regression models fail on short ops).
+  const auto rel_spread = [&](const Node& op) {
+    double mn = 1e300, mx = 0.0;
+    for (std::uint64_t seed = 0; seed < 32; ++seed) {
+      const double v =
+          model_.counters(op, 34, AffinityMode::kSpread, 4, seed)
+              .measured_time_ms;
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    return (mx - mn) / std::max(mn, 1e-12);
+  };
+  EXPECT_GT(rel_spread(tiny), rel_spread(big));
+}
+
+TEST_F(CostModelTest, CounterNoiseGrowsWithSampleSteps) {
+  // Multiplexing more sample cases makes each reading worse (Table IV's
+  // N=16 row).
+  const Node op = fig1_conv2d();
+  const auto spread_at = [&](int steps) {
+    double mn = 1e300, mx = 0.0;
+    for (std::uint64_t seed = 0; seed < 48; ++seed) {
+      const double v = model_.counters(op, 34, AffinityMode::kSpread, steps,
+                                       seed)
+                           .measured_time_ms;
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    return (mx - mn) / mn;
+  };
+  EXPECT_GT(spread_at(16), spread_at(1));
+}
+
+TEST_F(CostModelTest, GroundTruthOptimumScansBothModes) {
+  const Node conv = make_conv_op(OpKind::kConv2D, 8, 16, 16, 64, 3, 3, 64);
+  const auto best = model_.ground_truth_optimum(conv, 68);
+  EXPECT_GE(best.threads, 1);
+  EXPECT_LE(best.threads, 68);
+  // Optimum must actually be the minimum over a full scan.
+  for (int n = 1; n <= 68; ++n) {
+    EXPECT_LE(best.time_ms,
+              model_.exec_time_ms(conv, n, AffinityMode::kSpread) + 1e-12);
+  }
+}
+
+TEST(MachineSpecTest, KnlMatchesPaperPlatform) {
+  const MachineSpec knl = MachineSpec::knl();
+  EXPECT_EQ(knl.num_cores, 68u);
+  EXPECT_EQ(knl.num_tiles(), 34u);
+  EXPECT_EQ(knl.hw_threads_per_core, 4u);
+  EXPECT_EQ(knl.logical_cores(), 272u);
+  EXPECT_DOUBLE_EQ(knl.ht_efficiency(1), 1.0);
+  EXPECT_LT(knl.ht_efficiency(2), 1.0);
+  EXPECT_LT(knl.ht_efficiency(4), knl.ht_efficiency(2));
+  EXPECT_GT(knl.multi_team_capacity(2), 1.0);   // SMT2 gains a little
+  EXPECT_LT(knl.multi_team_capacity(4), 1.0);   // SMT4 thrashes
+  EXPECT_LT(knl.multi_team_capacity(8), knl.multi_team_capacity(4));
+}
+
+TEST(MachineSpecTest, ModelIsArchitectureIndependent) {
+  // The hill-climb model needs no machine knowledge: the cost model runs on
+  // a different platform preset without reconfiguration.
+  const MachineSpec xeon = MachineSpec::xeon16();
+  const CostModel model(xeon);
+  const Node op = fig1_conv2d();
+  const auto best = model.ground_truth_optimum(op, 16);
+  EXPECT_GE(best.threads, 1);
+  EXPECT_LE(best.threads, 16);
+}
+
+}  // namespace
+}  // namespace opsched

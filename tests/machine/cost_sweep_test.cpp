@@ -1,0 +1,107 @@
+// Property sweeps over the cost model: broad (kind x shape) grids checked
+// for the invariants the scheduler relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "machine/cost_model.hpp"
+#include "models/op_factory.hpp"
+
+namespace opsched {
+namespace {
+
+struct SweepCase {
+  OpKind kind;
+  std::int64_t batch, hw, chan;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) {
+  *os << op_kind_name(c.kind) << "/" << c.batch << "x" << c.hw << "x"
+      << c.chan;
+}
+
+Node make_case(const SweepCase& c) {
+  switch (c.kind) {
+    case OpKind::kConv2D:
+    case OpKind::kConv2DBackpropFilter:
+    case OpKind::kConv2DBackpropInput:
+      return make_conv_op(c.kind, c.batch, c.hw, c.hw, c.chan, 3, 3, c.chan);
+    case OpKind::kMatMul:
+      return make_matmul_op(c.batch * c.hw, c.chan, c.chan);
+    default:
+      return make_activation_op(c.kind, c.batch, c.hw, c.hw, c.chan);
+  }
+}
+
+class CostSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  MachineSpec spec_ = MachineSpec::knl();
+  CostModel model_{spec_};
+};
+
+TEST_P(CostSweep, TimePositiveFiniteEverywhere) {
+  const Node op = make_case(GetParam());
+  for (int n : {1, 2, 7, 17, 34, 51, 68, 100, 136, 272}) {
+    for (AffinityMode m : {AffinityMode::kSpread, AffinityMode::kShared}) {
+      const double t = model_.exec_time_ms(op, n, m);
+      ASSERT_GT(t, 0.0) << "n=" << n;
+      ASSERT_TRUE(std::isfinite(t)) << "n=" << n;
+    }
+  }
+}
+
+TEST_P(CostSweep, SpeedupFromOneThreadNeverSuperlinearMuch) {
+  const Node op = make_case(GetParam());
+  const double t1 = model_.exec_time_ms(op, 1, AffinityMode::kSpread);
+  for (int n : {2, 8, 32, 68}) {
+    const double tn = model_.exec_time_ms(op, n, AffinityMode::kSpread);
+    // Allow 10% superlinearity headroom for jitter + cache-sharing gains.
+    ASSERT_LT(t1 / tn, n * 1.10) << "n=" << n;
+  }
+}
+
+TEST_P(CostSweep, BatchScalingIsMonotone) {
+  SweepCase big = GetParam();
+  big.batch *= 4;
+  const Node small_op = make_case(GetParam());
+  const Node big_op = make_case(big);
+  for (int n : {1, 34, 68}) {
+    ASSERT_LE(model_.exec_time_ms(small_op, n, AffinityMode::kSpread),
+              model_.exec_time_ms(big_op, n, AffinityMode::kSpread) * 1.05)
+        << "n=" << n;
+  }
+}
+
+TEST_P(CostSweep, OptimumWithinMachineAndStable) {
+  const MachineSpec spec = MachineSpec::knl();
+  const CostModel model(spec);
+  const Node op = make_case(GetParam());
+  const auto a = model.ground_truth_optimum(op, 68);
+  const auto b = model.ground_truth_optimum(op, 68);
+  ASSERT_EQ(a.threads, b.threads);
+  ASSERT_EQ(static_cast<int>(a.mode), static_cast<int>(b.mode));
+  ASSERT_GE(a.threads, 1);
+  ASSERT_LE(a.threads, 68);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindShapeGrid, CostSweep,
+    ::testing::Values(
+        SweepCase{OpKind::kConv2D, 16, 8, 64},
+        SweepCase{OpKind::kConv2D, 32, 16, 256},
+        SweepCase{OpKind::kConv2DBackpropFilter, 16, 8, 64},
+        SweepCase{OpKind::kConv2DBackpropFilter, 32, 8, 1024},
+        SweepCase{OpKind::kConv2DBackpropInput, 16, 16, 128},
+        SweepCase{OpKind::kMatMul, 4, 8, 256},
+        SweepCase{OpKind::kMatMul, 32, 16, 1024},
+        SweepCase{OpKind::kRelu, 64, 32, 64},
+        SweepCase{OpKind::kBiasAdd, 16, 8, 384},
+        SweepCase{OpKind::kFusedBatchNorm, 32, 16, 128},
+        SweepCase{OpKind::kApplyAdam, 8, 16, 256},
+        SweepCase{OpKind::kMaxPool, 32, 16, 64},
+        SweepCase{OpKind::kSparseSoftmaxCrossEntropy, 64, 1, 1000},
+        SweepCase{OpKind::kInputConversion, 32, 16, 128},
+        SweepCase{OpKind::kTile, 16, 8, 256}));
+
+}  // namespace
+}  // namespace opsched

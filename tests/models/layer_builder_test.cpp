@@ -1,0 +1,134 @@
+// LayerBuilder: structural correctness of the emitted forward + backward
+// traces — the dependency shapes the scheduler exploits.
+#include "models/layer_builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace opsched {
+namespace {
+
+/// Finds the unique node whose label ends with `suffix`; fails otherwise.
+NodeId find_node(const Graph& g, const std::string& suffix) {
+  NodeId found = kInvalidNode;
+  for (const Node& n : g.nodes()) {
+    if (n.label.size() >= suffix.size() &&
+        n.label.compare(n.label.size() - suffix.size(), suffix.size(),
+                        suffix) == 0) {
+      EXPECT_EQ(found, kInvalidNode) << "duplicate label " << suffix;
+      found = n.id;
+    }
+  }
+  EXPECT_NE(found, kInvalidNode) << "missing node " << suffix;
+  return found;
+}
+
+Graph one_conv_net() {
+  LayerBuilder lb(/*use_adam=*/true);
+  NodeId x = lb.input("images", TensorShape{4, 8, 8, 3});
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 8, 1, /*bn=*/true, "L");
+  x = lb.global_avg_pool(x, lb.shape_of(x), "head");
+  x = lb.dense(x, 4, 8, 10, "fc");
+  lb.loss_and_backward(x, 4, 10);
+  return lb.take();
+}
+
+TEST(LayerBuilder, EmitsMklConversionAroundConv) {
+  const Graph g = one_conv_net();
+  const NodeId conv = find_node(g, "L/Conv2D");
+  const NodeId conversion = find_node(g, "L/InputConversion");
+  // The conv consumes the layout conversion.
+  ASSERT_EQ(g.node(conv).inputs.size(), 1u);
+  EXPECT_EQ(g.node(conv).inputs[0], conversion);
+  // And the backward emits the reverse conversion.
+  find_node(g, "L/ToTf");
+}
+
+TEST(LayerBuilder, BackpropPairIsIndependent) {
+  // BF and BI of the same conv must not depend on each other — the
+  // paper's main intra-layer co-run opportunity.
+  const Graph g = one_conv_net();
+  const NodeId bf = find_node(g, "L/Conv2DBackpropFilter");
+  const NodeId bi = find_node(g, "L/Conv2DBackpropInput");
+  for (NodeId in : g.node(bf).inputs) EXPECT_NE(in, bi);
+  for (NodeId in : g.node(bi).inputs) EXPECT_NE(in, bf);
+  // They share the upstream gradient producer.
+  bool share = false;
+  for (NodeId a : g.node(bf).inputs)
+    for (NodeId b : g.node(bi).inputs)
+      if (a == b) share = true;
+  EXPECT_TRUE(share);
+}
+
+TEST(LayerBuilder, OptimizerPerParameterTensor) {
+  const Graph g = one_conv_net();
+  // conv filter + bn gamma + fc weight + fc bias = 4 Adam updates.
+  EXPECT_EQ(g.count_kind(OpKind::kApplyAdam), 4u);
+  // The filter's Adam consumes the filter gradient.
+  const NodeId bf = find_node(g, "L/Conv2DBackpropFilter");
+  const NodeId adam = find_node(g, "L/ApplyAdam");
+  ASSERT_EQ(g.node(adam).inputs.size(), 1u);
+  EXPECT_EQ(g.node(adam).inputs[0], bf);
+}
+
+TEST(LayerBuilder, BatchNormBackwardEmitsTileAndMul) {
+  // Table VI's ResNet profile shows Tile/Mul prominently: they come from
+  // the BN backward's per-channel broadcast + scale.
+  const Graph g = one_conv_net();
+  const NodeId bng = find_node(g, "L/FusedBatchNormGrad");
+  const NodeId tile = find_node(g, "L/Tile");
+  const NodeId mul = find_node(g, "L/Mul");
+  ASSERT_FALSE(g.node(tile).inputs.empty());
+  EXPECT_EQ(g.node(tile).inputs[0], bng);
+  // Mul joins the gradient and the broadcast.
+  EXPECT_EQ(g.node(mul).inputs.size(), 2u);
+}
+
+TEST(LayerBuilder, TrainOpBarrierDependsOnAllUpdates) {
+  const Graph g = one_conv_net();
+  const NodeId barrier = find_node(g, "train_op");
+  // Every Adam feeds the barrier.
+  std::size_t adam_deps = 0;
+  for (NodeId in : g.node(barrier).inputs) {
+    if (g.node(in).kind == OpKind::kApplyAdam) ++adam_deps;
+  }
+  EXPECT_EQ(adam_deps, g.count_kind(OpKind::kApplyAdam));
+  // The barrier is a sink: nothing depends on it.
+  EXPECT_TRUE(g.successors(barrier).empty());
+}
+
+TEST(LayerBuilder, StridedConvHalvesSpatialDims) {
+  LayerBuilder lb;
+  NodeId x = lb.input("in", TensorShape{2, 16, 16, 4});
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 8, 2, false, "s2");
+  EXPECT_EQ(lb.shape_of(x), (TensorShape{2, 8, 8, 8}));
+}
+
+TEST(LayerBuilder, DeconvDoublesSpatialDims) {
+  LayerBuilder lb;
+  NodeId x = lb.input("in", TensorShape{2, 7, 7, 16});
+  x = lb.deconv_bn_relu(x, lb.shape_of(x), 5, 5, 8, 2, true, "up");
+  EXPECT_EQ(lb.shape_of(x), (TensorShape{2, 14, 14, 8}));
+  const Graph g = lb.take();
+  // conv2d_transpose lowers to Conv2DBackpropInput in the forward pass.
+  EXPECT_EQ(g.count_kind(OpKind::kConv2DBackpropInput), 1u);
+}
+
+TEST(LayerBuilder, ShapeOfUnknownNodeThrows) {
+  LayerBuilder lb;
+  EXPECT_THROW(lb.shape_of(42), std::out_of_range);
+}
+
+TEST(LayerBuilder, PoolBackwardChainsThroughGrads) {
+  LayerBuilder lb;
+  NodeId x = lb.input("in", TensorShape{2, 8, 8, 4});
+  x = lb.max_pool(x, lb.shape_of(x), "p");
+  x = lb.dense(x, 2, 4 * 4 * 4, 10, "fc");
+  lb.loss_and_backward(x, 2, 10);
+  const Graph g = lb.take();
+  EXPECT_EQ(g.count_kind(OpKind::kMaxPoolGrad), 1u);
+  EXPECT_EQ(g.count_kind(OpKind::kMatMulGrad), 1u);
+  EXPECT_EQ(g.count_kind(OpKind::kBiasAddGrad), 1u);
+}
+
+}  // namespace
+}  // namespace opsched

@@ -1,0 +1,133 @@
+// Model trace builders: structural sanity for the four evaluated networks.
+#include "models/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ops/work_profile.hpp"
+
+namespace opsched {
+namespace {
+
+class ModelGraphs : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelGraphs, BuildsValidDag) {
+  const Graph g = build_model(GetParam());
+  EXPECT_GT(g.size(), GetParam() == "toy_cnn" ? 20u : 50u);
+  // topo_order throws on cycles; it must also cover every node.
+  EXPECT_EQ(g.topo_order().size(), g.size());
+}
+
+TEST_P(ModelGraphs, HasForwardBackwardAndOptimizerOps) {
+  const Graph g = build_model(GetParam());
+  std::size_t optimizer = 0, loss = 0;
+  for (const Node& n : g.nodes()) {
+    if (n.kind == OpKind::kApplyAdam ||
+        n.kind == OpKind::kApplyGradientDescent)
+      ++optimizer;
+    if (n.kind == OpKind::kSparseSoftmaxCrossEntropy) ++loss;
+  }
+  EXPECT_GT(optimizer, 0u) << GetParam();
+  EXPECT_GE(loss, 1u) << GetParam();
+}
+
+TEST_P(ModelGraphs, ShapesAreConsistent) {
+  const Graph g = build_model(GetParam());
+  for (const Node& n : g.nodes()) {
+    EXPECT_GT(n.input_shape.elements(), 0) << n.label;
+    EXPECT_GT(n.output_shape.elements(), 0) << n.label;
+    const WorkProfile w = work_profile(n);
+    EXPECT_GE(w.flops, 0.0) << n.label;
+    EXPECT_GT(w.bytes, 0.0) << n.label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelGraphs,
+                         ::testing::Values("resnet50", "dcgan",
+                                           "inception_v3", "lstm",
+                                           "toy_cnn"));
+
+TEST(Models, RegistryIsComplete) {
+  for (const std::string& name : model_names()) {
+    EXPECT_NO_THROW(build_model(name)) << name;
+  }
+  EXPECT_THROW(build_model("vgg"), std::invalid_argument);
+}
+
+TEST(Models, ResNetHasBackpropPairs) {
+  const Graph g = build_resnet50();
+  const std::size_t bf = g.count_kind(OpKind::kConv2DBackpropFilter);
+  const std::size_t bi = g.count_kind(OpKind::kConv2DBackpropInput);
+  const std::size_t fwd = g.count_kind(OpKind::kConv2D);
+  EXPECT_EQ(bf, fwd);  // one filter gradient per conv
+  EXPECT_EQ(bi, fwd);
+  EXPECT_GE(fwd, 50u);  // ResNet-50 has >50 convolutions
+  // Layout-conversion ops surround convs (Table VI's InputConversion/ToTf).
+  EXPECT_GE(g.count_kind(OpKind::kInputConversion), fwd);
+  EXPECT_GE(g.count_kind(OpKind::kToTf), bf / 2);
+}
+
+TEST(Models, DcganDominatedByBackpropInput) {
+  // conv2d_transpose lowers to Conv2DBackpropInput: DCGAN must contain it
+  // in the forward path (Table VI shows it as DCGAN's top op).
+  const Graph g = build_dcgan();
+  EXPECT_GE(g.count_kind(OpKind::kConv2DBackpropInput), 2u);
+  EXPECT_GT(g.count_kind(OpKind::kApplyAdam), 5u);
+  EXPECT_GT(g.count_kind(OpKind::kFusedBatchNorm), 0u);
+}
+
+TEST(Models, InceptionHasParallelBranchesAndPools) {
+  const Graph g = build_inception_v3();
+  EXPECT_GE(g.count_kind(OpKind::kAvgPool), 9u);   // pool branch per block
+  EXPECT_GE(g.count_kind(OpKind::kConcat), 9u);    // block joins
+  EXPECT_GT(g.count_kind(OpKind::kConv2D), 30u);
+  // Branch fan-out: at least one node has 4+ consumers (the block input).
+  bool has_fanout = false;
+  for (const Node& n : g.nodes()) {
+    if (g.successors(n.id).size() >= 4) {
+      has_fanout = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(has_fanout);
+}
+
+TEST(Models, LstmIsManySmallOps) {
+  const Graph g = build_lstm();
+  EXPECT_GT(g.size(), 500u);
+  EXPECT_GT(g.count_kind(OpKind::kMul), 100u);
+  EXPECT_GT(g.count_kind(OpKind::kSigmoid), 100u);
+  EXPECT_GE(g.count_kind(OpKind::kSparseSoftmaxCrossEntropy), 1u);
+  // Median op is small: most activations are (batch, hidden).
+  std::size_t small_ops = 0;
+  for (const Node& n : g.nodes())
+    if (n.input_shape.elements() <= 20 * 800) ++small_ops;
+  EXPECT_GT(small_ops, g.size() / 2);
+}
+
+TEST(Models, BatchSizeScalesShapes) {
+  const Graph small = build_resnet50(16);
+  const Graph large = build_resnet50(64);
+  EXPECT_EQ(small.size(), large.size());  // same structure
+  // Find the first conv in each and compare batch dims.
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    if (small.nodes()[i].kind == OpKind::kConv2D) {
+      EXPECT_EQ(small.nodes()[i].input_shape[0], 16);
+      EXPECT_EQ(large.nodes()[i].input_shape[0], 64);
+      break;
+    }
+  }
+}
+
+TEST(Models, OpCountsRoughlyMatchPaperScale) {
+  // The paper profiles ~1000 distinct op instances over four models and
+  // reports inception steps with thousands of fine-grained ops.
+  EXPECT_GT(build_resnet50().size(), 500u);
+  EXPECT_GT(build_inception_v3().size(), 700u);
+  EXPECT_GT(build_lstm().size(), 600u);
+  EXPECT_GT(build_dcgan().size(), 50u);
+}
+
+}  // namespace
+}  // namespace opsched

@@ -1,0 +1,243 @@
+// Numeric validation of every parallel host kernel against the naive
+// reference implementations, across team widths and shapes (TEST_P sweeps).
+#include "ops/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ops/reference.hpp"
+#include "util/rng.hpp"
+
+namespace opsched {
+namespace {
+
+Tensor random_tensor(const TensorShape& shape, std::uint64_t seed) {
+  Tensor t(shape);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+void expect_close(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], tol) << "at index " << i;
+  }
+}
+
+struct ConvCase {
+  std::int64_t n, h, w, c, kh, kw, f;
+  int stride;
+};
+
+class ConvKernels
+    : public ::testing::TestWithParam<std::tuple<ConvCase, std::size_t>> {};
+
+TEST_P(ConvKernels, ForwardMatchesReference) {
+  const auto& [cc, width] = GetParam();
+  ThreadTeam team(width);
+  const Tensor input = random_tensor(TensorShape{cc.n, cc.h, cc.w, cc.c}, 1);
+  const Tensor filter =
+      random_tensor(TensorShape{cc.kh, cc.kw, cc.c, cc.f}, 2);
+  const TensorShape out_shape{cc.n, cc.h / cc.stride, cc.w / cc.stride, cc.f};
+  Tensor got(out_shape), want(out_shape);
+  kernels::conv2d(team, input, filter, got, cc.stride);
+  reference::conv2d(input, filter, want, cc.stride);
+  expect_close(got, want);
+}
+
+TEST_P(ConvKernels, BackpropFilterMatchesReference) {
+  const auto& [cc, width] = GetParam();
+  ThreadTeam team(width);
+  const Tensor input = random_tensor(TensorShape{cc.n, cc.h, cc.w, cc.c}, 3);
+  const Tensor d_out = random_tensor(
+      TensorShape{cc.n, cc.h / cc.stride, cc.w / cc.stride, cc.f}, 4);
+  const TensorShape fshape{cc.kh, cc.kw, cc.c, cc.f};
+  Tensor got(fshape), want(fshape);
+  kernels::conv2d_backprop_filter(team, input, d_out, got, cc.stride);
+  reference::conv2d_backprop_filter(input, d_out, want, cc.stride);
+  expect_close(got, want, 2e-3f);  // larger reductions accumulate error
+}
+
+TEST_P(ConvKernels, BackpropInputMatchesReference) {
+  const auto& [cc, width] = GetParam();
+  ThreadTeam team(width);
+  const Tensor filter =
+      random_tensor(TensorShape{cc.kh, cc.kw, cc.c, cc.f}, 5);
+  const Tensor d_out = random_tensor(
+      TensorShape{cc.n, cc.h / cc.stride, cc.w / cc.stride, cc.f}, 6);
+  const TensorShape in_shape{cc.n, cc.h, cc.w, cc.c};
+  Tensor got(in_shape), want(in_shape);
+  kernels::conv2d_backprop_input(team, filter, d_out, got, cc.stride);
+  reference::conv2d_backprop_input(filter, d_out, want, cc.stride);
+  expect_close(got, want, 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndWidths, ConvKernels,
+    ::testing::Combine(
+        ::testing::Values(ConvCase{2, 8, 8, 4, 3, 3, 6, 1},
+                          ConvCase{1, 6, 6, 3, 1, 1, 5, 1},
+                          ConvCase{2, 8, 8, 3, 5, 5, 4, 1},
+                          ConvCase{2, 8, 8, 4, 3, 3, 4, 2}),
+        ::testing::Values(1u, 3u, 8u)));
+
+class ElementwiseWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ElementwiseWidths, MatMulMatchesReference) {
+  ThreadTeam team(GetParam());
+  const Tensor a = random_tensor(TensorShape{17, 23}, 7);
+  const Tensor b = random_tensor(TensorShape{23, 11}, 8);
+  Tensor got(TensorShape{17, 11}), want(TensorShape{17, 11});
+  kernels::matmul(team, a, b, got);
+  reference::matmul(a, b, want);
+  expect_close(got, want);
+}
+
+TEST_P(ElementwiseWidths, BiasAddAndGrad) {
+  ThreadTeam team(GetParam());
+  const Tensor input = random_tensor(TensorShape{2, 4, 4, 8}, 9);
+  const Tensor bias = random_tensor(TensorShape{8}, 10);
+  Tensor got(input.shape()), want(input.shape());
+  kernels::bias_add(team, input, bias, got);
+  reference::bias_add(input, bias, want);
+  expect_close(got, want);
+
+  Tensor dgot(TensorShape{8}), dwant(TensorShape{8});
+  kernels::bias_add_grad(team, input, dgot);
+  reference::bias_add_grad(input, dwant);
+  expect_close(dgot, dwant, 1e-3f);
+}
+
+TEST_P(ElementwiseWidths, PoolingMatchesReference) {
+  ThreadTeam team(GetParam());
+  const Tensor input = random_tensor(TensorShape{2, 8, 8, 6}, 11);
+  Tensor got(TensorShape{2, 4, 4, 6}), want(TensorShape{2, 4, 4, 6});
+  kernels::max_pool2x2(team, input, got);
+  reference::max_pool2x2(input, want);
+  expect_close(got, want);
+
+  Tensor ga(TensorShape{2, 1, 1, 6}), wa(TensorShape{2, 1, 1, 6});
+  kernels::avg_pool_global(team, input, ga);
+  reference::avg_pool_global(input, wa);
+  expect_close(ga, wa);
+}
+
+TEST_P(ElementwiseWidths, SoftmaxXentMatchesReference) {
+  ThreadTeam team(GetParam());
+  const Tensor logits = random_tensor(TensorShape{6, 10}, 12);
+  const std::vector<int> labels = {0, 3, 9, 1, 5, 7};
+  Tensor dgot(logits.shape()), dwant(logits.shape());
+  const float loss_got = kernels::sparse_softmax_xent(team, logits, labels, dgot);
+  const float loss_want = reference::sparse_softmax_xent(logits, labels, dwant);
+  EXPECT_NEAR(loss_got, loss_want, 1e-4f);
+  expect_close(dgot, dwant);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ElementwiseWidths,
+                         ::testing::Values(1u, 2u, 4u, 7u));
+
+TEST(Kernels, ReluAndGrad) {
+  ThreadTeam team(4);
+  Tensor input(TensorShape{16});
+  for (std::size_t i = 0; i < 16; ++i)
+    input[i] = static_cast<float>(i) - 8.0f;
+  Tensor out(TensorShape{16});
+  kernels::relu(team, input, out);
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_FLOAT_EQ(out[i], std::max(0.0f, input[i]));
+
+  Tensor d_out(TensorShape{16}, 2.0f), d_in(TensorShape{16});
+  kernels::relu_grad(team, input, d_out, d_in);
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_FLOAT_EQ(d_in[i], input[i] > 0 ? 2.0f : 0.0f);
+}
+
+TEST(Kernels, SigmoidTanhRange) {
+  ThreadTeam team(2);
+  const Tensor input = random_tensor(TensorShape{100}, 13);
+  Tensor s(TensorShape{100}), t(TensorShape{100});
+  kernels::sigmoid(team, input, s);
+  kernels::tanh_op(team, input, t);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_GT(s[i], 0.0f);
+    EXPECT_LT(s[i], 1.0f);
+    EXPECT_GE(t[i], -1.0f);
+    EXPECT_LE(t[i], 1.0f);
+    EXPECT_NEAR(t[i], std::tanh(input[i]), 1e-5f);
+  }
+}
+
+TEST(Kernels, MulAddAddN) {
+  ThreadTeam team(3);
+  const Tensor a = random_tensor(TensorShape{64}, 14);
+  const Tensor b = random_tensor(TensorShape{64}, 15);
+  Tensor m(TensorShape{64}), s(TensorShape{64}), n3(TensorShape{64});
+  kernels::mul(team, a, b, m);
+  kernels::add(team, a, b, s);
+  kernels::add_n(team, {&a, &b, &a}, n3);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_FLOAT_EQ(m[i], a[i] * b[i]);
+    EXPECT_FLOAT_EQ(s[i], a[i] + b[i]);
+    EXPECT_NEAR(n3[i], 2 * a[i] + b[i], 1e-5f);
+  }
+}
+
+TEST(Kernels, BatchNormNormalizes) {
+  ThreadTeam team(4);
+  const Tensor input = random_tensor(TensorShape{4, 6, 6, 3}, 16);
+  const Tensor gamma(TensorShape{3}, 1.0f);
+  const Tensor beta(TensorShape{3}, 0.0f);
+  Tensor out(input.shape()), mean(TensorShape{3}), var(TensorShape{3});
+  kernels::fused_batch_norm(team, input, gamma, beta, out, mean, var);
+  // Per channel, the normalized output has ~zero mean and ~unit variance.
+  const std::size_t pixels = input.size() / 3;
+  for (std::size_t c = 0; c < 3; ++c) {
+    double s = 0.0, s2 = 0.0;
+    for (std::size_t p = 0; p < pixels; ++p) {
+      const float v = out[p * 3 + c];
+      s += v;
+      s2 += v * v;
+    }
+    EXPECT_NEAR(s / pixels, 0.0, 1e-3);
+    EXPECT_NEAR(s2 / pixels, 1.0, 1e-2);
+  }
+}
+
+TEST(Kernels, AdamMovesParamsAgainstGradient) {
+  ThreadTeam team(2);
+  Tensor param(TensorShape{32}, 1.0f);
+  Tensor m(TensorShape{32}, 0.0f), v(TensorShape{32}, 0.0f);
+  Tensor grad(TensorShape{32}, 0.5f);  // positive gradient everywhere
+  kernels::apply_adam(team, param, m, v, grad, 0.01f, 0.9f, 0.999f, 1e-8f, 1);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_LT(param[i], 1.0f);  // moved downhill
+    EXPECT_GT(param[i], 0.97f);  // by roughly lr
+  }
+}
+
+TEST(Kernels, TileRepeatsContent) {
+  ThreadTeam team(3);
+  const Tensor input = random_tensor(TensorShape{8}, 17);
+  Tensor out(TensorShape{24});
+  kernels::tile_axis0(team, input, 3, out);
+  for (int rep = 0; rep < 3; ++rep)
+    for (std::size_t i = 0; i < 8; ++i)
+      EXPECT_FLOAT_EQ(out[rep * 8 + i], input[i]);
+}
+
+TEST(Kernels, ShapeValidationThrows) {
+  ThreadTeam team(2);
+  const Tensor a = random_tensor(TensorShape{4, 4}, 18);
+  const Tensor b = random_tensor(TensorShape{5, 4}, 19);
+  Tensor out(TensorShape{4, 4});
+  EXPECT_THROW(kernels::matmul(team, a, b, out), std::invalid_argument);
+  Tensor bad(TensorShape{3});
+  EXPECT_THROW(kernels::mul(team, a, a, bad), std::invalid_argument);
+  EXPECT_THROW(kernels::add_n(team, {}, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace opsched

@@ -1,0 +1,50 @@
+#include "ops/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace opsched {
+namespace {
+
+TEST(Tensor, ConstructionAndFill) {
+  Tensor t(TensorShape{2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_FLOAT_EQ(t[i], 0.f);
+  Tensor f(TensorShape{4}, 2.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(f[i], 2.5f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t(TensorShape{3});
+  EXPECT_NO_THROW(t.at(2));
+  EXPECT_THROW(t.at(3), std::out_of_range);
+  t.at(1) = 7.f;
+  EXPECT_FLOAT_EQ(t[1], 7.f);
+}
+
+TEST(Tensor, NhwcIndexingIsRowMajorChannelsLast) {
+  Tensor t(TensorShape{2, 3, 4, 5});
+  t.nhwc(1, 2, 3, 4) = 42.f;
+  // Linear index: ((n*H + h)*W + w)*C + c = ((1*3+2)*4+3)*5+4 = 119.
+  EXPECT_FLOAT_EQ(t[119], 42.f);
+  EXPECT_FLOAT_EQ(t.nhwc(1, 2, 3, 4), 42.f);
+  EXPECT_EQ(t.nhwc_ptr(1, 2, 3), t.data() + 115);
+}
+
+TEST(Tensor, SpanCoversBuffer) {
+  Tensor t(TensorShape{8});
+  auto s = t.span();
+  EXPECT_EQ(s.size(), 8u);
+  s[3] = 9.f;
+  EXPECT_FLOAT_EQ(t[3], 9.f);
+  const Tensor& ct = t;
+  EXPECT_FLOAT_EQ(ct.span()[3], 9.f);
+}
+
+TEST(Tensor, EmptyTensorIsSafe) {
+  Tensor t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.shape().rank(), 0u);
+}
+
+}  // namespace
+}  // namespace opsched

@@ -1,0 +1,125 @@
+#include "ops/work_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/op_factory.hpp"
+
+namespace opsched {
+namespace {
+
+TEST(WorkProfile, ConvForwardFlops) {
+  // (2,8,8,4) x (3,3,4,6) -> (2,8,8,6): flops = 2 * out_elems * kh*kw*c.
+  const Node op = make_conv_op(OpKind::kConv2D, 2, 8, 8, 4, 3, 3, 6);
+  const WorkProfile w = work_profile(op);
+  EXPECT_DOUBLE_EQ(w.flops, 2.0 * (2 * 8 * 8 * 6) * 3 * 3 * 4);
+  EXPECT_GT(w.bytes, 0.0);
+  EXPECT_GT(w.granularity, 0.0);
+}
+
+TEST(WorkProfile, BackpropFilterUsesInputVolume) {
+  const Node op =
+      make_conv_op(OpKind::kConv2DBackpropFilter, 2, 8, 8, 4, 3, 3, 6);
+  const WorkProfile w = work_profile(op);
+  // 2 * input_elems * kh * kw * f, with the BF flop multiplier (1.15).
+  EXPECT_NEAR(w.flops, 2.0 * (2 * 8 * 8 * 4) * 3 * 3 * 6 * 1.15, 1.0);
+}
+
+TEST(WorkProfile, BackpropInputUsesOutputVolume) {
+  const Node op =
+      make_conv_op(OpKind::kConv2DBackpropInput, 2, 8, 8, 4, 3, 3, 6);
+  const WorkProfile w = work_profile(op);
+  // Output of BI is the input gradient (2,8,8,4).
+  EXPECT_DOUBLE_EQ(w.flops, 2.0 * (2 * 8 * 8 * 4) * 3 * 3 * 6);
+}
+
+TEST(WorkProfile, GranularityGrowsWithInputSize) {
+  // Observation 2's mechanism: larger inputs support more parallelism.
+  const Node small =
+      make_conv_op(OpKind::kConv2DBackpropFilter, 32, 8, 8, 384, 3, 3, 384);
+  const Node medium =
+      make_conv_op(OpKind::kConv2DBackpropFilter, 32, 17, 17, 384, 3, 3, 384);
+  const Node large =
+      make_conv_op(OpKind::kConv2DBackpropFilter, 32, 8, 8, 2048, 3, 3, 512);
+  const double gs = work_profile(small).granularity;
+  const double gm = work_profile(medium).granularity;
+  const double gl = work_profile(large).granularity;
+  EXPECT_LT(gs, gm);
+  EXPECT_LT(gm, gl);
+}
+
+TEST(WorkProfile, MatMulFlops) {
+  const Node op = make_matmul_op(10, 20, 30);
+  const WorkProfile w = work_profile(op);
+  EXPECT_DOUBLE_EQ(w.flops, 2.0 * 10 * 20 * 30);
+  EXPECT_DOUBLE_EQ(w.granularity, 10.0);  // row parallelism
+}
+
+TEST(WorkProfile, ElementwiseScalesWithElements) {
+  const Node small = make_activation_op(OpKind::kRelu, 1, 4, 4, 8);
+  const Node large = make_activation_op(OpKind::kRelu, 8, 4, 4, 8);
+  EXPECT_NEAR(work_profile(large).flops / work_profile(small).flops, 8.0,
+              1e-9);
+  EXPECT_NEAR(work_profile(large).bytes / work_profile(small).bytes, 8.0,
+              1e-9);
+}
+
+TEST(WorkProfile, BiasAddGradLimitedByChannels) {
+  Node op = make_activation_op(OpKind::kBiasAddGrad, 8, 16, 16, 12);
+  const WorkProfile w = work_profile(op);
+  EXPECT_DOUBLE_EQ(w.granularity, 12.0);  // channel reduction
+}
+
+TEST(WorkProfile, LossGranularityIsBatchRows) {
+  Node op;
+  op.kind = OpKind::kSparseSoftmaxCrossEntropy;
+  op.input_shape = TensorShape{20, 1000};
+  op.output_shape = op.input_shape;
+  EXPECT_DOUBLE_EQ(work_profile(op).granularity, 20.0);
+}
+
+TEST(WorkProfile, LayoutOpsMoveBytesNotFlops) {
+  const Node conv = make_conv_op(OpKind::kConv2D, 8, 16, 16, 64, 3, 3, 64);
+  Node conversion = make_activation_op(OpKind::kInputConversion, 8, 16, 16, 64);
+  const WorkProfile wc = work_profile(conv);
+  const WorkProfile wl = work_profile(conversion);
+  EXPECT_LT(wl.flops, wc.flops / 100.0);
+  EXPECT_GT(wl.bytes, 0.0);
+}
+
+TEST(WorkProfile, StreamingOpsHaveNoReusableWorkingSet) {
+  const Node relu = make_activation_op(OpKind::kRelu, 8, 16, 16, 64);
+  EXPECT_DOUBLE_EQ(work_profile(relu).working_set, 0.0);
+  const Node conv = make_conv_op(OpKind::kConv2D, 8, 16, 16, 64, 3, 3, 64);
+  // Conv working set ~ filter bytes.
+  EXPECT_DOUBLE_EQ(work_profile(conv).working_set, 3 * 3 * 64 * 64 * 4.0);
+}
+
+TEST(WorkProfile, EveryKindProducesFiniteProfile) {
+  for (std::size_t i = 0; i < kNumOpKinds; ++i) {
+    Node op;
+    op.kind = static_cast<OpKind>(i);
+    op.input_shape = TensorShape{4, 8, 8, 16};
+    op.aux_shape = TensorShape{3, 3, 16, 16};
+    op.output_shape = TensorShape{4, 8, 8, 16};
+    const WorkProfile w = work_profile(op);
+    EXPECT_GE(w.flops, 0.0) << op_kind_name(op.kind);
+    EXPECT_GT(w.bytes, 0.0) << op_kind_name(op.kind);
+    EXPECT_GE(w.granularity, 1.0) << op_kind_name(op.kind);
+  }
+}
+
+TEST(OpFactory, Fig1ShapesMatchPaper) {
+  EXPECT_EQ(fig1_conv2d().input_shape.to_string(), "(32,8,8,384)");
+  EXPECT_EQ(fig1_backprop_filter().kind, OpKind::kConv2DBackpropFilter);
+  EXPECT_EQ(fig1_backprop_input().kind, OpKind::kConv2DBackpropInput);
+  EXPECT_EQ(table3_backprop_filter().input_shape.to_string(),
+            "(32,8,8,2048)");
+}
+
+TEST(OpFactory, RejectsNonConvKinds) {
+  EXPECT_THROW(make_conv_op(OpKind::kRelu, 1, 2, 2, 3, 3, 3, 4),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace opsched

@@ -1,0 +1,90 @@
+// PerfDatabase persistence: a long-running service profiles once and
+// reloads the database across jobs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "models/op_factory.hpp"
+#include "perf/perf_db.hpp"
+
+namespace opsched {
+namespace {
+
+PerfDatabase sample_db() {
+  PerfDatabase db;
+  ProfileCurve c1;
+  c1.add_sample(AffinityMode::kSpread, 1, 10.0);
+  c1.add_sample(AffinityMode::kSpread, 5, 3.5);
+  c1.add_sample(AffinityMode::kShared, 4, 4.25);
+  db.put(OpKey::of(fig1_conv2d()), c1);
+  ProfileCurve c2;
+  c2.add_sample(AffinityMode::kSpread, 8, 1.0);
+  db.put(OpKey::of(fig1_backprop_filter()), c2);
+  return db;
+}
+
+TEST(PerfDbIo, RoundTripPreservesEverything) {
+  const PerfDatabase db = sample_db();
+  std::stringstream buf;
+  db.save(buf);
+
+  PerfDatabase loaded;
+  loaded.load(buf);
+  EXPECT_EQ(loaded.size(), db.size());
+  EXPECT_EQ(loaded.total_samples(), db.total_samples());
+
+  const OpKey key = OpKey::of(fig1_conv2d());
+  ASSERT_TRUE(loaded.contains(key));
+  const ProfileCurve& curve = loaded.at(key);
+  EXPECT_DOUBLE_EQ(curve.predict(1, AffinityMode::kSpread), 10.0);
+  EXPECT_DOUBLE_EQ(curve.predict(5, AffinityMode::kSpread), 3.5);
+  EXPECT_DOUBLE_EQ(curve.predict(4, AffinityMode::kShared), 4.25);
+  EXPECT_EQ(curve.best().threads, 5);
+}
+
+TEST(PerfDbIo, LoadReplacesExistingContents) {
+  PerfDatabase db = sample_db();
+  std::stringstream buf;
+  sample_db().save(buf);
+  // Poison with an extra key, then reload.
+  ProfileCurve extra;
+  extra.add_sample(AffinityMode::kSpread, 2, 1.0);
+  db.put(OpKey{OpKind::kMatMul, 42}, extra);
+  EXPECT_EQ(db.size(), 3u);
+  db.load(buf);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_FALSE(db.contains(OpKey{OpKind::kMatMul, 42}));
+}
+
+TEST(PerfDbIo, MalformedInputRejected) {
+  PerfDatabase db;
+  for (const char* bad : {
+           "not numbers at all",
+           "999 123 0 4 1.5",    // kind id out of range
+           "0 123 7 4 1.5",      // bad mode
+           "0 123 0 0 1.5",      // zero threads
+           "0 123 0 4 -1.0",     // negative time
+           "0 123 0 4",          // truncated
+       }) {
+    std::istringstream in(bad);
+    EXPECT_THROW(db.load(in), std::runtime_error) << bad;
+  }
+  // Blank lines are fine.
+  std::istringstream ok("\n0 123 0 4 1.5\n\n");
+  EXPECT_NO_THROW(db.load(ok));
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(PerfDbIo, FileHelpers) {
+  const std::string path = std::string(::testing::TempDir()) + "/profiles.db";
+  sample_db().save_file(path);
+  PerfDatabase loaded;
+  loaded.load_file(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_THROW(sample_db().save_file("/no-such-dir-xyz/p.db"),
+               std::runtime_error);
+  EXPECT_THROW(loaded.load_file("/no-such-file-xyz.db"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace opsched

@@ -1,0 +1,99 @@
+// The Table-IV pipeline: counter-feature datasets and study scoring.
+#include "perf/regression_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/op_factory.hpp"
+
+namespace opsched {
+namespace {
+
+class RegressionStudyTest : public ::testing::Test {
+ protected:
+  std::vector<Node> some_ops() {
+    std::vector<Node> ops;
+    for (std::int64_t c : {64, 128, 256, 384, 512}) {
+      ops.push_back(make_conv_op(OpKind::kConv2D, 16, 8, 8, c, 3, 3, c));
+      ops.push_back(
+          make_conv_op(OpKind::kConv2DBackpropFilter, 16, 8, 8, c, 3, 3, c));
+      ops.push_back(make_activation_op(OpKind::kRelu, 16, 8, 8, c));
+    }
+    return ops;
+  }
+
+  MachineSpec spec_ = MachineSpec::knl();
+  CostModel model_{spec_};
+};
+
+TEST_F(RegressionStudyTest, FeatureVectorsAreFiniteAndStable) {
+  RegressionStudyConfig cfg;
+  cfg.num_samples = 4;
+  const Node op = fig1_conv2d();
+  const auto a = counter_features(op, model_, cfg);
+  const auto b = counter_features(op, model_, cfg);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(a[i]));
+    EXPECT_DOUBLE_EQ(a[i], b[i]) << "feature " << i;
+  }
+}
+
+TEST_F(RegressionStudyTest, DatasetHasOneRowPerNode) {
+  RegressionStudyConfig cfg;
+  const auto ops = some_ops();
+  const Dataset d = build_counter_dataset(ops, model_, cfg, 34);
+  EXPECT_EQ(d.size(), ops.size());
+  for (double y : d.y) EXPECT_GT(y, 0.0);
+}
+
+TEST_F(RegressionStudyTest, TargetsChangeWithThreadCount) {
+  RegressionStudyConfig cfg;
+  const auto ops = some_ops();
+  const Dataset d1 = build_counter_dataset(ops, model_, cfg, 1);
+  const Dataset d68 = build_counter_dataset(ops, model_, cfg, 68);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_GT(d1.y[i], d68.y[i]);  // 1 thread is slower than 68
+  }
+}
+
+TEST_F(RegressionStudyTest, StudyProducesBoundedMetrics) {
+  RegressionStudyConfig cfg;
+  cfg.num_samples = 2;
+  cfg.eval_cases = 3;
+  const auto train = some_ops();
+  std::vector<Node> test = {
+      make_conv_op(OpKind::kConv2D, 16, 8, 8, 192, 3, 3, 192),
+      make_activation_op(OpKind::kRelu, 16, 8, 8, 192)};
+  for (const char* name : {"GradientBoosting", "OLS", "KNeighbors"}) {
+    const RegressionScore s =
+        run_regression_study(name, train, test, model_, cfg);
+    EXPECT_EQ(s.regressor, name);
+    EXPECT_GE(s.accuracy, 0.0) << name;
+    EXPECT_LE(s.accuracy, 1.0) << name;
+    EXPECT_LE(s.r2, 1.0) << name;
+  }
+}
+
+TEST_F(RegressionStudyTest, TreeEnsembleBeatsLinearOnThisTask) {
+  // The paper's relative ordering: non-linear models handle the counter
+  // features better than linear ones.
+  RegressionStudyConfig cfg;
+  cfg.num_samples = 4;
+  cfg.eval_cases = 4;
+  const auto train = some_ops();
+  std::vector<Node> test = {
+      make_conv_op(OpKind::kConv2D, 16, 8, 8, 320, 3, 3, 320),
+      make_conv_op(OpKind::kConv2DBackpropFilter, 16, 8, 8, 320, 3, 3, 320),
+      make_activation_op(OpKind::kRelu, 16, 8, 8, 320)};
+  const RegressionScore gbm =
+      run_regression_study("GradientBoosting", train, test, model_, cfg);
+  const RegressionScore par =
+      run_regression_study("PAR", train, test, model_, cfg);
+  EXPECT_GE(gbm.accuracy, par.accuracy);
+}
+
+}  // namespace
+}  // namespace opsched

@@ -1,0 +1,257 @@
+// Unit tests for the from-scratch regression library: each model family
+// must recover the structure it is designed for.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perf/boosting.hpp"
+#include "perf/linalg.hpp"
+#include "perf/linear_models.hpp"
+#include "perf/mlp.hpp"
+#include "perf/neighbors.hpp"
+#include "perf/regressor.hpp"
+#include "perf/tree.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace opsched {
+namespace {
+
+/// y = 3 + 2*x0 - x1 (+ optional noise / outliers).
+Dataset linear_data(std::size_t n, double noise, std::uint64_t seed,
+                    int outliers = 0) {
+  Dataset d;
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(-2.0, 2.0);
+    const double x1 = rng.uniform(-2.0, 2.0);
+    double y = 3.0 + 2.0 * x0 - x1 + noise * rng.normal();
+    d.add({x0, x1}, y);
+  }
+  for (int i = 0; i < outliers; ++i) {
+    d.add({rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)}, 100.0);
+  }
+  return d;
+}
+
+TEST(Linalg, SolveLinearSystem) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  const auto x = solve_linear(a, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(Linalg, SingularMatrixThrows) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  EXPECT_THROW(solve_linear(a, {1, 2}), std::runtime_error);
+}
+
+TEST(Linalg, GramAndTTimes) {
+  Matrix x(3, 2);
+  // rows: (1,2), (3,4), (5,6)
+  x.at(0, 0) = 1; x.at(0, 1) = 2;
+  x.at(1, 0) = 3; x.at(1, 1) = 4;
+  x.at(2, 0) = 5; x.at(2, 1) = 6;
+  const Matrix g = x.gram();
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 35.0);
+  EXPECT_DOUBLE_EQ(g.at(0, 1), 44.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 0), 44.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 1), 56.0);
+  const auto v = x.t_times({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v[0], 9.0);
+  EXPECT_DOUBLE_EQ(v[1], 12.0);
+}
+
+TEST(Dataset, AddValidatesWidth) {
+  Dataset d;
+  d.add({1.0, 2.0}, 3.0);
+  EXPECT_THROW(d.add({1.0}, 2.0), std::invalid_argument);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.num_features(), 2u);
+}
+
+TEST(Standardizer, ZeroMeanUnitVariance) {
+  Dataset d = linear_data(200, 0.0, 1);
+  Standardizer s;
+  s.fit(d);
+  const Dataset t = s.transform(d);
+  for (std::size_t j = 0; j < t.num_features(); ++j) {
+    std::vector<double> col;
+    for (const auto& row : t.x) col.push_back(row[j]);
+    EXPECT_NEAR(mean(col), 0.0, 1e-9);
+    EXPECT_NEAR(stddev(col), 1.0, 0.01);
+  }
+}
+
+TEST(Standardizer, ConstantFeatureLeftCentred) {
+  Dataset d;
+  d.add({5.0, 1.0}, 0.0);
+  d.add({5.0, 2.0}, 1.0);
+  Standardizer s;
+  s.fit(d);
+  const auto row = s.transform(std::vector<double>{5.0, 1.5});
+  EXPECT_DOUBLE_EQ(row[0], 0.0);  // centred, scale 1
+}
+
+TEST(OLS, RecoversExactLinearModel) {
+  const Dataset d = linear_data(100, 0.0, 2);
+  LeastSquaresRegressor ols;
+  ols.fit(d);
+  EXPECT_NEAR(ols.predict(std::vector<double>{0.0, 0.0}), 3.0, 1e-6);
+  EXPECT_NEAR(ols.predict(std::vector<double>{1.0, 0.0}), 5.0, 1e-6);
+  EXPECT_NEAR(ols.predict(std::vector<double>{0.0, 1.0}), 2.0, 1e-6);
+}
+
+TEST(OLS, SurvivesCollinearFeatures) {
+  Dataset d;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.1;
+    d.add({x, 2 * x}, 1.0 + x);  // perfectly collinear
+  }
+  LeastSquaresRegressor ols;
+  ols.fit(d);  // must not throw: falls back gracefully
+  const double pred = ols.predict(std::vector<double>{1.0, 2.0});
+  EXPECT_TRUE(std::isfinite(pred));
+}
+
+TEST(Ridge, ShrinksButStaysClose) {
+  const Dataset d = linear_data(200, 0.1, 3);
+  LeastSquaresRegressor ridge(1.0);
+  ridge.fit(d);
+  EXPECT_NEAR(ridge.predict(std::vector<double>{1.0, 1.0}), 4.0, 0.3);
+  EXPECT_EQ(ridge.name(), "Ridge");
+}
+
+TEST(TheilSen, RobustToOutliers) {
+  // 10% wild outliers: OLS bends, Theil-Sen holds the line.
+  const Dataset d = linear_data(200, 0.05, 4, /*outliers=*/20);
+  TheilSenRegressor ts(7);
+  ts.fit(d);
+  LeastSquaresRegressor ols;
+  ols.fit(d);
+  const std::vector<double> probe = {1.0, -1.0};  // true y = 6
+  EXPECT_NEAR(ts.predict(probe), 6.0, 1.0);
+  EXPECT_GT(std::abs(ols.predict(probe) - 6.0), std::abs(ts.predict(probe) - 6.0));
+}
+
+TEST(PAR, LearnsLinearData) {
+  const Dataset d = linear_data(400, 0.02, 5);
+  PassiveAggressiveRegressor par(11);
+  par.fit(d);
+  EXPECT_NEAR(par.predict(std::vector<double>{1.0, 1.0}), 4.0, 0.5);
+}
+
+TEST(KNN, InterpolatesLocally) {
+  Dataset d;
+  for (int i = 0; i <= 10; ++i)
+    d.add({static_cast<double>(i)}, static_cast<double>(i * i));
+  KNeighborsRegressor knn(2);
+  knn.fit(d);
+  // Near x=5, neighbors 5 and (4 or 6) -> prediction near 25.
+  EXPECT_NEAR(knn.predict(std::vector<double>{5.1}), 25.0, 4.0);
+  // Exact training point dominates by inverse-distance weighting.
+  EXPECT_NEAR(knn.predict(std::vector<double>{7.0}), 49.0, 1.0);
+}
+
+TEST(KNN, PredictBeforeFitThrows) {
+  KNeighborsRegressor knn;
+  EXPECT_THROW(knn.predict(std::vector<double>{1.0}), std::logic_error);
+}
+
+TEST(DecisionTree, FitsPiecewiseConstant) {
+  Dataset d;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i / 100.0;
+    d.add({x}, x < 0.5 ? 1.0 : 5.0);
+  }
+  DecisionTreeRegressor tree;
+  tree.fit(d);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.2}), 1.0, 1e-9);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.8}), 5.0, 1e-9);
+}
+
+TEST(DecisionTree, ImportanceIdentifiesInformativeFeature) {
+  Dataset d;
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 300; ++i) {
+    const double informative = rng.uniform(-1.0, 1.0);
+    const double noise = rng.uniform(-1.0, 1.0);
+    d.add({noise, informative}, informative > 0 ? 2.0 : -2.0);
+  }
+  DecisionTreeRegressor tree;
+  tree.fit(d);
+  const auto& imp = tree.feature_importance();
+  EXPECT_GT(imp[1], imp[0]);
+  EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-9);
+
+  const auto selected = select_features_by_tree(d, 1);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0], 1u);
+}
+
+TEST(DecisionTree, ProjectFeaturesKeepsColumns) {
+  Dataset d;
+  d.add({1.0, 2.0, 3.0}, 0.0);
+  const Dataset p = project_features(d, {2, 0});
+  ASSERT_EQ(p.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(p.x[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(p.x[0][1], 1.0);
+}
+
+TEST(GradientBoosting, TrainingLossNonIncreasing) {
+  const Dataset d = linear_data(150, 0.1, 8);
+  GradientBoostingRegressor gbm;
+  gbm.fit(d);
+  const auto& curve = gbm.training_curve();
+  ASSERT_GT(curve.size(), 10u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-9) << "boosting round " << i;
+  }
+  // And the final fit beats the constant predictor by a wide margin.
+  const auto preds = gbm.predict_all(d);
+  EXPECT_GT(r2_score(d.y, preds), 0.9);
+}
+
+TEST(Mlp, LearnsSmoothNonlinearFunction) {
+  Dataset d;
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    d.add({x}, std::sin(2.0 * x));
+  }
+  MlpRegressor mlp(3);
+  mlp.fit(d);
+  const auto preds = mlp.predict_all(d);
+  EXPECT_GT(r2_score(d.y, preds), 0.85);
+}
+
+TEST(RegressorFactory, AllNamesConstructAndFit) {
+  const Dataset d = linear_data(60, 0.1, 10);
+  for (const std::string& name : regressor_names()) {
+    auto reg = make_regressor(name);
+    ASSERT_NE(reg, nullptr) << name;
+    EXPECT_NO_THROW(reg->fit(d)) << name;
+    EXPECT_TRUE(std::isfinite(reg->predict(std::vector<double>{0.5, 0.5})))
+        << name;
+  }
+  EXPECT_THROW(make_regressor("Bogus"), std::invalid_argument);
+}
+
+TEST(RegressorFactory, EmptyDatasetRejectedEverywhere) {
+  const Dataset empty;
+  for (const std::string& name : regressor_names()) {
+    auto reg = make_regressor(name);
+    EXPECT_THROW(reg->fit(empty), std::invalid_argument) << name;
+  }
+}
+
+}  // namespace
+}  // namespace opsched

@@ -1,0 +1,102 @@
+#include "threading/core_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace opsched {
+namespace {
+
+TEST(CoreSet, BasicMembership) {
+  CoreSet s(68);
+  EXPECT_EQ(s.capacity(), 68u);
+  EXPECT_TRUE(s.empty());
+  s.add(0);
+  s.add(67);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(67));
+  EXPECT_FALSE(s.contains(33));
+  s.remove(0);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(CoreSet, OutOfRangeThrows) {
+  CoreSet s(8);
+  EXPECT_THROW(s.add(8), std::out_of_range);
+  EXPECT_THROW(s.remove(100), std::out_of_range);
+  EXPECT_FALSE(s.contains(8));  // contains is safe
+}
+
+TEST(CoreSet, RangeAndAll) {
+  const CoreSet r = CoreSet::range(68, 10, 5);
+  EXPECT_EQ(r.count(), 5u);
+  EXPECT_TRUE(r.contains(10));
+  EXPECT_TRUE(r.contains(14));
+  EXPECT_FALSE(r.contains(15));
+  EXPECT_EQ(CoreSet::all(68).count(), 68u);
+}
+
+TEST(CoreSet, SetAlgebra) {
+  const CoreSet a = CoreSet::range(16, 0, 8);
+  const CoreSet b = CoreSet::range(16, 4, 8);
+  EXPECT_EQ(a.union_with(b).count(), 12u);
+  EXPECT_EQ(a.intersect(b).count(), 4u);
+  EXPECT_EQ(a.minus(b).count(), 4u);
+  EXPECT_FALSE(a.disjoint_with(b));
+  const CoreSet c = CoreSet::range(16, 8, 8);
+  EXPECT_TRUE(a.disjoint_with(c));
+  EXPECT_TRUE(a.intersect(b).is_subset_of(a));
+  EXPECT_FALSE(a.is_subset_of(b));
+}
+
+TEST(CoreSet, CapacityMismatchThrows) {
+  const CoreSet a(8);
+  const CoreSet b(16);
+  EXPECT_THROW(a.union_with(b), std::invalid_argument);
+  EXPECT_THROW(a.intersect(b), std::invalid_argument);
+  EXPECT_THROW(a.minus(b), std::invalid_argument);
+  EXPECT_THROW(a.disjoint_with(b), std::invalid_argument);
+}
+
+TEST(CoreSet, TakeLowest) {
+  CoreSet s(68);
+  for (std::size_t c : {5u, 1u, 60u, 30u}) s.add(c);
+  const CoreSet low = s.take_lowest(3);
+  EXPECT_TRUE(low.contains(1));
+  EXPECT_TRUE(low.contains(5));
+  EXPECT_TRUE(low.contains(30));
+  EXPECT_FALSE(low.contains(60));
+  EXPECT_THROW(s.take_lowest(5), std::invalid_argument);
+}
+
+TEST(CoreSet, ToVectorAscending) {
+  CoreSet s(70);
+  s.add(65);
+  s.add(2);
+  s.add(64);  // crosses the word boundary
+  const auto v = s.to_vector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 2u);
+  EXPECT_EQ(v[1], 64u);
+  EXPECT_EQ(v[2], 65u);
+}
+
+TEST(CoreSet, EqualityAndClear) {
+  CoreSet a = CoreSet::range(16, 0, 4);
+  CoreSet b = CoreSet::range(16, 0, 4);
+  EXPECT_EQ(a, b);
+  b.add(9);
+  EXPECT_FALSE(a == b);
+  b.clear();
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(CoreSet, ToStringRuns) {
+  CoreSet s(16);
+  for (std::size_t c : {0u, 1u, 2u, 8u, 10u, 11u}) s.add(c);
+  EXPECT_EQ(s.to_string(), "{0-2,8,10-11}");
+  EXPECT_EQ(CoreSet(4).to_string(), "{}");
+}
+
+}  // namespace
+}  // namespace opsched

@@ -1,0 +1,172 @@
+#include "threading/thread_team.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "threading/team_pool.hpp"
+
+namespace opsched {
+namespace {
+
+TEST(ThreadTeam, RejectsZeroWidth) {
+  EXPECT_THROW(ThreadTeam team(0), std::invalid_argument);
+}
+
+TEST(ThreadTeam, ParallelForCoversRangeExactlyOnce) {
+  ThreadTeam team(4);
+  std::vector<std::atomic<int>> hits(1000);
+  team.parallel_for(hits.size(), [&](std::size_t b, std::size_t e,
+                                     std::size_t) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadTeam, EmptyRangeIsNoop) {
+  ThreadTeam team(4);
+  bool called = false;
+  team.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadTeam, ChunksAreContiguousAndOrdered) {
+  // Worker i must get the i-th contiguous chunk (neighbour iterations on
+  // neighbour workers — the paper's tile-sharing affinity rationale).
+  ThreadTeam team(4);
+  std::vector<int> owner(64, -1);
+  team.parallel_for(owner.size(), [&](std::size_t b, std::size_t e,
+                                      std::size_t w) {
+    for (std::size_t i = b; i < e; ++i) owner[i] = static_cast<int>(w);
+  });
+  for (std::size_t i = 1; i < owner.size(); ++i) {
+    EXPECT_GE(owner[i], owner[i - 1]) << "chunks out of worker order";
+  }
+  EXPECT_EQ(owner.front(), 0);
+}
+
+TEST(ThreadTeam, ReusableAcrossManyDispatches) {
+  ThreadTeam team(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 200; ++round) {
+    team.parallel_for(100, [&](std::size_t b, std::size_t e, std::size_t) {
+      total.fetch_add(static_cast<long>(e - b));
+    });
+  }
+  EXPECT_EQ(total.load(), 200 * 100);
+}
+
+TEST(ThreadTeam, SumMatchesSerial) {
+  ThreadTeam team(8);
+  std::vector<double> data(10000);
+  std::iota(data.begin(), data.end(), 0.0);
+  std::vector<double> partial(8, 0.0);
+  team.parallel_for(data.size(), [&](std::size_t b, std::size_t e,
+                                     std::size_t w) {
+    for (std::size_t i = b; i < e; ++i) partial[w] += data[i];
+  });
+  double total = 0.0;
+  for (double p : partial) total += p;
+  EXPECT_DOUBLE_EQ(total, 10000.0 * 9999.0 / 2.0);
+}
+
+TEST(ThreadTeam, GrainRespected) {
+  ThreadTeam team(4);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(4, {0, 0});
+  team.parallel_for_grain(100, 16, [&](std::size_t b, std::size_t e,
+                                       std::size_t w) {
+    ranges[w] = {b, e};
+  });
+  for (const auto& [b, e] : ranges) {
+    if (b == e) continue;
+    // Chunk starts must be multiples of the grain.
+    EXPECT_EQ(b % 16, 0u);
+  }
+}
+
+TEST(ThreadTeam, ExceptionsPropagate) {
+  ThreadTeam team(4);
+  EXPECT_THROW(
+      team.parallel_for(16,
+                        [&](std::size_t b, std::size_t, std::size_t) {
+                          if (b == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Team must still be usable afterwards.
+  std::atomic<int> n{0};
+  team.parallel_for(16, [&](std::size_t b, std::size_t e, std::size_t) {
+    n.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(n.load(), 16);
+}
+
+TEST(ThreadTeam, RunOnAllVisitsEveryWorker) {
+  ThreadTeam team(6);
+  std::vector<std::atomic<int>> visited(6);
+  team.run_on_all([&](std::size_t w) { visited[w].fetch_add(1); });
+  for (const auto& v : visited) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadTeam, WorksWithAffinityHint) {
+  CoreSet cores(host_logical_cores());
+  const std::size_t width = std::min<std::size_t>(2, host_logical_cores());
+  for (std::size_t i = 0; i < width; ++i) cores.add(i);
+  ThreadTeam team(width, cores);  // best-effort pinning must not break work
+  std::atomic<int> n{0};
+  team.parallel_for(32, [&](std::size_t b, std::size_t e, std::size_t) {
+    n.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(n.load(), 32);
+}
+
+TEST(TeamPool, CachesTeamsByWidth) {
+  TeamPool pool(8);
+  ThreadTeam& a = pool.team(4);
+  ThreadTeam& b = pool.team(4);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(pool.teams_created(), 1u);
+  pool.team(2);
+  EXPECT_EQ(pool.teams_created(), 2u);
+}
+
+TEST(TeamPool, DistinctAffinitiesAreDistinctTeams) {
+  TeamPool pool(8);
+  CoreSet c1(8), c2(8);
+  c1.add(0);
+  c1.add(1);
+  c2.add(2);
+  c2.add(3);
+  ThreadTeam& a = pool.team_pinned(2, c1);
+  ThreadTeam& b = pool.team_pinned(2, c2);
+  EXPECT_NE(&a, &b);
+}
+
+TEST(TeamPool, WidthValidation) {
+  TeamPool pool(4);
+  EXPECT_THROW(pool.team(0), std::invalid_argument);
+  EXPECT_THROW(pool.team(5), std::invalid_argument);
+  EXPECT_THROW(TeamPool(0), std::invalid_argument);
+}
+
+class ParallelForWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelForWidths, CorrectForAnyWidth) {
+  ThreadTeam team(GetParam());
+  std::vector<std::atomic<int>> hits(257);  // deliberately not divisible
+  team.parallel_for(hits.size(), [&](std::size_t b, std::size_t e,
+                                     std::size_t) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ParallelForWidths,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16));
+
+}  // namespace
+}  // namespace opsched

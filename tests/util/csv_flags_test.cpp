@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+
+namespace opsched {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Csv, WritesRowsAndEscapes) {
+  const std::string path = temp_path("test.csv");
+  {
+    CsvWriter w(path);
+    w.write_row({"a", "b,c", "d\"e"});
+    w.write_row_doubles({1.5, 2.0});
+    w.close();
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+  EXPECT_EQ(line2, "1.5,2");
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"),
+               std::runtime_error);
+}
+
+TEST(Flags, ParsesAllForms) {
+  const char* argv[] = {"prog",        "--alpha=1", "--beta", "two",
+                        "--gamma",     "positional", "--delta=3.5"};
+  // NOTE: "--gamma positional" — gamma consumes "positional" as its value.
+  Flags f(7, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("alpha", 0), 1);
+  EXPECT_EQ(f.get("beta", ""), "two");
+  EXPECT_EQ(f.get("gamma", ""), "positional");
+  EXPECT_DOUBLE_EQ(f.get_double("delta", 0.0), 3.5);
+  EXPECT_FALSE(f.has("epsilon"));
+  EXPECT_EQ(f.get_int("epsilon", 7), 7);
+}
+
+TEST(Flags, BooleanFlagAtEnd) {
+  const char* argv[] = {"prog", "--verbose"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_FALSE(f.get_bool("quiet", false));
+}
+
+TEST(Flags, ExplicitFalseValues) {
+  const char* argv[] = {"prog", "--a=false", "--b=0", "--c=no", "--d=yes"};
+  Flags f(5, const_cast<char**>(argv));
+  EXPECT_FALSE(f.get_bool("a", true));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_FALSE(f.get_bool("c", true));
+  EXPECT_TRUE(f.get_bool("d", false));
+}
+
+TEST(Flags, PositionalArguments) {
+  const char* argv[] = {"prog", "one", "--k=v", "two"};
+  Flags f(4, const_cast<char**>(argv));
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "one");
+  EXPECT_EQ(f.positional()[1], "two");
+}
+
+}  // namespace
+}  // namespace opsched

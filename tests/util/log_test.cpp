@@ -1,0 +1,51 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace opsched {
+namespace {
+
+TEST(Log, LevelRoundTrips) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(before);
+}
+
+TEST(Log, MacroCompilesAndFiltersBelowThreshold) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  // These statements must be side-effect free when filtered: the stream
+  // expression below must not evaluate.
+  int evaluations = 0;
+  const auto count = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  OPSCHED_DEBUG << count();
+  OPSCHED_INFO << count();
+  EXPECT_EQ(evaluations, 0);
+  OPSCHED_ERROR << "error-level message during tests is expected here";
+  set_log_level(before);
+}
+
+TEST(Log, ConcurrentLoggingDoesNotCrash) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);  // keep the test output quiet
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 100; ++i) OPSCHED_DEBUG << "spam " << i;
+    });
+  }
+  for (auto& t : threads) t.join();
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace opsched

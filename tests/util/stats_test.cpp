@@ -1,0 +1,125 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace opsched {
+namespace {
+
+TEST(Stats, SumAndMean) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(sum(xs), 10.0);
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, EmptyInputsAreSafe) {
+  const std::vector<double> xs;
+  EXPECT_DOUBLE_EQ(sum(xs), 0.0);
+  EXPECT_DOUBLE_EQ(mean(xs), 0.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, VarianceMatchesHandComputation) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample variance with n-1 denominator.
+  EXPECT_NEAR(variance(xs), 4.571428571, 1e-9);
+}
+
+TEST(Stats, SingleElementVarianceIsZero) {
+  const std::vector<double> xs = {42.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.0 * i);
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(Stats, R2PerfectAndMeanPredictor) {
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r2_score(y, y), 1.0);
+  const std::vector<double> mean_pred = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r2_score(y, mean_pred), 0.0);
+}
+
+TEST(Stats, MapeAccuracyMatchesPaperDefinition) {
+  const std::vector<double> y_true = {10.0, 20.0};
+  const std::vector<double> y_pred = {11.0, 18.0};
+  // errors: 0.1 and 0.1 -> accuracy 0.9.
+  EXPECT_NEAR(mape_accuracy(y_true, y_pred), 0.9, 1e-12);
+}
+
+TEST(Stats, MapeAccuracyClampsAtZero) {
+  const std::vector<double> y_true = {1.0};
+  const std::vector<double> y_pred = {10.0};  // 900% error
+  EXPECT_DOUBLE_EQ(mape_accuracy(y_true, y_pred), 0.0);
+}
+
+TEST(Stats, LerpThroughClampsAndInterpolates) {
+  const std::vector<double> xs = {1.0, 3.0, 5.0};
+  const std::vector<double> ys = {10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(lerp_through(xs, ys, 0.0), 10.0);   // clamp left
+  EXPECT_DOUBLE_EQ(lerp_through(xs, ys, 9.0), 20.0);   // clamp right
+  EXPECT_DOUBLE_EQ(lerp_through(xs, ys, 2.0), 20.0);   // midpoint
+  EXPECT_DOUBLE_EQ(lerp_through(xs, ys, 4.0), 25.0);
+  EXPECT_DOUBLE_EQ(lerp_through(xs, ys, 3.0), 30.0);   // exact knot
+}
+
+TEST(Stats, RmseBasic) {
+  const std::vector<double> a = {0.0, 0.0};
+  const std::vector<double> b = {3.0, 4.0};
+  EXPECT_NEAR(rmse(a, b), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Stats, PearsonCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> up = {2, 4, 6, 8};
+  const std::vector<double> down = {8, 6, 4, 2};
+  const std::vector<double> flat = {5, 5, 5, 5};
+  EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pearson(xs, flat), 0.0);
+}
+
+TEST(Stats, GeomeanAndMeanRatio) {
+  const std::vector<double> xs = {1.0, 4.0};
+  EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+  const std::vector<double> num = {2.0, 8.0};
+  const std::vector<double> den = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_ratio(num, den), 2.0);
+  EXPECT_THROW(geomean(std::vector<double>{0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace opsched

@@ -1,0 +1,53 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace opsched {
+namespace {
+
+TEST(Table, FormatsAlignedColumns) {
+  TablePrinter t({"Name", "Value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Every data line has the same width.
+  std::istringstream in(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << "misaligned line: " << line;
+  }
+}
+
+TEST(Table, RejectsWrongCellCount) {
+  TablePrinter t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW(t.set_alignments({Align::kLeft}), std::invalid_argument);
+}
+
+TEST(Table, TitleAndRulePrinted) {
+  TablePrinter t({"A"});
+  t.set_title("My Title");
+  t.add_row({"x"});
+  t.add_rule();
+  t.add_row({"y"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("My Title"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 3u);  // two rows + one rule
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(fmt_double(1.234567, 2), "1.23");
+  EXPECT_EQ(fmt_double(1.0, 0), "1");
+  EXPECT_EQ(fmt_speedup(1.384, 2), "1.38x");
+  EXPECT_EQ(fmt_percent(0.9545, 2), "95.45%");
+  EXPECT_EQ(fmt_percent(0.5, 0), "50%");
+}
+
+}  // namespace
+}  // namespace opsched
