@@ -4,6 +4,8 @@
 #include <cmath>
 #include <deque>
 #include <future>
+#include <map>
+#include <utility>
 
 #include "ops/work_profile.hpp"
 
@@ -63,26 +65,42 @@ HostReplayResult HostReplayExecutor::run_step(const Graph& g) {
   while (tracker.remaining() > 0) {
     // Claim a batch of ready ops onto disjoint core ranges: each co-run
     // slot gets its own pinned team, so teams are never shared between
-    // concurrently running ops.
+    // concurrently running ops. Cores are partitioned fairly across the
+    // batch (Strategy-3 style): with k co-run slots each op's width is
+    // capped at its 1/k share, so a full-width first op can never starve
+    // the remaining slots out of the batch.
     struct Slot {
       NodeId node;
       ThreadTeam* team;
     };
+    const std::size_t slots = std::max<std::size_t>(
+        1, options_.corun ? std::min(options_.max_corun, ready.size())
+                          : std::size_t{1});
+    const std::size_t share = std::max<std::size_t>(1, host / slots);
     std::vector<Slot> batch;
-    std::size_t offset = 0;
-    while (!ready.empty() &&
-           batch.size() < (options_.corun ? options_.max_corun : 1)) {
+    // Count of claims per (base, width) range this round: a repeated range
+    // (host narrower than the batch) gets an incrementing slot tag so the
+    // pool hands out distinct live teams; disjoint ranges keep tag 0, so a
+    // range reused by a later batch at a different slot position still hits
+    // the cached team.
+    std::map<std::pair<std::size_t, std::size_t>, std::size_t> claimed;
+    while (!ready.empty() && batch.size() < slots) {
       const Node& node = g.node(ready.front());
       const Candidate c = controller_.choice_for(node);
+      // The last slot absorbs the floor-division remainder so every host
+      // core belongs to some slot's span. With fewer cores than slots the
+      // remainder would be the whole host, so it only applies when every
+      // slot owns at least one core.
+      const std::size_t cap =
+          share +
+          (batch.size() + 1 == slots && host >= slots ? host % slots : 0);
       const auto width = static_cast<std::size_t>(
-          std::clamp<int>(c.threads, 1, static_cast<int>(host)));
-      if (!batch.empty() && offset + width > host) break;  // no cores left
-      const std::size_t base = std::min(offset, host - width);
-      ThreadTeam& team =
-          pool_.team_pinned(width, CoreSet::range(host, base, width));
+          std::clamp<int>(c.threads, 1, static_cast<int>(cap)));
+      const std::size_t base = std::min(batch.size() * share, host - width);
+      ThreadTeam& team = pool_.team_pinned(
+          width, CoreSet::range(host, base, width), claimed[{base, width}]++);
       batch.push_back(Slot{ready.front(), &team});
       ready.pop_front();
-      offset += width;
     }
 
     // Run the batch: first op on this thread, the rest on async launchers —

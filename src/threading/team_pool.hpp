@@ -29,8 +29,12 @@ class TeamPool {
   ThreadTeam& team(std::size_t width);
 
   /// Like team(), but pinned to the given cores (affinity sets are part of
-  /// the cache key).
-  ThreadTeam& team_pinned(std::size_t width, const CoreSet& affinity);
+  /// the cache key). `slot` disambiguates callers that need several live
+  /// teams of the same (width, affinity) at once — e.g. co-run slots on a
+  /// host with fewer cores than slots — since a single team must never run
+  /// two parallel_for calls concurrently.
+  ThreadTeam& team_pinned(std::size_t width, const CoreSet& affinity,
+                          std::size_t slot = 0);
 
   /// Number of distinct teams created so far (spawn-cost accounting).
   std::size_t teams_created() const;
@@ -40,8 +44,9 @@ class TeamPool {
  private:
   const std::size_t max_width_;
   mutable std::mutex mutex_;
-  // Key: (width, affinity string). Affinity as canonical string keeps the
-  // key simple; team counts are tiny (tens), lookup cost is irrelevant.
+  // Key: (width, affinity string + slot tag). Affinity as canonical string
+  // keeps the key simple; team counts are tiny (tens), lookup cost is
+  // irrelevant.
   std::map<std::pair<std::size_t, std::string>, std::unique_ptr<ThreadTeam>>
       teams_;
 };

@@ -1,0 +1,135 @@
+// TeamPool: caching, reuse across steps, and concurrent checkout.
+#include "threading/team_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "threading/core_set.hpp"
+#include "threading/thread_team.hpp"
+
+namespace opsched {
+namespace {
+
+TEST(TeamPool, AcquireCreatesOnFirstUseOnly) {
+  TeamPool pool(8);
+  EXPECT_EQ(pool.teams_created(), 0u);
+  ThreadTeam& a = pool.team(3);
+  EXPECT_EQ(pool.teams_created(), 1u);
+  EXPECT_EQ(a.width(), 3u);
+  ThreadTeam& b = pool.team(3);
+  EXPECT_EQ(&a, &b) << "same width must reuse the cached team";
+  EXPECT_EQ(pool.teams_created(), 1u);
+}
+
+TEST(TeamPool, ReleaseIsImplicitTeamsStayValidAcrossSteps) {
+  // The runtime re-fetches teams every step (paper Strategy 2: reuse beats
+  // re-spawn). References handed out earlier must stay valid and usable
+  // after many further acquisitions.
+  TeamPool pool(8);
+  ThreadTeam& first = pool.team(2);
+  for (std::size_t step = 0; step < 50; ++step) {
+    ThreadTeam& t = pool.team(1 + step % 4);
+    std::atomic<int> n{0};
+    t.parallel_for(16, [&](std::size_t b, std::size_t e, std::size_t) {
+      n.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(n.load(), 16);
+  }
+  EXPECT_EQ(pool.teams_created(), 4u);  // widths 1..4, each created once
+  // The very first reference still works.
+  std::atomic<int> n{0};
+  first.parallel_for(8, [&](std::size_t b, std::size_t e, std::size_t) {
+    n.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(n.load(), 8);
+}
+
+TEST(TeamPool, PinnedTeamsKeyedByAffinity) {
+  TeamPool pool(8);
+  CoreSet low(8), high(8);
+  low.add(0);
+  low.add(1);
+  high.add(4);
+  high.add(5);
+  ThreadTeam& a = pool.team_pinned(2, low);
+  ThreadTeam& b = pool.team_pinned(2, high);
+  ThreadTeam& a2 = pool.team_pinned(2, low);
+  EXPECT_NE(&a, &b) << "distinct affinities must be distinct teams";
+  EXPECT_EQ(&a, &a2) << "same (width, affinity) must hit the cache";
+  EXPECT_EQ(pool.teams_created(), 2u);
+}
+
+TEST(TeamPool, SlotTagDisambiguatesIdenticalWidthAndAffinity) {
+  // Co-run slots on a host narrower than the batch request the same
+  // (width, affinity); the slot tag must yield distinct live teams, since a
+  // single team can never run two parallel_for calls concurrently.
+  TeamPool pool(4);
+  CoreSet cores(4);
+  cores.add(0);
+  ThreadTeam& slot0 = pool.team_pinned(1, cores, 0);
+  ThreadTeam& slot1 = pool.team_pinned(1, cores, 1);
+  EXPECT_NE(&slot0, &slot1) << "distinct slots must not share a team";
+  EXPECT_EQ(pool.teams_created(), 2u);
+  // Same slot hits the cache; default slot is 0.
+  EXPECT_EQ(&slot0, &pool.team_pinned(1, cores, 0));
+  EXPECT_EQ(&slot0, &pool.team_pinned(1, cores));
+  EXPECT_EQ(pool.teams_created(), 2u);
+}
+
+TEST(TeamPool, ConcurrentCheckoutIsRaceFreeAndDedupes) {
+  // Many threads fetching the same small set of widths at once must agree on
+  // the cached instances — one team per width, no torn map state.
+  TeamPool pool(4);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRounds = 50;
+  std::vector<std::vector<ThreadTeam*>> seen(kThreads,
+                                             std::vector<ThreadTeam*>(4));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &seen, t] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        const std::size_t width = 1 + (t + round) % 4;
+        seen[t][width - 1] = &pool.team(width);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(pool.teams_created(), 4u);
+  for (std::size_t w = 0; w < 4; ++w) {
+    for (std::size_t t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[t][w], seen[0][w])
+          << "width " << (w + 1) << " resolved to different teams";
+    }
+  }
+}
+
+TEST(TeamPool, ConcurrentCheckoutOfDistinctPinnedTeams) {
+  TeamPool pool(8);
+  constexpr std::size_t kThreads = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &failures, t] {
+      CoreSet cores(8);
+      cores.add(t % 8);
+      ThreadTeam& team = pool.team_pinned(1, cores);
+      std::atomic<int> n{0};
+      team.parallel_for(4, [&](std::size_t b, std::size_t e, std::size_t) {
+        n.fetch_add(static_cast<int>(e - b));
+      });
+      if (n.load() != 4) failures.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(pool.teams_created(), 6u);  // six distinct single-core pins
+}
+
+}  // namespace
+}  // namespace opsched
