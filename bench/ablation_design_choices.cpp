@@ -6,13 +6,12 @@
 //   - hill-climb patience (our robustness addition over the paper's
 //     stop-on-first-increase rule)
 // Each knob is toggled on an otherwise-default adaptive runtime.
-#include "bench/bench_util.hpp"
+#include "all_benchmarks.hpp"
 #include "core/runtime.hpp"
 #include "models/models.hpp"
-#include "util/flags.hpp"
+#include "util/table.hpp"
 
-using namespace opsched;
-
+namespace opsched::bench {
 namespace {
 
 double steady_step_ms(const Graph& g, const RuntimeOptions& opt) {
@@ -22,13 +21,10 @@ double steady_step_ms(const Graph& g, const RuntimeOptions& opt) {
   return rt.run_step(g).time_ms;
 }
 
-}  // namespace
+void run(Context& ctx) {
+  const std::string model = ctx.param("model", "resnet50");
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const std::string model = flags.get("model", "resnet50");
-
-  bench::header("Ablation: scheduler design choices", model);
+  ctx.header("Ablation: scheduler design choices", model);
 
   const Graph g = build_model(model);
   const RuntimeOptions base;
@@ -37,58 +33,76 @@ int main(int argc, char** argv) {
   TablePrinter table({"Variant", "Step (ms)", "vs default"});
   table.add_row({"default (3 candidates, guard 35%, cache+recorder on)",
                  fmt_double(baseline, 1), "1.00x"});
+  ctx.metric("default_step_ms", baseline);
 
-  const auto row = [&](const std::string& name, RuntimeOptions opt) {
+  const auto row = [&](const std::string& name, const std::string& key,
+                       RuntimeOptions opt) {
     const double t = steady_step_ms(g, opt);
     table.add_row({name, fmt_double(t, 1), fmt_speedup(baseline / t)});
-    bench::recap(name, "-", fmt_speedup(baseline / t));
+    ctx.recap(name, "-", fmt_speedup(baseline / t));
+    // Variants are diagnostic alternatives, not the shipped configuration;
+    // track them as info so only the default gates regressions.
+    ctx.metric(key + "_step_ms", t, "ms", Direction::kInfo);
   };
 
   {
     RuntimeOptions opt = base;
     opt.num_candidates = 1;
-    row("1 candidate (no packing freedom)", opt);
+    row("1 candidate (no packing freedom)", "one_candidate", opt);
   }
   {
     RuntimeOptions opt = base;
     opt.num_candidates = 5;
-    row("5 candidates", opt);
+    row("5 candidates", "five_candidates", opt);
   }
   {
     RuntimeOptions opt = base;
     opt.s2_guard_relative = 0.0;
     opt.s2_delta_guard = 2;
-    row("strict paper guard (|delta| <= 2 absolute)", opt);
+    row("strict paper guard (|delta| <= 2 absolute)", "strict_guard", opt);
   }
   {
     RuntimeOptions opt = base;
     opt.s2_guard_relative = 10.0;  // effectively no guard
-    row("guard disabled (free width changes)", opt);
+    row("guard disabled (free width changes)", "no_guard", opt);
   }
   {
     RuntimeOptions opt = base;
     opt.decision_cache = false;
-    row("decision cache off", opt);
+    row("decision cache off", "no_decision_cache", opt);
   }
   {
     RuntimeOptions opt = base;
     opt.interference_recorder = false;
-    row("interference recorder off", opt);
+    row("interference recorder off", "no_recorder", opt);
   }
   {
     RuntimeOptions opt = base;
     opt.strategies = kStrategyS123;
-    row("Strategy 4 off", opt);
+    row("Strategy 4 off", "no_strategy4", opt);
   }
   {
     RuntimeOptions opt = base;
     opt.hill_climb_interval = 16;
-    row("coarse profiling (x=16)", opt);
+    row("coarse profiling (x=16)", "coarse_profiling", opt);
   }
-  std::cout << "\n";
-  table.print(std::cout);
-  std::cout << "Reading: the candidate menu and the guard trade against "
+  ctx.out() << "\n";
+  table.print(ctx.out());
+  ctx.out() << "Reading: the candidate menu and the guard trade against "
                "each other — no packing freedom serializes the step, while "
                "unguarded width changes pay team-resize penalties.\n";
-  return 0;
 }
+
+}  // namespace
+
+void register_ablation_design_choices(Registry& reg) {
+  Benchmark b;
+  b.name = "ablation_design_choices";
+  b.figure = "ext";
+  b.description = "scheduler design-choice ablation on one model";
+  b.default_params = {{"model", "resnet50"}};
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

@@ -5,35 +5,39 @@
 //       so the two dimensions can be tuned independently: O(n^2) -> O(2n);
 //   (2) nearby threads-per-block values perform alike, so a coarse
 //       interval suffices.
-#include "bench/bench_util.hpp"
+#include <algorithm>
+
+#include "all_benchmarks.hpp"
 #include "gpu/gpu_tuner.hpp"
 #include "models/op_factory.hpp"
-#include "util/flags.hpp"
+#include "util/table.hpp"
 
-using namespace opsched;
+namespace opsched::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  (void)flags;
-
-  bench::header("Extension: GPU launch-config auto-tuner",
-                "paper Section VII-B's proposed search reduction");
+void run(Context& ctx) {
+  ctx.header("Extension: GPU launch-config auto-tuner",
+             "paper Section VII-B's proposed search reduction");
 
   const GpuCostModel model(GpuSpec::p100());
   const GpuTuner tuner(model);
 
   struct Case {
     const char* name;
+    const char* key;
     Node op;
   };
   const Case cases[] = {
-      {"BiasAdd", make_activation_op(OpKind::kBiasAdd, 32, 17, 17, 768)},
-      {"MaxPooling", make_activation_op(OpKind::kMaxPool, 32, 35, 35, 288)},
-      {"Conv2D", make_conv_op(OpKind::kConv2D, 32, 17, 17, 384, 3, 3, 384)},
-      {"Conv2DBackpropInput",
+      {"BiasAdd", "bias_add",
+       make_activation_op(OpKind::kBiasAdd, 32, 17, 17, 768)},
+      {"MaxPooling", "max_pool",
+       make_activation_op(OpKind::kMaxPool, 32, 35, 35, 288)},
+      {"Conv2D", "conv2d",
+       make_conv_op(OpKind::kConv2D, 32, 17, 17, 384, 3, 3, 384)},
+      {"Conv2DBackpropInput", "conv2d_backprop_input",
        make_conv_op(OpKind::kConv2DBackpropInput, 32, 17, 17, 384, 3, 3,
                     384)},
-      {"MatMul", make_matmul_op(512, 1024, 1024)},
+      {"MatMul", "matmul", make_matmul_op(512, 1024, 1024)},
   };
 
   TablePrinter table({"Op", "Search", "Config (tpb x blocks)", "Time (ms)",
@@ -58,17 +62,34 @@ int main(int argc, char** argv) {
                    std::to_string(coarse.evaluations),
                    fmt_double(ex.time_ms / coarse.time_ms, 3)});
     worst_quality = std::max(worst_quality, ind.time_ms / ex.time_ms);
-    bench::recap(std::string(c.name) + " O(2n) quality & cost",
-                 "near-optimal, ~6x fewer evals",
-                 fmt_double(ex.time_ms / ind.time_ms, 3) + " at " +
-                     std::to_string(ind.evaluations) + "/" +
-                     std::to_string(ex.evaluations) + " evals");
+    ctx.recap(std::string(c.name) + " O(2n) quality & cost",
+              "near-optimal, ~6x fewer evals",
+              fmt_double(ex.time_ms / ind.time_ms, 3) + " at " +
+                  std::to_string(ind.evaluations) + "/" +
+                  std::to_string(ex.evaluations) + " evals");
+    ctx.metric(std::string(c.key) + "/independent_quality",
+               ex.time_ms / ind.time_ms, "ratio", Direction::kHigherIsBetter);
+    ctx.metric(std::string(c.key) + "/independent_evals",
+               static_cast<double>(ind.evaluations), "evals",
+               Direction::kLowerIsBetter);
   }
-  std::cout << "\n";
-  table.print(std::cout);
-  std::cout << "Worst-case independent-search slowdown vs exhaustive: "
+  ctx.out() << "\n";
+  table.print(ctx.out());
+  ctx.out() << "Worst-case independent-search slowdown vs exhaustive: "
             << fmt_percent(worst_quality - 1.0, 1)
             << " — the paper's dimensional-independence observation holds "
                "on this model.\n";
-  return 0;
 }
+
+}  // namespace
+
+void register_ext_gpu_tuner(Registry& reg) {
+  Benchmark b;
+  b.name = "ext_gpu_tuner";
+  b.figure = "ext (Section VII-B)";
+  b.description = "GPU launch-config search reduction, O(n^2) vs O(2n)";
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

@@ -3,20 +3,20 @@
 // changes per worker; this bench shows the per-worker adaptive speedup
 // carrying over to the cluster, and how all-reduce time erodes scaling as
 // workers multiply (the classic data-parallel trade-off).
-#include "bench/bench_util.hpp"
+#include "all_benchmarks.hpp"
 #include "core/cluster.hpp"
 #include "models/models.hpp"
-#include "util/flags.hpp"
+#include "util/table.hpp"
 
-using namespace opsched;
+namespace opsched::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const std::string model = flags.get("model", "resnet50");
-  const std::int64_t global_batch = flags.get_int("batch", 128);
+void run(Context& ctx) {
+  const std::string model = ctx.param("model", "resnet50");
+  const std::int64_t global_batch = ctx.param_int("batch", 128);
 
-  bench::header("Extension: multi-KNL data parallelism (paper Section V)",
-                model + ", global batch " + std::to_string(global_batch));
+  ctx.header("Extension: multi-KNL data parallelism (paper Section V)",
+             model + ", global batch " + std::to_string(global_batch));
 
   const GraphBuilderFn build = [&](std::int64_t batch) {
     if (model == "dcgan") return build_dcgan(batch);
@@ -53,16 +53,35 @@ int main(int argc, char** argv) {
                    fmt_double(adaptive.time_ms, 0),
                    fmt_speedup(rec.time_ms / adaptive.time_ms),
                    fmt_percent(efficiency, 0)});
-    bench::recap("W=" + std::to_string(workers) + " adaptive vs rec",
-                 "per-worker gains persist",
-                 fmt_speedup(rec.time_ms / adaptive.time_ms));
+    ctx.recap("W=" + std::to_string(workers) + " adaptive vs rec",
+              "per-worker gains persist",
+              fmt_speedup(rec.time_ms / adaptive.time_ms));
+    const std::string key = "workers" + std::to_string(workers);
+    ctx.metric(key + "/step_ms", adaptive.time_ms);
+    ctx.metric(key + "/adaptive_vs_rec", rec.time_ms / adaptive.time_ms,
+               "ratio", Direction::kHigherIsBetter);
+    ctx.metric(key + "/scaling_efficiency", efficiency, "ratio",
+               Direction::kHigherIsBetter);
   }
-  std::cout << "\n";
-  table.print(std::cout);
-  std::cout << "Per the paper: 'our runtime does not need to be changed' for "
+  ctx.out() << "\n";
+  table.print(ctx.out());
+  ctx.out() << "Per the paper: 'our runtime does not need to be changed' for "
                "data parallelism — each worker runs the unmodified "
                "Runtime; only the all-reduce is new. Gradient payload: "
             << fmt_double(model_parameter_bytes(build(16)) / 1e6, 1)
             << " MB per step.\n";
-  return 0;
 }
+
+}  // namespace
+
+void register_ext_multi_knl(Registry& reg) {
+  Benchmark b;
+  b.name = "ext_multi_knl";
+  b.figure = "ext (Section V)";
+  b.description = "data-parallel scaling over simulated KNL workers";
+  b.default_params = {{"model", "resnet50"}, {"batch", "128"}};
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

@@ -2,21 +2,22 @@
 // Conv2D as the intra-op thread count sweeps 1..68 (no hyper-threading,
 // threads with data sharing packed per tile). The paper finds optima at 26,
 // 36 and 45 threads with up to 17.3% over the 68-thread default.
+#include <optional>
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "all_benchmarks.hpp"
 #include "machine/cost_model.hpp"
 #include "models/op_factory.hpp"
 #include "util/csv.hpp"
-#include "util/flags.hpp"
+#include "util/table.hpp"
 
-using namespace opsched;
+namespace opsched::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const int runs = flags.get_int("runs", 1000);
+void run(Context& ctx) {
+  const int runs = ctx.param_int("runs", 1000);
 
-  bench::header("Figure 1", "operation scaling vs intra-op parallelism");
+  ctx.header("Figure 1", "operation scaling vs intra-op parallelism");
 
   const MachineSpec spec = MachineSpec::knl();
   const CostModel model(spec);
@@ -33,9 +34,12 @@ int main(int argc, char** argv) {
   for (int n = 1; n <= static_cast<int>(spec.num_cores); ++n)
     if (n == 1 || n % 4 == 0) sweep.push_back(n);
 
-  CsvWriter csv("fig1_op_scaling.csv");
-  csv.write_row({"threads", "conv2d_backprop_filter_s",
-                 "conv2d_backprop_input_s", "conv2d_s"});
+  std::optional<CsvWriter> csv;
+  if (ctx.first_repeat()) {
+    csv.emplace("fig1_op_scaling.csv");
+    csv->write_row({"threads", "conv2d_backprop_filter_s",
+                    "conv2d_backprop_input_s", "conv2d_s"});
+  }
 
   for (int n : sweep) {
     std::vector<std::string> row = {std::to_string(n)};
@@ -51,13 +55,15 @@ int main(int argc, char** argv) {
       csv_row.push_back(t);
     }
     table.add_row(row);
-    csv.write_row_doubles(csv_row);
+    if (csv) csv->write_row_doubles(csv_row);
   }
-  table.print(std::cout);
+  table.print(ctx.out());
 
-  bench::section("found optima (threads) and gain over 68-thread default");
-  const char* names[] = {"Conv2DBackpropFilter", "Conv2DBackpropInput",
-                         "Conv2D"};
+  ctx.section("found optima (threads) and gain over 68-thread default");
+  const char* names[] = {"conv2d_backprop_filter", "conv2d_backprop_input",
+                         "conv2d"};
+  const char* pretty[] = {"Conv2DBackpropFilter", "Conv2DBackpropInput",
+                          "Conv2D"};
   const int paper_opt[] = {26, 36, 45};
   const int max_threads = static_cast<int>(spec.num_cores);
   for (std::size_t i = 0; i < ops.size(); ++i) {
@@ -65,12 +71,30 @@ int main(int argc, char** argv) {
     const double t_default =
         model.exec_time_ms(ops[i], max_threads, AffinityMode::kSpread);
     const double gain = (t_default - best.time_ms) / t_default;
-    bench::recap(std::string(names[i]),
-                 std::to_string(paper_opt[i]) + " thr",
-                 std::to_string(best.threads) + " thr (" +
-                     fmt_percent(gain, 1) + " faster than 68)");
+    ctx.recap(std::string(pretty[i]),
+              std::to_string(paper_opt[i]) + " thr",
+              std::to_string(best.threads) + " thr (" +
+                  fmt_percent(gain, 1) + " faster than 68)");
+    ctx.metric(std::string(names[i]) + "/best_ms", best.time_ms);
+    ctx.metric(std::string(names[i]) + "/gain_over_default", gain, "ratio",
+               Direction::kHigherIsBetter);
+    ctx.metric(std::string(names[i]) + "/best_threads",
+               static_cast<double>(best.threads), "threads", Direction::kInfo);
   }
-  bench::recap("max gain over default", "17.3%", "see rows above");
-  std::cout << "series written to fig1_op_scaling.csv\n";
-  return 0;
+  ctx.recap("max gain over default", "17.3%", "see rows above");
+  ctx.out() << "series written to fig1_op_scaling.csv\n";
 }
+
+}  // namespace
+
+void register_fig1_op_scaling(Registry& reg) {
+  Benchmark b;
+  b.name = "fig1_op_scaling";
+  b.figure = "Figure 1";
+  b.description = "op execution time vs intra-op thread count, 1..68";
+  b.default_params = {{"runs", "1000"}};
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

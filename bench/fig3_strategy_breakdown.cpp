@@ -4,16 +4,15 @@
 //   (c) +Strategy 4 vs Strategy 3             (paper: 1.08/1.04/1.07/1.00)
 //   (d) full runtime vs recommendation        (paper: 1.49/1.34/1.17/1.43)
 //       and vs manual grid optimization       (paper: 1.41/1.27/1.19/1.41)
-// Optional ablation: --candidates N varies Strategy 3's candidate count.
+// Optional ablation: --params candidates=N varies Strategy 3's candidates.
 #include <map>
 
-#include "bench/bench_util.hpp"
+#include "all_benchmarks.hpp"
 #include "core/runtime.hpp"
 #include "models/models.hpp"
-#include "util/flags.hpp"
+#include "util/table.hpp"
 
-using namespace opsched;
-
+namespace opsched::bench {
 namespace {
 
 double step_time(const Graph& g, const MachineSpec& spec, unsigned strategies,
@@ -30,16 +29,13 @@ double step_time(const Graph& g, const MachineSpec& spec, unsigned strategies,
   return rt.run_step(g).time_ms;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+void run(Context& ctx) {
   const std::size_t candidates =
-      static_cast<std::size_t>(flags.get_int("candidates", 3));
+      static_cast<std::size_t>(ctx.param_int("candidates", 3));
 
-  bench::header("Figure 3", "strategy-by-strategy speedup breakdown");
+  ctx.header("Figure 3", "strategy-by-strategy speedup breakdown");
   if (candidates != 3)
-    std::cout << "(ablation: Strategy 3 candidates = " << candidates << ")\n";
+    ctx.out() << "(ablation: Strategy 3 candidates = " << candidates << ")\n";
 
   const MachineSpec spec = MachineSpec::knl();
 
@@ -72,23 +68,42 @@ int main(int argc, char** argv) {
                    fmt_speedup(rec / manual.time_ms)});
 
     const PaperRow& p = paper.at(name);
-    bench::recap(name + " S1+2 vs rec", fmt_speedup(p.s12),
-                 fmt_speedup(rec / s12));
-    bench::recap(name + " S3 vs S1+2", fmt_speedup(p.s3),
-                 fmt_speedup(s12 / s123));
-    bench::recap(name + " S4 vs S3", fmt_speedup(p.s4),
-                 fmt_speedup(s123 / all));
-    bench::recap(name + " ours vs rec", fmt_speedup(p.ours),
-                 fmt_speedup(rec / all));
-    bench::recap(
+    ctx.recap(name + " S1+2 vs rec", fmt_speedup(p.s12),
+              fmt_speedup(rec / s12));
+    ctx.recap(name + " S3 vs S1+2", fmt_speedup(p.s3),
+              fmt_speedup(s12 / s123));
+    ctx.recap(name + " S4 vs S3", fmt_speedup(p.s4),
+              fmt_speedup(s123 / all));
+    ctx.recap(name + " ours vs rec", fmt_speedup(p.ours),
+              fmt_speedup(rec / all));
+    ctx.recap(
         name + " manual vs rec (grid " + std::to_string(manual.inter_op) +
             "x" + std::to_string(manual.intra_op) + ")",
         fmt_speedup(p.manual), fmt_speedup(rec / manual.time_ms));
+
+    ctx.metric(name + "/adaptive_step_ms", all);
+    ctx.metric(name + "/speedup_vs_recommendation", rec / all, "ratio",
+               Direction::kHigherIsBetter);
+    ctx.metric(name + "/speedup_vs_manual", manual.time_ms / all, "ratio",
+               Direction::kHigherIsBetter);
   }
-  std::cout << "\n";
-  table.print(std::cout);
-  std::cout << "Paper headline: 36% mean improvement over recommendation "
+  ctx.out() << "\n";
+  table.print(ctx.out());
+  ctx.out() << "Paper headline: 36% mean improvement over recommendation "
                "(up to 49%), at or above manual optimization for 3 of 4 "
                "models.\n";
-  return 0;
 }
+
+}  // namespace
+
+void register_fig3_strategy_breakdown(Registry& reg) {
+  Benchmark b;
+  b.name = "fig3_strategy_breakdown";
+  b.figure = "Figure 3";
+  b.description = "per-model speedup of Strategies 1+2, +3, +4 vs baselines";
+  b.default_params = {{"candidates", "3"}};
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

@@ -5,15 +5,15 @@
 // the recommendation. We print a bucketed summary of the first 6000 events
 // plus the averages, and dump the full series to CSV.
 #include <map>
+#include <optional>
 
-#include "bench/bench_util.hpp"
+#include "all_benchmarks.hpp"
 #include "core/runtime.hpp"
 #include "models/models.hpp"
 #include "util/csv.hpp"
-#include "util/flags.hpp"
+#include "util/table.hpp"
 
-using namespace opsched;
-
+namespace opsched::bench {
 namespace {
 
 struct TraceStats {
@@ -23,7 +23,7 @@ struct TraceStats {
 };
 
 TraceStats run_and_trace(const Graph& g, const MachineSpec& spec,
-                         unsigned strategies, CsvWriter* csv,
+                         unsigned strategies, std::optional<CsvWriter>& csv,
                          const std::string& tag, std::size_t max_events) {
   RuntimeOptions opt;
   opt.strategies = strategies;
@@ -38,7 +38,7 @@ TraceStats run_and_trace(const Graph& g, const MachineSpec& spec,
   stats.histogram.assign(static_cast<std::size_t>(stats.max) + 1, 0);
   std::size_t event_id = 0;
   for (const TraceEvent& e : r.trace.events()) {
-    if (event_id < max_events && csv != nullptr) {
+    if (event_id < max_events && csv) {
       csv->write_row({tag, std::to_string(event_id),
                       std::to_string(e.corun_after)});
     }
@@ -48,18 +48,18 @@ TraceStats run_and_trace(const Graph& g, const MachineSpec& spec,
   return stats;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+void run(Context& ctx) {
   const std::size_t max_events =
-      static_cast<std::size_t>(flags.get_int("events", 6000));
+      static_cast<std::size_t>(ctx.param_int("events", 6000));
 
-  bench::header("Figure 4", "co-running operation count per event");
+  ctx.header("Figure 4", "co-running operation count per event");
 
   const MachineSpec spec = MachineSpec::knl();
-  CsvWriter csv("fig4_corun_events.csv");
-  csv.write_row({"series", "event", "corun"});
+  std::optional<CsvWriter> csv;
+  if (ctx.first_repeat()) {
+    csv.emplace("fig4_corun_events.csv");
+    csv->write_row({"series", "event", "corun"});
+  }
 
   // Paper's mean co-run counts, S3-only then S3+S4 per model.
   const std::map<std::string, std::pair<double, double>> paper = {
@@ -72,26 +72,43 @@ int main(int argc, char** argv) {
                       "Max (S3)", "Max (S3+S4)", "Events"});
   for (const std::string name : {"resnet50", "dcgan", "inception_v3"}) {
     const Graph g = build_model(name);
-    const TraceStats s3 = run_and_trace(g, spec, kStrategyS123, &csv,
+    const TraceStats s3 = run_and_trace(g, spec, kStrategyS123, csv,
                                         name + "/S3", max_events);
-    const TraceStats s34 = run_and_trace(g, spec, kStrategyAll, &csv,
+    const TraceStats s34 = run_and_trace(g, spec, kStrategyAll, csv,
                                          name + "/S3+S4", max_events);
     table.add_row({name, fmt_double(s3.mean, 2), fmt_double(s34.mean, 2),
                    std::to_string(s3.max), std::to_string(s34.max),
                    std::to_string(2 * g.size())});
     const auto& p = paper.at(name);
-    bench::recap(name + " mean co-run S3-only", fmt_double(p.first, 2),
-                 fmt_double(s3.mean, 2));
-    bench::recap(name + " mean co-run S3+S4", fmt_double(p.second, 2),
-                 fmt_double(s34.mean, 2));
+    ctx.recap(name + " mean co-run S3-only", fmt_double(p.first, 2),
+              fmt_double(s3.mean, 2));
+    ctx.recap(name + " mean co-run S3+S4", fmt_double(p.second, 2),
+              fmt_double(s34.mean, 2));
+    ctx.metric(name + "/mean_corun_s3", s3.mean, "ops",
+               Direction::kHigherIsBetter);
+    ctx.metric(name + "/mean_corun_s34", s34.mean, "ops",
+               Direction::kHigherIsBetter);
   }
-  std::cout << "\n";
-  table.print(std::cout);
-  std::cout << "Recommendation executes with a fixed inter-op of 1 (the red "
+  ctx.out() << "\n";
+  table.print(ctx.out());
+  ctx.out() << "Recommendation executes with a fixed inter-op of 1 (the red "
                "line in the paper's plots); the runtime varies co-running "
                "dynamically, and Strategy 4 lifts the average.\n"
             << "Per-event series written to fig4_corun_events.csv\n";
-  std::cout << "LSTM omitted as in the paper: Strategy 4 does not change its "
+  ctx.out() << "LSTM omitted as in the paper: Strategy 4 does not change its "
                "co-run profile (no op needs all cores).\n";
-  return 0;
 }
+
+}  // namespace
+
+void register_fig4_corun_events(Registry& reg) {
+  Benchmark b;
+  b.name = "fig4_corun_events";
+  b.figure = "Figure 4";
+  b.description = "co-running op count per trace event, S3 vs S3+S4";
+  b.default_params = {{"events", "6000"}};
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

@@ -2,29 +2,34 @@
 // MaxPooling (Inception-v3 input sizes) while sweeping (a) threads per
 // block with the default 56 blocks, and (b) thread blocks with the default
 // 1024 threads/block. Paper: up to 18% (a) and 11% (b) off the default.
-#include "bench/bench_util.hpp"
+#include <optional>
+
+#include "all_benchmarks.hpp"
 #include "gpu/gpu_model.hpp"
 #include "models/op_factory.hpp"
 #include "util/csv.hpp"
-#include "util/flags.hpp"
+#include "util/table.hpp"
 
-using namespace opsched;
+namespace opsched::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const int runs = flags.get_int("runs", 10000);
+void run(Context& ctx) {
+  const int runs = ctx.param_int("runs", 10000);
 
-  bench::header("Figure 5", "GPU launch-configuration sweep");
+  ctx.header("Figure 5", "GPU launch-configuration sweep");
 
   const GpuCostModel model(GpuSpec::p100());
   const Node bias = make_activation_op(OpKind::kBiasAdd, 32, 17, 17, 768);
   const Node pool = make_activation_op(OpKind::kMaxPool, 32, 35, 35, 288);
   const double scale = runs / 1000.0;
 
-  CsvWriter csv("fig5_gpu_intraop.csv");
-  csv.write_row({"sweep", "value", "biasadd_s", "maxpool_s"});
+  std::optional<CsvWriter> csv;
+  if (ctx.first_repeat()) {
+    csv.emplace("fig5_gpu_intraop.csv");
+    csv->write_row({"sweep", "value", "biasadd_s", "maxpool_s"});
+  }
 
-  bench::section("(a) threads per block, 56 blocks");
+  ctx.section("(a) threads per block, 56 blocks");
   TablePrinter ta({"#Threads per block", "BiasAdd (s)", "MaxPooling (s)"});
   double bias_best_a = 1e300, bias_def_a = 0.0;
   for (int tpb : {64, 128, 1024, 2048, 4096, 16384}) {
@@ -32,16 +37,21 @@ int main(int argc, char** argv) {
     const double tb = model.exec_time_ms(bias, cfg) * scale;
     const double tp = model.exec_time_ms(pool, cfg) * scale;
     ta.add_row({std::to_string(tpb), fmt_double(tb, 2), fmt_double(tp, 2)});
-    csv.write_row({"tpb", std::to_string(tpb), fmt_double(tb, 4),
-                   fmt_double(tp, 4)});
+    if (csv)
+      csv->write_row({"tpb", std::to_string(tpb), fmt_double(tb, 4),
+                      fmt_double(tp, 4)});
     bias_best_a = std::min(bias_best_a, tb);
     if (tpb == 1024) bias_def_a = tb;
   }
-  ta.print(std::cout);
-  bench::recap("BiasAdd default-vs-best gap (a)", "up to 18%",
-               fmt_percent((bias_def_a - bias_best_a) / bias_def_a, 1));
+  ta.print(ctx.out());
+  const double gap_a = (bias_def_a - bias_best_a) / bias_def_a;
+  ctx.recap("BiasAdd default-vs-best gap (a)", "up to 18%",
+            fmt_percent(gap_a, 1));
+  ctx.metric("biasadd/default_vs_best_gap_tpb", gap_a, "ratio",
+             Direction::kHigherIsBetter);
+  ctx.metric("biasadd/best_ms_tpb_sweep", bias_best_a / scale);
 
-  bench::section("(b) thread blocks, 1024 threads/block");
+  ctx.section("(b) thread blocks, 1024 threads/block");
   TablePrinter tb({"#Thread blocks", "BiasAdd (s)", "MaxPooling (s)"});
   double bias_best_b = 1e300, bias_def_b = 0.0;
   for (int blocks : {14, 56, 112, 224, 896}) {
@@ -50,15 +60,33 @@ int main(int argc, char** argv) {
     const double tpool = model.exec_time_ms(pool, cfg) * scale;
     tb.add_row(
         {std::to_string(blocks), fmt_double(tbias, 2), fmt_double(tpool, 2)});
-    csv.write_row({"blocks", std::to_string(blocks), fmt_double(tbias, 4),
-                   fmt_double(tpool, 4)});
+    if (csv)
+      csv->write_row({"blocks", std::to_string(blocks), fmt_double(tbias, 4),
+                      fmt_double(tpool, 4)});
     bias_best_b = std::min(bias_best_b, tbias);
     if (blocks == 56) bias_def_b = tbias;
   }
-  tb.print(std::cout);
-  bench::recap("BiasAdd default-vs-best gap (b)", "up to 11%",
-               fmt_percent((bias_def_b - bias_best_b) / bias_def_b, 1));
+  tb.print(ctx.out());
+  const double gap_b = (bias_def_b - bias_best_b) / bias_def_b;
+  ctx.recap("BiasAdd default-vs-best gap (b)", "up to 11%",
+            fmt_percent(gap_b, 1));
+  ctx.metric("biasadd/default_vs_best_gap_blocks", gap_b, "ratio",
+             Direction::kHigherIsBetter);
+  ctx.metric("biasadd/best_ms_block_sweep", bias_best_b / scale);
 
-  std::cout << "series written to fig5_gpu_intraop.csv\n";
-  return 0;
+  ctx.out() << "series written to fig5_gpu_intraop.csv\n";
 }
+
+}  // namespace
+
+void register_fig5_gpu_intraop(Registry& reg) {
+  Benchmark b;
+  b.name = "fig5_gpu_intraop";
+  b.figure = "Figure 5";
+  b.description = "GPU launch-config sweeps: threads/block and block count";
+  b.default_params = {{"runs", "10000"}};
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

@@ -1,15 +1,17 @@
-// Micro-benchmarks (google-benchmark) of the real host kernels across team
-// widths — the host-side analogue of Figure 1: per-op scalability is real,
-// shape-dependent, and not monotone in thread count.
-#include <benchmark/benchmark.h>
-
+// Micro-benchmarks of the real host kernels across team widths — the
+// host-side analogue of Figure 1: per-op scalability is real,
+// shape-dependent, and not monotone in thread count. Unlike the simulated
+// fig/table benches these run real threads, so their samples carry genuine
+// run-to-run variance — use --repeats to get stable medians.
+#include "all_benchmarks.hpp"
+#include "bench/timing.hpp"
 #include "ops/kernels.hpp"
 #include "threading/thread_team.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
 
+namespace opsched::bench {
 namespace {
-
-using namespace opsched;
 
 Tensor random_tensor(const TensorShape& shape, std::uint64_t seed) {
   Tensor t(shape);
@@ -19,59 +21,70 @@ Tensor random_tensor(const TensorShape& shape, std::uint64_t seed) {
   return t;
 }
 
-void BM_Conv2D(benchmark::State& state) {
-  const auto width = static_cast<std::size_t>(state.range(0));
-  ThreadTeam team(width);
-  const Tensor input = random_tensor(TensorShape{4, 16, 16, 32}, 1);
-  const Tensor filter = random_tensor(TensorShape{3, 3, 32, 32}, 2);
-  Tensor output(TensorShape{4, 16, 16, 32});
-  for (auto _ : state) {
-    kernels::conv2d(team, input, filter, output);
-    benchmark::DoNotOptimize(output.data());
-  }
-}
-BENCHMARK(BM_Conv2D)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+void run(Context& ctx) {
+  const int iters = ctx.param_int("iters", 5);
 
-void BM_Conv2DBackpropFilter(benchmark::State& state) {
-  const auto width = static_cast<std::size_t>(state.range(0));
-  ThreadTeam team(width);
-  const Tensor input = random_tensor(TensorShape{4, 16, 16, 32}, 1);
-  const Tensor d_out = random_tensor(TensorShape{4, 16, 16, 32}, 3);
-  Tensor d_filter(TensorShape{3, 3, 32, 32});
-  for (auto _ : state) {
-    kernels::conv2d_backprop_filter(team, input, d_out, d_filter);
-    benchmark::DoNotOptimize(d_filter.data());
-  }
-}
-BENCHMARK(BM_Conv2DBackpropFilter)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+  ctx.header("Micro: host kernels", "per-iteration wall time across widths");
 
-void BM_MatMul(benchmark::State& state) {
-  const auto width = static_cast<std::size_t>(state.range(0));
-  ThreadTeam team(width);
-  const Tensor a = random_tensor(TensorShape{128, 256}, 4);
-  const Tensor b = random_tensor(TensorShape{256, 128}, 5);
-  Tensor out(TensorShape{128, 128});
-  for (auto _ : state) {
-    kernels::matmul(team, a, b, out);
-    benchmark::DoNotOptimize(out.data());
-  }
-}
-BENCHMARK(BM_MatMul)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+  TablePrinter table({"Kernel", "Width", "us/iter"});
+  const auto record = [&](const std::string& kernel, std::size_t width,
+                          double us) {
+    table.add_row({kernel, std::to_string(width), fmt_double(us, 1)});
+    ctx.metric(kernel + "/width=" + std::to_string(width), us, "us");
+  };
 
-void BM_BiasAddSmall(benchmark::State& state) {
-  // A deliberately tiny op: wide teams lose — the host-side Observation 1.
-  const auto width = static_cast<std::size_t>(state.range(0));
-  ThreadTeam team(width);
-  const Tensor input = random_tensor(TensorShape{4, 8, 8, 16}, 6);
-  const Tensor bias = random_tensor(TensorShape{16}, 7);
-  Tensor output(TensorShape{4, 8, 8, 16});
-  for (auto _ : state) {
-    kernels::bias_add(team, input, bias, output);
-    benchmark::DoNotOptimize(output.data());
+  for (const std::size_t width : {1u, 2u, 4u, 8u}) {
+    ThreadTeam team(width);
+    {
+      const Tensor input = random_tensor(TensorShape{4, 16, 16, 32}, 1);
+      const Tensor filter = random_tensor(TensorShape{3, 3, 32, 32}, 2);
+      Tensor output(TensorShape{4, 16, 16, 32});
+      record("conv2d", width, time_per_iter_us(iters, [&] {
+               kernels::conv2d(team, input, filter, output);
+             }));
+    }
+    {
+      const Tensor input = random_tensor(TensorShape{4, 16, 16, 32}, 1);
+      const Tensor d_out = random_tensor(TensorShape{4, 16, 16, 32}, 3);
+      Tensor d_filter(TensorShape{3, 3, 32, 32});
+      record("conv2d_backprop_filter", width, time_per_iter_us(iters, [&] {
+               kernels::conv2d_backprop_filter(team, input, d_out, d_filter);
+             }));
+    }
+    {
+      const Tensor a = random_tensor(TensorShape{128, 256}, 4);
+      const Tensor b = random_tensor(TensorShape{256, 128}, 5);
+      Tensor out(TensorShape{128, 128});
+      record("matmul", width, time_per_iter_us(iters, [&] {
+               kernels::matmul(team, a, b, out);
+             }));
+    }
+    {
+      // A deliberately tiny op: wide teams lose — the host-side
+      // Observation 1.
+      const Tensor input = random_tensor(TensorShape{4, 8, 8, 16}, 6);
+      const Tensor bias = random_tensor(TensorShape{16}, 7);
+      Tensor output(TensorShape{4, 8, 8, 16});
+      record("bias_add_small", width, time_per_iter_us(iters, [&] {
+               kernels::bias_add(team, input, bias, output);
+             }));
+    }
   }
+  table.print(ctx.out());
+  ctx.out() << "Expect conv/matmul to gain with width and bias_add_small to "
+               "lose — dispatch overhead dominates tiny ops.\n";
 }
-BENCHMARK(BM_BiasAddSmall)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+void register_micro_kernels(Registry& reg) {
+  Benchmark b;
+  b.name = "micro_kernels";
+  b.figure = "micro";
+  b.description = "real host-kernel wall time across thread-team widths";
+  b.default_params = {{"iters", "5"}};
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

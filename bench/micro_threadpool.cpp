@@ -1,72 +1,93 @@
-// Micro-benchmarks (google-benchmark) for the real thread-pool substrate:
-// the costs the paper's Strategy 2 is designed around. Team construction
-// (thread spawn + bind) is orders of magnitude more expensive than reusing
-// a cached team, which is why the runtime avoids frequent concurrency
-// changes.
-#include <benchmark/benchmark.h>
-
+// Micro-benchmarks for the real thread-pool substrate: the costs the
+// paper's Strategy 2 is designed around. Team construction (thread spawn +
+// bind) is orders of magnitude more expensive than reusing a cached team,
+// which is why the runtime avoids frequent concurrency changes. Real
+// threads, real variance — use --repeats for stable medians.
 #include <atomic>
-#include <memory>
+#include <vector>
 
+#include "all_benchmarks.hpp"
+#include "bench/timing.hpp"
 #include "threading/team_pool.hpp"
 #include "threading/thread_team.hpp"
+#include "util/table.hpp"
 
+namespace opsched::bench {
 namespace {
 
-using opsched::CoreSet;
-using opsched::TeamPool;
-using opsched::ThreadTeam;
+void run(Context& ctx) {
+  const int iters = ctx.param_int("iters", 10);
 
-void BM_TeamCreateDestroy(benchmark::State& state) {
-  const auto width = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
+  ctx.header("Micro: thread-pool substrate",
+             "spawn vs reuse vs lookup latencies");
+
+  TablePrinter table({"Case", "Width", "us/iter"});
+  const auto record = [&](const std::string& name, std::size_t width,
+                          double us) {
+    table.add_row({name, width == 0 ? "-" : std::to_string(width),
+                   fmt_double(us, 1)});
+    ctx.metric(width == 0 ? name : name + "/width=" + std::to_string(width),
+               us, "us");
+  };
+
+  // Team construction+teardown: spawn+join of a full team — the cost
+  // Strategy 2 avoids paying per width change.
+  for (const std::size_t width : {2u, 4u, 8u})
+    record("team_create_destroy", width, time_per_iter_us(iters, [&] {
+             ThreadTeam team(width);
+           }));
+
+  // parallel_for on a cached team: the cheap path.
+  for (const std::size_t width : {2u, 4u, 8u}) {
     ThreadTeam team(width);
-    benchmark::DoNotOptimize(&team);
+    std::vector<double> data(1 << 16, 1.0);
+    record("parallel_for_reuse", width, time_per_iter_us(iters, [&] {
+             team.parallel_for(data.size(), [&](std::size_t b, std::size_t e,
+                                                std::size_t) {
+               for (std::size_t i = b; i < e; ++i) data[i] *= 1.000001;
+             });
+           }));
   }
-  state.SetLabel("spawn+join of a full team (Strategy 2's avoided cost)");
-}
-BENCHMARK(BM_TeamCreateDestroy)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
-void BM_ParallelForReuse(benchmark::State& state) {
-  const auto width = static_cast<std::size_t>(state.range(0));
-  ThreadTeam team(width);
-  std::vector<double> data(1 << 16, 1.0);
-  for (auto _ : state) {
-    team.parallel_for(data.size(), [&](std::size_t b, std::size_t e,
-                                       std::size_t) {
-      for (std::size_t i = b; i < e; ++i) data[i] *= 1.000001;
-    });
+  // Cached team lookup when switching widths.
+  {
+    TeamPool pool(16);
+    for (std::size_t w : {2, 4, 8}) pool.team(w);  // pre-create the widths
+    std::size_t w = 2;
+    record("pool_lookup", 0, time_per_iter_us(iters * 100, [&] {
+             ThreadTeam& team = pool.team(w);
+             (void)team;
+             w = w == 8 ? 2 : w * 2;
+           }));
   }
-  state.SetLabel("parallel_for on a cached team (the cheap path)");
-}
-BENCHMARK(BM_ParallelForReuse)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
-void BM_TeamPoolLookup(benchmark::State& state) {
-  TeamPool pool(16);
-  // Pre-create the widths so the loop measures pure cache hits.
-  for (std::size_t w : {2, 4, 8}) pool.team(w);
-  std::size_t w = 2;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(&pool.team(w));
-    w = w == 8 ? 2 : w * 2;
+  // Empty-body dispatch+barrier round trip.
+  for (const std::size_t width : {2u, 4u, 8u}) {
+    ThreadTeam team(width);
+    std::atomic<std::size_t> sink{0};
+    record("dispatch_latency", width, time_per_iter_us(iters, [&] {
+             team.parallel_for(width, [&](std::size_t b, std::size_t e,
+                                          std::size_t) {
+               sink.fetch_add(e - b, std::memory_order_relaxed);
+             });
+           }));
   }
-  state.SetLabel("cached team lookup when switching widths");
-}
-BENCHMARK(BM_TeamPoolLookup);
 
-void BM_DispatchLatency(benchmark::State& state) {
-  const auto width = static_cast<std::size_t>(state.range(0));
-  ThreadTeam team(width);
-  std::atomic<std::size_t> sink{0};
-  for (auto _ : state) {
-    team.parallel_for(width, [&](std::size_t b, std::size_t e, std::size_t) {
-      sink.fetch_add(e - b, std::memory_order_relaxed);
-    });
-  }
-  state.SetLabel("empty-body dispatch+barrier round trip");
+  table.print(ctx.out());
+  ctx.out() << "team_create_destroy should dwarf parallel_for_reuse and "
+               "pool_lookup — the Strategy-2 rationale in one table.\n";
 }
-BENCHMARK(BM_DispatchLatency)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+void register_micro_threadpool(Registry& reg) {
+  Benchmark b;
+  b.name = "micro_threadpool";
+  b.figure = "micro";
+  b.description = "team spawn vs cached reuse vs pool lookup latencies";
+  b.default_params = {{"iters", "10"}};
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

@@ -1,0 +1,20 @@
+// opsched_bench: the single entry point for every benchmark in bench/.
+//
+//   opsched_bench --list
+//   opsched_bench --filter fig1,table3 --repeats 3 --json BENCH_fast.json
+//   opsched_bench --filter fig1 --baseline BENCH_old.json
+//
+// See docs/BENCHMARKS.md for the benchmark-to-paper mapping and the JSON
+// report schema.
+#include <iostream>
+
+#include "all_benchmarks.hpp"
+#include "bench/driver.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  opsched::bench::Registry registry;
+  opsched::bench::register_all(registry);
+  const opsched::Flags flags(argc, argv);
+  return opsched::bench::run_cli(registry, flags, std::cout, std::cerr);
+}

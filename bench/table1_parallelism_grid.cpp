@@ -2,18 +2,18 @@
 // inter-op x intra-op grid {1,2,4} x {34,68,136}. Baseline (speedup 1.0) is
 // the TensorFlow-recommended configuration inter=1, intra=68. The paper's
 // best grid point is 2x34 (1.27x / 1.28x); intra=136 collapses.
-#include "bench/bench_util.hpp"
+#include <algorithm>
+
+#include "all_benchmarks.hpp"
 #include "core/runtime.hpp"
 #include "models/models.hpp"
-#include "util/flags.hpp"
+#include "util/table.hpp"
 
-using namespace opsched;
+namespace opsched::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  (void)flags;
-
-  bench::header("Table I", "NN step time under inter-op x intra-op grids");
+void run(Context& ctx) {
+  ctx.header("Table I", "NN step time under inter-op x intra-op grids");
 
   const MachineSpec spec = MachineSpec::knl();
   const Graph resnet = build_resnet50();
@@ -46,20 +46,38 @@ int main(int argc, char** argv) {
       table.add_row({std::to_string(inter), std::to_string(intra),
                      fmt_double(t_resnet, 0), fmt_double(s_resnet, 2),
                      fmt_double(t_dcgan, 0), fmt_double(s_dcgan, 2)});
-      bench::recap("inter=" + std::to_string(inter) +
-                       " intra=" + std::to_string(intra),
-                   fmt_double(paper_resnet[row], 2) + " / " +
-                       fmt_double(paper_dcgan[row], 2),
-                   fmt_double(s_resnet, 2) + " / " + fmt_double(s_dcgan, 2));
+      ctx.recap("inter=" + std::to_string(inter) +
+                    " intra=" + std::to_string(intra),
+                fmt_double(paper_resnet[row], 2) + " / " +
+                    fmt_double(paper_dcgan[row], 2),
+                fmt_double(s_resnet, 2) + " / " + fmt_double(s_dcgan, 2));
       ++row;
     }
   }
-  std::cout << "\n";
-  table.print(std::cout);
+  ctx.out() << "\n";
+  table.print(ctx.out());
 
-  bench::section("summary");
-  bench::recap("best grid speedup (ResNet-50)", "1.27x",
-               fmt_speedup(best_resnet));
-  bench::recap("best grid speedup (DCGAN)", "1.28x", fmt_speedup(best_dcgan));
-  return 0;
+  ctx.section("summary");
+  ctx.recap("best grid speedup (ResNet-50)", "1.27x",
+            fmt_speedup(best_resnet));
+  ctx.recap("best grid speedup (DCGAN)", "1.28x", fmt_speedup(best_dcgan));
+  ctx.metric("resnet50/baseline_step_ms", base_resnet);
+  ctx.metric("dcgan/baseline_step_ms", base_dcgan);
+  ctx.metric("resnet50/best_grid_speedup", best_resnet, "ratio",
+             Direction::kHigherIsBetter);
+  ctx.metric("dcgan/best_grid_speedup", best_dcgan, "ratio",
+             Direction::kHigherIsBetter);
 }
+
+}  // namespace
+
+void register_table1_parallelism_grid(Registry& reg) {
+  Benchmark b;
+  b.name = "table1_parallelism_grid";
+  b.figure = "Table I";
+  b.description = "step time across the inter-op x intra-op manual grid";
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

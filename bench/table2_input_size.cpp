@@ -3,18 +3,18 @@
 // thread count and the performance variance vs. always using 68 threads.
 #include <vector>
 
-#include "bench/bench_util.hpp"
+#include "all_benchmarks.hpp"
 #include "machine/cost_model.hpp"
 #include "models/op_factory.hpp"
-#include "util/flags.hpp"
+#include "util/table.hpp"
 
-using namespace opsched;
+namespace opsched::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const int runs = flags.get_int("runs", 1000);
+void run(Context& ctx) {
+  const int runs = ctx.param_int("runs", 1000);
 
-  bench::header("Table II", "impact of input data size on the optimum");
+  ctx.header("Table II", "impact of input data size on the optimum");
 
   const MachineSpec spec = MachineSpec::knl();
   const CostModel model(spec);
@@ -44,16 +44,36 @@ int main(int argc, char** argv) {
                      op.input_shape.to_string(),
                      fmt_double(best.time_ms * runs / 1000.0, 1),
                      std::to_string(best.threads), fmt_percent(variance, 1)});
-      bench::recap(std::string(op_kind_name(kinds[ki])) + " " +
-                       op.input_shape.to_string(),
-                   std::to_string(paper_opt[ki][si]) + " thr",
-                   std::to_string(best.threads) + " thr");
+      ctx.recap(std::string(op_kind_name(kinds[ki])) + " " +
+                    op.input_shape.to_string(),
+                std::to_string(paper_opt[ki][si]) + " thr",
+                std::to_string(best.threads) + " thr");
+      const std::string key = std::string(op_kind_name(kinds[ki])) + "/shape" +
+                              std::to_string(si);
+      ctx.metric(key + "/best_ms", best.time_ms);
+      ctx.metric(key + "/best_threads", static_cast<double>(best.threads),
+                 "threads", Direction::kInfo);
+      ctx.metric(key + "/variance_vs_default", variance, "ratio",
+                 Direction::kHigherIsBetter);
     }
     if (ki + 1 < 3) table.add_rule();
   }
-  std::cout << "\n";
-  table.print(std::cout);
-  std::cout << "Observation 2 (paper): the best concurrency changes with the "
+  ctx.out() << "\n";
+  table.print(ctx.out());
+  ctx.out() << "Observation 2 (paper): the best concurrency changes with the "
                "input data size.\n";
-  return 0;
 }
+
+}  // namespace
+
+void register_table2_input_size(Registry& reg) {
+  Benchmark b;
+  b.name = "table2_input_size";
+  b.figure = "Table II";
+  b.description = "optimal intra-op width as a function of input size";
+  b.default_params = {{"runs", "1000"}};
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

@@ -3,13 +3,12 @@
 //   serial execution (68 threads each)            — baseline,
 //   hyper-threaded co-run (68+68 on shared cores) — paper speedup 1.03x,
 //   partitioned co-run (34+34 disjoint cores)     — paper speedup 1.38x.
-#include "bench/bench_util.hpp"
+#include "all_benchmarks.hpp"
 #include "machine/sim_machine.hpp"
 #include "models/op_factory.hpp"
-#include "util/flags.hpp"
+#include "util/table.hpp"
 
-using namespace opsched;
-
+namespace opsched::bench {
 namespace {
 
 /// Runs the two ops under a launcher callback and returns the span.
@@ -22,13 +21,10 @@ double span_of(SimMachine& machine, LaunchFn&& launch) {
   return last;
 }
 
-}  // namespace
+void run(Context& ctx) {
+  const int runs = ctx.param_int("runs", 1000);
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const int runs = flags.get_int("runs", 1000);
-
-  bench::header("Table III", "co-running two operations, three strategies");
+  ctx.header("Table III", "co-running two operations, three strategies");
 
   const MachineSpec spec = MachineSpec::knl();
   const CostModel model(spec);
@@ -69,20 +65,41 @@ int main(int argc, char** argv) {
                  fmt_double(ht * scale, 1), fmt_double(serial / ht, 2)});
   table.add_row({"Co-run with threads control", "34+34",
                  fmt_double(split * scale, 1), fmt_double(serial / split, 2)});
-  table.print(std::cout);
+  table.print(ctx.out());
 
-  bench::section("paper vs measured");
-  bench::recap("hyper-threading co-run speedup", "1.03x",
-               fmt_speedup(serial / ht));
-  bench::recap("partitioned co-run speedup", "1.38x",
-               fmt_speedup(serial / split));
+  ctx.section("paper vs measured");
+  ctx.recap("hyper-threading co-run speedup", "1.03x",
+            fmt_speedup(serial / ht));
+  ctx.recap("partitioned co-run speedup", "1.38x",
+            fmt_speedup(serial / split));
   const double bf34 = model.exec_time_ms(bf, 34, AffinityMode::kSpread);
   const double bf68 = model.exec_time_ms(bf, 68, AffinityMode::kSpread);
   const double bi34 = model.exec_time_ms(bi, 34, AffinityMode::kSpread);
   const double bi68 = model.exec_time_ms(bi, 68, AffinityMode::kSpread);
-  bench::recap("BackpropFilter loss at 34 thr", "25%",
-               fmt_percent((bf34 - bf68) / bf34, 0));
-  bench::recap("BackpropInput loss at 34 thr", "17%",
-               fmt_percent((bi34 - bi68) / bi34, 0));
-  return 0;
+  ctx.recap("BackpropFilter loss at 34 thr", "25%",
+            fmt_percent((bf34 - bf68) / bf34, 0));
+  ctx.recap("BackpropInput loss at 34 thr", "17%",
+            fmt_percent((bi34 - bi68) / bi34, 0));
+
+  ctx.metric("serial_ms", serial);
+  ctx.metric("hyperthread_corun_ms", ht);
+  ctx.metric("partitioned_corun_ms", split);
+  ctx.metric("hyperthread_speedup", serial / ht, "ratio",
+             Direction::kHigherIsBetter);
+  ctx.metric("partitioned_speedup", serial / split, "ratio",
+             Direction::kHigherIsBetter);
 }
+
+}  // namespace
+
+void register_table3_corun_strategies(Registry& reg) {
+  Benchmark b;
+  b.name = "table3_corun_strategies";
+  b.figure = "Table III";
+  b.description = "serial vs hyper-threaded vs partitioned two-op co-run";
+  b.default_params = {{"runs", "1000"}};
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

@@ -5,16 +5,15 @@
 // with the small-op models (DCGAN, LSTM) degrading fastest.
 #include <set>
 
-#include "bench/bench_util.hpp"
+#include "all_benchmarks.hpp"
 #include "machine/cost_model.hpp"
 #include "models/models.hpp"
 #include "perf/hill_climb.hpp"
 #include "perf/perf_db.hpp"
-#include "util/flags.hpp"
 #include "util/stats.hpp"
+#include "util/table.hpp"
 
-using namespace opsched;
-
+namespace opsched::bench {
 namespace {
 
 /// Accuracy of interpolated predictions vs ground truth over every
@@ -53,13 +52,8 @@ double model_accuracy(const Graph& g, const CostModel& model, int interval) {
   return mape_accuracy(y_true, y_pred);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  (void)flags;
-
-  bench::header("Table V", "hill-climb model prediction accuracy");
+void run(Context& ctx) {
+  ctx.header("Table V", "hill-climb model prediction accuracy");
 
   const MachineSpec spec = MachineSpec::knl();
   const CostModel model(spec);
@@ -84,14 +78,32 @@ int main(int argc, char** argv) {
     for (int ii = 0; ii < 4; ++ii) {
       const double acc = model_accuracy(row.graph, model, intervals[ii]);
       cells.push_back(fmt_percent(acc, 2));
-      bench::recap(std::string(row.name) + " x=" + std::to_string(intervals[ii]),
-                   fmt_double(row.paper[ii], 2) + "%", fmt_percent(acc, 2));
+      ctx.recap(std::string(row.name) + " x=" + std::to_string(intervals[ii]),
+                fmt_double(row.paper[ii], 2) + "%", fmt_percent(acc, 2));
+      // x=4 is the runtime's operating point; gate only that column.
+      ctx.metric(std::string(row.name) + "/accuracy_x" +
+                     std::to_string(intervals[ii]),
+                 acc, "ratio",
+                 intervals[ii] == 4 ? Direction::kHigherIsBetter
+                                    : Direction::kInfo);
     }
     table.add_row(cells);
   }
-  std::cout << "\n";
-  table.print(std::cout);
-  std::cout << "Shape to match: accuracy high at x=2/4, collapsing by x=16; "
+  ctx.out() << "\n";
+  table.print(ctx.out());
+  ctx.out() << "Shape to match: accuracy high at x=2/4, collapsing by x=16; "
                "small-op models (DCGAN/LSTM) collapse fastest.\n";
-  return 0;
 }
+
+}  // namespace
+
+void register_table5_hillclimb_accuracy(Registry& reg) {
+  Benchmark b;
+  b.name = "table5_hillclimb_accuracy";
+  b.figure = "Table V";
+  b.description = "hill-climb model accuracy vs sampling interval";
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

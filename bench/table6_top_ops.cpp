@@ -5,19 +5,17 @@
 #include <algorithm>
 #include <map>
 
-#include "bench/bench_util.hpp"
+#include "all_benchmarks.hpp"
 #include "core/runtime.hpp"
 #include "models/models.hpp"
-#include "util/flags.hpp"
+#include "util/table.hpp"
 
-using namespace opsched;
+namespace opsched::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  (void)flags;
-
-  bench::header("Table VI",
-                "top-5 op kinds: recommendation vs Strategies 1+2");
+void run(Context& ctx) {
+  ctx.header("Table VI",
+             "top-5 op kinds: recommendation vs Strategies 1+2");
 
   const MachineSpec spec = MachineSpec::knl();
 
@@ -49,21 +47,38 @@ int main(int argc, char** argv) {
       return a.second.rec > b.second.rec;
     });
 
-    bench::section(name);
+    ctx.section(name);
     TablePrinter table({"Operation", "Recommendation (ms)",
                         "Strategies 1+2 (ms)", "Speedup"});
+    double top5_rec = 0.0, top5_s12 = 0.0;
     for (std::size_t i = 0; i < std::min<std::size_t>(5, sorted.size()); ++i) {
       const auto& [kind, a] = sorted[i];
       table.add_row({std::string(op_kind_name(kind)), fmt_double(a.rec, 2),
                      fmt_double(a.s12, 2), fmt_double(a.rec / a.s12, 2)});
+      top5_rec += a.rec;
+      top5_s12 += a.s12;
     }
-    table.print(std::cout);
+    table.print(ctx.out());
+    ctx.metric(name + "/top5_s12_speedup", top5_rec / top5_s12, "ratio",
+               Direction::kHigherIsBetter);
   }
 
-  bench::section("paper reference points");
-  bench::recap("ResNet-50 Conv2DBackpropFilter", "1.08x", "see table");
-  bench::recap("DCGAN Conv2DBackpropFilter", "1.21x", "see table");
-  bench::recap("LSTM SparseSoftmaxCross", "1.34x", "see table");
-  bench::recap("speedup range over top-5 ops", "1.01-1.34x", "see tables");
-  return 0;
+  ctx.section("paper reference points");
+  ctx.recap("ResNet-50 Conv2DBackpropFilter", "1.08x", "see table");
+  ctx.recap("DCGAN Conv2DBackpropFilter", "1.21x", "see table");
+  ctx.recap("LSTM SparseSoftmaxCross", "1.34x", "see table");
+  ctx.recap("speedup range over top-5 ops", "1.01-1.34x", "see tables");
 }
+
+}  // namespace
+
+void register_table6_top_ops(Registry& reg) {
+  Benchmark b;
+  b.name = "table6_top_ops";
+  b.figure = "Table VI";
+  b.description = "top-5 op kinds, recommendation vs Strategies 1+2";
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

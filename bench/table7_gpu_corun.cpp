@@ -1,38 +1,40 @@
 // Table VII: co-running two instances of an op on two CUDA streams vs
 // running them serially, for the five ops that dominate the three conv
 // models' GPU time. Paper speedups: 1.75-1.91x.
-#include "bench/bench_util.hpp"
+#include "all_benchmarks.hpp"
 #include "gpu/gpu_model.hpp"
 #include "models/op_factory.hpp"
-#include "util/flags.hpp"
+#include "util/table.hpp"
 
-using namespace opsched;
+namespace opsched::bench {
+namespace {
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
-  const int runs = flags.get_int("runs", 10000);
+void run(Context& ctx) {
+  const int runs = ctx.param_int("runs", 10000);
 
-  bench::header("Table VII", "GPU two-stream co-run vs serial");
+  ctx.header("Table VII", "GPU two-stream co-run vs serial");
 
   const GpuCostModel model(GpuSpec::p100());
 
   struct Case {
     const char* name;
+    const char* key;
     Node op;
     double paper_speedup;
   };
   const Case cases[] = {
-      {"Conv2DBackpropFilter",
+      {"Conv2DBackpropFilter", "conv2d_backprop_filter",
        make_conv_op(OpKind::kConv2DBackpropFilter, 32, 17, 17, 384, 3, 3, 384),
        1.78},
-      {"Conv2DBackpropInput",
+      {"Conv2DBackpropInput", "conv2d_backprop_input",
        make_conv_op(OpKind::kConv2DBackpropInput, 32, 17, 17, 384, 3, 3, 384),
        1.84},
-      {"Conv2D", make_conv_op(OpKind::kConv2D, 32, 17, 17, 384, 3, 3, 384),
-       1.91},
-      {"BiasAdd", make_activation_op(OpKind::kBiasAdd, 32, 17, 17, 768), 1.79},
-      {"MaxPooling", make_activation_op(OpKind::kMaxPool, 32, 35, 35, 288),
-       1.75},
+      {"Conv2D", "conv2d",
+       make_conv_op(OpKind::kConv2D, 32, 17, 17, 384, 3, 3, 384), 1.91},
+      {"BiasAdd", "bias_add",
+       make_activation_op(OpKind::kBiasAdd, 32, 17, 17, 768), 1.79},
+      {"MaxPooling", "max_pool",
+       make_activation_op(OpKind::kMaxPool, 32, 35, 35, 288), 1.75},
   };
 
   TablePrinter table({"Operations", "Strategies", "Time (s)", "Speedup"});
@@ -42,12 +44,27 @@ int main(int argc, char** argv) {
                    "1.00"});
     table.add_row({"", "Co-run", fmt_double(r.corun_ms / 1000, 1),
                    fmt_double(r.speedup, 2)});
-    bench::recap(std::string(c.name) + " co-run speedup",
-                 fmt_speedup(c.paper_speedup), fmt_speedup(r.speedup));
+    ctx.recap(std::string(c.name) + " co-run speedup",
+              fmt_speedup(c.paper_speedup), fmt_speedup(r.speedup));
+    ctx.metric(std::string(c.key) + "/corun_speedup", r.speedup, "ratio",
+               Direction::kHigherIsBetter);
   }
-  std::cout << "\n";
-  table.print(std::cout);
-  std::cout << "cuDNN-style kernels at these shapes keep ~half the device "
+  ctx.out() << "\n";
+  table.print(ctx.out());
+  ctx.out() << "cuDNN-style kernels at these shapes keep ~half the device "
                "busy; a second stream almost doubles throughput.\n";
-  return 0;
 }
+
+}  // namespace
+
+void register_table7_gpu_corun(Registry& reg) {
+  Benchmark b;
+  b.name = "table7_gpu_corun";
+  b.figure = "Table VII";
+  b.description = "GPU two-stream co-run speedup over serial execution";
+  b.default_params = {{"runs", "10000"}};
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

@@ -5,6 +5,8 @@
 //                        [--steps 3] [--trace out.json] [--load db.txt]
 //   opsched_cli grid     --model resnet50
 //   opsched_cli compare  --model inception_v3
+//   opsched_cli bench    [--list] [--filter a,b] [--repeats N] [--json FILE]
+//                        (same flags as the opsched_bench runner)
 #include <algorithm>
 #include <iostream>
 #include <map>
@@ -15,21 +17,42 @@
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
+#ifdef OPSCHED_CLI_HAVE_BENCH
+#include "all_benchmarks.hpp"
+#include "bench/driver.hpp"
+#endif
+
 using namespace opsched;
 
 namespace {
 
 int usage() {
   std::cerr
-      << "usage: opsched_cli <profile|schedule|grid|compare> --model NAME\n"
+      << "usage: opsched_cli <profile|schedule|grid|compare|bench> "
+         "[--model NAME]\n"
          "  models: resnet50 dcgan inception_v3 lstm toy_cnn\n"
          "  profile : hill-climb all unique ops, print chosen widths\n"
          "            [--interval X] [--save FILE]\n"
          "  schedule: run adaptive steps  [--strategies s12|s123|all]\n"
          "            [--steps N] [--trace FILE]\n"
          "  grid    : Table-I style inter-op x intra-op sweep\n"
-         "  compare : recommendation vs manual grid vs adaptive\n";
+         "  compare : recommendation vs manual grid vs adaptive\n"
+         "  bench   : run the registered paper benchmarks (--list, --filter,\n"
+         "            --repeats, --json, --baseline — see opsched_bench)\n";
   return 2;
+}
+
+int cmd_bench(const Flags& flags) {
+#ifdef OPSCHED_CLI_HAVE_BENCH
+  bench::Registry registry;
+  bench::register_all(registry);
+  return bench::run_cli(registry, flags, std::cout, std::cerr);
+#else
+  (void)flags;
+  std::cerr << "error: this opsched_cli was built without the benchmark "
+               "suite (configure with -DOPSCHED_BUILD_BENCH=ON)\n";
+  return 2;
+#endif
 }
 
 unsigned parse_strategies(const std::string& s) {
@@ -145,6 +168,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   const Flags flags(argc - 1, argv + 1);
+  if (cmd == "bench") return cmd_bench(flags);
   const std::string model = flags.get("model", "resnet50");
 
   Graph g;

@@ -1,0 +1,221 @@
+#include "bench/driver.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <iostream>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace opsched::bench {
+
+namespace {
+
+/// Parses "k=v,k2=v2" into a map; entries without '=' are ignored.
+std::map<std::string, std::string> parse_param_overrides(
+    const std::string& spec) {
+  std::map<std::string, std::string> out;
+  for (const std::string& term : split_csv(spec)) {
+    const std::size_t eq = term.find('=');
+    if (eq != std::string::npos && eq > 0)
+      out[term.substr(0, eq)] = term.substr(eq + 1);
+  }
+  return out;
+}
+
+/// A --flag given without a value parses as "true" (Flags convention); for
+/// flags that need a file path that is a usage error, not a path.
+bool missing_path(const std::string& path) {
+  return path.empty() || path == "true";
+}
+
+void print_list(const Registry& registry, std::ostream& out) {
+  TablePrinter table({"Name", "Figure/Table", "Measures"});
+  for (const Benchmark& b : registry.benchmarks())
+    table.add_row({b.name, b.figure, b.description});
+  table.set_title(std::to_string(registry.size()) + " registered benchmarks");
+  table.print(out);
+}
+
+void print_summary(const Report& report, std::ostream& out) {
+  TablePrinter table({"Benchmark", "Metric", "Unit", "Median", "p95", "n"});
+  for (const BenchmarkReport& b : report.benchmarks) {
+    bool first = true;
+    for (const MetricReport& m : b.metrics) {
+      table.add_row({first ? b.name : "", m.name, m.unit,
+                     fmt_double(m.stats.median, 4), fmt_double(m.stats.p95, 4),
+                     std::to_string(m.stats.count)});
+      first = false;
+    }
+    if (b.metrics.empty()) table.add_row({b.name, "(no metrics)", "", "", "", ""});
+  }
+  table.set_title("harness summary (median/p95 over " +
+                  std::to_string(report.repeats) + " repeats)");
+  out << "\n";
+  table.print(out);
+}
+
+void print_diff(const DiffResult& diff, std::ostream& out) {
+  TablePrinter table(
+      {"Benchmark", "Metric", "Baseline", "Current", "Change", "Verdict"});
+  for (const MetricDiff& d : diff.entries) {
+    std::string change = d.change > 0 ? "+" : "";
+    change += fmt_percent(d.change == 0 ? 0.0 : d.change, 1);
+    if (d.direction == Direction::kHigherIsBetter) change += " (drop)";
+    table.add_row({d.benchmark, d.metric, fmt_double(d.baseline_median, 4),
+                   fmt_double(d.current_median, 4), change,
+                   d.regressed ? "REGRESSION" : "ok"});
+  }
+  table.set_title("baseline comparison (threshold " +
+                  fmt_percent(diff.threshold, 0) + " on medians)");
+  out << "\n";
+  table.print(out);
+}
+
+}  // namespace
+
+void print_usage(std::ostream& out) {
+  out << "usage: opsched_bench [--list] [--filter a,b] [--repeats N]\n"
+         "                     [--warmup N] [--params k=v,k2=v2]\n"
+         "                     [--json FILE] [--baseline FILE]\n"
+         "                     [--threshold 0.10] [--quiet]\n"
+         "  --list      print the registered benchmarks and exit\n"
+         "  --filter    comma-separated substrings; a benchmark runs if any\n"
+         "              term matches its name (default: run everything)\n"
+         "  --repeats   measured repeats per benchmark (default 1)\n"
+         "  --warmup    unrecorded warmup repeats (default 0)\n"
+         "  --params    override benchmark parameters, e.g. runs=100\n"
+         "  --json      write a schema-versioned JSON report\n"
+         "  --baseline  diff medians against a previous --json report and\n"
+         "              exit " << kExitRegression
+      << " when any non-info metric regresses\n"
+         "  --threshold relative regression threshold (default 0.10)\n"
+         "  --quiet     suppress per-benchmark tables (summary still prints)\n";
+}
+
+Report run_benchmarks(const std::vector<const Benchmark*>& selected,
+                      const std::map<std::string, std::string>& param_overrides,
+                      int repeats, int warmup, bool quiet,
+                      const std::string& filter, std::ostream* stream) {
+  Report report;
+  report.machine = MachineInfo::from(MachineSpec::knl(), "knl-sim");
+  report.repeats = repeats;
+  report.warmup = warmup;
+  report.filter = filter;
+
+  for (const Benchmark* bench : selected) {
+    std::map<std::string, std::string> params = bench->default_params;
+    for (const auto& [k, v] : param_overrides) params[k] = v;
+
+    std::vector<MetricSeries> series;
+    for (int r = 0; r < warmup + repeats; ++r) {
+      const bool measured = r >= warmup;
+      const bool first_measured = r == warmup;
+      Context ctx(params, /*verbose=*/first_measured && !quiet,
+                  /*first_repeat=*/first_measured,
+                  measured ? &series : nullptr, stream);
+      bench->fn(ctx);
+    }
+
+    BenchmarkReport b;
+    b.name = bench->name;
+    b.figure = bench->figure;
+    b.params = std::move(params);
+    for (const MetricSeries& s : series)
+      b.metrics.push_back(MetricReport::from(s));
+    report.benchmarks.push_back(std::move(b));
+  }
+  return report;
+}
+
+int run_cli(const Registry& registry, const Flags& flags, std::ostream& out,
+            std::ostream& err) {
+  if (flags.has("help")) {
+    print_usage(out);
+    return kExitOk;
+  }
+  if (flags.has("list")) {
+    print_list(registry, out);
+    return kExitOk;
+  }
+
+  const std::string filter = flags.get("filter", "");
+  const int repeats = flags.get_int("repeats", 1);
+  const int warmup = flags.get_int("warmup", 0);
+  const bool quiet = flags.get_bool("quiet", false);
+  const double threshold = flags.get_double("threshold", 0.10);
+  if (repeats < 1 || warmup < 0) {
+    err << "error: --repeats must be >= 1 and --warmup >= 0\n";
+    return kExitUsage;
+  }
+
+  const std::vector<const Benchmark*> selected = registry.match(filter);
+  if (selected.empty()) {
+    err << "error: no benchmark matches filter '" << filter
+        << "' (see --list)\n";
+    return kExitUsage;
+  }
+
+  Report report;
+  try {
+    report = run_benchmarks(selected,
+                            parse_param_overrides(flags.get("params", "")),
+                            repeats, warmup, quiet, filter, &out);
+  } catch (const std::exception& e) {
+    err << "error: benchmark failed: " << e.what() << "\n";
+    return kExitFailure;
+  }
+
+  print_summary(report, out);
+
+  if (flags.has("json")) {
+    const std::string path = flags.get("json", "");
+    if (missing_path(path)) {
+      err << "error: --json requires a file path\n";
+      return kExitUsage;
+    }
+    try {
+      save_file(report, path);
+      out << "report written to " << path << "\n";
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << "\n";
+      return kExitFailure;
+    }
+  }
+
+  if (flags.has("baseline")) {
+    const std::string base_path = flags.get("baseline", "");
+    if (missing_path(base_path)) {
+      err << "error: --baseline requires a file path\n";
+      return kExitUsage;
+    }
+    Report baseline;
+    try {
+      baseline = load_file(base_path);
+    } catch (const std::exception& e) {
+      err << "error: cannot load baseline: " << e.what() << "\n";
+      return kExitUsage;
+    }
+    const DiffResult diff = diff_reports(baseline, report, threshold);
+    if (diff.entries.empty()) {
+      // A gate that compared nothing must not report success — renamed
+      // metrics or changed params would otherwise silently disable it.
+      err << "error: no comparable metrics between baseline and current "
+             "report (check --filter and --params against the baseline)\n";
+      return kExitFailure;
+    }
+    print_diff(diff, out);
+    if (diff.has_regressions()) {
+      err << "error: " << diff.regressions().size()
+          << " metric(s) regressed more than " << fmt_percent(threshold, 0)
+          << " vs baseline\n";
+      return kExitRegression;
+    }
+    out << "no regressions vs baseline (" << diff.entries.size()
+        << " metrics compared, threshold " << fmt_percent(threshold, 0)
+        << ")\n";
+  }
+  return kExitOk;
+}
+
+}  // namespace opsched::bench

@@ -1,0 +1,46 @@
+// Command-line driver behind both the `opsched_bench` runner and the
+// `opsched_cli bench` subcommand. Parses the harness flags, runs the
+// selected benchmarks warmup+repeats times, prints a summary, and handles
+// --json emission and --baseline regression diffing.
+#pragma once
+
+#include <iosfwd>
+
+#include "bench/registry.hpp"
+#include "bench/reporter.hpp"
+#include "util/flags.hpp"
+
+namespace opsched::bench {
+
+/// Exit codes of run_cli (also the runner's process exit code).
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitFailure = 1;  // benchmark threw / report unwritable
+inline constexpr int kExitUsage = 2;    // bad flags, no match, bad baseline
+inline constexpr int kExitRegression = 3;
+
+void print_usage(std::ostream& out);
+
+/// Runs the harness CLI against `registry`:
+///   --list              print registered benchmarks and exit
+///   --filter a,b        comma-separated substring filter (default: all)
+///   --repeats N         measured repeats per benchmark (default 1)
+///   --warmup N          unrecorded warmup repeats (default 0)
+///   --params k=v,k2=v2  override benchmark parameters
+///   --json FILE         write the schema-versioned JSON report
+///   --baseline FILE     diff against a previous report, exit 3 on
+///                       regressions worse than --threshold (default 0.10)
+///   --quiet             suppress the per-benchmark tables
+/// `registry` is only read; out/err receive the human-readable output.
+int run_cli(const Registry& registry, const Flags& flags, std::ostream& out,
+            std::ostream& err);
+
+/// The run loop without CLI parsing: executes `selected` with the merged
+/// parameters and returns the aggregated report (exposed for tests).
+/// `stream` receives the benchmarks' own tables/recaps (null = std::cout).
+Report run_benchmarks(const std::vector<const Benchmark*>& selected,
+                      const std::map<std::string, std::string>& param_overrides,
+                      int repeats, int warmup, bool quiet,
+                      const std::string& filter,
+                      std::ostream* stream = nullptr);
+
+}  // namespace opsched::bench

@@ -1,0 +1,129 @@
+#include "bench/registry.hpp"
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <stdexcept>
+
+namespace opsched::bench {
+
+namespace {
+
+/// Stream with a null buffer: every insertion is discarded.
+std::ostream& null_stream() {
+  static std::ostream stream(nullptr);
+  return stream;
+}
+
+}  // namespace
+
+const char* direction_name(Direction d) noexcept {
+  switch (d) {
+    case Direction::kLowerIsBetter: return "lower_is_better";
+    case Direction::kHigherIsBetter: return "higher_is_better";
+    case Direction::kInfo: return "info";
+  }
+  return "info";
+}
+
+Direction direction_from_name(const std::string& name) {
+  if (name == "lower_is_better") return Direction::kLowerIsBetter;
+  if (name == "higher_is_better") return Direction::kHigherIsBetter;
+  if (name == "info") return Direction::kInfo;
+  throw std::invalid_argument("unknown metric direction: " + name);
+}
+
+std::vector<std::string> split_csv(const std::string& spec) {
+  std::vector<std::string> terms;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t end = std::min(spec.find(',', begin), spec.size());
+    if (end > begin) terms.push_back(spec.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return terms;
+}
+
+std::string Context::param(const std::string& name,
+                           const std::string& def) const {
+  const auto it = params_.find(name);
+  return it == params_.end() ? def : it->second;
+}
+
+int Context::param_int(const std::string& name, int def) const {
+  const auto it = params_.find(name);
+  return it == params_.end() ? def : std::atoi(it->second.c_str());
+}
+
+double Context::param_double(const std::string& name, double def) const {
+  const auto it = params_.find(name);
+  return it == params_.end() ? def : std::atof(it->second.c_str());
+}
+
+std::ostream& Context::out() const {
+  if (!verbose_) return null_stream();
+  return stream_ != nullptr ? *stream_ : std::cout;
+}
+
+void Context::header(const std::string& experiment,
+                     const std::string& what) const {
+  out() << "\n================================================================\n"
+        << experiment << " — " << what << "\n"
+        << "================================================================\n";
+}
+
+void Context::section(const std::string& title) const {
+  out() << "\n--- " << title << " ---\n";
+}
+
+void Context::recap(const std::string& item, const std::string& paper,
+                    const std::string& measured) const {
+  out() << "  " << std::left << std::setw(44) << item << " paper: "
+        << std::setw(12) << paper << " measured: " << measured << "\n";
+}
+
+void Context::metric(const std::string& name, double value,
+                     const std::string& unit, Direction direction) {
+  if (sink_ == nullptr) return;  // warmup repeat: drop the sample
+  for (MetricSeries& series : *sink_) {
+    if (series.name == name) {
+      series.samples.push_back(value);
+      return;
+    }
+  }
+  sink_->push_back(MetricSeries{name, unit, direction, {value}});
+}
+
+void Registry::add(Benchmark b) {
+  if (b.name.empty())
+    throw std::invalid_argument("benchmark name must not be empty");
+  if (!b.fn)
+    throw std::invalid_argument("benchmark '" + b.name +
+                                "' has no run function");
+  if (!names_.insert(b.name).second)
+    throw std::invalid_argument("duplicate benchmark name: " + b.name);
+  benchmarks_.push_back(std::move(b));
+}
+
+const Benchmark* Registry::find(const std::string& name) const {
+  for (const Benchmark& b : benchmarks_)
+    if (b.name == name) return &b;
+  return nullptr;
+}
+
+std::vector<const Benchmark*> Registry::match(const std::string& filter) const {
+  std::vector<const Benchmark*> out;
+  for (const Benchmark& b : benchmarks_)
+    if (filter_matches(filter, b.name)) out.push_back(&b);
+  return out;
+}
+
+bool Registry::filter_matches(const std::string& filter,
+                              const std::string& name) {
+  if (filter.empty()) return true;
+  for (const std::string& term : split_csv(filter))
+    if (name.find(term) != std::string::npos) return true;
+  return false;
+}
+
+}  // namespace opsched::bench

@@ -1,0 +1,143 @@
+// Benchmark registry and run context — the harness layer every bench/*.cpp
+// program registers into. A benchmark is a named run function plus default
+// parameters; the `opsched_bench` runner (and `opsched_cli bench`) selects
+// benchmarks by filter, runs them warmup+repeats times, and aggregates the
+// metric samples each run records through its Context.
+//
+// Thread-safety: Registry and Context are single-threaded by design — the
+// runner executes benchmarks sequentially so timing runs never contend.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <ostream>  // Context::out() exists to be streamed into
+#include <set>
+#include <string>
+#include <vector>
+
+namespace opsched::bench {
+
+/// How a metric should be read when diffing against a baseline report.
+enum class Direction {
+  kLowerIsBetter,   // times, latencies — regression when it grows
+  kHigherIsBetter,  // speedups, accuracies — regression when it shrinks
+  kInfo,            // descriptive values (chosen widths, eval counts);
+                    // excluded from regression checks
+};
+
+const char* direction_name(Direction d) noexcept;
+/// Inverse of direction_name; throws std::invalid_argument on unknown names.
+Direction direction_from_name(const std::string& name);
+
+/// Splits "a,b,c" into its non-empty terms (shared by --filter and
+/// --params parsing).
+std::vector<std::string> split_csv(const std::string& spec);
+
+/// One named metric and the samples collected for it across repeats.
+struct MetricSeries {
+  std::string name;
+  std::string unit;
+  Direction direction = Direction::kLowerIsBetter;
+  std::vector<double> samples;
+};
+
+/// Per-run environment handed to every benchmark run function. Provides
+/// - parameters (benchmark defaults overridden from the command line),
+/// - a metric sink (samples accumulate across repeats; null during warmup),
+/// - verbosity control so tables print once, not once per repeat.
+///
+/// Lifetime: the Context only borrows `sink`; the caller (the driver) owns
+/// the series storage and must keep it alive for the duration of run().
+class Context {
+ public:
+  /// `stream` receives all human-readable output (tables, recaps); null
+  /// means std::cout. Not owned; must outlive the Context.
+  Context(std::map<std::string, std::string> params, bool verbose,
+          bool first_repeat, std::vector<MetricSeries>* sink,
+          std::ostream* stream = nullptr)
+      : params_(std::move(params)),
+        verbose_(verbose),
+        first_repeat_(first_repeat),
+        sink_(sink),
+        stream_(stream) {}
+
+  // -- parameters ---------------------------------------------------------
+  std::string param(const std::string& name, const std::string& def) const;
+  int param_int(const std::string& name, int def) const;
+  double param_double(const std::string& name, double def) const;
+
+  // -- output -------------------------------------------------------------
+  /// True on the first measured repeat when not running --quiet: tables and
+  /// recap lines should print exactly once per invocation.
+  bool verbose() const noexcept { return verbose_; }
+  /// True on the first measured repeat regardless of --quiet — side-effect
+  /// files (CSV series) are written once here.
+  bool first_repeat() const noexcept { return first_repeat_; }
+  /// The configured stream when verbose(), a discarding null stream
+  /// otherwise, so benchmarks can print unconditionally.
+  std::ostream& out() const;
+
+  /// Banner/recap helpers (no-ops unless verbose()). These used to live in
+  /// the deleted bench/bench_util.hpp as free functions.
+  void header(const std::string& experiment, const std::string& what) const;
+  void section(const std::string& title) const;
+  /// Paper-vs-measured recap line.
+  void recap(const std::string& item, const std::string& paper,
+             const std::string& measured) const;
+
+  // -- metrics ------------------------------------------------------------
+  /// Appends one sample for `name`, creating the series on first use. The
+  /// same name must keep the same unit/direction across calls and repeats.
+  void metric(const std::string& name, double value,
+              const std::string& unit = "ms",
+              Direction direction = Direction::kLowerIsBetter);
+
+ private:
+  std::map<std::string, std::string> params_;
+  bool verbose_ = false;
+  bool first_repeat_ = false;
+  std::vector<MetricSeries>* sink_ = nullptr;  // not owned; null in warmup
+  std::ostream* stream_ = nullptr;             // not owned; null = std::cout
+};
+
+using RunFn = std::function<void(Context&)>;
+
+/// A registered benchmark. `name` doubles as the filter key and the source
+/// file basename (bench/<name>.cpp) — the docs lint relies on that.
+struct Benchmark {
+  std::string name;
+  std::string figure;  // the paper figure/table it reproduces, or "ext"
+  std::string description;
+  std::map<std::string, std::string> default_params;
+  RunFn fn;
+};
+
+/// Ordered collection of benchmarks. Registration order is preserved so
+/// --list output is stable.
+class Registry {
+ public:
+  /// Registers `b`. Throws std::invalid_argument if the name is empty,
+  /// already taken, or the run function is missing.
+  void add(Benchmark b);
+
+  const std::vector<Benchmark>& benchmarks() const noexcept {
+    return benchmarks_;
+  }
+  std::size_t size() const noexcept { return benchmarks_.size(); }
+
+  const Benchmark* find(const std::string& name) const;
+
+  /// Benchmarks whose name matches `filter`: a comma-separated list of
+  /// case-sensitive substrings, any of which may match; the empty filter
+  /// matches everything.
+  std::vector<const Benchmark*> match(const std::string& filter) const;
+
+  static bool filter_matches(const std::string& filter,
+                             const std::string& name);
+
+ private:
+  std::vector<Benchmark> benchmarks_;
+  std::set<std::string> names_;
+};
+
+}  // namespace opsched::bench

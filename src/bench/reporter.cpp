@@ -1,0 +1,485 @@
+#include "bench/reporter.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace opsched::bench {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON writing. The schema is small and fixed, so the writer is a handful of
+// helpers rather than a general serialiser.
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing: a minimal recursive-descent parser covering exactly the
+// grammar to_json emits (objects, arrays, strings, numbers, bools, null).
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  // unique_ptr keeps the recursive type sized.
+  std::unique_ptr<JsonArray> array;
+  std::unique_ptr<JsonObject> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const std::string& lit) {
+    if (text_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return JsonValue{};
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    v.object = std::make_unique<JsonObject>();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      (*v.object)[std::move(key)] = parse_value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    v.array = std::make_unique<JsonArray>();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array->push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          const unsigned code =
+              std::stoul(text_.substr(pos_, 4), nullptr, 16);
+          pos_ += 4;
+          // The writer only emits \u for control characters; decode the
+          // ASCII range and replace anything else with '?'.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// Typed accessors with schema-error messages.
+const JsonValue& member(const JsonValue& obj, const std::string& key) {
+  if (obj.kind != JsonValue::Kind::kObject)
+    throw std::runtime_error("report schema: expected object around '" + key +
+                             "'");
+  const auto it = obj.object->find(key);
+  if (it == obj.object->end())
+    throw std::runtime_error("report schema: missing key '" + key + "'");
+  return it->second;
+}
+
+double num_member(const JsonValue& obj, const std::string& key) {
+  const JsonValue& v = member(obj, key);
+  if (v.kind != JsonValue::Kind::kNumber)
+    throw std::runtime_error("report schema: '" + key + "' must be a number");
+  return v.number;
+}
+
+std::string str_member(const JsonValue& obj, const std::string& key) {
+  const JsonValue& v = member(obj, key);
+  if (v.kind != JsonValue::Kind::kString)
+    throw std::runtime_error("report schema: '" + key + "' must be a string");
+  return v.string;
+}
+
+const JsonArray& array_member(const JsonValue& obj, const std::string& key) {
+  const JsonValue& v = member(obj, key);
+  if (v.kind != JsonValue::Kind::kArray)
+    throw std::runtime_error("report schema: '" + key + "' must be an array");
+  return *v.array;
+}
+
+double worse_by(const MetricDiff& d) {
+  if (d.baseline_median == 0.0) return 0.0;
+  const double rel = (d.current_median - d.baseline_median) /
+                     std::abs(d.baseline_median);
+  return d.direction == Direction::kHigherIsBetter ? -rel : rel;
+}
+
+}  // namespace
+
+MachineInfo MachineInfo::from(const MachineSpec& spec, std::string name) {
+  MachineInfo info;
+  info.name = std::move(name);
+  info.num_cores = spec.num_cores;
+  info.cores_per_tile = spec.cores_per_tile;
+  info.hw_threads_per_core = spec.hw_threads_per_core;
+  info.core_gflops = spec.core_gflops;
+  info.dram_bw_gbs = spec.dram_bw_gbs;
+  return info;
+}
+
+MetricReport MetricReport::from(const MetricSeries& series) {
+  MetricReport m;
+  m.name = series.name;
+  m.unit = series.unit;
+  m.direction = series.direction;
+  m.samples = series.samples;
+  m.stats = SampleStats::from(series.samples);
+  return m;
+}
+
+const MetricReport* BenchmarkReport::find_metric(
+    const std::string& metric_name) const {
+  for (const MetricReport& m : metrics)
+    if (m.name == metric_name) return &m;
+  return nullptr;
+}
+
+const BenchmarkReport* Report::find(const std::string& benchmark_name) const {
+  for (const BenchmarkReport& b : benchmarks)
+    if (b.name == benchmark_name) return &b;
+  return nullptr;
+}
+
+std::string to_json(const Report& report) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": " << report.schema_version << ",\n";
+  out << "  \"generator\": \"" << json_escape(report.generator) << "\",\n";
+  out << "  \"machine\": {\"name\": \"" << json_escape(report.machine.name)
+      << "\", \"num_cores\": " << report.machine.num_cores
+      << ", \"cores_per_tile\": " << report.machine.cores_per_tile
+      << ", \"hw_threads_per_core\": " << report.machine.hw_threads_per_core
+      << ", \"core_gflops\": " << json_number(report.machine.core_gflops)
+      << ", \"dram_bw_gbs\": " << json_number(report.machine.dram_bw_gbs)
+      << "},\n";
+  out << "  \"run\": {\"repeats\": " << report.repeats
+      << ", \"warmup\": " << report.warmup << ", \"filter\": \""
+      << json_escape(report.filter) << "\"},\n";
+  out << "  \"benchmarks\": [";
+  for (std::size_t bi = 0; bi < report.benchmarks.size(); ++bi) {
+    const BenchmarkReport& b = report.benchmarks[bi];
+    out << (bi == 0 ? "\n" : ",\n");
+    out << "    {\"name\": \"" << json_escape(b.name) << "\", \"figure\": \""
+        << json_escape(b.figure) << "\",\n     \"params\": {";
+    bool first = true;
+    for (const auto& [k, v] : b.params) {
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << json_escape(k) << "\": \"" << json_escape(v) << "\"";
+    }
+    out << "},\n     \"metrics\": [";
+    for (std::size_t mi = 0; mi < b.metrics.size(); ++mi) {
+      const MetricReport& m = b.metrics[mi];
+      out << (mi == 0 ? "\n" : ",\n");
+      out << "      {\"name\": \"" << json_escape(m.name) << "\", \"unit\": \""
+          << json_escape(m.unit) << "\", \"direction\": \""
+          << direction_name(m.direction) << "\", "
+          << "\"count\": " << m.stats.count << ", "
+          << "\"median\": " << json_number(m.stats.median) << ", "
+          << "\"p95\": " << json_number(m.stats.p95) << ", "
+          << "\"mean\": " << json_number(m.stats.mean) << ", "
+          << "\"min\": " << json_number(m.stats.min) << ", "
+          << "\"max\": " << json_number(m.stats.max) << ", "
+          << "\"stddev\": " << json_number(m.stats.stddev) << ", "
+          << "\"samples\": [";
+      for (std::size_t si = 0; si < m.samples.size(); ++si) {
+        if (si != 0) out << ", ";
+        out << json_number(m.samples[si]);
+      }
+      out << "]}";
+    }
+    out << "\n     ]}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+Report from_json(const std::string& json) {
+  const JsonValue doc = JsonParser(json).parse();
+
+  Report report;
+  report.schema_version = static_cast<int>(num_member(doc, "schema_version"));
+  if (report.schema_version != kSchemaVersion)
+    throw std::runtime_error(
+        "unsupported report schema_version " +
+        std::to_string(report.schema_version) + " (this build reads " +
+        std::to_string(kSchemaVersion) + ")");
+  report.generator = str_member(doc, "generator");
+
+  const JsonValue& machine = member(doc, "machine");
+  report.machine.name = str_member(machine, "name");
+  report.machine.num_cores =
+      static_cast<std::size_t>(num_member(machine, "num_cores"));
+  report.machine.cores_per_tile =
+      static_cast<std::size_t>(num_member(machine, "cores_per_tile"));
+  report.machine.hw_threads_per_core =
+      static_cast<std::size_t>(num_member(machine, "hw_threads_per_core"));
+  report.machine.core_gflops = num_member(machine, "core_gflops");
+  report.machine.dram_bw_gbs = num_member(machine, "dram_bw_gbs");
+
+  const JsonValue& run = member(doc, "run");
+  report.repeats = static_cast<int>(num_member(run, "repeats"));
+  report.warmup = static_cast<int>(num_member(run, "warmup"));
+  report.filter = str_member(run, "filter");
+
+  for (const JsonValue& bval : array_member(doc, "benchmarks")) {
+    BenchmarkReport b;
+    b.name = str_member(bval, "name");
+    b.figure = str_member(bval, "figure");
+    const JsonValue& params = member(bval, "params");
+    if (params.kind != JsonValue::Kind::kObject)
+      throw std::runtime_error("report schema: 'params' must be an object");
+    for (const auto& [k, v] : *params.object) {
+      if (v.kind != JsonValue::Kind::kString)
+        throw std::runtime_error("report schema: param values are strings");
+      b.params[k] = v.string;
+    }
+    for (const JsonValue& mval : array_member(bval, "metrics")) {
+      MetricReport m;
+      m.name = str_member(mval, "name");
+      m.unit = str_member(mval, "unit");
+      m.direction = direction_from_name(str_member(mval, "direction"));
+      m.stats.count = static_cast<std::size_t>(num_member(mval, "count"));
+      m.stats.median = num_member(mval, "median");
+      m.stats.p95 = num_member(mval, "p95");
+      m.stats.mean = num_member(mval, "mean");
+      m.stats.min = num_member(mval, "min");
+      m.stats.max = num_member(mval, "max");
+      m.stats.stddev = num_member(mval, "stddev");
+      for (const JsonValue& sval : array_member(mval, "samples")) {
+        if (sval.kind != JsonValue::Kind::kNumber)
+          throw std::runtime_error("report schema: samples must be numbers");
+        m.samples.push_back(sval.number);
+      }
+      b.metrics.push_back(std::move(m));
+    }
+    report.benchmarks.push_back(std::move(b));
+  }
+  return report;
+}
+
+void save_file(const Report& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << to_json(report);
+  if (!out) throw std::runtime_error("failed writing " + path);
+}
+
+Report load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_json(buf.str());
+}
+
+bool DiffResult::has_regressions() const {
+  for (const MetricDiff& d : entries)
+    if (d.regressed) return true;
+  return false;
+}
+
+std::vector<const MetricDiff*> DiffResult::regressions() const {
+  std::vector<const MetricDiff*> out;
+  for (const MetricDiff& d : entries)
+    if (d.regressed) out.push_back(&d);
+  return out;
+}
+
+DiffResult diff_reports(const Report& baseline, const Report& current,
+                        double threshold) {
+  DiffResult result;
+  result.threshold = threshold;
+  for (const BenchmarkReport& cur_bench : current.benchmarks) {
+    const BenchmarkReport* base_bench = baseline.find(cur_bench.name);
+    if (base_bench == nullptr) continue;
+    // Different parameters mean a different workload — medians are not
+    // comparable, so skip rather than report a spurious regression.
+    if (base_bench->params != cur_bench.params) continue;
+    for (const MetricReport& cur : cur_bench.metrics) {
+      if (cur.direction == Direction::kInfo) continue;
+      const MetricReport* base = base_bench->find_metric(cur.name);
+      if (base == nullptr || base->direction == Direction::kInfo) continue;
+      if (base->stats.count == 0 || cur.stats.count == 0) continue;
+      MetricDiff d;
+      d.benchmark = cur_bench.name;
+      d.metric = cur.name;
+      d.unit = cur.unit;
+      d.direction = cur.direction;
+      d.baseline_median = base->stats.median;
+      d.current_median = cur.stats.median;
+      d.change = worse_by(d);
+      d.regressed = d.change > threshold;
+      result.entries.push_back(d);
+    }
+  }
+  return result;
+}
+
+}  // namespace opsched::bench

@@ -1,0 +1,112 @@
+// Machine-readable benchmark reports. One Report is the result of one
+// `opsched_bench` invocation: the machine spec, the run configuration, and
+// per-benchmark metric summaries (median/p95/... plus the raw samples).
+// Reports serialise to a schema-versioned JSON document (see
+// docs/BENCHMARKS.md for the schema) and can be diffed against a baseline
+// report to flag regressions — the pure-C++ replacement for a
+// bench_compare.py.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/registry.hpp"
+#include "bench/stats.hpp"
+#include "machine/machine_spec.hpp"
+
+namespace opsched::bench {
+
+/// Bumped whenever the JSON layout changes incompatibly; readers reject
+/// unknown versions instead of misparsing them.
+inline constexpr int kSchemaVersion = 1;
+
+/// The machine a report was produced on/about. For the simulated benches
+/// this is the cost-model preset, not the host.
+struct MachineInfo {
+  std::string name;
+  std::size_t num_cores = 0;
+  std::size_t cores_per_tile = 0;
+  std::size_t hw_threads_per_core = 0;
+  double core_gflops = 0.0;
+  double dram_bw_gbs = 0.0;
+
+  static MachineInfo from(const MachineSpec& spec, std::string name);
+};
+
+/// One metric of one benchmark: summary stats plus the raw samples.
+struct MetricReport {
+  std::string name;
+  std::string unit;
+  Direction direction = Direction::kLowerIsBetter;
+  SampleStats stats;
+  std::vector<double> samples;
+
+  static MetricReport from(const MetricSeries& series);
+};
+
+/// All metrics of one benchmark run, with the parameters it ran under.
+struct BenchmarkReport {
+  std::string name;
+  std::string figure;
+  std::map<std::string, std::string> params;
+  std::vector<MetricReport> metrics;
+
+  const MetricReport* find_metric(const std::string& metric_name) const;
+};
+
+struct Report {
+  int schema_version = kSchemaVersion;
+  std::string generator = "opsched_bench";
+  MachineInfo machine;
+  int repeats = 1;
+  int warmup = 0;
+  std::string filter;
+  std::vector<BenchmarkReport> benchmarks;
+
+  const BenchmarkReport* find(const std::string& benchmark_name) const;
+};
+
+/// Serialises `report` as a JSON document (stable key order).
+std::string to_json(const Report& report);
+
+/// Parses a document produced by to_json. Throws std::runtime_error on
+/// malformed JSON or an unsupported schema_version.
+Report from_json(const std::string& json);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_file(const Report& report, const std::string& path);
+Report load_file(const std::string& path);
+
+/// One (benchmark, metric) comparison between a baseline and a current
+/// report. `change` is the signed relative change of the median in the
+/// metric's "bad" direction: +0.12 means 12% worse (slower / less accurate).
+struct MetricDiff {
+  std::string benchmark;
+  std::string metric;
+  std::string unit;
+  Direction direction = Direction::kLowerIsBetter;
+  double baseline_median = 0.0;
+  double current_median = 0.0;
+  double change = 0.0;
+  bool regressed = false;
+};
+
+struct DiffResult {
+  double threshold = 0.10;
+  std::vector<MetricDiff> entries;  // every comparable non-info metric
+
+  bool has_regressions() const;
+  std::vector<const MetricDiff*> regressions() const;
+};
+
+/// Compares every non-info metric present in both reports by median.
+/// A metric regresses when it is more than `threshold` worse than the
+/// baseline in its direction (slower for kLowerIsBetter, smaller for
+/// kHigherIsBetter). Metrics missing from either side are skipped, as are
+/// benchmarks whose params differ between the reports (different workload,
+/// not comparable).
+DiffResult diff_reports(const Report& baseline, const Report& current,
+                        double threshold = 0.10);
+
+}  // namespace opsched::bench

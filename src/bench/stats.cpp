@@ -1,0 +1,20 @@
+#include "bench/stats.hpp"
+
+#include "util/stats.hpp"
+
+namespace opsched::bench {
+
+SampleStats SampleStats::from(std::span<const double> samples) {
+  SampleStats s;
+  if (samples.empty()) return s;
+  s.count = samples.size();
+  s.mean = opsched::mean(samples);
+  s.median = opsched::median(samples);
+  s.p95 = opsched::percentile(samples, 95.0);
+  s.min = opsched::min_of(samples);
+  s.max = opsched::max_of(samples);
+  s.stddev = opsched::stddev(samples);
+  return s;
+}
+
+}  // namespace opsched::bench

@@ -1,0 +1,26 @@
+// Sample aggregation for the benchmark harness: one SampleStats summarises
+// the repeats of a single metric. Built on the pure functions in
+// util/stats.hpp; this header only adds the aggregate struct the reporter
+// serialises.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace opsched::bench {
+
+/// Summary statistics over the samples of one metric. All fields are 0 for
+/// an empty sample set.
+struct SampleStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;  // linear-interpolated 95th percentile
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1); 0 for n < 2
+
+  static SampleStats from(std::span<const double> samples);
+};
+
+}  // namespace opsched::bench

@@ -1,0 +1,21 @@
+// Wall-clock timing helper for the real-thread micro benchmarks. Kept in
+// the harness so every micro bench measures the same way (one warmup call,
+// then a timed steady_clock loop).
+#pragma once
+
+#include <chrono>
+
+namespace opsched::bench {
+
+/// Wall-clock microseconds per iteration of `fn` (one warmup call first).
+template <typename Fn>
+double time_per_iter_us(int iters, Fn&& fn) {
+  fn();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(stop - start).count() /
+         iters;
+}
+
+}  // namespace opsched::bench

@@ -41,6 +41,14 @@ struct StepResult {
   double mean_corun = 0.0;
 };
 
+/// Lifetime: the scheduler keeps a reference to `controller`, which must
+/// outlive it (Runtime owns both and guarantees this; standalone users must
+/// too). `options` is copied at construction.
+///
+/// Thread-safety: NOT thread-safe. run_step mutates the learned state
+/// (decision cache, interference record), so each SimMachine/step must be
+/// driven from one thread at a time; concurrent steps need one scheduler
+/// per thread. The referenced ConcurrencyController is only read.
 class CorunScheduler {
  public:
   CorunScheduler(const ConcurrencyController& controller,

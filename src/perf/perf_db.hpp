@@ -28,6 +28,15 @@ struct OpKey {
   auto operator<=>(const OpKey&) const = default;
 };
 
+/// Lifetime: ConcurrencyController (and therefore Runtime) holds a
+/// reference to the database it profiles into — the database must outlive
+/// any controller constructed over it. References returned by at()/find()
+/// are invalidated by put()/load() for that key (and by destruction), but
+/// not by inserting other keys (std::map stability).
+///
+/// Thread-safety: NOT thread-safe. Profiling writes (put/load) must be
+/// externally serialised against readers; the steady-state scheduler path
+/// only reads, so concurrent read-only use after profiling is safe.
 class PerfDatabase {
  public:
   /// Inserts or replaces the curve for `key`.

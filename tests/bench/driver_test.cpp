@@ -1,0 +1,168 @@
+// End-to-end harness driver coverage: run_cli over a synthetic registry,
+// JSON emission, parameter overrides, and the --baseline regression gate
+// (an injected 10%+ slowdown must flip the exit code to kExitRegression).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "bench/driver.hpp"
+
+namespace opsched::bench {
+namespace {
+
+/// Builds Flags from a token list (argv[0] is synthesised).
+class ArgvFlags {
+ public:
+  explicit ArgvFlags(std::vector<std::string> tokens)
+      : tokens_(std::move(tokens)) {
+    argv_.push_back(const_cast<char*>("opsched_bench"));
+    for (std::string& t : tokens_) argv_.push_back(t.data());
+  }
+  Flags flags() { return Flags(static_cast<int>(argv_.size()), argv_.data()); }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::vector<char*> argv_;
+};
+
+/// A registry with one benchmark whose metric value is controlled by the
+/// "step_ms" parameter — the knob the regression tests turn.
+Registry synthetic_registry() {
+  Registry reg;
+  Benchmark b;
+  b.name = "synthetic_step";
+  b.figure = "Figure 0";
+  b.description = "emits step_ms from its parameter";
+  b.default_params = {{"step_ms", "100"}};
+  b.fn = [](Context& ctx) {
+    ctx.out() << "synthetic benchmark table\n";
+    ctx.metric("step_ms", ctx.param_double("step_ms", 100.0));
+    ctx.metric("speedup", 100.0 / ctx.param_double("step_ms", 100.0), "ratio",
+               Direction::kHigherIsBetter);
+  };
+  reg.add(std::move(b));
+  return reg;
+}
+
+int run(const Registry& reg, std::vector<std::string> tokens,
+        std::string* out_text = nullptr) {
+  ArgvFlags argv(std::move(tokens));
+  std::ostringstream out, err;
+  const int rc = run_cli(reg, argv.flags(), out, err);
+  if (out_text != nullptr) *out_text = out.str() + err.str();
+  return rc;
+}
+
+TEST(DriverTest, ListPrintsRegisteredBenchmarks) {
+  const Registry reg = synthetic_registry();
+  std::string text;
+  EXPECT_EQ(run(reg, {"--list"}, &text), kExitOk);
+  EXPECT_NE(text.find("synthetic_step"), std::string::npos);
+  EXPECT_NE(text.find("Figure 0"), std::string::npos);
+}
+
+TEST(DriverTest, BenchmarkOutputGoesToTheCallerStream) {
+  const Registry reg = synthetic_registry();
+  std::string text;
+  EXPECT_EQ(run(reg, {"--filter", "synthetic"}, &text), kExitOk);
+  // The benchmark's own prints land in the captured stream, once.
+  EXPECT_NE(text.find("synthetic benchmark table"), std::string::npos);
+
+  std::string quiet_text;
+  EXPECT_EQ(run(reg, {"--filter", "synthetic", "--quiet"}, &quiet_text),
+            kExitOk);
+  EXPECT_EQ(quiet_text.find("synthetic benchmark table"), std::string::npos);
+}
+
+TEST(DriverTest, UnmatchedFilterIsAUsageError) {
+  const Registry reg = synthetic_registry();
+  EXPECT_EQ(run(reg, {"--filter", "nonexistent"}), kExitUsage);
+  EXPECT_EQ(run(reg, {"--repeats", "0"}), kExitUsage);
+}
+
+TEST(DriverTest, RepeatsProduceThatManySamples) {
+  // run_benchmarks is the run loop under run_cli; check sample plumbing.
+  const Registry reg = synthetic_registry();
+  const Report report = run_benchmarks(reg.match(""), {}, /*repeats=*/3,
+                                       /*warmup=*/1, /*quiet=*/true, "");
+  ASSERT_EQ(report.benchmarks.size(), 1u);
+  const MetricReport* m = report.benchmarks[0].find_metric("step_ms");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->stats.count, 3u);  // warmup samples are dropped
+  EXPECT_DOUBLE_EQ(m->stats.median, 100.0);
+  EXPECT_EQ(report.repeats, 3);
+  EXPECT_EQ(report.warmup, 1);
+}
+
+TEST(DriverTest, JsonFlagWritesSchemaVersionedReport) {
+  const Registry reg = synthetic_registry();
+  const std::string path = ::testing::TempDir() + "/BENCH_driver.json";
+  EXPECT_EQ(run(reg, {"--quiet", "--repeats", "3", "--json", path}), kExitOk);
+  const Report report = load_file(path);
+  EXPECT_EQ(report.schema_version, kSchemaVersion);
+  ASSERT_EQ(report.benchmarks.size(), 1u);
+  EXPECT_EQ(report.benchmarks[0].params.at("step_ms"), "100");
+  EXPECT_EQ(report.benchmarks[0].find_metric("step_ms")->stats.count, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(DriverTest, BaselineDiffDetectsInjectedSlowdown) {
+  const Registry reg = synthetic_registry();
+  const std::string base_path = ::testing::TempDir() + "/BENCH_base.json";
+
+  // Baseline run at the default 100ms step.
+  ASSERT_EQ(run(reg, {"--quiet", "--json", base_path}), kExitOk);
+
+  // Doctor the baseline so the (unchanged) current run reads 12% slower —
+  // the injected slowdown the diff must flag with a "regression" exit.
+  Report base = load_file(base_path);
+  for (MetricReport& m : base.benchmarks[0].metrics)
+    if (m.name == "step_ms") m.stats.median = 100.0 / 1.12;
+  save_file(base, base_path);
+
+  std::string text;
+  EXPECT_EQ(run(reg, {"--quiet", "--baseline", base_path}, &text),
+            kExitRegression);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+
+  // The same 12% delta passes a looser threshold.
+  EXPECT_EQ(run(reg, {"--quiet", "--baseline", base_path, "--threshold",
+                      "0.15"}),
+            kExitOk);
+  std::remove(base_path.c_str());
+}
+
+TEST(DriverTest, BaselineWithDifferentParamsIsNotCompared) {
+  const Registry reg = synthetic_registry();
+  const std::string base_path = ::testing::TempDir() + "/BENCH_params.json";
+  ASSERT_EQ(run(reg, {"--quiet", "--json", base_path}), kExitOk);
+
+  // A 2x "slowdown" via a parameter override is a different workload, not
+  // a regression — but a gate that compared nothing must not pass either.
+  std::string text;
+  EXPECT_EQ(run(reg,
+                {"--quiet", "--params", "step_ms=200", "--baseline",
+                 base_path},
+                &text),
+            kExitFailure);
+  EXPECT_EQ(text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(text.find("no comparable metrics"), std::string::npos);
+  std::remove(base_path.c_str());
+}
+
+TEST(DriverTest, JsonAndBaselineRequireAPath) {
+  const Registry reg = synthetic_registry();
+  EXPECT_EQ(run(reg, {"--quiet", "--json"}), kExitUsage);
+  EXPECT_EQ(run(reg, {"--quiet", "--baseline"}), kExitUsage);
+}
+
+TEST(DriverTest, MissingBaselineFileIsAUsageError) {
+  const Registry reg = synthetic_registry();
+  EXPECT_EQ(run(reg, {"--quiet", "--baseline", "/nonexistent/base.json"}),
+            kExitUsage);
+}
+
+}  // namespace
+}  // namespace opsched::bench

@@ -1,0 +1,149 @@
+// Registry, Context, and SampleStats coverage for the opsched::bench
+// harness layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "bench/registry.hpp"
+#include "bench/stats.hpp"
+
+namespace opsched::bench {
+namespace {
+
+Benchmark make_bench(const std::string& name) {
+  Benchmark b;
+  b.name = name;
+  b.figure = "Figure 0";
+  b.description = "test benchmark";
+  b.fn = [](Context&) {};
+  return b;
+}
+
+TEST(RegistryTest, PreservesRegistrationOrder) {
+  Registry reg;
+  reg.add(make_bench("bravo"));
+  reg.add(make_bench("alpha"));
+  ASSERT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.benchmarks()[0].name, "bravo");
+  EXPECT_EQ(reg.benchmarks()[1].name, "alpha");
+}
+
+TEST(RegistryTest, RejectsDuplicateNames) {
+  Registry reg;
+  reg.add(make_bench("fig1_op_scaling"));
+  EXPECT_THROW(reg.add(make_bench("fig1_op_scaling")), std::invalid_argument);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(RegistryTest, RejectsEmptyNameAndMissingRunFn) {
+  Registry reg;
+  EXPECT_THROW(reg.add(make_bench("")), std::invalid_argument);
+  Benchmark no_fn = make_bench("valid");
+  no_fn.fn = nullptr;
+  EXPECT_THROW(reg.add(std::move(no_fn)), std::invalid_argument);
+}
+
+TEST(RegistryTest, FindReturnsNullForUnknown) {
+  Registry reg;
+  reg.add(make_bench("fig1"));
+  EXPECT_NE(reg.find("fig1"), nullptr);
+  EXPECT_EQ(reg.find("fig2"), nullptr);
+}
+
+TEST(RegistryTest, EmptyFilterMatchesEverything) {
+  Registry reg;
+  reg.add(make_bench("fig1_op_scaling"));
+  reg.add(make_bench("table3_corun"));
+  EXPECT_EQ(reg.match("").size(), 2u);
+}
+
+TEST(RegistryTest, FilterMatchesSubstrings) {
+  Registry reg;
+  reg.add(make_bench("fig1_op_scaling"));
+  reg.add(make_bench("fig3_strategy_breakdown"));
+  reg.add(make_bench("table3_corun"));
+
+  const auto figs = reg.match("fig");
+  ASSERT_EQ(figs.size(), 2u);
+  EXPECT_EQ(figs[0]->name, "fig1_op_scaling");
+
+  EXPECT_EQ(reg.match("fig1").size(), 1u);
+  EXPECT_EQ(reg.match("nonexistent").size(), 0u);
+}
+
+TEST(RegistryTest, CommaSeparatedFilterIsAnyOf) {
+  Registry reg;
+  reg.add(make_bench("fig1_op_scaling"));
+  reg.add(make_bench("fig3_strategy_breakdown"));
+  reg.add(make_bench("table3_corun"));
+  EXPECT_EQ(reg.match("fig1,table3").size(), 2u);
+  EXPECT_EQ(reg.match("fig1,,").size(), 1u);  // empty terms are ignored
+}
+
+TEST(ContextTest, ParamsFallBackToDefaults) {
+  Context ctx({{"runs", "42"}, {"scale", "1.5"}}, false, false, nullptr);
+  EXPECT_EQ(ctx.param_int("runs", 7), 42);
+  EXPECT_EQ(ctx.param_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(ctx.param_double("scale", 0.0), 1.5);
+  EXPECT_EQ(ctx.param("missing", "def"), "def");
+}
+
+TEST(ContextTest, MetricsAccumulateAcrossRepeats) {
+  std::vector<MetricSeries> sink;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    Context ctx({}, false, repeat == 0, &sink);
+    ctx.metric("step_ms", 10.0 + repeat);
+    ctx.metric("speedup", 1.4, "ratio", Direction::kHigherIsBetter);
+  }
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink[0].name, "step_ms");
+  EXPECT_EQ(sink[0].samples, (std::vector<double>{10.0, 11.0, 12.0}));
+  EXPECT_EQ(sink[1].unit, "ratio");
+  EXPECT_EQ(sink[1].direction, Direction::kHigherIsBetter);
+}
+
+TEST(ContextTest, NullSinkDropsMetrics) {
+  Context ctx({}, false, false, nullptr);  // a warmup repeat
+  ctx.metric("step_ms", 10.0);             // must not crash
+}
+
+TEST(DirectionTest, NamesRoundTrip) {
+  for (const Direction d : {Direction::kLowerIsBetter,
+                            Direction::kHigherIsBetter, Direction::kInfo})
+    EXPECT_EQ(direction_from_name(direction_name(d)), d);
+  EXPECT_THROW(direction_from_name("sideways"), std::invalid_argument);
+}
+
+TEST(SampleStatsTest, EmptyIsAllZero) {
+  const SampleStats s = SampleStats::from({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.median, 0.0);
+  EXPECT_EQ(s.p95, 0.0);
+}
+
+TEST(SampleStatsTest, KnownInputs) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0, 5.0};
+  const SampleStats s = SampleStats::from(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  // Linear-interpolated p95 over {1..5}: index 0.95*(n-1) = 3.8 -> 4.8.
+  EXPECT_NEAR(s.p95, 4.8, 1e-12);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(SampleStatsTest, SingleSample) {
+  const std::vector<double> xs = {7.25};
+  const SampleStats s = SampleStats::from(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.median, 7.25);
+  EXPECT_DOUBLE_EQ(s.p95, 7.25);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace opsched::bench

@@ -1,0 +1,204 @@
+// JSON round-trip and baseline-diff coverage for the bench reporter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "bench/reporter.hpp"
+
+namespace opsched::bench {
+namespace {
+
+MetricReport make_metric(const std::string& name, std::vector<double> samples,
+                         Direction direction = Direction::kLowerIsBetter,
+                         const std::string& unit = "ms") {
+  MetricSeries series{name, unit, direction, std::move(samples)};
+  return MetricReport::from(series);
+}
+
+Report make_report() {
+  Report report;
+  report.machine = MachineInfo::from(MachineSpec::knl(), "knl-sim");
+  report.repeats = 3;
+  report.warmup = 1;
+  report.filter = "fig1";
+
+  BenchmarkReport b;
+  b.name = "fig1_op_scaling";
+  b.figure = "Figure 1";
+  b.params = {{"runs", "1000"}};
+  b.metrics.push_back(make_metric("conv2d/best_ms", {10.0, 11.0, 10.5}));
+  b.metrics.push_back(make_metric("conv2d/gain_over_default", {0.17, 0.18, 0.17},
+                                  Direction::kHigherIsBetter, "ratio"));
+  b.metrics.push_back(make_metric("conv2d/best_threads", {45.0},
+                                  Direction::kInfo, "threads"));
+  report.benchmarks.push_back(std::move(b));
+  return report;
+}
+
+TEST(ReporterTest, JsonRoundTripPreservesEverything) {
+  const Report original = make_report();
+  const Report parsed = from_json(to_json(original));
+
+  EXPECT_EQ(parsed.schema_version, kSchemaVersion);
+  EXPECT_EQ(parsed.generator, "opsched_bench");
+  EXPECT_EQ(parsed.machine.name, "knl-sim");
+  EXPECT_EQ(parsed.machine.num_cores, 68u);
+  EXPECT_EQ(parsed.machine.hw_threads_per_core, 4u);
+  EXPECT_DOUBLE_EQ(parsed.machine.dram_bw_gbs, original.machine.dram_bw_gbs);
+  EXPECT_EQ(parsed.repeats, 3);
+  EXPECT_EQ(parsed.warmup, 1);
+  EXPECT_EQ(parsed.filter, "fig1");
+
+  ASSERT_EQ(parsed.benchmarks.size(), 1u);
+  const BenchmarkReport& b = parsed.benchmarks[0];
+  EXPECT_EQ(b.name, "fig1_op_scaling");
+  EXPECT_EQ(b.figure, "Figure 1");
+  EXPECT_EQ(b.params.at("runs"), "1000");
+  ASSERT_EQ(b.metrics.size(), 3u);
+
+  const MetricReport* m = b.find_metric("conv2d/best_ms");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->unit, "ms");
+  EXPECT_EQ(m->direction, Direction::kLowerIsBetter);
+  EXPECT_EQ(m->samples, (std::vector<double>{10.0, 11.0, 10.5}));
+  EXPECT_EQ(m->stats.count, 3u);
+  EXPECT_DOUBLE_EQ(m->stats.median, 10.5);
+
+  const MetricReport* gain = b.find_metric("conv2d/gain_over_default");
+  ASSERT_NE(gain, nullptr);
+  EXPECT_EQ(gain->direction, Direction::kHigherIsBetter);
+
+  const MetricReport* info = b.find_metric("conv2d/best_threads");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->direction, Direction::kInfo);
+}
+
+TEST(ReporterTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/BENCH_roundtrip.json";
+  save_file(make_report(), path);
+  const Report loaded = load_file(path);
+  EXPECT_EQ(loaded.benchmarks.size(), 1u);
+  EXPECT_EQ(loaded.benchmarks[0].name, "fig1_op_scaling");
+  std::remove(path.c_str());
+}
+
+TEST(ReporterTest, RejectsMalformedJson) {
+  EXPECT_THROW(from_json("{"), std::runtime_error);
+  EXPECT_THROW(from_json("not json at all"), std::runtime_error);
+  EXPECT_THROW(from_json("{}"), std::runtime_error);  // missing keys
+}
+
+TEST(ReporterTest, RejectsUnknownSchemaVersion) {
+  std::string json = to_json(make_report());
+  const std::string needle = "\"schema_version\": 1";
+  json.replace(json.find(needle), needle.size(), "\"schema_version\": 999");
+  EXPECT_THROW(from_json(json), std::runtime_error);
+}
+
+TEST(ReporterTest, LoadFileThrowsOnMissingFile) {
+  EXPECT_THROW(load_file("/nonexistent/BENCH_nope.json"), std::runtime_error);
+}
+
+// --- baseline diff --------------------------------------------------------
+
+Report report_with_metric(const std::string& bench_name,
+                          const std::string& metric_name,
+                          std::vector<double> samples, Direction direction) {
+  Report r;
+  r.machine = MachineInfo::from(MachineSpec::knl(), "knl-sim");
+  BenchmarkReport b;
+  b.name = bench_name;
+  b.figure = "Figure 1";
+  b.metrics.push_back(make_metric(metric_name, std::move(samples), direction));
+  r.benchmarks.push_back(std::move(b));
+  return r;
+}
+
+TEST(DiffTest, FlagsInjectedTenPercentSlowdown) {
+  const Report baseline = report_with_metric(
+      "fig1_op_scaling", "conv2d/best_ms", {100.0, 100.0, 100.0},
+      Direction::kLowerIsBetter);
+  // Injected slowdown: 12% above the baseline median, past the 10% gate.
+  const Report slow = report_with_metric(
+      "fig1_op_scaling", "conv2d/best_ms", {112.0, 112.0, 112.0},
+      Direction::kLowerIsBetter);
+
+  const DiffResult diff = diff_reports(baseline, slow, 0.10);
+  ASSERT_EQ(diff.entries.size(), 1u);
+  EXPECT_TRUE(diff.has_regressions());
+  const MetricDiff& d = diff.entries[0];
+  EXPECT_TRUE(d.regressed);
+  EXPECT_EQ(d.benchmark, "fig1_op_scaling");
+  EXPECT_EQ(d.metric, "conv2d/best_ms");
+  EXPECT_NEAR(d.change, 0.12, 1e-12);
+}
+
+TEST(DiffTest, SmallChangesPass) {
+  const Report baseline = report_with_metric(
+      "b", "m", {100.0}, Direction::kLowerIsBetter);
+  const Report current = report_with_metric(
+      "b", "m", {105.0}, Direction::kLowerIsBetter);
+  const DiffResult diff = diff_reports(baseline, current, 0.10);
+  ASSERT_EQ(diff.entries.size(), 1u);
+  EXPECT_FALSE(diff.has_regressions());
+  EXPECT_NEAR(diff.entries[0].change, 0.05, 1e-12);
+}
+
+TEST(DiffTest, ImprovementIsNotARegression) {
+  const Report baseline = report_with_metric(
+      "b", "m", {100.0}, Direction::kLowerIsBetter);
+  const Report current = report_with_metric(
+      "b", "m", {50.0}, Direction::kLowerIsBetter);
+  EXPECT_FALSE(diff_reports(baseline, current, 0.10).has_regressions());
+}
+
+TEST(DiffTest, HigherIsBetterRegressesOnDrop) {
+  const Report baseline = report_with_metric(
+      "fig3", "resnet50/speedup_vs_recommendation", {1.50},
+      Direction::kHigherIsBetter);
+  const Report dropped = report_with_metric(
+      "fig3", "resnet50/speedup_vs_recommendation", {1.20},
+      Direction::kHigherIsBetter);
+  const DiffResult diff = diff_reports(baseline, dropped, 0.10);
+  ASSERT_EQ(diff.entries.size(), 1u);
+  EXPECT_TRUE(diff.entries[0].regressed);
+  EXPECT_NEAR(diff.entries[0].change, 0.20, 1e-12);
+
+  // The reverse direction (speedup grew) must pass.
+  EXPECT_FALSE(diff_reports(dropped, baseline, 0.10).has_regressions());
+}
+
+TEST(DiffTest, MismatchedParamsAreSkipped) {
+  Report baseline = report_with_metric("b", "m", {100.0},
+                                       Direction::kLowerIsBetter);
+  Report current = report_with_metric("b", "m", {200.0},
+                                      Direction::kLowerIsBetter);
+  baseline.benchmarks[0].params = {{"runs", "1000"}};
+  current.benchmarks[0].params = {{"runs", "2000"}};
+  EXPECT_TRUE(diff_reports(baseline, current, 0.10).entries.empty());
+
+  // Identical params compare as usual.
+  current.benchmarks[0].params = {{"runs", "1000"}};
+  EXPECT_TRUE(diff_reports(baseline, current, 0.10).has_regressions());
+}
+
+TEST(DiffTest, InfoMetricsAndMissingMetricsAreSkipped) {
+  const Report baseline = report_with_metric(
+      "b", "width", {34.0}, Direction::kInfo);
+  const Report current = report_with_metric(
+      "b", "width", {68.0}, Direction::kInfo);
+  EXPECT_TRUE(diff_reports(baseline, current, 0.10).entries.empty());
+
+  const Report other = report_with_metric(
+      "b", "other_metric", {1.0}, Direction::kLowerIsBetter);
+  EXPECT_TRUE(diff_reports(baseline, other, 0.10).entries.empty());
+
+  const Report other_bench = report_with_metric(
+      "different_bench", "width", {1.0}, Direction::kLowerIsBetter);
+  EXPECT_TRUE(diff_reports(baseline, other_bench, 0.10).entries.empty());
+}
+
+}  // namespace
+}  // namespace opsched::bench
