@@ -17,6 +17,7 @@ void register_all(Registry& reg) {
   register_ablation_design_choices(reg);
   register_ext_gpu_tuner(reg);
   register_ext_multi_knl(reg);
+  register_host_corun(reg);
   register_micro_kernels(reg);
   register_micro_threadpool(reg);
 }

@@ -1,0 +1,123 @@
+// host_corun: the native-execution benchmark family — REAL kernels on real
+// pinned threads, scheduled three ways over the MNIST host workload:
+//   fifo            inter=2, intra=all cores (TF-default-style
+//                   oversubscription: two full-width ops stacked)
+//   recommendation  inter=1, intra=all cores (the paper's recommended
+//                   baseline: one op at a time, full width)
+//   adaptive        Strategies 1-4 via HostCorunExecutor + the shared
+//                   AdmissionPolicy, widths from hill-climb profiling of
+//                   the real kernels
+// This is the paper's Figure-3 comparison re-run on physical hardware
+// instead of the simulator. Samples are genuine wall-clock — expect
+// run-to-run variance; use --repeats for stable medians. The step checksum
+// must agree across all three variants (scheduling must never change
+// numerics); the bench throws if it does not.
+#include "all_benchmarks.hpp"
+#include "models/models.hpp"
+#include "core/runtime.hpp"
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace opsched::bench {
+namespace {
+
+void run(Context& ctx) {
+  const auto batch = static_cast<std::int64_t>(ctx.param_int("batch", 8));
+  const int steps = std::max(1, ctx.param_int("steps", 7));
+  const std::string model = ctx.param("model", "mnist_host");
+
+  const Graph g =
+      model == "mnist_host" ? build_mnist_host(batch) : build_model(model);
+  HostGraphProgram program(g, /*seed=*/0x5eedULL);
+
+  RuntimeOptions opt;
+  Runtime rt(MachineSpec::knl(), opt);
+  const ProfilingReport prof = rt.profile_host(program, /*repeats=*/1);
+
+  ctx.header("Host co-run: native kernels under Strategies 1-4",
+             model + " batch " + std::to_string(batch) + ", " +
+                 std::to_string(rt.host_pool().max_width()) +
+                 " host cores, " + std::to_string(prof.unique_ops) +
+                 " ops host-profiled");
+
+  // One untimed warm-up step per variant: first-use team spawn/pinning is
+  // real cost, but a different experiment (micro_threadpool measures it).
+  (void)rt.run_step_host_fifo(program, 2,
+                              static_cast<int>(rt.host_pool().max_width()));
+  (void)rt.run_step_host_recommendation(program);
+  (void)rt.run_step_host(program);
+
+  double fifo_ms = 0.0, reco_ms = 0.0, adapt_ms = 0.0, checksum = 0.0;
+  StepResult last_adaptive;
+  // Interleave variants across steps — and rotate their order per step —
+  // so drift (thermal, background load) and position bias hit all three
+  // equally.
+  for (int s = 0; s < steps; ++s) {
+    StepResult fifo, reco, adapt;
+    const auto run_fifo = [&] {
+      fifo = rt.run_step_host_fifo(
+          program, 2, static_cast<int>(rt.host_pool().max_width()));
+    };
+    const auto run_reco = [&] {
+      reco = rt.run_step_host_recommendation(program);
+    };
+    const auto run_adapt = [&] { adapt = rt.run_step_host(program); };
+    const std::function<void()> order[3] = {run_fifo, run_reco, run_adapt};
+    for (int k = 0; k < 3; ++k) order[(s + k) % 3]();
+    if (fifo.checksum != adapt.checksum || reco.checksum != adapt.checksum) {
+      throw std::logic_error(
+          "host_corun: step checksum diverged between scheduling policies");
+    }
+    checksum = adapt.checksum;
+    fifo_ms += fifo.time_ms;
+    reco_ms += reco.time_ms;
+    adapt_ms += adapt.time_ms;
+    ctx.metric("fifo_step", fifo.time_ms, "ms");
+    ctx.metric("recommendation_step", reco.time_ms, "ms");
+    ctx.metric("adaptive_step", adapt.time_ms, "ms");
+    last_adaptive = adapt;
+  }
+  const double inv = 1.0 / static_cast<double>(steps);
+  ctx.metric("speedup_vs_fifo", fifo_ms / adapt_ms, "x",
+             Direction::kHigherIsBetter);
+  ctx.metric("speedup_vs_recommendation", reco_ms / adapt_ms, "x",
+             Direction::kHigherIsBetter);
+  ctx.metric("adaptive_corun_launches",
+             static_cast<double>(last_adaptive.corun_launches), "ops",
+             Direction::kInfo);
+  ctx.metric("adaptive_overlays",
+             static_cast<double>(last_adaptive.overlay_launches), "ops",
+             Direction::kInfo);
+  ctx.metric("adaptive_mean_corun", last_adaptive.mean_corun, "ops",
+             Direction::kInfo);
+
+  TablePrinter table({"Variant", "ms/step (mean)", "Speedup vs fifo"});
+  table.add_row({"fifo (2 x full width)", fmt_double(fifo_ms * inv, 3), "1.00"});
+  table.add_row({"recommendation (1 x full)", fmt_double(reco_ms * inv, 3),
+                 fmt_double(fifo_ms / reco_ms, 2)});
+  table.add_row({"adaptive (S1-S4)", fmt_double(adapt_ms * inv, 3),
+                 fmt_double(fifo_ms / adapt_ms, 2)});
+  table.print(ctx.out());
+  ctx.out() << "checksum " << checksum << " (identical across variants), "
+            << last_adaptive.corun_launches << " co-run launches, mean corun "
+            << fmt_double(last_adaptive.mean_corun, 2) << "\n";
+}
+
+}  // namespace
+
+void register_host_corun(Registry& reg) {
+  Benchmark b;
+  b.name = "host_corun";
+  b.figure = "ext";
+  b.description =
+      "native host execution: real kernels under fifo vs recommendation vs "
+      "adaptive (S1-S4), real wall-clock";
+  b.default_params = {{"batch", "8"}, {"steps", "7"}, {"model", "mnist_host"}};
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

@@ -1,137 +1,99 @@
-// train_mnist_host: REAL training on the host CPU — no simulator.
+// train_mnist_host: one MNIST training step natively on the host CPU — no
+// simulator. The step graph's operations run as REAL tensor kernels on real
+// pinned thread teams, scheduled by the paper's runtime:
 //
-// Trains a small CNN on a synthetic MNIST-like task using the library's
-// parallel kernels and thread-pool substrate, with hill-climb concurrency
-// control applied to the real kernels: the profiler times actual runs and
-// picks per-kernel team widths, then training runs with those widths.
-// Demonstrates that the concurrency-control loop is not simulator-bound.
+//   1. profile: hill-climb each unique op by TIMING real kernel runs at
+//      increasing team widths (Runtime::profile_host);
+//   2. execute: Runtime::run_step_host dispatches ready ops through the
+//      shared Strategy 1-4 admission policy (co-run on disjoint cores,
+//      width guards, interference record, overlays), against the FIFO and
+//      recommendation baselines;
+//   3. verify: every policy must produce the bit-identical step checksum —
+//      scheduling may never change numerics.
 //
-//   ./train_mnist_host [--steps 30] [--batch 16]
-#include <chrono>
+//   ./train_mnist_host [--steps 5] [--batch 8] [--trace host_trace.json]
+#include <algorithm>
 #include <iostream>
 
-#include "ops/kernels.hpp"
-#include "perf/hill_climb.hpp"
-#include "threading/team_pool.hpp"
+#include "core/runtime.hpp"
+#include "core/trace_export.hpp"
+#include "models/models.hpp"
 #include "util/flags.hpp"
-#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace opsched;
 
-namespace {
-
-double now_ms() {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-/// Synthetic 10-class task: class k images are noise + a bright kxk block.
-void make_batch(Xoshiro256& rng, Tensor& images, std::vector<int>& labels) {
-  const std::int64_t n = images.shape()[0];
-  for (std::int64_t i = 0; i < n; ++i) {
-    const int label = static_cast<int>(rng.uniform_index(10));
-    labels[static_cast<std::size_t>(i)] = label;
-    for (std::int64_t h = 0; h < 16; ++h)
-      for (std::int64_t w = 0; w < 16; ++w)
-        images.nhwc(i, h, w, 0) =
-            static_cast<float>(rng.uniform(0.0, 0.15)) +
-            ((h <= label && w <= label) ? 0.8f : 0.0f);
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const int steps = flags.get_int("steps", 30);
-  const std::int64_t batch = flags.get_int("batch", 16);
+  const int steps = std::max(1, flags.get_int("steps", 5));
+  const std::int64_t batch = flags.get_int("batch", 8);
+  const std::string trace_path = flags.get("trace", "");
 
-  const std::size_t max_width = host_logical_cores();
-  TeamPool pool(max_width);
-  Xoshiro256 rng(1234);
+  const Graph g = build_mnist_host(batch);
+  HostGraphProgram program(g);
+  Runtime rt(MachineSpec::knl());
 
-  // Model: conv 3x3x1x8 -> relu -> global avg pool -> fc 8x10 -> softmax.
-  Tensor conv_w(TensorShape{3, 3, 1, 8});
-  Tensor fc_w(TensorShape{8, 10});
-  for (std::size_t i = 0; i < conv_w.size(); ++i)
-    conv_w[i] = static_cast<float>(rng.normal(0.0, 0.25));
-  for (std::size_t i = 0; i < fc_w.size(); ++i)
-    fc_w[i] = static_cast<float>(rng.normal(0.0, 0.25));
+  std::cout << "mnist_host: " << g.size() << " ops, batch " << batch << ", "
+            << program.exact_bindings() << " exact kernel bindings, "
+            << rt.host_pool().max_width() << " host cores\n\n";
 
-  Tensor images(TensorShape{batch, 16, 16, 1});
-  std::vector<int> labels(static_cast<std::size_t>(batch));
-  Tensor conv_out(TensorShape{batch, 16, 16, 8});
-  Tensor relu_out(conv_out.shape());
-  Tensor pooled(TensorShape{batch, 1, 1, 8});
-  Tensor pooled2d(TensorShape{batch, 8});
-  Tensor logits(TensorShape{batch, 10});
-  Tensor d_logits(logits.shape());
-  Tensor d_fc(fc_w.shape());
-  Tensor fc_m(fc_w.shape(), 0.f), fc_v(fc_w.shape(), 0.f);
+  // --- 1. profile real kernels on real teams.
+  const ProfilingReport prof = rt.profile_host(program);
+  std::cout << "host profiling: " << prof.unique_ops << " unique ops, "
+            << prof.total_samples << " timed samples (~"
+            << prof.profiling_steps << " profiling steps)\n\n";
 
-  // --- Concurrency control on REAL kernels: hill-climb the conv.
-  make_batch(rng, images, labels);
-  HillClimbParams params;
-  params.interval = 2;
-  params.max_threads = static_cast<int>(max_width);
-  params.both_modes = false;  // host pool has no tile topology
-  const HillClimbProfiler profiler(params);
-  const ProfileCurve conv_curve = profiler.profile(
-      [&](int threads, AffinityMode) {
-        ThreadTeam& team = pool.team(static_cast<std::size_t>(threads));
-        const double t0 = now_ms();
-        for (int rep = 0; rep < 3; ++rep)
-          kernels::conv2d(team, images, conv_w, conv_out);
-        return (now_ms() - t0) / 3.0;
-      });
-  const int conv_width = conv_curve.best().threads;
-  std::cout << "hill-climb picked " << conv_width << " of " << max_width
-            << " threads for the conv kernel ("
-            << fmt_double(conv_curve.best().time_ms, 3) << " ms/run)\n\n";
+  // --- 2. scheduled steps vs. baselines (one warm-up each: first-use team
+  // spawn cost is real but belongs to micro_threadpool's experiment).
+  (void)rt.run_step_host_fifo(program, 2,
+                              static_cast<int>(rt.host_pool().max_width()));
+  (void)rt.run_step_host_recommendation(program);
+  (void)rt.run_step_host(program);
 
-  ThreadTeam& conv_team = pool.team(static_cast<std::size_t>(conv_width));
-  ThreadTeam& small_team = pool.team(std::min<std::size_t>(2, max_width));
-
-  TablePrinter table({"Step", "Loss", "ms/step"});
-  float first_loss = 0.f, last_loss = 0.f;
-  for (int step = 1; step <= steps; ++step) {
-    make_batch(rng, images, labels);
-    const double t0 = now_ms();
-
-    // Forward.
-    kernels::conv2d(conv_team, images, conv_w, conv_out);
-    kernels::relu(small_team, conv_out, relu_out);
-    kernels::avg_pool_global(small_team, relu_out, pooled);
-    std::copy(pooled.span().begin(), pooled.span().end(),
-              pooled2d.span().begin());
-    kernels::matmul(small_team, pooled2d, fc_w, logits);
-    const float loss =
-        kernels::sparse_softmax_xent(small_team, logits, labels, d_logits);
-
-    // Backward (fc only — enough to learn this toy task) + Adam.
-    Tensor pooled_t(TensorShape{8, batch});
-    for (std::int64_t i = 0; i < batch; ++i)
-      for (std::int64_t j = 0; j < 8; ++j)
-        pooled_t[static_cast<std::size_t>(j * batch + i)] =
-            pooled2d[static_cast<std::size_t>(i * 8 + j)];
-    kernels::matmul(small_team, pooled_t, d_logits, d_fc);
-    kernels::apply_adam(small_team, fc_w, fc_m, fc_v, d_fc, 0.05f, 0.9f,
-                        0.999f, 1e-8f, step);
-
-    const double ms = now_ms() - t0;
-    if (step == 1) first_loss = loss;
-    last_loss = loss;
-    if (step == 1 || step % 10 == 0 || step == steps)
-      table.add_row({std::to_string(step), fmt_double(loss, 4),
-                     fmt_double(ms, 2)});
+  TablePrinter table({"Step", "fifo ms", "reco ms", "adaptive ms", "co-runs",
+                      "cache hits"});
+  double fifo_ms = 0.0, reco_ms = 0.0, adapt_ms = 0.0;
+  StepResult adaptive;
+  bool checksums_agree = true;
+  for (int s = 1; s <= steps; ++s) {
+    const StepResult fifo = rt.run_step_host_fifo(
+        program, 2, static_cast<int>(rt.host_pool().max_width()));
+    const StepResult reco = rt.run_step_host_recommendation(program);
+    adaptive = rt.run_step_host(program);
+    checksums_agree = checksums_agree &&
+                      fifo.checksum == adaptive.checksum &&
+                      reco.checksum == adaptive.checksum;
+    fifo_ms += fifo.time_ms;
+    reco_ms += reco.time_ms;
+    adapt_ms += adaptive.time_ms;
+    table.add_row({std::to_string(s), fmt_double(fifo.time_ms, 2),
+                   fmt_double(reco.time_ms, 2),
+                   fmt_double(adaptive.time_ms, 2),
+                   std::to_string(adaptive.corun_launches),
+                   std::to_string(adaptive.cache_hits)});
   }
   table.print(std::cout);
+  const double inv = 1.0 / static_cast<double>(steps);
+  std::cout << "\nmean ms/step: fifo " << fmt_double(fifo_ms * inv, 2)
+            << ", recommendation " << fmt_double(reco_ms * inv, 2)
+            << ", adaptive " << fmt_double(adapt_ms * inv, 2) << " ("
+            << fmt_double(fifo_ms / adapt_ms, 2) << "x vs fifo)\n";
+  std::cout << "adaptive: mean corun " << fmt_double(adaptive.mean_corun, 2)
+            << ", " << adaptive.overlay_launches << " overlays, "
+            << rt.host_executor().recorded_bad_pairs()
+            << " recorded bad pairs, calibration "
+            << fmt_double(rt.host_executor().calibration(), 4)
+            << " wall-ms per predicted-ms\n";
 
-  std::cout << "\nloss " << fmt_double(first_loss, 3) << " -> "
-            << fmt_double(last_loss, 3)
-            << (last_loss < first_loss ? "  (learning)" : "  (NOT learning?)")
-            << "\n";
-  return last_loss < first_loss ? 0 : 1;
+  // --- 3. numerics must not depend on scheduling.
+  std::cout << "step checksum " << adaptive.checksum
+            << (checksums_agree ? " — identical across all policies\n"
+                                : " — MISMATCH across policies!\n");
+
+  if (!trace_path.empty()) {
+    write_chrome_trace(trace_path, adaptive.trace, g);
+    std::cout << "adaptive-step trace written to " << trace_path
+              << " (chrome://tracing)\n";
+  }
+  return checksums_agree ? 0 : 1;
 }

@@ -47,7 +47,9 @@ for doc in "${docs[@]}"; do
           fail=1
         fi
         ;;
-      fig[0-9]*|table[0-9]*|ext_*|micro_*|ablation*)
+      # host_corun is listed explicitly: host_* would false-positive on
+      # non-benchmark tokens like host_replay / host_logical_cores.
+      fig[0-9]*|table[0-9]*|ext_*|micro_*|ablation*|host_corun*)
         if [ ! -f "bench/$tok.cpp" ]; then
           echo "$doc: unknown benchmark \`$tok\` (no bench/$tok.cpp)"
           fail=1

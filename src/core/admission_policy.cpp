@@ -1,0 +1,177 @@
+#include "core/admission_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace opsched {
+
+namespace {
+std::pair<OpKey, OpKey> ordered_pair(const OpKey& a, const OpKey& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+double max_remaining(const std::vector<RunningOpView>& running) {
+  double mx = 0.0;
+  for (const RunningOpView& r : running) mx = std::max(mx, r.remaining_ms);
+  return mx;
+}
+}  // namespace
+
+void AdmissionPolicy::reset_learning() {
+  bad_pairs_.clear();
+  decision_cache_.clear();
+}
+
+bool AdmissionPolicy::bad_pair_with_running(
+    const OpKey& key, const std::vector<RunningOpView>& running) const {
+  if (!options_.interference_recorder) return false;
+  for (const RunningOpView& r : running) {
+    if (bad_pairs_.count(ordered_pair(key, r.key))) return true;
+  }
+  return false;
+}
+
+void AdmissionPolicy::record_interference(const OpKey& completed,
+                                          const std::vector<OpKey>& corunners) {
+  if (!options_.interference_recorder) return;
+  for (const OpKey& other : corunners)
+    bad_pairs_.insert(ordered_pair(completed, other));
+}
+
+std::optional<AdmissionDecision> AdmissionPolicy::next_launch(
+    const Graph& g, const std::deque<NodeId>& ready, int idle_cores,
+    const std::vector<RunningOpView>& running, AdmissionStats* stats) {
+  if (ready.empty() || idle_cores <= 0) return std::nullopt;
+
+  const bool s3 = (options_.strategies & kStrategy3) != 0;
+  if (!s3) {
+    // Serial mode (Strategies 1-2 only): one op at a time at its chosen
+    // width, like the paper's Figure 3(a) configuration.
+    if (!running.empty()) return std::nullopt;
+    AdmissionDecision d;
+    d.ready_pos = 0;
+    d.candidate = controller_.choice_for(g.node(ready.front()));
+    d.candidate.threads = std::min(d.candidate.threads, idle_cores);
+    return d;
+  }
+
+  const double ongoing = max_remaining(running);
+  const bool something_running = !running.empty();
+
+  for (std::size_t pos = 0; pos < ready.size(); ++pos) {
+    const Node& node = g.node(ready[pos]);
+    const OpKey key = OpKey::of(node);
+
+    if (something_running && bad_pair_with_running(key, running)) continue;
+
+    // Decision cache: identical (op, idle width) situations reuse the
+    // previous Strategy 3 outcome.
+    if (options_.decision_cache && something_running) {
+      const auto it = decision_cache_.find({key, idle_cores});
+      if (it != decision_cache_.end()) {
+        const Candidate& c = it->second;
+        if (c.threads <= idle_cores &&
+            c.time_ms <= ongoing * (1.0 + options_.corun_slack)) {
+          if (stats != nullptr) ++stats->cache_hits;
+          AdmissionDecision d;
+          d.ready_pos = pos;
+          d.candidate = c;
+          return d;
+        }
+      }
+    }
+
+    auto cands = controller_.candidates_for(node, options_.num_candidates);
+    // Strategy 2 guard: a candidate too far from the consolidated width is
+    // replaced by the consolidated choice.
+    if ((options_.strategies & kStrategy2) != 0) {
+      const Candidate s2 = controller_.choice_for(node);
+      const int delta = std::max(
+          options_.s2_delta_guard,
+          static_cast<int>(options_.s2_guard_relative *
+                           static_cast<double>(s2.threads)));
+      for (Candidate& c : cands) {
+        if (std::abs(c.threads - s2.threads) > delta) {
+          c = s2;
+          if (stats != nullptr) ++stats->guard_fallbacks;
+        }
+      }
+    }
+
+    // Admissible candidates: fit the idle cores; when co-running, do not
+    // outlast the ongoing ops. Pick the fewest-threads admissible one —
+    // freeing cores for more co-runners, the paper's "maximize operations
+    // co-running" tie-break.
+    const Candidate* best = nullptr;
+    for (const Candidate& c : cands) {
+      if (c.threads > idle_cores) continue;
+      if (something_running &&
+          c.time_ms > ongoing * (1.0 + options_.corun_slack))
+        continue;
+      if (best == nullptr || c.threads < best->threads) best = &c;
+    }
+    if (best != nullptr) {
+      AdmissionDecision d;
+      d.ready_pos = pos;
+      d.candidate = *best;
+      if (options_.decision_cache && something_running)
+        decision_cache_[{key, idle_cores}] = d.candidate;
+      return d;
+    }
+  }
+
+  if (something_running) return std::nullopt;  // wait for a completion
+
+  // Machine empty but nothing "fits": run the most time-consuming ready op,
+  // capped to the idle width.
+  std::size_t heavy_pos = 0;
+  double heavy_time = -1.0;
+  for (std::size_t pos = 0; pos < ready.size(); ++pos) {
+    const double t = controller_.predicted_time_ms(g.node(ready[pos]));
+    if (t > heavy_time) {
+      heavy_time = t;
+      heavy_pos = pos;
+    }
+  }
+  AdmissionDecision d;
+  d.ready_pos = heavy_pos;
+  d.candidate = controller_.choice_for(g.node(ready[heavy_pos]));
+  d.candidate.threads = std::min(d.candidate.threads, idle_cores);
+  d.heavy_fallback = true;
+  return d;
+}
+
+std::optional<AdmissionDecision> AdmissionPolicy::next_overlay(
+    const Graph& g, const std::deque<NodeId>& ready, int eligible_cores,
+    const std::vector<RunningOpView>& running) {
+  if (ready.empty() || eligible_cores <= 0) return std::nullopt;
+  if ((options_.strategies & kStrategy4) == 0) return std::nullopt;
+
+  // Smallest ready op by serial execution time.
+  std::size_t small_pos = 0;
+  double small_time = std::numeric_limits<double>::infinity();
+  for (std::size_t pos = 0; pos < ready.size(); ++pos) {
+    const double t = controller_.serial_time_ms(g.node(ready[pos]));
+    if (t < small_time) {
+      small_time = t;
+      small_pos = pos;
+    }
+  }
+  const Node& node = g.node(ready[small_pos]);
+  if (bad_pair_with_running(OpKey::of(node), running)) return std::nullopt;
+
+  AdmissionDecision d;
+  d.ready_pos = small_pos;
+  d.candidate = controller_.choice_for(node);
+  d.candidate.threads = std::min(d.candidate.threads, eligible_cores);
+
+  // Throughput guard also applies to overlays: an overlay that would
+  // outlast everything it rides on would delay the step.
+  const double overlay_est = d.candidate.time_ms * kOverlaySlowdownBound;
+  if (overlay_est > max_remaining(running) * (1.0 + options_.corun_slack))
+    return std::nullopt;
+  return d;
+}
+
+}  // namespace opsched

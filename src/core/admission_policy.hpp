@@ -1,0 +1,116 @@
+// AdmissionPolicy: the machine-agnostic Strategy 1-4 admission logic shared
+// by the simulator scheduler (CorunScheduler) and the native host executor
+// (HostCorunExecutor). Factoring it out of CorunScheduler guarantees the two
+// execution paths cannot drift: both ask this component the same questions
+// and carry the same learned state (decision cache, interference record).
+//
+// The policy sees the machine only through plain values — the ready queue,
+// the idle-core count, and a snapshot of the in-flight ops — so it neither
+// knows nor cares whether "cores" are simulated or physical. Time values are
+// whatever timescale the caller's ConcurrencyController predicts in; the
+// policy only ever compares them against each other (Strategy 3's
+// throughput guard is scale-free).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/concurrency_controller.hpp"
+
+namespace opsched {
+
+/// Snapshot of one in-flight operation, as the admission policy sees it.
+/// (The Strategy-4 overlay exemption from the interference recorder is
+/// applied by the executors at completion-record time, so the policy does
+/// not need to know which running ops are overlays.)
+struct RunningOpView {
+  OpKey key;
+  /// Predicted time until completion, on the controller's timescale.
+  double remaining_ms = 0.0;
+};
+
+/// Counters the policy increments while deciding; executors fold them into
+/// their per-step statistics.
+struct AdmissionStats {
+  std::size_t cache_hits = 0;
+  std::size_t guard_fallbacks = 0;
+};
+
+/// One admitted launch: which ready-queue entry to run and how.
+struct AdmissionDecision {
+  /// Index into the ready deque passed to the picker.
+  std::size_t ready_pos = 0;
+  Candidate candidate;
+  /// True when the machine was empty and nothing fit: the most
+  /// time-consuming ready op runs, capped to the idle width.
+  bool heavy_fallback = false;
+};
+
+/// Lifetime: keeps a reference to `controller`, which must outlive it.
+/// Thread-safety: NOT thread-safe — next_launch/record_interference mutate
+/// the learned state, so each executor drives its own policy instance from
+/// one thread at a time (both CorunScheduler and HostCorunExecutor make
+/// their scheduling decisions on a single dispatcher thread).
+class AdmissionPolicy {
+ public:
+  /// Idle-core threshold below which Strategy 4 considers the machine full
+  /// and starts overlaying small ops onto spare hyper-thread contexts.
+  static constexpr std::size_t kOverlayTriggerIdleCores = 8;
+  /// Upper bound on the slowdown a hyper-thread secondary suffers; the
+  /// throughput guard scales an overlay candidate's time by this factor.
+  static constexpr double kOverlaySlowdownBound = 2.5;
+
+  AdmissionPolicy(const ConcurrencyController& controller,
+                  RuntimeOptions options)
+      : controller_(controller), options_(options) {}
+
+  /// One Strategy-3 pick (or the serial/heavy fallback when Strategy 3 is
+  /// off or nothing fits): walks `ready` in arrival order and returns the
+  /// first admissible launch, or nullopt when the caller should wait for a
+  /// completion instead. `idle_cores` is the count of unoccupied cores;
+  /// `running` snapshots the in-flight ops. Stats (cache hits, Strategy-2
+  /// guard fallbacks) accumulate into `stats` when non-null.
+  std::optional<AdmissionDecision> next_launch(
+      const Graph& g, const std::deque<NodeId>& ready, int idle_cores,
+      const std::vector<RunningOpView>& running, AdmissionStats* stats);
+
+  /// One Strategy-4 pick: the smallest ready op (by serial time), admitted
+  /// onto `eligible_cores` spare hyper-thread contexts if it passes the
+  /// interference record and the overlay throughput guard. Returns nullopt
+  /// when no overlay should launch this round.
+  std::optional<AdmissionDecision> next_overlay(
+      const Graph& g, const std::deque<NodeId>& ready, int eligible_cores,
+      const std::vector<RunningOpView>& running);
+
+  /// True if `key` forms a recorded bad-interference pair with any running
+  /// op (always false when the recorder is disabled).
+  bool bad_pair_with_running(const OpKey& key,
+                             const std::vector<RunningOpView>& running) const;
+
+  /// Records that `completed` co-ran badly with each of `corunners` (paper
+  /// Section III-D: "record such cases and avoid co-running such operations
+  /// in the future training steps").
+  void record_interference(const OpKey& completed,
+                           const std::vector<OpKey>& corunners);
+
+  std::size_t recorded_bad_pairs() const { return bad_pairs_.size(); }
+
+  /// Clears learned state (decision cache + interference record).
+  void reset_learning();
+
+  const RuntimeOptions& options() const noexcept { return options_; }
+
+ private:
+  const ConcurrencyController& controller_;
+  RuntimeOptions options_;
+
+  /// Interference recorder: unordered op-key pairs seen to co-run badly.
+  std::set<std::pair<OpKey, OpKey>> bad_pairs_;
+  /// Decision cache: (op key, idle-core count) -> chosen candidate.
+  std::map<std::pair<OpKey, int>, Candidate> decision_cache_;
+};
+
+}  // namespace opsched

@@ -1,159 +1,51 @@
 #include "core/corun_scheduler.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <stdexcept>
 
 namespace opsched {
 
-namespace {
-std::pair<OpKey, OpKey> ordered_pair(const OpKey& a, const OpKey& b) {
-  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
-}
-
-/// Idle-core threshold below which Strategy 4 considers the machine full.
-std::size_t spec_overlay_trigger() { return 8; }
-}  // namespace
-
-void CorunScheduler::reset_learning() {
-  bad_pairs_.clear();
-  decision_cache_.clear();
-}
-
-bool CorunScheduler::bad_pair_with_running(const OpKey& key,
-                                           const SimMachine& machine,
-                                           const Graph& g) const {
-  if (!options_.interference_recorder) return false;
+std::vector<RunningOpView> CorunScheduler::running_views(
+    const SimMachine& machine, const Graph& g) {
+  std::vector<RunningOpView> views;
+  views.reserve(machine.running().size());
   for (const auto& task : machine.running()) {
-    const OpKey other = OpKey::of(g.node(task.node));
-    if (bad_pairs_.count(ordered_pair(key, other))) return true;
+    RunningOpView v;
+    v.key = OpKey::of(g.node(task.node));
+    v.remaining_ms = task.remaining_ms / task.rate;
+    views.push_back(v);
   }
-  return false;
+  return views;
 }
 
 bool CorunScheduler::schedule_round(const Graph& g, SimMachine& machine,
                                     std::deque<NodeId>& ready,
                                     StepResult& stats) {
-  const bool s3 = (options_.strategies & kStrategy3) != 0;
   const bool s4 = (options_.strategies & kStrategy4) != 0;
   bool launched_any = false;
 
-  // ---- Strategy 3 (or serial execution when S3 is off) ----
+  // ---- Strategies 1-3 (serial execution when S3 is off) ----
   for (;;) {
     if (ready.empty()) break;
     CoreSet idle = machine.idle_cores();
     if (idle.empty()) break;
 
-    if (!s3) {
-      // Serial mode (Strategies 1-2 only): run one op at a time at its
-      // chosen width, like the paper's Figure 3(a) configuration.
-      if (!machine.quiescent()) break;
-      const Node& node = g.node(ready.front());
-      ready.pop_front();
-      Candidate c = controller_.choice_for(node);
-      c.threads = std::min<int>(c.threads, static_cast<int>(idle.count()));
-      machine.launch(node, c.threads, c.mode, idle.take_lowest(
-                         static_cast<std::size_t>(c.threads)));
-      ++stats.ops_run;
-      launched_any = true;
-      continue;
-    }
+    AdmissionStats round_stats;
+    const auto decision =
+        policy_.next_launch(g, ready, static_cast<int>(idle.count()),
+                            running_views(machine, g), &round_stats);
+    stats.cache_hits += round_stats.cache_hits;
+    stats.guard_fallbacks += round_stats.guard_fallbacks;
+    if (!decision.has_value()) break;  // wait for a completion
 
-    const double ongoing = machine.max_remaining_ms();
-    const bool something_running = !machine.quiescent();
-    const int idle_count = static_cast<int>(idle.count());
-
-    // Find the first ready op with an admissible candidate.
-    std::size_t chosen_pos = ready.size();
-    Candidate chosen{};
-    bool have_choice = false;
-
-    for (std::size_t pos = 0; pos < ready.size() && !have_choice; ++pos) {
-      const Node& node = g.node(ready[pos]);
-      const OpKey key = OpKey::of(node);
-
-      if (something_running && bad_pair_with_running(key, machine, g))
-        continue;
-
-      // Decision cache: identical (op, idle width) situations reuse the
-      // previous Strategy 3 outcome.
-      if (options_.decision_cache && something_running) {
-        const auto it = decision_cache_.find({key, idle_count});
-        if (it != decision_cache_.end()) {
-          const Candidate& c = it->second;
-          if (c.threads <= idle_count &&
-              c.time_ms <= ongoing * (1.0 + options_.corun_slack)) {
-            chosen = c;
-            chosen_pos = pos;
-            have_choice = true;
-            ++stats.cache_hits;
-            break;
-          }
-        }
-      }
-
-      auto cands = controller_.candidates_for(node, options_.num_candidates);
-      // Strategy 2 guard: a candidate too far from the consolidated width
-      // is replaced by the consolidated choice.
-      if ((options_.strategies & kStrategy2) != 0) {
-        const Candidate s2 = controller_.choice_for(node);
-        const int delta = std::max(
-            options_.s2_delta_guard,
-            static_cast<int>(options_.s2_guard_relative *
-                             static_cast<double>(s2.threads)));
-        for (Candidate& c : cands) {
-          if (std::abs(c.threads - s2.threads) > delta) {
-            c = s2;
-            ++stats.guard_fallbacks;
-          }
-        }
-      }
-
-      // Admissible candidates: fit the idle cores; when co-running, do not
-      // outlast the ongoing ops. Pick the fewest-threads admissible one.
-      const Candidate* best = nullptr;
-      for (const Candidate& c : cands) {
-        if (c.threads > idle_count) continue;
-        if (something_running &&
-            c.time_ms > ongoing * (1.0 + options_.corun_slack))
-          continue;
-        if (best == nullptr || c.threads < best->threads) best = &c;
-      }
-      if (best != nullptr) {
-        chosen = *best;
-        chosen_pos = pos;
-        have_choice = true;
-        if (options_.decision_cache && something_running)
-          decision_cache_[{key, idle_count}] = chosen;
-      }
-    }
-
-    if (!have_choice) {
-      if (something_running) break;  // wait for a completion
-      // Machine empty but nothing "fits": run the most time-consuming
-      // ready op, capped to the machine width.
-      std::size_t heavy_pos = 0;
-      double heavy_time = -1.0;
-      for (std::size_t pos = 0; pos < ready.size(); ++pos) {
-        const double t =
-            controller_.predicted_time_ms(g.node(ready[pos]));
-        if (t > heavy_time) {
-          heavy_time = t;
-          heavy_pos = pos;
-        }
-      }
-      chosen_pos = heavy_pos;
-      chosen = controller_.choice_for(g.node(ready[heavy_pos]));
-      chosen.threads = std::min<int>(chosen.threads, idle_count);
-      have_choice = true;
-    }
-
-    const Node& node = g.node(ready[chosen_pos]);
-    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(chosen_pos));
+    const Node& node = g.node(ready[decision->ready_pos]);
+    ready.erase(ready.begin() +
+                static_cast<std::ptrdiff_t>(decision->ready_pos));
     const bool corun = !machine.quiescent();
-    const auto id =
-        machine.launch(node, chosen.threads, chosen.mode,
-                       idle.take_lowest(static_cast<std::size_t>(chosen.threads)));
+    const Candidate& c = decision->candidate;
+    const auto id = machine.launch(
+        node, c.threads, c.mode,
+        idle.take_lowest(static_cast<std::size_t>(c.threads)));
     // Remember co-runners for the interference recorder.
     Launched rec;
     for (const auto& task : machine.running()) {
@@ -170,7 +62,8 @@ bool CorunScheduler::schedule_round(const Graph& g, SimMachine& machine,
   // Triggered when the machine is (nearly) full — the paper's "an operation
   // using 68 cores" generalized to any residue too small for Strategy 3.
   if (s4 && !ready.empty() &&
-      machine.idle_cores().count() < spec_overlay_trigger()) {
+      machine.idle_cores().count() <
+          AdmissionPolicy::kOverlayTriggerIdleCores) {
     for (;;) {
       // Overlays only pay off on cores whose primary is compute-bound: a
       // memory-bound primary has no spare core cycles and the overlay only
@@ -187,29 +80,16 @@ bool CorunScheduler::schedule_round(const Graph& g, SimMachine& machine,
         eligible = eligible.intersect(compute_bound);
       }
       if (eligible.empty() || ready.empty()) break;
-      // Smallest ready op by serial execution time.
-      std::size_t small_pos = 0;
-      double small_time = std::numeric_limits<double>::infinity();
-      for (std::size_t pos = 0; pos < ready.size(); ++pos) {
-        const double t = controller_.serial_time_ms(g.node(ready[pos]));
-        if (t < small_time) {
-          small_time = t;
-          small_pos = pos;
-        }
-      }
-      const Node& node = g.node(ready[small_pos]);
-      const OpKey key = OpKey::of(node);
-      if (bad_pair_with_running(key, machine, g)) break;
 
-      Candidate c = controller_.choice_for(node);
-      c.threads = std::min<int>(c.threads, static_cast<int>(eligible.count()));
-      // Throughput guard also applies to overlays: an overlay that would
-      // outlast everything it rides on would delay the step.
-      const double ongoing = machine.max_remaining_ms();
-      const double overlay_est = c.time_ms * 2.5;  // HT secondary slowdown bound
-      if (overlay_est > ongoing * (1.0 + options_.corun_slack)) break;
+      const auto decision =
+          policy_.next_overlay(g, ready, static_cast<int>(eligible.count()),
+                               running_views(machine, g));
+      if (!decision.has_value()) break;
 
-      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(small_pos));
+      const Node& node = g.node(ready[decision->ready_pos]);
+      ready.erase(ready.begin() +
+                  static_cast<std::ptrdiff_t>(decision->ready_pos));
+      const Candidate& c = decision->candidate;
       const auto id = machine.launch(
           node, c.threads, c.mode,
           eligible.take_lowest(static_cast<std::size_t>(c.threads)),
@@ -255,9 +135,8 @@ StepResult CorunScheduler::run_step(const Graph& g, SimMachine& machine) {
         comp->actual_ms > comp->solo_ms * options_.interference_bad_ratio) {
       const auto it = in_flight_.find(comp->id);
       if (it != in_flight_.end() && !it->second.overlay) {
-        const OpKey me = OpKey::of(g.node(comp->node));
-        for (const OpKey& other : it->second.corunners)
-          bad_pairs_.insert(ordered_pair(me, other));
+        policy_.record_interference(OpKey::of(g.node(comp->node)),
+                                    it->second.corunners);
       }
     }
     in_flight_.erase(comp->id);

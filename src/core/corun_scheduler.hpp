@@ -17,18 +17,26 @@
 //   time-consuming ready op runs (capped to the machine width).
 //   Strategy 4: when no idle cores remain, the smallest ready ops (by
 //   serial time) are overlaid onto spare hyper-thread contexts.
+//
+// The decision logic itself lives in AdmissionPolicy, which this scheduler
+// shares with HostCorunExecutor (real threads, real kernels): the simulator
+// and the native host path answer "what runs next, at what width?"
+// identically by construction.
 #pragma once
 
 #include <deque>
 #include <map>
-#include <set>
 
+#include "core/admission_policy.hpp"
 #include "core/concurrency_controller.hpp"
 #include "machine/sim_machine.hpp"
 
 namespace opsched {
 
-/// Outcome of one simulated training step.
+/// Outcome of one training step — simulated (CorunScheduler, FifoExecutor)
+/// or native (HostCorunExecutor). On the simulated path `time_ms` is
+/// virtual clock time; on the host path it is wall-clock time and
+/// `checksum` carries the deterministic step checksum.
 struct StepResult {
   double time_ms = 0.0;
   EventTrace trace;
@@ -39,6 +47,9 @@ struct StepResult {
   std::size_t cache_hits = 0;        // decision-cache reuses
   std::size_t guard_fallbacks = 0;   // S2 delta-guard rewrites
   double mean_corun = 0.0;
+  /// Host executors only: deterministic checksum over every node's outputs
+  /// (0.0 on the simulated path, which never touches tensor values).
+  double checksum = 0.0;
 };
 
 /// Lifetime: the scheduler keeps a reference to `controller`, which must
@@ -46,14 +57,15 @@ struct StepResult {
 /// too). `options` is copied at construction.
 ///
 /// Thread-safety: NOT thread-safe. run_step mutates the learned state
-/// (decision cache, interference record), so each SimMachine/step must be
-/// driven from one thread at a time; concurrent steps need one scheduler
-/// per thread. The referenced ConcurrencyController is only read.
+/// (decision cache, interference record — owned by the embedded
+/// AdmissionPolicy), so each SimMachine/step must be driven from one thread
+/// at a time; concurrent steps need one scheduler per thread. The
+/// referenced ConcurrencyController is only read.
 class CorunScheduler {
  public:
   CorunScheduler(const ConcurrencyController& controller,
                  RuntimeOptions options)
-      : controller_(controller), options_(options) {}
+      : options_(options), policy_(controller, options) {}
 
   /// Runs every node of `g` to completion on `machine` (which is reset
   /// first). Deterministic for fixed inputs.
@@ -62,10 +74,16 @@ class CorunScheduler {
   /// Bad-interference pairs recorded so far (survives across steps, as in
   /// the paper: "Our runtime can record such cases and avoid co-running
   /// such operations in the future training steps").
-  std::size_t recorded_bad_pairs() const { return bad_pairs_.size(); }
+  std::size_t recorded_bad_pairs() const {
+    return policy_.recorded_bad_pairs();
+  }
 
   /// Clears learned state (decision cache + interference record).
-  void reset_learning();
+  void reset_learning() { policy_.reset_learning(); }
+
+  /// The shared Strategy 1-4 admission logic (also used, with its own
+  /// instance, by HostCorunExecutor). Exposed for the drift tests.
+  const AdmissionPolicy& policy() const noexcept { return policy_; }
 
  private:
   struct Launched {
@@ -80,17 +98,12 @@ class CorunScheduler {
   bool schedule_round(const Graph& g, SimMachine& machine,
                       std::deque<NodeId>& ready, StepResult& stats);
 
-  bool bad_pair_with_running(const OpKey& key,
-                             const SimMachine& machine,
-                             const Graph& g) const;
+  /// Snapshot of machine.running() in the form the policy consumes.
+  static std::vector<RunningOpView> running_views(const SimMachine& machine,
+                                                  const Graph& g);
 
-  const ConcurrencyController& controller_;
   RuntimeOptions options_;
-
-  /// Interference recorder: unordered op-key pairs seen to co-run badly.
-  std::set<std::pair<OpKey, OpKey>> bad_pairs_;
-  /// Decision cache: (op key, idle-core count) -> chosen candidate.
-  std::map<std::pair<OpKey, int>, Candidate> decision_cache_;
+  AdmissionPolicy policy_;
   /// Co-runners of each in-flight task at launch (for the recorder).
   std::map<SimMachine::TaskId, Launched> in_flight_;
 };

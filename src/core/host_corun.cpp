@@ -1,0 +1,363 @@
+#include "core/host_corun.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "ops/work_profile.hpp"
+#include "util/clock.hpp"
+
+namespace opsched {
+
+namespace {
+
+/// Machine-agnostic memory-intensity proxy for the Strategy 4 eligibility
+/// test (the simulator asks its CostModel; the host has no MachineSpec).
+/// Bytes are weighted against flops at a typical host compute/bandwidth
+/// ratio; only the < 0.45 compute-bound cut-off consumes the value, so the
+/// constant's precision is not load-bearing.
+double host_mem_intensity(const Node& node) {
+  const WorkProfile w = work_profile(node);
+  const double tc = w.flops;
+  const double tm = w.bytes * 16.0;
+  if (tc + tm <= 0.0) return 0.0;
+  return tm / (tc + tm);
+}
+
+/// Compute-bound primaries threshold, mirroring CorunScheduler's overlay
+/// eligibility rule.
+constexpr double kComputeBoundCutoff = 0.45;
+
+}  // namespace
+
+HostCorunExecutor::HostCorunExecutor(const ConcurrencyController& controller,
+                                     TeamPool& pool, RuntimeOptions options,
+                                     HostCorunOptions host)
+    : controller_(controller),
+      pool_(pool),
+      options_(options),
+      host_(host),
+      cores_(host.cores == 0 ? pool.max_width()
+                             : std::min(host.cores, pool.max_width())),
+      policy_(controller, options) {
+  if (cores_ == 0)
+    throw std::invalid_argument("HostCorunExecutor: zero-width pool");
+}
+
+StepResult HostCorunExecutor::run_step(HostGraphProgram& program) {
+  const Graph& g = program.graph();
+  StepResult stats;
+  const double t0 = wall_time_ms();
+
+  ReadyTracker tracker(g);
+  std::deque<NodeId> ready(tracker.initially_ready().begin(),
+                           tracker.initially_ready().end());
+
+  // Shared with launcher threads; everything else is dispatcher-only.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::pair<std::uint64_t, double>> completions;  // (id, end wall)
+
+  std::map<std::uint64_t, InFlight> inflight;
+  CoreSet primary_busy(cores_);
+  CoreSet overlaid(cores_);
+
+  // Declared after the state it captures so its destructor joins the
+  // launcher threads first.
+  LaunchPad pad(cores_ + 4);
+
+  // Snapshot of the in-flight ops on the policy's terms. Remaining time is
+  // predicted_ms minus elapsed wall-clock converted back to the
+  // controller's timescale through the learned calibration (1.0 until the
+  // first completion: the guard only compares these values against each
+  // other, so a uniform scale error is harmless).
+  const auto views = [&] {
+    std::vector<RunningOpView> v;
+    v.reserve(inflight.size());
+    const double now = wall_time_ms();
+    const double calib = calib_ > 0.0 ? calib_ : 1.0;
+    for (const auto& kv : inflight) {
+      RunningOpView r;
+      r.key = kv.second.key;
+      const double elapsed_model = (now - kv.second.start_wall_ms) / calib;
+      r.remaining_ms = std::max(0.0, kv.second.predicted_ms - elapsed_model);
+      v.push_back(r);
+    }
+    return v;
+  };
+
+  // Completion bookkeeping, shared by the async and inline paths.
+  const auto complete = [&](std::uint64_t id, double end_wall) {
+    const auto it = inflight.find(id);
+    InFlight fl = std::move(it->second);
+    inflight.erase(it);
+
+    const double actual_ms = end_wall - fl.start_wall_ms;
+    if (fl.predicted_ms > 0.0) {
+      // Interference is judged against the calibration as it stood BEFORE
+      // this sample: folding the slow sample into the EWMA first would
+      // dilute the 2.5x bad-pair threshold toward unreachable (overlays
+      // exempt — they slow down by design).
+      if (!fl.overlay && !fl.corunners.empty() && calib_ > 0.0) {
+        const double expected_ms = fl.predicted_ms * calib_;
+        if (actual_ms > expected_ms * options_.interference_bad_ratio) {
+          policy_.record_interference(fl.key, fl.corunners);
+        }
+      }
+      // Overlays are also excluded from the calibration: they run up to
+      // ~2.5x slow BY DESIGN, and folding that in would inflate every
+      // later expectation (recorder threshold, throughput-guard views).
+      if (!fl.overlay) {
+        const double ratio = actual_ms / fl.predicted_ms;
+        calib_ = calib_ == 0.0
+                     ? ratio
+                     : (1.0 - host_.calibration_alpha) * calib_ +
+                           host_.calibration_alpha * ratio;
+      }
+    }
+
+    if (fl.overlay) {
+      overlaid = overlaid.minus(fl.cores);
+    } else {
+      primary_busy = primary_busy.minus(fl.cores);
+    }
+    stats.trace.record(end_wall - t0, /*is_launch=*/false, fl.node,
+                       g.node(fl.node).kind,
+                       static_cast<int>(inflight.size()));
+
+    std::vector<NodeId> newly;
+    tracker.mark_done(fl.node, newly);
+    for (NodeId nid : newly) ready.push_back(nid);
+  };
+
+  const auto launch = [&](std::size_t ready_pos, const Candidate& c,
+                          const CoreSet& span, bool overlay) {
+    const NodeId node_id = ready[ready_pos];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(ready_pos));
+    const Node& node = g.node(node_id);
+    const std::uint64_t id = next_id_++;
+
+    InFlight fl;
+    fl.node = node_id;
+    fl.key = OpKey::of(node);
+    fl.cores = span;
+    fl.overlay = overlay;
+    fl.predicted_ms = c.time_ms > 0.0 ? c.time_ms
+                                      : controller_.predicted_time_ms(node);
+    for (const auto& kv : inflight) fl.corunners.push_back(kv.second.key);
+    const bool corun = !inflight.empty();
+    // A saturating launch — empty machine, op takes every idle core —
+    // excludes any co-runner until it completes, so the dispatcher runs it
+    // inline: the async detour (launcher handoff + condvar round-trip)
+    // would sit on the critical path for nothing. FIFO executors pipeline
+    // that latency behind their second slot; without this, serial phases
+    // of the adaptive schedule would pay pure overhead against them.
+    // Only when no Strategy-4 overlay could ride on it (overlays need the
+    // dispatcher free): single-core host, S4 off, or nothing else ready.
+    const bool overlays_possible = cores_ >= 2 &&
+                                   (options_.strategies & kStrategy4) != 0 &&
+                                   !ready.empty();
+    const bool inline_run =
+        !overlay && !corun && !overlays_possible &&
+        span.count() ==
+            CoreSet::all(cores_).minus(primary_busy).minus(overlaid).count();
+
+    // One pinned team per disjoint span. Overlays use slot 1 so an overlay
+    // whose (width, span) coincides with its primary's never shares the
+    // primary's (busy) team. Width-1 ops on the dispatcher-inline path use
+    // the workerless inline team — the dispatcher runs the kernel body
+    // itself, skipping the per-op dispatch round-trip that dominates tiny
+    // single-threaded ops. Async width-1 launches keep a pinned pool team:
+    // an inline team inherits the launcher thread's (absent) affinity,
+    // which would put the op on an OS-chosen core instead of its span.
+    ThreadTeam& team =
+        inline_run && span.count() == 1
+            ? inline1_
+            : pool_.team_pinned(span.count(), span, overlay ? 1 : 0);
+    if (overlay) {
+      overlaid = overlaid.union_with(span);
+    } else {
+      primary_busy = primary_busy.union_with(span);
+    }
+    fl.start_wall_ms = wall_time_ms();
+    inflight.emplace(id, std::move(fl));
+    stats.trace.record(wall_time_ms() - t0, /*is_launch=*/true, node_id, node.kind,
+                       static_cast<int>(inflight.size()));
+    ++stats.ops_run;
+    if (overlay) {
+      ++stats.overlay_launches;
+      ++stats.corun_launches;
+    } else if (corun) {
+      ++stats.corun_launches;
+    }
+    if (inline_run) {
+      program.run_node(node_id, team);
+      complete(id, wall_time_ms());
+      return;
+    }
+    pad.launch([&program, &mu, &cv, &completions, node_id, id, &team] {
+      program.run_node(node_id, team);
+      const double end = wall_time_ms();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        completions.emplace_back(id, end);
+      }
+      cv.notify_one();
+    });
+  };
+
+  while (tracker.remaining() > 0) {
+    // ---- Strategies 1-3 (serial execution when S3 is off) ----
+    for (;;) {
+      if (ready.empty()) break;
+      const CoreSet idle =
+          CoreSet::all(cores_).minus(primary_busy).minus(overlaid);
+      if (idle.empty()) break;
+      AdmissionStats round_stats;
+      const auto d =
+          policy_.next_launch(g, ready, static_cast<int>(idle.count()),
+                              views(), &round_stats);
+      stats.cache_hits += round_stats.cache_hits;
+      stats.guard_fallbacks += round_stats.guard_fallbacks;
+      if (!d.has_value()) break;  // wait for a completion
+      const auto width =
+          static_cast<std::size_t>(std::max(1, d->candidate.threads));
+      launch(d->ready_pos, d->candidate, idle.take_lowest(width),
+             /*overlay=*/false);
+    }
+
+    // ---- Strategy 4: overlay small ops onto busy compute-bound cores ----
+    // Gated on a multi-core host: overlays bank on spare hardware contexts
+    // next to a busy primary; on a single-core host there are none and an
+    // overlay is pure oversubscription.
+    if (cores_ >= 2 && (options_.strategies & kStrategy4) != 0 &&
+        !ready.empty() &&
+        CoreSet::all(cores_).minus(primary_busy).minus(overlaid).count() <
+            AdmissionPolicy::kOverlayTriggerIdleCores) {
+      for (;;) {
+        CoreSet eligible(cores_);
+        for (const auto& kv : inflight) {
+          if (!kv.second.overlay &&
+              host_mem_intensity(g.node(kv.second.node)) <
+                  kComputeBoundCutoff) {
+            eligible = eligible.union_with(kv.second.cores);
+          }
+        }
+        eligible = eligible.minus(overlaid);
+        if (eligible.empty() || ready.empty()) break;
+        const auto d = policy_.next_overlay(
+            g, ready, static_cast<int>(eligible.count()), views());
+        if (!d.has_value()) break;
+        const auto width =
+            static_cast<std::size_t>(std::max(1, d->candidate.threads));
+        launch(d->ready_pos, d->candidate, eligible.take_lowest(width),
+               /*overlay=*/true);
+      }
+    }
+
+    // ---- wait for (at least) one async completion ----
+    if (tracker.remaining() == 0) break;  // everything finished inline
+    if (inflight.empty()) {
+      if (!ready.empty()) continue;  // inline completions refilled the queue
+      throw std::logic_error(
+          "HostCorunExecutor: deadlock — nothing running but nodes remain");
+    }
+    std::pair<std::uint64_t, double> comp;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return !completions.empty(); });
+      comp = completions.front();
+      completions.pop_front();
+    }
+    complete(comp.first, comp.second);
+  }
+
+  stats.time_ms = wall_time_ms() - t0;
+  stats.mean_corun = stats.trace.mean_corun();
+  stats.checksum = program.step_checksum();
+  return stats;
+}
+
+StepResult HostCorunExecutor::run_step_fifo(HostGraphProgram& program,
+                                            int inter_op, int intra_op) {
+  const Graph& g = program.graph();
+  StepResult stats;
+  const double t0 = wall_time_ms();
+
+  const auto slots = static_cast<std::size_t>(std::max(1, inter_op));
+  const auto width = static_cast<std::size_t>(std::clamp<int>(
+      intra_op, 1, static_cast<int>(pool_.max_width())));
+
+  ReadyTracker tracker(g);
+  std::deque<NodeId> ready(tracker.initially_ready().begin(),
+                           tracker.initially_ready().end());
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::pair<std::size_t, double>> completions;  // (slot, end wall)
+  std::vector<NodeId> slot_node(slots, kInvalidNode);
+  std::size_t busy = 0;
+  LaunchPad pad(slots);
+
+  while (tracker.remaining() > 0) {
+    for (std::size_t s = 0; s < slots && !ready.empty(); ++s) {
+      if (slot_node[s] != kInvalidNode) continue;
+      const NodeId node_id = ready.front();
+      ready.pop_front();
+      slot_node[s] = node_id;
+      const bool corun = busy > 0;
+      ++busy;
+      // Unpinned team (empty affinity), one live team per FIFO slot: the
+      // OS scatters the threads, as with TensorFlow's executor.
+      ThreadTeam& team = pool_.team_pinned(width, CoreSet(cores_), s);
+      stats.trace.record(wall_time_ms() - t0, /*is_launch=*/true, node_id,
+                         g.node(node_id).kind, static_cast<int>(busy));
+      ++stats.ops_run;
+      if (corun) ++stats.corun_launches;
+      pad.launch([&program, &mu, &cv, &completions, node_id, s, &team] {
+        program.run_node(node_id, team);
+        const double end = wall_time_ms();
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          completions.emplace_back(s, end);
+        }
+        cv.notify_one();
+      });
+    }
+
+    if (busy == 0) {
+      throw std::logic_error(
+          "HostCorunExecutor: FIFO deadlock — nothing running but nodes "
+          "remain");
+    }
+    std::pair<std::size_t, double> comp;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return !completions.empty(); });
+      comp = completions.front();
+      completions.pop_front();
+    }
+    const NodeId done = slot_node[comp.first];
+    slot_node[comp.first] = kInvalidNode;
+    --busy;
+    stats.trace.record(comp.second - t0, /*is_launch=*/false, done,
+                       g.node(done).kind, static_cast<int>(busy));
+    std::vector<NodeId> newly;
+    tracker.mark_done(done, newly);
+    for (NodeId nid : newly) ready.push_back(nid);
+  }
+
+  stats.time_ms = wall_time_ms() - t0;
+  stats.mean_corun = stats.trace.mean_corun();
+  stats.checksum = program.step_checksum();
+  return stats;
+}
+
+StepResult HostCorunExecutor::run_step_recommendation(
+    HostGraphProgram& program) {
+  return run_step_fifo(program, 1, static_cast<int>(cores_));
+}
+
+}  // namespace opsched

@@ -1,0 +1,113 @@
+// HostCorunExecutor: the native execution path — one training step on REAL
+// threads running REAL tensor kernels (ops/kernels.hpp via
+// HostGraphProgram), scheduled by the same Strategy 1-4 admission logic
+// (AdmissionPolicy) that drives the simulator's CorunScheduler.
+//
+// The executor is a completion-driven scheduling loop, the paper's runtime
+// structure on a physical machine:
+//   - the dispatcher thread holds a core map of the host (idle / primary /
+//     overlaid) and asks the shared AdmissionPolicy what to launch whenever
+//     cores free up;
+//   - every admitted op gets a ThreadTeam of the chosen width pinned to a
+//     disjoint span of host cores (TeamPool::team_pinned), and is handed to
+//     a LaunchPad launcher so the dispatcher never blocks on a kernel;
+//   - Strategy 4 overlays small ops onto the cores of compute-bound
+//     primaries (hyper-thread-context sharing on the real machine; plain
+//     core sharing when SMT is off — either way, real contention);
+//   - completions return cores, feed newly-ready ops, and update an online
+//     calibration between the controller's predicted timescale and host
+//     wall-clock, which the Strategy 3 throughput guard and the
+//     interference recorder consume.
+//
+// What it measures: real step wall-clock under runtime concurrency control,
+// including every cost the simulator only models — team reuse vs. spawn,
+// cache contention between co-runners, dispatch serialization. See
+// docs/HOST_EXECUTION.md for how this path relates to the simulator and to
+// HostReplayExecutor.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "core/admission_policy.hpp"
+#include "core/corun_scheduler.hpp"  // StepResult
+#include "ops/host_program.hpp"
+#include "threading/launch_pad.hpp"
+#include "threading/team_pool.hpp"
+
+namespace opsched {
+
+struct HostCorunOptions {
+  /// Cores the executor schedules over; 0 means the pool's max width.
+  std::size_t cores = 0;
+  /// EWMA weight of the newest (wall ms / predicted ms) calibration sample.
+  double calibration_alpha = 0.3;
+};
+
+/// Lifetime: keeps references to `controller` and `pool`; both must outlive
+/// the executor. The HostGraphProgram passed to run_step is only borrowed
+/// for the call.
+///
+/// Thread-safety: run_step must be called from one thread at a time; the
+/// executor spawns and joins its own launcher threads internally.
+class HostCorunExecutor {
+ public:
+  HostCorunExecutor(const ConcurrencyController& controller, TeamPool& pool,
+                    RuntimeOptions options, HostCorunOptions host = {});
+
+  /// One adaptive step (Strategies per options.strategies) over
+  /// program.graph(). Returns wall-clock StepResult with the deterministic
+  /// step checksum filled in.
+  StepResult run_step(HostGraphProgram& program);
+
+  /// Baseline step under a uniform (inter_op, intra_op) FIFO policy: ready
+  /// ops run in arrival order, at most `inter_op` concurrently, each on an
+  /// UNPINNED team of `intra_op` threads — the OS scatters them, as with
+  /// TensorFlow's executor.
+  StepResult run_step_fifo(HostGraphProgram& program, int inter_op,
+                           int intra_op);
+
+  /// The paper's recommendation baseline (inter=1, intra=all cores).
+  StepResult run_step_recommendation(HostGraphProgram& program);
+
+  std::size_t recorded_bad_pairs() const {
+    return policy_.recorded_bad_pairs();
+  }
+  void reset_learning() { policy_.reset_learning(); }
+
+  /// The shared Strategy 1-4 admission logic (same component the simulator
+  /// scheduler embeds). Exposed for the drift tests.
+  const AdmissionPolicy& policy() const noexcept { return policy_; }
+
+  /// Wall-ms per predicted-ms learned so far (0 until the first
+  /// completion). Exposed for tests and the benchmarks' sanity output.
+  double calibration() const noexcept { return calib_; }
+
+  std::size_t cores() const noexcept { return cores_; }
+
+ private:
+  struct InFlight {
+    NodeId node = kInvalidNode;
+    OpKey key;
+    CoreSet cores;
+    bool overlay = false;
+    double predicted_ms = 0.0;  // controller timescale
+    double start_wall_ms = 0.0;
+    std::vector<OpKey> corunners;
+  };
+
+  const ConcurrencyController& controller_;
+  TeamPool& pool_;
+  RuntimeOptions options_;
+  HostCorunOptions host_;
+  std::size_t cores_;
+  AdmissionPolicy policy_;
+  /// Workerless width-1 team shared by all single-threaded launches (an
+  /// inline team holds no mutable state, so concurrent use is safe).
+  ThreadTeam inline1_{1, CoreSet(), /*inline_single=*/true};
+  double calib_ = 0.0;  // EWMA of wall/predicted; 0 = no sample yet
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace opsched

@@ -1,6 +1,5 @@
 #include "core/host_replay.hpp"
 
-#include <chrono>
 #include <cmath>
 #include <deque>
 #include <future>
@@ -8,16 +7,9 @@
 #include <utility>
 
 #include "ops/work_profile.hpp"
+#include "util/clock.hpp"
 
 namespace opsched {
-
-namespace {
-double now_ms() {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-}  // namespace
 
 HostReplayExecutor::HostReplayExecutor(const ConcurrencyController& controller,
                                        TeamPool& pool,
@@ -55,7 +47,7 @@ double HostReplayExecutor::replay_op(ThreadTeam& team, const Node& node) {
 
 HostReplayResult HostReplayExecutor::run_step(const Graph& g) {
   HostReplayResult result;
-  const double t0 = now_ms();
+  const double t0 = wall_time_ms();
   const std::size_t host = pool_.max_width();
 
   ReadyTracker tracker(g);
@@ -124,7 +116,7 @@ HostReplayResult HostReplayExecutor::run_step(const Graph& g) {
     }
   }
 
-  result.step_ms = now_ms() - t0;
+  result.step_ms = wall_time_ms() - t0;
   return result;
 }
 

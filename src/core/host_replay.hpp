@@ -6,9 +6,17 @@
 // from its WorkProfile — the numerics are synthetic, but the threading
 // behaviour is real: every op runs on a real ThreadTeam of the chosen
 // width, co-run ops genuinely contend for cores, and team reuse vs. resize
-// costs are the host's own. This is the bridge between the simulator
-// (where the paper's tables are regenerated) and physical execution: the
-// same controller drives both.
+// costs are the host's own.
+//
+// This is the middle rung of the three execution paths (see
+// docs/HOST_EXECUTION.md): the simulator (CorunScheduler on SimMachine)
+// regenerates the paper's tables in virtual time; this replay puts the
+// controller's WIDTH decisions on real threads with model-shaped synthetic
+// work and a fixed co-run batch; the native path (HostCorunExecutor) runs
+// the real tensor kernels under the full Strategy 1-4 admission policy.
+// Replay is the right tool for isolating threading-substrate costs (spawn,
+// bind, contention) from kernel numerics — not a scheduler testbed; its
+// batch-of-k dispatch is deliberately simpler than the policy-driven loop.
 #pragma once
 
 #include <cstdint>

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "threading/thread_team.hpp"
+#include "util/clock.hpp"
+
 namespace opsched {
 
 Runtime::Runtime(const MachineSpec& spec, RuntimeOptions options)
@@ -54,6 +57,71 @@ StepResult Runtime::run_step_fifo(const Graph& g, int inter_op,
 
 StepResult Runtime::run_step_recommendation(const Graph& g) {
   return run_step_fifo(g, 1, static_cast<int>(spec_.num_cores));
+}
+
+TeamPool& Runtime::host_pool() {
+  if (host_pool_ == nullptr)
+    host_pool_ = std::make_unique<TeamPool>(host_logical_cores());
+  return *host_pool_;
+}
+
+HostCorunExecutor& Runtime::host_executor() {
+  if (host_executor_ == nullptr) {
+    host_executor_ = std::make_unique<HostCorunExecutor>(
+        *controller_, host_pool(), options_);
+  }
+  return *host_executor_;
+}
+
+ProfilingReport Runtime::profile_host(HostGraphProgram& program,
+                                      int repeats) {
+  const Graph& g = program.graph();
+  TeamPool& pool = host_pool();
+  ProfilingReport report;
+  HillClimbParams params;
+  params.interval = options_.hill_climb_interval;
+  params.max_threads = static_cast<int>(pool.max_width());
+  params.both_modes = false;  // the host pool has no tile topology
+  const HillClimbProfiler profiler(params);
+
+  const int reps = std::max(1, repeats);
+  std::size_t max_samples_per_op = 0;
+  for (const Node& n : g.nodes()) {
+    if (!op_kind_tunable(n.kind)) continue;
+    const OpKey key = OpKey::of(n);
+    if (db_.contains(key)) continue;
+    // The measurement is a REAL timed run of the node's bound kernel on a
+    // real team of the sampled width — concurrency control on physical
+    // hardware, the paper's actual setting.
+    const MeasureFn measure = [&](int threads, AffinityMode) {
+      ThreadTeam& team = pool.team(static_cast<std::size_t>(threads));
+      const double t0 = wall_time_ms();
+      for (int r = 0; r < reps; ++r) program.run_node(n.id, team);
+      return (wall_time_ms() - t0) / static_cast<double>(reps);
+    };
+    ProfileCurve curve = profiler.profile(measure);
+    max_samples_per_op =
+        std::max(max_samples_per_op, profiler.last_sample_count());
+    report.total_samples += curve.total_samples();
+    db_.put(key, std::move(curve));
+    ++report.unique_ops;
+  }
+  report.profiling_steps = max_samples_per_op;
+  controller_->build(g);
+  return report;
+}
+
+StepResult Runtime::run_step_host(HostGraphProgram& program) {
+  return host_executor().run_step(program);
+}
+
+StepResult Runtime::run_step_host_fifo(HostGraphProgram& program,
+                                       int inter_op, int intra_op) {
+  return host_executor().run_step_fifo(program, inter_op, intra_op);
+}
+
+StepResult Runtime::run_step_host_recommendation(HostGraphProgram& program) {
+  return host_executor().run_step_recommendation(program);
 }
 
 ManualOptimum Runtime::manual_optimize(const Graph& g) {

@@ -3,15 +3,28 @@
 // hill-climbing performance model during the first few steps, then executes
 // steps under the adaptive scheduler (Strategies 1-4) or under baseline
 // policies for comparison — the workflow of the paper's Figure 2.
+//
+// Two execution substrates share one Runtime:
+//   - simulated: profile() + run_step()/run_step_fifo() on the SimMachine
+//     (regenerates the paper's tables; deterministic virtual time);
+//   - native host: profile_host() + run_step_host()/run_step_host_fifo(),
+//     which time and run the REAL tensor kernels on real pinned threads via
+//     HostCorunExecutor. Same ConcurrencyController, same AdmissionPolicy
+//     logic, real wall-clock.
+// Profiles land in the one PerfDatabase keyed by (kind, shapes), and the
+// two substrates' timescales differ wildly — use one Runtime per substrate
+// (or call reset-free profile()/profile_host() for disjoint graphs only).
 #pragma once
 
 #include <memory>
 
 #include "core/corun_scheduler.hpp"
 #include "core/fifo_executor.hpp"
+#include "core/host_corun.hpp"
 #include "machine/sim_machine.hpp"
 #include "perf/hill_climb.hpp"
 #include "perf/perf_db.hpp"
+#include "threading/team_pool.hpp"
 
 namespace opsched {
 
@@ -45,6 +58,32 @@ class Runtime {
   /// Grid-search manual optimization (Table I procedure).
   ManualOptimum manual_optimize(const Graph& g);
 
+  // -- native host execution ----------------------------------------------
+
+  /// Profiles every unique tunable op of `program`'s graph by TIMING REAL
+  /// KERNEL RUNS on host thread teams (hill-climb over widths), then
+  /// rebuilds the concurrency decisions. Idempotent per graph. `repeats`
+  /// timed runs are averaged per sample point.
+  ProfilingReport profile_host(HostGraphProgram& program, int repeats = 3);
+
+  /// One adaptive host step (real threads, real kernels, Strategies per
+  /// options.strategies). time_ms is wall-clock; checksum is filled.
+  StepResult run_step_host(HostGraphProgram& program);
+
+  /// Host baseline under a uniform (inter, intra) FIFO policy.
+  StepResult run_step_host_fifo(HostGraphProgram& program, int inter_op,
+                                int intra_op);
+
+  /// Host recommendation baseline (inter=1, intra=host cores).
+  StepResult run_step_host_recommendation(HostGraphProgram& program);
+
+  /// The host thread-team pool (created on first use, sized to the host's
+  /// logical cores).
+  TeamPool& host_pool();
+  /// The native executor (created on first use; learned state persists
+  /// across steps like the simulator scheduler's).
+  HostCorunExecutor& host_executor();
+
   const PerfDatabase& database() const noexcept { return db_; }
   const CostModel& cost_model() const noexcept { return model_; }
   SimMachine& machine() noexcept { return machine_; }
@@ -62,6 +101,8 @@ class Runtime {
   PerfDatabase db_;
   std::unique_ptr<ConcurrencyController> controller_;
   std::unique_ptr<CorunScheduler> scheduler_;
+  std::unique_ptr<TeamPool> host_pool_;
+  std::unique_ptr<HostCorunExecutor> host_executor_;
 };
 
 }  // namespace opsched

@@ -283,8 +283,23 @@ Graph build_toy_cnn(std::int64_t batch) {
   return lb.take();
 }
 
+Graph build_mnist_host(std::int64_t batch) {
+  LayerBuilder lb(/*use_adam=*/true);
+  NodeId x = lb.input("images", TensorShape{batch, 28, 28, 1});
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 8, 1, false, "conv1");
+  x = lb.max_pool(x, lb.shape_of(x), "pool1");  // -> 14x14
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 16, 1, false, "conv2");
+  x = lb.max_pool(x, lb.shape_of(x), "pool2");  // -> 7x7
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 32, 1, false, "conv3");
+  x = lb.global_avg_pool(x, lb.shape_of(x), "head");
+  x = lb.dense(x, batch, 32, 10, "fc");
+  lb.loss_and_backward(x, batch, 10);
+  return lb.take();
+}
+
 std::vector<std::string> model_names() {
-  return {"resnet50", "dcgan", "inception_v3", "lstm", "toy_cnn"};
+  return {"resnet50", "dcgan", "inception_v3", "lstm", "toy_cnn",
+          "mnist_host"};
 }
 
 Graph build_model(const std::string& name) {
@@ -293,6 +308,7 @@ Graph build_model(const std::string& name) {
   if (name == "inception_v3") return build_inception_v3();
   if (name == "lstm") return build_lstm();
   if (name == "toy_cnn") return build_toy_cnn();
+  if (name == "mnist_host") return build_mnist_host();
   throw std::invalid_argument("build_model: unknown model " + name);
 }
 

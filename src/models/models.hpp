@@ -25,8 +25,15 @@ Graph build_lstm(std::int64_t batch = 20, std::int64_t seq_len = 20,
 /// A small CNN used by the host-mode (real kernel) examples and tests.
 Graph build_toy_cnn(std::int64_t batch = 8);
 
+/// The MNIST host workload: a LeNet-style stride-1 CNN at 28x28, sized so
+/// every schedulable op binds to an exact native kernel
+/// (HostGraphProgram) and a full forward+backward+Adam step runs in
+/// milliseconds on a laptop-class host. Used by the host_corun benchmark
+/// family and example_train_mnist_host.
+Graph build_mnist_host(std::int64_t batch = 8);
+
 /// Names accepted by build_model: "resnet50", "dcgan", "inception_v3",
-/// "lstm", "toy_cnn".
+/// "lstm", "toy_cnn", "mnist_host".
 std::vector<std::string> model_names();
 Graph build_model(const std::string& name);
 

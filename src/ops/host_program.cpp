@@ -1,0 +1,442 @@
+#include "ops/host_program.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ops/kernels.hpp"
+#include "ops/reference.hpp"
+#include "util/rng.hpp"
+
+namespace opsched {
+
+namespace {
+
+Tensor filled(const TensorShape& shape, std::uint64_t seed) {
+  Tensor t(shape);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+bool rank2(const TensorShape& s) {
+  return s.rank() == 2 && s.elements() > 0;
+}
+bool rank4(const TensorShape& s) {
+  return s.rank() == 4 && s.elements() > 0;
+}
+
+}  // namespace
+
+const char* host_binding_name(HostBinding b) noexcept {
+  switch (b) {
+    case HostBinding::kMatMul: return "matmul";
+    case HostBinding::kMatMulGrad: return "matmul_grad";
+    case HostBinding::kConv2D: return "conv2d";
+    case HostBinding::kConvBackpropFilter: return "conv2d_backprop_filter";
+    case HostBinding::kConvBackpropInput: return "conv2d_backprop_input";
+    case HostBinding::kMaxPool2x2: return "max_pool2x2";
+    case HostBinding::kAvgPoolGlobal: return "avg_pool_global";
+    case HostBinding::kFusedBatchNorm: return "fused_batch_norm";
+    case HostBinding::kBiasAdd: return "bias_add";
+    case HostBinding::kBiasAddGrad: return "bias_add_grad";
+    case HostBinding::kRelu: return "relu";
+    case HostBinding::kReluGrad: return "relu_grad";
+    case HostBinding::kSigmoid: return "sigmoid";
+    case HostBinding::kTanh: return "tanh";
+    case HostBinding::kMul: return "mul";
+    case HostBinding::kAdd: return "add";
+    case HostBinding::kAddN: return "add_n";
+    case HostBinding::kTile: return "tile";
+    case HostBinding::kApplyAdam: return "apply_adam";
+    case HostBinding::kSoftmaxXent: return "sparse_softmax_xent";
+    case HostBinding::kSurrogate: return "surrogate";
+  }
+  return "?";
+}
+
+HostGraphProgram::HostGraphProgram(const Graph& g, std::uint64_t seed)
+    : graph_(&g) {
+  ops_.resize(g.size());
+  for (const Node& node : g.nodes()) bind_node(node, seed);
+}
+
+// Tensor roles per binding (op.in / op.out indices):
+//   kMatMul           in: a(M,K), b(K,N)             out: (M,N)
+//   kMatMulGrad       in: x^T(K,M), dOut(M,P)        out: dW(K,P)
+//   kConv2D           in: input, filter              out: output   (stride)
+//   kConvBackpropFilter in: input, d_out             out: d_filter
+//   kConvBackpropInput  in: filter, d_out            out: d_input
+//   kMaxPool2x2/kAvgPoolGlobal in: input             out: output
+//   kFusedBatchNorm   in: input, gamma, beta         out: output, mean, var
+//   kBiasAdd          in: input, bias                out: output
+//   kBiasAddGrad      in: d_out                      out: d_bias
+//   unary/elementwise in: operand(s)                 out: output
+//   kTile             in: input                      out: output   (multiple)
+//   kApplyAdam        in: grad                       out: param, m, v
+//                     initial_state: pristine param, m, v
+//   kSoftmaxXent      in: logits                     out: d_logits (+labels)
+//   kSurrogate        in: a, b (output-shaped)       out: output
+void HostGraphProgram::bind_node(const Node& node, std::uint64_t seed) {
+  BoundOp& op = ops_[node.id];
+  const TensorShape& is = node.input_shape;
+  const TensorShape& as = node.aux_shape;
+  const TensorShape& os = node.output_shape;
+  const auto tseed = [&](std::uint64_t idx) {
+    return mix64(seed, node.id, idx);
+  };
+
+  // Each case binds only when the node's shapes admit the exact kernel;
+  // otherwise control falls through to the surrogate at the end. The graph
+  // is a shape trace, not a tensor program, so backward ops synthesize
+  // their gradient operand at stride 1 — real kernels, real traffic, not a
+  // re-derivation of the model's autodiff.
+  switch (node.kind) {
+    case OpKind::kMatMul:
+      if (rank2(is) && rank2(os) && is[0] == os[0]) {
+        op.binding = HostBinding::kMatMul;
+        op.in.push_back(filled(is, tseed(0)));
+        op.in.push_back(filled(TensorShape{is[1], os[1]}, tseed(1)));
+        op.out.emplace_back(os);
+        return;
+      }
+      break;
+    case OpKind::kMatMulGrad:
+      if (rank2(is) && rank2(os) && is[1] == os[0]) {
+        op.binding = HostBinding::kMatMulGrad;
+        op.in.push_back(filled(TensorShape{os[0], is[0]}, tseed(0)));
+        op.in.push_back(filled(TensorShape{is[0], os[1]}, tseed(1)));
+        op.out.emplace_back(os);
+        return;
+      }
+      break;
+    case OpKind::kConv2D:
+      if (rank4(is) && rank4(as) && rank4(os) && as[2] == is[3] &&
+          as[3] == os[3] && os[0] == is[0] && os[1] > 0 && os[2] > 0) {
+        const std::int64_t s = std::max<std::int64_t>(1, is[1] / os[1]);
+        if (s <= 4 && (is[1] + s - 1) / s == os[1] &&
+            (is[2] + s - 1) / s == os[2]) {
+          op.binding = HostBinding::kConv2D;
+          op.stride = static_cast<int>(s);
+          op.in.push_back(filled(is, tseed(0)));
+          op.in.push_back(filled(as, tseed(1)));
+          op.out.emplace_back(os);
+          return;
+        }
+      }
+      break;
+    case OpKind::kConv2DBackpropFilter:
+      if (rank4(is) && rank4(os) && os[2] == is[3]) {
+        op.binding = HostBinding::kConvBackpropFilter;
+        op.in.push_back(filled(is, tseed(0)));
+        op.in.push_back(
+            filled(TensorShape{is[0], is[1], is[2], os[3]}, tseed(1)));
+        op.out.emplace_back(os);
+        return;
+      }
+      break;
+    case OpKind::kConv2DBackpropInput:
+      if (rank4(os) && rank4(as) && as[2] == os[3]) {
+        op.binding = HostBinding::kConvBackpropInput;
+        op.in.push_back(filled(as, tseed(0)));
+        op.in.push_back(
+            filled(TensorShape{os[0], os[1], os[2], as[3]}, tseed(1)));
+        op.out.emplace_back(os);
+        return;
+      }
+      break;
+    case OpKind::kMaxPool:
+      if (rank4(is) && rank4(os) && os[0] == is[0] && os[1] == is[1] / 2 &&
+          os[2] == is[2] / 2 && os[3] == is[3] && is[1] >= 2 && is[2] >= 2) {
+        op.binding = HostBinding::kMaxPool2x2;
+        op.in.push_back(filled(is, tseed(0)));
+        op.out.emplace_back(os);
+        return;
+      }
+      break;
+    case OpKind::kAvgPool:
+    case OpKind::kAvgPoolGrad:
+      if (rank4(is) && rank4(os) && os[0] == is[0] && os[1] == 1 &&
+          os[2] == 1 && os[3] == is[3]) {
+        op.binding = HostBinding::kAvgPoolGlobal;
+        op.in.push_back(filled(is, tseed(0)));
+        op.out.emplace_back(os);
+        return;
+      }
+      break;
+    case OpKind::kFusedBatchNorm:
+      if (rank4(is) && os == is) {
+        op.binding = HostBinding::kFusedBatchNorm;
+        op.in.push_back(filled(is, tseed(0)));
+        op.in.push_back(filled(TensorShape{is[3]}, tseed(1)));
+        op.in.push_back(filled(TensorShape{is[3]}, tseed(2)));
+        op.out.emplace_back(os);
+        op.out.emplace_back(TensorShape{is[3]});
+        op.out.emplace_back(TensorShape{is[3]});
+        return;
+      }
+      break;
+    case OpKind::kBiasAdd:
+      if (os.rank() >= 1 && os.elements() > 0 &&
+          is.elements() == os.elements() &&
+          os.elements() % os[os.rank() - 1] == 0) {
+        op.binding = HostBinding::kBiasAdd;
+        op.in.push_back(filled(os, tseed(0)));
+        op.in.push_back(filled(TensorShape{os[os.rank() - 1]}, tseed(1)));
+        op.out.emplace_back(os);
+        return;
+      }
+      break;
+    case OpKind::kBiasAddGrad:
+      if (os.rank() == 1 && os[0] > 0 && is.elements() > 0 &&
+          is.elements() % os[0] == 0) {
+        op.binding = HostBinding::kBiasAddGrad;
+        op.in.push_back(filled(is, tseed(0)));
+        op.out.emplace_back(os);
+        return;
+      }
+      break;
+    case OpKind::kRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kTanh:
+      if (os.elements() > 0) {
+        op.binding = node.kind == OpKind::kRelu    ? HostBinding::kRelu
+                     : node.kind == OpKind::kSigmoid ? HostBinding::kSigmoid
+                                                     : HostBinding::kTanh;
+        op.in.push_back(filled(os, tseed(0)));
+        op.out.emplace_back(os);
+        return;
+      }
+      break;
+    case OpKind::kReluGrad:
+      if (os.elements() > 0) {
+        op.binding = HostBinding::kReluGrad;
+        op.in.push_back(filled(os, tseed(0)));
+        op.in.push_back(filled(os, tseed(1)));
+        op.out.emplace_back(os);
+        return;
+      }
+      break;
+    case OpKind::kMul:
+    case OpKind::kAdd:
+      if (os.elements() > 0) {
+        op.binding = node.kind == OpKind::kMul ? HostBinding::kMul
+                                               : HostBinding::kAdd;
+        op.in.push_back(filled(os, tseed(0)));
+        op.in.push_back(filled(os, tseed(1)));
+        op.out.emplace_back(os);
+        return;
+      }
+      break;
+    case OpKind::kAddN:
+      if (os.elements() > 0) {
+        op.binding = HostBinding::kAddN;
+        const std::size_t terms = std::max<std::size_t>(1, node.inputs.size());
+        for (std::size_t i = 0; i < terms; ++i)
+          op.in.push_back(filled(os, tseed(i)));
+        op.out.emplace_back(os);
+        return;
+      }
+      break;
+    case OpKind::kTile:
+      if (is.elements() > 0 && os.elements() > 0 &&
+          os.elements() % is.elements() == 0) {
+        op.binding = HostBinding::kTile;
+        op.tile_multiple = static_cast<int>(os.elements() / is.elements());
+        op.in.push_back(filled(is, tseed(0)));
+        op.out.emplace_back(os);
+        return;
+      }
+      break;
+    case OpKind::kApplyAdam:
+    case OpKind::kApplyGradientDescent:
+      if (node.kind == OpKind::kApplyAdam && os.elements() > 0) {
+        op.binding = HostBinding::kApplyAdam;
+        op.in.push_back(filled(os, tseed(0)));          // grad
+        op.initial_state.push_back(filled(os, tseed(1)));  // param
+        op.initial_state.emplace_back(os, 0.f);            // m
+        op.initial_state.emplace_back(os, 0.f);            // v
+        op.out.emplace_back(os);
+        op.out.emplace_back(os);
+        op.out.emplace_back(os);
+        return;
+      }
+      break;
+    case OpKind::kSparseSoftmaxCrossEntropy:
+      if (rank2(is) && os.elements() == is.elements() && is[1] > 1) {
+        op.binding = HostBinding::kSoftmaxXent;
+        op.in.push_back(filled(is, tseed(0)));
+        op.out.emplace_back(is);
+        Xoshiro256 rng(tseed(1));
+        for (std::int64_t n = 0; n < is[0]; ++n)
+          op.labels.push_back(static_cast<int>(
+              rng.uniform_index(static_cast<std::size_t>(is[1]))));
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+
+  op.binding = HostBinding::kSurrogate;
+  op.in.push_back(filled(os, tseed(0)));
+  op.in.push_back(filled(os, tseed(1)));
+  op.out.emplace_back(os);
+}
+
+void HostGraphProgram::execute(BoundOp& op, ThreadTeam& team) {
+  switch (op.binding) {
+    case HostBinding::kMatMul:
+    case HostBinding::kMatMulGrad:
+      kernels::matmul(team, op.in[0], op.in[1], op.out[0]);
+      return;
+    case HostBinding::kConv2D:
+      kernels::conv2d(team, op.in[0], op.in[1], op.out[0], op.stride);
+      return;
+    case HostBinding::kConvBackpropFilter:
+      kernels::conv2d_backprop_filter(team, op.in[0], op.in[1], op.out[0],
+                                      op.stride);
+      return;
+    case HostBinding::kConvBackpropInput:
+      kernels::conv2d_backprop_input(team, op.in[0], op.in[1], op.out[0],
+                                     op.stride);
+      return;
+    case HostBinding::kMaxPool2x2:
+      kernels::max_pool2x2(team, op.in[0], op.out[0]);
+      return;
+    case HostBinding::kAvgPoolGlobal:
+      kernels::avg_pool_global(team, op.in[0], op.out[0]);
+      return;
+    case HostBinding::kFusedBatchNorm:
+      kernels::fused_batch_norm(team, op.in[0], op.in[1], op.in[2],
+                                op.out[0], op.out[1], op.out[2]);
+      return;
+    case HostBinding::kBiasAdd:
+      kernels::bias_add(team, op.in[0], op.in[1], op.out[0]);
+      return;
+    case HostBinding::kBiasAddGrad:
+      kernels::bias_add_grad(team, op.in[0], op.out[0]);
+      return;
+    case HostBinding::kRelu:
+      kernels::relu(team, op.in[0], op.out[0]);
+      return;
+    case HostBinding::kReluGrad:
+      kernels::relu_grad(team, op.in[0], op.in[1], op.out[0]);
+      return;
+    case HostBinding::kSigmoid:
+      kernels::sigmoid(team, op.in[0], op.out[0]);
+      return;
+    case HostBinding::kTanh:
+      kernels::tanh_op(team, op.in[0], op.out[0]);
+      return;
+    case HostBinding::kMul:
+      kernels::mul(team, op.in[0], op.in[1], op.out[0]);
+      return;
+    case HostBinding::kAddN: {
+      std::vector<const Tensor*> terms;
+      terms.reserve(op.in.size());
+      for (const Tensor& t : op.in) terms.push_back(&t);
+      kernels::add_n(team, terms, op.out[0]);
+      return;
+    }
+    case HostBinding::kTile:
+      kernels::tile_axis0(team, op.in[0], op.tile_multiple, op.out[0]);
+      return;
+    case HostBinding::kApplyAdam:
+      // Restore pristine param/m/v so every run of this node (and
+      // therefore every step) is bit-identical.
+      for (std::size_t i = 0; i < 3; ++i)
+        std::copy(op.initial_state[i].span().begin(),
+                  op.initial_state[i].span().end(),
+                  op.out[i].span().begin());
+      kernels::apply_adam(team, op.out[0], op.out[1], op.out[2], op.in[0],
+                          1e-3f, 0.9f, 0.999f, 1e-8f, /*timestep=*/1);
+      return;
+    case HostBinding::kSoftmaxXent:
+      kernels::sparse_softmax_xent(team, op.in[0], op.labels, op.out[0]);
+      return;
+    case HostBinding::kAdd:
+    case HostBinding::kSurrogate:
+      kernels::add(team, op.in[0], op.in[1], op.out[0]);
+      return;
+  }
+  throw std::logic_error("HostGraphProgram: unhandled binding");
+}
+
+void HostGraphProgram::execute_reference(BoundOp& op) {
+  switch (op.binding) {
+    case HostBinding::kMatMul:
+    case HostBinding::kMatMulGrad:
+      reference::matmul(op.in[0], op.in[1], op.out[0]);
+      return;
+    case HostBinding::kConv2D:
+      reference::conv2d(op.in[0], op.in[1], op.out[0], op.stride);
+      return;
+    case HostBinding::kConvBackpropFilter:
+      reference::conv2d_backprop_filter(op.in[0], op.in[1], op.out[0],
+                                        op.stride);
+      return;
+    case HostBinding::kConvBackpropInput:
+      reference::conv2d_backprop_input(op.in[0], op.in[1], op.out[0],
+                                       op.stride);
+      return;
+    case HostBinding::kMaxPool2x2:
+      reference::max_pool2x2(op.in[0], op.out[0]);
+      return;
+    case HostBinding::kAvgPoolGlobal:
+      reference::avg_pool_global(op.in[0], op.out[0]);
+      return;
+    case HostBinding::kBiasAdd:
+      reference::bias_add(op.in[0], op.in[1], op.out[0]);
+      return;
+    case HostBinding::kBiasAddGrad:
+      reference::bias_add_grad(op.in[0], op.out[0]);
+      return;
+    case HostBinding::kSoftmaxXent:
+      reference::sparse_softmax_xent(op.in[0], op.labels, op.out[0]);
+      return;
+    default:
+      // Kinds without a hand-written serial reference run the parallel
+      // kernel on one worker — serial execution by construction.
+      if (serial_team_ == nullptr)
+        serial_team_ = std::make_unique<ThreadTeam>(1);
+      execute(op, *serial_team_);
+      return;
+  }
+}
+
+void HostGraphProgram::run_node(NodeId id, ThreadTeam& team) {
+  execute(ops_.at(id), team);
+}
+
+void HostGraphProgram::run_node_reference(NodeId id) {
+  execute_reference(ops_.at(id));
+}
+
+const Tensor& HostGraphProgram::output(NodeId id) const {
+  return ops_.at(id).out.at(0);
+}
+
+double HostGraphProgram::step_checksum() const {
+  double acc = 0.0;
+  for (const BoundOp& op : ops_) {
+    for (const Tensor& t : op.out) {
+      for (std::size_t i = 0; i < t.size(); ++i)
+        acc += static_cast<double>(t[i]);
+    }
+  }
+  return acc;
+}
+
+HostBinding HostGraphProgram::binding(NodeId id) const {
+  return ops_.at(id).binding;
+}
+
+std::size_t HostGraphProgram::exact_bindings() const {
+  std::size_t n = 0;
+  for (const BoundOp& op : ops_)
+    if (op.binding != HostBinding::kSurrogate) ++n;
+  return n;
+}
+
+}  // namespace opsched

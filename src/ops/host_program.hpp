@@ -1,0 +1,128 @@
+// HostGraphProgram: binds every node of a step graph to a concrete
+// opsched::kernels invocation with real tensors, so the step can execute
+// natively on host threads (HostCorunExecutor) instead of being simulated
+// or replayed as synthetic FMA loops.
+//
+// The graph is an *op trace* — kinds, shapes and dependencies, no tensor
+// values — so the program reconstructs a workload from it, not the model's
+// exact training-step semantics: each node owns deterministic synthetic
+// input tensors derived from (seed, node id) and writes node-private
+// outputs. Where the node's shapes admit the exact kernel (matmul, conv2d,
+// the conv backprops, pools, bias_add(+grad), relu(+grad), batch norm,
+// Adam, softmax-xent, elementwise, tile) that kernel runs with real
+// flops/bytes at the node's real shapes; nodes whose kinds or shapes have
+// no native kernel (layout conversions, reshapes, the pool/norm gradients)
+// fall back to an elementwise surrogate over the output shape — still a
+// real parallel kernel with the node's output traffic.
+//
+// Determinism: every kernel in ops/kernels.hpp partitions output elements
+// across workers and accumulates in a fixed arithmetic order, so a node's
+// outputs are bit-identical for ANY team width. Inputs are deterministic by
+// construction, and nodes never share mutable tensors. Therefore a step's
+// outputs — and step_checksum() — are bit-for-bit reproducible no matter
+// how the scheduler widths, orders, or co-runs the ops, and equal to a
+// fully serial reference execution. That property is what the host
+// executor's equivalence and determinism tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ops/tensor.hpp"
+#include "threading/thread_team.hpp"
+
+namespace opsched {
+
+/// How a node is realized on the host.
+enum class HostBinding : std::uint8_t {
+  kMatMul = 0,       // out(M,N) = a(M,K) * b(K,N)
+  kMatMulGrad,       // dW(K,P) = x^T(K,M) * dOut(M,P)
+  kConv2D,
+  kConvBackpropFilter,
+  kConvBackpropInput,
+  kMaxPool2x2,
+  kAvgPoolGlobal,
+  kFusedBatchNorm,
+  kBiasAdd,
+  kBiasAddGrad,
+  kRelu,
+  kReluGrad,
+  kSigmoid,
+  kTanh,
+  kMul,
+  kAdd,
+  kAddN,
+  kTile,
+  kApplyAdam,
+  kSoftmaxXent,
+  /// Elementwise add over the output shape — the fallback for kinds/shapes
+  /// without a native kernel.
+  kSurrogate,
+};
+
+const char* host_binding_name(HostBinding b) noexcept;
+
+/// Lifetime: keeps a reference to `g`, which must outlive the program.
+///
+/// Thread-safety: run_node is safe to call concurrently for DISTINCT nodes
+/// (each node owns all tensors it touches); calling it concurrently for the
+/// same node, or using run_node_reference/step_checksum concurrently with
+/// any run, is undefined.
+class HostGraphProgram {
+ public:
+  /// Binds every node and allocates its tensors (deterministic fill from
+  /// `seed`). Allocation is proportional to the graph's total tensor
+  /// footprint — intended for host-scale graphs (toy_cnn, mnist_host), not
+  /// the full paper models.
+  explicit HostGraphProgram(const Graph& g, std::uint64_t seed = 0x5eedULL);
+
+  const Graph& graph() const noexcept { return *graph_; }
+
+  /// Executes node `id`'s kernel on `team` (parallel path).
+  void run_node(NodeId id, ThreadTeam& team);
+
+  /// Serial execution of node `id`: ops/reference.cpp kernels where they
+  /// exist, otherwise the parallel kernel on a lazily-created width-1 team.
+  void run_node_reference(NodeId id);
+
+  /// The node's primary output tensor (meaningful after a run).
+  const Tensor& output(NodeId id) const;
+
+  /// Deterministic checksum: double sum over every node's output elements,
+  /// accumulated serially in node order.
+  double step_checksum() const;
+
+  HostBinding binding(NodeId id) const;
+  /// Nodes bound to exact (non-surrogate) kernels.
+  std::size_t exact_bindings() const;
+
+ private:
+  struct BoundOp {
+    HostBinding binding = HostBinding::kSurrogate;
+    int stride = 1;
+    int tile_multiple = 1;
+    /// Input tensors, meaning depends on the binding (see host_program.cpp).
+    std::vector<Tensor> in;
+    /// out[0] is the primary output; batch norm adds mean/var.
+    std::vector<Tensor> out;
+    /// Integer class labels (kSoftmaxXent only).
+    std::vector<int> labels;
+    /// Pristine copies of the state tensors kApplyAdam mutates in place
+    /// (param, m, v), restored before every run so repeated steps are
+    /// bit-identical.
+    std::vector<Tensor> initial_state;
+  };
+
+  void bind_node(const Node& node, std::uint64_t seed);
+  void execute(BoundOp& op, ThreadTeam& team);
+  void execute_reference(BoundOp& op);
+
+  const Graph* graph_;
+  std::vector<BoundOp> ops_;  // by node id
+  /// Width-1 team for reference runs of kinds without a serial reference.
+  std::unique_ptr<ThreadTeam> serial_team_;
+};
+
+}  // namespace opsched

@@ -84,22 +84,35 @@ void conv2d_backprop_input(const Tensor& filter, const Tensor& d_out,
   const std::int64_t OH = d_out.shape()[1], OW = d_out.shape()[2];
   const int ph = same_pad(static_cast<int>(KH));
   const int pw = same_pad(static_cast<int>(KW));
-  std::fill(d_input.span().begin(), d_input.span().end(), 0.f);
+  // Gather form, accumulation order identical to the parallel kernel so
+  // float results agree bit-for-bit (the host-executor equivalence tests
+  // compare exactly): per input pixel, per (kh, kw) tap, an inner-product
+  // over f is accumulated into a scalar before updating the pixel.
   for (std::int64_t n = 0; n < N; ++n)
-    for (std::int64_t oh = 0; oh < OH; ++oh)
-      for (std::int64_t ow = 0; ow < OW; ++ow)
-        for (std::int64_t kh = 0; kh < KH; ++kh)
+    for (std::int64_t ih = 0; ih < H; ++ih)
+      for (std::int64_t iw = 0; iw < W; ++iw) {
+        for (std::int64_t c = 0; c < C; ++c) d_input.nhwc(n, ih, iw, c) = 0.f;
+        for (std::int64_t kh = 0; kh < KH; ++kh) {
+          const std::int64_t oh_num = ih + ph - kh;
+          if (oh_num < 0 || oh_num % stride != 0) continue;
+          const std::int64_t oh = oh_num / stride;
+          if (oh >= OH) continue;
           for (std::int64_t kw = 0; kw < KW; ++kw) {
-            const std::int64_t ih = oh * stride - ph + kh;
-            const std::int64_t iw = ow * stride - pw + kw;
-            if (ih < 0 || ih >= H || iw < 0 || iw >= W) continue;
-            for (std::int64_t c = 0; c < C; ++c)
+            const std::int64_t ow_num = iw + pw - kw;
+            if (ow_num < 0 || ow_num % stride != 0) continue;
+            const std::int64_t ow = ow_num / stride;
+            if (ow >= OW) continue;
+            for (std::int64_t c = 0; c < C; ++c) {
+              float acc = 0.f;
               for (std::int64_t f = 0; f < F; ++f)
-                d_input.nhwc(n, ih, iw, c) +=
-                    filter[static_cast<std::size_t>(
-                        ((kh * KW + kw) * C + c) * F + f)] *
-                    d_out.nhwc(n, oh, ow, f);
+                acc += filter[static_cast<std::size_t>(
+                           ((kh * KW + kw) * C + c) * F + f)] *
+                       d_out.nhwc(n, oh, ow, f);
+              d_input.nhwc(n, ih, iw, c) += acc;
+            }
           }
+        }
+      }
 }
 
 void max_pool2x2(const Tensor& input, Tensor& output) {
@@ -120,12 +133,15 @@ void max_pool2x2(const Tensor& input, Tensor& output) {
 void avg_pool_global(const Tensor& input, Tensor& output) {
   const std::int64_t N = input.shape()[0], H = input.shape()[1],
                      W = input.shape()[2], C = input.shape()[3];
+  // Multiply by the reciprocal (not divide) to match the parallel kernel's
+  // float rounding exactly.
+  const float inv = 1.0f / static_cast<float>(H * W);
   for (std::int64_t n = 0; n < N; ++n)
     for (std::int64_t c = 0; c < C; ++c) {
       float acc = 0.f;
       for (std::int64_t h = 0; h < H; ++h)
         for (std::int64_t w = 0; w < W; ++w) acc += input.nhwc(n, h, w, c);
-      output.nhwc(n, 0, 0, c) = acc / static_cast<float>(H * W);
+      output.nhwc(n, 0, 0, c) = acc * inv;
     }
 }
 
@@ -144,6 +160,8 @@ void bias_add_grad(const Tensor& d_out, Tensor& d_bias) {
 float sparse_softmax_xent(const Tensor& logits, const std::vector<int>& labels,
                           Tensor& d_logits) {
   const std::int64_t N = logits.shape()[0], C = logits.shape()[1];
+  // inv_n multiplication (not /N) to match the parallel kernel bit-for-bit.
+  const float inv_n = 1.0f / static_cast<float>(N);
   double total = 0.0;
   for (std::int64_t n = 0; n < N; ++n) {
     const float* row = logits.data() + static_cast<std::size_t>(n * C);
@@ -157,8 +175,8 @@ float sparse_softmax_xent(const Tensor& logits, const std::vector<int>& labels,
     for (std::int64_t c = 0; c < C; ++c) {
       const float p = std::exp(row[c] - mx) / denom;
       drow[c] =
-          (p - (c == labels[static_cast<std::size_t>(n)] ? 1.f : 0.f)) /
-          static_cast<float>(N);
+          (p - (c == labels[static_cast<std::size_t>(n)] ? 1.f : 0.f)) *
+          inv_n;
     }
   }
   return static_cast<float>(total / static_cast<double>(N));

@@ -1,0 +1,56 @@
+#include "threading/launch_pad.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace opsched {
+
+LaunchPad::LaunchPad(std::size_t width) {
+  const std::size_t n = std::max<std::size_t>(1, width);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+LaunchPad::~LaunchPad() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void LaunchPad::launch(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+std::size_t LaunchPad::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + active_;
+}
+
+void LaunchPad::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+    }
+  }
+}
+
+}  // namespace opsched

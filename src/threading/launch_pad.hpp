@@ -1,0 +1,56 @@
+// LaunchPad: a small pool of reusable launcher threads for dispatching
+// operations asynchronously. The host executor's scheduling loop runs on
+// one dispatcher thread; every admitted op is handed to a launcher, which
+// blocks inside the op's ThreadTeam::parallel_for until the kernel
+// finishes, then runs the caller's completion callback.
+//
+// This mirrors the inter-op thread pool of a TensorFlow-style executor: the
+// launchers themselves do negligible work (the op's compute happens on its
+// team's pinned workers); they exist so the dispatcher never blocks on a
+// kernel and can keep admitting co-runners. Launchers are spawned once and
+// reused — per-launch std::thread spawn cost would pollute exactly the
+// small-op timings Strategy 4 cares about.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace opsched {
+
+/// Thread-safety: launch() may be called from any one thread at a time
+/// (the dispatcher); jobs run concurrently on launcher threads. The
+/// destructor drains queued jobs, waits for running ones, then joins.
+class LaunchPad {
+ public:
+  /// Spawns `width` launcher threads (at least 1).
+  explicit LaunchPad(std::size_t width);
+  LaunchPad(const LaunchPad&) = delete;
+  LaunchPad& operator=(const LaunchPad&) = delete;
+  ~LaunchPad();
+
+  /// Enqueues `job` for execution on a free launcher. Never blocks: jobs
+  /// queue when all launchers are busy (the host executor sizes the pad to
+  /// its maximum co-run degree, so queueing is the uncommon case).
+  void launch(std::function<void()> job);
+
+  std::size_t width() const noexcept { return threads_.size(); }
+  /// Jobs queued or running right now.
+  std::size_t in_flight() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace opsched

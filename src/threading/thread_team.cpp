@@ -15,9 +15,13 @@ std::size_t host_logical_cores() noexcept {
   return n == 0 ? 1 : n;
 }
 
-ThreadTeam::ThreadTeam(std::size_t width, const CoreSet& affinity)
-    : width_(width) {
+ThreadTeam::ThreadTeam(std::size_t width, const CoreSet& affinity,
+                       bool inline_single)
+    : width_(width), inline_single_(inline_single && width == 1) {
   if (width_ == 0) throw std::invalid_argument("ThreadTeam: width must be >0");
+  if (inline_single && width != 1)
+    throw std::invalid_argument("ThreadTeam: inline_single requires width 1");
+  if (inline_single_) return;  // no workers: bodies run on the caller
   std::vector<std::size_t> pins;
   const bool pin = affinity.count() >= width_;
   if (pin) {
@@ -112,6 +116,13 @@ void ThreadTeam::parallel_for(std::size_t n, const RangeFn& fn) {
 void ThreadTeam::parallel_for_grain(std::size_t n, std::size_t grain,
                                     const RangeFn& fn) {
   if (n == 0) return;
+  if (inline_single_) {
+    // Same single chunk a width-1 worker would get, minus the dispatch
+    // round-trip; exceptions propagate directly. No shared state is
+    // touched, so inline teams are safe to use concurrently.
+    fn(0, n, 0);
+    return;
+  }
   Task task;
   task.n = n;
   task.grain = grain;
@@ -120,6 +131,10 @@ void ThreadTeam::parallel_for_grain(std::size_t n, std::size_t grain,
 }
 
 void ThreadTeam::run_on_all(const std::function<void(std::size_t)>& fn) {
+  if (inline_single_) {
+    fn(0);
+    return;
+  }
   const RangeFn wrapper = [&fn](std::size_t, std::size_t, std::size_t worker) {
     fn(worker);
   };

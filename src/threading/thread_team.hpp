@@ -33,7 +33,16 @@ class ThreadTeam {
   /// least `width` cores; worker i is pinned (best effort) to the i-th core
   /// in ascending order. Neighbouring workers get neighbouring cores, which
   /// mirrors the paper's "threads with continuous IDs share a tile" policy.
-  explicit ThreadTeam(std::size_t width, const CoreSet& affinity = CoreSet());
+  ///
+  /// `inline_single` (width 1 only): spawn NO workers and run every
+  /// parallel_for body directly on the calling thread. This removes the
+  /// dispatch round-trip (two context switches) that dominates tiny
+  /// single-threaded ops — the host executor uses it for width-1 launches.
+  /// An inline team holds no mutable state, so unlike a normal team it MAY
+  /// be used from several threads concurrently; its affinity is ignored
+  /// (the caller keeps its own pinning).
+  explicit ThreadTeam(std::size_t width, const CoreSet& affinity = CoreSet(),
+                      bool inline_single = false);
 
   ThreadTeam(const ThreadTeam&) = delete;
   ThreadTeam& operator=(const ThreadTeam&) = delete;
@@ -69,6 +78,7 @@ class ThreadTeam {
   static void apply_affinity(std::size_t core);
 
   const std::size_t width_;
+  const bool inline_single_ = false;
   std::vector<std::thread> workers_;
 
   std::mutex mutex_;

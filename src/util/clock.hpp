@@ -1,0 +1,18 @@
+// Wall-clock helper shared by everything that times real execution (host
+// executors, host profiling, benches). One definition so every consumer
+// measures on the same monotonic base — the profile_host ↔ HostCorunExecutor
+// calibration depends on the profiler and the executor agreeing on a clock.
+#pragma once
+
+#include <chrono>
+
+namespace opsched {
+
+/// Monotonic wall-clock milliseconds (steady_clock since epoch).
+inline double wall_time_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace opsched

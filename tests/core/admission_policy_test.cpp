@@ -1,0 +1,198 @@
+// AdmissionPolicy: the shared Strategy 1-4 admission logic. The central
+// claim is that the simulator scheduler and the native host executor make
+// IDENTICAL admission decisions because they run the same component — so a
+// fixed ready-queue script must produce the same decision sequence from two
+// independently-driven policy instances (one playing the simulator's role,
+// one the host executor's).
+#include "core/admission_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "graph/builder.hpp"
+
+namespace opsched {
+namespace {
+
+/// A layer of independent convs (profiled, tunable) plus one tiny op for
+/// the Strategy-4 smallest-op rule. Node ids: 0 = source, 1-4 = convs,
+/// 5 = tiny bias add.
+Graph script_graph() {
+  GraphBuilder gb;
+  const NodeId src =
+      gb.source(OpKind::kInputConversion, "in", TensorShape{32, 8, 8, 384});
+  for (int i = 0; i < 4; ++i) {
+    gb.op(OpKind::kConv2DBackpropInput, "conv" + std::to_string(i), {src},
+          TensorShape{32, 8, 8, 384}, TensorShape{3, 3, 384, 384},
+          TensorShape{32, 8, 8, 384});
+  }
+  gb.op(OpKind::kBiasAdd, "tiny", {src}, TensorShape{32, 8, 8, 16},
+        TensorShape{16}, TensorShape{32, 8, 8, 16});
+  return gb.take();
+}
+
+class AdmissionPolicyTest : public ::testing::Test {
+ protected:
+  AdmissionPolicyTest()
+      : graph_(script_graph()), runtime_(MachineSpec::knl()) {
+    runtime_.profile(graph_);
+  }
+
+  AdmissionPolicy make_policy() const {
+    return AdmissionPolicy(runtime_.controller(), runtime_.options());
+  }
+
+  RunningOpView running_view(NodeId node, double remaining) const {
+    RunningOpView v;
+    v.key = OpKey::of(graph_.node(node));
+    v.remaining_ms = remaining;
+    return v;
+  }
+
+  Graph graph_;
+  Runtime runtime_;
+};
+
+/// One scripted scheduling situation.
+struct ScriptState {
+  std::deque<NodeId> ready;
+  int idle_cores = 0;
+  std::vector<RunningOpView> running;
+};
+
+TEST_F(AdmissionPolicyTest, SimulatorAndHostRolesDecideIdentically) {
+  // The same script a CorunScheduler round and a HostCorunExecutor round
+  // would present: full machine, partial machine, contended machine,
+  // repeated situations (cache), empty-machine fallback.
+  const std::vector<ScriptState> script = {
+      {{1, 2, 3, 4, 5}, 68, {}},
+      {{2, 3, 4, 5}, 20, {running_view(1, 50.0)}},
+      {{3, 4, 5}, 8, {running_view(1, 45.0), running_view(2, 40.0)}},
+      {{3, 4, 5}, 8, {running_view(1, 30.0), running_view(2, 25.0)}},
+      {{5}, 2, {running_view(3, 10.0)}},
+      {{4}, 1, {}},
+  };
+
+  AdmissionPolicy sim_role = make_policy();
+  AdmissionPolicy host_role = make_policy();
+
+  for (const ScriptState& s : script) {
+    AdmissionStats sim_stats, host_stats;
+    const auto a = sim_role.next_launch(graph_, s.ready, s.idle_cores,
+                                        s.running, &sim_stats);
+    const auto b = host_role.next_launch(graph_, s.ready, s.idle_cores,
+                                         s.running, &host_stats);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a.has_value()) {
+      EXPECT_EQ(a->ready_pos, b->ready_pos);
+      EXPECT_EQ(a->candidate.threads, b->candidate.threads);
+      EXPECT_EQ(a->candidate.mode, b->candidate.mode);
+      EXPECT_DOUBLE_EQ(a->candidate.time_ms, b->candidate.time_ms);
+      EXPECT_EQ(a->heavy_fallback, b->heavy_fallback);
+    }
+    EXPECT_EQ(sim_stats.cache_hits, host_stats.cache_hits);
+    EXPECT_EQ(sim_stats.guard_fallbacks, host_stats.guard_fallbacks);
+
+    const auto oa =
+        sim_role.next_overlay(graph_, s.ready, s.idle_cores, s.running);
+    const auto ob =
+        host_role.next_overlay(graph_, s.ready, s.idle_cores, s.running);
+    ASSERT_EQ(oa.has_value(), ob.has_value());
+    if (oa.has_value()) {
+      EXPECT_EQ(oa->ready_pos, ob->ready_pos);
+      EXPECT_EQ(oa->candidate.threads, ob->candidate.threads);
+    }
+  }
+  EXPECT_EQ(sim_role.recorded_bad_pairs(), host_role.recorded_bad_pairs());
+}
+
+TEST_F(AdmissionPolicyTest, RepeatedSituationHitsTheDecisionCache) {
+  AdmissionPolicy policy = make_policy();
+  const std::deque<NodeId> ready{2, 3};
+  const std::vector<RunningOpView> running{running_view(1, 1e6)};
+  AdmissionStats first, second;
+  const auto a = policy.next_launch(graph_, ready, 68, running, &first);
+  const auto b = policy.next_launch(graph_, ready, 68, running, &second);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_EQ(second.cache_hits, 1u);
+  EXPECT_EQ(a->ready_pos, b->ready_pos);
+  EXPECT_EQ(a->candidate.threads, b->candidate.threads);
+}
+
+TEST_F(AdmissionPolicyTest, RecordedBadPairIsNeverCoRunAgain) {
+  AdmissionPolicy policy = make_policy();
+  const OpKey a = OpKey::of(graph_.node(1));
+  const OpKey b = OpKey::of(graph_.node(5));
+  policy.record_interference(a, {b});
+  EXPECT_EQ(policy.recorded_bad_pairs(), 1u);
+
+  // Node 4 ready, node 0 running: the pair is blocked, and with nothing
+  // else ready the round must wait.
+  const std::deque<NodeId> ready{5};
+  const auto d =
+      policy.next_launch(graph_, ready, 32, {running_view(1, 50.0)}, nullptr);
+  EXPECT_FALSE(d.has_value());
+  EXPECT_FALSE(
+      policy.next_overlay(graph_, ready, 8, {running_view(1, 50.0)})
+          .has_value());
+
+  policy.reset_learning();
+  EXPECT_EQ(policy.recorded_bad_pairs(), 0u);
+  EXPECT_FALSE(policy.bad_pair_with_running(a, {running_view(5, 1.0)}));
+}
+
+TEST_F(AdmissionPolicyTest, ThroughputGuardRejectsOutlastingCandidates) {
+  AdmissionPolicy policy = make_policy();
+  // Ongoing work about to finish: no conv candidate can avoid outlasting
+  // it, so the round waits.
+  const auto d = policy.next_launch(graph_, {1, 2}, 68,
+                                    {running_view(3, 1e-9)}, nullptr);
+  EXPECT_FALSE(d.has_value());
+}
+
+TEST_F(AdmissionPolicyTest, EmptyMachineFallbackRunsTheHeaviestOp) {
+  AdmissionPolicy policy = make_policy();
+  // One idle core, machine empty: nothing fits, so the heaviest ready op
+  // runs clamped to the idle width.
+  const auto d = policy.next_launch(graph_, {5, 1}, 1, {}, nullptr);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_LE(d->candidate.threads, 1);
+  if (d->heavy_fallback) {
+    // The conv (pos 1) is far heavier than the bias add (pos 0).
+    EXPECT_EQ(d->ready_pos, 1u);
+  }
+}
+
+TEST_F(AdmissionPolicyTest, OverlayPicksTheSmallestReadyOp) {
+  AdmissionPolicy policy = make_policy();
+  // Plenty of remaining time on the primary: the tiny bias add (node 4)
+  // must be chosen over the convs.
+  const auto d = policy.next_overlay(graph_, {1, 2, 5}, 4,
+                                     {running_view(3, 1e6)});
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->ready_pos, 2u);
+  EXPECT_LE(d->candidate.threads, 4);
+}
+
+TEST_F(AdmissionPolicyTest, StrategyMaskDisablesCorunAndOverlay) {
+  RuntimeOptions opt = runtime_.options();
+  opt.strategies = kStrategyS12;
+  AdmissionPolicy policy(runtime_.controller(), opt);
+  // Serial mode: nothing launches while anything runs...
+  EXPECT_FALSE(policy
+                   .next_launch(graph_, {1, 2}, 68,
+                                {running_view(3, 50.0)}, nullptr)
+                   .has_value());
+  // ...and overlays are off entirely.
+  EXPECT_FALSE(
+      policy.next_overlay(graph_, {5}, 8, {running_view(3, 1e6)}).has_value());
+  // With the machine empty the front op runs at its chosen width.
+  const auto d = policy.next_launch(graph_, {1, 2}, 68, {}, nullptr);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->ready_pos, 0u);
+}
+
+}  // namespace
+}  // namespace opsched
