@@ -47,9 +47,10 @@ for doc in "${docs[@]}"; do
           fail=1
         fi
         ;;
-      # host_corun is listed explicitly: host_* would false-positive on
-      # non-benchmark tokens like host_replay / host_logical_cores.
-      fig[0-9]*|table[0-9]*|ext_*|micro_*|ablation*|host_corun*)
+      # host_corun / multi_tenant are listed explicitly: host_* and multi_*
+      # would false-positive on non-benchmark tokens like host_replay,
+      # host_logical_cores, or multi_team_capacity.
+      fig[0-9]*|table[0-9]*|ext_*|micro_*|ablation*|host_corun*|multi_tenant*)
         if [ ! -f "bench/$tok.cpp" ]; then
           echo "$doc: unknown benchmark \`$tok\` (no bench/$tok.cpp)"
           fail=1

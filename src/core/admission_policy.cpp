@@ -7,7 +7,8 @@
 namespace opsched {
 
 namespace {
-std::pair<OpKey, OpKey> ordered_pair(const OpKey& a, const OpKey& b) {
+std::pair<TenantOpKey, TenantOpKey> ordered_pair(const TenantOpKey& a,
+                                                 const TenantOpKey& b) {
   return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
 }
 
@@ -23,39 +24,84 @@ void AdmissionPolicy::reset_learning() {
   decision_cache_.clear();
 }
 
+void AdmissionPolicy::configure_tenants(std::size_t count,
+                                        const std::vector<double>& weights) {
+  service_.assign(count, 0.0);
+  weights_.assign(count, 1.0);
+  for (std::size_t t = 0; t < count && t < weights.size(); ++t) {
+    if (weights[t] > 0.0) weights_[t] = weights[t];
+  }
+}
+
+void AdmissionPolicy::ensure_tenants(std::size_t count) {
+  if (service_.size() >= count) return;
+  service_.resize(count, 0.0);
+  weights_.resize(count, 1.0);
+}
+
+std::vector<std::size_t> AdmissionPolicy::tenant_order(
+    std::size_t count) const {
+  std::vector<std::size_t> order(count);
+  for (std::size_t t = 0; t < count; ++t) order[t] = t;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return service_[a] < service_[b];
+                   });
+  return order;
+}
+
+void AdmissionPolicy::charge(std::size_t tenant, const Candidate& c) {
+  // Core-time (duration x width) normalized by weight: a weight-2 tenant
+  // accrues service at half rate, so the deficit order grants it twice the
+  // contended-core share. The floor keeps unprofiled (time 0) ops from
+  // being free — every launch consumes at least the dispatch slot.
+  const double cost = std::max(c.time_ms, 1e-9) *
+                      static_cast<double>(std::max(1, c.threads));
+  service_[tenant] += cost / weights_[tenant];
+}
+
+double AdmissionPolicy::tenant_service(std::size_t tenant) const {
+  return tenant < service_.size() ? service_[tenant] : 0.0;
+}
+
+std::size_t AdmissionPolicy::recorded_bad_pairs(std::size_t tenant) const {
+  std::size_t n = 0;
+  for (const auto& p : bad_pairs_) {
+    if (p.first.tenant == tenant || p.second.tenant == tenant) ++n;
+  }
+  return n;
+}
+
 bool AdmissionPolicy::bad_pair_with_running(
-    const OpKey& key, const std::vector<RunningOpView>& running) const {
+    const TenantOpKey& key, const std::vector<RunningOpView>& running) const {
   if (!options_.interference_recorder) return false;
   for (const RunningOpView& r : running) {
-    if (bad_pairs_.count(ordered_pair(key, r.key))) return true;
+    if (bad_pairs_.count(ordered_pair(key, TenantOpKey{r.tenant, r.key}))) {
+      return true;
+    }
   }
   return false;
 }
 
-void AdmissionPolicy::record_interference(const OpKey& completed,
-                                          const std::vector<OpKey>& corunners) {
+void AdmissionPolicy::record_interference(
+    const TenantOpKey& completed, const std::vector<TenantOpKey>& corunners) {
   if (!options_.interference_recorder) return;
-  for (const OpKey& other : corunners)
+  for (const TenantOpKey& other : corunners)
     bad_pairs_.insert(ordered_pair(completed, other));
 }
 
-std::optional<AdmissionDecision> AdmissionPolicy::next_launch(
-    const Graph& g, const std::deque<NodeId>& ready, int idle_cores,
-    const std::vector<RunningOpView>& running, AdmissionStats* stats) {
-  if (ready.empty() || idle_cores <= 0) return std::nullopt;
+void AdmissionPolicy::record_interference(const OpKey& completed,
+                                          const std::vector<OpKey>& corunners) {
+  std::vector<TenantOpKey> qualified;
+  qualified.reserve(corunners.size());
+  for (const OpKey& k : corunners) qualified.push_back(TenantOpKey{0, k});
+  record_interference(TenantOpKey{0, completed}, qualified);
+}
 
-  const bool s3 = (options_.strategies & kStrategy3) != 0;
-  if (!s3) {
-    // Serial mode (Strategies 1-2 only): one op at a time at its chosen
-    // width, like the paper's Figure 3(a) configuration.
-    if (!running.empty()) return std::nullopt;
-    AdmissionDecision d;
-    d.ready_pos = 0;
-    d.candidate = controller_.choice_for(g.node(ready.front()));
-    d.candidate.threads = std::min(d.candidate.threads, idle_cores);
-    return d;
-  }
-
+std::optional<AdmissionDecision> AdmissionPolicy::pick_for_tenant(
+    std::size_t tenant, const Graph& g, const std::deque<NodeId>& ready,
+    int idle_cores, const std::vector<RunningOpView>& running,
+    AdmissionStats* stats) {
   const double ongoing = max_remaining(running);
   const bool something_running = !running.empty();
 
@@ -63,12 +109,14 @@ std::optional<AdmissionDecision> AdmissionPolicy::next_launch(
     const Node& node = g.node(ready[pos]);
     const OpKey key = OpKey::of(node);
 
-    if (something_running && bad_pair_with_running(key, running)) continue;
+    if (something_running &&
+        bad_pair_with_running(TenantOpKey{tenant, key}, running))
+      continue;
 
-    // Decision cache: identical (op, idle width) situations reuse the
-    // previous Strategy 3 outcome.
+    // Decision cache: identical (tenant, op, idle width) situations reuse
+    // the previous Strategy 3 outcome.
     if (options_.decision_cache && something_running) {
-      const auto it = decision_cache_.find({key, idle_cores});
+      const auto it = decision_cache_.find({tenant, key, idle_cores});
       if (it != decision_cache_.end()) {
         const Candidate& c = it->second;
         if (c.threads <= idle_cores &&
@@ -116,61 +164,159 @@ std::optional<AdmissionDecision> AdmissionPolicy::next_launch(
       d.ready_pos = pos;
       d.candidate = *best;
       if (options_.decision_cache && something_running)
-        decision_cache_[{key, idle_cores}] = d.candidate;
+        decision_cache_[{tenant, key, idle_cores}] = d.candidate;
       return d;
     }
   }
+  return std::nullopt;
+}
 
-  if (something_running) return std::nullopt;  // wait for a completion
+std::optional<AdmissionDecision> AdmissionPolicy::next_launch(
+    const Graph& g, const std::deque<NodeId>& ready, int idle_cores,
+    const std::vector<RunningOpView>& running, AdmissionStats* stats) {
+  const TenantReadyView view{&g, &ready};
+  std::vector<AdmissionStats> per_tenant;
+  const auto d = next_launch_multi({view}, idle_cores, running,
+                                   stats != nullptr ? &per_tenant : nullptr);
+  if (stats != nullptr && !per_tenant.empty()) {
+    stats->cache_hits += per_tenant[0].cache_hits;
+    stats->guard_fallbacks += per_tenant[0].guard_fallbacks;
+  }
+  if (!d.has_value()) return std::nullopt;
+  return d->decision;
+}
 
-  // Machine empty but nothing "fits": run the most time-consuming ready op,
-  // capped to the idle width.
-  std::size_t heavy_pos = 0;
-  double heavy_time = -1.0;
-  for (std::size_t pos = 0; pos < ready.size(); ++pos) {
-    const double t = controller_.predicted_time_ms(g.node(ready[pos]));
-    if (t > heavy_time) {
-      heavy_time = t;
-      heavy_pos = pos;
+std::optional<MultiAdmissionDecision> AdmissionPolicy::next_launch_multi(
+    const std::vector<TenantReadyView>& tenants, int idle_cores,
+    const std::vector<RunningOpView>& running,
+    std::vector<AdmissionStats>* stats) {
+  if (tenants.empty() || idle_cores <= 0) return std::nullopt;
+  if (stats != nullptr) stats->resize(tenants.size());
+  ensure_tenants(tenants.size());
+  const auto order = tenant_order(tenants.size());
+
+  const bool s3 = (options_.strategies & kStrategy3) != 0;
+  if (!s3) {
+    // Serial mode (Strategies 1-2 only): one op at a time at its chosen
+    // width, like the paper's Figure 3(a) configuration. The deficit order
+    // still arbitrates which tenant's op runs next.
+    if (!running.empty()) return std::nullopt;
+    for (std::size_t t : order) {
+      const std::deque<NodeId>& ready = *tenants[t].ready;
+      if (ready.empty()) continue;
+      MultiAdmissionDecision d;
+      d.tenant = t;
+      d.decision.ready_pos = 0;
+      d.decision.candidate =
+          controller_.choice_for(tenants[t].graph->node(ready.front()));
+      d.decision.candidate.threads =
+          std::min(d.decision.candidate.threads, idle_cores);
+      charge(t, d.decision.candidate);
+      return d;
+    }
+    return std::nullopt;
+  }
+
+  for (std::size_t t : order) {
+    if (tenants[t].ready->empty()) continue;
+    auto pick =
+        pick_for_tenant(t, *tenants[t].graph, *tenants[t].ready, idle_cores,
+                        running, stats != nullptr ? &(*stats)[t] : nullptr);
+    if (pick.has_value()) {
+      charge(t, pick->candidate);
+      return MultiAdmissionDecision{t, *pick};
     }
   }
-  AdmissionDecision d;
-  d.ready_pos = heavy_pos;
-  d.candidate = controller_.choice_for(g.node(ready[heavy_pos]));
-  d.candidate.threads = std::min(d.candidate.threads, idle_cores);
-  d.heavy_fallback = true;
-  return d;
+
+  if (!running.empty()) return std::nullopt;  // wait for a completion
+
+  // Machine empty but nothing "fits" anywhere: the least-served tenant with
+  // ready work runs its most time-consuming op, capped to the idle width.
+  for (std::size_t t : order) {
+    const std::deque<NodeId>& ready = *tenants[t].ready;
+    if (ready.empty()) continue;
+    const Graph& g = *tenants[t].graph;
+    std::size_t heavy_pos = 0;
+    double heavy_time = -1.0;
+    for (std::size_t pos = 0; pos < ready.size(); ++pos) {
+      const double time = controller_.predicted_time_ms(g.node(ready[pos]));
+      if (time > heavy_time) {
+        heavy_time = time;
+        heavy_pos = pos;
+      }
+    }
+    MultiAdmissionDecision d;
+    d.tenant = t;
+    d.decision.ready_pos = heavy_pos;
+    d.decision.candidate = controller_.choice_for(g.node(ready[heavy_pos]));
+    d.decision.candidate.threads =
+        std::min(d.decision.candidate.threads, idle_cores);
+    d.decision.heavy_fallback = true;
+    charge(t, d.decision.candidate);
+    return d;
+  }
+  return std::nullopt;
 }
 
 std::optional<AdmissionDecision> AdmissionPolicy::next_overlay(
     const Graph& g, const std::deque<NodeId>& ready, int eligible_cores,
     const std::vector<RunningOpView>& running) {
-  if (ready.empty() || eligible_cores <= 0) return std::nullopt;
-  if ((options_.strategies & kStrategy4) == 0) return std::nullopt;
+  const TenantReadyView view{&g, &ready};
+  const auto d = next_overlay_multi({view}, eligible_cores, running);
+  if (!d.has_value()) return std::nullopt;
+  return d->decision;
+}
 
-  // Smallest ready op by serial execution time.
-  std::size_t small_pos = 0;
+std::optional<MultiAdmissionDecision> AdmissionPolicy::next_overlay_multi(
+    const std::vector<TenantReadyView>& tenants, int eligible_cores,
+    const std::vector<RunningOpView>& running) {
+  if (tenants.empty() || eligible_cores <= 0) return std::nullopt;
+  if ((options_.strategies & kStrategy4) == 0) return std::nullopt;
+  ensure_tenants(tenants.size());
+
+  // Globally smallest ready op by serial execution time. Visiting tenants
+  // in deficit order with a strict < makes ties go to the least-served
+  // tenant, deterministically.
+  std::size_t small_tenant = 0, small_pos = 0;
   double small_time = std::numeric_limits<double>::infinity();
-  for (std::size_t pos = 0; pos < ready.size(); ++pos) {
-    const double t = controller_.serial_time_ms(g.node(ready[pos]));
-    if (t < small_time) {
-      small_time = t;
-      small_pos = pos;
+  bool found = false;
+  for (std::size_t t : tenant_order(tenants.size())) {
+    const std::deque<NodeId>& ready = *tenants[t].ready;
+    for (std::size_t pos = 0; pos < ready.size(); ++pos) {
+      const double time =
+          controller_.serial_time_ms(tenants[t].graph->node(ready[pos]));
+      if (time < small_time) {
+        small_time = time;
+        small_tenant = t;
+        small_pos = pos;
+        found = true;
+      }
     }
   }
-  const Node& node = g.node(ready[small_pos]);
-  if (bad_pair_with_running(OpKey::of(node), running)) return std::nullopt;
+  if (!found) return std::nullopt;
 
-  AdmissionDecision d;
-  d.ready_pos = small_pos;
-  d.candidate = controller_.choice_for(node);
-  d.candidate.threads = std::min(d.candidate.threads, eligible_cores);
+  const Node& node = tenants[small_tenant].graph->node(
+      (*tenants[small_tenant].ready)[small_pos]);
+  if (bad_pair_with_running(TenantOpKey{small_tenant, OpKey::of(node)},
+                            running))
+    return std::nullopt;
+
+  MultiAdmissionDecision d;
+  d.tenant = small_tenant;
+  d.decision.ready_pos = small_pos;
+  d.decision.candidate = controller_.choice_for(node);
+  d.decision.candidate.threads =
+      std::min(d.decision.candidate.threads, eligible_cores);
 
   // Throughput guard also applies to overlays: an overlay that would
   // outlast everything it rides on would delay the step.
-  const double overlay_est = d.candidate.time_ms * kOverlaySlowdownBound;
+  const double overlay_est =
+      d.decision.candidate.time_ms * kOverlaySlowdownBound;
   if (overlay_est > max_remaining(running) * (1.0 + options_.corun_slack))
     return std::nullopt;
+  // No service charge: overlays consume spare hyper-thread contexts that
+  // cost the other tenants nothing, so they must not move their rider down
+  // the primary-core deficit order.
   return d;
 }
 

@@ -10,17 +10,37 @@
 // whatever timescale the caller's ConcurrencyController predicts in; the
 // policy only ever compares them against each other (Strategy 3's
 // throughput guard is scale-free).
+//
+// Multi-tenancy: the policy admits ops from N independent ready queues (one
+// per co-located training job) through the same Strategy 3 candidate walk,
+// visiting tenants in weighted-deficit order — the tenant with the least
+// accumulated weighted service gets first claim on idle cores each round, so
+// one job can neither starve the others nor be starved by them. Learned
+// state (decision cache, interference record) is tenant-qualified: two
+// tenants running the same model learn independently, and cross-tenant bad
+// pairs are representable. The single-tenant entry points are the N=1 case
+// of the multi-tenant walk, so the two cannot diverge.
 #pragma once
 
 #include <deque>
 #include <map>
 #include <optional>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "core/concurrency_controller.hpp"
 
 namespace opsched {
+
+/// Identifies one op of one tenant. Tenant 0 is the implicit tenant of the
+/// single-tenant entry points, so single- and multi-tenant callers share one
+/// learned-state keyspace without aliasing.
+struct TenantOpKey {
+  std::size_t tenant = 0;
+  OpKey key;
+  auto operator<=>(const TenantOpKey&) const = default;
+};
 
 /// Snapshot of one in-flight operation, as the admission policy sees it.
 /// (The Strategy-4 overlay exemption from the interference recorder is
@@ -30,6 +50,15 @@ struct RunningOpView {
   OpKey key;
   /// Predicted time until completion, on the controller's timescale.
   double remaining_ms = 0.0;
+  /// Tenant that launched the op (0 on the single-tenant paths).
+  std::size_t tenant = 0;
+};
+
+/// One tenant's scheduling inputs for the multi-tenant pick: its graph and
+/// its private ready queue. Both are borrowed for the call.
+struct TenantReadyView {
+  const Graph* graph = nullptr;
+  const std::deque<NodeId>* ready = nullptr;
 };
 
 /// Counters the policy increments while deciding; executors fold them into
@@ -47,6 +76,13 @@ struct AdmissionDecision {
   /// True when the machine was empty and nothing fit: the most
   /// time-consuming ready op runs, capped to the idle width.
   bool heavy_fallback = false;
+};
+
+/// One admitted launch of the multi-tenant walk: which tenant's queue it
+/// came from, and the per-queue decision.
+struct MultiAdmissionDecision {
+  std::size_t tenant = 0;
+  AdmissionDecision decision;
 };
 
 /// Lifetime: keeps a reference to `controller`, which must outlive it.
@@ -67,6 +103,14 @@ class AdmissionPolicy {
                   RuntimeOptions options)
       : controller_(controller), options_(options) {}
 
+  /// Declares the tenant population for a multi-tenant step and resets the
+  /// fairness ledger. `weights` are relative service shares (missing or
+  /// non-positive entries default to 1.0); weight 2 means "twice the claim
+  /// on contended cores". Executors call this at multi-step start so every
+  /// step's fairness race begins from zero; learned state is untouched.
+  void configure_tenants(std::size_t count,
+                         const std::vector<double>& weights = {});
+
   /// One Strategy-3 pick (or the serial/heavy fallback when Strategy 3 is
   /// off or nothing fits): walks `ready` in arrival order and returns the
   /// first admissible launch, or nullopt when the caller should wait for a
@@ -77,6 +121,20 @@ class AdmissionPolicy {
       const Graph& g, const std::deque<NodeId>& ready, int idle_cores,
       const std::vector<RunningOpView>& running, AdmissionStats* stats);
 
+  /// The multi-tenant form of next_launch: visits tenants in
+  /// weighted-deficit order (least accumulated weighted service first) and
+  /// runs the Strategy-3 candidate walk on each tenant's queue until one
+  /// yields an admissible launch. Charges the winning tenant's service
+  /// ledger. The heavy fallback applies only when the machine is empty and
+  /// NO tenant had an admissible candidate. `stats`, when non-null, is
+  /// resized to the tenant count and entry t accumulates the counters
+  /// incurred walking tenant t's OWN queue — attribution is per queue, not
+  /// per winner, and rounds that end in a wait still count.
+  std::optional<MultiAdmissionDecision> next_launch_multi(
+      const std::vector<TenantReadyView>& tenants, int idle_cores,
+      const std::vector<RunningOpView>& running,
+      std::vector<AdmissionStats>* stats);
+
   /// One Strategy-4 pick: the smallest ready op (by serial time), admitted
   /// onto `eligible_cores` spare hyper-thread contexts if it passes the
   /// interference record and the overlay throughput guard. Returns nullopt
@@ -85,18 +143,41 @@ class AdmissionPolicy {
       const Graph& g, const std::deque<NodeId>& ready, int eligible_cores,
       const std::vector<RunningOpView>& running);
 
+  /// Multi-tenant overlay pick: the globally smallest ready op across every
+  /// tenant's queue (overlay slots are scavengers — fairness applies only
+  /// to primary cores, so overlays are neither arbitrated by nor charged to
+  /// the service ledger; ties go to the least-served tenant).
+  std::optional<MultiAdmissionDecision> next_overlay_multi(
+      const std::vector<TenantReadyView>& tenants, int eligible_cores,
+      const std::vector<RunningOpView>& running);
+
   /// True if `key` forms a recorded bad-interference pair with any running
   /// op (always false when the recorder is disabled).
-  bool bad_pair_with_running(const OpKey& key,
+  bool bad_pair_with_running(const TenantOpKey& key,
                              const std::vector<RunningOpView>& running) const;
+  /// Single-tenant convenience (tenant 0).
+  bool bad_pair_with_running(const OpKey& key,
+                             const std::vector<RunningOpView>& running) const {
+    return bad_pair_with_running(TenantOpKey{0, key}, running);
+  }
 
   /// Records that `completed` co-ran badly with each of `corunners` (paper
   /// Section III-D: "record such cases and avoid co-running such operations
   /// in the future training steps").
+  void record_interference(const TenantOpKey& completed,
+                           const std::vector<TenantOpKey>& corunners);
+  /// Single-tenant convenience (tenant 0).
   void record_interference(const OpKey& completed,
                            const std::vector<OpKey>& corunners);
 
   std::size_t recorded_bad_pairs() const { return bad_pairs_.size(); }
+  /// Bad pairs with at least one endpoint owned by `tenant`.
+  std::size_t recorded_bad_pairs(std::size_t tenant) const;
+
+  /// Weighted service charged to `tenant` so far this multi-step (0 for
+  /// unknown tenants). Exposed for the fairness tests and bench metrics.
+  double tenant_service(std::size_t tenant) const;
+  std::size_t tenant_count() const noexcept { return service_.size(); }
 
   /// Clears learned state (decision cache + interference record).
   void reset_learning();
@@ -104,13 +185,32 @@ class AdmissionPolicy {
   const RuntimeOptions& options() const noexcept { return options_; }
 
  private:
+  /// Grows the fairness ledger to cover `count` tenants without resetting
+  /// accumulated service (the single-tenant paths use this).
+  void ensure_tenants(std::size_t count);
+  /// Tenant visit order: ascending accumulated weighted service, ties by
+  /// tenant index (deterministic).
+  std::vector<std::size_t> tenant_order(std::size_t count) const;
+  /// Adds one launch's weighted cost to the tenant's service ledger.
+  void charge(std::size_t tenant, const Candidate& c);
+  /// The Strategy-3 candidate walk over one tenant's queue (no heavy
+  /// fallback; that is the caller's cross-tenant decision).
+  std::optional<AdmissionDecision> pick_for_tenant(
+      std::size_t tenant, const Graph& g, const std::deque<NodeId>& ready,
+      int idle_cores, const std::vector<RunningOpView>& running,
+      AdmissionStats* stats);
+
   const ConcurrencyController& controller_;
   RuntimeOptions options_;
 
-  /// Interference recorder: unordered op-key pairs seen to co-run badly.
-  std::set<std::pair<OpKey, OpKey>> bad_pairs_;
-  /// Decision cache: (op key, idle-core count) -> chosen candidate.
-  std::map<std::pair<OpKey, int>, Candidate> decision_cache_;
+  /// Interference recorder: unordered tenant-qualified op-key pairs seen to
+  /// co-run badly.
+  std::set<std::pair<TenantOpKey, TenantOpKey>> bad_pairs_;
+  /// Decision cache: (tenant, op key, idle-core count) -> chosen candidate.
+  std::map<std::tuple<std::size_t, OpKey, int>, Candidate> decision_cache_;
+  /// Fairness ledger: accumulated weighted service and weight per tenant.
+  std::vector<double> service_;
+  std::vector<double> weights_;
 };
 
 }  // namespace opsched

@@ -13,20 +13,26 @@ Candidate ConcurrencyController::default_choice() const {
 }
 
 void ConcurrencyController::build(const Graph& g) {
+  build(std::vector<const Graph*>{&g});
+}
+
+void ConcurrencyController::build(const std::vector<const Graph*>& graphs) {
   per_kind_.clear();
   per_key_.clear();
 
   const bool s1 = (options_.strategies & kStrategy1) != 0;
   const bool s2 = (options_.strategies & kStrategy2) != 0;
 
-  // Strategy 1: per-key optima.
-  for (const Node& n : g.nodes()) {
-    if (!op_kind_tunable(n.kind)) continue;
-    const OpKey key = OpKey::of(n);
-    if (per_key_.count(key)) continue;
-    const ProfileCurve* curve = db_.find(key);
-    if (curve == nullptr || curve->empty()) continue;
-    per_key_[key] = curve->best();
+  // Strategy 1: per-key optima, over every tenant's nodes.
+  for (const Graph* g : graphs) {
+    for (const Node& n : g->nodes()) {
+      if (!op_kind_tunable(n.kind)) continue;
+      const OpKey key = OpKey::of(n);
+      if (per_key_.count(key)) continue;
+      const ProfileCurve* curve = db_.find(key);
+      if (curve == nullptr || curve->empty()) continue;
+      per_key_[key] = curve->best();
+    }
   }
 
   if (!s1 && !s2) {
@@ -40,15 +46,17 @@ void ConcurrencyController::build(const Graph& g) {
   // instance (the largest input size in the paper's formulation — largest
   // input is what makes the instance the most expensive one).
   std::map<OpKind, std::pair<double, Candidate>> heaviest;
-  for (const Node& n : g.nodes()) {
-    if (!op_kind_tunable(n.kind)) continue;
-    const auto it = per_key_.find(OpKey::of(n));
-    if (it == per_key_.end()) continue;
-    const Candidate& best = it->second;
-    auto [cur, inserted] =
-        heaviest.try_emplace(n.kind, best.time_ms, best);
-    if (!inserted && best.time_ms > cur->second.first)
-      cur->second = {best.time_ms, best};
+  for (const Graph* g : graphs) {
+    for (const Node& n : g->nodes()) {
+      if (!op_kind_tunable(n.kind)) continue;
+      const auto it = per_key_.find(OpKey::of(n));
+      if (it == per_key_.end()) continue;
+      const Candidate& best = it->second;
+      auto [cur, inserted] =
+          heaviest.try_emplace(n.kind, best.time_ms, best);
+      if (!inserted && best.time_ms > cur->second.first)
+        cur->second = {best.time_ms, best};
+    }
   }
   for (const auto& [kind, entry] : heaviest) per_kind_[kind] = entry.second;
 }

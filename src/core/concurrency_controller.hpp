@@ -24,6 +24,11 @@ class ConcurrencyController {
   /// Non-tunable kinds always get default_width.
   void build(const Graph& g);
 
+  /// Multi-tenant build: decisions over the UNION of several graphs' nodes
+  /// (co-located jobs share one controller, so Strategy 2 consolidates each
+  /// kind across every tenant's instances). Replaces previous decisions.
+  void build(const std::vector<const Graph*>& graphs);
+
   /// The width/mode this op will use when run alone (S1/S2 decision).
   Candidate choice_for(const Node& node) const;
 

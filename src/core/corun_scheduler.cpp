@@ -2,68 +2,94 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace opsched {
 
 std::vector<RunningOpView> CorunScheduler::running_views(
-    const SimMachine& machine, const Graph& g) {
+    const SimMachine& machine,
+    const std::vector<const Graph*>& graphs) const {
   std::vector<RunningOpView> views;
   views.reserve(machine.running().size());
   for (const auto& task : machine.running()) {
     RunningOpView v;
-    v.key = OpKey::of(g.node(task.node));
+    const auto it = in_flight_.find(task.id);
+    v.tenant = it != in_flight_.end() ? it->second.tenant : 0;
+    v.key = OpKey::of(graphs[v.tenant]->node(task.node));
     v.remaining_ms = task.remaining_ms / task.rate;
     views.push_back(v);
   }
   return views;
 }
 
-bool CorunScheduler::schedule_round(const Graph& g, SimMachine& machine,
-                                    std::deque<NodeId>& ready,
-                                    StepResult& stats) {
+bool CorunScheduler::schedule_round(
+    const std::vector<const Graph*>& graphs, SimMachine& machine,
+    std::vector<std::deque<NodeId>>& ready,
+    const std::vector<TenantReadyView>& tenant_views,
+    std::vector<StepResult>& stats) {
   const bool s4 = (options_.strategies & kStrategy4) != 0;
   bool launched_any = false;
 
+  const auto record_launch = [&](std::size_t tenant, const Node& node) {
+    // Mirror of the machine's own (global) trace entry, routed to the
+    // launching tenant: same virtual time, same all-tenant co-run level.
+    stats[tenant].trace.record(machine.now_ms(), /*is_launch=*/true, node.id,
+                               node.kind,
+                               static_cast<int>(machine.num_running()));
+  };
+
   // ---- Strategies 1-3 (serial execution when S3 is off) ----
   for (;;) {
-    if (ready.empty()) break;
     CoreSet idle = machine.idle_cores();
     if (idle.empty()) break;
 
-    AdmissionStats round_stats;
+    std::vector<AdmissionStats> round_stats;
     const auto decision =
-        policy_.next_launch(g, ready, static_cast<int>(idle.count()),
-                            running_views(machine, g), &round_stats);
-    stats.cache_hits += round_stats.cache_hits;
-    stats.guard_fallbacks += round_stats.guard_fallbacks;
+        policy_.next_launch_multi(tenant_views, static_cast<int>(idle.count()),
+                                  running_views(machine, graphs),
+                                  &round_stats);
+    // Per-queue attribution, wait rounds included: each tenant's counters
+    // reflect the walk over its own queue, whoever wins the round.
+    for (std::size_t t = 0; t < round_stats.size(); ++t) {
+      stats[t].cache_hits += round_stats[t].cache_hits;
+      stats[t].guard_fallbacks += round_stats[t].guard_fallbacks;
+    }
     if (!decision.has_value()) break;  // wait for a completion
+    const std::size_t tenant = decision->tenant;
 
-    const Node& node = g.node(ready[decision->ready_pos]);
-    ready.erase(ready.begin() +
-                static_cast<std::ptrdiff_t>(decision->ready_pos));
+    const Node& node =
+        graphs[tenant]->node(ready[tenant][decision->decision.ready_pos]);
+    ready[tenant].erase(
+        ready[tenant].begin() +
+        static_cast<std::ptrdiff_t>(decision->decision.ready_pos));
     const bool corun = !machine.quiescent();
-    const Candidate& c = decision->candidate;
+    const Candidate& c = decision->decision.candidate;
     const auto id = machine.launch(
         node, c.threads, c.mode,
         idle.take_lowest(static_cast<std::size_t>(c.threads)));
-    // Remember co-runners for the interference recorder.
+    // Remember the owner and co-runners for completion routing and the
+    // interference recorder.
     Launched rec;
+    rec.tenant = tenant;
     for (const auto& task : machine.running()) {
       if (task.id == id) continue;
-      rec.corunners.push_back(OpKey::of(g.node(task.node)));
+      const auto it = in_flight_.find(task.id);
+      const std::size_t other = it != in_flight_.end() ? it->second.tenant : 0;
+      rec.corunners.push_back(
+          TenantOpKey{other, OpKey::of(graphs[other]->node(task.node))});
     }
     in_flight_[id] = std::move(rec);
-    ++stats.ops_run;
-    if (corun) ++stats.corun_launches;
+    record_launch(tenant, node);
+    ++stats[tenant].ops_run;
+    if (corun) ++stats[tenant].corun_launches;
     launched_any = true;
   }
 
   // ---- Strategy 4: hyper-thread overlays ----
   // Triggered when the machine is (nearly) full — the paper's "an operation
   // using 68 cores" generalized to any residue too small for Strategy 3.
-  if (s4 && !ready.empty() &&
-      machine.idle_cores().count() <
-          AdmissionPolicy::kOverlayTriggerIdleCores) {
+  if (s4 && machine.idle_cores().count() <
+                AdmissionPolicy::kOverlayTriggerIdleCores) {
     for (;;) {
       // Overlays only pay off on cores whose primary is compute-bound: a
       // memory-bound primary has no spare core cycles and the overlay only
@@ -79,31 +105,40 @@ bool CorunScheduler::schedule_round(const Graph& g, SimMachine& machine,
         }
         eligible = eligible.intersect(compute_bound);
       }
-      if (eligible.empty() || ready.empty()) break;
+      if (eligible.empty()) break;
 
-      const auto decision =
-          policy_.next_overlay(g, ready, static_cast<int>(eligible.count()),
-                               running_views(machine, g));
+      const auto decision = policy_.next_overlay_multi(
+          tenant_views, static_cast<int>(eligible.count()),
+          running_views(machine, graphs));
       if (!decision.has_value()) break;
+      const std::size_t tenant = decision->tenant;
 
-      const Node& node = g.node(ready[decision->ready_pos]);
-      ready.erase(ready.begin() +
-                  static_cast<std::ptrdiff_t>(decision->ready_pos));
-      const Candidate& c = decision->candidate;
+      const Node& node =
+          graphs[tenant]->node(ready[tenant][decision->decision.ready_pos]);
+      ready[tenant].erase(
+          ready[tenant].begin() +
+          static_cast<std::ptrdiff_t>(decision->decision.ready_pos));
+      const Candidate& c = decision->decision.candidate;
       const auto id = machine.launch(
           node, c.threads, c.mode,
           eligible.take_lowest(static_cast<std::size_t>(c.threads)),
           LaunchKind::kOverlay);
       Launched rec;
+      rec.tenant = tenant;
       rec.overlay = true;
       for (const auto& task : machine.running()) {
         if (task.id == id) continue;
-        rec.corunners.push_back(OpKey::of(g.node(task.node)));
+        const auto it = in_flight_.find(task.id);
+        const std::size_t other =
+            it != in_flight_.end() ? it->second.tenant : 0;
+        rec.corunners.push_back(
+            TenantOpKey{other, OpKey::of(graphs[other]->node(task.node))});
       }
       in_flight_[id] = std::move(rec);
-      ++stats.ops_run;
-      ++stats.overlay_launches;
-      ++stats.corun_launches;
+      record_launch(tenant, node);
+      ++stats[tenant].ops_run;
+      ++stats[tenant].overlay_launches;
+      ++stats[tenant].corun_launches;
       launched_any = true;
     }
   }
@@ -112,44 +147,82 @@ bool CorunScheduler::schedule_round(const Graph& g, SimMachine& machine,
 }
 
 StepResult CorunScheduler::run_step(const Graph& g, SimMachine& machine) {
+  std::vector<StepResult> results = run_step_multi({&g}, machine);
+  return std::move(results.front());
+}
+
+std::vector<StepResult> CorunScheduler::run_step_multi(
+    const std::vector<const Graph*>& graphs, SimMachine& machine,
+    const std::vector<double>& weights) {
+  const std::size_t tenants = graphs.size();
+  if (tenants == 0) return {};
   machine.reset();
+  // The machine's own (all-tenant) trace stays a live surface for
+  // machine-level consumers (FifoExecutor, sim_machine_test); clearing it
+  // here only stops growth across steps. The per-tenant traces returned in
+  // the results are recorded by this scheduler at the same event points.
   machine.trace().clear();
   in_flight_.clear();
+  policy_.configure_tenants(tenants, weights);
 
-  StepResult stats;
-  ReadyTracker tracker(g);
-  std::deque<NodeId> ready(tracker.initially_ready().begin(),
-                           tracker.initially_ready().end());
+  std::vector<StepResult> results(tenants);
+  std::vector<ReadyTracker> trackers;
+  trackers.reserve(tenants);
+  std::vector<std::deque<NodeId>> ready(tenants);
+  std::vector<TenantReadyView> tenant_views(tenants);
+  std::size_t remaining_total = 0;
+  for (std::size_t t = 0; t < tenants; ++t) {
+    trackers.emplace_back(*graphs[t]);
+    ready[t].assign(trackers[t].initially_ready().begin(),
+                    trackers[t].initially_ready().end());
+    tenant_views[t] = TenantReadyView{graphs[t], &ready[t]};
+    remaining_total += trackers[t].remaining();
+  }
+  std::vector<double> last_completion(tenants, 0.0);
 
-  while (tracker.remaining() > 0) {
-    schedule_round(g, machine, ready, stats);
+  while (remaining_total > 0) {
+    schedule_round(graphs, machine, ready, tenant_views, results);
     const auto comp = machine.advance();
     if (!comp.has_value()) {
       throw std::logic_error(
           "CorunScheduler: deadlock — nothing running but nodes remain");
     }
 
+    const auto it = in_flight_.find(comp->id);
+    const std::size_t tenant =
+        it != in_flight_.end() ? it->second.tenant : 0;
+
     // Interference recorder: excessive co-run slowdown marks all pairs.
     // Overlays are exempt — hyper-thread sharing slows them by design.
     if (options_.interference_recorder &&
         comp->actual_ms > comp->solo_ms * options_.interference_bad_ratio) {
-      const auto it = in_flight_.find(comp->id);
       if (it != in_flight_.end() && !it->second.overlay) {
-        policy_.record_interference(OpKey::of(g.node(comp->node)),
-                                    it->second.corunners);
+        policy_.record_interference(
+            TenantOpKey{tenant,
+                        OpKey::of(graphs[tenant]->node(comp->node))},
+            it->second.corunners);
       }
     }
-    in_flight_.erase(comp->id);
+    if (it != in_flight_.end()) in_flight_.erase(it);
+
+    results[tenant].service_ms += comp->actual_ms;
+    last_completion[tenant] = comp->finish_ms;
+    results[tenant].trace.record(comp->finish_ms, /*is_launch=*/false,
+                                 comp->node,
+                                 graphs[tenant]->node(comp->node).kind,
+                                 static_cast<int>(machine.num_running()));
 
     std::vector<NodeId> newly;
-    tracker.mark_done(comp->node, newly);
-    for (NodeId id : newly) ready.push_back(id);
+    trackers[tenant].mark_done(comp->node, newly);
+    for (NodeId id : newly) ready[tenant].push_back(id);
+    --remaining_total;
   }
 
-  stats.time_ms = machine.now_ms();
-  stats.trace = machine.trace();
-  stats.mean_corun = stats.trace.mean_corun();
-  return stats;
+  for (std::size_t t = 0; t < tenants; ++t) {
+    results[t].time_ms = last_completion[t];
+    results[t].mean_corun = results[t].trace.mean_corun();
+  }
+  return results;
 }
 
 }  // namespace opsched

@@ -18,6 +18,12 @@
 //   Strategy 4: when no idle cores remain, the smallest ready ops (by
 //   serial time) are overlaid onto spare hyper-thread contexts.
 //
+// Multi-tenancy: run_step_multi co-locates N independent training graphs on
+// the one simulated machine — each tenant keeps a private ready queue and
+// dependency tracker, and the shared AdmissionPolicy's weighted-deficit
+// walk arbitrates which tenant's op claims idle cores each round. The
+// single-graph run_step is the N=1 case of the same loop.
+//
 // The decision logic itself lives in AdmissionPolicy, which this scheduler
 // shares with HostCorunExecutor (real threads, real kernels): the simulator
 // and the native host path answer "what runs next, at what width?"
@@ -26,6 +32,7 @@
 
 #include <deque>
 #include <map>
+#include <vector>
 
 #include "core/admission_policy.hpp"
 #include "core/concurrency_controller.hpp"
@@ -50,6 +57,12 @@ struct StepResult {
   /// Host executors only: deterministic checksum over every node's outputs
   /// (0.0 on the simulated path, which never touches tensor values).
   double checksum = 0.0;
+  /// Sum of the completed ops' individual durations (wall on the host path,
+  /// virtual on the simulated one). On the multi-tenant paths this is the
+  /// machine time each tenant actually consumed — the basis of the fairness
+  /// metrics; time_ms is the tenant's makespan, which overlaps with other
+  /// tenants'.
+  double service_ms = 0.0;
 };
 
 /// Lifetime: the scheduler keeps a reference to `controller`, which must
@@ -71,6 +84,19 @@ class CorunScheduler {
   /// first). Deterministic for fixed inputs.
   StepResult run_step(const Graph& g, SimMachine& machine);
 
+  /// Runs N tenants' graphs to completion CO-LOCATED on `machine` (reset
+  /// first), ops interleaving across tenants under the weighted-deficit
+  /// admission walk. `weights[t]` is tenant t's relative claim on contended
+  /// cores (missing/non-positive entries default to 1.0). Returns one
+  /// StepResult per tenant, in input order: time_ms is the tenant's
+  /// makespan (virtual step start to its last completion), service_ms the
+  /// machine time its ops consumed, trace its private event log (co-run
+  /// levels count ALL tenants' in-flight ops). Deterministic for fixed
+  /// inputs.
+  std::vector<StepResult> run_step_multi(
+      const std::vector<const Graph*>& graphs, SimMachine& machine,
+      const std::vector<double>& weights = {});
+
   /// Bad-interference pairs recorded so far (survives across steps, as in
   /// the paper: "Our runtime can record such cases and avoid co-running
   /// such operations in the future training steps").
@@ -87,24 +113,31 @@ class CorunScheduler {
 
  private:
   struct Launched {
-    std::vector<OpKey> corunners;
+    std::size_t tenant = 0;
+    std::vector<TenantOpKey> corunners;
     /// Overlays slow down by design (hyper-thread sharing); the recorder
     /// only flags *unexpected* interference, so overlays are exempt.
     bool overlay = false;
   };
 
-  /// One scheduling round; launches zero or more ops. Returns true if at
-  /// least one launch happened.
-  bool schedule_round(const Graph& g, SimMachine& machine,
-                      std::deque<NodeId>& ready, StepResult& stats);
+  /// One scheduling round over every tenant's queue; launches zero or more
+  /// ops. Returns true if at least one launch happened.
+  bool schedule_round(const std::vector<const Graph*>& graphs,
+                      SimMachine& machine,
+                      std::vector<std::deque<NodeId>>& ready,
+                      const std::vector<TenantReadyView>& tenant_views,
+                      std::vector<StepResult>& stats);
 
-  /// Snapshot of machine.running() in the form the policy consumes.
-  static std::vector<RunningOpView> running_views(const SimMachine& machine,
-                                                  const Graph& g);
+  /// Snapshot of machine.running() in the form the policy consumes, with
+  /// each task's owning tenant resolved through in_flight_.
+  std::vector<RunningOpView> running_views(
+      const SimMachine& machine,
+      const std::vector<const Graph*>& graphs) const;
 
   RuntimeOptions options_;
   AdmissionPolicy policy_;
-  /// Co-runners of each in-flight task at launch (for the recorder).
+  /// Owning tenant and co-runners of each in-flight task at launch (for
+  /// completion routing and the interference recorder).
   std::map<SimMachine::TaskId, Launched> in_flight_;
 };
 

@@ -30,6 +30,16 @@ double host_mem_intensity(const Node& node) {
 /// eligibility rule.
 constexpr double kComputeBoundCutoff = 0.45;
 
+/// The one place a host StepResult's derived fields are filled in — every
+/// run_step_host* variant (adaptive single, multi-tenant, FIFO) ends here,
+/// so the checksum plumbing cannot drift between them.
+void finalize_step(StepResult& stats, double time_ms,
+                   HostGraphProgram& program) {
+  stats.time_ms = time_ms;
+  stats.mean_corun = stats.trace.mean_corun();
+  stats.checksum = program.step_checksum();
+}
+
 }  // namespace
 
 HostCorunExecutor::HostCorunExecutor(const ConcurrencyController& controller,
@@ -47,13 +57,35 @@ HostCorunExecutor::HostCorunExecutor(const ConcurrencyController& controller,
 }
 
 StepResult HostCorunExecutor::run_step(HostGraphProgram& program) {
-  const Graph& g = program.graph();
-  StepResult stats;
+  std::vector<StepResult> results = run_step_multi({&program});
+  return std::move(results.front());
+}
+
+std::vector<StepResult> HostCorunExecutor::run_step_multi(
+    const std::vector<HostGraphProgram*>& programs,
+    const std::vector<double>& weights) {
+  const std::size_t tenants = programs.size();
+  if (tenants == 0) return {};
+  policy_.configure_tenants(tenants, weights);
+
+  std::vector<StepResult> results(tenants);
   const double t0 = wall_time_ms();
 
-  ReadyTracker tracker(g);
-  std::deque<NodeId> ready(tracker.initially_ready().begin(),
-                           tracker.initially_ready().end());
+  // Per-tenant dependency state: private tracker and ready queue per
+  // training job, one shared machine underneath.
+  std::vector<ReadyTracker> trackers;
+  trackers.reserve(tenants);
+  std::vector<std::deque<NodeId>> ready(tenants);
+  std::vector<TenantReadyView> tenant_views(tenants);
+  std::size_t remaining_total = 0;
+  for (std::size_t t = 0; t < tenants; ++t) {
+    trackers.emplace_back(programs[t]->graph());
+    ready[t].assign(trackers[t].initially_ready().begin(),
+                    trackers[t].initially_ready().end());
+    tenant_views[t] = TenantReadyView{&programs[t]->graph(), &ready[t]};
+    remaining_total += trackers[t].remaining();
+  }
+  std::vector<double> last_completion(tenants, t0);
 
   // Shared with launcher threads; everything else is dispatcher-only.
   std::mutex mu;
@@ -68,6 +100,13 @@ StepResult HostCorunExecutor::run_step(HostGraphProgram& program) {
   // launcher threads first.
   LaunchPad pad(cores_ + 4);
 
+  const auto any_ready = [&] {
+    for (const auto& q : ready) {
+      if (!q.empty()) return true;
+    }
+    return false;
+  };
+
   // Snapshot of the in-flight ops on the policy's terms. Remaining time is
   // predicted_ms minus elapsed wall-clock converted back to the
   // controller's timescale through the learned calibration (1.0 until the
@@ -81,6 +120,7 @@ StepResult HostCorunExecutor::run_step(HostGraphProgram& program) {
     for (const auto& kv : inflight) {
       RunningOpView r;
       r.key = kv.second.key;
+      r.tenant = kv.second.tenant;
       const double elapsed_model = (now - kv.second.start_wall_ms) / calib;
       r.remaining_ms = std::max(0.0, kv.second.predicted_ms - elapsed_model);
       v.push_back(r);
@@ -93,8 +133,14 @@ StepResult HostCorunExecutor::run_step(HostGraphProgram& program) {
     const auto it = inflight.find(id);
     InFlight fl = std::move(it->second);
     inflight.erase(it);
+    StepResult& stats = results[fl.tenant];
 
     const double actual_ms = end_wall - fl.start_wall_ms;
+    stats.service_ms += actual_ms;
+    // max, not overwrite: launchers can enqueue completions out of
+    // wall-clock order, and the makespan is the LATEST end this tenant saw.
+    last_completion[fl.tenant] =
+        std::max(last_completion[fl.tenant], end_wall);
     if (fl.predicted_ms > 0.0) {
       // Interference is judged against the calibration as it stood BEFORE
       // this sample: folding the slow sample into the EWMA first would
@@ -103,7 +149,8 @@ StepResult HostCorunExecutor::run_step(HostGraphProgram& program) {
       if (!fl.overlay && !fl.corunners.empty() && calib_ > 0.0) {
         const double expected_ms = fl.predicted_ms * calib_;
         if (actual_ms > expected_ms * options_.interference_bad_ratio) {
-          policy_.record_interference(fl.key, fl.corunners);
+          policy_.record_interference(TenantOpKey{fl.tenant, fl.key},
+                                      fl.corunners);
         }
       }
       // Overlays are also excluded from the calibration: they run up to
@@ -124,29 +171,36 @@ StepResult HostCorunExecutor::run_step(HostGraphProgram& program) {
       primary_busy = primary_busy.minus(fl.cores);
     }
     stats.trace.record(end_wall - t0, /*is_launch=*/false, fl.node,
-                       g.node(fl.node).kind,
+                       programs[fl.tenant]->graph().node(fl.node).kind,
                        static_cast<int>(inflight.size()));
 
     std::vector<NodeId> newly;
-    tracker.mark_done(fl.node, newly);
-    for (NodeId nid : newly) ready.push_back(nid);
+    trackers[fl.tenant].mark_done(fl.node, newly);
+    for (NodeId nid : newly) ready[fl.tenant].push_back(nid);
+    --remaining_total;
   };
 
-  const auto launch = [&](std::size_t ready_pos, const Candidate& c,
-                          const CoreSet& span, bool overlay) {
-    const NodeId node_id = ready[ready_pos];
-    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(ready_pos));
-    const Node& node = g.node(node_id);
+  const auto launch = [&](std::size_t tenant, std::size_t ready_pos,
+                          const Candidate& c, const CoreSet& span,
+                          bool overlay) {
+    HostGraphProgram& program = *programs[tenant];
+    StepResult& stats = results[tenant];
+    const NodeId node_id = ready[tenant][ready_pos];
+    ready[tenant].erase(ready[tenant].begin() +
+                        static_cast<std::ptrdiff_t>(ready_pos));
+    const Node& node = program.graph().node(node_id);
     const std::uint64_t id = next_id_++;
 
     InFlight fl;
     fl.node = node_id;
+    fl.tenant = tenant;
     fl.key = OpKey::of(node);
     fl.cores = span;
     fl.overlay = overlay;
     fl.predicted_ms = c.time_ms > 0.0 ? c.time_ms
                                       : controller_.predicted_time_ms(node);
-    for (const auto& kv : inflight) fl.corunners.push_back(kv.second.key);
+    for (const auto& kv : inflight)
+      fl.corunners.push_back(TenantOpKey{kv.second.tenant, kv.second.key});
     const bool corun = !inflight.empty();
     // A saturating launch — empty machine, op takes every idle core —
     // excludes any co-runner until it completes, so the dispatcher runs it
@@ -155,10 +209,11 @@ StepResult HostCorunExecutor::run_step(HostGraphProgram& program) {
     // that latency behind their second slot; without this, serial phases
     // of the adaptive schedule would pay pure overhead against them.
     // Only when no Strategy-4 overlay could ride on it (overlays need the
-    // dispatcher free): single-core host, S4 off, or nothing else ready.
+    // dispatcher free): single-core host, S4 off, or nothing else ready in
+    // ANY tenant's queue.
     const bool overlays_possible = cores_ >= 2 &&
                                    (options_.strategies & kStrategy4) != 0 &&
-                                   !ready.empty();
+                                   any_ready();
     const bool inline_run =
         !overlay && !corun && !overlays_possible &&
         span.count() ==
@@ -183,8 +238,8 @@ StepResult HostCorunExecutor::run_step(HostGraphProgram& program) {
     }
     fl.start_wall_ms = wall_time_ms();
     inflight.emplace(id, std::move(fl));
-    stats.trace.record(wall_time_ms() - t0, /*is_launch=*/true, node_id, node.kind,
-                       static_cast<int>(inflight.size()));
+    stats.trace.record(wall_time_ms() - t0, /*is_launch=*/true, node_id,
+                       node.kind, static_cast<int>(inflight.size()));
     ++stats.ops_run;
     if (overlay) {
       ++stats.overlay_launches;
@@ -208,24 +263,29 @@ StepResult HostCorunExecutor::run_step(HostGraphProgram& program) {
     });
   };
 
-  while (tracker.remaining() > 0) {
+  while (remaining_total > 0) {
     // ---- Strategies 1-3 (serial execution when S3 is off) ----
     for (;;) {
-      if (ready.empty()) break;
       const CoreSet idle =
           CoreSet::all(cores_).minus(primary_busy).minus(overlaid);
-      if (idle.empty()) break;
-      AdmissionStats round_stats;
+      if (idle.empty() || !any_ready()) break;
+      std::vector<AdmissionStats> round_stats;
       const auto d =
-          policy_.next_launch(g, ready, static_cast<int>(idle.count()),
-                              views(), &round_stats);
-      stats.cache_hits += round_stats.cache_hits;
-      stats.guard_fallbacks += round_stats.guard_fallbacks;
+          policy_.next_launch_multi(tenant_views,
+                                    static_cast<int>(idle.count()), views(),
+                                    &round_stats);
+      // Per-queue attribution, wait rounds included: the policy counts each
+      // tenant's cache hits / guard fallbacks against the queue that
+      // incurred them, whoever wins the round.
+      for (std::size_t t = 0; t < round_stats.size(); ++t) {
+        results[t].cache_hits += round_stats[t].cache_hits;
+        results[t].guard_fallbacks += round_stats[t].guard_fallbacks;
+      }
       if (!d.has_value()) break;  // wait for a completion
-      const auto width =
-          static_cast<std::size_t>(std::max(1, d->candidate.threads));
-      launch(d->ready_pos, d->candidate, idle.take_lowest(width),
-             /*overlay=*/false);
+      const auto width = static_cast<std::size_t>(
+          std::max(1, d->decision.candidate.threads));
+      launch(d->tenant, d->decision.ready_pos, d->decision.candidate,
+             idle.take_lowest(width), /*overlay=*/false);
     }
 
     // ---- Strategy 4: overlay small ops onto busy compute-bound cores ----
@@ -233,34 +293,34 @@ StepResult HostCorunExecutor::run_step(HostGraphProgram& program) {
     // next to a busy primary; on a single-core host there are none and an
     // overlay is pure oversubscription.
     if (cores_ >= 2 && (options_.strategies & kStrategy4) != 0 &&
-        !ready.empty() &&
+        any_ready() &&
         CoreSet::all(cores_).minus(primary_busy).minus(overlaid).count() <
             AdmissionPolicy::kOverlayTriggerIdleCores) {
       for (;;) {
         CoreSet eligible(cores_);
         for (const auto& kv : inflight) {
           if (!kv.second.overlay &&
-              host_mem_intensity(g.node(kv.second.node)) <
-                  kComputeBoundCutoff) {
+              host_mem_intensity(programs[kv.second.tenant]->graph().node(
+                  kv.second.node)) < kComputeBoundCutoff) {
             eligible = eligible.union_with(kv.second.cores);
           }
         }
         eligible = eligible.minus(overlaid);
-        if (eligible.empty() || ready.empty()) break;
-        const auto d = policy_.next_overlay(
-            g, ready, static_cast<int>(eligible.count()), views());
+        if (eligible.empty() || !any_ready()) break;
+        const auto d = policy_.next_overlay_multi(
+            tenant_views, static_cast<int>(eligible.count()), views());
         if (!d.has_value()) break;
-        const auto width =
-            static_cast<std::size_t>(std::max(1, d->candidate.threads));
-        launch(d->ready_pos, d->candidate, eligible.take_lowest(width),
-               /*overlay=*/true);
+        const auto width = static_cast<std::size_t>(
+            std::max(1, d->decision.candidate.threads));
+        launch(d->tenant, d->decision.ready_pos, d->decision.candidate,
+               eligible.take_lowest(width), /*overlay=*/true);
       }
     }
 
     // ---- wait for (at least) one async completion ----
-    if (tracker.remaining() == 0) break;  // everything finished inline
+    if (remaining_total == 0) break;  // everything finished inline
     if (inflight.empty()) {
-      if (!ready.empty()) continue;  // inline completions refilled the queue
+      if (any_ready()) continue;  // inline completions refilled a queue
       throw std::logic_error(
           "HostCorunExecutor: deadlock — nothing running but nodes remain");
     }
@@ -274,10 +334,10 @@ StepResult HostCorunExecutor::run_step(HostGraphProgram& program) {
     complete(comp.first, comp.second);
   }
 
-  stats.time_ms = wall_time_ms() - t0;
-  stats.mean_corun = stats.trace.mean_corun();
-  stats.checksum = program.step_checksum();
-  return stats;
+  for (std::size_t t = 0; t < tenants; ++t) {
+    finalize_step(results[t], last_completion[t] - t0, *programs[t]);
+  }
+  return results;
 }
 
 StepResult HostCorunExecutor::run_step_fifo(HostGraphProgram& program,
@@ -298,6 +358,7 @@ StepResult HostCorunExecutor::run_step_fifo(HostGraphProgram& program,
   std::condition_variable cv;
   std::deque<std::pair<std::size_t, double>> completions;  // (slot, end wall)
   std::vector<NodeId> slot_node(slots, kInvalidNode);
+  std::vector<double> slot_start(slots, 0.0);
   std::size_t busy = 0;
   LaunchPad pad(slots);
 
@@ -312,7 +373,8 @@ StepResult HostCorunExecutor::run_step_fifo(HostGraphProgram& program,
       // Unpinned team (empty affinity), one live team per FIFO slot: the
       // OS scatters the threads, as with TensorFlow's executor.
       ThreadTeam& team = pool_.team_pinned(width, CoreSet(cores_), s);
-      stats.trace.record(wall_time_ms() - t0, /*is_launch=*/true, node_id,
+      slot_start[s] = wall_time_ms();
+      stats.trace.record(slot_start[s] - t0, /*is_launch=*/true, node_id,
                          g.node(node_id).kind, static_cast<int>(busy));
       ++stats.ops_run;
       if (corun) ++stats.corun_launches;
@@ -342,6 +404,7 @@ StepResult HostCorunExecutor::run_step_fifo(HostGraphProgram& program,
     const NodeId done = slot_node[comp.first];
     slot_node[comp.first] = kInvalidNode;
     --busy;
+    stats.service_ms += comp.second - slot_start[comp.first];
     stats.trace.record(comp.second - t0, /*is_launch=*/false, done,
                        g.node(done).kind, static_cast<int>(busy));
     std::vector<NodeId> newly;
@@ -349,9 +412,7 @@ StepResult HostCorunExecutor::run_step_fifo(HostGraphProgram& program,
     for (NodeId nid : newly) ready.push_back(nid);
   }
 
-  stats.time_ms = wall_time_ms() - t0;
-  stats.mean_corun = stats.trace.mean_corun();
-  stats.checksum = program.step_checksum();
+  finalize_step(stats, wall_time_ms() - t0, program);
   return stats;
 }
 

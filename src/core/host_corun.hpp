@@ -19,6 +19,15 @@
 //     wall-clock, which the Strategy 3 throughput guard and the
 //     interference recorder consume.
 //
+// Multi-tenancy: run_step_multi schedules N independent training graphs
+// (one HostGraphProgram per tenant, each with its own ready queue and
+// dependency tracker) over ONE shared core map. The AdmissionPolicy's
+// weighted-deficit walk arbitrates which tenant's ready op claims idle
+// cores, so several jobs genuinely interleave on the machine instead of
+// running back-to-back — the shared-host serving setting of multi-tenant
+// DNN schedulers, driven by the paper's Strategy 1-4 runtime. Single-step
+// run_step is the N=1 case of the same loop.
+//
 // What it measures: real step wall-clock under runtime concurrency control,
 // including every cost the simulator only models — team reuse vs. spawn,
 // cache contention between co-runners, dispatch serialization. See
@@ -29,6 +38,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <vector>
 
 #include "core/admission_policy.hpp"
 #include "core/corun_scheduler.hpp"  // StepResult
@@ -46,11 +56,12 @@ struct HostCorunOptions {
 };
 
 /// Lifetime: keeps references to `controller` and `pool`; both must outlive
-/// the executor. The HostGraphProgram passed to run_step is only borrowed
-/// for the call.
+/// the executor. The HostGraphPrograms passed to the run_step entry points
+/// are only borrowed for the call.
 ///
-/// Thread-safety: run_step must be called from one thread at a time; the
-/// executor spawns and joins its own launcher threads internally.
+/// Thread-safety: the run_step entry points must be called from one thread
+/// at a time; the executor spawns and joins its own launcher threads
+/// internally.
 class HostCorunExecutor {
  public:
   HostCorunExecutor(const ConcurrencyController& controller, TeamPool& pool,
@@ -60,6 +71,18 @@ class HostCorunExecutor {
   /// program.graph(). Returns wall-clock StepResult with the deterministic
   /// step checksum filled in.
   StepResult run_step(HostGraphProgram& program);
+
+  /// One CO-LOCATED adaptive step over N tenants: every program's graph
+  /// runs to completion on the shared core map, ops interleaving across
+  /// tenants under the weighted-deficit admission walk. `weights[t]` is
+  /// tenant t's relative claim on contended cores (missing/non-positive
+  /// entries default to 1.0). Returns one StepResult per tenant, in input
+  /// order: time_ms is that tenant's makespan (step start to its last
+  /// completion), service_ms the kernel wall-time it consumed, checksum its
+  /// private deterministic step checksum.
+  std::vector<StepResult> run_step_multi(
+      const std::vector<HostGraphProgram*>& programs,
+      const std::vector<double>& weights = {});
 
   /// Baseline step under a uniform (inter_op, intra_op) FIFO policy: ready
   /// ops run in arrival order, at most `inter_op` concurrently, each on an
@@ -89,12 +112,13 @@ class HostCorunExecutor {
  private:
   struct InFlight {
     NodeId node = kInvalidNode;
+    std::size_t tenant = 0;
     OpKey key;
     CoreSet cores;
     bool overlay = false;
     double predicted_ms = 0.0;  // controller timescale
     double start_wall_ms = 0.0;
-    std::vector<OpKey> corunners;
+    std::vector<TenantOpKey> corunners;
   };
 
   const ConcurrencyController& controller_;

@@ -19,6 +19,11 @@ Runtime::Runtime(const MachineSpec& spec, RuntimeOptions options)
 }
 
 ProfilingReport Runtime::profile(const Graph& g) {
+  return profile_multi({&g});
+}
+
+ProfilingReport Runtime::profile_multi(
+    const std::vector<const Graph*>& graphs) {
   ProfilingReport report;
   HillClimbParams params;
   params.interval = options_.hill_climb_interval;
@@ -26,27 +31,35 @@ ProfilingReport Runtime::profile(const Graph& g) {
   const HillClimbProfiler profiler(params);
 
   std::size_t max_samples_per_op = 0;
-  for (const Node& n : g.nodes()) {
-    if (!op_kind_tunable(n.kind)) continue;
-    const OpKey key = OpKey::of(n);
-    if (db_.contains(key)) continue;
-    const MeasureFn measure = [&](int threads, AffinityMode mode) {
-      return model_.exec_time_ms(n, threads, mode);
-    };
-    ProfileCurve curve = profiler.profile(measure);
-    max_samples_per_op =
-        std::max(max_samples_per_op, profiler.last_sample_count());
-    report.total_samples += curve.total_samples();
-    db_.put(key, std::move(curve));
-    ++report.unique_ops;
+  for (const Graph* g : graphs) {
+    for (const Node& n : g->nodes()) {
+      if (!op_kind_tunable(n.kind)) continue;
+      const OpKey key = OpKey::of(n);
+      if (db_.contains(key)) continue;
+      const MeasureFn measure = [&](int threads, AffinityMode mode) {
+        return model_.exec_time_ms(n, threads, mode);
+      };
+      ProfileCurve curve = profiler.profile(measure);
+      max_samples_per_op =
+          std::max(max_samples_per_op, profiler.last_sample_count());
+      report.total_samples += curve.total_samples();
+      db_.put(key, std::move(curve));
+      ++report.unique_ops;
+    }
   }
   report.profiling_steps = max_samples_per_op;
-  controller_->build(g);
+  controller_->build(graphs);
   return report;
 }
 
 StepResult Runtime::run_step(const Graph& g) {
   return scheduler_->run_step(g, machine_);
+}
+
+std::vector<StepResult> Runtime::run_step_multi(
+    const std::vector<const Graph*>& graphs,
+    const std::vector<double>& weights) {
+  return scheduler_->run_step_multi(graphs, machine_, weights);
 }
 
 StepResult Runtime::run_step_fifo(const Graph& g, int inter_op,
@@ -75,7 +88,11 @@ HostCorunExecutor& Runtime::host_executor() {
 
 ProfilingReport Runtime::profile_host(HostGraphProgram& program,
                                       int repeats) {
-  const Graph& g = program.graph();
+  return profile_host_multi({&program}, repeats);
+}
+
+ProfilingReport Runtime::profile_host_multi(
+    const std::vector<HostGraphProgram*>& programs, int repeats) {
   TeamPool& pool = host_pool();
   ProfilingReport report;
   HillClimbParams params;
@@ -86,33 +103,46 @@ ProfilingReport Runtime::profile_host(HostGraphProgram& program,
 
   const int reps = std::max(1, repeats);
   std::size_t max_samples_per_op = 0;
-  for (const Node& n : g.nodes()) {
-    if (!op_kind_tunable(n.kind)) continue;
-    const OpKey key = OpKey::of(n);
-    if (db_.contains(key)) continue;
-    // The measurement is a REAL timed run of the node's bound kernel on a
-    // real team of the sampled width — concurrency control on physical
-    // hardware, the paper's actual setting.
-    const MeasureFn measure = [&](int threads, AffinityMode) {
-      ThreadTeam& team = pool.team(static_cast<std::size_t>(threads));
-      const double t0 = wall_time_ms();
-      for (int r = 0; r < reps; ++r) program.run_node(n.id, team);
-      return (wall_time_ms() - t0) / static_cast<double>(reps);
-    };
-    ProfileCurve curve = profiler.profile(measure);
-    max_samples_per_op =
-        std::max(max_samples_per_op, profiler.last_sample_count());
-    report.total_samples += curve.total_samples();
-    db_.put(key, std::move(curve));
-    ++report.unique_ops;
+  std::vector<const Graph*> graphs;
+  graphs.reserve(programs.size());
+  for (HostGraphProgram* program : programs) {
+    const Graph& g = program->graph();
+    graphs.push_back(&g);
+    for (const Node& n : g.nodes()) {
+      if (!op_kind_tunable(n.kind)) continue;
+      const OpKey key = OpKey::of(n);
+      if (db_.contains(key)) continue;
+      // The measurement is a REAL timed run of the node's bound kernel on a
+      // real team of the sampled width — concurrency control on physical
+      // hardware, the paper's actual setting. Tenants whose (kind, shape)
+      // keys coincide share one curve: the kernel is the same work.
+      const MeasureFn measure = [&](int threads, AffinityMode) {
+        ThreadTeam& team = pool.team(static_cast<std::size_t>(threads));
+        const double t0 = wall_time_ms();
+        for (int r = 0; r < reps; ++r) program->run_node(n.id, team);
+        return (wall_time_ms() - t0) / static_cast<double>(reps);
+      };
+      ProfileCurve curve = profiler.profile(measure);
+      max_samples_per_op =
+          std::max(max_samples_per_op, profiler.last_sample_count());
+      report.total_samples += curve.total_samples();
+      db_.put(key, std::move(curve));
+      ++report.unique_ops;
+    }
   }
   report.profiling_steps = max_samples_per_op;
-  controller_->build(g);
+  controller_->build(graphs);
   return report;
 }
 
 StepResult Runtime::run_step_host(HostGraphProgram& program) {
   return host_executor().run_step(program);
+}
+
+std::vector<StepResult> Runtime::run_step_multi_host(
+    const std::vector<HostGraphProgram*>& programs,
+    const std::vector<double>& weights) {
+  return host_executor().run_step_multi(programs, weights);
 }
 
 StepResult Runtime::run_step_host_fifo(HostGraphProgram& program,

@@ -46,8 +46,21 @@ class Runtime {
   /// rebuilds the concurrency decisions. Idempotent per graph.
   ProfilingReport profile(const Graph& g);
 
+  /// Multi-tenant profiling: profiles every graph's unique ops (shared
+  /// (kind, shape) keys are profiled once across tenants) and rebuilds the
+  /// decisions over the union, so a later run_step_multi has choices for
+  /// every tenant's nodes.
+  ProfilingReport profile_multi(const std::vector<const Graph*>& graphs);
+
   /// One adaptive training step (Strategies per options.strategies).
   StepResult run_step(const Graph& g);
+
+  /// One CO-LOCATED adaptive step over N tenants' graphs on the simulated
+  /// machine (see CorunScheduler::run_step_multi). Returns one StepResult
+  /// per tenant, in input order.
+  std::vector<StepResult> run_step_multi(
+      const std::vector<const Graph*>& graphs,
+      const std::vector<double>& weights = {});
 
   /// One baseline step under a uniform (inter, intra) FIFO policy.
   StepResult run_step_fifo(const Graph& g, int inter_op, int intra_op);
@@ -66,9 +79,24 @@ class Runtime {
   /// timed runs are averaged per sample point.
   ProfilingReport profile_host(HostGraphProgram& program, int repeats = 3);
 
+  /// Multi-tenant host profiling: every program's unique ops timed on real
+  /// teams (shared (kind, shape) keys profiled once across tenants), then
+  /// the decisions rebuilt over the union of the tenants' graphs.
+  ProfilingReport profile_host_multi(
+      const std::vector<HostGraphProgram*>& programs, int repeats = 3);
+
   /// One adaptive host step (real threads, real kernels, Strategies per
   /// options.strategies). time_ms is wall-clock; checksum is filled.
   StepResult run_step_host(HostGraphProgram& program);
+
+  /// One CO-LOCATED adaptive host step over N tenants (one program per
+  /// training job, scheduled together on the shared host core map; see
+  /// HostCorunExecutor::run_step_multi). Returns one StepResult per tenant,
+  /// in input order, each with that tenant's makespan, consumed service
+  /// time, and private step checksum.
+  std::vector<StepResult> run_step_multi_host(
+      const std::vector<HostGraphProgram*>& programs,
+      const std::vector<double>& weights = {});
 
   /// Host baseline under a uniform (inter, intra) FIFO policy.
   StepResult run_step_host_fifo(HostGraphProgram& program, int inter_op,

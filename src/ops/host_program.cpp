@@ -55,10 +55,17 @@ const char* host_binding_name(HostBinding b) noexcept {
   return "?";
 }
 
-HostGraphProgram::HostGraphProgram(const Graph& g, std::uint64_t seed)
-    : graph_(&g) {
+HostGraphProgram::HostGraphProgram(const Graph& g, std::uint64_t seed,
+                                   std::size_t tenant)
+    : graph_(&g), tenant_(tenant) {
+  // Tenant-namespaced fills: fold the tenant id into the seed so co-located
+  // jobs never share tensor values. XOR with a mixed tenant keeps tenant 0
+  // (mix of nothing) on the historical seed, so single-tenant checksums are
+  // unchanged.
+  const std::uint64_t tenant_seed =
+      tenant == 0 ? seed : seed ^ mix64(0x7e4a47ULL, tenant);
   ops_.resize(g.size());
-  for (const Node& node : g.nodes()) bind_node(node, seed);
+  for (const Node& node : g.nodes()) bind_node(node, tenant_seed);
 }
 
 // Tensor roles per binding (op.in / op.out indices):

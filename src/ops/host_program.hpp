@@ -76,9 +76,17 @@ class HostGraphProgram {
   /// `seed`). Allocation is proportional to the graph's total tensor
   /// footprint — intended for host-scale graphs (toy_cnn, mnist_host), not
   /// the full paper models.
-  explicit HostGraphProgram(const Graph& g, std::uint64_t seed = 0x5eedULL);
+  ///
+  /// `tenant` namespaces every tensor fill: co-located tenants running the
+  /// SAME graph from the same seed still own distinct deterministic tensor
+  /// values (and therefore distinct step checksums), so a cross-tenant
+  /// write would be detectable as a checksum break. Tenant 0 reproduces the
+  /// historical single-tenant values exactly.
+  explicit HostGraphProgram(const Graph& g, std::uint64_t seed = 0x5eedULL,
+                            std::size_t tenant = 0);
 
   const Graph& graph() const noexcept { return *graph_; }
+  std::size_t tenant() const noexcept { return tenant_; }
 
   /// Executes node `id`'s kernel on `team` (parallel path).
   void run_node(NodeId id, ThreadTeam& team);
@@ -120,6 +128,7 @@ class HostGraphProgram {
   void execute_reference(BoundOp& op);
 
   const Graph* graph_;
+  std::size_t tenant_ = 0;
   std::vector<BoundOp> ops_;  // by node id
   /// Width-1 team for reference runs of kinds without a serial reference.
   std::unique_ptr<ThreadTeam> serial_team_;

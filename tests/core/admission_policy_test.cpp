@@ -10,6 +10,7 @@
 
 #include "core/runtime.hpp"
 #include "graph/builder.hpp"
+#include "util/rng.hpp"
 
 namespace opsched {
 namespace {
@@ -104,6 +105,130 @@ TEST_F(AdmissionPolicyTest, SimulatorAndHostRolesDecideIdentically) {
     }
   }
   EXPECT_EQ(sim_role.recorded_bad_pairs(), host_role.recorded_bad_pairs());
+}
+
+TEST_F(AdmissionPolicyTest, RandomizedScriptsSimAndHostRolesDecideIdentically) {
+  // 100 fuzzed rounds from a fixed seed: random ready queues (repeats
+  // allowed), random idle widths, random running snapshots, and randomly
+  // injected interference records. Two independently-driven policies — one
+  // playing the simulator's role, one the host executor's — must stay in
+  // lockstep the whole way, including the learned-state mutations (cache
+  // fills, bad pairs) each decision leaves behind.
+  Xoshiro256 rng(0xD21F7ULL);
+  AdmissionPolicy sim_role = make_policy();
+  AdmissionPolicy host_role = make_policy();
+
+  for (int round = 0; round < 100; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    std::deque<NodeId> ready;
+    const std::size_t len = rng.uniform_index(6);
+    for (std::size_t i = 0; i < len; ++i)
+      ready.push_back(static_cast<NodeId>(1 + rng.uniform_index(5)));
+    const int idle = static_cast<int>(1 + rng.uniform_index(68));
+    std::vector<RunningOpView> running;
+    const std::size_t nrun = rng.uniform_index(3);
+    for (std::size_t i = 0; i < nrun; ++i) {
+      running.push_back(
+          running_view(static_cast<NodeId>(1 + rng.uniform_index(5)),
+                       rng.uniform(0.01, 80.0)));
+    }
+
+    AdmissionStats sim_stats, host_stats;
+    const auto a =
+        sim_role.next_launch(graph_, ready, idle, running, &sim_stats);
+    const auto b =
+        host_role.next_launch(graph_, ready, idle, running, &host_stats);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a.has_value()) {
+      EXPECT_EQ(a->ready_pos, b->ready_pos);
+      EXPECT_EQ(a->candidate.threads, b->candidate.threads);
+      EXPECT_DOUBLE_EQ(a->candidate.time_ms, b->candidate.time_ms);
+      EXPECT_EQ(a->heavy_fallback, b->heavy_fallback);
+    }
+    EXPECT_EQ(sim_stats.cache_hits, host_stats.cache_hits);
+    EXPECT_EQ(sim_stats.guard_fallbacks, host_stats.guard_fallbacks);
+
+    const auto oa = sim_role.next_overlay(graph_, ready, idle, running);
+    const auto ob = host_role.next_overlay(graph_, ready, idle, running);
+    ASSERT_EQ(oa.has_value(), ob.has_value());
+    if (oa.has_value()) {
+      EXPECT_EQ(oa->ready_pos, ob->ready_pos);
+      EXPECT_EQ(oa->candidate.threads, ob->candidate.threads);
+    }
+
+    // Occasionally both executors observe the same bad co-run and record
+    // it; later rounds then exercise the bad-pair filter identically.
+    if (!running.empty() && !ready.empty() && rng.uniform() < 0.15) {
+      const OpKey completed = OpKey::of(graph_.node(ready.front()));
+      sim_role.record_interference(completed, {running.front().key});
+      host_role.record_interference(completed, {running.front().key});
+    }
+    ASSERT_EQ(sim_role.recorded_bad_pairs(), host_role.recorded_bad_pairs());
+  }
+}
+
+TEST_F(AdmissionPolicyTest, RandomizedMultiTenantScriptsDecideIdentically) {
+  // The multi-tenant walk is part of the drift contract too: 100 fuzzed
+  // rounds over three tenants with skewed weights, sim-role and host-role
+  // policies must pick the same (tenant, op, candidate) every time and
+  // accumulate identical fairness ledgers.
+  Xoshiro256 rng(0xBEEF5ULL);
+  AdmissionPolicy sim_role = make_policy();
+  AdmissionPolicy host_role = make_policy();
+  const std::vector<double> weights = {1.0, 2.0, 0.5};
+  sim_role.configure_tenants(3, weights);
+  host_role.configure_tenants(3, weights);
+
+  for (int round = 0; round < 100; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    std::vector<std::deque<NodeId>> queues(3);
+    for (auto& q : queues) {
+      const std::size_t len = rng.uniform_index(5);
+      for (std::size_t i = 0; i < len; ++i)
+        q.push_back(static_cast<NodeId>(1 + rng.uniform_index(5)));
+    }
+    const std::vector<TenantReadyView> tenants = {
+        {&graph_, &queues[0]}, {&graph_, &queues[1]}, {&graph_, &queues[2]}};
+    const int idle = static_cast<int>(1 + rng.uniform_index(68));
+    std::vector<RunningOpView> running;
+    const std::size_t nrun = rng.uniform_index(3);
+    for (std::size_t i = 0; i < nrun; ++i) {
+      RunningOpView v = running_view(
+          static_cast<NodeId>(1 + rng.uniform_index(5)),
+          rng.uniform(0.01, 80.0));
+      v.tenant = rng.uniform_index(3);
+      running.push_back(v);
+    }
+
+    std::vector<AdmissionStats> sim_stats, host_stats;
+    const auto a =
+        sim_role.next_launch_multi(tenants, idle, running, &sim_stats);
+    const auto b =
+        host_role.next_launch_multi(tenants, idle, running, &host_stats);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a.has_value()) {
+      EXPECT_EQ(a->tenant, b->tenant);
+      EXPECT_EQ(a->decision.ready_pos, b->decision.ready_pos);
+      EXPECT_EQ(a->decision.candidate.threads, b->decision.candidate.threads);
+      EXPECT_EQ(a->decision.heavy_fallback, b->decision.heavy_fallback);
+    }
+    ASSERT_EQ(sim_stats.size(), host_stats.size());
+    for (std::size_t t = 0; t < sim_stats.size(); ++t) {
+      EXPECT_EQ(sim_stats[t].cache_hits, host_stats[t].cache_hits);
+      EXPECT_EQ(sim_stats[t].guard_fallbacks, host_stats[t].guard_fallbacks);
+    }
+
+    const auto oa = sim_role.next_overlay_multi(tenants, idle, running);
+    const auto ob = host_role.next_overlay_multi(tenants, idle, running);
+    ASSERT_EQ(oa.has_value(), ob.has_value());
+    if (oa.has_value()) {
+      EXPECT_EQ(oa->tenant, ob->tenant);
+      EXPECT_EQ(oa->decision.ready_pos, ob->decision.ready_pos);
+    }
+  }
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_DOUBLE_EQ(sim_role.tenant_service(t), host_role.tenant_service(t));
+  }
 }
 
 TEST_F(AdmissionPolicyTest, RepeatedSituationHitsTheDecisionCache) {

@@ -1,0 +1,182 @@
+#include "testing/graph_fuzz.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace opsched::testing {
+
+namespace {
+
+std::int64_t dim(Xoshiro256& rng, std::int64_t max_dim,
+                 std::int64_t min_dim = 1) {
+  return min_dim + static_cast<std::int64_t>(rng.uniform_index(
+                       static_cast<std::uint64_t>(max_dim - min_dim + 1)));
+}
+
+TensorShape rank2_shape(Xoshiro256& rng, std::int64_t max_dim) {
+  return TensorShape{dim(rng, max_dim), dim(rng, max_dim, 2)};
+}
+
+TensorShape rank4_shape(Xoshiro256& rng, std::int64_t max_dim) {
+  return TensorShape{dim(rng, 3), dim(rng, max_dim, 2), dim(rng, max_dim, 2),
+                     dim(rng, max_dim)};
+}
+
+}  // namespace
+
+Graph fuzz_graph(std::uint64_t seed, const FuzzGraphParams& p) {
+  Xoshiro256 rng(mix64(seed, 0xDA6F0022ULL));
+  Graph g;
+
+  // Degenerate params stay safe: several shape draws need dims >= 2 (and
+  // uniform_index requires a positive range), so clamp rather than crash.
+  FuzzGraphParams params = p;
+  params.max_dim = std::max<std::int64_t>(4, params.max_dim);
+  params.max_nodes = std::max(params.max_nodes, params.min_nodes);
+
+  const std::size_t span = params.max_nodes - params.min_nodes + 1;
+  const std::size_t nodes =
+      params.min_nodes + rng.uniform_index(static_cast<std::uint64_t>(span));
+
+  // Node 0: a source carrying a random activation tensor.
+  {
+    Node src;
+    src.kind = OpKind::kInputConversion;
+    src.label = "fuzz/src";
+    src.output_shape = rank4_shape(rng, params.max_dim);
+    src.input_shape = src.output_shape;
+    g.add_node(std::move(src));
+  }
+
+  for (std::size_t i = 1; i < nodes; ++i) {
+    Node n;
+    n.label = "fuzz/n" + std::to_string(i);
+    // Primary producer plus optional extra edges — always backward, so node
+    // ids stay a topological order.
+    const NodeId primary = static_cast<NodeId>(rng.uniform_index(i));
+    n.inputs.push_back(primary);
+    while (rng.uniform() < params.extra_edge_prob &&
+           n.inputs.size() < std::min<std::size_t>(i, 3)) {
+      const NodeId extra = static_cast<NodeId>(rng.uniform_index(i));
+      if (std::find(n.inputs.begin(), n.inputs.end(), extra) ==
+          n.inputs.end()) {
+        n.inputs.push_back(extra);
+      }
+    }
+
+    if (rng.uniform() < params.surrogate_prob) {
+      // Adversarial shapes: a kind whose binding conditions cannot hold (or
+      // a kind with no exact kernel at all), to force the surrogate.
+      static constexpr OpKind kSurrogateKinds[] = {
+          OpKind::kMaxPoolGrad, OpKind::kToTf,       OpKind::kReshape,
+          OpKind::kTranspose,   OpKind::kConcat,     OpKind::kPad,
+          OpKind::kFusedBatchNormGrad, OpKind::kSoftmax,
+      };
+      n.kind = kSurrogateKinds[rng.uniform_index(std::size(kSurrogateKinds))];
+      n.input_shape = rank4_shape(rng, params.max_dim);
+      n.aux_shape = TensorShape{};
+      n.output_shape =
+          rng.uniform() < 0.5 ? rank2_shape(rng, params.max_dim)
+                              : rank4_shape(rng, params.max_dim);
+      g.add_node(std::move(n));
+      continue;
+    }
+
+    // Exact-binding palette: shapes constructed to satisfy the
+    // HostGraphProgram binding conditions for the drawn kind.
+    switch (rng.uniform_index(10)) {
+      case 0: {  // matmul: (M,K) x (K,N)
+        n.kind = OpKind::kMatMul;
+        const std::int64_t m = dim(rng, params.max_dim);
+        const std::int64_t k = dim(rng, params.max_dim, 2);
+        const std::int64_t p = dim(rng, params.max_dim, 2);
+        n.input_shape = TensorShape{m, k};
+        n.aux_shape = TensorShape{k, p};
+        n.output_shape = TensorShape{m, p};
+        break;
+      }
+      case 1: {  // conv2d, stride 1, same padding
+        n.kind = OpKind::kConv2D;
+        const TensorShape in = rank4_shape(rng, params.max_dim);
+        const std::int64_t cout = dim(rng, params.max_dim);
+        n.input_shape = in;
+        n.aux_shape = TensorShape{3, 3, in[3], cout};
+        n.output_shape = TensorShape{in[0], in[1], in[2], cout};
+        break;
+      }
+      case 2: {  // max pool 2x2
+        n.kind = OpKind::kMaxPool;
+        const std::int64_t b = dim(rng, 3);
+        const std::int64_t h = 2 * dim(rng, params.max_dim / 2, 1);
+        const std::int64_t w = 2 * dim(rng, params.max_dim / 2, 1);
+        const std::int64_t c = dim(rng, params.max_dim);
+        n.input_shape = TensorShape{b, h, w, c};
+        n.output_shape = TensorShape{b, h / 2, w / 2, c};
+        break;
+      }
+      case 3: {  // bias add over a rank-4 activation
+        n.kind = OpKind::kBiasAdd;
+        const TensorShape s = rank4_shape(rng, params.max_dim);
+        n.input_shape = s;
+        n.aux_shape = TensorShape{s[3]};
+        n.output_shape = s;
+        break;
+      }
+      case 4: {  // bias grad: rank-4 d_out -> rank-1 d_bias
+        n.kind = OpKind::kBiasAddGrad;
+        const TensorShape s = rank4_shape(rng, params.max_dim);
+        n.input_shape = s;
+        n.output_shape = TensorShape{s[3]};
+        break;
+      }
+      case 5: {  // unary elementwise
+        n.kind = rng.uniform() < 0.5
+                     ? OpKind::kRelu
+                     : (rng.uniform() < 0.5 ? OpKind::kSigmoid
+                                            : OpKind::kTanh);
+        const TensorShape s = rng.uniform() < 0.5
+                                  ? rank2_shape(rng, params.max_dim)
+                                  : rank4_shape(rng, params.max_dim);
+        n.input_shape = s;
+        n.output_shape = s;
+        break;
+      }
+      case 6: {  // binary elementwise / accumulation
+        n.kind = rng.uniform() < 0.5 ? OpKind::kAdd : OpKind::kAddN;
+        const TensorShape s = rank4_shape(rng, params.max_dim);
+        n.input_shape = s;
+        n.output_shape = s;
+        break;
+      }
+      case 7: {  // optimizer update
+        n.kind = OpKind::kApplyAdam;
+        const TensorShape s = rank2_shape(rng, params.max_dim);
+        n.input_shape = s;
+        n.output_shape = s;
+        break;
+      }
+      case 8: {  // softmax cross-entropy over (batch, classes)
+        n.kind = OpKind::kSparseSoftmaxCrossEntropy;
+        const TensorShape s = TensorShape{dim(rng, params.max_dim),
+                                          dim(rng, params.max_dim, 2)};
+        n.input_shape = s;
+        n.output_shape = s;
+        break;
+      }
+      default: {  // batch norm
+        n.kind = OpKind::kFusedBatchNorm;
+        const TensorShape s = rank4_shape(rng, params.max_dim);
+        n.input_shape = s;
+        n.output_shape = s;
+        break;
+      }
+    }
+    g.add_node(std::move(n));
+  }
+  return g;
+}
+
+}  // namespace opsched::testing

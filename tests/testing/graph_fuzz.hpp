@@ -1,0 +1,38 @@
+// Seeded random-DAG generator for property tests. Produces adversarially
+// shaped but *valid* training-step graphs: forward-only dependency edges,
+// a mix of nodes whose shapes admit exact HostGraphProgram kernel bindings
+// (matmul, conv, pools, bias, elementwise, Adam, xent) and nodes that are
+// deliberately inconsistent so they fall back to the elementwise surrogate.
+// Same seed -> bit-identical graph, forever — the generator is part of the
+// determinism contract the fuzz tests pin down, so it uses only the
+// repo's deterministic RNGs (util/rng.hpp), never std::random_device.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace opsched::testing {
+
+struct FuzzGraphParams {
+  std::size_t min_nodes = 5;
+  std::size_t max_nodes = 14;
+  /// Upper bound on any generated tensor dimension; keeps every kernel in
+  /// the microsecond range so property tests can afford dozens of graphs.
+  /// Values below 4 are clamped up (several shape draws need dims >= 2).
+  std::int64_t max_dim = 8;
+  /// Probability that a node draws a second (non-primary) dependency edge,
+  /// creating diamond/join shapes instead of pure chains.
+  double extra_edge_prob = 0.45;
+  /// Probability that a node deliberately gets shapes no exact kernel
+  /// accepts, exercising the surrogate fallback path.
+  double surrogate_prob = 0.25;
+};
+
+/// Deterministic random DAG: node ids are a topological order (every edge
+/// points backward), every node has a positive-element output shape, and
+/// node 0 is always a source. Distinct seeds give structurally distinct
+/// graphs; the same seed gives the identical graph on every platform.
+Graph fuzz_graph(std::uint64_t seed, const FuzzGraphParams& params = {});
+
+}  // namespace opsched::testing
