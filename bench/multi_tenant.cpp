@@ -19,6 +19,7 @@
 #include "core/runtime.hpp"
 #include "models/models.hpp"
 #include "util/clock.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 #include <algorithm>
@@ -31,16 +32,6 @@
 
 namespace opsched::bench {
 namespace {
-
-double jain_index(const std::vector<double>& x) {
-  double sum = 0.0, sq = 0.0;
-  for (double v : x) {
-    sum += v;
-    sq += v * v;
-  }
-  if (sq <= 0.0) return 1.0;
-  return sum * sum / (static_cast<double>(x.size()) * sq);
-}
 
 void run(Context& ctx) {
   const auto batch = static_cast<std::int64_t>(ctx.param_int("batch", 6));

@@ -1,0 +1,199 @@
+// serve_churn: the elastic scheduling service under job churn — a scripted
+// arrival/cancel trace of N training jobs (mixed step budgets, weights,
+// priorities) driven through SchedulerService in its deterministic inline
+// mode on the HOST substrate (real kernels, real threads). Reported:
+//   - job throughput (completed jobs per wall second of serving);
+//   - turnaround and wait-latency percentiles (p50/p95 over the ledger's
+//     per-job submit->finish and submit->admit latencies);
+//   - Jain's fairness index over the service time of completed
+//     equal-weight jobs under churn;
+//   - admission/profiling behaviour (profiled ops, reconfigurations).
+// All additive schema-v1 metrics. Every completed job's checksum is
+// enforced bit-identical to its solo serial reference — the bench throws
+// if churn ever changes a job's numerics.
+#include "all_benchmarks.hpp"
+#include "models/models.hpp"
+#include "serve/service.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace opsched::bench {
+namespace {
+
+/// util/stats' percentile (p in [0, 100]) with an empty-input guard: an
+/// all-cancelled trace has no completed-job latencies to summarise.
+double pct(const std::vector<double>& xs, double p) {
+  return xs.empty() ? 0.0 : percentile(xs, p);
+}
+
+void run(Context& ctx) {
+  const int jobs = std::clamp(ctx.param_int("jobs", 12), 2, 64);
+  const auto batch = static_cast<std::int64_t>(ctx.param_int("batch", 4));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(ctx.param_int("seed", 42));
+
+  // One small real-kernel model family; per-job seeds give private tensors.
+  const Graph g = build_mnist_host(batch);
+
+  RuntimeOptions ropt;
+  Runtime rt(MachineSpec::knl(), ropt);
+  serve::ServiceOptions sopt;
+  sopt.substrate = serve::Substrate::kHost;
+  sopt.admission.max_corun_jobs =
+      static_cast<std::size_t>(std::clamp(ctx.param_int("corun", 3), 1, 8));
+  serve::SchedulerService svc(rt, sopt);
+
+  ctx.header("Elastic service churn: " + std::to_string(jobs) +
+                 " jobs on the host substrate",
+             "mnist_host batch " + std::to_string(batch) + ", " +
+                 std::to_string(svc.capacity_cores()) + " host cores, <= " +
+                 std::to_string(sopt.admission.max_corun_jobs) +
+                 " co-resident jobs");
+
+  // Solo serial reference checksum per tensor seed (graph identical).
+  const auto reference = [&](std::uint64_t tensor_seed) {
+    HostGraphProgram ref(g, tensor_seed, /*tenant=*/0);
+    for (const Node& node : g.nodes()) ref.run_node_reference(node.id);
+    return ref.step_checksum();
+  };
+
+  // Scripted churn: arrivals spread over the first cycles, ~1 in 6 jobs
+  // cancelled shortly after arrival, mixed weights and budgets.
+  Xoshiro256 rng(seed);
+  struct Scripted {
+    std::uint64_t tensor_seed;
+    int steps;
+    double weight;
+    std::size_t arrive, cancel;  // cancel == SIZE_MAX: never
+    serve::JobId id = serve::kInvalidJob;
+  };
+  constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+  std::vector<Scripted> script;
+  std::size_t last_event = 0;
+  for (int j = 0; j < jobs; ++j) {
+    Scripted s;
+    s.tensor_seed = 0x5eedULL + static_cast<std::uint64_t>(j);
+    s.steps = 1 + static_cast<int>(rng() % 3);
+    s.weight = (rng() % 3 == 0) ? 2.0 : 1.0;
+    s.arrive = rng() % static_cast<std::size_t>(jobs);
+    s.cancel = (rng() % 6 == 0) ? s.arrive + 1 + rng() % 3 : kNever;
+    last_event = std::max(last_event, s.arrive);
+    if (s.cancel != kNever) last_event = std::max(last_event, s.cancel);
+    script.push_back(s);
+  }
+
+  const double t0 = wall_time_ms();
+  for (std::size_t cycle = 0; cycle <= last_event; ++cycle) {
+    for (Scripted& s : script) {
+      if (s.id == serve::kInvalidJob && s.arrive <= cycle) {
+        serve::JobSpec spec;
+        spec.name = "churn";
+        spec.graph = g;
+        spec.steps = s.steps;
+        spec.weight = s.weight;
+        spec.seed = s.tensor_seed;
+        s.id = svc.submit(spec);
+      }
+      if (s.id != serve::kInvalidJob && s.cancel != kNever &&
+          s.cancel == cycle) {
+        svc.cancel(s.id);
+      }
+    }
+    svc.run_cycle();
+  }
+  svc.drain();
+  const double serve_ms = wall_time_ms() - t0;
+
+  const serve::ServiceSnapshot snap = svc.snapshot();
+  std::vector<double> turnaround, waits, service_equal_weight;
+  std::size_t completed = 0, cancelled = 0, profiled_ops = 0;
+  for (const Scripted& s : script) {
+    const auto it = std::find_if(
+        snap.jobs.begin(), snap.jobs.end(),
+        [&](const serve::JobRecord& r) { return r.id == s.id; });
+    if (it == snap.jobs.end())
+      throw std::logic_error("serve_churn: job lost from the ledger");
+    profiled_ops += it->profiled_ops;
+    if (it->state == serve::JobState::kCancelled) {
+      ++cancelled;
+      continue;
+    }
+    if (it->state != serve::JobState::kCompleted)
+      throw std::logic_error("serve_churn: non-terminal job after drain");
+    ++completed;
+    turnaround.push_back(it->turnaround_ms());
+    waits.push_back(it->wait_ms());
+    // Fairness over equal-weight jobs (weighted jobs legitimately get
+    // more), normalised per step so budgets do not skew the index.
+    if (it->weight == 1.0 && it->steps_done > 0)
+      service_equal_weight.push_back(it->service_ms / it->steps_done);
+    if (it->checksum != reference(s.tensor_seed)) {
+      throw std::logic_error(
+          "serve_churn: checksum diverged from solo serial reference");
+    }
+  }
+
+  ctx.metric("jobs_completed", static_cast<double>(completed), "jobs",
+             Direction::kInfo);
+  ctx.metric("jobs_cancelled", static_cast<double>(cancelled), "jobs",
+             Direction::kInfo);
+  ctx.metric("throughput",
+             completed / std::max(serve_ms, 1e-9) * 1000.0, "jobs/s",
+             Direction::kHigherIsBetter);
+  ctx.metric("p50_turnaround", pct(turnaround, 50.0), "ms",
+             Direction::kInfo);
+  ctx.metric("p95_turnaround", pct(turnaround, 95.0), "ms",
+             Direction::kInfo);
+  ctx.metric("p50_wait", pct(waits, 50.0), "ms", Direction::kInfo);
+  ctx.metric("p95_wait", pct(waits, 95.0), "ms", Direction::kInfo);
+  const double fairness = service_equal_weight.size() >= 2
+                              ? jain_index(service_equal_weight)
+                              : 1.0;
+  ctx.metric("fairness_jain", fairness, "idx", Direction::kInfo);
+  ctx.metric("steps_run", static_cast<double>(snap.steps_run), "steps",
+             Direction::kInfo);
+  ctx.metric("reconfigurations", static_cast<double>(snap.reconfigurations),
+             "events", Direction::kInfo);
+  ctx.metric("profiled_ops", static_cast<double>(profiled_ops), "ops",
+             Direction::kInfo);
+
+  TablePrinter table({"Outcome", "Jobs", "p50 (ms)", "p95 (ms)"});
+  table.add_row({"completed (turnaround)", std::to_string(completed),
+                 fmt_double(pct(turnaround, 50.0), 2),
+                 fmt_double(pct(turnaround, 95.0), 2)});
+  table.add_row({"admission wait", std::to_string(completed),
+                 fmt_double(pct(waits, 50.0), 2),
+                 fmt_double(pct(waits, 95.0), 2)});
+  table.print(ctx.out());
+  ctx.out() << completed << " completed / " << cancelled << " cancelled, "
+            << snap.steps_run << " co-located steps, "
+            << snap.reconfigurations << " reconfigurations, Jain "
+            << fmt_double(fairness, 3)
+            << "; all checksums equal solo serial references\n";
+}
+
+}  // namespace
+
+void register_serve_churn(Registry& reg) {
+  Benchmark b;
+  b.name = "serve_churn";
+  b.figure = "ext";
+  b.description =
+      "elastic scheduling service under job churn: throughput, turnaround/"
+      "wait percentiles, Jain fairness; checksums enforced vs solo";
+  b.default_params = {
+      {"jobs", "12"}, {"batch", "4"}, {"seed", "42"}, {"corun", "3"}};
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

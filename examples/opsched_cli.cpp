@@ -5,16 +5,24 @@
 //                        [--steps 3] [--trace out.json] [--load db.txt]
 //   opsched_cli grid     --model resnet50
 //   opsched_cli compare  --model inception_v3
+//   opsched_cli serve    [--substrate host|sim] [--jobs 8] [--corun 3]
+//                        [--model NAME] [--db FILE] [--save-db FILE]
 //   opsched_cli bench    [--list] [--filter a,b] [--repeats N] [--json FILE]
 //                        (same flags as the opsched_bench runner)
+//
+// Database files ending in .json use the schema-versioned JSON form, any
+// other suffix the one-line-per-sample text form.
 #include <algorithm>
 #include <iostream>
 #include <map>
+#include <vector>
 
 #include "core/runtime.hpp"
 #include "core/trace_export.hpp"
 #include "models/models.hpp"
+#include "serve/service.hpp"
 #include "util/flags.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 #ifdef OPSCHED_CLI_HAVE_BENCH
@@ -28,15 +36,19 @@ namespace {
 
 int usage() {
   std::cerr
-      << "usage: opsched_cli <profile|schedule|grid|compare|bench> "
+      << "usage: opsched_cli <profile|schedule|grid|compare|serve|bench> "
          "[--model NAME]\n"
-         "  models: resnet50 dcgan inception_v3 lstm toy_cnn\n"
+         "  models: resnet50 dcgan inception_v3 lstm toy_cnn mnist_host\n"
          "  profile : hill-climb all unique ops, print chosen widths\n"
-         "            [--interval X] [--save FILE]\n"
+         "            [--interval X] [--save FILE]  (.json = JSON schema)\n"
          "  schedule: run adaptive steps  [--strategies s12|s123|all]\n"
-         "            [--steps N] [--trace FILE]\n"
+         "            [--steps N] [--trace FILE] [--load FILE]\n"
          "  grid    : Table-I style inter-op x intra-op sweep\n"
          "  compare : recommendation vs manual grid vs adaptive\n"
+         "  serve   : elastic scheduling service on a scripted job-churn\n"
+         "            trace  [--substrate host|sim] [--jobs N] [--corun K]\n"
+         "            [--seed S] [--db FILE] [--save-db FILE] (warm-start\n"
+         "            profile reuse across restarts)\n"
          "  bench   : run the registered paper benchmarks (--list, --filter,\n"
          "            --repeats, --json, --baseline — see opsched_bench)\n";
   return 2;
@@ -93,9 +105,87 @@ int cmd_profile(const Graph& g, const Flags& flags) {
 
   if (flags.has("save")) {
     const std::string path = flags.get("save", "profiles.db");
-    rt.database().save_file(path);
+    rt.database().save_file_auto(path);
     std::cout << "profile database saved to " << path << " ("
               << rt.database().size() << " curves)\n";
+  }
+  return 0;
+}
+
+int cmd_serve(const Flags& flags) {
+  const std::string substrate = flags.get("substrate", "host");
+  const bool host = substrate != "sim";
+  const std::string model =
+      flags.get("model", host ? "mnist_host" : "toy_cnn");
+  const auto batch = static_cast<std::int64_t>(flags.get_int("batch", 4));
+  const int jobs = std::clamp(flags.get_int("jobs", 8), 1, 64);
+  const Graph g = model == "mnist_host" ? build_mnist_host(batch)
+                                        : build_model(model);
+
+  Runtime rt(MachineSpec::knl());
+  if (flags.has("db")) {
+    const std::string path = flags.get("db", "profiles.json");
+    try {
+      rt.database().load_file_auto(path);
+      std::cout << "warm start: " << rt.database().size()
+                << " profile curves loaded from " << path << "\n";
+    } catch (const std::exception& e) {
+      std::cout << "cold start (" << e.what() << ")\n";
+    }
+  }
+
+  serve::ServiceOptions opt;
+  opt.substrate = host ? serve::Substrate::kHost : serve::Substrate::kSimulated;
+  opt.admission.max_corun_jobs = static_cast<std::size_t>(
+      std::clamp(flags.get_int("corun", 3), 1, 8));
+  serve::SchedulerService svc(rt, opt);
+
+  // Scripted churn: staggered arrivals, mixed budgets/weights/priorities,
+  // one scripted cancellation. Deterministic for a fixed --seed.
+  Xoshiro256 rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  std::vector<serve::JobId> ids;
+  const int cancel_victim = jobs > 2 ? 1 : -1;
+  for (int j = 0; j < jobs; ++j) {
+    // A couple of arrivals per cycle; steps between submissions.
+    if (j > 0) svc.run_cycle();
+    serve::JobSpec spec;
+    spec.name = model + "#" + std::to_string(j);
+    spec.graph = g;
+    spec.steps = 1 + static_cast<int>(rng() % 3);
+    spec.weight = (rng() % 3 == 0) ? 2.0 : 1.0;
+    spec.priority = static_cast<int>(rng() % 2);
+    spec.seed = 0x5eedULL + static_cast<std::uint64_t>(j);
+    ids.push_back(svc.submit(spec));
+    if (j == cancel_victim) svc.cancel(ids.back());
+  }
+  svc.drain();
+
+  const serve::ServiceSnapshot snap = svc.snapshot();
+  TablePrinter table({"Job", "Name", "Prio", "Weight", "State", "Steps",
+                      "Wait (ms)", "Turnaround (ms)", "Service (ms)"});
+  for (const serve::JobRecord& rec : snap.jobs) {
+    table.add_row({std::to_string(rec.id), rec.name,
+                   std::to_string(rec.priority), fmt_double(rec.weight, 1),
+                   serve::job_state_name(rec.state),
+                   std::to_string(rec.steps_done) + "/" +
+                       std::to_string(rec.steps_total),
+                   fmt_double(rec.wait_ms(), 2),
+                   fmt_double(rec.turnaround_ms(), 2),
+                   fmt_double(rec.service_ms, 2)});
+  }
+  table.print(std::cout);
+  std::cout << snap.completed << " completed / " << snap.cancelled
+            << " cancelled, " << snap.steps_run << " co-located steps, "
+            << snap.reconfigurations << " reconfigurations on the "
+            << serve::substrate_name(opt.substrate) << " substrate ("
+            << svc.capacity_cores() << " cores)\n";
+
+  if (flags.has("save-db")) {
+    const std::string path = flags.get("save-db", "profiles.json");
+    rt.database().save_file_auto(path);
+    std::cout << "profile database saved to " << path << " ("
+              << rt.database().size()
+              << " curves) — pass --db to warm-start the next run\n";
   }
   return 0;
 }
@@ -104,6 +194,12 @@ int cmd_schedule(const Graph& g, const Flags& flags) {
   RuntimeOptions opt;
   opt.strategies = parse_strategies(flags.get("strategies", "all"));
   Runtime rt(MachineSpec::knl(), opt);
+  if (flags.has("load")) {
+    const std::string path = flags.get("load", "profiles.db");
+    rt.database().load_file_auto(path);
+    std::cout << rt.database().size() << " profile curves loaded from "
+              << path << "\n";
+  }
   rt.profile(g);
   const int steps = std::max(1, flags.get_int("steps", 3));
   TablePrinter table({"Step", "Time (ms)", "Co-runs", "Overlays",
@@ -169,6 +265,14 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Flags flags(argc - 1, argv + 1);
   if (cmd == "bench") return cmd_bench(flags);
+  if (cmd == "serve") {
+    try {
+      return cmd_serve(flags);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
   const std::string model = flags.get("model", "resnet50");
 
   Graph g;

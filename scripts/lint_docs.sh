@@ -47,10 +47,11 @@ for doc in "${docs[@]}"; do
           fail=1
         fi
         ;;
-      # host_corun / multi_tenant are listed explicitly: host_* and multi_*
-      # would false-positive on non-benchmark tokens like host_replay,
-      # host_logical_cores, or multi_team_capacity.
-      fig[0-9]*|table[0-9]*|ext_*|micro_*|ablation*|host_corun*|multi_tenant*)
+      # host_corun / multi_tenant / serve_churn are listed explicitly:
+      # host_*, multi_*, and serve_* would false-positive on non-benchmark
+      # tokens like host_replay, host_logical_cores, multi_team_capacity,
+      # or serve_job (docs prose).
+      fig[0-9]*|table[0-9]*|ext_*|micro_*|ablation*|host_corun*|multi_tenant*|serve_churn*)
         if [ ! -f "bench/$tok.cpp" ]; then
           echo "$doc: unknown benchmark \`$tok\` (no bench/$tok.cpp)"
           fail=1

@@ -1,267 +1,28 @@
 #include "bench/reporter.hpp"
 
-#include <cctype>
 #include <cmath>
-#include <cstdio>
 #include <fstream>
-#include <memory>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/json.hpp"
 
 namespace opsched::bench {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// JSON writing. The schema is small and fixed, so the writer is a handful of
-// helpers rather than a general serialiser.
-// ---------------------------------------------------------------------------
+// JSON mechanics (escaping, number formatting, the recursive-descent parser
+// and its typed accessors) live in util/json.hpp, shared with the persisted
+// profile database. The report schema itself is written by hand below so the
+// key order stays stable.
+using json::JsonValue;
+using json::array_member;
+using json::member;
+using json::num_member;
+using json::str_member;
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string json_number(double v) {
-  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-// ---------------------------------------------------------------------------
-// JSON parsing: a minimal recursive-descent parser covering exactly the
-// grammar to_json emits (objects, arrays, strings, numbers, bools, null).
-// ---------------------------------------------------------------------------
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  // unique_ptr keeps the recursive type sized.
-  std::unique_ptr<JsonArray> array;
-  std::unique_ptr<JsonObject> object;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("JSON parse error at offset " +
-                             std::to_string(pos_) + ": " + what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const std::string& lit) {
-    if (text_.compare(pos_, lit.size(), lit) != 0) return false;
-    pos_ += lit.size();
-    return true;
-  }
-
-  JsonValue parse_value() {
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') {
-      JsonValue v;
-      v.kind = JsonValue::Kind::kString;
-      v.string = parse_string();
-      return v;
-    }
-    if (consume_literal("true")) {
-      JsonValue v;
-      v.kind = JsonValue::Kind::kBool;
-      v.boolean = true;
-      return v;
-    }
-    if (consume_literal("false")) {
-      JsonValue v;
-      v.kind = JsonValue::Kind::kBool;
-      return v;
-    }
-    if (consume_literal("null")) return JsonValue{};
-    return parse_number();
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    v.object = std::make_unique<JsonObject>();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      if (peek() != '"') fail("expected object key");
-      std::string key = parse_string();
-      expect(':');
-      (*v.object)[std::move(key)] = parse_value();
-      const char c = peek();
-      ++pos_;
-      if (c == '}') return v;
-      if (c != ',') fail("expected ',' or '}' in object");
-    }
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    v.array = std::make_unique<JsonArray>();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array->push_back(parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == ']') return v;
-      if (c != ',') fail("expected ',' or ']' in array");
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 't': out += '\t'; break;
-        case 'r': out += '\r'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          const unsigned code =
-              std::stoul(text_.substr(pos_, 4), nullptr, 16);
-          pos_ += 4;
-          // The writer only emits \u for control characters; decode the
-          // ASCII range and replace anything else with '?'.
-          out += code < 0x80 ? static_cast<char>(code) : '?';
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue parse_number() {
-    skip_ws();
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E'))
-      ++pos_;
-    if (pos_ == start) fail("expected a value");
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    try {
-      v.number = std::stod(text_.substr(start, pos_ - start));
-    } catch (const std::exception&) {
-      fail("malformed number");
-    }
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-// Typed accessors with schema-error messages.
-const JsonValue& member(const JsonValue& obj, const std::string& key) {
-  if (obj.kind != JsonValue::Kind::kObject)
-    throw std::runtime_error("report schema: expected object around '" + key +
-                             "'");
-  const auto it = obj.object->find(key);
-  if (it == obj.object->end())
-    throw std::runtime_error("report schema: missing key '" + key + "'");
-  return it->second;
-}
-
-double num_member(const JsonValue& obj, const std::string& key) {
-  const JsonValue& v = member(obj, key);
-  if (v.kind != JsonValue::Kind::kNumber)
-    throw std::runtime_error("report schema: '" + key + "' must be a number");
-  return v.number;
-}
-
-std::string str_member(const JsonValue& obj, const std::string& key) {
-  const JsonValue& v = member(obj, key);
-  if (v.kind != JsonValue::Kind::kString)
-    throw std::runtime_error("report schema: '" + key + "' must be a string");
-  return v.string;
-}
-
-const JsonArray& array_member(const JsonValue& obj, const std::string& key) {
-  const JsonValue& v = member(obj, key);
-  if (v.kind != JsonValue::Kind::kArray)
-    throw std::runtime_error("report schema: '" + key + "' must be an array");
-  return *v.array;
-}
+std::string json_escape(const std::string& s) { return json::escape(s); }
+std::string json_number(double v) { return json::number(v); }
 
 double worse_by(const MetricDiff& d) {
   if (d.baseline_median == 0.0) return 0.0;
@@ -361,7 +122,8 @@ std::string to_json(const Report& report) {
 }
 
 Report from_json(const std::string& json) {
-  const JsonValue doc = JsonParser(json).parse();
+  // Fully qualified: the parameter name `json` shadows the namespace here.
+  const JsonValue doc = opsched::json::parse(json);
 
   Report report;
   report.schema_version = static_cast<int>(num_member(doc, "schema_version"));

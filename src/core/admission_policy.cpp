@@ -3,8 +3,20 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
+#include <stdexcept>
 
 namespace opsched {
+
+TenantSet TenantSet::slots(std::size_t count,
+                           const std::vector<double>& weights) {
+  TenantSet set;
+  set.ids.resize(count);
+  for (std::size_t t = 0; t < count; ++t) set.ids[t] = t;
+  set.weights = weights;
+  set.preserve_service = false;
+  return set;
+}
 
 namespace {
 std::pair<TenantOpKey, TenantOpKey> ordered_pair(const TenantOpKey& a,
@@ -26,10 +38,46 @@ void AdmissionPolicy::reset_learning() {
 
 void AdmissionPolicy::configure_tenants(std::size_t count,
                                         const std::vector<double>& weights) {
-  service_.assign(count, 0.0);
+  configure_tenants(TenantSet::slots(count, weights));
+}
+
+void AdmissionPolicy::configure_tenants(const TenantSet& set) {
+  const std::size_t count = set.ids.size();
+  if (!set.weights.empty() && set.weights.size() != count) {
+    throw std::invalid_argument(
+        "AdmissionPolicy::configure_tenants: weights/ids size mismatch");
+  }
+  if (std::set<std::size_t>(set.ids.begin(), set.ids.end()).size() != count) {
+    throw std::invalid_argument(
+        "AdmissionPolicy::configure_tenants: duplicate tenant ids");
+  }
+  slot_ids_ = set.ids;
   weights_.assign(count, 1.0);
-  for (std::size_t t = 0; t < count && t < weights.size(); ++t) {
-    if (weights[t] > 0.0) weights_[t] = weights[t];
+  for (std::size_t t = 0; t < count && t < set.weights.size(); ++t) {
+    if (set.weights[t] > 0.0) weights_[t] = set.weights[t];
+  }
+  service_.assign(count, 0.0);
+  if (set.preserve_service) {
+    for (std::size_t t = 0; t < count; ++t) {
+      const auto it = retained_service_.find(set.ids[t]);
+      if (it != retained_service_.end()) service_[t] = it->second;
+    }
+  } else {
+    for (std::size_t t = 0; t < count; ++t)
+      retained_service_.erase(set.ids[t]);
+  }
+}
+
+void AdmissionPolicy::retire_tenant(std::size_t id) {
+  retained_service_.erase(id);
+  for (auto it = decision_cache_.begin(); it != decision_cache_.end();) {
+    it = std::get<0>(it->first) == id ? decision_cache_.erase(it)
+                                      : std::next(it);
+  }
+  for (auto it = bad_pairs_.begin(); it != bad_pairs_.end();) {
+    it = (it->first.tenant == id || it->second.tenant == id)
+             ? bad_pairs_.erase(it)
+             : std::next(it);
   }
 }
 
@@ -37,6 +85,7 @@ void AdmissionPolicy::ensure_tenants(std::size_t count) {
   if (service_.size() >= count) return;
   service_.resize(count, 0.0);
   weights_.resize(count, 1.0);
+  while (slot_ids_.size() < count) slot_ids_.push_back(slot_ids_.size());
 }
 
 std::vector<std::size_t> AdmissionPolicy::tenant_order(
@@ -58,10 +107,16 @@ void AdmissionPolicy::charge(std::size_t tenant, const Candidate& c) {
   const double cost = std::max(c.time_ms, 1e-9) *
                       static_cast<double>(std::max(1, c.threads));
   service_[tenant] += cost / weights_[tenant];
+  retained_service_[stable_id(tenant)] = service_[tenant];
 }
 
 double AdmissionPolicy::tenant_service(std::size_t tenant) const {
   return tenant < service_.size() ? service_[tenant] : 0.0;
+}
+
+double AdmissionPolicy::service_of(std::size_t id) const {
+  const auto it = retained_service_.find(id);
+  return it != retained_service_.end() ? it->second : 0.0;
 }
 
 std::size_t AdmissionPolicy::recorded_bad_pairs(std::size_t tenant) const {
@@ -75,8 +130,11 @@ std::size_t AdmissionPolicy::recorded_bad_pairs(std::size_t tenant) const {
 bool AdmissionPolicy::bad_pair_with_running(
     const TenantOpKey& key, const std::vector<RunningOpView>& running) const {
   if (!options_.interference_recorder) return false;
+  // Callers pass slot indices; the record is keyed by stable ids.
+  const TenantOpKey mine{stable_id(key.tenant), key.key};
   for (const RunningOpView& r : running) {
-    if (bad_pairs_.count(ordered_pair(key, TenantOpKey{r.tenant, r.key}))) {
+    if (bad_pairs_.count(
+            ordered_pair(mine, TenantOpKey{stable_id(r.tenant), r.key}))) {
       return true;
     }
   }
@@ -86,8 +144,13 @@ bool AdmissionPolicy::bad_pair_with_running(
 void AdmissionPolicy::record_interference(
     const TenantOpKey& completed, const std::vector<TenantOpKey>& corunners) {
   if (!options_.interference_recorder) return;
-  for (const TenantOpKey& other : corunners)
-    bad_pairs_.insert(ordered_pair(completed, other));
+  // Callers pass slot indices; the record is keyed by stable ids so it
+  // follows jobs across tenant-set reconfigurations.
+  const TenantOpKey mine{stable_id(completed.tenant), completed.key};
+  for (const TenantOpKey& other : corunners) {
+    bad_pairs_.insert(
+        ordered_pair(mine, TenantOpKey{stable_id(other.tenant), other.key}));
+  }
 }
 
 void AdmissionPolicy::record_interference(const OpKey& completed,
@@ -114,9 +177,11 @@ std::optional<AdmissionDecision> AdmissionPolicy::pick_for_tenant(
       continue;
 
     // Decision cache: identical (tenant, op, idle width) situations reuse
-    // the previous Strategy 3 outcome.
+    // the previous Strategy 3 outcome. Keyed by the stable id so a job's
+    // cache follows it across tenant-set reconfigurations.
     if (options_.decision_cache && something_running) {
-      const auto it = decision_cache_.find({tenant, key, idle_cores});
+      const auto it = decision_cache_.find({stable_id(tenant), key,
+                                            idle_cores});
       if (it != decision_cache_.end()) {
         const Candidate& c = it->second;
         if (c.threads <= idle_cores &&
@@ -164,7 +229,7 @@ std::optional<AdmissionDecision> AdmissionPolicy::pick_for_tenant(
       d.ready_pos = pos;
       d.candidate = *best;
       if (options_.decision_cache && something_running)
-        decision_cache_[{tenant, key, idle_cores}] = d.candidate;
+        decision_cache_[{stable_id(tenant), key, idle_cores}] = d.candidate;
       return d;
     }
   }

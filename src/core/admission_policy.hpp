@@ -61,6 +61,32 @@ struct TenantReadyView {
   const std::deque<NodeId>* ready = nullptr;
 };
 
+/// Tenant population of one co-located step, with STABLE identities. The
+/// run_step_multi(..., weights) entry points identify tenants by their slot
+/// index, which is fine while the tenant set is fixed — but a serving layer
+/// reconfigures the set between steps as jobs arrive, finish, and cancel,
+/// and slot indices then alias across unrelated jobs. A TenantSet instead
+/// gives every slot a caller-chosen stable id (the serving layer passes job
+/// ids): learned state (decision cache, interference record) and the
+/// fairness ledger follow the ID, so a job keeps its history when it shifts
+/// slots and never inherits another job's.
+struct TenantSet {
+  /// Stable id per slot; must be distinct within one step.
+  std::vector<std::size_t> ids;
+  /// Relative service shares per slot (missing/non-positive default 1.0).
+  std::vector<double> weights;
+  /// Keep each id's accumulated fairness deficit from previous steps
+  /// (churn-tolerant co-run: a job shortchanged last step is first in line
+  /// this step). false reproduces the per-step reset of the slot-indexed
+  /// entry points.
+  bool preserve_service = true;
+
+  /// The slot-indexed population the legacy entry points use: ids 0..n-1,
+  /// per-step service reset.
+  static TenantSet slots(std::size_t count,
+                         const std::vector<double>& weights = {});
+};
+
 /// Counters the policy increments while deciding; executors fold them into
 /// their per-step statistics.
 struct AdmissionStats {
@@ -110,6 +136,21 @@ class AdmissionPolicy {
   /// step's fairness race begins from zero; learned state is untouched.
   void configure_tenants(std::size_t count,
                          const std::vector<double>& weights = {});
+
+  /// Stable-identity form: slot t carries id set.ids[t]. Learned state and
+  /// the persistent fairness ledger are keyed by these ids, so a
+  /// reconfigured tenant set (jobs arriving/finishing between steps) keeps
+  /// every continuing job's history and deficit. Throws
+  /// std::invalid_argument on duplicate ids or a size mismatch with
+  /// non-empty weights.
+  void configure_tenants(const TenantSet& set);
+
+  /// Forgets everything keyed to stable id `id`: its fairness deficit, its
+  /// decision-cache entries, and every recorded bad pair with one endpoint
+  /// owned by it. The serving layer calls this when a job leaves for good
+  /// (completed/cancelled), so a long-running service's learned state does
+  /// not grow with the total number of jobs ever served.
+  void retire_tenant(std::size_t id);
 
   /// One Strategy-3 pick (or the serial/heavy fallback when Strategy 3 is
   /// off or nothing fits): walks `ready` in arrival order and returns the
@@ -171,13 +212,20 @@ class AdmissionPolicy {
                            const std::vector<OpKey>& corunners);
 
   std::size_t recorded_bad_pairs() const { return bad_pairs_.size(); }
-  /// Bad pairs with at least one endpoint owned by `tenant`.
+  /// Bad pairs with at least one endpoint owned by `tenant` (a STABLE id —
+  /// identical to the slot index for slot-indexed populations).
   std::size_t recorded_bad_pairs(std::size_t tenant) const;
 
-  /// Weighted service charged to `tenant` so far this multi-step (0 for
-  /// unknown tenants). Exposed for the fairness tests and bench metrics.
+  /// Weighted service charged to slot `tenant` so far this multi-step (0
+  /// for unknown tenants). Exposed for the fairness tests and bench
+  /// metrics.
   double tenant_service(std::size_t tenant) const;
   std::size_t tenant_count() const noexcept { return service_.size(); }
+
+  /// Accumulated weighted service of stable id `id` across every step since
+  /// it first appeared in a configure_tenants(TenantSet) population (0 for
+  /// unknown ids). Survives reconfigurations until retire_tenant(id).
+  double service_of(std::size_t id) const;
 
   /// Clears learned state (decision cache + interference record).
   void reset_learning();
@@ -185,6 +233,12 @@ class AdmissionPolicy {
   const RuntimeOptions& options() const noexcept { return options_; }
 
  private:
+  /// Stable id of slot `slot` (identity when no TenantSet was configured).
+  /// Every learned-state touch goes through this, so slot-indexed callers
+  /// behave exactly as before while TenantSet callers get id-keyed state.
+  std::size_t stable_id(std::size_t slot) const {
+    return slot < slot_ids_.size() ? slot_ids_[slot] : slot;
+  }
   /// Grows the fairness ledger to cover `count` tenants without resetting
   /// accumulated service (the single-tenant paths use this).
   void ensure_tenants(std::size_t count);
@@ -204,13 +258,22 @@ class AdmissionPolicy {
   RuntimeOptions options_;
 
   /// Interference recorder: unordered tenant-qualified op-key pairs seen to
-  /// co-run badly.
+  /// co-run badly. Tenant fields hold STABLE ids (slot indices for the
+  /// legacy entry points, where the mapping is the identity).
   std::set<std::pair<TenantOpKey, TenantOpKey>> bad_pairs_;
-  /// Decision cache: (tenant, op key, idle-core count) -> chosen candidate.
+  /// Decision cache: (stable tenant id, op key, idle-core count) -> chosen
+  /// candidate.
   std::map<std::tuple<std::size_t, OpKey, int>, Candidate> decision_cache_;
-  /// Fairness ledger: accumulated weighted service and weight per tenant.
+  /// Fairness ledger: accumulated weighted service and weight per SLOT for
+  /// the current step's population.
   std::vector<double> service_;
   std::vector<double> weights_;
+  /// Stable id per slot (empty/identity for the legacy entry points).
+  std::vector<std::size_t> slot_ids_;
+  /// Id-keyed service carried across reconfigurations (TenantSet callers
+  /// with preserve_service). charge() mirrors into this; retire_tenant
+  /// erases.
+  std::map<std::size_t, double> retained_service_;
 };
 
 }  // namespace opsched

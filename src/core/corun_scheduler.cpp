@@ -154,8 +154,19 @@ StepResult CorunScheduler::run_step(const Graph& g, SimMachine& machine) {
 std::vector<StepResult> CorunScheduler::run_step_multi(
     const std::vector<const Graph*>& graphs, SimMachine& machine,
     const std::vector<double>& weights) {
+  return run_step_multi(graphs, machine,
+                        TenantSet::slots(graphs.size(), weights));
+}
+
+std::vector<StepResult> CorunScheduler::run_step_multi(
+    const std::vector<const Graph*>& graphs, SimMachine& machine,
+    const TenantSet& set) {
   const std::size_t tenants = graphs.size();
   if (tenants == 0) return {};
+  if (set.ids.size() != tenants) {
+    throw std::invalid_argument(
+        "CorunScheduler::run_step_multi: TenantSet/graphs size mismatch");
+  }
   machine.reset();
   // The machine's own (all-tenant) trace stays a live surface for
   // machine-level consumers (FifoExecutor, sim_machine_test); clearing it
@@ -163,7 +174,7 @@ std::vector<StepResult> CorunScheduler::run_step_multi(
   // the results are recorded by this scheduler at the same event points.
   machine.trace().clear();
   in_flight_.clear();
-  policy_.configure_tenants(tenants, weights);
+  policy_.configure_tenants(set);
 
   std::vector<StepResult> results(tenants);
   std::vector<ReadyTracker> trackers;

@@ -97,6 +97,16 @@ class CorunScheduler {
       const std::vector<const Graph*>& graphs, SimMachine& machine,
       const std::vector<double>& weights = {});
 
+  /// Stable-identity form for churn-tolerant serving: slot t of `graphs`
+  /// carries stable id set.ids[t] (the serving layer passes job ids), so
+  /// learned state and — with set.preserve_service — the fairness deficit
+  /// follow the job across between-step tenant-set reconfigurations. The
+  /// weights overload is this one with TenantSet::slots (ids = slot
+  /// indices, per-step service reset).
+  std::vector<StepResult> run_step_multi(
+      const std::vector<const Graph*>& graphs, SimMachine& machine,
+      const TenantSet& set);
+
   /// Bad-interference pairs recorded so far (survives across steps, as in
   /// the paper: "Our runtime can record such cases and avoid co-running
   /// such operations in the future training steps").
@@ -106,6 +116,11 @@ class CorunScheduler {
 
   /// Clears learned state (decision cache + interference record).
   void reset_learning() { policy_.reset_learning(); }
+
+  /// Forgets stable tenant id `id`'s learned state and fairness deficit
+  /// (see AdmissionPolicy::retire_tenant) — the serving layer calls this
+  /// when a job leaves for good.
+  void retire_tenant(std::size_t id) { policy_.retire_tenant(id); }
 
   /// The shared Strategy 1-4 admission logic (also used, with its own
   /// instance, by HostCorunExecutor). Exposed for the drift tests.

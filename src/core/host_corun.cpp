@@ -64,9 +64,19 @@ StepResult HostCorunExecutor::run_step(HostGraphProgram& program) {
 std::vector<StepResult> HostCorunExecutor::run_step_multi(
     const std::vector<HostGraphProgram*>& programs,
     const std::vector<double>& weights) {
+  return run_step_multi(programs, TenantSet::slots(programs.size(), weights));
+}
+
+std::vector<StepResult> HostCorunExecutor::run_step_multi(
+    const std::vector<HostGraphProgram*>& programs, const TenantSet& set) {
   const std::size_t tenants = programs.size();
   if (tenants == 0) return {};
-  policy_.configure_tenants(tenants, weights);
+  if (set.ids.size() != tenants) {
+    throw std::invalid_argument(
+        "HostCorunExecutor::run_step_multi: TenantSet/programs size "
+        "mismatch");
+  }
+  policy_.configure_tenants(set);
 
   std::vector<StepResult> results(tenants);
   const double t0 = wall_time_ms();

@@ -84,6 +84,15 @@ class HostCorunExecutor {
       const std::vector<HostGraphProgram*>& programs,
       const std::vector<double>& weights = {});
 
+  /// Stable-identity form for churn-tolerant serving: slot t of `programs`
+  /// carries stable id set.ids[t] (the serving layer passes job ids), so
+  /// learned state and — with set.preserve_service — the fairness deficit
+  /// follow the job across between-step tenant-set reconfigurations. The
+  /// weights overload is this one with TenantSet::slots (ids = slot
+  /// indices, per-step service reset).
+  std::vector<StepResult> run_step_multi(
+      const std::vector<HostGraphProgram*>& programs, const TenantSet& set);
+
   /// Baseline step under a uniform (inter_op, intra_op) FIFO policy: ready
   /// ops run in arrival order, at most `inter_op` concurrently, each on an
   /// UNPINNED team of `intra_op` threads — the OS scatters them, as with
@@ -98,6 +107,11 @@ class HostCorunExecutor {
     return policy_.recorded_bad_pairs();
   }
   void reset_learning() { policy_.reset_learning(); }
+
+  /// Forgets stable tenant id `id`'s learned state and fairness deficit
+  /// (see AdmissionPolicy::retire_tenant) — the serving layer calls this
+  /// when a job leaves for good.
+  void retire_tenant(std::size_t id) { policy_.retire_tenant(id); }
 
   /// The shared Strategy 1-4 admission logic (same component the simulator
   /// scheduler embeds). Exposed for the drift tests.

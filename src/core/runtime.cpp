@@ -62,6 +62,20 @@ std::vector<StepResult> Runtime::run_step_multi(
   return scheduler_->run_step_multi(graphs, machine_, weights);
 }
 
+std::vector<StepResult> Runtime::run_step_multi(
+    const std::vector<const Graph*>& graphs, const TenantSet& set) {
+  return scheduler_->run_step_multi(graphs, machine_, set);
+}
+
+void Runtime::rebuild_decisions(const std::vector<const Graph*>& graphs) {
+  controller_->build(graphs);
+}
+
+void Runtime::retire_tenant(std::size_t id) {
+  scheduler_->retire_tenant(id);
+  if (host_executor_ != nullptr) host_executor_->retire_tenant(id);
+}
+
 StepResult Runtime::run_step_fifo(const Graph& g, int inter_op,
                                   int intra_op) {
   const FifoExecutor exec(inter_op, intra_op);
@@ -143,6 +157,11 @@ std::vector<StepResult> Runtime::run_step_multi_host(
     const std::vector<HostGraphProgram*>& programs,
     const std::vector<double>& weights) {
   return host_executor().run_step_multi(programs, weights);
+}
+
+std::vector<StepResult> Runtime::run_step_multi_host(
+    const std::vector<HostGraphProgram*>& programs, const TenantSet& set) {
+  return host_executor().run_step_multi(programs, set);
 }
 
 StepResult Runtime::run_step_host_fifo(HostGraphProgram& program,

@@ -62,6 +62,25 @@ class Runtime {
       const std::vector<const Graph*>& graphs,
       const std::vector<double>& weights = {});
 
+  /// Stable-identity form (see TenantSet): the serving layer passes job ids
+  /// so learned state and fairness deficits follow jobs across between-step
+  /// tenant-set reconfigurations.
+  std::vector<StepResult> run_step_multi(
+      const std::vector<const Graph*>& graphs, const TenantSet& set);
+
+  /// Rebuilds the Strategy 1/2 concurrency decisions over `graphs` from the
+  /// curves ALREADY in the database — no profiling. The serving layer calls
+  /// this whenever the set of co-resident jobs changes (every job's ops
+  /// were profiled at its admission; only the per-kind consolidation needs
+  /// refreshing over the new union).
+  void rebuild_decisions(const std::vector<const Graph*>& graphs);
+
+  /// Forgets stable tenant id `id`'s learned scheduling state (decision
+  /// cache, interference record, fairness deficit) on BOTH substrates'
+  /// executors. Profiled curves are untouched — they are keyed by
+  /// (kind, shape), not by tenant, and stay warm for future jobs.
+  void retire_tenant(std::size_t id);
+
   /// One baseline step under a uniform (inter, intra) FIFO policy.
   StepResult run_step_fifo(const Graph& g, int inter_op, int intra_op);
 
@@ -98,6 +117,10 @@ class Runtime {
       const std::vector<HostGraphProgram*>& programs,
       const std::vector<double>& weights = {});
 
+  /// Stable-identity form of run_step_multi_host (see TenantSet).
+  std::vector<StepResult> run_step_multi_host(
+      const std::vector<HostGraphProgram*>& programs, const TenantSet& set);
+
   /// Host baseline under a uniform (inter, intra) FIFO policy.
   StepResult run_step_host_fifo(HostGraphProgram& program, int inter_op,
                                 int intra_op);
@@ -113,6 +136,10 @@ class Runtime {
   HostCorunExecutor& host_executor();
 
   const PerfDatabase& database() const noexcept { return db_; }
+  /// Mutable access for persistence: a restarting service warm-starts by
+  /// loading a saved database BEFORE any profiling/scheduling (the
+  /// database is not thread-safe; see perf/perf_db.hpp).
+  PerfDatabase& database() noexcept { return db_; }
   const CostModel& cost_model() const noexcept { return model_; }
   SimMachine& machine() noexcept { return machine_; }
   const RuntimeOptions& options() const noexcept { return options_; }

@@ -61,6 +61,30 @@ class PerfDatabase {
   void save_file(const std::string& path) const;
   void load_file(const std::string& path);
 
+  /// Bumped whenever the JSON layout changes incompatibly; load_json
+  /// rejects unknown versions instead of misparsing them.
+  static constexpr int kJsonSchemaVersion = 1;
+
+  /// Schema-versioned JSON persistence (the format the scheduling service
+  /// warm-starts from — see docs/SERVING.md). shape_hash is serialised as a
+  /// decimal STRING: a JSON number is a double and would silently round
+  /// 64-bit hashes. `merge` semantics on load: load_json REPLACES the
+  /// contents (like load); merge_json keeps existing curves and only adds
+  /// keys not yet present — restart-warm-start over a partially profiled
+  /// database. Both throw std::runtime_error on malformed input or an
+  /// unsupported schema_version, leaving the database unchanged.
+  std::string to_json() const;
+  void load_json(const std::string& text);
+  std::size_t merge_json(const std::string& text);  // returns curves added
+  void save_json_file(const std::string& path) const;
+  void load_json_file(const std::string& path);
+
+  /// save_file/load_file dispatching on the path suffix: ".json" uses the
+  /// schema-versioned JSON form, anything else the one-line-per-sample text
+  /// form (the CLI's --save/--load flags route through this).
+  void save_file_auto(const std::string& path) const;
+  void load_file_auto(const std::string& path);
+
  private:
   std::map<OpKey, ProfileCurve> curves_;
 };

@@ -1,0 +1,50 @@
+#include "serve/admission_control.hpp"
+
+#include <algorithm>
+
+namespace opsched::serve {
+
+WidthDemand estimate_demand(const Graph& g, const PerfDatabase& db) {
+  WidthDemand d;
+  double weighted_width = 0.0;
+  double total_time = 0.0;
+  for (const Node& node : g.nodes()) {
+    const ProfileCurve* curve = db.find(OpKey::of(node));
+    if (curve == nullptr || curve->empty()) continue;
+    const Candidate best = curve->best();
+    const int width = std::max(1, best.threads);
+    const double time = std::max(best.time_ms, 0.0);
+    d.peak_width = std::max(d.peak_width, width);
+    weighted_width += time * static_cast<double>(width);
+    total_time += time;
+    d.area_ms += time * static_cast<double>(width);
+  }
+  d.mean_width = total_time > 0.0 ? weighted_width / total_time : 1.0;
+  return d;
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         std::size_t machine_cores)
+    : options_(options), cores_(std::max<std::size_t>(1, machine_cores)) {
+  options_.max_corun_jobs = std::max<std::size_t>(1, options_.max_corun_jobs);
+  if (options_.capacity_factor <= 0.0) options_.capacity_factor = 1.0;
+}
+
+double AdmissionController::total_mean_width(
+    const std::vector<WidthDemand>& resident) {
+  double total = 0.0;
+  for (const WidthDemand& d : resident) total += d.mean_width;
+  return total;
+}
+
+bool AdmissionController::admit(
+    const WidthDemand& candidate,
+    const std::vector<WidthDemand>& resident) const {
+  if (resident.empty()) return true;  // idle machine: always take work
+  if (resident.size() >= options_.max_corun_jobs) return false;
+  const double budget =
+      options_.capacity_factor * static_cast<double>(cores_);
+  return total_mean_width(resident) + candidate.mean_width <= budget;
+}
+
+}  // namespace opsched::serve

@@ -1,0 +1,73 @@
+// AdmissionController: the service-level admit-now-vs-queue decision —
+// distinct from core/AdmissionPolicy, which picks the next OP inside a
+// step. This controller decides whether a whole JOB joins the co-located
+// tenant set, by weighing the job's profiled width demand against the
+// machine's core capacity and the demand of the jobs already resident.
+// Demand comes from the same hill-climb profiles the per-op scheduler
+// runs on (paper Section III-C): a job "wants" the widths its ops'
+// profile curves say are optimal, time-weighted over the step.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "perf/perf_db.hpp"
+
+namespace opsched::serve {
+
+/// A job's appetite for cores, condensed from its ops' profile curves.
+struct WidthDemand {
+  /// Time-weighted mean of the ops' profiled-optimal widths — the cores
+  /// the job keeps busy over a step, so the capacity currency admission
+  /// sums in.
+  double mean_width = 1.0;
+  /// Widest single op (bounds instantaneous footprint, reported only).
+  int peak_width = 1;
+  /// Core-time area of one step (sum of profiled-best time x width) on the
+  /// profiling timescale.
+  double area_ms = 0.0;
+};
+
+/// Condenses `g`'s profiled curves into a WidthDemand. Nodes without a
+/// curve (non-tunable layout ops, or shapes the profiler has not seen)
+/// are excluded from the time weighting; a graph with no curves at all
+/// reports the neutral demand {1.0, 1, 0.0}.
+WidthDemand estimate_demand(const Graph& g, const PerfDatabase& db);
+
+struct AdmissionOptions {
+  /// Hard cap on co-resident jobs, whatever their demand: each tenant
+  /// costs scheduler state and dispatcher work every round.
+  std::size_t max_corun_jobs = 4;
+  /// Admit while (resident + candidate) mean width demand stays within
+  /// capacity_factor x machine cores. > 1.0 oversubscribes on purpose —
+  /// co-located jobs rarely peak together (that bet is the paper's
+  /// Strategy 3 applied at job granularity); < 1.0 reserves headroom.
+  double capacity_factor = 1.25;
+};
+
+/// Pure decision logic (no clock, no state): the service owns the queue
+/// and calls admit() per candidate, in priority order, whenever it
+/// reconfigures. Deterministic by construction.
+class AdmissionController {
+ public:
+  AdmissionController(AdmissionOptions options, std::size_t machine_cores);
+
+  /// Admit `candidate` alongside `resident` now? An empty machine always
+  /// admits (a job wider than the machine must still run eventually —
+  /// the per-op scheduler caps its launches to the cores that exist).
+  bool admit(const WidthDemand& candidate,
+             const std::vector<WidthDemand>& resident) const;
+
+  /// Sum of resident mean widths the capacity test charges.
+  static double total_mean_width(const std::vector<WidthDemand>& resident);
+
+  const AdmissionOptions& options() const noexcept { return options_; }
+  std::size_t machine_cores() const noexcept { return cores_; }
+
+ private:
+  AdmissionOptions options_;
+  std::size_t cores_;
+};
+
+}  // namespace opsched::serve

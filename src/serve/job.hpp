@@ -1,0 +1,110 @@
+// Job model of the elastic scheduling service (src/serve): what a client
+// submits, the lifecycle a job moves through, and the per-job ledger record
+// the service keeps. A *job* is one training run — a step graph plus a step
+// budget — that the service co-locates with other jobs on the one machine
+// substrate, reconfiguring the tenant set between steps as jobs arrive,
+// finish, and cancel. See docs/SERVING.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace opsched::serve {
+
+/// Service-wide job identity, assigned at submit. Also used as the STABLE
+/// tenant id on the runtime's TenantSet path, so scheduler learned state and
+/// fairness deficits follow the job across tenant-set reconfigurations.
+using JobId = std::uint64_t;
+inline constexpr JobId kInvalidJob = 0;
+
+/// Lifecycle:   kQueued -> kProfiling -> kRunning -> kCompleted
+/// with kProfiling allowed back to kQueued (profiled but declined
+/// admission — the demand estimate is kept, so the next attempt skips
+/// straight to the admit decision), kQueued allowed straight to kRunning
+/// (demand already known from an earlier attempt), and kCancelled reachable
+/// from every non-terminal state. kCompleted and kCancelled are terminal.
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kProfiling,
+  kRunning,
+  kCompleted,
+  kCancelled,
+};
+inline constexpr std::size_t kNumJobStates = 5;
+
+const char* job_state_name(JobState s) noexcept;
+bool job_state_terminal(JobState s) noexcept;
+/// True when `from -> to` is a legal lifecycle edge (see diagram above).
+bool job_transition_valid(JobState from, JobState to) noexcept;
+
+/// What a client submits: a training-step graph and the knobs the service
+/// schedules it by.
+struct JobSpec {
+  /// Display name (not an identity; the returned JobId is).
+  std::string name;
+  /// The training-step graph. Copied into the service, which must outlive
+  /// the caller's copy anyway — jobs run long after submit() returns.
+  Graph graph;
+  /// Step budget: the job completes after this many co-located steps.
+  int steps = 1;
+  /// Relative claim on contended cores while co-running (the weighted-
+  /// deficit fairness walk's weight; non-positive values mean 1.0).
+  double weight = 1.0;
+  /// Admission priority class: higher classes are considered first
+  /// whenever the service reconfigures; FIFO by submit order within a
+  /// class. Priority affects WAITING order only — once admitted, only
+  /// `weight` matters.
+  int priority = 0;
+  /// Deterministic tensor namespace on the host substrate. Two jobs with
+  /// the same (graph, seed) own bit-identical private tensors; give
+  /// concurrent same-graph jobs distinct seeds so a cross-job write would
+  /// break a checksum instead of hiding.
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// One job's ledger entry. Timestamps are on the service clock
+/// (wall-clock ms since an arbitrary epoch, both substrates); -1 marks
+/// "not yet". Aggregates accumulate across the job's co-located steps.
+struct JobRecord {
+  JobId id = kInvalidJob;
+  std::string name;
+  JobState state = JobState::kQueued;
+  int steps_total = 0;
+  int steps_done = 0;
+  double weight = 1.0;
+  int priority = 0;
+
+  double submit_ms = -1.0;  // set at submit
+  double admit_ms = -1.0;   // first transition to kRunning
+  double finish_ms = -1.0;  // transition to a terminal state
+
+  /// Profiling cost paid at this job's admission (0 when every
+  /// (kind, shape) key was already warm in the PerfDatabase).
+  double profile_ms = 0.0;
+  std::size_t profiled_ops = 0;
+
+  /// Machine time this job's ops consumed across all its steps (the
+  /// fairness basis), and the sum of its per-step makespans.
+  double service_ms = 0.0;
+  double run_ms = 0.0;
+  std::size_t corun_launches = 0;
+  std::size_t overlay_launches = 0;
+
+  /// Host substrate: the job's deterministic per-step checksum (every step
+  /// must produce the same value; the service throws if one drifts). 0.0
+  /// on the simulated substrate, which never touches tensor values.
+  double checksum = 0.0;
+
+  /// Queue latency: submit to first admission (-1 while never admitted).
+  double wait_ms() const {
+    return admit_ms < 0.0 ? -1.0 : admit_ms - submit_ms;
+  }
+  /// Submit to terminal state (-1 while not terminal).
+  double turnaround_ms() const {
+    return finish_ms < 0.0 ? -1.0 : finish_ms - submit_ms;
+  }
+};
+
+}  // namespace opsched::serve

@@ -1,0 +1,106 @@
+#include "serve/job_ledger.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace opsched::serve {
+
+const char* job_state_name(JobState s) noexcept {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kProfiling: return "profiling";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+bool job_state_terminal(JobState s) noexcept {
+  return s == JobState::kCompleted || s == JobState::kCancelled;
+}
+
+bool job_transition_valid(JobState from, JobState to) noexcept {
+  if (job_state_terminal(from) || from == to) return false;
+  switch (to) {
+    case JobState::kQueued:
+      return from == JobState::kProfiling;  // profiled, admission declined
+    case JobState::kProfiling:
+      return from == JobState::kQueued;
+    case JobState::kRunning:
+      // Straight from kQueued when the demand estimate is already known
+      // from an earlier admission attempt.
+      return from == JobState::kQueued || from == JobState::kProfiling;
+    case JobState::kCompleted:
+      return from == JobState::kRunning;
+    case JobState::kCancelled:
+      return true;  // any non-terminal state can be cancelled
+  }
+  return false;
+}
+
+JobRecord& JobLedger::add(const JobSpec& spec, double now_ms) {
+  const JobId id = next_id_++;
+  JobRecord rec;
+  rec.id = id;
+  rec.name = spec.name;
+  rec.state = JobState::kQueued;
+  rec.steps_total = spec.steps;
+  rec.weight = spec.weight > 0.0 ? spec.weight : 1.0;
+  rec.priority = spec.priority;
+  rec.submit_ms = now_ms;
+  ++counts_[static_cast<std::size_t>(JobState::kQueued)];
+  return records_.emplace(id, std::move(rec)).first->second;
+}
+
+JobRecord& JobLedger::at(JobId id) {
+  const auto it = records_.find(id);
+  if (it == records_.end())
+    throw std::out_of_range("JobLedger::at: unknown job " +
+                            std::to_string(id));
+  return it->second;
+}
+
+const JobRecord& JobLedger::at(JobId id) const {
+  return const_cast<JobLedger*>(this)->at(id);
+}
+
+const JobRecord* JobLedger::find(JobId id) const {
+  const auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void JobLedger::transition(JobId id, JobState to, double now_ms) {
+  JobRecord& rec = at(id);
+  if (!job_transition_valid(rec.state, to)) {
+    throw std::logic_error(std::string("JobLedger: illegal transition ") +
+                           job_state_name(rec.state) + " -> " +
+                           job_state_name(to) + " (job " +
+                           std::to_string(id) + ")");
+  }
+  --counts_[static_cast<std::size_t>(rec.state)];
+  ++counts_[static_cast<std::size_t>(to)];
+  rec.state = to;
+  if (to == JobState::kRunning && rec.admit_ms < 0.0) rec.admit_ms = now_ms;
+  if (job_state_terminal(to)) rec.finish_ms = now_ms;
+}
+
+bool JobLedger::all_terminal() const {
+  return count(JobState::kCompleted) + count(JobState::kCancelled) ==
+         records_.size();
+}
+
+double JobLedger::total_service_ms() const {
+  double total = 0.0;
+  for (const auto& [id, rec] : records_) total += rec.service_ms;
+  return total;
+}
+
+std::vector<JobRecord> JobLedger::snapshot() const {
+  std::vector<JobRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) out.push_back(rec);
+  return out;
+}
+
+}  // namespace opsched::serve

@@ -1,0 +1,58 @@
+// JobLedger: the service's source of truth for job lifecycle. One record
+// per job ever submitted, mutated only through checked transitions — an
+// illegal lifecycle edge is a service bug and throws std::logic_error
+// instead of corrupting the books. The ledger's invariants (no lost or
+// duplicated jobs, per-state counts match the records, terminal states
+// final) are what the churn tests pin down.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace opsched::serve {
+
+/// Thread-safety: NOT thread-safe; SchedulerService serialises access under
+/// its own mutex. References returned by at()/add() are stable until the
+/// ledger is destroyed (std::map node stability).
+class JobLedger {
+ public:
+  /// Opens a record in kQueued with a fresh id (ids start at 1 and never
+  /// recycle). Copies the spec's scheduling knobs; the graph itself is the
+  /// service's business.
+  JobRecord& add(const JobSpec& spec, double now_ms);
+
+  JobRecord& at(JobId id);
+  const JobRecord& at(JobId id) const;
+  const JobRecord* find(JobId id) const;
+
+  /// Moves `id` to `to`, stamping admit_ms on the first entry to kRunning
+  /// and finish_ms on entry to a terminal state. Throws std::logic_error on
+  /// an illegal edge (including any transition out of a terminal state) and
+  /// std::out_of_range on an unknown id.
+  void transition(JobId id, JobState to, double now_ms);
+
+  std::size_t size() const noexcept { return records_.size(); }
+  std::size_t count(JobState s) const {
+    return counts_[static_cast<std::size_t>(s)];
+  }
+  /// True when every record is kCompleted or kCancelled.
+  bool all_terminal() const;
+
+  /// Sum of service_ms over all records (one side of the conservation
+  /// invariant; the service accumulates the other side per step).
+  double total_service_ms() const;
+
+  /// Copies of every record, ascending id.
+  std::vector<JobRecord> snapshot() const;
+
+ private:
+  std::map<JobId, JobRecord> records_;
+  std::array<std::size_t, kNumJobStates> counts_{};
+  JobId next_id_ = 1;
+};
+
+}  // namespace opsched::serve

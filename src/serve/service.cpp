@@ -1,0 +1,418 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/clock.hpp"
+
+namespace opsched::serve {
+
+const char* substrate_name(Substrate s) noexcept {
+  switch (s) {
+    case Substrate::kSimulated: return "sim";
+    case Substrate::kHost: return "host";
+  }
+  return "?";
+}
+
+SchedulerService::SchedulerService(Runtime& runtime, ServiceOptions options)
+    : runtime_(runtime),
+      options_(options),
+      cores_(options.substrate == Substrate::kHost
+                 ? runtime.host_executor().cores()
+                 : runtime.machine().spec().num_cores),
+      admission_(options.admission, cores_) {}
+
+SchedulerService::~SchedulerService() { stop(); }
+
+JobId SchedulerService::submit(JobSpec spec) {
+  if (spec.graph.size() == 0)
+    throw std::invalid_argument("SchedulerService::submit: empty graph");
+  if (spec.steps <= 0)
+    throw std::invalid_argument(
+        "SchedulerService::submit: non-positive step budget");
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (stopped_ || stop_requested_)
+    throw std::logic_error("SchedulerService::submit: service stopped");
+
+  JobRecord& rec = ledger_.add(spec, wall_time_ms());
+  const JobId id = rec.id;
+  auto job = std::make_unique<Job>();
+  job->spec = std::move(spec);
+  jobs_.emplace(id, std::move(job));
+
+  // Keep the wait queue sorted by (priority desc, submit order asc): ids
+  // are monotone in submit order, so (priority, id) is the full key.
+  const int priority = rec.priority;
+  const auto pos = std::find_if(
+      queue_.begin(), queue_.end(), [&](JobId other) {
+        return ledger_.at(other).priority < priority;
+      });
+  queue_.insert(pos, id);
+  cv_.notify_all();
+  return id;
+}
+
+bool SchedulerService::cancel(JobId id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  if (job_state_terminal(ledger_.at(id).state)) return false;
+  it->second->cancel_requested = true;
+  pending_cancel_ = true;
+  cv_.notify_all();
+  return true;
+}
+
+void SchedulerService::start() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (stopped_)
+    throw std::logic_error("SchedulerService::start: service stopped");
+  if (started_)
+    throw std::logic_error("SchedulerService::start: already started");
+  started_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void SchedulerService::stop() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!started_) {
+      stopped_ = true;
+      return;
+    }
+    stop_requested_ = true;
+    cv_.notify_all();
+  }
+  thread_.join();
+  std::unique_lock<std::mutex> lk(mu_);
+  started_ = false;
+  stopped_ = true;
+}
+
+void SchedulerService::loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_requested_) {
+    CycleOutcome out;
+    try {
+      out = cycle(lk);
+    } catch (...) {
+      // A cycle failure (e.g. the checksum corruption detector) parks the
+      // loop; drain()/wait() rethrow it to a client thread instead of
+      // hanging forever on jobs that will never finish.
+      failure_ = std::current_exception();
+      stop_requested_ = true;
+      cv_.notify_all();
+      return;
+    }
+    if (stop_requested_) break;
+    if (out == CycleOutcome::kIdle) {
+      cv_.wait(lk, [&] { return stop_requested_ || work_pending_locked(); });
+    }
+  }
+}
+
+bool SchedulerService::work_pending_locked() const {
+  return !queue_.empty() || pending_cancel_;
+}
+
+void SchedulerService::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (started_ && !stop_requested_) {
+    // stop_requested_ in the predicate: a concurrent stop() parks the loop
+    // with jobs outstanding, and this waiter must wake and report instead
+    // of sleeping on a notification that will never come.
+    cv_.wait(lk, [&] {
+      return ledger_.all_terminal() || failure_ != nullptr || stop_requested_;
+    });
+    if (failure_ != nullptr) std::rethrow_exception(failure_);
+    if (!ledger_.all_terminal())
+      throw std::logic_error(
+          "SchedulerService::drain: service stopped with jobs outstanding");
+    return;
+  }
+  if (started_) {
+    if (failure_ != nullptr) std::rethrow_exception(failure_);
+    throw std::logic_error("SchedulerService::drain: racing stop()");
+  }
+  // Inline mode: this thread IS the service loop until the books close.
+  if (draining_inline_)
+    throw std::logic_error("SchedulerService::drain: concurrent inline drain");
+  draining_inline_ = true;
+  try {
+    while (!ledger_.all_terminal()) {
+      const CycleOutcome out = cycle(lk);
+      if (out == CycleOutcome::kIdle && !ledger_.all_terminal()) {
+        throw std::logic_error(
+            "SchedulerService::drain: idle with non-terminal jobs");
+      }
+    }
+  } catch (...) {
+    draining_inline_ = false;
+    throw;
+  }
+  draining_inline_ = false;
+}
+
+bool SchedulerService::run_cycle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (started_)
+    throw std::logic_error(
+        "SchedulerService::run_cycle: background thread owns the loop");
+  if (draining_inline_)
+    throw std::logic_error("SchedulerService::run_cycle: concurrent driver");
+  draining_inline_ = true;
+  CycleOutcome out;
+  try {
+    out = cycle(lk);
+  } catch (...) {
+    draining_inline_ = false;
+    throw;
+  }
+  draining_inline_ = false;
+  return out == CycleOutcome::kWorked;
+}
+
+JobRecord SchedulerService::wait(JobId id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const JobRecord* rec = ledger_.find(id);
+  if (rec == nullptr)
+    throw std::out_of_range("SchedulerService::wait: unknown job " +
+                            std::to_string(id));
+  if (job_state_terminal(rec->state)) return *rec;
+  if (!started_)
+    throw std::logic_error(
+        "SchedulerService::wait: service not started (drain() drives the "
+        "loop inline instead)");
+  cv_.wait(lk, [&] {
+    return job_state_terminal(ledger_.at(id).state) || failure_ != nullptr ||
+           stop_requested_;
+  });
+  if (job_state_terminal(ledger_.at(id).state)) return ledger_.at(id);
+  if (failure_ != nullptr) std::rethrow_exception(failure_);
+  throw std::logic_error(
+      "SchedulerService::wait: service stopped before the job finished");
+}
+
+ServiceSnapshot SchedulerService::snapshot() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  ServiceSnapshot snap;
+  snap.jobs = ledger_.snapshot();
+  snap.queued = ledger_.count(JobState::kQueued) +
+                ledger_.count(JobState::kProfiling);
+  snap.running = ledger_.count(JobState::kRunning);
+  snap.completed = ledger_.count(JobState::kCompleted);
+  snap.cancelled = ledger_.count(JobState::kCancelled);
+  snap.steps_run = steps_run_;
+  snap.reconfigurations = reconfigurations_;
+  snap.stepped_service_ms = stepped_service_ms_;
+  return snap;
+}
+
+bool SchedulerService::started() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return started_;
+}
+
+void SchedulerService::finish_job_locked(JobId id, JobState terminal) {
+  ledger_.transition(id, terminal, wall_time_ms());
+  Job& job = *jobs_.at(id);
+  if (!job.retired) {
+    // Drop the job's learned scheduler state on both substrates; profiled
+    // curves stay (they are keyed by shape, not by job).
+    runtime_.retire_tenant(static_cast<std::size_t>(id));
+    job.retired = true;
+  }
+  // Release the job's working memory (bound tensors, graph) — the ledger
+  // record is the only thing a terminal job still owes anyone, so a long-
+  // running service's footprint tracks the RESIDENT set, not every job
+  // ever served.
+  job.program.reset();
+  job.spec.graph = Graph();
+  cv_.notify_all();
+}
+
+void SchedulerService::apply_cancels_locked() {
+  pending_cancel_ = false;
+  for (auto& [id, job] : jobs_) {
+    if (!job->cancel_requested) continue;
+    const JobState state = ledger_.at(id).state;
+    if (job_state_terminal(state)) continue;
+    if (state == JobState::kRunning) {
+      resident_.erase(std::find(resident_.begin(), resident_.end(), id));
+      decisions_stale_ = true;
+      ++reconfigurations_;
+    } else {
+      // kQueued (kProfiling only exists transiently inside the admission
+      // pass, which handles its own cancellations on relock).
+      queue_.erase(std::find(queue_.begin(), queue_.end(), id));
+    }
+    finish_job_locked(id, JobState::kCancelled);
+  }
+}
+
+void SchedulerService::admission_pass(std::unique_lock<std::mutex>& lk) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Scan a copy: profiling releases the lock, and submits/cancels may
+    // reshape the queue meanwhile — any structural change restarts the
+    // scan on fresh state.
+    const std::vector<JobId> scan(queue_);
+    for (const JobId id : scan) {
+      if (std::find(queue_.begin(), queue_.end(), id) == queue_.end())
+        continue;  // admitted or cancelled by an earlier restart
+      Job& job = *jobs_.at(id);
+      if (job.cancel_requested) {
+        queue_.erase(std::find(queue_.begin(), queue_.end(), id));
+        finish_job_locked(id, JobState::kCancelled);
+        progress = true;
+        continue;
+      }
+
+      if (!job.demand_known) {
+        // Lazy profiling at first admission consideration: warm
+        // (kind, shape) keys in the shared PerfDatabase are reused, so
+        // only genuinely new shapes cost hill-climb samples.
+        ledger_.transition(id, JobState::kProfiling, wall_time_ms());
+        lk.unlock();
+        const double t0 = wall_time_ms();
+        ProfilingReport report;
+        WidthDemand demand;
+        try {
+          if (options_.substrate == Substrate::kHost) {
+            if (job.program == nullptr) {
+              job.program = std::make_unique<HostGraphProgram>(
+                  job.spec.graph, job.spec.seed, /*tenant=*/0);
+            }
+            report = runtime_.profile_host_multi({job.program.get()},
+                                                 options_.profile_repeats);
+          } else {
+            report = runtime_.profile_multi({&job.spec.graph});
+          }
+          demand = estimate_demand(job.spec.graph, runtime_.database());
+        } catch (...) {
+          // cycle() must exit with the lock held whatever happens in the
+          // unlocked region — the loop/drain handlers mutate shared state.
+          lk.lock();
+          ledger_.transition(id, JobState::kQueued, wall_time_ms());
+          decisions_stale_ = true;  // the partial profile may have built
+          throw;
+        }
+        const double profile_ms = wall_time_ms() - t0;
+        lk.lock();
+        job.demand = demand;
+        job.demand_known = true;
+        JobRecord& rec = ledger_.at(id);
+        rec.profile_ms += profile_ms;
+        rec.profiled_ops += report.unique_ops;
+        // Profiling rebuilt the controller's decisions over the candidate
+        // alone; the resident union must be restored before the next step.
+        decisions_stale_ = true;
+        if (job.cancel_requested) {
+          queue_.erase(std::find(queue_.begin(), queue_.end(), id));
+          finish_job_locked(id, JobState::kCancelled);
+        }
+        progress = true;
+        break;  // restart the scan: the queue may have changed meanwhile
+      }
+
+      std::vector<WidthDemand> resident_demands;
+      resident_demands.reserve(resident_.size());
+      for (const JobId rid : resident_)
+        resident_demands.push_back(jobs_.at(rid)->demand);
+      if (admission_.admit(job.demand, resident_demands)) {
+        queue_.erase(std::find(queue_.begin(), queue_.end(), id));
+        resident_.push_back(id);
+        ledger_.transition(id, JobState::kRunning, wall_time_ms());
+        decisions_stale_ = true;
+        ++reconfigurations_;
+        progress = true;
+      } else if (ledger_.at(id).state == JobState::kProfiling) {
+        // Profiled but declined: back to the queue with its demand cached.
+        ledger_.transition(id, JobState::kQueued, wall_time_ms());
+      }
+      // Declined jobs stay queued; the scan continues — a narrower job
+      // further back may still fit (backfill; see docs/SERVING.md).
+    }
+  }
+}
+
+void SchedulerService::run_one_step(std::unique_lock<std::mutex>& lk) {
+  const std::vector<JobId> stepped(resident_);
+  TenantSet set;
+  set.preserve_service = true;
+  std::vector<const Graph*> graphs;
+  std::vector<HostGraphProgram*> programs;
+  for (const JobId id : stepped) {
+    const Job& job = *jobs_.at(id);
+    set.ids.push_back(static_cast<std::size_t>(id));
+    set.weights.push_back(ledger_.at(id).weight);
+    graphs.push_back(&job.spec.graph);
+    if (options_.substrate == Substrate::kHost)
+      programs.push_back(job.program.get());
+  }
+  const bool rebuild = decisions_stale_;
+  decisions_stale_ = false;
+
+  lk.unlock();
+  std::vector<StepResult> results;
+  try {
+    if (rebuild) runtime_.rebuild_decisions(graphs);
+    results = options_.substrate == Substrate::kHost
+                  ? runtime_.run_step_multi_host(programs, set)
+                  : runtime_.run_step_multi(graphs, set);
+  } catch (...) {
+    // cycle() must exit with the lock held whatever happens in the
+    // unlocked region — the loop/drain handlers mutate shared state.
+    lk.lock();
+    decisions_stale_ = true;
+    throw;
+  }
+  lk.lock();
+
+  ++steps_run_;
+  for (std::size_t t = 0; t < stepped.size(); ++t) {
+    const StepResult& r = results[t];
+    JobRecord& rec = ledger_.at(stepped[t]);
+    ++rec.steps_done;
+    rec.service_ms += r.service_ms;
+    rec.run_ms += r.time_ms;
+    rec.corun_launches += r.corun_launches;
+    rec.overlay_launches += r.overlay_launches;
+    stepped_service_ms_ += r.service_ms;
+    if (options_.substrate == Substrate::kHost) {
+      if (rec.steps_done == 1) {
+        rec.checksum = r.checksum;
+      } else if (options_.verify_checksums && r.checksum != rec.checksum) {
+        throw std::logic_error(
+            "SchedulerService: job " + std::to_string(stepped[t]) +
+            " step checksum drifted — co-run corruption");
+      }
+    }
+  }
+  for (const JobId id : stepped) {
+    const JobRecord& rec = ledger_.at(id);
+    if (rec.steps_done >= rec.steps_total) {
+      resident_.erase(std::find(resident_.begin(), resident_.end(), id));
+      decisions_stale_ = true;
+      ++reconfigurations_;
+      finish_job_locked(id, JobState::kCompleted);
+    }
+  }
+  cv_.notify_all();
+}
+
+SchedulerService::CycleOutcome SchedulerService::cycle(
+    std::unique_lock<std::mutex>& lk) {
+  apply_cancels_locked();
+  admission_pass(lk);
+  if (resident_.empty()) return CycleOutcome::kIdle;
+  run_one_step(lk);
+  return CycleOutcome::kWorked;
+}
+
+}  // namespace opsched::serve

@@ -1,0 +1,214 @@
+// SchedulerService: the elastic scheduling service — the long-running layer
+// that turns the per-step library (profile once, schedule every step
+// adaptively; paper Figure 2) into a job server for one machine. Clients
+// submit training jobs at any time; the service admits or queues them
+// against profiled capacity, co-runs the resident set step by step through
+// the SAME run_step_multi machinery on either substrate (SimMachine or
+// HostCorunExecutor — one code path, so they cannot drift), and
+// RECONFIGURES the tenant set between steps as jobs arrive, exhaust their
+// step budgets, or are cancelled.
+//
+// Churn semantics (the contract docs/SERVING.md spells out):
+//   - the co-located STEP is the atomic unit: arrivals, admissions, and
+//     cancellations take effect at step boundaries, never mid-step;
+//   - admission profiles a job's ops lazily on first consideration —
+//     (kind, shape) keys already warm in the shared PerfDatabase are
+//     reused, so repeat shapes cost nothing (and a service warm-started
+//     from a saved database profiles nothing at all);
+//   - jobs keep their scheduler identity across reconfigurations: the
+//     JobId is the stable tenant id on the runtime's TenantSet path, so
+//     learned state and fairness deficits follow the job, and are retired
+//     with it;
+//   - on the host substrate every job's per-step checksum is verified
+//     bit-identical across its steps — co-runners arriving or leaving
+//     must never change a job's numerics.
+//
+// Threading: submit/cancel/snapshot/wait/drain are safe from any thread.
+// The scheduling loop runs either on a background service thread
+// (start()/stop()) or inline on the caller of drain() — the loop body is
+// the same cycle() either way. Exactly one thread drives the loop at a
+// time; the Runtime is only ever touched from that thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "serve/admission_control.hpp"
+#include "serve/job.hpp"
+#include "serve/job_ledger.hpp"
+
+namespace opsched::serve {
+
+/// Which machine substrate the service schedules on. Both flow through the
+/// identical service code path; only the profile/step calls differ.
+enum class Substrate : std::uint8_t {
+  kSimulated = 0,  // SimMachine, virtual time
+  kHost,           // HostCorunExecutor, real kernels on real threads
+};
+
+const char* substrate_name(Substrate s) noexcept;
+
+struct ServiceOptions {
+  Substrate substrate = Substrate::kSimulated;
+  AdmissionOptions admission;
+  /// Timed repeats per host profiling sample (Runtime::profile_host_multi).
+  int profile_repeats = 1;
+  /// Host substrate: throw std::logic_error if a job's step checksum ever
+  /// differs from its first step's — the cross-job corruption detector.
+  bool verify_checksums = true;
+};
+
+/// Point-in-time copy of the service's books (see JobRecord for the
+/// per-job fields).
+struct ServiceSnapshot {
+  std::vector<JobRecord> jobs;  // every job ever, ascending id
+  std::size_t queued = 0;       // kQueued + kProfiling
+  std::size_t running = 0;
+  std::size_t completed = 0;
+  std::size_t cancelled = 0;
+  /// Co-located multi-steps executed so far.
+  std::size_t steps_run = 0;
+  /// Tenant-set reconfigurations (admissions, retirements, cancellations
+  /// of resident jobs) so far.
+  std::size_t reconfigurations = 0;
+  /// Machine time folded out of step results, accumulated independently of
+  /// the per-job ledger — conservation demands this equals the sum of the
+  /// jobs' service_ms (the churn tests assert it).
+  double stepped_service_ms = 0.0;
+};
+
+/// Lifetime: borrows `runtime`, which must outlive the service. One
+/// service per Runtime — the service assumes exclusive use of the
+/// runtime's scheduler state while it exists. Destruction stops the
+/// background thread if running.
+class SchedulerService {
+ public:
+  explicit SchedulerService(Runtime& runtime, ServiceOptions options = {});
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// Registers a job and returns its id; the job starts queued and is
+  /// considered for admission at the next step boundary. Throws
+  /// std::invalid_argument on an empty graph or non-positive step budget,
+  /// std::logic_error after stop().
+  JobId submit(JobSpec spec);
+
+  /// Requests cancellation. Queued jobs cancel at the next boundary;
+  /// running jobs finish their in-flight step first (the step is atomic).
+  /// Returns false for unknown or already-terminal jobs. Idempotent.
+  bool cancel(JobId id);
+
+  /// Spawns the background service thread. Throws std::logic_error if
+  /// already started or already stopped.
+  void start();
+
+  /// Stops the background thread after the in-flight cycle, keeping all
+  /// ledger state (non-terminal jobs simply stop progressing). Idempotent;
+  /// no-op when never started. After stop() the service rejects submits.
+  void stop();
+
+  /// Blocks until every job submitted so far is terminal. With the
+  /// background thread running this just waits; otherwise it RUNS the
+  /// scheduling loop inline on this thread (the deterministic single-
+  /// threaded mode the churn tests script). Returns immediately when all
+  /// jobs are already terminal.
+  void drain();
+
+  /// Inline mode: runs ONE scheduling cycle (boundary actions — cancels,
+  /// admissions, profiling — then at most one co-located step) on the
+  /// caller's thread, and returns true if a step ran. Interleave with
+  /// submit()/cancel() to script deterministic churn traces. Throws
+  /// std::logic_error while the background thread owns the loop.
+  bool run_cycle();
+
+  /// Blocks until `id` is terminal and returns its final record. Requires
+  /// the background thread (use drain() in inline mode). Throws
+  /// std::out_of_range on unknown id, std::logic_error if the service is
+  /// not started (a wait could otherwise never finish).
+  JobRecord wait(JobId id);
+
+  ServiceSnapshot snapshot() const;
+
+  bool started() const;
+  /// Cores of the chosen substrate (the admission capacity base).
+  std::size_t capacity_cores() const noexcept { return cores_; }
+  const ServiceOptions& options() const noexcept { return options_; }
+
+ private:
+  /// Service-private per-job state the ledger record does not carry.
+  struct Job {
+    JobSpec spec;
+    /// Host substrate: the bound program, created at first admission
+    /// consideration (stable address — graphs/programs are referenced by
+    /// the step while the lock is released).
+    std::unique_ptr<HostGraphProgram> program;
+    bool demand_known = false;
+    WidthDemand demand;
+    bool cancel_requested = false;
+    bool retired = false;  // runtime.retire_tenant(id) already called
+  };
+
+  enum class CycleOutcome {
+    kIdle,    // no resident jobs after reconfiguration: nothing to step
+    kWorked,  // ran one co-located step
+  };
+
+  /// One loop iteration: apply cancellations, run the admission pass
+  /// (profiling candidates as needed), then one co-located step over the
+  /// resident set. Called with `lk` held; may release and reacquire it
+  /// around runtime work. Only the loop-driving thread calls this.
+  CycleOutcome cycle(std::unique_lock<std::mutex>& lk);
+
+  void apply_cancels_locked();
+  void admission_pass(std::unique_lock<std::mutex>& lk);
+  void run_one_step(std::unique_lock<std::mutex>& lk);
+  void finish_job_locked(JobId id, JobState terminal);
+  /// True when a boundary action is pending: something submitted/cancelled
+  /// that the next cycle must look at.
+  bool work_pending_locked() const;
+  void loop();  // background-thread body
+
+  Runtime& runtime_;
+  ServiceOptions options_;
+  std::size_t cores_;
+  AdmissionController admission_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  JobLedger ledger_;
+  std::map<JobId, std::unique_ptr<Job>> jobs_;
+  /// Waiting jobs, kept sorted by (priority desc, id asc).
+  std::vector<JobId> queue_;
+  /// Resident (admitted, stepping) jobs, in admission order.
+  std::vector<JobId> resident_;
+  /// Resident set changed (or a candidate was profiled, which clobbers the
+  /// controller's decisions): rebuild decisions before the next step.
+  bool decisions_stale_ = false;
+  std::size_t steps_run_ = 0;
+  std::size_t reconfigurations_ = 0;
+  double stepped_service_ms_ = 0.0;
+
+  /// A cancel was requested since the last boundary pass (the idle-wait
+  /// wake-up signal alongside a non-empty queue).
+  bool pending_cancel_ = false;
+
+  bool started_ = false;
+  bool stopped_ = false;
+  bool stop_requested_ = false;
+  bool draining_inline_ = false;
+  /// Set when the background loop died on an exception; drain()/wait()
+  /// rethrow it instead of blocking on jobs that will never finish.
+  std::exception_ptr failure_ = nullptr;
+  std::thread thread_;
+};
+
+}  // namespace opsched::serve

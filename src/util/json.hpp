@@ -1,0 +1,51 @@
+// Minimal JSON reading/writing shared by every schema-versioned artifact the
+// repo emits (bench reports, persisted profile databases). The writer is a
+// pair of escaping/number helpers — each schema is small and fixed, so
+// emitters write their layout by hand for stable key order — and the reader
+// is a recursive-descent parser covering exactly the grammar those emitters
+// produce (objects, arrays, strings, numbers, bools, null), plus typed
+// accessors that turn missing/mistyped members into schema-error messages.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace opsched::json {
+
+/// Escapes `s` for placement between double quotes in a JSON document.
+std::string escape(const std::string& s);
+
+/// Shortest round-trippable decimal for `v` ("0" for non-finite values —
+/// JSON has no inf/nan).
+std::string number(double v);
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  // unique_ptr keeps the recursive type sized.
+  std::unique_ptr<JsonArray> array;
+  std::unique_ptr<JsonObject> object;
+};
+
+/// Parses one JSON document. Throws std::runtime_error (with the byte
+/// offset) on malformed input or trailing characters.
+JsonValue parse(const std::string& text);
+
+/// Typed member accessors; every failure throws std::runtime_error with a
+/// schema-error message naming the offending key.
+const JsonValue& member(const JsonValue& obj, const std::string& key);
+double num_member(const JsonValue& obj, const std::string& key);
+std::string str_member(const JsonValue& obj, const std::string& key);
+const JsonArray& array_member(const JsonValue& obj, const std::string& key);
+
+}  // namespace opsched::json

@@ -167,4 +167,14 @@ double geomean(std::span<const double> xs) {
   return std::exp(acc / static_cast<double>(xs.size()));
 }
 
+double jain_index(std::span<const double> xs) noexcept {
+  double total = 0.0, sq = 0.0;
+  for (double x : xs) {
+    total += x;
+    sq += x * x;
+  }
+  if (sq <= 0.0) return 1.0;
+  return total * total / (static_cast<double>(xs.size()) * sq);
+}
+
 }  // namespace opsched

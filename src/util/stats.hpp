@@ -65,4 +65,11 @@ double mean_ratio(std::span<const double> numer, std::span<const double> denom);
 /// Geometric mean; all inputs must be > 0.
 double geomean(std::span<const double> xs);
 
+/// Jain's fairness index over per-party allocations:
+///   (sum x)^2 / (n * sum x^2), in (0, 1], 1.0 = perfectly even.
+/// Degenerate inputs (empty, or all zeros) report 1.0 — nothing was
+/// allocated, so nothing was unfair. Used by the multi-tenant/serving
+/// fairness metrics.
+double jain_index(std::span<const double> xs) noexcept;
+
 }  // namespace opsched

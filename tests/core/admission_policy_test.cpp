@@ -301,6 +301,121 @@ TEST_F(AdmissionPolicyTest, OverlayPicksTheSmallestReadyOp) {
   EXPECT_LE(d->candidate.threads, 4);
 }
 
+// --- TenantSet: stable identities across tenant-set reconfigurations -----
+
+TEST_F(AdmissionPolicyTest, TenantSetPreservesServiceAcrossReconfiguration) {
+  AdmissionPolicy p = make_policy();
+
+  TenantSet set;
+  set.ids = {101, 202};
+  p.configure_tenants(set);
+  std::deque<NodeId> ready{1, 2};
+  const TenantReadyView view{&graph_, &ready};
+  // Tenant slot 0 (id 101) wins the first empty-machine round and gets
+  // charged.
+  const auto d = p.next_launch_multi({view, view}, 68, {}, nullptr);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->tenant, 0u);
+  const double charged = p.service_of(101);
+  EXPECT_GT(charged, 0.0);
+  EXPECT_DOUBLE_EQ(p.service_of(202), 0.0);
+
+  // Reconfigure: id 101 continues in a DIFFERENT slot, a new job joins.
+  TenantSet next;
+  next.ids = {303, 101};
+  p.configure_tenants(next);
+  EXPECT_DOUBLE_EQ(p.tenant_service(1), charged);   // slot 1 carries id 101
+  EXPECT_DOUBLE_EQ(p.tenant_service(0), 0.0);       // fresh id 303
+  // The deficit order therefore visits the newcomer first.
+  const auto d2 = p.next_launch_multi({view, view}, 68, {}, nullptr);
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_EQ(d2->tenant, 0u);
+
+  // preserve_service = false resets the carried deficit.
+  TenantSet reset;
+  reset.ids = {101};
+  reset.preserve_service = false;
+  p.configure_tenants(reset);
+  EXPECT_DOUBLE_EQ(p.service_of(101), 0.0);
+}
+
+TEST_F(AdmissionPolicyTest, BadPairsFollowStableIdsAcrossSlots) {
+  AdmissionPolicy p = make_policy();
+  TenantSet set;
+  set.ids = {7, 9};
+  p.configure_tenants(set);
+  // Slot 0 (id 7) interfered with slot 1 (id 9) on the conv pair.
+  p.record_interference(TenantOpKey{0, OpKey::of(graph_.node(1))},
+                        {TenantOpKey{1, OpKey::of(graph_.node(2))}});
+  EXPECT_EQ(p.recorded_bad_pairs(), 1u);
+  EXPECT_EQ(p.recorded_bad_pairs(7), 1u);  // keyed by stable id
+  EXPECT_EQ(p.recorded_bad_pairs(0), 0u);  // not by slot
+
+  // After swapping the two jobs' slots, the pair still binds: id 7's op 1
+  // must not co-run with id 9's running op 2, whatever slot either holds.
+  TenantSet swapped;
+  swapped.ids = {9, 7};
+  p.configure_tenants(swapped);
+  RunningOpView running = running_view(2, 50.0);
+  running.tenant = 0;  // slot 0 now hosts id 9
+  EXPECT_TRUE(p.bad_pair_with_running(
+      TenantOpKey{1, OpKey::of(graph_.node(1))}, {running}));
+  // An unrelated third job in id 9's old slot is NOT penalised.
+  TenantSet fresh;
+  fresh.ids = {9, 55};
+  p.configure_tenants(fresh);
+  EXPECT_FALSE(p.bad_pair_with_running(
+      TenantOpKey{1, OpKey::of(graph_.node(1))}, {running}));
+}
+
+TEST_F(AdmissionPolicyTest, RetireTenantDropsItsLearnedStateOnly) {
+  AdmissionPolicy p = make_policy();
+  TenantSet set;
+  set.ids = {11, 22};
+  p.configure_tenants(set);
+  p.record_interference(TenantOpKey{0, OpKey::of(graph_.node(1))},
+                        {TenantOpKey{1, OpKey::of(graph_.node(2))}});
+  p.record_interference(TenantOpKey{1, OpKey::of(graph_.node(3))},
+                        {TenantOpKey{1, OpKey::of(graph_.node(4))}});
+  std::deque<NodeId> ready{1};
+  const TenantReadyView view{&graph_, &ready};
+  (void)p.next_launch_multi({view, view}, 68, {}, nullptr);
+  ASSERT_EQ(p.recorded_bad_pairs(), 2u);
+  ASSERT_GT(p.service_of(11), 0.0);
+
+  p.retire_tenant(11);
+  EXPECT_DOUBLE_EQ(p.service_of(11), 0.0);
+  // Only the pair touching id 11 is gone; id 22's private pair survives.
+  EXPECT_EQ(p.recorded_bad_pairs(), 1u);
+  EXPECT_EQ(p.recorded_bad_pairs(11), 0u);
+  EXPECT_EQ(p.recorded_bad_pairs(22), 1u);
+}
+
+TEST_F(AdmissionPolicyTest, TenantSetValidation) {
+  AdmissionPolicy p = make_policy();
+  TenantSet dup;
+  dup.ids = {5, 5};
+  EXPECT_THROW(p.configure_tenants(dup), std::invalid_argument);
+  TenantSet mismatch;
+  mismatch.ids = {1, 2};
+  mismatch.weights = {1.0};
+  EXPECT_THROW(p.configure_tenants(mismatch), std::invalid_argument);
+}
+
+TEST_F(AdmissionPolicyTest, SlotConfigureMatchesLegacyBehaviour) {
+  // configure_tenants(count, weights) must behave exactly as before the
+  // TenantSet refactor: identity ids, per-call service reset.
+  AdmissionPolicy p = make_policy();
+  p.configure_tenants(2, {1.0, 2.0});
+  std::deque<NodeId> ready{1};
+  const TenantReadyView view{&graph_, &ready};
+  (void)p.next_launch_multi({view, view}, 68, {}, nullptr);
+  EXPECT_GT(p.tenant_service(0), 0.0);
+  p.configure_tenants(2, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(p.tenant_service(0), 0.0);  // reset, not preserved
+  EXPECT_DOUBLE_EQ(p.tenant_service(1), 0.0);
+}
+
 TEST_F(AdmissionPolicyTest, StrategyMaskDisablesCorunAndOverlay) {
   RuntimeOptions opt = runtime_.options();
   opt.strategies = kStrategyS12;

@@ -86,5 +86,122 @@ TEST(PerfDbIo, FileHelpers) {
   EXPECT_THROW(loaded.load_file("/no-such-file-xyz.db"), std::runtime_error);
 }
 
+TEST(PerfDbJson, RoundTripPreservesEverything) {
+  const PerfDatabase db = sample_db();
+  const std::string doc = db.to_json();
+  EXPECT_NE(doc.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"generator\": \"opsched_perfdb\""), std::string::npos);
+
+  PerfDatabase loaded;
+  loaded.load_json(doc);
+  EXPECT_EQ(loaded.size(), db.size());
+  EXPECT_EQ(loaded.total_samples(), db.total_samples());
+
+  const OpKey key = OpKey::of(fig1_conv2d());
+  ASSERT_TRUE(loaded.contains(key));
+  const ProfileCurve& curve = loaded.at(key);
+  EXPECT_DOUBLE_EQ(curve.predict(1, AffinityMode::kSpread), 10.0);
+  EXPECT_DOUBLE_EQ(curve.predict(5, AffinityMode::kSpread), 3.5);
+  EXPECT_DOUBLE_EQ(curve.predict(4, AffinityMode::kShared), 4.25);
+  EXPECT_EQ(curve.best().threads, 5);
+}
+
+TEST(PerfDbJson, ShapeHashSurvivesAs64Bit) {
+  // A hash above 2^53 would be silently rounded if serialised as a JSON
+  // number; the string form must round-trip it exactly.
+  const OpKey key{OpKind::kMatMul, 0xFEDCBA9876543210ULL};
+  PerfDatabase db;
+  ProfileCurve c;
+  c.add_sample(AffinityMode::kSpread, 2, 1.5);
+  db.put(key, c);
+
+  PerfDatabase loaded;
+  loaded.load_json(db.to_json());
+  EXPECT_TRUE(loaded.contains(key));
+}
+
+TEST(PerfDbJson, EmptyDatabaseRoundTrips) {
+  PerfDatabase loaded = sample_db();
+  loaded.load_json(PerfDatabase().to_json());
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(PerfDbJson, RejectsMalformedAndWrongVersionLeavingDbUntouched) {
+  PerfDatabase db = sample_db();
+  const std::string good = db.to_json();
+  for (const std::string& bad : {
+           std::string("{not json"),
+           std::string("{\"schema_version\": 99, \"curves\": []}"),
+           std::string("{\"curves\": []}"),  // missing version
+           std::string("{\"schema_version\": 1, \"curves\": [{\"kind\": 999, "
+                       "\"shape_hash\": \"1\", \"samples\": []}]}"),
+           std::string("{\"schema_version\": 1, \"curves\": [{\"kind\": 0, "
+                       "\"shape_hash\": \"xyz\", \"samples\": []}]}"),
+           std::string("{\"schema_version\": 1, \"curves\": [{\"kind\": 0, "
+                       "\"shape_hash\": \"-1\", \"samples\": []}]}"),
+           std::string("{\"schema_version\": 1, \"curves\": [{\"kind\": 0, "
+                       "\"shape_hash\": \"123abc\", \"samples\": []}]}"),
+           std::string("{\"schema_version\": 1, \"curves\": [{\"kind\": 0, "
+                       "\"shape_hash\": \"99999999999999999999999\", "
+                       "\"samples\": []}]}"),
+           std::string("{\"schema_version\": 1, \"curves\": [{\"kind\": 0, "
+                       "\"shape_hash\": \"1\", \"samples\": [{\"mode\": 7, "
+                       "\"threads\": 1, \"time_ms\": 1.0}]}]}"),
+           std::string("{\"schema_version\": 1, \"curves\": [{\"kind\": 0, "
+                       "\"shape_hash\": \"1\", \"samples\": [{\"mode\": 0, "
+                       "\"threads\": 0, \"time_ms\": 1.0}]}]}"),
+       }) {
+    EXPECT_THROW(db.load_json(bad), std::runtime_error) << bad;
+    // A failed load leaves the previous contents in place.
+    EXPECT_EQ(db.size(), 2u) << bad;
+  }
+  EXPECT_NO_THROW(db.load_json(good));
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(PerfDbJson, MergeKeepsLiveCurvesAndAddsOnlyMissing) {
+  PerfDatabase warm = sample_db();  // the "restarted service" snapshot
+  const std::string snapshot = warm.to_json();
+
+  PerfDatabase db;  // freshly profiled with one overlapping, changed curve
+  ProfileCurve live;
+  live.add_sample(AffinityMode::kSpread, 3, 99.0);
+  db.put(OpKey::of(fig1_conv2d()), live);
+
+  const std::size_t added = db.merge_json(snapshot);
+  EXPECT_EQ(added, 1u);  // only the backprop-filter curve was missing
+  EXPECT_EQ(db.size(), 2u);
+  // The live (freshly measured) curve wins over the snapshot's.
+  EXPECT_DOUBLE_EQ(
+      db.at(OpKey::of(fig1_conv2d())).predict(3, AffinityMode::kSpread),
+      99.0);
+}
+
+TEST(PerfDbJson, FileHelpersAndAutoDispatch) {
+  const std::string dir(::testing::TempDir());
+  const std::string json_path = dir + "/profiles.json";
+  const std::string text_path = dir + "/profiles.db";
+  sample_db().save_file_auto(json_path);
+  sample_db().save_file_auto(text_path);
+
+  // The JSON file really is JSON, the text file really is the line format.
+  PerfDatabase a, b;
+  a.load_json_file(json_path);
+  b.load_file(text_path);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 2u);
+
+  PerfDatabase c, d;
+  c.load_file_auto(json_path);
+  d.load_file_auto(text_path);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(d.size(), 2u);
+
+  EXPECT_THROW(sample_db().save_json_file("/no-such-dir-xyz/p.json"),
+               std::runtime_error);
+  PerfDatabase e;
+  EXPECT_THROW(e.load_json_file("/no-such-file-xyz.json"), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace opsched

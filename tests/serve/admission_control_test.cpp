@@ -1,0 +1,109 @@
+// AdmissionController + demand estimation: the service-level admit-now-vs-
+// queue decision, fed by the same hill-climb profile curves the per-op
+// scheduler runs on.
+#include <gtest/gtest.h>
+
+#include "models/op_factory.hpp"
+#include "serve/admission_control.hpp"
+
+namespace opsched::serve {
+namespace {
+
+ProfileCurve curve_best(int threads, double time_ms) {
+  ProfileCurve c;
+  // A second, worse point so best() has something to beat.
+  c.add_sample(AffinityMode::kSpread, 1, time_ms * 4.0);
+  c.add_sample(AffinityMode::kSpread, threads, time_ms);
+  return c;
+}
+
+TEST(EstimateDemand, TimeWeightedMeanAndPeak) {
+  Graph g;
+  const Node conv = fig1_conv2d();
+  const Node bp = fig1_backprop_filter();
+  Node n1 = conv;
+  n1.id = g.add_node(n1);
+  Node n2 = bp;
+  n2.inputs = {0};
+  n2.id = g.add_node(n2);
+
+  PerfDatabase db;
+  // conv: best 8 threads at 10ms; backprop: best 2 threads at 30ms.
+  db.put(OpKey::of(conv), curve_best(8, 10.0));
+  db.put(OpKey::of(bp), curve_best(2, 30.0));
+
+  const WidthDemand d = estimate_demand(g, db);
+  EXPECT_EQ(d.peak_width, 8);
+  // mean = (10*8 + 30*2) / (10+30) = 140/40 = 3.5
+  EXPECT_DOUBLE_EQ(d.mean_width, 3.5);
+  EXPECT_DOUBLE_EQ(d.area_ms, 140.0);
+}
+
+TEST(EstimateDemand, UnprofiledGraphIsNeutral) {
+  Graph g;
+  Node n = fig1_conv2d();
+  n.id = g.add_node(n);
+  const WidthDemand d = estimate_demand(g, PerfDatabase{});
+  EXPECT_DOUBLE_EQ(d.mean_width, 1.0);
+  EXPECT_EQ(d.peak_width, 1);
+  EXPECT_DOUBLE_EQ(d.area_ms, 0.0);
+}
+
+TEST(AdmissionController, EmptyMachineAlwaysAdmits) {
+  const AdmissionController ctl({}, 4);
+  WidthDemand monster;
+  monster.mean_width = 1000.0;  // far wider than the machine
+  EXPECT_TRUE(ctl.admit(monster, {}));
+}
+
+TEST(AdmissionController, CapacityTest) {
+  AdmissionOptions opt;
+  opt.capacity_factor = 1.0;
+  opt.max_corun_jobs = 8;
+  const AdmissionController ctl(opt, 16);
+
+  WidthDemand ten;
+  ten.mean_width = 10.0;
+  WidthDemand six;
+  six.mean_width = 6.0;
+  WidthDemand seven;
+  seven.mean_width = 7.0;
+  EXPECT_TRUE(ctl.admit(six, {ten}));    // 10 + 6 <= 16
+  EXPECT_FALSE(ctl.admit(seven, {ten}));  // 10 + 7 > 16
+  EXPECT_DOUBLE_EQ(AdmissionController::total_mean_width({ten, six}), 16.0);
+}
+
+TEST(AdmissionController, CapacityFactorOversubscribes) {
+  AdmissionOptions opt;
+  opt.capacity_factor = 1.5;
+  const AdmissionController ctl(opt, 16);
+  WidthDemand ten;
+  ten.mean_width = 10.0;
+  WidthDemand fourteen;
+  fourteen.mean_width = 14.0;
+  EXPECT_TRUE(ctl.admit(fourteen, {ten}));  // 24 <= 1.5 * 16
+}
+
+TEST(AdmissionController, MaxCorunJobsCapBindsRegardlessOfWidth) {
+  AdmissionOptions opt;
+  opt.max_corun_jobs = 2;
+  opt.capacity_factor = 100.0;
+  const AdmissionController ctl(opt, 64);
+  WidthDemand tiny;
+  tiny.mean_width = 0.1;
+  EXPECT_TRUE(ctl.admit(tiny, {tiny}));
+  EXPECT_FALSE(ctl.admit(tiny, {tiny, tiny}));
+}
+
+TEST(AdmissionController, DegenerateOptionsAreSanitised) {
+  AdmissionOptions opt;
+  opt.max_corun_jobs = 0;
+  opt.capacity_factor = -1.0;
+  const AdmissionController ctl(opt, 0);
+  EXPECT_EQ(ctl.options().max_corun_jobs, 1u);
+  EXPECT_DOUBLE_EQ(ctl.options().capacity_factor, 1.0);
+  EXPECT_EQ(ctl.machine_cores(), 1u);
+}
+
+}  // namespace
+}  // namespace opsched::serve

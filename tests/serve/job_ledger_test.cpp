@@ -1,0 +1,141 @@
+// JobLedger: lifecycle bookkeeping of the elastic scheduling service. The
+// ledger is the service's source of truth, so these tests pin the legal
+// transition graph, the count bookkeeping, and the "no lost or duplicated
+// jobs" invariants the churn tests rely on.
+#include <gtest/gtest.h>
+
+#include "serve/job_ledger.hpp"
+
+namespace opsched::serve {
+namespace {
+
+JobSpec spec(int steps = 3, int priority = 0, double weight = 1.0) {
+  JobSpec s;
+  s.name = "job";
+  s.steps = steps;
+  s.priority = priority;
+  s.weight = weight;
+  return s;
+}
+
+TEST(JobLedger, IdsAreMonotoneAndNeverRecycled) {
+  JobLedger ledger;
+  const JobId a = ledger.add(spec(), 0.0).id;
+  const JobId b = ledger.add(spec(), 1.0).id;
+  ledger.transition(b, JobState::kCancelled, 2.0);
+  const JobId c = ledger.add(spec(), 3.0).id;
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_NE(a, kInvalidJob);
+  EXPECT_EQ(ledger.size(), 3u);
+}
+
+TEST(JobLedger, TransitionGraphIsExactlyTheDocumentedOne) {
+  // Legal edges.
+  EXPECT_TRUE(job_transition_valid(JobState::kQueued, JobState::kProfiling));
+  EXPECT_TRUE(job_transition_valid(JobState::kQueued, JobState::kRunning));
+  EXPECT_TRUE(job_transition_valid(JobState::kQueued, JobState::kCancelled));
+  EXPECT_TRUE(job_transition_valid(JobState::kProfiling, JobState::kQueued));
+  EXPECT_TRUE(job_transition_valid(JobState::kProfiling, JobState::kRunning));
+  EXPECT_TRUE(
+      job_transition_valid(JobState::kProfiling, JobState::kCancelled));
+  EXPECT_TRUE(job_transition_valid(JobState::kRunning, JobState::kCompleted));
+  EXPECT_TRUE(job_transition_valid(JobState::kRunning, JobState::kCancelled));
+
+  // Everything else is illegal: self loops, terminal exits, backwards.
+  for (const JobState from :
+       {JobState::kQueued, JobState::kProfiling, JobState::kRunning,
+        JobState::kCompleted, JobState::kCancelled}) {
+    EXPECT_FALSE(job_transition_valid(from, from));
+  }
+  EXPECT_FALSE(job_transition_valid(JobState::kQueued, JobState::kCompleted));
+  EXPECT_FALSE(
+      job_transition_valid(JobState::kProfiling, JobState::kCompleted));
+  EXPECT_FALSE(job_transition_valid(JobState::kRunning, JobState::kQueued));
+  EXPECT_FALSE(job_transition_valid(JobState::kRunning, JobState::kProfiling));
+  for (const JobState terminal :
+       {JobState::kCompleted, JobState::kCancelled}) {
+    for (const JobState to :
+         {JobState::kQueued, JobState::kProfiling, JobState::kRunning,
+          JobState::kCompleted, JobState::kCancelled}) {
+      EXPECT_FALSE(job_transition_valid(terminal, to));
+    }
+  }
+}
+
+TEST(JobLedger, IllegalTransitionThrowsAndLeavesStateIntact) {
+  JobLedger ledger;
+  const JobId id = ledger.add(spec(), 0.0).id;
+  EXPECT_THROW(ledger.transition(id, JobState::kCompleted, 1.0),
+               std::logic_error);
+  EXPECT_EQ(ledger.at(id).state, JobState::kQueued);
+  EXPECT_EQ(ledger.count(JobState::kQueued), 1u);
+  EXPECT_THROW(ledger.transition(999, JobState::kRunning, 1.0),
+               std::out_of_range);
+}
+
+TEST(JobLedger, CountsTrackEveryTransition) {
+  JobLedger ledger;
+  const JobId a = ledger.add(spec(), 0.0).id;
+  const JobId b = ledger.add(spec(), 0.0).id;
+  const JobId c = ledger.add(spec(), 0.0).id;
+  EXPECT_EQ(ledger.count(JobState::kQueued), 3u);
+
+  ledger.transition(a, JobState::kProfiling, 1.0);
+  ledger.transition(a, JobState::kRunning, 2.0);
+  ledger.transition(b, JobState::kCancelled, 2.0);
+  EXPECT_EQ(ledger.count(JobState::kQueued), 1u);
+  EXPECT_EQ(ledger.count(JobState::kProfiling), 0u);
+  EXPECT_EQ(ledger.count(JobState::kRunning), 1u);
+  EXPECT_EQ(ledger.count(JobState::kCancelled), 1u);
+  EXPECT_FALSE(ledger.all_terminal());
+
+  ledger.transition(a, JobState::kCompleted, 3.0);
+  ledger.transition(c, JobState::kCancelled, 3.0);
+  EXPECT_TRUE(ledger.all_terminal());
+  // Conservation: every job accounted for in exactly one state.
+  EXPECT_EQ(ledger.count(JobState::kCompleted) +
+                ledger.count(JobState::kCancelled),
+            ledger.size());
+}
+
+TEST(JobLedger, TimestampsAndLatencies) {
+  JobLedger ledger;
+  const JobId id = ledger.add(spec(), 10.0).id;
+  EXPECT_DOUBLE_EQ(ledger.at(id).submit_ms, 10.0);
+  EXPECT_DOUBLE_EQ(ledger.at(id).wait_ms(), -1.0);
+  EXPECT_DOUBLE_EQ(ledger.at(id).turnaround_ms(), -1.0);
+
+  ledger.transition(id, JobState::kProfiling, 12.0);
+  ledger.transition(id, JobState::kQueued, 13.0);  // declined admission
+  EXPECT_DOUBLE_EQ(ledger.at(id).wait_ms(), -1.0);  // never admitted yet
+
+  ledger.transition(id, JobState::kRunning, 15.0);
+  EXPECT_DOUBLE_EQ(ledger.at(id).admit_ms, 15.0);
+  EXPECT_DOUBLE_EQ(ledger.at(id).wait_ms(), 5.0);
+
+  ledger.transition(id, JobState::kCompleted, 40.0);
+  EXPECT_DOUBLE_EQ(ledger.at(id).turnaround_ms(), 30.0);
+}
+
+TEST(JobLedger, SnapshotIsAscendingAndComplete) {
+  JobLedger ledger;
+  ledger.add(spec(), 0.0);
+  ledger.add(spec(), 0.0);
+  ledger.at(1).service_ms = 2.0;
+  ledger.at(2).service_ms = 3.5;
+  const auto jobs = ledger.snapshot();
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_LT(jobs[0].id, jobs[1].id);
+  EXPECT_DOUBLE_EQ(ledger.total_service_ms(), 5.5);
+  EXPECT_EQ(ledger.find(99), nullptr);
+}
+
+TEST(JobLedger, NonPositiveWeightDefaultsToOne) {
+  JobLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.add(spec(1, 0, -2.0), 0.0).weight, 1.0);
+  EXPECT_DOUBLE_EQ(ledger.add(spec(1, 0, 2.5), 0.0).weight, 2.5);
+}
+
+}  // namespace
+}  // namespace opsched::serve

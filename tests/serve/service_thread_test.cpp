@@ -1,0 +1,217 @@
+// Threaded-mode tests for the elastic scheduling service: the background
+// service thread races real client threads (submitters, a canceller,
+// snapshot readers) — the surface the CI ThreadSanitizer job instruments.
+// Functional assertions are the same contracts as the inline churn tests:
+// nothing lost, checksums equal solo references, books conserved.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "testing/graph_fuzz.hpp"
+
+namespace opsched::serve {
+namespace {
+
+testing::FuzzGraphParams small_params() {
+  testing::FuzzGraphParams params;
+  params.min_nodes = 4;
+  params.max_nodes = 7;
+  params.max_dim = 5;
+  return params;
+}
+
+double reference_checksum(const Graph& g, std::uint64_t seed) {
+  HostGraphProgram ref(g, seed, /*tenant=*/0);
+  for (const Node& node : g.nodes()) ref.run_node_reference(node.id);
+  return ref.step_checksum();
+}
+
+TEST(ServiceThread, ConcurrentSubmittersAndCancellerOnHost) {
+  Runtime rt(MachineSpec::knl());
+  ServiceOptions opt;
+  opt.substrate = Substrate::kHost;
+  opt.admission.max_corun_jobs = 3;
+  SchedulerService svc(rt, opt);
+  svc.start();
+  EXPECT_TRUE(svc.started());
+
+  constexpr std::size_t kThreads = 3;
+  constexpr std::size_t kJobsPerThread = 3;
+  // Graphs owned outside the service to compare solo references later.
+  std::vector<Graph> graphs(kThreads * kJobsPerThread);
+  for (std::size_t i = 0; i < graphs.size(); ++i)
+    graphs[i] = testing::fuzz_graph(500 + i, small_params());
+
+  std::vector<JobId> ids(graphs.size(), kInvalidJob);
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::size_t k = 0; k < kJobsPerThread; ++k) {
+        const std::size_t i = t * kJobsPerThread + k;
+        JobSpec spec;
+        spec.name = "t" + std::to_string(t) + "j" + std::to_string(k);
+        spec.graph = graphs[i];
+        spec.steps = 1 + static_cast<int>(i % 3);
+        spec.weight = (i % 2 == 0) ? 1.0 : 2.0;
+        spec.seed = 0x5eedULL + i;
+        ids[i] = svc.submit(spec);
+      }
+    });
+  }
+  // A reader hammering snapshot() while the books change underneath.
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load()) {
+      const ServiceSnapshot snap = svc.snapshot();
+      EXPECT_LE(snap.completed + snap.cancelled, snap.jobs.size());
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& t : submitters) t.join();
+
+  // Cancel one known job from yet another thread (it may already be done —
+  // both outcomes are legal, cancel() just reports which).
+  std::thread canceller([&] { svc.cancel(ids[1]); });
+  canceller.join();
+
+  svc.drain();
+  done.store(true);
+  reader.join();
+
+  const ServiceSnapshot snap = svc.snapshot();
+  ASSERT_EQ(snap.jobs.size(), graphs.size());
+  EXPECT_EQ(snap.completed + snap.cancelled, graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const JobRecord& rec = *std::find_if(
+        snap.jobs.begin(), snap.jobs.end(),
+        [&](const JobRecord& r) { return r.id == ids[i]; });
+    if (rec.state == JobState::kCompleted) {
+      EXPECT_DOUBLE_EQ(rec.checksum,
+                       reference_checksum(graphs[i], 0x5eedULL + i))
+          << "job " << i;
+    }
+  }
+  // Only ids[1] was cancelled, and only maybe.
+  EXPECT_GE(snap.completed, graphs.size() - 1);
+
+  // wait() on a terminal job returns immediately with the final record.
+  const JobRecord last = svc.wait(ids[0]);
+  EXPECT_TRUE(job_state_terminal(last.state));
+  svc.stop();
+  JobSpec late;
+  late.graph = graphs[0];
+  late.steps = 1;
+  EXPECT_THROW(svc.submit(late), std::logic_error);
+}
+
+TEST(ServiceThread, WaitBlocksUntilAJobFinishes) {
+  Runtime rt(MachineSpec::knl());
+  ServiceOptions opt;
+  opt.substrate = Substrate::kSimulated;
+  SchedulerService svc(rt, opt);
+  svc.start();
+
+  JobSpec spec;
+  spec.name = "waited";
+  spec.graph = testing::fuzz_graph(77, small_params());
+  spec.steps = 4;
+  const JobId id = svc.submit(spec);
+  const JobRecord rec = svc.wait(id);
+  EXPECT_EQ(rec.state, JobState::kCompleted);
+  EXPECT_EQ(rec.steps_done, 4);
+  EXPECT_THROW(svc.wait(12345), std::out_of_range);
+  svc.stop();
+}
+
+TEST(ServiceThread, StopKeepsBooksAndRejectsFurtherWork) {
+  Runtime rt(MachineSpec::knl());
+  ServiceOptions opt;
+  opt.substrate = Substrate::kSimulated;
+  SchedulerService svc(rt, opt);
+  svc.start();
+  EXPECT_THROW(svc.start(), std::logic_error);  // double start
+
+  JobSpec spec;
+  spec.name = "before-stop";
+  spec.graph = testing::fuzz_graph(3, small_params());
+  spec.steps = 2;
+  const JobId id = svc.submit(spec);
+  svc.drain();
+  svc.stop();
+  svc.stop();  // idempotent
+  EXPECT_FALSE(svc.started());
+
+  const ServiceSnapshot snap = svc.snapshot();  // books survive stop
+  ASSERT_EQ(snap.jobs.size(), 1u);
+  EXPECT_EQ(snap.jobs[0].id, id);
+  EXPECT_EQ(snap.jobs[0].state, JobState::kCompleted);
+
+  JobSpec late;
+  late.graph = testing::fuzz_graph(4, small_params());
+  late.steps = 1;
+  EXPECT_THROW(svc.submit(late), std::logic_error);
+  EXPECT_THROW(svc.start(), std::logic_error);  // no restart after stop
+}
+
+TEST(ServiceThread, StopWakesBlockedDrainersAndWaiters) {
+  Runtime rt(MachineSpec::knl());
+  ServiceOptions opt;
+  opt.substrate = Substrate::kSimulated;
+  SchedulerService svc(rt, opt);
+  svc.start();
+
+  // A budget no test machine finishes in the milliseconds before stop().
+  JobSpec spec;
+  spec.name = "marathon";
+  spec.graph = testing::fuzz_graph(11, small_params());
+  spec.steps = 1000000;
+  const JobId id = svc.submit(spec);
+
+  std::atomic<int> woken{0};
+  std::atomic<int> entered{0};
+  std::thread drainer([&] {
+    try {
+      ++entered;
+      svc.drain();
+    } catch (const std::logic_error&) {
+      // "stopped with jobs outstanding" or "racing stop()" — either way
+      // the waiter WOKE instead of sleeping forever.
+      ++woken;
+    }
+  });
+  std::thread waiter([&] {
+    try {
+      ++entered;
+      (void)svc.wait(id);
+    } catch (const std::logic_error&) {
+      ++woken;
+    }
+  });
+  while (entered.load() < 2) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  svc.stop();
+  drainer.join();
+  waiter.join();
+  EXPECT_EQ(woken.load(), 2);
+  // The marathon job survives in the books, merely parked.
+  const ServiceSnapshot snap = svc.snapshot();
+  ASSERT_EQ(snap.jobs.size(), 1u);
+  EXPECT_FALSE(job_state_terminal(snap.jobs[0].state));
+  EXPECT_GT(snap.jobs[0].steps_done, 0);
+}
+
+TEST(ServiceThread, InlineDriversAreRejectedWhileThreadRuns) {
+  Runtime rt(MachineSpec::knl());
+  SchedulerService svc(rt, {});
+  svc.start();
+  EXPECT_THROW(svc.run_cycle(), std::logic_error);
+  svc.stop();
+}
+
+}  // namespace
+}  // namespace opsched::serve
