@@ -22,6 +22,7 @@ void register_all(Registry& reg) {
   register_serve_churn(reg);
   register_micro_kernels(reg);
   register_micro_threadpool(reg);
+  register_micro_dispatch(reg);
 }
 
 }  // namespace opsched::bench

@@ -18,23 +18,163 @@ TenantSet TenantSet::slots(std::size_t count,
   return set;
 }
 
-namespace {
-std::pair<TenantOpKey, TenantOpKey> ordered_pair(const TenantOpKey& a,
-                                                 const TenantOpKey& b) {
-  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+// ---- DecisionCache: open-addressed flat table ----------------------------
+
+std::size_t AdmissionPolicy::DecisionCache::hash(std::size_t tenant,
+                                                 ArenaOp op, int idle) {
+  std::uint64_t h = static_cast<std::uint64_t>(tenant);
+  h ^= (static_cast<std::uint64_t>(op) << 32) ^
+       static_cast<std::uint64_t>(static_cast<std::uint32_t>(idle));
+  // splitmix64 finalizer: cheap, well-distributed for sequential ids.
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return static_cast<std::size_t>(h);
 }
 
-double max_remaining(const std::vector<RunningOpView>& running) {
-  double mx = 0.0;
-  for (const RunningOpView& r : running) mx = std::max(mx, r.remaining_ms);
-  return mx;
+const Candidate* AdmissionPolicy::DecisionCache::find(std::size_t tenant,
+                                                      ArenaOp op,
+                                                      int idle) const {
+  if (slots_.empty()) return nullptr;
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t i = hash(tenant, op, idle) & mask;; i = (i + 1) & mask) {
+    const Entry& e = slots_[i];
+    if (e.op == kNoArenaOp) return nullptr;
+    if (e.tenant == tenant && e.op == op && e.idle == idle) return &e.value;
+  }
 }
-}  // namespace
+
+void AdmissionPolicy::DecisionCache::grow() {
+  std::vector<Entry> old = std::move(slots_);
+  slots_.assign(old.empty() ? 64 : old.size() * 2, Entry{});
+  const std::size_t mask = slots_.size() - 1;
+  for (const Entry& e : old) {
+    if (e.op == kNoArenaOp) continue;
+    std::size_t i = hash(e.tenant, e.op, e.idle) & mask;
+    while (slots_[i].op != kNoArenaOp) i = (i + 1) & mask;
+    slots_[i] = e;
+  }
+}
+
+void AdmissionPolicy::DecisionCache::insert(std::size_t tenant, ArenaOp op,
+                                            int idle, const Candidate& c) {
+  // Keep the load factor under 0.7 so probe chains stay short.
+  if (slots_.empty() || (count_ + 1) * 10 >= slots_.size() * 7) grow();
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash(tenant, op, idle) & mask;
+  while (slots_[i].op != kNoArenaOp) {
+    Entry& e = slots_[i];
+    if (e.tenant == tenant && e.op == op && e.idle == idle) {
+      e.value = c;  // overwrite, matching the previous map semantics
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+  slots_[i] = Entry{tenant, op, idle, c};
+  ++count_;
+}
+
+void AdmissionPolicy::DecisionCache::erase_tenant(std::size_t tenant) {
+  if (count_ == 0) return;
+  // Retirement is rare (a job leaving for good): rebuild without the
+  // tenant's entries rather than tombstoning the probe chains.
+  std::vector<Entry> keep;
+  keep.reserve(count_);
+  for (const Entry& e : slots_) {
+    if (e.op != kNoArenaOp && e.tenant != tenant) keep.push_back(e);
+  }
+  std::fill(slots_.begin(), slots_.end(), Entry{});
+  count_ = keep.size();
+  const std::size_t mask = slots_.size() - 1;
+  for (const Entry& e : keep) {
+    std::size_t i = hash(e.tenant, e.op, e.idle) & mask;
+    while (slots_[i].op != kNoArenaOp) i = (i + 1) & mask;
+    slots_[i] = e;
+  }
+}
+
+void AdmissionPolicy::DecisionCache::clear() {
+  std::fill(slots_.begin(), slots_.end(), Entry{});
+  count_ = 0;
+}
+
+// ---- learned state -------------------------------------------------------
 
 void AdmissionPolicy::reset_learning() {
   bad_pairs_.clear();
+  bad_pairs_rev_.clear();
+  bad_pairs_rev_stale_ = false;
   decision_cache_.clear();
 }
+
+AdmissionPolicy::ArenaOp AdmissionPolicy::intern(const OpKey& key) {
+  const auto [it, inserted] =
+      arena_ids_.try_emplace(key, static_cast<ArenaOp>(arena_ids_.size()));
+  return it->second;
+}
+
+AdmissionPolicy::ArenaOp AdmissionPolicy::lookup_arena(
+    const OpKey& key) const {
+  const auto it = arena_ids_.find(key);
+  return it != arena_ids_.end() ? it->second : kNoArenaOp;
+}
+
+const AdmissionPolicy::GraphBinding& AdmissionPolicy::bind(std::size_t t,
+                                                           const Graph& g) {
+  if (bindings_.size() <= t) bindings_.resize(t + 1);
+  GraphBinding& b = bindings_[t];
+  const std::uint64_t gen = controller_.generation();
+  if (b.graph == &g && b.generation == gen && b.nodes.size() == g.size())
+    return b;
+
+  b.graph = &g;
+  b.generation = gen;
+  b.nodes.assign(g.size(), BoundNode{});
+  b.menu.clear();
+  const bool s2 = (options_.strategies & kStrategy2) != 0;
+  for (const Node& node : g.nodes()) {
+    BoundNode rec;
+    rec.op = intern(OpKey::of(node));
+    rec.choice = controller_.choice_for(node);
+    rec.predicted_ms = controller_.predicted_time_ms(node);
+    rec.serial_ms = controller_.serial_time_ms(node);
+
+    std::vector<Candidate> cands =
+        controller_.candidates_for(node, options_.num_candidates);
+    if (s2) {
+      // Strategy 2 guard, pre-applied: a candidate too far from the
+      // consolidated width is replaced by the consolidated choice. The
+      // rewrite count is replayed into the stats at every walk visit, so
+      // the accounting matches deciding from scratch each time.
+      const Candidate& s2c = rec.choice;
+      const int delta = std::max(
+          options_.s2_delta_guard,
+          static_cast<int>(options_.s2_guard_relative *
+                           static_cast<double>(s2c.threads)));
+      for (Candidate& c : cands) {
+        if (std::abs(c.threads - s2c.threads) > delta) {
+          c = s2c;
+          ++rec.guard_rewrites;
+        }
+      }
+    }
+    rec.menu_begin = static_cast<std::uint32_t>(b.menu.size());
+    rec.menu_count = static_cast<std::uint32_t>(cands.size());
+    for (const Candidate& c : cands) {
+      if (rec.min_threads == 0 || c.threads < rec.min_threads)
+        rec.min_threads = c.threads;
+      if (rec.min_time_ms == 0.0 || c.time_ms < rec.min_time_ms)
+        rec.min_time_ms = c.time_ms;
+    }
+    b.menu.insert(b.menu.end(), cands.begin(), cands.end());
+    b.nodes[node.id] = rec;
+  }
+  return b;
+}
+
+// ---- tenant population ---------------------------------------------------
 
 void AdmissionPolicy::configure_tenants(std::size_t count,
                                         const std::vector<double>& weights) {
@@ -51,52 +191,75 @@ void AdmissionPolicy::configure_tenants(const TenantSet& set) {
     throw std::invalid_argument(
         "AdmissionPolicy::configure_tenants: duplicate tenant ids");
   }
+  const std::vector<std::size_t> outgoing = std::move(slot_ids_);
   slot_ids_ = set.ids;
   weights_.assign(count, 1.0);
   for (std::size_t t = 0; t < count && t < set.weights.size(); ++t) {
     if (set.weights[t] > 0.0) weights_[t] = set.weights[t];
   }
   service_.assign(count, 0.0);
+  explicitly_configured_ = true;
   if (set.preserve_service) {
     for (std::size_t t = 0; t < count; ++t) {
       const auto it = retained_service_.find(set.ids[t]);
       if (it != retained_service_.end()) service_[t] = it->second;
     }
   } else {
-    for (std::size_t t = 0; t < count; ++t)
-      retained_service_.erase(set.ids[t]);
+    // A non-preserving reconfigure declares a fresh fairness world: drop
+    // the ledger entries of the new population AND of the outgoing one.
+    // The outgoing erase is what keeps the ledger bounded under slot-count
+    // churn — those ids departed without a retire_tenant, and before this
+    // fix every slot index ever used leaked one entry forever.
+    for (const std::size_t id : outgoing) retained_service_.erase(id);
+    for (const std::size_t id : set.ids) retained_service_.erase(id);
   }
 }
 
 void AdmissionPolicy::retire_tenant(std::size_t id) {
   retained_service_.erase(id);
-  for (auto it = decision_cache_.begin(); it != decision_cache_.end();) {
-    it = std::get<0>(it->first) == id ? decision_cache_.erase(it)
-                                      : std::next(it);
-  }
-  for (auto it = bad_pairs_.begin(); it != bad_pairs_.end();) {
-    it = (it->first.tenant == id || it->second.tenant == id)
-             ? bad_pairs_.erase(it)
-             : std::next(it);
-  }
+  decision_cache_.erase_tenant(id);
+  bad_pairs_.erase(std::remove_if(bad_pairs_.begin(), bad_pairs_.end(),
+                                  [id](const auto& p) {
+                                    return p.first.tenant == id ||
+                                           p.second.tenant == id;
+                                  }),
+                   bad_pairs_.end());
+  bad_pairs_rev_stale_ = true;
 }
 
 void AdmissionPolicy::ensure_tenants(std::size_t count) {
-  if (service_.size() >= count) return;
-  service_.resize(count, 0.0);
-  weights_.resize(count, 1.0);
-  while (slot_ids_.size() < count) slot_ids_.push_back(slot_ids_.size());
+  if (service_.size() == count) return;
+  if (!explicitly_configured_) {
+    // Implicit population (single-tenant and raw multi entry points):
+    // growing preserves accumulated service, shrinking keeps the larger
+    // ledger (slots beyond `count` are simply not visited).
+    if (service_.size() > count) return;
+    service_.resize(count, 0.0);
+    weights_.resize(count, 1.0);
+    while (slot_ids_.size() < count) slot_ids_.push_back(slot_ids_.size());
+    return;
+  }
+  // A population of a DIFFERENT size was explicitly configured and this
+  // caller is not using it: reset to the identity population of `count`.
+  // Without this, a legacy single-tenant call after a larger
+  // configure_tenants inherited the departed configuration's deficits,
+  // weights, and slot->stable-id mapping (and charged tenant 0's work to
+  // whatever job id happened to hold slot 0).
+  service_.assign(count, 0.0);
+  weights_.assign(count, 1.0);
+  slot_ids_.resize(count);
+  for (std::size_t t = 0; t < count; ++t) slot_ids_[t] = t;
+  explicitly_configured_ = false;
 }
 
-std::vector<std::size_t> AdmissionPolicy::tenant_order(
-    std::size_t count) const {
-  std::vector<std::size_t> order(count);
+void AdmissionPolicy::tenant_order(std::size_t count,
+                                   std::vector<std::size_t>& order) const {
+  order.resize(count);
   for (std::size_t t = 0; t < count; ++t) order[t] = t;
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t a, std::size_t b) {
                      return service_[a] < service_[b];
                    });
-  return order;
 }
 
 void AdmissionPolicy::charge(std::size_t tenant, const Candidate& c) {
@@ -127,16 +290,80 @@ std::size_t AdmissionPolicy::recorded_bad_pairs(std::size_t tenant) const {
   return n;
 }
 
+// ---- interference record -------------------------------------------------
+
+void AdmissionPolicy::insert_bad_pair(TenantArenaOp a, TenantArenaOp b) {
+  if (b < a) std::swap(a, b);
+  const auto pair = std::make_pair(a, b);
+  const auto it =
+      std::lower_bound(bad_pairs_.begin(), bad_pairs_.end(), pair);
+  if (it != bad_pairs_.end() && *it == pair) return;
+  bad_pairs_.insert(it, pair);
+  bad_pairs_rev_stale_ = true;
+}
+
+void AdmissionPolicy::stamp_bad_partners(
+    std::size_t id, const std::vector<TenantArenaOp>& running) {
+  if (bad_pairs_rev_stale_) {
+    bad_pairs_rev_.clear();
+    bad_pairs_rev_.reserve(bad_pairs_.size());
+    for (const auto& p : bad_pairs_)
+      bad_pairs_rev_.emplace_back(p.second, p.first);
+    std::sort(bad_pairs_rev_.begin(), bad_pairs_rev_.end());
+    bad_pairs_rev_stale_ = false;
+  }
+  // A pair blocks candidate {id, op} iff its other endpoint is running;
+  // scanning both orientations of the sorted record per RUNNING op visits
+  // each blocking pair exactly once, independent of ready-queue length.
+  const auto stamp_range =
+      [this, id](const std::vector<std::pair<TenantArenaOp, TenantArenaOp>>&
+                     pairs,
+                 const TenantArenaOp& r) {
+        auto it = std::lower_bound(
+            pairs.begin(), pairs.end(), r,
+            [](const std::pair<TenantArenaOp, TenantArenaOp>& p,
+               const TenantArenaOp& key) { return p.first < key; });
+        for (; it != pairs.end() && it->first == r; ++it) {
+          if (it->second.tenant == id) badpair_stamp_[it->second.op] = walk_id_;
+        }
+      };
+  for (const TenantArenaOp& r : running) {
+    if (r.op == kNoArenaOp) continue;
+    stamp_range(bad_pairs_, r);
+    stamp_range(bad_pairs_rev_, r);
+  }
+}
+
+bool AdmissionPolicy::bad_pair_with(
+    const TenantArenaOp& key,
+    const std::vector<TenantArenaOp>& running) const {
+  if (bad_pairs_.empty()) return false;
+  for (const TenantArenaOp& r : running) {
+    if (r.op == kNoArenaOp) continue;
+    const auto pair = key < r ? std::make_pair(key, r)
+                              : std::make_pair(r, key);
+    const auto it =
+        std::lower_bound(bad_pairs_.begin(), bad_pairs_.end(), pair);
+    if (it != bad_pairs_.end() && *it == pair) return true;
+  }
+  return false;
+}
+
 bool AdmissionPolicy::bad_pair_with_running(
     const TenantOpKey& key, const std::vector<RunningOpView>& running) const {
   if (!options_.interference_recorder) return false;
   // Callers pass slot indices; the record is keyed by stable ids.
-  const TenantOpKey mine{stable_id(key.tenant), key.key};
+  const ArenaOp op = lookup_arena(key.key);
+  if (op == kNoArenaOp) return false;  // never interned: never recorded
+  const TenantArenaOp mine{stable_id(key.tenant), op};
   for (const RunningOpView& r : running) {
-    if (bad_pairs_.count(
-            ordered_pair(mine, TenantOpKey{stable_id(r.tenant), r.key}))) {
+    const ArenaOp rop = lookup_arena(r.key);
+    if (rop == kNoArenaOp) continue;
+    const TenantArenaOp other{stable_id(r.tenant), rop};
+    const auto pair = mine < other ? std::make_pair(mine, other)
+                                   : std::make_pair(other, mine);
+    if (std::binary_search(bad_pairs_.begin(), bad_pairs_.end(), pair))
       return true;
-    }
   }
   return false;
 }
@@ -146,10 +373,11 @@ void AdmissionPolicy::record_interference(
   if (!options_.interference_recorder) return;
   // Callers pass slot indices; the record is keyed by stable ids so it
   // follows jobs across tenant-set reconfigurations.
-  const TenantOpKey mine{stable_id(completed.tenant), completed.key};
+  const TenantArenaOp mine{stable_id(completed.tenant),
+                           intern(completed.key)};
   for (const TenantOpKey& other : corunners) {
-    bad_pairs_.insert(
-        ordered_pair(mine, TenantOpKey{stable_id(other.tenant), other.key}));
+    insert_bad_pair(mine,
+                    TenantArenaOp{stable_id(other.tenant), intern(other.key)});
   }
 }
 
@@ -161,83 +389,212 @@ void AdmissionPolicy::record_interference(const OpKey& completed,
   record_interference(TenantOpKey{0, completed}, qualified);
 }
 
+void AdmissionPolicy::resolve_running(
+    const std::vector<RunningOpView>& running, RunningScratch& out) const {
+  out.ops.clear();
+  out.max_remaining = 0.0;
+  for (const RunningOpView& r : running) {
+    out.max_remaining = std::max(out.max_remaining, r.remaining_ms);
+    // The caller's token (handed out with the admission decision) spares
+    // the arena-map lookup; untokened views resolve by key.
+    const ArenaOp op =
+        r.op_token != kNoOpToken ? r.op_token : lookup_arena(r.key);
+    out.ops.push_back(TenantArenaOp{stable_id(r.tenant), op});
+  }
+}
+
+// ---- the Strategy-3 walk -------------------------------------------------
+
+namespace {
+bool position_skipped(const std::vector<std::size_t>& skip, std::size_t pos) {
+  return !skip.empty() &&
+         std::find(skip.begin(), skip.end(), pos) != skip.end();
+}
+}  // namespace
+
 std::optional<AdmissionDecision> AdmissionPolicy::pick_for_tenant(
-    std::size_t tenant, const Graph& g, const std::deque<NodeId>& ready,
-    int idle_cores, const std::vector<RunningOpView>& running,
-    AdmissionStats* stats) {
-  const double ongoing = max_remaining(running);
-  const bool something_running = !running.empty();
+    std::size_t tenant, const GraphBinding& binding, const ReadyQueue& ready,
+    int idle_cores, const RunningScratch& running,
+    const std::vector<std::size_t>& skip, AdmissionStats* stats) {
+  const double ongoing = running.max_remaining;
+  const bool something_running = !running.ops.empty();
+  const bool use_cache = options_.decision_cache && something_running;
+  // Guard bound, and the hot-loop short-circuits: with no recorded bad
+  // pairs or no skip list, those probes can never fire — hoisting the
+  // emptiness checks keeps the failing-scan loop body branch-cheap.
+  const double bound = ongoing * (1.0 + options_.corun_slack);
+  const bool check_pairs = something_running &&
+                           options_.interference_recorder &&
+                           !bad_pairs_.empty();
+  const bool has_skip = !skip.empty();
+  const std::size_t id = stable_id(tenant);
+
+  // Per-walk rejection memo: the snapshot (idle width, running set, bad
+  // pairs, cache) is fixed for the duration of one walk, so two queue
+  // entries with the same arena op id resolve identically — the duplicate
+  // skips the probe via an O(1) stamp indexed by the dense arena id. Nodes
+  // sharing an OpKey share their menu and S2 consolidation, so replaying
+  // guard_rewrites keeps the per-visit stats bit-identical to the
+  // unmemoized walk (bad-paired skips never counted).
+  ++walk_id_;
+  if (reject_stamp_.size() < arena_ids_.size()) {
+    reject_stamp_.resize(arena_ids_.size(), 0);
+    badpair_stamp_.resize(arena_ids_.size(), 0);
+  }
+  // Blocked ops are stamped ONCE up front (O(running × log pairs)), so the
+  // loop pays a single array probe per candidate instead of a bad_pair_with
+  // binary search per visit — on failing scans over a thousand-op queue
+  // that probe dominated the walk.
+  if (check_pairs) stamp_bad_partners(id, running.ops);
 
   for (std::size_t pos = 0; pos < ready.size(); ++pos) {
-    const Node& node = g.node(ready[pos]);
-    const OpKey key = OpKey::of(node);
-
-    if (something_running &&
-        bad_pair_with_running(TenantOpKey{tenant, key}, running))
+    if (has_skip && position_skipped(skip, pos)) continue;
+    const BoundNode& node = binding.nodes[ready[pos]];
+    if (badpair_stamp_[node.op] == walk_id_) continue;
+    if (reject_stamp_[node.op] == walk_id_) {
+      if (stats != nullptr) stats->guard_fallbacks += node.guard_rewrites;
       continue;
+    }
+
+    // O(1) rejection on failing scans: no menu entry can fit fewer cores
+    // than the menu-wide minimum or finish faster than its fastest entry,
+    // and no cache hit can exist either (a hit satisfies the same two
+    // bounds), so this skip is decision- and stats-identical to probing.
+    if (node.min_threads > idle_cores ||
+        (something_running && node.min_time_ms > bound)) {
+      if (stats != nullptr) stats->guard_fallbacks += node.guard_rewrites;
+      reject_stamp_[node.op] = walk_id_;
+      continue;
+    }
 
     // Decision cache: identical (tenant, op, idle width) situations reuse
     // the previous Strategy 3 outcome. Keyed by the stable id so a job's
     // cache follows it across tenant-set reconfigurations.
-    if (options_.decision_cache && something_running) {
-      const auto it = decision_cache_.find({stable_id(tenant), key,
-                                            idle_cores});
-      if (it != decision_cache_.end()) {
-        const Candidate& c = it->second;
-        if (c.threads <= idle_cores &&
-            c.time_ms <= ongoing * (1.0 + options_.corun_slack)) {
-          if (stats != nullptr) ++stats->cache_hits;
-          AdmissionDecision d;
-          d.ready_pos = pos;
-          d.candidate = c;
-          return d;
-        }
+    if (use_cache) {
+      const Candidate* c = decision_cache_.find(id, node.op, idle_cores);
+      if (c != nullptr && c->threads <= idle_cores && c->time_ms <= bound) {
+        if (stats != nullptr) ++stats->cache_hits;
+        AdmissionDecision d;
+        d.ready_pos = pos;
+        d.candidate = *c;
+        d.op_token = node.op;
+        return d;
       }
     }
 
-    auto cands = controller_.candidates_for(node, options_.num_candidates);
-    // Strategy 2 guard: a candidate too far from the consolidated width is
-    // replaced by the consolidated choice.
-    if ((options_.strategies & kStrategy2) != 0) {
-      const Candidate s2 = controller_.choice_for(node);
-      const int delta = std::max(
-          options_.s2_delta_guard,
-          static_cast<int>(options_.s2_guard_relative *
-                           static_cast<double>(s2.threads)));
-      for (Candidate& c : cands) {
-        if (std::abs(c.threads - s2.threads) > delta) {
-          c = s2;
-          if (stats != nullptr) ++stats->guard_fallbacks;
-        }
-      }
-    }
+    if (stats != nullptr) stats->guard_fallbacks += node.guard_rewrites;
 
     // Admissible candidates: fit the idle cores; when co-running, do not
     // outlast the ongoing ops. Pick the fewest-threads admissible one —
     // freeing cores for more co-runners, the paper's "maximize operations
     // co-running" tie-break.
     const Candidate* best = nullptr;
-    for (const Candidate& c : cands) {
+    const Candidate* menu = binding.menu.data() + node.menu_begin;
+    for (std::uint32_t i = 0; i < node.menu_count; ++i) {
+      const Candidate& c = menu[i];
       if (c.threads > idle_cores) continue;
-      if (something_running &&
-          c.time_ms > ongoing * (1.0 + options_.corun_slack))
-        continue;
+      if (something_running && c.time_ms > bound) continue;
       if (best == nullptr || c.threads < best->threads) best = &c;
     }
     if (best != nullptr) {
       AdmissionDecision d;
       d.ready_pos = pos;
       d.candidate = *best;
-      if (options_.decision_cache && something_running)
-        decision_cache_[{stable_id(tenant), key, idle_cores}] = d.candidate;
+      d.op_token = node.op;
+      if (use_cache) decision_cache_.insert(id, node.op, idle_cores, *best);
       return d;
     }
+    reject_stamp_[node.op] = walk_id_;
   }
   return std::nullopt;
 }
 
+std::optional<MultiAdmissionDecision> AdmissionPolicy::pick_once(
+    const std::vector<TenantReadyView>& tenants, int idle_cores,
+    const RunningScratch& running,
+    const std::vector<std::vector<std::size_t>>& skips,
+    std::vector<AdmissionStats>* stats) {
+  tenant_order(tenants.size(), order_scratch_);
+  static const std::vector<std::size_t> kNoSkip;
+
+  const bool s3 = (options_.strategies & kStrategy3) != 0;
+  if (!s3) {
+    // Serial mode (Strategies 1-2 only): one op at a time at its chosen
+    // width, like the paper's Figure 3(a) configuration. The deficit order
+    // still arbitrates which tenant's op runs next.
+    if (!running.ops.empty()) return std::nullopt;
+    for (const std::size_t t : order_scratch_) {
+      const ReadyQueue& ready = *tenants[t].ready;
+      const auto& skip = skips.empty() ? kNoSkip : skips[t];
+      for (std::size_t pos = 0; pos < ready.size(); ++pos) {
+        if (position_skipped(skip, pos)) continue;
+        const GraphBinding& b = bind(t, *tenants[t].graph);
+        MultiAdmissionDecision d;
+        d.tenant = t;
+        d.decision.ready_pos = pos;
+        d.decision.candidate = b.nodes[ready[pos]].choice;
+        d.decision.candidate.threads =
+            std::min(d.decision.candidate.threads, idle_cores);
+        d.decision.op_token = b.nodes[ready[pos]].op;
+        charge(t, d.decision.candidate);
+        return d;
+      }
+    }
+    return std::nullopt;
+  }
+
+  for (const std::size_t t : order_scratch_) {
+    if (tenants[t].ready->empty()) continue;
+    const GraphBinding& b = bind(t, *tenants[t].graph);
+    auto pick = pick_for_tenant(t, b, *tenants[t].ready, idle_cores, running,
+                                skips.empty() ? kNoSkip : skips[t],
+                                stats != nullptr ? &(*stats)[t] : nullptr);
+    if (pick.has_value()) {
+      charge(t, pick->candidate);
+      return MultiAdmissionDecision{t, *pick};
+    }
+  }
+
+  if (!running.ops.empty()) return std::nullopt;  // wait for a completion
+
+  // Machine empty but nothing "fits" anywhere: the least-served tenant with
+  // ready work runs its most time-consuming op, capped to the idle width.
+  for (const std::size_t t : order_scratch_) {
+    const ReadyQueue& ready = *tenants[t].ready;
+    if (ready.empty()) continue;
+    const GraphBinding& b = bind(t, *tenants[t].graph);
+    const auto& skip = skips.empty() ? kNoSkip : skips[t];
+    std::size_t heavy_pos = 0;
+    double heavy_time = -1.0;
+    bool any = false;
+    for (std::size_t pos = 0; pos < ready.size(); ++pos) {
+      if (position_skipped(skip, pos)) continue;
+      const double time = b.nodes[ready[pos]].predicted_ms;
+      if (time > heavy_time) {
+        heavy_time = time;
+        heavy_pos = pos;
+      }
+      any = true;
+    }
+    if (!any) continue;
+    MultiAdmissionDecision d;
+    d.tenant = t;
+    d.decision.ready_pos = heavy_pos;
+    d.decision.candidate = b.nodes[ready[heavy_pos]].choice;
+    d.decision.candidate.threads =
+        std::min(d.decision.candidate.threads, idle_cores);
+    d.decision.heavy_fallback = true;
+    d.decision.op_token = b.nodes[ready[heavy_pos]].op;
+    charge(t, d.decision.candidate);
+    return d;
+  }
+  return std::nullopt;
+}
+
+// ---- public entry points -------------------------------------------------
+
 std::optional<AdmissionDecision> AdmissionPolicy::next_launch(
-    const Graph& g, const std::deque<NodeId>& ready, int idle_cores,
+    const Graph& g, const ReadyQueue& ready, int idle_cores,
     const std::vector<RunningOpView>& running, AdmissionStats* stats) {
   const TenantReadyView view{&g, &ready};
   std::vector<AdmissionStats> per_tenant;
@@ -258,73 +615,59 @@ std::optional<MultiAdmissionDecision> AdmissionPolicy::next_launch_multi(
   if (tenants.empty() || idle_cores <= 0) return std::nullopt;
   if (stats != nullptr) stats->resize(tenants.size());
   ensure_tenants(tenants.size());
-  const auto order = tenant_order(tenants.size());
+  resolve_running(running, running_scratch_);
+  // No skips: positions are queue positions verbatim.
+  return pick_once(tenants, idle_cores, running_scratch_, {}, stats);
+}
 
-  const bool s3 = (options_.strategies & kStrategy3) != 0;
-  if (!s3) {
-    // Serial mode (Strategies 1-2 only): one op at a time at its chosen
-    // width, like the paper's Figure 3(a) configuration. The deficit order
-    // still arbitrates which tenant's op runs next.
-    if (!running.empty()) return std::nullopt;
-    for (std::size_t t : order) {
-      const std::deque<NodeId>& ready = *tenants[t].ready;
-      if (ready.empty()) continue;
-      MultiAdmissionDecision d;
-      d.tenant = t;
-      d.decision.ready_pos = 0;
-      d.decision.candidate =
-          controller_.choice_for(tenants[t].graph->node(ready.front()));
-      d.decision.candidate.threads =
-          std::min(d.decision.candidate.threads, idle_cores);
-      charge(t, d.decision.candidate);
-      return d;
+std::vector<MultiAdmissionDecision> AdmissionPolicy::next_launch_batch(
+    const std::vector<TenantReadyView>& tenants, int idle_cores,
+    const std::vector<RunningOpView>& running,
+    std::vector<AdmissionStats>* stats, std::size_t max_launches) {
+  std::vector<MultiAdmissionDecision> batch;
+  if (tenants.empty() || idle_cores <= 0 || max_launches == 0) return batch;
+  if (stats != nullptr) stats->resize(tenants.size());
+  ensure_tenants(tenants.size());
+  resolve_running(running, running_scratch_);
+
+  std::vector<std::vector<std::size_t>> picked(tenants.size());
+  int idle = idle_cores;
+  while (batch.size() < max_launches && idle > 0) {
+    auto d = pick_once(tenants, idle, running_scratch_, picked, stats);
+    if (!d.has_value()) break;
+    const std::size_t t = d->tenant;
+    const std::size_t orig = d->decision.ready_pos;
+
+    // Report the position relative to the queue AFTER the earlier picks of
+    // this batch are erased in order (what the caller actually holds).
+    std::size_t shifted = orig;
+    for (const std::size_t p : picked[t]) {
+      if (p < orig) --shifted;
     }
-    return std::nullopt;
-  }
+    picked[t].push_back(orig);
+    MultiAdmissionDecision out = *d;
+    out.decision.ready_pos = shifted;
+    batch.push_back(out);
 
-  for (std::size_t t : order) {
-    if (tenants[t].ready->empty()) continue;
-    auto pick =
-        pick_for_tenant(t, *tenants[t].graph, *tenants[t].ready, idle_cores,
-                        running, stats != nullptr ? &(*stats)[t] : nullptr);
-    if (pick.has_value()) {
-      charge(t, pick->candidate);
-      return MultiAdmissionDecision{t, *pick};
-    }
+    // Model the pick as launched for the rest of the batch: its width
+    // leaves the idle pool and it joins the running snapshot at its
+    // predicted duration (exactly what the executor's next views() call
+    // would report, minus the negligible elapsed decay within one wake).
+    const Candidate& c = out.decision.candidate;
+    idle -= std::max(1, c.threads);
+    const GraphBinding& b = bind(t, *tenants[t].graph);
+    const BoundNode& node = b.nodes[(*tenants[t].ready)[orig]];
+    const double remaining = c.time_ms > 0.0 ? c.time_ms : node.predicted_ms;
+    running_scratch_.ops.push_back(
+        TenantArenaOp{stable_id(t), node.op});
+    running_scratch_.max_remaining =
+        std::max(running_scratch_.max_remaining, remaining);
   }
-
-  if (!running.empty()) return std::nullopt;  // wait for a completion
-
-  // Machine empty but nothing "fits" anywhere: the least-served tenant with
-  // ready work runs its most time-consuming op, capped to the idle width.
-  for (std::size_t t : order) {
-    const std::deque<NodeId>& ready = *tenants[t].ready;
-    if (ready.empty()) continue;
-    const Graph& g = *tenants[t].graph;
-    std::size_t heavy_pos = 0;
-    double heavy_time = -1.0;
-    for (std::size_t pos = 0; pos < ready.size(); ++pos) {
-      const double time = controller_.predicted_time_ms(g.node(ready[pos]));
-      if (time > heavy_time) {
-        heavy_time = time;
-        heavy_pos = pos;
-      }
-    }
-    MultiAdmissionDecision d;
-    d.tenant = t;
-    d.decision.ready_pos = heavy_pos;
-    d.decision.candidate = controller_.choice_for(g.node(ready[heavy_pos]));
-    d.decision.candidate.threads =
-        std::min(d.decision.candidate.threads, idle_cores);
-    d.decision.heavy_fallback = true;
-    charge(t, d.decision.candidate);
-    return d;
-  }
-  return std::nullopt;
+  return batch;
 }
 
 std::optional<AdmissionDecision> AdmissionPolicy::next_overlay(
-    const Graph& g, const std::deque<NodeId>& ready, int eligible_cores,
+    const Graph& g, const ReadyQueue& ready, int eligible_cores,
     const std::vector<RunningOpView>& running) {
   const TenantReadyView view{&g, &ready};
   const auto d = next_overlay_multi({view}, eligible_cores, running);
@@ -338,51 +681,71 @@ std::optional<MultiAdmissionDecision> AdmissionPolicy::next_overlay_multi(
   if (tenants.empty() || eligible_cores <= 0) return std::nullopt;
   if ((options_.strategies & kStrategy4) == 0) return std::nullopt;
   ensure_tenants(tenants.size());
+  resolve_running(running, running_scratch_);
+  tenant_order(tenants.size(), order_scratch_);
 
-  // Globally smallest ready op by serial execution time. Visiting tenants
-  // in deficit order with a strict < makes ties go to the least-served
-  // tenant, deterministically.
-  std::size_t small_tenant = 0, small_pos = 0;
-  double small_time = std::numeric_limits<double>::infinity();
-  bool found = false;
-  for (std::size_t t : tenant_order(tenants.size())) {
-    const std::deque<NodeId>& ready = *tenants[t].ready;
-    for (std::size_t pos = 0; pos < ready.size(); ++pos) {
-      const double time =
-          controller_.serial_time_ms(tenants[t].graph->node(ready[pos]));
-      if (time < small_time) {
-        small_time = time;
-        small_tenant = t;
-        small_pos = pos;
-        found = true;
+  // Smallest-first with a bad-pair skip: a candidate that forms a recorded
+  // bad pair with a running op is passed over and the next-smallest
+  // considered (abandoning the whole overlay round for one blocked pair
+  // wastes the spare contexts on every other ready op). The scan repeats
+  // excluding skipped entries — bad pairs are rare, so the second scan is
+  // the uncommon case. Visiting tenants in deficit order with a strict <
+  // makes ties go to the least-served tenant, deterministically.
+  std::vector<std::pair<std::size_t, std::size_t>> blocked;
+  for (;;) {
+    std::size_t small_tenant = 0, small_pos = 0;
+    double small_time = std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (const std::size_t t : order_scratch_) {
+      const ReadyQueue& ready = *tenants[t].ready;
+      if (ready.empty()) continue;
+      const GraphBinding& b = bind(t, *tenants[t].graph);
+      for (std::size_t pos = 0; pos < ready.size(); ++pos) {
+        if (!blocked.empty() &&
+            std::find(blocked.begin(), blocked.end(),
+                      std::make_pair(t, pos)) != blocked.end())
+          continue;
+        const double time = b.nodes[ready[pos]].serial_ms;
+        if (time < small_time) {
+          small_time = time;
+          small_tenant = t;
+          small_pos = pos;
+          found = true;
+        }
       }
     }
+    if (!found) return std::nullopt;
+
+    const GraphBinding& b = bindings_[small_tenant];
+    const BoundNode& node =
+        b.nodes[(*tenants[small_tenant].ready)[small_pos]];
+    if (options_.interference_recorder &&
+        bad_pair_with(TenantArenaOp{stable_id(small_tenant), node.op},
+                      running_scratch_.ops)) {
+      blocked.emplace_back(small_tenant, small_pos);
+      continue;
+    }
+
+    MultiAdmissionDecision d;
+    d.tenant = small_tenant;
+    d.decision.ready_pos = small_pos;
+    d.decision.candidate = node.choice;
+    d.decision.candidate.threads =
+        std::min(d.decision.candidate.threads, eligible_cores);
+    d.decision.op_token = node.op;
+
+    // Throughput guard also applies to overlays: an overlay that would
+    // outlast everything it rides on would delay the step.
+    const double overlay_est =
+        d.decision.candidate.time_ms * kOverlaySlowdownBound;
+    if (overlay_est >
+        running_scratch_.max_remaining * (1.0 + options_.corun_slack))
+      return std::nullopt;
+    // No service charge: overlays consume spare hyper-thread contexts that
+    // cost the other tenants nothing, so they must not move their rider
+    // down the primary-core deficit order.
+    return d;
   }
-  if (!found) return std::nullopt;
-
-  const Node& node = tenants[small_tenant].graph->node(
-      (*tenants[small_tenant].ready)[small_pos]);
-  if (bad_pair_with_running(TenantOpKey{small_tenant, OpKey::of(node)},
-                            running))
-    return std::nullopt;
-
-  MultiAdmissionDecision d;
-  d.tenant = small_tenant;
-  d.decision.ready_pos = small_pos;
-  d.decision.candidate = controller_.choice_for(node);
-  d.decision.candidate.threads =
-      std::min(d.decision.candidate.threads, eligible_cores);
-
-  // Throughput guard also applies to overlays: an overlay that would
-  // outlast everything it rides on would delay the step.
-  const double overlay_est =
-      d.decision.candidate.time_ms * kOverlaySlowdownBound;
-  if (overlay_est > max_remaining(running) * (1.0 + options_.corun_slack))
-    return std::nullopt;
-  // No service charge: overlays consume spare hyper-thread contexts that
-  // cost the other tenants nothing, so they must not move their rider down
-  // the primary-core deficit order.
-  return d;
 }
 
 }  // namespace opsched

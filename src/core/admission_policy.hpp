@@ -11,6 +11,18 @@
 // policy only ever compares them against each other (Strategy 3's
 // throughput guard is scale-free).
 //
+// Hot path: every structure the per-launch walk touches is flat and
+// arena-indexed. Each distinct OpKey is interned once into a dense 32-bit
+// arena id; per (slot, graph) the policy binds a node-indexed array carrying
+// the arena id, the S1/S2 choice, the Strategy-3 candidate menu (with the S2
+// guard pre-applied), and the predicted/serial times — so the walk over a
+// thousand-op ready queue does no hashing and no map lookups, just indexed
+// loads. The decision cache is an open-addressed flat table keyed by
+// (stable tenant id, arena op, idle width); the interference record is a
+// sorted flat vector probed by binary search. Bindings are invalidated by
+// the controller's build generation, so re-profiling or rebuild_decisions
+// is picked up exactly as if everything were recomputed per call.
+//
 // Multi-tenancy: the policy admits ops from N independent ready queues (one
 // per co-located training job) through the same Strategy 3 candidate walk,
 // visiting tenants in weighted-deficit order — the tenant with the least
@@ -22,14 +34,13 @@
 // of the multi-tenant walk, so the two cannot diverge.
 #pragma once
 
-#include <deque>
+#include <cstdint>
 #include <map>
 #include <optional>
-#include <set>
-#include <tuple>
 #include <vector>
 
 #include "core/concurrency_controller.hpp"
+#include "core/ready_queue.hpp"
 
 namespace opsched {
 
@@ -46,19 +57,28 @@ struct TenantOpKey {
 /// (The Strategy-4 overlay exemption from the interference recorder is
 /// applied by the executors at completion-record time, so the policy does
 /// not need to know which running ops are overlays.)
+/// "No token" sentinel for RunningOpView::op_token /
+/// AdmissionDecision::op_token.
+inline constexpr std::uint32_t kNoOpToken = 0xFFFFFFFFu;
+
 struct RunningOpView {
   OpKey key;
   /// Predicted time until completion, on the controller's timescale.
   double remaining_ms = 0.0;
   /// Tenant that launched the op (0 on the single-tenant paths).
   std::size_t tenant = 0;
+  /// Dense policy-arena id of `key`, when the caller kept the one its
+  /// admission decision returned (AdmissionDecision::op_token). Passing it
+  /// back keeps per-wake snapshot resolution off the arena map — the
+  /// policy falls back to resolving `key` when it is kNoOpToken.
+  std::uint32_t op_token = kNoOpToken;
 };
 
 /// One tenant's scheduling inputs for the multi-tenant pick: its graph and
 /// its private ready queue. Both are borrowed for the call.
 struct TenantReadyView {
   const Graph* graph = nullptr;
-  const std::deque<NodeId>* ready = nullptr;
+  const ReadyQueue* ready = nullptr;
 };
 
 /// Tenant population of one co-located step, with STABLE identities. The
@@ -96,12 +116,17 @@ struct AdmissionStats {
 
 /// One admitted launch: which ready-queue entry to run and how.
 struct AdmissionDecision {
-  /// Index into the ready deque passed to the picker.
+  /// Index into the ready queue passed to the picker. For batched picks
+  /// this is the position AFTER the preceding decisions of the same batch
+  /// have been applied (erased) in order.
   std::size_t ready_pos = 0;
   Candidate candidate;
   /// True when the machine was empty and nothing fit: the most
   /// time-consuming ready op runs, capped to the idle width.
   bool heavy_fallback = false;
+  /// Dense policy-arena id of the picked op; hand it back via
+  /// RunningOpView::op_token while the op runs to spare the arena lookup.
+  std::uint32_t op_token = kNoOpToken;
 };
 
 /// One admitted launch of the multi-tenant walk: which tenant's queue it
@@ -159,8 +184,9 @@ class AdmissionPolicy {
   /// `running` snapshots the in-flight ops. Stats (cache hits, Strategy-2
   /// guard fallbacks) accumulate into `stats` when non-null.
   std::optional<AdmissionDecision> next_launch(
-      const Graph& g, const std::deque<NodeId>& ready, int idle_cores,
-      const std::vector<RunningOpView>& running, AdmissionStats* stats);
+      const Graph& g, const ReadyQueue& ready, int idle_cores,
+      const std::vector<RunningOpView>& running,
+      AdmissionStats* stats = nullptr);
 
   /// The multi-tenant form of next_launch: visits tenants in
   /// weighted-deficit order (least accumulated weighted service first) and
@@ -174,20 +200,40 @@ class AdmissionPolicy {
   std::optional<MultiAdmissionDecision> next_launch_multi(
       const std::vector<TenantReadyView>& tenants, int idle_cores,
       const std::vector<RunningOpView>& running,
-      std::vector<AdmissionStats>* stats);
+      std::vector<AdmissionStats>* stats = nullptr);
+
+  /// Batched admission for completion-driven executors: up to
+  /// `max_launches` admissible launches decided against ONE machine
+  /// snapshot, amortizing the per-wake decision cost. Decision i models the
+  /// preceding i-1 picks as already launched (idle cores shrink, the picks
+  /// join the running snapshot at their predicted duration) and reports its
+  /// ready_pos relative to the queue AFTER those picks are erased — apply
+  /// the batch in order. Each pick charges the fairness ledger exactly as
+  /// the one-at-a-time walk does; max_launches == 1 is bit-identical to
+  /// next_launch_multi. The decision stream an executor sees differs from
+  /// calling next_launch_multi per launch only through the snapshot
+  /// staleness within a batch — which can never change numerics, only
+  /// schedule shape (the determinism contract).
+  std::vector<MultiAdmissionDecision> next_launch_batch(
+      const std::vector<TenantReadyView>& tenants, int idle_cores,
+      const std::vector<RunningOpView>& running,
+      std::vector<AdmissionStats>* stats, std::size_t max_launches);
 
   /// One Strategy-4 pick: the smallest ready op (by serial time), admitted
   /// onto `eligible_cores` spare hyper-thread contexts if it passes the
   /// interference record and the overlay throughput guard. Returns nullopt
   /// when no overlay should launch this round.
   std::optional<AdmissionDecision> next_overlay(
-      const Graph& g, const std::deque<NodeId>& ready, int eligible_cores,
+      const Graph& g, const ReadyQueue& ready, int eligible_cores,
       const std::vector<RunningOpView>& running);
 
   /// Multi-tenant overlay pick: the globally smallest ready op across every
   /// tenant's queue (overlay slots are scavengers — fairness applies only
   /// to primary cores, so overlays are neither arbitrated by nor charged to
-  /// the service ledger; ties go to the least-served tenant).
+  /// the service ledger; ties go to the least-served tenant). A smallest op
+  /// that forms a recorded bad pair with a running op is skipped and the
+  /// next-smallest considered, until a pairable candidate faces the
+  /// throughput guard.
   std::optional<MultiAdmissionDecision> next_overlay_multi(
       const std::vector<TenantReadyView>& tenants, int eligible_cores,
       const std::vector<RunningOpView>& running);
@@ -227,53 +273,202 @@ class AdmissionPolicy {
   /// unknown ids). Survives reconfigurations until retire_tenant(id).
   double service_of(std::size_t id) const;
 
+  /// Live decision-cache entries. With retire_tenant called on every
+  /// departing id this stays bounded by the resident working set — the
+  /// churn tests assert it.
+  std::size_t decision_cache_entries() const noexcept {
+    return decision_cache_.size();
+  }
+  /// Stable ids with a retained fairness-ledger entry (same bound).
+  std::size_t retained_tenants() const noexcept {
+    return retained_service_.size();
+  }
+  /// Distinct OpKeys interned so far (bounded by distinct op shapes ever
+  /// seen, NOT by tenant count — shared across tenants by design).
+  std::size_t arena_size() const noexcept { return arena_ids_.size(); }
+
   /// Clears learned state (decision cache + interference record).
   void reset_learning();
 
   const RuntimeOptions& options() const noexcept { return options_; }
 
  private:
+  /// Dense arena id of one interned OpKey.
+  using ArenaOp = std::uint32_t;
+  static constexpr ArenaOp kNoArenaOp = 0xFFFFFFFFu;
+
+  /// One endpoint of a learned-state fact: (stable tenant id, arena op).
+  struct TenantArenaOp {
+    std::size_t tenant = 0;
+    ArenaOp op = kNoArenaOp;
+    auto operator<=>(const TenantArenaOp&) const = default;
+  };
+
+  /// Per-node record of one graph binding: everything the hot walk needs,
+  /// resolved once per (slot, graph, controller generation).
+  struct BoundNode {
+    ArenaOp op = kNoArenaOp;
+    std::uint32_t menu_begin = 0;   // into GraphBinding::menu
+    std::uint32_t menu_count = 0;
+    /// Strategy-2 guard rewrites baked into the menu; added to the caller's
+    /// guard_fallbacks stat each time the walk evaluates this node's menu,
+    /// reproducing the per-visit accounting of the unbound implementation.
+    std::uint32_t guard_rewrites = 0;
+    Candidate choice;               // S1/S2 solo decision
+    double predicted_ms = 0.0;
+    double serial_ms = 0.0;
+    /// Menu-wide minima, for O(1) rejection on the walk's failing scans: if
+    /// min_threads exceeds the idle width, or min_time_ms outlasts the
+    /// guard bound, NO menu entry can be admissible.
+    int min_threads = 0;
+    double min_time_ms = 0.0;
+  };
+
+  /// One slot's bound graph: node-id-indexed records plus the concatenated
+  /// candidate menus.
+  struct GraphBinding {
+    const Graph* graph = nullptr;
+    std::uint64_t generation = 0;  // controller build generation at bind
+    std::vector<BoundNode> nodes;
+    std::vector<Candidate> menu;
+  };
+
+  /// Open-addressed flat decision cache keyed by (stable tenant id, arena
+  /// op, idle width). Power-of-two capacity, linear probing; entries for a
+  /// retiring tenant are dropped by rebuild (retirement is rare).
+  class DecisionCache {
+   public:
+    const Candidate* find(std::size_t tenant, ArenaOp op, int idle) const;
+    void insert(std::size_t tenant, ArenaOp op, int idle, const Candidate& c);
+    void erase_tenant(std::size_t tenant);
+    void clear();
+    std::size_t size() const noexcept { return count_; }
+
+   private:
+    struct Entry {
+      std::size_t tenant = 0;
+      ArenaOp op = kNoArenaOp;  // kNoArenaOp marks an empty slot
+      int idle = 0;
+      Candidate value;
+    };
+    static std::size_t hash(std::size_t tenant, ArenaOp op, int idle);
+    void grow();
+
+    std::vector<Entry> slots_;
+    std::size_t count_ = 0;
+  };
+
   /// Stable id of slot `slot` (identity when no TenantSet was configured).
   /// Every learned-state touch goes through this, so slot-indexed callers
   /// behave exactly as before while TenantSet callers get id-keyed state.
   std::size_t stable_id(std::size_t slot) const {
     return slot < slot_ids_.size() ? slot_ids_[slot] : slot;
   }
-  /// Grows the fairness ledger to cover `count` tenants without resetting
-  /// accumulated service (the single-tenant paths use this).
+  /// Aligns the fairness ledger with a caller that skipped
+  /// configure_tenants (the single-tenant and raw multi entry points).
+  /// Growing an implicit population preserves accumulated service; any
+  /// size mismatch against an EXPLICITLY configured population resets to
+  /// the identity population of `count` — a legacy call must never inherit
+  /// a departed configuration's deficits, weights, or slot→id mapping.
   void ensure_tenants(std::size_t count);
   /// Tenant visit order: ascending accumulated weighted service, ties by
-  /// tenant index (deterministic).
-  std::vector<std::size_t> tenant_order(std::size_t count) const;
+  /// tenant index (deterministic). Fills the reusable scratch vector.
+  void tenant_order(std::size_t count, std::vector<std::size_t>& order) const;
   /// Adds one launch's weighted cost to the tenant's service ledger.
   void charge(std::size_t tenant, const Candidate& c);
+
+  /// Interns `key`, assigning the next dense arena id on first sight.
+  ArenaOp intern(const OpKey& key);
+  /// Arena id of `key` if already interned, else kNoArenaOp (const paths).
+  ArenaOp lookup_arena(const OpKey& key) const;
+  /// (Re)binds slot `t` to `g` if the cached binding is for a different
+  /// graph or a stale controller generation; returns the live binding.
+  const GraphBinding& bind(std::size_t t, const Graph& g);
+
+  /// Running snapshot resolved to (stable id, arena op) plus the remaining
+  /// maximum — the form every bad-pair probe and throughput guard consumes.
+  struct RunningScratch {
+    std::vector<TenantArenaOp> ops;
+    double max_remaining = 0.0;
+  };
+  void resolve_running(const std::vector<RunningOpView>& running,
+                       RunningScratch& out) const;
+
+  bool bad_pair_with(const TenantArenaOp& key,
+                     const std::vector<TenantArenaOp>& running) const;
+  void insert_bad_pair(TenantArenaOp a, TenantArenaOp b);
+  /// Stamps badpair_stamp_[op] = walk_id_ for every op that tenant `id`
+  /// may not co-run beside the resolved running set — the walk then skips
+  /// those ops with the stamp probe it already does, instead of paying a
+  /// bad_pair_with binary search per visited candidate.
+  void stamp_bad_partners(std::size_t id,
+                          const std::vector<TenantArenaOp>& running);
+
   /// The Strategy-3 candidate walk over one tenant's queue (no heavy
-  /// fallback; that is the caller's cross-tenant decision).
+  /// fallback; that is the caller's cross-tenant decision). `skip` lists
+  /// the ORIGINAL queue positions already picked earlier in the current
+  /// batch (empty for single picks); positions in it are passed over. The
+  /// returned ready_pos is the ORIGINAL queue position — next_launch_batch
+  /// shifts it past the earlier picks before handing it to the caller.
   std::optional<AdmissionDecision> pick_for_tenant(
-      std::size_t tenant, const Graph& g, const std::deque<NodeId>& ready,
-      int idle_cores, const std::vector<RunningOpView>& running,
-      AdmissionStats* stats);
+      std::size_t tenant, const GraphBinding& binding,
+      const ReadyQueue& ready, int idle_cores, const RunningScratch& running,
+      const std::vector<std::size_t>& skip, AdmissionStats* stats);
+
+  /// One pick of the batch walk (the shared body of next_launch_multi and
+  /// next_launch_batch).
+  std::optional<MultiAdmissionDecision> pick_once(
+      const std::vector<TenantReadyView>& tenants, int idle_cores,
+      const RunningScratch& running,
+      const std::vector<std::vector<std::size_t>>& skips,
+      std::vector<AdmissionStats>* stats);
 
   const ConcurrencyController& controller_;
   RuntimeOptions options_;
 
-  /// Interference recorder: unordered tenant-qualified op-key pairs seen to
-  /// co-run badly. Tenant fields hold STABLE ids (slot indices for the
-  /// legacy entry points, where the mapping is the identity).
-  std::set<std::pair<TenantOpKey, TenantOpKey>> bad_pairs_;
-  /// Decision cache: (stable tenant id, op key, idle-core count) -> chosen
-  /// candidate.
-  std::map<std::tuple<std::size_t, OpKey, int>, Candidate> decision_cache_;
+  /// OpKey -> dense arena id. Grows with distinct op shapes ever seen
+  /// (survives reset_learning — ids must stay stable because bindings and
+  /// learned state reference them).
+  std::map<OpKey, ArenaOp> arena_ids_;
+  /// Per-slot graph bindings (hot-path node records).
+  std::vector<GraphBinding> bindings_;
+
+  /// Interference recorder: unordered tenant-qualified op pairs seen to
+  /// co-run badly, stored ordered (first <= second) in a sorted flat
+  /// vector probed by binary search. Tenant fields hold STABLE ids.
+  std::vector<std::pair<TenantArenaOp, TenantArenaOp>> bad_pairs_;
+  /// bad_pairs_ with endpoints flipped, sorted — gives stamp_bad_partners
+  /// a contiguous range per running op for the pairs where the runner is
+  /// the SECOND endpoint. Rebuilt lazily after recorder mutations
+  /// (insertions are rare next to walk visits).
+  std::vector<std::pair<TenantArenaOp, TenantArenaOp>> bad_pairs_rev_;
+  bool bad_pairs_rev_stale_ = false;
+  DecisionCache decision_cache_;
+
   /// Fairness ledger: accumulated weighted service and weight per SLOT for
   /// the current step's population.
   std::vector<double> service_;
   std::vector<double> weights_;
   /// Stable id per slot (empty/identity for the legacy entry points).
   std::vector<std::size_t> slot_ids_;
+  /// The current population came from configure_tenants — a later implicit
+  /// ensure_tenants of a different size must reset rather than inherit it.
+  bool explicitly_configured_ = false;
   /// Id-keyed service carried across reconfigurations (TenantSet callers
-  /// with preserve_service). charge() mirrors into this; retire_tenant
-  /// erases.
+  /// with preserve_service). charge() mirrors into this; retire_tenant and
+  /// non-preserving reconfigures erase.
   std::map<std::size_t, double> retained_service_;
+
+  // Reusable per-call scratch (the hot path allocates nothing in steady
+  // state).
+  std::vector<std::size_t> order_scratch_;
+  RunningScratch running_scratch_;
+  /// Per-walk rejection memos (see pick_for_tenant): stamp[op] == walk_id_
+  /// marks an arena op already proven inadmissible / bad-paired under the
+  /// current snapshot. Arena-id-indexed for O(1) probes; never shrinks.
+  std::vector<std::uint64_t> reject_stamp_;
+  std::vector<std::uint64_t> badpair_stamp_;
+  std::uint64_t walk_id_ = 0;
 };
 
 }  // namespace opsched

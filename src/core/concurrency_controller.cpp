@@ -17,6 +17,7 @@ void ConcurrencyController::build(const Graph& g) {
 }
 
 void ConcurrencyController::build(const std::vector<const Graph*>& graphs) {
+  ++generation_;
   per_kind_.clear();
   per_key_.clear();
 

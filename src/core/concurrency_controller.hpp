@@ -50,6 +50,11 @@ class ConcurrencyController {
 
   const RuntimeOptions& options() const noexcept { return options_; }
 
+  /// Monotonic build counter, bumped by every build(). Consumers that cache
+  /// derived decisions (AdmissionPolicy's per-graph bindings) compare it to
+  /// detect that a re-profile/rebuild invalidated what they precomputed.
+  std::uint64_t generation() const noexcept { return generation_; }
+
  private:
   Candidate default_choice() const;
 
@@ -59,6 +64,7 @@ class ConcurrencyController {
   std::map<OpKind, Candidate> per_kind_;
   /// Per-key decision (Strategy 1, also the base for Strategy 2 lookups).
   std::map<OpKey, Candidate> per_key_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace opsched

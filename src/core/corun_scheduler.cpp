@@ -24,7 +24,7 @@ std::vector<RunningOpView> CorunScheduler::running_views(
 
 bool CorunScheduler::schedule_round(
     const std::vector<const Graph*>& graphs, SimMachine& machine,
-    std::vector<std::deque<NodeId>>& ready,
+    std::vector<ReadyQueue>& ready,
     const std::vector<TenantReadyView>& tenant_views,
     std::vector<StepResult>& stats) {
   const bool s4 = (options_.strategies & kStrategy4) != 0;
@@ -59,9 +59,7 @@ bool CorunScheduler::schedule_round(
 
     const Node& node =
         graphs[tenant]->node(ready[tenant][decision->decision.ready_pos]);
-    ready[tenant].erase(
-        ready[tenant].begin() +
-        static_cast<std::ptrdiff_t>(decision->decision.ready_pos));
+    ready[tenant].erase(decision->decision.ready_pos);
     const bool corun = !machine.quiescent();
     const Candidate& c = decision->decision.candidate;
     const auto id = machine.launch(
@@ -115,9 +113,7 @@ bool CorunScheduler::schedule_round(
 
       const Node& node =
           graphs[tenant]->node(ready[tenant][decision->decision.ready_pos]);
-      ready[tenant].erase(
-          ready[tenant].begin() +
-          static_cast<std::ptrdiff_t>(decision->decision.ready_pos));
+      ready[tenant].erase(decision->decision.ready_pos);
       const Candidate& c = decision->decision.candidate;
       const auto id = machine.launch(
           node, c.threads, c.mode,
@@ -179,7 +175,7 @@ std::vector<StepResult> CorunScheduler::run_step_multi(
   std::vector<StepResult> results(tenants);
   std::vector<ReadyTracker> trackers;
   trackers.reserve(tenants);
-  std::vector<std::deque<NodeId>> ready(tenants);
+  std::vector<ReadyQueue> ready(tenants);
   std::vector<TenantReadyView> tenant_views(tenants);
   std::size_t remaining_total = 0;
   for (std::size_t t = 0; t < tenants; ++t) {

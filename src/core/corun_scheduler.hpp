@@ -30,7 +30,6 @@
 // identically by construction.
 #pragma once
 
-#include <deque>
 #include <map>
 #include <vector>
 
@@ -63,6 +62,11 @@ struct StepResult {
   /// metrics; time_ms is the tenant's makespan, which overlaps with other
   /// tenants'.
   double service_ms = 0.0;
+  /// Host executors only: wall time the dispatcher spent INSIDE admission
+  /// decisions this step (building running views + policy calls), i.e. the
+  /// scheduler overhead the micro_dispatch bench divides by time_ms. 0.0 on
+  /// the simulated path, whose decisions take no virtual time.
+  double sched_ms = 0.0;
 };
 
 /// Lifetime: the scheduler keeps a reference to `controller`, which must
@@ -139,7 +143,7 @@ class CorunScheduler {
   /// ops. Returns true if at least one launch happened.
   bool schedule_round(const std::vector<const Graph*>& graphs,
                       SimMachine& machine,
-                      std::vector<std::deque<NodeId>>& ready,
+                      std::vector<ReadyQueue>& ready,
                       const std::vector<TenantReadyView>& tenant_views,
                       std::vector<StepResult>& stats);
 

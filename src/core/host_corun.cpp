@@ -1,7 +1,9 @@
 #include "core/host_corun.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
@@ -40,6 +42,68 @@ void finalize_step(StepResult& stats, double time_ms,
   stats.checksum = program.step_checksum();
 }
 
+/// Sharded completion posting: one cache-line-aligned slot per launch lane,
+/// so launcher threads finishing concurrently each write their own line and
+/// never contend a shared mutex/deque. A lane has at most one op in flight
+/// (its cores stay busy until the dispatcher consumes the completion), so a
+/// slot is written at most once between reads by construction.
+///
+/// Wakeup is a Dekker handshake on (posted_, sleeping_): posters bump
+/// posted_ then check whether the dispatcher announced it was going to
+/// sleep; the dispatcher announces, then re-checks posted_ under the mutex
+/// before actually sleeping. Both sides use seq_cst so at least one of them
+/// observes the other — the mutex is only ever touched on the empty-board
+/// edge, never on the per-completion fast path.
+class CompletionBoard {
+ public:
+  explicit CompletionBoard(std::size_t lanes) : slots_(lanes) {}
+
+  /// Launcher side. Wait-free except when the dispatcher is asleep.
+  void post(std::size_t lane, double end_ms) {
+    Slot& s = slots_[lane];
+    s.end_ms = end_ms;
+    s.full.store(true, std::memory_order_release);
+    posted_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleeping_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_one();
+    }
+  }
+
+  /// Dispatcher side: blocks until more than `consumed` posts happened.
+  void wait(std::size_t consumed) {
+    if (posted_.load(std::memory_order_seq_cst) > consumed) return;
+    sleeping_.store(true, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return posted_.load(std::memory_order_seq_cst) > consumed;
+      });
+    }
+    sleeping_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Dispatcher side: claims lane's completion if one is posted.
+  bool take(std::size_t lane, double& end_ms) {
+    Slot& s = slots_[lane];
+    if (!s.full.load(std::memory_order_acquire)) return false;
+    end_ms = s.end_ms;
+    s.full.store(false, std::memory_order_relaxed);
+    return true;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<bool> full{false};
+    double end_ms = 0.0;
+  };
+  std::vector<Slot> slots_;
+  std::atomic<std::size_t> posted_{0};
+  std::atomic<bool> sleeping_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
 }  // namespace
 
 HostCorunExecutor::HostCorunExecutor(const ConcurrencyController& controller,
@@ -54,6 +118,11 @@ HostCorunExecutor::HostCorunExecutor(const ConcurrencyController& controller,
       policy_(controller, options) {
   if (cores_ == 0)
     throw std::invalid_argument("HostCorunExecutor: zero-width pool");
+  // Launch lanes: lane 2c runs the primary whose span starts at core c,
+  // lane 2c+1 the overlay riding on core c. The mapping is collision-free
+  // while an op is in flight (its span's lowest core stays busy), and it is
+  // what makes per-lane completion slots and per-lane team caches work.
+  lane_teams_.resize(2 * cores_);
 }
 
 StepResult HostCorunExecutor::run_step(HostGraphProgram& program) {
@@ -77,15 +146,18 @@ std::vector<StepResult> HostCorunExecutor::run_step_multi(
         "mismatch");
   }
   policy_.configure_tenants(set);
+  const std::size_t lanes = 2 * cores_;
+  const std::size_t batch_k = std::max<std::size_t>(1, host_.decision_batch);
 
   std::vector<StepResult> results(tenants);
   const double t0 = wall_time_ms();
+  double sched_total = 0.0;  // dispatcher time inside admission decisions
 
   // Per-tenant dependency state: private tracker and ready queue per
   // training job, one shared machine underneath.
   std::vector<ReadyTracker> trackers;
   trackers.reserve(tenants);
-  std::vector<std::deque<NodeId>> ready(tenants);
+  std::vector<ReadyQueue> ready(tenants);
   std::vector<TenantReadyView> tenant_views(tenants);
   std::size_t remaining_total = 0;
   for (std::size_t t = 0; t < tenants; ++t) {
@@ -97,18 +169,18 @@ std::vector<StepResult> HostCorunExecutor::run_step_multi(
   }
   std::vector<double> last_completion(tenants, t0);
 
-  // Shared with launcher threads; everything else is dispatcher-only.
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::pair<std::uint64_t, double>> completions;  // (id, end wall)
-
-  std::map<std::uint64_t, InFlight> inflight;
+  // Lane-indexed in-flight records (dispatcher-only) and the sharded
+  // completion board (shared with launchers).
+  std::vector<InFlight> inflight(lanes);
+  std::size_t inflight_count = 0;
+  std::size_t consumed = 0;
+  CompletionBoard board(lanes);
   CoreSet primary_busy(cores_);
   CoreSet overlaid(cores_);
 
   // Declared after the state it captures so its destructor joins the
   // launcher threads first.
-  LaunchPad pad(cores_ + 4);
+  LaunchPad pad(lanes);
 
   const auto any_ready = [&] {
     for (const auto& q : ready) {
@@ -124,31 +196,33 @@ std::vector<StepResult> HostCorunExecutor::run_step_multi(
   // other, so a uniform scale error is harmless).
   const auto views = [&] {
     std::vector<RunningOpView> v;
-    v.reserve(inflight.size());
+    v.reserve(inflight_count);
     const double now = wall_time_ms();
     const double calib = calib_ > 0.0 ? calib_ : 1.0;
-    for (const auto& kv : inflight) {
+    for (const InFlight& fl : inflight) {
+      if (!fl.live) continue;
       RunningOpView r;
-      r.key = kv.second.key;
-      r.tenant = kv.second.tenant;
-      const double elapsed_model = (now - kv.second.start_wall_ms) / calib;
-      r.remaining_ms = std::max(0.0, kv.second.predicted_ms - elapsed_model);
+      r.key = fl.key;
+      r.tenant = fl.tenant;
+      r.op_token = fl.op_token;
+      const double elapsed_model = (now - fl.start_wall_ms) / calib;
+      r.remaining_ms = std::max(0.0, fl.predicted_ms - elapsed_model);
       v.push_back(r);
     }
     return v;
   };
 
   // Completion bookkeeping, shared by the async and inline paths.
-  const auto complete = [&](std::uint64_t id, double end_wall) {
-    const auto it = inflight.find(id);
-    InFlight fl = std::move(it->second);
-    inflight.erase(it);
+  const auto complete = [&](std::size_t lane, double end_wall) {
+    InFlight fl = std::move(inflight[lane]);
+    inflight[lane] = InFlight{};
+    --inflight_count;
     StepResult& stats = results[fl.tenant];
 
     const double actual_ms = end_wall - fl.start_wall_ms;
     stats.service_ms += actual_ms;
-    // max, not overwrite: launchers can enqueue completions out of
-    // wall-clock order, and the makespan is the LATEST end this tenant saw.
+    // max, not overwrite: launchers can post completions out of wall-clock
+    // order, and the makespan is the LATEST end this tenant saw.
     last_completion[fl.tenant] =
         std::max(last_completion[fl.tenant], end_wall);
     if (fl.predicted_ms > 0.0) {
@@ -182,7 +256,7 @@ std::vector<StepResult> HostCorunExecutor::run_step_multi(
     }
     stats.trace.record(end_wall - t0, /*is_launch=*/false, fl.node,
                        programs[fl.tenant]->graph().node(fl.node).kind,
-                       static_cast<int>(inflight.size()));
+                       static_cast<int>(inflight_count));
 
     std::vector<NodeId> newly;
     trackers[fl.tenant].mark_done(fl.node, newly);
@@ -192,14 +266,13 @@ std::vector<StepResult> HostCorunExecutor::run_step_multi(
 
   const auto launch = [&](std::size_t tenant, std::size_t ready_pos,
                           const Candidate& c, const CoreSet& span,
-                          bool overlay) {
+                          bool overlay, std::uint32_t op_token) {
     HostGraphProgram& program = *programs[tenant];
     StepResult& stats = results[tenant];
     const NodeId node_id = ready[tenant][ready_pos];
-    ready[tenant].erase(ready[tenant].begin() +
-                        static_cast<std::ptrdiff_t>(ready_pos));
+    ready[tenant].erase(ready_pos);
     const Node& node = program.graph().node(node_id);
-    const std::uint64_t id = next_id_++;
+    const std::size_t lane = 2 * span.lowest() + (overlay ? 1 : 0);
 
     InFlight fl;
     fl.node = node_id;
@@ -207,11 +280,15 @@ std::vector<StepResult> HostCorunExecutor::run_step_multi(
     fl.key = OpKey::of(node);
     fl.cores = span;
     fl.overlay = overlay;
+    fl.live = true;
+    fl.op_token = op_token;
     fl.predicted_ms = c.time_ms > 0.0 ? c.time_ms
                                       : controller_.predicted_time_ms(node);
-    for (const auto& kv : inflight)
-      fl.corunners.push_back(TenantOpKey{kv.second.tenant, kv.second.key});
-    const bool corun = !inflight.empty();
+    for (const InFlight& other : inflight) {
+      if (other.live)
+        fl.corunners.push_back(TenantOpKey{other.tenant, other.key});
+    }
+    const bool corun = inflight_count > 0;
     // A saturating launch — empty machine, op takes every idle core —
     // excludes any co-runner until it completes, so the dispatcher runs it
     // inline: the async detour (launcher handoff + condvar round-trip)
@@ -237,19 +314,33 @@ std::vector<StepResult> HostCorunExecutor::run_step_multi(
     // single-threaded ops. Async width-1 launches keep a pinned pool team:
     // an inline team inherits the launcher thread's (absent) affinity,
     // which would put the op on an OS-chosen core instead of its span.
-    ThreadTeam& team =
-        inline_run && span.count() == 1
-            ? inline1_
-            : pool_.team_pinned(span.count(), span, overlay ? 1 : 0);
+    // The per-lane cache makes the steady state (same op pattern -> same
+    // lane -> same span/width) a pointer compare instead of a pool lookup,
+    // and keeps re-waking the workers already pinned there.
+    ThreadTeam* team;
+    if (inline_run && span.count() == 1) {
+      team = &inline1_;
+    } else {
+      LaneTeam& cached = lane_teams_[lane];
+      const std::size_t slot = overlay ? 1 : 0;
+      if (cached.team != nullptr && cached.width == span.count() &&
+          cached.slot == slot && cached.span == span) {
+        team = cached.team;
+      } else {
+        team = &pool_.team_pinned(span.count(), span, slot);
+        cached = LaneTeam{team, span.count(), slot, span};
+      }
+    }
     if (overlay) {
       overlaid = overlaid.union_with(span);
     } else {
       primary_busy = primary_busy.union_with(span);
     }
     fl.start_wall_ms = wall_time_ms();
-    inflight.emplace(id, std::move(fl));
+    inflight[lane] = std::move(fl);
+    ++inflight_count;
     stats.trace.record(wall_time_ms() - t0, /*is_launch=*/true, node_id,
-                       node.kind, static_cast<int>(inflight.size()));
+                       node.kind, static_cast<int>(inflight_count));
     ++stats.ops_run;
     if (overlay) {
       ++stats.overlay_launches;
@@ -258,18 +349,15 @@ std::vector<StepResult> HostCorunExecutor::run_step_multi(
       ++stats.corun_launches;
     }
     if (inline_run) {
-      program.run_node(node_id, team);
-      complete(id, wall_time_ms());
+      program.run_node(node_id, *team);
+      complete(lane, wall_time_ms());
       return;
     }
-    pad.launch([&program, &mu, &cv, &completions, node_id, id, &team] {
-      program.run_node(node_id, team);
-      const double end = wall_time_ms();
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        completions.emplace_back(id, end);
-      }
-      cv.notify_one();
+    // Same-lane posting: the launcher that owns this span's lane runs the
+    // op and writes its own completion slot — no shared queue anywhere.
+    pad.launch_on(lane, [&program, &board, node_id, lane, team] {
+      program.run_node(node_id, *team);
+      board.post(lane, wall_time_ms());
     });
   };
 
@@ -279,11 +367,16 @@ std::vector<StepResult> HostCorunExecutor::run_step_multi(
       const CoreSet idle =
           CoreSet::all(cores_).minus(primary_busy).minus(overlaid);
       if (idle.empty() || !any_ready()) break;
+      // One running-view snapshot and one policy call admit up to batch_k
+      // launches; decision i already models picks 0..i-1 as running, so
+      // applying them back-to-back matches deciding one per wake.
+      const double d0 = wall_time_ms();
       std::vector<AdmissionStats> round_stats;
-      const auto d =
-          policy_.next_launch_multi(tenant_views,
+      const auto batch =
+          policy_.next_launch_batch(tenant_views,
                                     static_cast<int>(idle.count()), views(),
-                                    &round_stats);
+                                    &round_stats, batch_k);
+      sched_total += wall_time_ms() - d0;
       // Per-queue attribution, wait rounds included: the policy counts each
       // tenant's cache hits / guard fallbacks against the queue that
       // incurred them, whoever wins the round.
@@ -291,11 +384,16 @@ std::vector<StepResult> HostCorunExecutor::run_step_multi(
         results[t].cache_hits += round_stats[t].cache_hits;
         results[t].guard_fallbacks += round_stats[t].guard_fallbacks;
       }
-      if (!d.has_value()) break;  // wait for a completion
-      const auto width = static_cast<std::size_t>(
-          std::max(1, d->decision.candidate.threads));
-      launch(d->tenant, d->decision.ready_pos, d->decision.candidate,
-             idle.take_lowest(width), /*overlay=*/false);
+      if (batch.empty()) break;  // wait for a completion
+      CoreSet avail = idle;
+      for (const auto& d : batch) {
+        const auto width = static_cast<std::size_t>(
+            std::max(1, d.decision.candidate.threads));
+        const CoreSet span = avail.take_lowest(width);
+        avail = avail.minus(span);
+        launch(d.tenant, d.decision.ready_pos, d.decision.candidate, span,
+               /*overlay=*/false, d.decision.op_token);
+      }
     }
 
     // ---- Strategy 4: overlay small ops onto busy compute-bound cores ----
@@ -308,43 +406,47 @@ std::vector<StepResult> HostCorunExecutor::run_step_multi(
             AdmissionPolicy::kOverlayTriggerIdleCores) {
       for (;;) {
         CoreSet eligible(cores_);
-        for (const auto& kv : inflight) {
-          if (!kv.second.overlay &&
-              host_mem_intensity(programs[kv.second.tenant]->graph().node(
-                  kv.second.node)) < kComputeBoundCutoff) {
-            eligible = eligible.union_with(kv.second.cores);
+        for (const InFlight& fl : inflight) {
+          if (fl.live && !fl.overlay &&
+              host_mem_intensity(programs[fl.tenant]->graph().node(
+                  fl.node)) < kComputeBoundCutoff) {
+            eligible = eligible.union_with(fl.cores);
           }
         }
         eligible = eligible.minus(overlaid);
         if (eligible.empty() || !any_ready()) break;
+        const double d0 = wall_time_ms();
         const auto d = policy_.next_overlay_multi(
             tenant_views, static_cast<int>(eligible.count()), views());
+        sched_total += wall_time_ms() - d0;
         if (!d.has_value()) break;
         const auto width = static_cast<std::size_t>(
             std::max(1, d->decision.candidate.threads));
         launch(d->tenant, d->decision.ready_pos, d->decision.candidate,
-               eligible.take_lowest(width), /*overlay=*/true);
+               eligible.take_lowest(width), /*overlay=*/true,
+               d->decision.op_token);
       }
     }
 
     // ---- wait for (at least) one async completion ----
     if (remaining_total == 0) break;  // everything finished inline
-    if (inflight.empty()) {
+    if (inflight_count == 0) {
       if (any_ready()) continue;  // inline completions refilled a queue
       throw std::logic_error(
           "HostCorunExecutor: deadlock — nothing running but nodes remain");
     }
-    std::pair<std::uint64_t, double> comp;
-    {
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] { return !completions.empty(); });
-      comp = completions.front();
-      completions.pop_front();
+    board.wait(consumed);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      double end_wall = 0.0;
+      if (board.take(lane, end_wall)) {
+        ++consumed;
+        complete(lane, end_wall);
+      }
     }
-    complete(comp.first, comp.second);
   }
 
   for (std::size_t t = 0; t < tenants; ++t) {
+    results[t].sched_ms = sched_total;
     finalize_step(results[t], last_completion[t] - t0, *programs[t]);
   }
   return results;
@@ -388,7 +490,9 @@ StepResult HostCorunExecutor::run_step_fifo(HostGraphProgram& program,
                          g.node(node_id).kind, static_cast<int>(busy));
       ++stats.ops_run;
       if (corun) ++stats.corun_launches;
-      pad.launch([&program, &mu, &cv, &completions, node_id, s, &team] {
+      // Slot s always rides launcher lane s: FIFO slots are long-lived, so
+      // the same launcher keeps serving the same team.
+      pad.launch_on(s, [&program, &mu, &cv, &completions, node_id, s, &team] {
         program.run_node(node_id, team);
         const double end = wall_time_ms();
         {

@@ -36,8 +36,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <vector>
 
 #include "core/admission_policy.hpp"
@@ -53,6 +51,13 @@ struct HostCorunOptions {
   std::size_t cores = 0;
   /// EWMA weight of the newest (wall ms / predicted ms) calibration sample.
   double calibration_alpha = 0.3;
+  /// Admission decisions taken per dispatcher wake (AdmissionPolicy::
+  /// next_launch_batch's max_launches): up to this many launches share one
+  /// running-view snapshot and one walk set-up instead of paying them per
+  /// launch. 1 reproduces the historical decision-per-wake loop exactly;
+  /// any value yields bit-identical step checksums (scheduling order never
+  /// affects results — the differential suite pins this).
+  std::size_t decision_batch = 4;
 };
 
 /// Lifetime: keeps references to `controller` and `pool`; both must outlive
@@ -130,9 +135,23 @@ class HostCorunExecutor {
     OpKey key;
     CoreSet cores;
     bool overlay = false;
+    bool live = false;  // lane occupied (in-flight records are lane-indexed)
+    /// Policy arena id from the admission decision, passed back in the
+    /// running views so per-wake snapshots skip the arena lookup.
+    std::uint32_t op_token = kNoOpToken;
     double predicted_ms = 0.0;  // controller timescale
     double start_wall_ms = 0.0;
     std::vector<TenantOpKey> corunners;
+  };
+
+  /// Persistent-team affinity: the last team each lane launched, so a lane
+  /// re-running the same (width, span) skips the TeamPool lock + hash and
+  /// keeps waking the workers already pinned (and cache-warm) there.
+  struct LaneTeam {
+    ThreadTeam* team = nullptr;
+    std::size_t width = 0;
+    std::size_t slot = 0;
+    CoreSet span;
   };
 
   const ConcurrencyController& controller_;
@@ -145,7 +164,7 @@ class HostCorunExecutor {
   /// inline team holds no mutable state, so concurrent use is safe).
   ThreadTeam inline1_{1, CoreSet(), /*inline_single=*/true};
   double calib_ = 0.0;  // EWMA of wall/predicted; 0 = no sample yet
-  std::uint64_t next_id_ = 1;
+  std::vector<LaneTeam> lane_teams_;  // one per lane, persists across steps
 };
 
 }  // namespace opsched

@@ -1,0 +1,79 @@
+// ReadyQueue: the flat arrival-order ready list the scheduler hot path
+// walks on every admission decision. Replaces std::deque<NodeId> in the
+// AdmissionPolicy interfaces: a deque stores its elements in scattered
+// chunks, so the O(ready) candidate walk of a thousand-op graph pays a
+// pointer chase per visited position. This queue is a single contiguous
+// vector with a consumed-prefix offset — operator[] is one indexed load,
+// and the common erase (position 0, the op the walk admitted) is a head
+// bump instead of a shift.
+//
+// Semantics match the deque usage exactly: push_back appends in arrival
+// order, erase(pos) removes a logical position preserving the order of the
+// rest, indexing is by logical position. That equivalence is load-bearing —
+// AdmissionDecision::ready_pos indexes this queue, and the sim/host drift
+// tests pin the positions.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace opsched {
+
+class ReadyQueue {
+ public:
+  ReadyQueue() = default;
+  ReadyQueue(std::initializer_list<NodeId> init) : items_(init) {}
+  ReadyQueue(std::size_t count, NodeId value) : items_(count, value) {}
+  template <typename It>
+  ReadyQueue(It first, It last) : items_(first, last) {}
+
+  std::size_t size() const noexcept { return items_.size() - head_; }
+  bool empty() const noexcept { return head_ == items_.size(); }
+
+  NodeId operator[](std::size_t pos) const { return items_[head_ + pos]; }
+  NodeId front() const { return items_[head_]; }
+
+  void push_back(NodeId id) { items_.push_back(id); }
+
+  template <typename It>
+  void assign(It first, It last) {
+    items_.assign(first, last);
+    head_ = 0;
+  }
+
+  void clear() {
+    items_.clear();
+    head_ = 0;
+  }
+
+  /// Removes logical position `pos`, preserving arrival order. Position 0
+  /// (the overwhelmingly common case: the walk admits the first admissible
+  /// op) is O(1); interior positions shift the tail like the deque did.
+  void erase(std::size_t pos) {
+    if (pos == 0) {
+      ++head_;
+      // Reclaim the consumed prefix once it dominates the buffer, so a
+      // long-running queue's storage tracks its live size, not its
+      // throughput.
+      if (head_ == items_.size()) {
+        items_.clear();
+        head_ = 0;
+      } else if (head_ >= 64 && head_ * 2 >= items_.size()) {
+        items_.erase(items_.begin(),
+                     items_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+      }
+      return;
+    }
+    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(head_ + pos));
+  }
+
+ private:
+  std::vector<NodeId> items_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace opsched

@@ -104,6 +104,27 @@ CoreSet CoreSet::take_lowest(std::size_t n) const {
   return out;
 }
 
+std::size_t CoreSet::lowest() const noexcept {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] != 0)
+      return i * 64 + static_cast<std::size_t>(std::countr_zero(words_[i]));
+  }
+  return capacity_;
+}
+
+std::size_t CoreSet::hash() const noexcept {
+  // FNV-1a over the words plus the capacity; equal sets (same capacity,
+  // same members) hash equal by construction.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001B3ull;
+  };
+  mix(static_cast<std::uint64_t>(capacity_));
+  for (const std::uint64_t w : words_) mix(w);
+  return static_cast<std::size_t>(h);
+}
+
 std::vector<std::size_t> CoreSet::to_vector() const {
   std::vector<std::size_t> v;
   v.reserve(count());

@@ -43,10 +43,19 @@ class CoreSet {
 
   /// The `n` lowest-id cores in this set; throws if fewer available.
   CoreSet take_lowest(std::size_t n) const;
+  /// The lowest member id, or capacity() when the set is empty. The host
+  /// executor uses this as a dense lane index (a launched op's span is
+  /// identified by its lowest core while the span stays busy).
+  std::size_t lowest() const noexcept;
   /// All members in ascending order.
   std::vector<std::size_t> to_vector() const;
 
   bool operator==(const CoreSet& other) const;
+
+  /// Hash consistent with operator== (covers capacity and members), so the
+  /// set can key unordered containers — TeamPool's team cache looks up
+  /// (width, affinity, slot) on every launch.
+  std::size_t hash() const noexcept;
 
   /// Debug representation like "{0-3,8,10-11}".
   std::string to_string() const;

@@ -7,49 +7,71 @@ namespace opsched {
 
 LaunchPad::LaunchPad(std::size_t width) {
   const std::size_t n = std::max<std::size_t>(1, width);
-  threads_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    threads_.emplace_back([this] { worker_loop(); });
+  lanes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+    Lane& lane = *lanes_.back();
+    lane.thread = std::thread([this, &lane] { worker_loop(lane); });
+  }
 }
 
 LaunchPad::~LaunchPad() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
+  for (auto& lane : lanes_) {
+    {
+      std::lock_guard<std::mutex> lock(lane->mutex);
+      lane->stopping = true;
+    }
+    lane->cv.notify_one();
   }
-  cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
+  for (auto& lane : lanes_) lane->thread.join();
 }
 
 void LaunchPad::launch(std::function<void()> job) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(job));
+  // Relaxed reads are fine: balance is a heuristic, and any lane is
+  // correct. Ties go to the lowest lane, keeping single-job callers on
+  // lane 0 deterministically.
+  std::size_t best = 0;
+  std::size_t best_load = lanes_[0]->load.load(std::memory_order_relaxed);
+  for (std::size_t i = 1; i < lanes_.size() && best_load > 0; ++i) {
+    const std::size_t load = lanes_[i]->load.load(std::memory_order_relaxed);
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
   }
-  cv_.notify_one();
+  launch_on(best, std::move(job));
+}
+
+void LaunchPad::launch_on(std::size_t lane_index, std::function<void()> job) {
+  Lane& lane = *lanes_[lane_index % lanes_.size()];
+  {
+    std::lock_guard<std::mutex> lock(lane.mutex);
+    lane.queue.push_back(std::move(job));
+    lane.load.fetch_add(1, std::memory_order_relaxed);
+  }
+  lane.cv.notify_one();
 }
 
 std::size_t LaunchPad::in_flight() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size() + active_;
+  std::size_t n = 0;
+  for (const auto& lane : lanes_)
+    n += lane->load.load(std::memory_order_acquire);
+  return n;
 }
 
-void LaunchPad::worker_loop() {
+void LaunchPad::worker_loop(Lane& lane) {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ with a drained queue
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
+      std::unique_lock<std::mutex> lock(lane.mutex);
+      lane.cv.wait(lock,
+                   [&lane] { return lane.stopping || !lane.queue.empty(); });
+      if (lane.queue.empty()) return;  // stopping with a drained queue
+      job = std::move(lane.queue.front());
+      lane.queue.pop_front();
     }
     job();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --active_;
-    }
+    lane.load.fetch_sub(1, std::memory_order_release);
   }
 }
 

@@ -10,47 +10,71 @@
 // kernel and can keep admitting co-runners. Launchers are spawned once and
 // reused — per-launch std::thread spawn cost would pollute exactly the
 // small-op timings Strategy 4 cares about.
+//
+// Each launcher owns a private mailbox (mutex + queue + condvar). launch_on
+// hands a job to a specific lane, so a caller that maps work to lanes by
+// core span (the host executor: lane = span's lowest core) always wakes the
+// SAME launcher thread for the same cores — the handoff touches one
+// uncontended mutex, and the launcher's working set (its stack, the team it
+// keeps waking) stays warm on that core's cache instead of migrating to
+// whichever launcher won a shared queue. launch() keeps the old pick-any
+// semantics on top of the lanes for callers without a span mapping.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace opsched {
 
-/// Thread-safety: launch() may be called from any one thread at a time
-/// (the dispatcher); jobs run concurrently on launcher threads. The
-/// destructor drains queued jobs, waits for running ones, then joins.
+/// Thread-safety: launch() / launch_on() may be called concurrently from
+/// any threads; jobs run concurrently on launcher threads. Jobs posted to
+/// one lane run in posting order. The destructor drains queued jobs, waits
+/// for running ones, then joins.
 class LaunchPad {
  public:
-  /// Spawns `width` launcher threads (at least 1).
+  /// Spawns `width` launcher threads (at least 1), one per lane.
   explicit LaunchPad(std::size_t width);
   LaunchPad(const LaunchPad&) = delete;
   LaunchPad& operator=(const LaunchPad&) = delete;
   ~LaunchPad();
 
-  /// Enqueues `job` for execution on a free launcher. Never blocks: jobs
-  /// queue when all launchers are busy (the host executor sizes the pad to
-  /// its maximum co-run degree, so queueing is the uncommon case).
+  /// Enqueues `job` on the least-loaded lane. Never blocks: jobs queue when
+  /// all launchers are busy (the host executor sizes the pad to its maximum
+  /// co-run degree, so queueing is the uncommon case).
   void launch(std::function<void()> job);
 
-  std::size_t width() const noexcept { return threads_.size(); }
+  /// Enqueues `job` on lane `lane % width()`. Never blocks; jobs on a busy
+  /// lane wait for it (that is the point — the caller picked the lane
+  /// because the previous job there must finish first anyway).
+  void launch_on(std::size_t lane, std::function<void()> job);
+
+  std::size_t width() const noexcept { return lanes_.size(); }
   /// Jobs queued or running right now.
   std::size_t in_flight() const;
 
  private:
-  void worker_loop();
+  /// One launcher thread's private mailbox. `load` (queued + running) is
+  /// the lock-free balance read for launch(); it is maintained under the
+  /// lane mutex but read without it.
+  struct Lane {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    bool stopping = false;
+    std::atomic<std::size_t> load{0};
+    std::thread thread;
+  };
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
-  std::vector<std::thread> threads_;
+  void worker_loop(Lane& lane);
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
 };
 
 }  // namespace opsched

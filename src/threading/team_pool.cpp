@@ -17,8 +17,7 @@ ThreadTeam& TeamPool::team_pinned(std::size_t width, const CoreSet& affinity,
                                   std::size_t slot) {
   if (width == 0 || width > max_width_)
     throw std::invalid_argument("TeamPool: width out of range");
-  const auto key =
-      std::make_pair(width, affinity.to_string() + '#' + std::to_string(slot));
+  const Key key{width, slot, affinity};
   const std::scoped_lock lock(mutex_);
   auto it = teams_.find(key);
   if (it == teams_.end()) {

@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstddef>
-#include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 
 #include "threading/core_set.hpp"
 #include "threading/thread_team.hpp"
@@ -42,13 +42,28 @@ class TeamPool {
   std::size_t max_width() const noexcept { return max_width_; }
 
  private:
+  // Structural key — the host executor asks for a (width, span, slot) team
+  // on EVERY launch, so the lookup must not serialize the affinity set into
+  // a string first. Hashed lookup over the structural fields keeps the hot
+  // path to a CoreSet hash + one probe.
+  struct Key {
+    std::size_t width = 0;
+    std::size_t slot = 0;
+    CoreSet affinity;
+    bool operator==(const Key& other) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::size_t h = k.affinity.hash();
+      h ^= (k.width * 0x9E3779B97F4A7C15ull) + (h << 6) + (h >> 2);
+      h ^= (k.slot * 0xC2B2AE3D27D4EB4Full) + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
   const std::size_t max_width_;
   mutable std::mutex mutex_;
-  // Key: (width, affinity string + slot tag). Affinity as canonical string
-  // keeps the key simple; team counts are tiny (tens), lookup cost is
-  // irrelevant.
-  std::map<std::pair<std::size_t, std::string>, std::unique_ptr<ThreadTeam>>
-      teams_;
+  std::unordered_map<Key, std::unique_ptr<ThreadTeam>, KeyHash> teams_;
 };
 
 }  // namespace opsched

@@ -56,7 +56,7 @@ class AdmissionPolicyTest : public ::testing::Test {
 
 /// One scripted scheduling situation.
 struct ScriptState {
-  std::deque<NodeId> ready;
+  ReadyQueue ready;
   int idle_cores = 0;
   std::vector<RunningOpView> running;
 };
@@ -120,7 +120,7 @@ TEST_F(AdmissionPolicyTest, RandomizedScriptsSimAndHostRolesDecideIdentically) {
 
   for (int round = 0; round < 100; ++round) {
     SCOPED_TRACE("round " + std::to_string(round));
-    std::deque<NodeId> ready;
+    ReadyQueue ready;
     const std::size_t len = rng.uniform_index(6);
     for (std::size_t i = 0; i < len; ++i)
       ready.push_back(static_cast<NodeId>(1 + rng.uniform_index(5)));
@@ -181,7 +181,7 @@ TEST_F(AdmissionPolicyTest, RandomizedMultiTenantScriptsDecideIdentically) {
 
   for (int round = 0; round < 100; ++round) {
     SCOPED_TRACE("round " + std::to_string(round));
-    std::vector<std::deque<NodeId>> queues(3);
+    std::vector<ReadyQueue> queues(3);
     for (auto& q : queues) {
       const std::size_t len = rng.uniform_index(5);
       for (std::size_t i = 0; i < len; ++i)
@@ -233,7 +233,7 @@ TEST_F(AdmissionPolicyTest, RandomizedMultiTenantScriptsDecideIdentically) {
 
 TEST_F(AdmissionPolicyTest, RepeatedSituationHitsTheDecisionCache) {
   AdmissionPolicy policy = make_policy();
-  const std::deque<NodeId> ready{2, 3};
+  const ReadyQueue ready{2, 3};
   const std::vector<RunningOpView> running{running_view(1, 1e6)};
   AdmissionStats first, second;
   const auto a = policy.next_launch(graph_, ready, 68, running, &first);
@@ -255,7 +255,7 @@ TEST_F(AdmissionPolicyTest, RecordedBadPairIsNeverCoRunAgain) {
 
   // Node 4 ready, node 0 running: the pair is blocked, and with nothing
   // else ready the round must wait.
-  const std::deque<NodeId> ready{5};
+  const ReadyQueue ready{5};
   const auto d =
       policy.next_launch(graph_, ready, 32, {running_view(1, 50.0)}, nullptr);
   EXPECT_FALSE(d.has_value());
@@ -309,7 +309,7 @@ TEST_F(AdmissionPolicyTest, TenantSetPreservesServiceAcrossReconfiguration) {
   TenantSet set;
   set.ids = {101, 202};
   p.configure_tenants(set);
-  std::deque<NodeId> ready{1, 2};
+  ReadyQueue ready{1, 2};
   const TenantReadyView view{&graph_, &ready};
   // Tenant slot 0 (id 101) wins the first empty-machine round and gets
   // charged.
@@ -377,7 +377,7 @@ TEST_F(AdmissionPolicyTest, RetireTenantDropsItsLearnedStateOnly) {
                         {TenantOpKey{1, OpKey::of(graph_.node(2))}});
   p.record_interference(TenantOpKey{1, OpKey::of(graph_.node(3))},
                         {TenantOpKey{1, OpKey::of(graph_.node(4))}});
-  std::deque<NodeId> ready{1};
+  ReadyQueue ready{1};
   const TenantReadyView view{&graph_, &ready};
   (void)p.next_launch_multi({view, view}, 68, {}, nullptr);
   ASSERT_EQ(p.recorded_bad_pairs(), 2u);
@@ -407,13 +407,128 @@ TEST_F(AdmissionPolicyTest, SlotConfigureMatchesLegacyBehaviour) {
   // TenantSet refactor: identity ids, per-call service reset.
   AdmissionPolicy p = make_policy();
   p.configure_tenants(2, {1.0, 2.0});
-  std::deque<NodeId> ready{1};
+  ReadyQueue ready{1};
   const TenantReadyView view{&graph_, &ready};
   (void)p.next_launch_multi({view, view}, 68, {}, nullptr);
   EXPECT_GT(p.tenant_service(0), 0.0);
   p.configure_tenants(2, {1.0, 2.0});
   EXPECT_DOUBLE_EQ(p.tenant_service(0), 0.0);  // reset, not preserved
   EXPECT_DOUBLE_EQ(p.tenant_service(1), 0.0);
+}
+
+TEST_F(AdmissionPolicyTest, OverlaySkipsBadPairedSmallestAndTakesNextSmallest) {
+  AdmissionPolicy policy = make_policy();
+  // The tiny bias add (node 5) is the smallest ready op, but it bad-pairs
+  // with the running conv. The overlay round must skip it and admit the
+  // next-smallest candidate (the conv at pos 0) instead of abandoning the
+  // spare contexts entirely.
+  policy.record_interference(OpKey::of(graph_.node(5)),
+                             {OpKey::of(graph_.node(1))});
+  const auto d =
+      policy.next_overlay(graph_, {2, 5, 3}, 4, {running_view(1, 1e6)});
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->ready_pos, 0u);
+  EXPECT_LE(d->candidate.threads, 4);
+}
+
+TEST_F(AdmissionPolicyTest, LegacyCallAfterLargerConfigureDoesNotInheritIt) {
+  AdmissionPolicy p = make_policy();
+  TenantSet set;
+  set.ids = {101, 202};
+  set.weights = {1.0, 4.0};
+  p.configure_tenants(set);
+  ReadyQueue ready{1};
+  const TenantReadyView view{&graph_, &ready};
+  (void)p.next_launch_multi({view, view}, 68, {}, nullptr);
+  const double id101 = p.service_of(101);
+  ASSERT_GT(id101, 0.0);
+
+  // A legacy single-tenant pick (no configure call) must run against a
+  // fresh identity population — before the ensure_tenants fix it inherited
+  // the two-job configuration wholesale: job 101's deficit and weight, and
+  // the slot 0 -> id 101 mapping, so this call's charge landed on job 101's
+  // persistent ledger.
+  const auto d = p.next_launch(graph_, {1}, 68, {}, nullptr);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(p.tenant_count(), 1u);
+  EXPECT_GT(p.tenant_service(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.service_of(101), id101);  // job 101 untouched
+}
+
+TEST_F(AdmissionPolicyTest, NonPreservingReconfigureDropsOutgoingLedger) {
+  AdmissionPolicy p = make_policy();
+  ReadyQueue ready{1};
+  const TenantReadyView view{&graph_, &ready};
+  // Job churn with disjoint stable ids and preserve_service = false: before
+  // the fix, a non-preserving reconfigure only erased the NEW population's
+  // ids, so every id that ever accrued service leaked one retained-ledger
+  // entry forever.
+  for (std::size_t n = 1; n <= 8; ++n) {
+    TenantSet set;
+    set.ids = {100 + n};
+    set.preserve_service = false;
+    p.configure_tenants(set);
+    (void)p.next_launch_multi({view}, 68, {}, nullptr);
+  }
+  TenantSet last;
+  last.ids = {999};
+  last.preserve_service = false;
+  p.configure_tenants(last);
+  EXPECT_EQ(p.retained_tenants(), 0u);
+}
+
+// --- next_launch_batch: amortized decisions, same semantics ---------------
+
+TEST_F(AdmissionPolicyTest, BatchOfOneMatchesTheSingleDecisionWalk) {
+  AdmissionPolicy batched = make_policy();
+  AdmissionPolicy single = make_policy();
+  ReadyQueue qa{1, 2, 3, 4, 5};
+  ReadyQueue qb{1, 2, 3, 4, 5};
+  const TenantReadyView va{&graph_, &qa};
+  const TenantReadyView vb{&graph_, &qb};
+  const std::vector<RunningOpView> running{running_view(1, 60.0)};
+
+  for (int round = 0; round < 5 && !qa.empty(); ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    std::vector<AdmissionStats> sa, sb;
+    const auto batch = batched.next_launch_batch({va}, 68, running, &sa, 1);
+    const auto one = single.next_launch_multi({vb}, 68, running, &sb);
+    ASSERT_EQ(batch.size() == 1, one.has_value());
+    if (batch.empty()) break;
+    EXPECT_EQ(batch[0].decision.ready_pos, one->decision.ready_pos);
+    EXPECT_EQ(batch[0].decision.candidate.threads,
+              one->decision.candidate.threads);
+    EXPECT_DOUBLE_EQ(batch[0].decision.candidate.time_ms,
+                     one->decision.candidate.time_ms);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t t = 0; t < sa.size(); ++t) {
+      EXPECT_EQ(sa[t].cache_hits, sb[t].cache_hits);
+      EXPECT_EQ(sa[t].guard_fallbacks, sb[t].guard_fallbacks);
+    }
+    qa.erase(batch[0].decision.ready_pos);
+    qb.erase(one->decision.ready_pos);
+  }
+  EXPECT_DOUBLE_EQ(batched.tenant_service(0), single.tenant_service(0));
+}
+
+TEST_F(AdmissionPolicyTest, BatchAdmitsSeveralLaunchesAgainstOneSnapshot) {
+  AdmissionPolicy p = make_policy();
+  ReadyQueue ready{1, 2, 3, 4};
+  const TenantReadyView view{&graph_, &ready};
+  int idle = 68;
+  const auto batch = p.next_launch_batch({view}, idle, {}, nullptr, 4);
+  ASSERT_GE(batch.size(), 2u);  // identical convs co-run under the guard
+  ASSERT_LE(batch.size(), 4u);
+  // Positions are reported against the queue as the caller applies the
+  // batch in order; every one must be in range at its application point,
+  // and the widths must fit the idle pool they were promised.
+  for (const auto& d : batch) {
+    ASSERT_LT(d.decision.ready_pos, ready.size());
+    ready.erase(d.decision.ready_pos);
+    ASSERT_LE(d.decision.candidate.threads, idle);
+    idle -= std::max(1, d.decision.candidate.threads);
+  }
+  EXPECT_GT(p.tenant_service(0), 0.0);
 }
 
 TEST_F(AdmissionPolicyTest, StrategyMaskDisablesCorunAndOverlay) {

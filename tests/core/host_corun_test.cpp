@@ -120,6 +120,35 @@ TEST_F(HostCorunTest, FifoBaselineRunsEveryOpAndRespectsInterOp) {
   EXPECT_LE(r.trace.max_corun(), 2);
 }
 
+TEST_F(HostCorunTest, DispatchBatchWidthsProduceBitIdenticalChecksums) {
+  // Satellite of the hot-path rebuild: taking up to k admission decisions
+  // per dispatcher wake (next_launch_batch) only reorders launches, and no
+  // scheduling order may affect outputs. Pin k = 1 (the historical
+  // decision-per-wake loop) and k = 4 against the serial reference.
+  const Graph g = build_mnist_host(4);
+  HostGraphProgram program(g);
+  auto rt = make_runtime(program);
+
+  HostGraphProgram serial(g);  // same seed -> identical inputs
+  for (const Node& node : g.nodes()) serial.run_node_reference(node.id);
+  const double ref = serial.step_checksum();
+
+  TeamPool pool(4);
+  for (const std::size_t k : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("decision_batch " + std::to_string(k));
+    HostCorunOptions host;
+    host.cores = 4;
+    host.decision_batch = k;
+    HostCorunExecutor exec(rt->controller(), pool, rt->options(), host);
+    const StepResult r = exec.run_step(program);
+    EXPECT_EQ(r.ops_run, g.size());
+    EXPECT_DOUBLE_EQ(r.checksum, ref);
+    // The dispatcher's own decision time is measured and sane.
+    EXPECT_GE(r.sched_ms, 0.0);
+    EXPECT_LT(r.sched_ms, r.time_ms);
+  }
+}
+
 TEST_F(HostCorunTest, ExactBindingsCoverSchedulableKinds) {
   const Graph g = build_mnist_host(4);
   HostGraphProgram program(g);

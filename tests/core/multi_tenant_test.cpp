@@ -132,7 +132,7 @@ TEST(MultiTenantPolicyTest, WeightedDeficitGrantsProportionalShares) {
 
   // Long identical queues of one repeated (deterministic) op.
   const std::vector<NodeId> topo = g.topo_order();
-  std::deque<NodeId> qa(40, topo.back()), qb(40, topo.back());
+  ReadyQueue qa(40, topo.back()), qb(40, topo.back());
   const std::vector<TenantReadyView> tenants = {{&g, &qa}, {&g, &qb}};
 
   std::size_t picks[2] = {0, 0};

@@ -216,6 +216,34 @@ TEST(ServiceChurn, SimSubstrateChurnIsDeterministic) {
   }
 }
 
+TEST(ServiceChurn, PolicyStateStaysBoundedOverAFiftyJobScript) {
+  // The leak this pins: learned admission state (retained fairness ledger,
+  // decision-cache entries) must not grow with the number of jobs that have
+  // EVER passed through the service — only with the jobs currently alive.
+  // Before the reconfigure/retire fixes, each departed job could leave a
+  // retained-ledger entry behind forever.
+  MachineSpec spec = MachineSpec::knl();
+  Runtime rt(spec);
+  ServiceOptions opt;
+  opt.substrate = Substrate::kHost;
+  opt.admission.max_corun_jobs = 3;
+  opt.verify_checksums = false;  // speed; numerics are pinned elsewhere
+  SchedulerService svc(rt, opt);
+
+  const auto script = make_script(/*seed=*/99, /*count=*/50);
+  const auto ids = run_script(svc, script);
+  check_ledger_invariants(svc, script, ids);
+
+  // Every job is terminal and retired, so no per-tenant state may remain.
+  const AdmissionPolicy& policy = rt.host_executor().policy();
+  EXPECT_EQ(policy.retained_tenants(), 0u);
+  EXPECT_EQ(policy.decision_cache_entries(), 0u);
+  // The op arena interns (kind, shape) keys, not tenants: bounded by the
+  // distinct op shapes seen, far below one entry per job-step.
+  EXPECT_GT(policy.arena_size(), 0u);
+  EXPECT_LT(policy.arena_size(), 50u * 9u);
+}
+
 TEST(ServiceChurn, WarmProfilesAreReusedAcrossJobGenerations) {
   // Two waves of jobs over the SAME graph: the second wave must profile
   // nothing — its (kind, shape) keys are already warm in the PerfDatabase.

@@ -83,6 +83,33 @@ TEST(GraphFuzzTest, ChecksumsIdenticalAcrossPoliciesAndWidthsOn50Graphs) {
   }
 }
 
+TEST(GraphFuzzTest, ChecksumsIdenticalAcrossDecisionBatchWidths) {
+  // Dispatch batching (k admission decisions per dispatcher wake) changes
+  // launch interleaving, never outputs: k = 1 reproduces the historical
+  // decision-per-wake loop, k = 4 the batched hot path, and both must match
+  // the serial reference bit for bit on every fuzzed structure.
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const Graph g = testing::fuzz_graph(seed);
+    const double ref = reference_checksum(g);
+
+    HostGraphProgram program(g);
+    Runtime rt(MachineSpec::knl());
+    rt.profile_host(program, /*repeats=*/1);
+
+    TeamPool pool(4);
+    for (const std::size_t k : {std::size_t{1}, std::size_t{4}}) {
+      HostCorunOptions host;
+      host.cores = 4;
+      host.decision_batch = k;
+      HostCorunExecutor exec(rt.controller(), pool, rt.options(), host);
+      const StepResult r = exec.run_step(program);
+      EXPECT_EQ(r.ops_run, g.size());
+      EXPECT_DOUBLE_EQ(r.checksum, ref) << "decision_batch " << k;
+    }
+  }
+}
+
 TEST(GraphFuzzTest, CoLocatedFuzzTenantsKeepTheirSoloChecksums) {
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "threading/core_set.hpp"
@@ -67,6 +68,48 @@ TEST(LaunchStressTest, OversubscribedInlineWidth1LaunchesAllComplete) {
   done.wait_for(kJobs);
   EXPECT_EQ(work.load(), static_cast<std::uint64_t>(kJobs) * kIters);
   EXPECT_EQ(pad.width(), launchers);
+}
+
+TEST(LaunchStressTest, LaneTargetedLaunchesRunInOrderOnOneThread) {
+  // launch_on(lane) is the executor's sharded dispatch path: every job
+  // aimed at one lane must run on that lane's single worker thread, in
+  // submission order, and lane indices wrap modulo the pad width.
+  constexpr std::size_t kLanes = 3;
+  constexpr int kJobsPerLane = 64;
+  LaunchPad pad(kLanes);
+
+  std::mutex mu;
+  std::vector<std::vector<int>> order(kLanes);
+  std::vector<std::vector<std::thread::id>> runners(kLanes);
+  Barrier done;
+  for (int j = 0; j < kJobsPerLane; ++j) {
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      // Exercise the modulo wrap on every other job.
+      const std::size_t target = (j % 2 == 0) ? lane : lane + kLanes;
+      pad.launch_on(target, [&, lane, j] {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          order[lane].push_back(j);
+          runners[lane].push_back(std::this_thread::get_id());
+        }
+        done.arrive();
+      });
+    }
+  }
+  done.wait_for(kJobsPerLane * static_cast<int>(kLanes));
+
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    SCOPED_TRACE("lane " + std::to_string(lane));
+    ASSERT_EQ(order[lane].size(), static_cast<std::size_t>(kJobsPerLane));
+    for (int j = 0; j < kJobsPerLane; ++j)
+      EXPECT_EQ(order[lane][j], j) << "lane queue must be FIFO";
+    for (const std::thread::id& id : runners[lane])
+      EXPECT_EQ(id, runners[lane].front())
+          << "one worker thread per lane";
+  }
+  // Distinct lanes really are distinct workers.
+  EXPECT_NE(runners[0].front(), runners[1].front());
+  EXPECT_EQ(pad.in_flight(), 0u);
 }
 
 TEST(LaunchStressTest, SlotTagsKeepLiveTeamsDistinct) {
