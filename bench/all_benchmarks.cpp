@@ -19,6 +19,7 @@ void register_all(Registry& reg) {
   register_ext_multi_knl(reg);
   register_host_corun(reg);
   register_multi_tenant(reg);
+  register_deep_models(reg);
   register_serve_churn(reg);
   register_micro_kernels(reg);
   register_micro_threadpool(reg);

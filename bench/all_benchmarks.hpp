@@ -25,6 +25,7 @@ void register_ext_gpu_tuner(Registry& reg);
 void register_ext_multi_knl(Registry& reg);
 void register_host_corun(Registry& reg);
 void register_multi_tenant(Registry& reg);
+void register_deep_models(Registry& reg);
 void register_serve_churn(Registry& reg);
 void register_micro_kernels(Registry& reg);
 void register_micro_threadpool(Registry& reg);

@@ -39,6 +39,8 @@ int usage() {
       << "usage: opsched_cli <profile|schedule|grid|compare|serve|bench> "
          "[--model NAME]\n"
          "  models: resnet50 dcgan inception_v3 lstm toy_cnn mnist_host\n"
+         "          resnet50_host resnet101 resnet152 incep_resnet (deep "
+         "zoo,\n          host-executable training graphs)\n"
          "  profile : hill-climb all unique ops, print chosen widths\n"
          "            [--interval X] [--save FILE]  (.json = JSON schema)\n"
          "  schedule: run adaptive steps  [--strategies s12|s123|all]\n"

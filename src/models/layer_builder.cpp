@@ -4,6 +4,36 @@
 
 namespace opsched {
 
+namespace {
+
+bool all_positive(const TensorShape& s) {
+  for (std::size_t i = 0; i < s.rank(); ++i) {
+    if (s[i] <= 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void LayerBuilder::fail(const std::string& context,
+                        const std::string& detail) {
+  throw std::invalid_argument("LayerBuilder: " + context + ": " + detail);
+}
+
+const TensorShape* LayerBuilder::known_shape(NodeId id) const noexcept {
+  if (id >= shapes_.size() || shapes_[id].rank() == 0) return nullptr;
+  return &shapes_[id];
+}
+
+void LayerBuilder::check_producer(NodeId id, const TensorShape& declared,
+                                  const std::string& context) const {
+  const TensorShape* got = known_shape(id);
+  if (got != nullptr && *got != declared) {
+    fail(context, "declared input shape " + declared.to_string() +
+                      " contradicts producer output " + got->to_string());
+  }
+}
+
 void LayerBuilder::remember(NodeId id, const TensorShape& s) {
   if (shapes_.size() <= id) shapes_.resize(id + 1);
   shapes_[id] = s;
@@ -17,6 +47,10 @@ TensorShape LayerBuilder::shape_of(NodeId id) const {
 
 NodeId LayerBuilder::input(const std::string& label,
                            const TensorShape& shape) {
+  if (shape.rank() < 1 || !all_positive(shape)) {
+    fail(label, "input shape must be rank>=1 with positive dims, got " +
+                    shape.to_string());
+  }
   const NodeId id = gb_.source(OpKind::kInputConversion, label, shape);
   remember(id, shape);
   return id;
@@ -26,8 +60,22 @@ NodeId LayerBuilder::conv_bn_relu(NodeId in, const TensorShape& in_shape,
                                   std::int64_t kh, std::int64_t kw,
                                   std::int64_t filters, std::int64_t stride,
                                   bool with_bn, const std::string& prefix) {
+  if (in_shape.rank() != 4 || !all_positive(in_shape)) {
+    fail(prefix, "conv input must be rank-4 NHWC with positive dims, got " +
+                     in_shape.to_string());
+  }
   const std::int64_t n = in_shape[0], h = in_shape[1], w = in_shape[2],
                      c = in_shape[3];
+  // SAME padding: any kernel extent >= 1 is valid regardless of the
+  // spatial dims (the kernel window is clamped at the borders).
+  if (kh < 1 || kw < 1) fail(prefix, "kernel dims must be >= 1");
+  if (filters < 1) fail(prefix, "filters must be >= 1");
+  if (stride < 1 || stride > h || stride > w) {
+    fail(prefix, "stride " + std::to_string(stride) +
+                     " must be in [1, spatial extent] for input " +
+                     in_shape.to_string());
+  }
+  check_producer(in, in_shape, prefix);
   const TensorShape filter{kh, kw, c, filters};
   const TensorShape out{n, h / stride, w / stride, filters};
 
@@ -61,6 +109,14 @@ NodeId LayerBuilder::deconv_bn_relu(NodeId in, const TensorShape& in_shape,
                                     std::int64_t kh, std::int64_t kw,
                                     std::int64_t filters, std::int64_t stride,
                                     bool with_bn, const std::string& prefix) {
+  if (in_shape.rank() != 4 || !all_positive(in_shape)) {
+    fail(prefix, "deconv input must be rank-4 NHWC with positive dims, got " +
+                     in_shape.to_string());
+  }
+  if (kh < 1 || kw < 1) fail(prefix, "kernel dims must be >= 1");
+  if (filters < 1) fail(prefix, "filters must be >= 1");
+  if (stride < 1) fail(prefix, "stride must be >= 1");
+  check_producer(in, in_shape, prefix);
   const std::int64_t n = in_shape[0], h = in_shape[1], w = in_shape[2],
                      c = in_shape[3];
   // conv2d_transpose: output grows by stride; TF lowers it to
@@ -91,6 +147,15 @@ NodeId LayerBuilder::deconv_bn_relu(NodeId in, const TensorShape& in_shape,
 
 NodeId LayerBuilder::max_pool(NodeId in, const TensorShape& in_shape,
                               const std::string& prefix) {
+  if (in_shape.rank() != 4 || !all_positive(in_shape)) {
+    fail(prefix, "pool input must be rank-4 NHWC with positive dims, got " +
+                     in_shape.to_string());
+  }
+  if (in_shape[1] < 2 || in_shape[2] < 2) {
+    fail(prefix,
+         "2x2 pool needs spatial dims >= 2, got " + in_shape.to_string());
+  }
+  check_producer(in, in_shape, prefix);
   const TensorShape out{in_shape[0], in_shape[1] / 2, in_shape[2] / 2,
                         in_shape[3]};
   const NodeId id = gb_.op(OpKind::kMaxPool, prefix + "/MaxPooling", {in},
@@ -103,6 +168,11 @@ NodeId LayerBuilder::max_pool(NodeId in, const TensorShape& in_shape,
 
 NodeId LayerBuilder::avg_pool3x3(NodeId in, const TensorShape& in_shape,
                                  const std::string& prefix) {
+  if (in_shape.rank() != 4 || !all_positive(in_shape)) {
+    fail(prefix, "pool input must be rank-4 NHWC with positive dims, got " +
+                     in_shape.to_string());
+  }
+  check_producer(in, in_shape, prefix);
   const NodeId id = gb_.op(OpKind::kAvgPool, prefix + "/AvgPool", {in},
                            in_shape, TensorShape{}, in_shape);
   layers_.push_back({FwdLayer::Kind::kAvgPool, id, in_shape, TensorShape{},
@@ -113,6 +183,11 @@ NodeId LayerBuilder::avg_pool3x3(NodeId in, const TensorShape& in_shape,
 
 NodeId LayerBuilder::global_avg_pool(NodeId in, const TensorShape& in_shape,
                                      const std::string& prefix) {
+  if (in_shape.rank() != 4 || !all_positive(in_shape)) {
+    fail(prefix, "pool input must be rank-4 NHWC with positive dims, got " +
+                     in_shape.to_string());
+  }
+  check_producer(in, in_shape, prefix);
   const TensorShape out{in_shape[0], 1, 1, in_shape[3]};
   const NodeId id = gb_.op(OpKind::kAvgPool, prefix + "/AvgPool", {in},
                            in_shape, TensorShape{}, out);
@@ -124,6 +199,18 @@ NodeId LayerBuilder::global_avg_pool(NodeId in, const TensorShape& in_shape,
 
 NodeId LayerBuilder::dense(NodeId in, std::int64_t m, std::int64_t k,
                            std::int64_t p, const std::string& prefix) {
+  if (m < 1 || k < 1 || p < 1) {
+    fail(prefix, "dense dims (m,k,p) must all be >= 1, got (" +
+                     std::to_string(m) + "," + std::to_string(k) + "," +
+                     std::to_string(p) + ")");
+  }
+  if (const TensorShape* got = known_shape(in);
+      got != nullptr && got->elements() != m * k) {
+    fail(prefix, "dense expects " + std::to_string(m * k) +
+                     " input elements (m*k) but producer output " +
+                     got->to_string() + " has " +
+                     std::to_string(got->elements()));
+  }
   const TensorShape in_shape{m, k};
   const TensorShape weight{k, p};
   const TensorShape out{m, p};
@@ -140,6 +227,46 @@ NodeId LayerBuilder::dense(NodeId in, std::int64_t m, std::int64_t k,
 NodeId LayerBuilder::concat(const std::vector<NodeId>& branches,
                             const TensorShape& out_shape,
                             const std::string& prefix) {
+  if (branches.empty()) fail(prefix, "concat needs at least one branch");
+  if (out_shape.rank() < 1 || !all_positive(out_shape)) {
+    fail(prefix, "concat output must have rank>=1 and positive dims, got " +
+                     out_shape.to_string());
+  }
+  bool all_known = true;
+  bool all_rank4 = out_shape.rank() == 4;
+  std::int64_t channel_sum = 0;
+  std::int64_t element_sum = 0;
+  for (NodeId b : branches) {
+    const TensorShape* got = known_shape(b);
+    if (got == nullptr) {
+      all_known = false;
+      break;
+    }
+    if (got->rank() == 4 && all_rank4) {
+      if ((*got)[0] != out_shape[0] || (*got)[1] != out_shape[1] ||
+          (*got)[2] != out_shape[2]) {
+        fail(prefix, "concat branch " + got->to_string() +
+                         " disagrees with output " + out_shape.to_string() +
+                         " on N/H/W");
+      }
+      channel_sum += (*got)[3];
+    } else {
+      all_rank4 = false;
+    }
+    element_sum += got->elements();
+  }
+  if (all_known && all_rank4 && channel_sum != out_shape[3]) {
+    fail(prefix, "concat branch channels sum to " +
+                     std::to_string(channel_sum) + " but output " +
+                     out_shape.to_string() + " declares " +
+                     std::to_string(out_shape[3]));
+  }
+  if (all_known && !all_rank4 && element_sum != out_shape.elements()) {
+    fail(prefix, "concat branch elements sum to " +
+                     std::to_string(element_sum) + " but output " +
+                     out_shape.to_string() + " has " +
+                     std::to_string(out_shape.elements()));
+  }
   const NodeId id =
       gb_.op(OpKind::kConcat, prefix + "/Concat", branches, out_shape,
              TensorShape{}, out_shape);
@@ -151,6 +278,12 @@ NodeId LayerBuilder::concat(const std::vector<NodeId>& branches,
 
 NodeId LayerBuilder::add(NodeId a, NodeId b, const TensorShape& shape,
                          const std::string& prefix) {
+  if (shape.rank() < 1 || !all_positive(shape)) {
+    fail(prefix, "add shape must have rank>=1 and positive dims, got " +
+                     shape.to_string());
+  }
+  check_producer(a, shape, prefix);
+  check_producer(b, shape, prefix);
   const NodeId id =
       gb_.elementwise(OpKind::kAdd, prefix + "/Add", {a, b}, shape);
   layers_.push_back(
@@ -169,7 +302,13 @@ NodeId LayerBuilder::emit_optimizer(NodeId grad,
 
 NodeId LayerBuilder::loss_and_backward(NodeId logits, std::int64_t batch,
                                        std::int64_t classes) {
+  if (batch < 1 || classes < 2) {
+    fail("loss", "needs batch >= 1 and classes >= 2, got batch=" +
+                     std::to_string(batch) +
+                     " classes=" + std::to_string(classes));
+  }
   const TensorShape logits_shape{batch, classes};
+  check_producer(logits, logits_shape, "loss");
   NodeId d = gb_.op(OpKind::kSparseSoftmaxCrossEntropy,
                     "loss/SparseSoftmaxCross", {logits}, logits_shape,
                     TensorShape{}, logits_shape);

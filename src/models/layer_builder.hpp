@@ -16,6 +16,13 @@
 
 namespace opsched {
 
+/// Every layer helper validates its tensor dimensions at graph-BUILD time
+/// and throws std::invalid_argument on inconsistency (wrong rank, a
+/// declared input shape that contradicts the producer's recorded output,
+/// channel sums that don't add up, a dense k that doesn't match the
+/// producer's element count). Before this pass such mistakes survived
+/// graph construction and surfaced only as kernel-time failures or silent
+/// surrogate downgrades deep inside a 2000-node step.
 class LayerBuilder {
  public:
   explicit LayerBuilder(bool use_adam = true) : adam_(use_adam) {}
@@ -98,6 +105,16 @@ class LayerBuilder {
 
   NodeId emit_optimizer(NodeId grad, const TensorShape& param_shape,
                         const std::string& prefix);
+
+  /// Shape recorded for `id`, or nullptr when the node was emitted through
+  /// gb() directly (shape unknown) — unknown producers skip cross-checks.
+  const TensorShape* known_shape(NodeId id) const noexcept;
+  /// Throws std::invalid_argument when `declared` contradicts the
+  /// producer's recorded output shape.
+  void check_producer(NodeId id, const TensorShape& declared,
+                      const std::string& context) const;
+  [[noreturn]] static void fail(const std::string& context,
+                                const std::string& detail);
 
   GraphBuilder gb_;
   std::vector<FwdLayer> layers_;

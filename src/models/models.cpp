@@ -3,30 +3,11 @@
 #include <stdexcept>
 
 #include "models/layer_builder.hpp"
+#include "models/zoo.hpp"
 
 namespace opsched {
 
 namespace {
-
-/// One ResNet bottleneck block: 1x1 reduce, 3x3, 1x1 expand, skip add.
-/// Shapes are taken by value: emitting layers invalidates references into
-/// the builder's shape table.
-NodeId bottleneck(LayerBuilder& lb, NodeId in, const TensorShape in_shape,
-                  std::int64_t mid, std::int64_t out_c, std::int64_t stride,
-                  const std::string& prefix) {
-  NodeId x = lb.conv_bn_relu(in, in_shape, 1, 1, mid, 1, /*bn=*/true,
-                             prefix + "/a");
-  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, mid, stride, /*bn=*/true,
-                      prefix + "/b");
-  x = lb.conv_bn_relu(x, lb.shape_of(x), 1, 1, out_c, 1, /*bn=*/true,
-                      prefix + "/c");
-  NodeId skip = in;
-  if (in_shape[3] != out_c || stride != 1) {
-    skip = lb.conv_bn_relu(in, in_shape, 1, 1, out_c, stride, /*bn=*/true,
-                           prefix + "/proj");
-  }
-  return lb.add(x, skip, lb.shape_of(x), prefix);
-}
 
 /// One Inception-A-style block: four parallel branches joined by concat.
 /// Branch channel splits are the v3 proportions at reduced scale.
@@ -60,32 +41,10 @@ NodeId inception_block(LayerBuilder& lb, NodeId in, const TensorShape in_shape,
 }  // namespace
 
 Graph build_resnet50(std::int64_t batch) {
-  LayerBuilder lb(/*use_adam=*/true);
-  // CIFAR-10: 32x32x3 inputs, 10 classes.
-  NodeId x = lb.input("images", TensorShape{batch, 32, 32, 3});
-  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 64, 1, true, "stem");
-
-  struct Stage {
-    std::int64_t mid, out_c, blocks, stride;
-  };
-  const Stage stages[] = {
-      {64, 256, 3, 1}, {128, 512, 4, 2}, {256, 1024, 6, 2}, {512, 2048, 3, 2}};
-  int stage_idx = 0;
-  for (const Stage& s : stages) {
-    for (std::int64_t b = 0; b < s.blocks; ++b) {
-      const std::int64_t stride = b == 0 ? s.stride : 1;
-      x = bottleneck(lb, x, lb.shape_of(x), s.mid, s.out_c, stride,
-                     "res" + std::to_string(stage_idx + 2) + "_" +
-                         std::to_string(b));
-    }
-    ++stage_idx;
-  }
-
-  x = lb.global_avg_pool(x, lb.shape_of(x), "head");
-  // Flattened (batch, 2048) -> 10-way classifier.
-  x = lb.dense(x, batch, 2048, 10, "fc10");
-  lb.loss_and_backward(x, batch, 10);
-  return lb.take();
+  // Paper scale (CIFAR-10 32x32x3, 10 classes), depth 50 — the SAME
+  // block generator and segment table as the host-scale zoo variants
+  // (models/zoo.hpp), so sim and host topologies cannot drift.
+  return models::build_resnet(models::resnet_paper_spec(50), batch);
 }
 
 Graph build_dcgan(std::int64_t batch) {
@@ -298,8 +257,11 @@ Graph build_mnist_host(std::int64_t batch) {
 }
 
 std::vector<std::string> model_names() {
-  return {"resnet50", "dcgan", "inception_v3", "lstm", "toy_cnn",
-          "mnist_host"};
+  std::vector<std::string> names = {"resnet50",  "dcgan",   "inception_v3",
+                                    "lstm",      "toy_cnn", "mnist_host"};
+  for (const std::string& zoo_name : models::zoo_names())
+    names.push_back(zoo_name);
+  return names;
 }
 
 Graph build_model(const std::string& name) {
@@ -309,6 +271,8 @@ Graph build_model(const std::string& name) {
   if (name == "lstm") return build_lstm();
   if (name == "toy_cnn") return build_toy_cnn();
   if (name == "mnist_host") return build_mnist_host();
+  if (const models::ZooEntry* entry = models::zoo_find(name))
+    return entry->build(entry->default_batch);
   throw std::invalid_argument("build_model: unknown model " + name);
 }
 

@@ -33,7 +33,9 @@ Graph build_toy_cnn(std::int64_t batch = 8);
 Graph build_mnist_host(std::int64_t batch = 8);
 
 /// Names accepted by build_model: "resnet50", "dcgan", "inception_v3",
-/// "lstm", "toy_cnn", "mnist_host".
+/// "lstm", "toy_cnn", "mnist_host", plus every deep-zoo model from
+/// models/zoo.hpp ("resnet50_host", "resnet101", "resnet152",
+/// "incep_resnet" — host-executable 500-5000-node training graphs).
 std::vector<std::string> model_names();
 Graph build_model(const std::string& name);
 

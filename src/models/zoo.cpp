@@ -1,0 +1,205 @@
+#include "models/zoo.hpp"
+
+#include <stdexcept>
+
+#include "models/layer_builder.hpp"
+
+namespace opsched::models {
+
+namespace {
+
+/// SET segment-length tables (src/nns/resnet.cpp idiom): blocks per stage.
+std::array<int, 4> resnet_segments(int depth) {
+  switch (depth) {
+    case 50: return {3, 4, 6, 3};
+    case 101: return {3, 4, 23, 3};
+    case 152: return {3, 8, 36, 3};
+    default:
+      throw std::invalid_argument("resnet spec: unsupported depth " +
+                                  std::to_string(depth));
+  }
+}
+
+/// One residual bottleneck block: 1x1 reduce, 3x3, 1x1 expand, skip add,
+/// with a 1x1 projection on the skip path when shape or stride changes.
+/// Shapes are taken by value: emitting layers invalidates references into
+/// the builder's shape table.
+NodeId bottleneck(LayerBuilder& lb, NodeId in, const TensorShape in_shape,
+                  std::int64_t mid, std::int64_t out_c, std::int64_t stride,
+                  const std::string& prefix) {
+  NodeId x = lb.conv_bn_relu(in, in_shape, 1, 1, mid, 1, /*bn=*/true,
+                             prefix + "/a");
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, mid, stride, /*bn=*/true,
+                      prefix + "/b");
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 1, 1, out_c, 1, /*bn=*/true,
+                      prefix + "/c");
+  NodeId skip = in;
+  if (in_shape[3] != out_c || stride != 1) {
+    skip = lb.conv_bn_relu(in, in_shape, 1, 1, out_c, stride, /*bn=*/true,
+                           prefix + "/proj");
+  }
+  return lb.add(x, skip, lb.shape_of(x), prefix);
+}
+
+/// One Inception-ResNet block: `branches` parallel paths where path k
+/// stacks a 1x1 conv and k-1 3x3 convs (the SET incep_resnet A-block
+/// shape), joined by concat + 1x1 conv back to the block width, then a
+/// residual add with the block input.
+NodeId incep_resnet_block(LayerBuilder& lb, NodeId in,
+                          const TensorShape in_shape, int branches,
+                          std::int64_t width, const std::string& prefix) {
+  std::vector<NodeId> outs;
+  outs.reserve(static_cast<std::size_t>(branches));
+  for (int br = 1; br <= branches; ++br) {
+    const std::string bp = prefix + "/br" + std::to_string(br);
+    NodeId b = lb.conv_bn_relu(in, in_shape, 1, 1, width, 1, /*bn=*/true,
+                               bp + "_1x1");
+    for (int k = 1; k < br; ++k) {
+      b = lb.conv_bn_relu(b, lb.shape_of(b), 3, 3, width, 1, /*bn=*/true,
+                          bp + "_3x3_" + std::to_string(k));
+    }
+    outs.push_back(b);
+  }
+  const TensorShape cat{in_shape[0], in_shape[1], in_shape[2],
+                        width * branches};
+  NodeId j = lb.concat(outs, cat, prefix);
+  j = lb.conv_bn_relu(j, cat, 1, 1, in_shape[3], 1, /*bn=*/true,
+                      prefix + "/join_1x1");
+  return lb.add(in, j, in_shape, prefix + "/residual");
+}
+
+}  // namespace
+
+ResNetSpec resnet_paper_spec(int depth) {
+  ResNetSpec spec;
+  spec.segments = resnet_segments(depth);
+  return spec;  // defaults are the CIFAR-10 paper shapes
+}
+
+ResNetSpec resnet_host_spec(int depth) {
+  ResNetSpec spec;
+  spec.segments = resnet_segments(depth);
+  spec.mid = {4, 8, 16, 32};
+  spec.out = {16, 32, 64, 128};
+  spec.stem_filters = 8;
+  spec.image = 16;  // stages at 16/8/4/2: even dims keep pools/strides exact
+  spec.default_batch = 2;
+  return spec;
+}
+
+Graph build_resnet(const ResNetSpec& spec, std::int64_t batch,
+                   bool training) {
+  LayerBuilder lb(/*use_adam=*/true);
+  NodeId x = lb.input("images",
+                      TensorShape{batch, spec.image, spec.image,
+                                  spec.channels});
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, spec.stem_filters, 1, true,
+                      "stem");
+
+  const std::int64_t first_stride[4] = {1, 2, 2, 2};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < spec.segments[static_cast<std::size_t>(stage)]; ++b) {
+      const std::int64_t stride = b == 0 ? first_stride[stage] : 1;
+      x = bottleneck(lb, x, lb.shape_of(x),
+                     spec.mid[static_cast<std::size_t>(stage)],
+                     spec.out[static_cast<std::size_t>(stage)], stride,
+                     "res" + std::to_string(stage + 2) + "_" +
+                         std::to_string(b));
+    }
+  }
+
+  x = lb.global_avg_pool(x, lb.shape_of(x), "head");
+  x = lb.dense(x, batch, spec.out[3], spec.classes, "fc");
+  if (training) lb.loss_and_backward(x, batch, spec.classes);
+  return lb.take();
+}
+
+Graph build_resnet50_host(std::int64_t batch) {
+  return build_resnet(resnet_host_spec(50), batch);
+}
+
+Graph build_resnet101_host(std::int64_t batch) {
+  return build_resnet(resnet_host_spec(101), batch);
+}
+
+Graph build_resnet152_host(std::int64_t batch) {
+  return build_resnet(resnet_host_spec(152), batch);
+}
+
+Graph build_incep_resnet_host(std::int64_t batch, bool training) {
+  LayerBuilder lb(/*use_adam=*/true);
+  NodeId x = lb.input("images", TensorShape{batch, 16, 16, 3});
+  // Stem: two 3x3 convs, pool to 8x8, 1x1 projection to the A-block width.
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 8, 1, true, "stem/conv1");
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 16, 1, true, "stem/conv2");
+  x = lb.max_pool(x, lb.shape_of(x), "stem/pool");
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 1, 1, 32, 1, true, "stem/proj");
+
+  // Six A-blocks at 8x8, width 32: three branches of 1/2/3 convs.
+  for (int i = 0; i < 6; ++i) {
+    x = incep_resnet_block(lb, x, lb.shape_of(x), /*branches=*/3,
+                           /*width=*/8, "incep_a" + std::to_string(i));
+  }
+
+  // Reduction to 4x4, width 64.
+  x = lb.max_pool(x, lb.shape_of(x), "reduce_a/pool");
+  x = lb.conv_bn_relu(x, lb.shape_of(x), 1, 1, 64, 1, true, "reduce_a/proj");
+
+  // Six B-blocks at 4x4, width 64: two branches of 1/2 convs.
+  for (int i = 0; i < 6; ++i) {
+    x = incep_resnet_block(lb, x, lb.shape_of(x), /*branches=*/2,
+                           /*width=*/16, "incep_b" + std::to_string(i));
+  }
+
+  x = lb.global_avg_pool(x, lb.shape_of(x), "head");
+  x = lb.dense(x, batch, 64, 10, "fc");
+  if (training) lb.loss_and_backward(x, batch, 10);
+  return lb.take();
+}
+
+const char* zoo_character_name(ZooCharacter c) noexcept {
+  switch (c) {
+    case ZooCharacter::kDeepChain: return "deep-chain";
+    case ZooCharacter::kSkipEdge: return "skip-edge";
+    case ZooCharacter::kWideFanOut: return "wide-fan-out";
+  }
+  return "?";
+}
+
+namespace {
+
+Graph zoo_incep_resnet(std::int64_t batch) {
+  return build_incep_resnet_host(batch);
+}
+
+}  // namespace
+
+const std::vector<ZooEntry>& zoo() {
+  static const std::vector<ZooEntry> entries = {
+      {"resnet50_host", "ResNet-50", ZooCharacter::kSkipEdge,
+       /*min_nodes=*/700, /*default_batch=*/2, &build_resnet50_host},
+      {"resnet101", "ResNet-101", ZooCharacter::kSkipEdge,
+       /*min_nodes=*/1400, /*default_batch=*/2, &build_resnet101_host},
+      {"resnet152", "ResNet-152", ZooCharacter::kDeepChain,
+       /*min_nodes=*/2000, /*default_batch=*/2, &build_resnet152_host},
+      {"incep_resnet", "Inception-ResNet", ZooCharacter::kWideFanOut,
+       /*min_nodes=*/900, /*default_batch=*/2, &zoo_incep_resnet},
+  };
+  return entries;
+}
+
+const ZooEntry* zoo_find(const std::string& name) {
+  for (const ZooEntry& e : zoo()) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> zoo_names() {
+  std::vector<std::string> names;
+  names.reserve(zoo().size());
+  for (const ZooEntry& e : zoo()) names.push_back(e.name);
+  return names;
+}
+
+}  // namespace opsched::models

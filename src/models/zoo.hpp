@@ -1,0 +1,106 @@
+// The deep real-model zoo: ResNet-50/101/152 and Inception-ResNet training
+// graphs generated SET-style from compact block builders over segment-length
+// tables, at two shape scales:
+//   - paper scale: the Section IV-A simulation shapes (CIFAR-10 batch 64)
+//     that the cost-model benches schedule — build_resnet50 in models.hpp
+//     is the depth-50 instantiation;
+//   - host scale: the same block topology at host-executable tensor sizes,
+//     so a full 500-5000-node forward+backward+Adam step binds to exact
+//     HostGraphProgram kernels and runs in milliseconds on real threads.
+// One generator, two specs: the sim and host variants of a depth share the
+// segment tables by construction and cannot drift in topology.
+//
+// The zoo registry is the first-class test workload: the fuzz/differential
+// suite and the deep_models bench iterate it to cover the scenario axes the
+// random-DAG fuzzer does not reach — 150+-layer deep chains, residual skip
+// edges, and wide inception fan-out. See docs/MODELS.md.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace opsched::models {
+
+/// A ResNet instantiation: the SET-repo segment-length table (blocks per
+/// stage) plus the channel/spatial scale the blocks run at.
+struct ResNetSpec {
+  /// Bottleneck blocks per stage — {3,4,6,3} is ResNet-50, {3,4,23,3}
+  /// ResNet-101, {3,8,36,3} ResNet-152.
+  std::array<int, 4> segments{3, 4, 6, 3};
+  /// Bottleneck mid (1x1-reduce / 3x3) channels per stage.
+  std::array<std::int64_t, 4> mid{64, 128, 256, 512};
+  /// Block output (1x1-expand) channels per stage.
+  std::array<std::int64_t, 4> out{256, 512, 1024, 2048};
+  std::int64_t stem_filters = 64;
+  /// Square input spatial extent; stages run at image, image/2, /4, /8.
+  std::int64_t image = 32;
+  std::int64_t channels = 3;
+  std::int64_t classes = 10;
+  std::int64_t default_batch = 64;
+};
+
+/// Paper-scale spec (CIFAR-10 shapes, Section IV-A) for depth 50, 101 or
+/// 152; throws std::invalid_argument on any other depth.
+ResNetSpec resnet_paper_spec(int depth);
+
+/// Host-scale spec for the same depths: identical segment tables, channel
+/// widths divided by 16 and a 16x16 input, so every conv/pool/matmul (and
+/// its backprops) binds to an exact native kernel and a full training step
+/// stays in the millisecond range.
+ResNetSpec resnet_host_spec(int depth);
+
+/// Generic SET-style generator: stem conv, four stages of residual
+/// bottleneck blocks from the segment table, global-pool head.
+/// `training` emits the full forward+backward+Adam trace; false keeps the
+/// forward pass only (the inference-tenancy view of the same topology).
+Graph build_resnet(const ResNetSpec& spec, std::int64_t batch,
+                   bool training = true);
+
+/// One-line instantiations (host scale, training graphs).
+Graph build_resnet50_host(std::int64_t batch = 2);
+Graph build_resnet101_host(std::int64_t batch = 2);
+Graph build_resnet152_host(std::int64_t batch = 2);
+
+/// Inception-ResNet at host scale: stem, then inception blocks whose k-th
+/// branch stacks k convs (the SET incep_resnet branch shape), concat, 1x1
+/// join conv and a residual add per block — wide fan-out AND skip edges.
+/// `training` as in build_resnet.
+Graph build_incep_resnet_host(std::int64_t batch = 2, bool training = true);
+
+/// Dominant dependency character of a zoo graph — the scenario axis the
+/// differential suite exercises alongside random DAGs.
+enum class ZooCharacter : std::uint8_t {
+  kDeepChain = 0,  // long serial critical path of blocks
+  kSkipEdge,       // residual joins: two paths per block
+  kWideFanOut,     // inception branches: 4+ consumers per block input
+};
+
+const char* zoo_character_name(ZooCharacter c) noexcept;
+
+/// One host-executable zoo workload.
+struct ZooEntry {
+  std::string name;
+  std::string paper_model;  // the evaluated model this maps to
+  ZooCharacter character = ZooCharacter::kDeepChain;
+  /// Documented node-count floor of the training graph at default_batch;
+  /// models_deep_zoo_test asserts it.
+  std::size_t min_nodes = 0;
+  std::int64_t default_batch = 2;
+  Graph (*build)(std::int64_t batch) = nullptr;
+};
+
+/// The registry, in ascending depth order. Every entry's training graph is
+/// host-executable through HostGraphProgram with exact kernels on the
+/// conv/bn/relu/pool/add/matmul spine.
+const std::vector<ZooEntry>& zoo();
+
+/// nullptr when `name` is not a zoo model.
+const ZooEntry* zoo_find(const std::string& name);
+
+std::vector<std::string> zoo_names();
+
+}  // namespace opsched::models

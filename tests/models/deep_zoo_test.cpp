@@ -1,0 +1,170 @@
+// Deep real-model zoo: structural checks on the ResNet-50/101/152 and
+// Inception-ResNet training graphs generated from the shared segment-length
+// tables (models/zoo.hpp), plus the no-drift contract between the paper-scale
+// and host-scale instantiations and exact-kernel binding coverage.
+#include "models/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "models/models.hpp"
+#include "ops/host_program.hpp"
+
+namespace opsched {
+namespace {
+
+using models::ZooEntry;
+
+class ZooGraphs : public ::testing::TestWithParam<std::string> {
+ protected:
+  const ZooEntry& entry() const {
+    const ZooEntry* e = models::zoo_find(GetParam());
+    EXPECT_NE(e, nullptr) << GetParam();
+    return *e;
+  }
+};
+
+TEST_P(ZooGraphs, MeetsNodeCountFloorAndIsValidDag) {
+  const ZooEntry& e = entry();
+  const Graph g = e.build(e.default_batch);
+  EXPECT_GE(g.size(), e.min_nodes) << e.name;
+  // topo_order throws on cycles and must cover every node.
+  EXPECT_EQ(g.topo_order().size(), g.size());
+}
+
+TEST_P(ZooGraphs, HasPairedForwardBackwardAndOptimizerOps) {
+  const ZooEntry& e = entry();
+  const Graph g = e.build(e.default_batch);
+  const std::size_t fwd = g.count_kind(OpKind::kConv2D);
+  // One BackpropFilter + one BackpropInput per forward conv (none of the
+  // zoo models use deconv, so these counts match exactly).
+  EXPECT_EQ(g.count_kind(OpKind::kConv2DBackpropFilter), fwd) << e.name;
+  EXPECT_EQ(g.count_kind(OpKind::kConv2DBackpropInput), fwd) << e.name;
+  // One Adam per conv filter + one per BN gamma + dense weight and bias.
+  const std::size_t bn = g.count_kind(OpKind::kFusedBatchNorm);
+  EXPECT_EQ(g.count_kind(OpKind::kApplyAdam), fwd + bn + 2) << e.name;
+  EXPECT_EQ(g.count_kind(OpKind::kSparseSoftmaxCrossEntropy), 1u) << e.name;
+}
+
+TEST_P(ZooGraphs, SkipEdgesJoinTwoDistinctPaths) {
+  const ZooEntry& e = entry();
+  const Graph g = e.build(e.default_batch);
+  std::size_t adds = 0;
+  for (const Node& n : g.nodes()) {
+    if (n.kind != OpKind::kAdd) continue;
+    ++adds;
+    ASSERT_EQ(n.inputs.size(), 2u) << n.label;
+    EXPECT_NE(n.inputs[0], n.inputs[1]) << n.label;
+  }
+  // At least one residual join per block: 16/33/50 bottlenecks for the
+  // ResNets ({3,4,6,3}/{3,4,23,3}/{3,8,36,3}), 12 inception blocks.
+  std::size_t blocks = 12;
+  if (e.name == "resnet50_host") blocks = 16;
+  if (e.name == "resnet101") blocks = 33;
+  if (e.name == "resnet152") blocks = 50;
+  EXPECT_GE(adds, blocks) << e.name;
+}
+
+TEST_P(ZooGraphs, RunsOnHostSubstrateWithMostlyExactKernels) {
+  const ZooEntry& e = entry();
+  const Graph g = e.build(e.default_batch);
+  const HostGraphProgram program(g);
+  // The conv/bn/relu/pool/matmul/adam spine binds to exact native kernels;
+  // surrogates are confined to layout conversions and a few grad ops.
+  EXPECT_GE(program.exact_bindings(), g.size() * 6 / 10) << e.name;
+  for (const Node& n : g.nodes()) {
+    switch (n.kind) {
+      case OpKind::kConv2D:
+      case OpKind::kMatMul:
+      case OpKind::kMaxPool:
+      case OpKind::kFusedBatchNorm:
+      case OpKind::kRelu:
+      case OpKind::kApplyAdam:
+        EXPECT_NE(program.binding(n.id), HostBinding::kSurrogate)
+            << e.name << ": " << n.label;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllZooModels, ZooGraphs,
+                         ::testing::Values("resnet50_host", "resnet101",
+                                           "resnet152", "incep_resnet"));
+
+TEST(DeepZoo, RegistryIsCompleteAndUnique) {
+  std::set<std::string> names;
+  for (const ZooEntry& e : models::zoo()) {
+    EXPECT_TRUE(names.insert(e.name).second) << e.name;
+    ASSERT_NE(e.build, nullptr) << e.name;
+    EXPECT_GT(e.min_nodes, 0u) << e.name;
+    EXPECT_GE(e.default_batch, 1) << e.name;
+    // Every zoo model is reachable through the general registry.
+    EXPECT_NO_THROW(build_model(e.name)) << e.name;
+  }
+  EXPECT_EQ(models::zoo_names().size(), models::zoo().size());
+  EXPECT_EQ(models::zoo_find("vgg"), nullptr);
+  EXPECT_THROW(models::resnet_paper_spec(34), std::invalid_argument);
+}
+
+TEST(DeepZoo, DepthOrderingMatchesSegmentTables) {
+  // {3,4,6,3} < {3,4,23,3} < {3,8,36,3}: deeper tables, bigger graphs.
+  const std::size_t n50 = models::build_resnet50_host().size();
+  const std::size_t n101 = models::build_resnet101_host().size();
+  const std::size_t n152 = models::build_resnet152_host().size();
+  EXPECT_LT(n50, n101);
+  EXPECT_LT(n101, n152);
+  // PR acceptance floor: the ResNet-152 training graph is 1500+ ops.
+  EXPECT_GE(n152, 1500u);
+}
+
+TEST(DeepZoo, PaperAndHostScalesCannotDrift) {
+  // build_resnet50 (paper scale) and build_resnet50_host share one
+  // generator and one segment table, so the op-kind sequence is identical
+  // node for node — only shapes differ.
+  const Graph paper = build_resnet50(64);
+  const Graph host = models::build_resnet50_host(2);
+  ASSERT_EQ(paper.size(), host.size());
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    EXPECT_EQ(paper.nodes()[i].kind, host.nodes()[i].kind)
+        << i << ": " << paper.nodes()[i].label;
+    EXPECT_EQ(paper.nodes()[i].inputs, host.nodes()[i].inputs)
+        << i << ": " << paper.nodes()[i].label;
+  }
+}
+
+TEST(DeepZoo, ForwardOnlyViewDropsBackwardAndOptimizer) {
+  const Graph fwd =
+      models::build_resnet(models::resnet_host_spec(50), 2, /*training=*/false);
+  const Graph train = models::build_resnet50_host(2);
+  EXPECT_LT(fwd.size(), train.size() / 2);
+  EXPECT_EQ(fwd.count_kind(OpKind::kApplyAdam), 0u);
+  EXPECT_EQ(fwd.count_kind(OpKind::kSparseSoftmaxCrossEntropy), 0u);
+  EXPECT_EQ(fwd.count_kind(OpKind::kConv2DBackpropFilter), 0u);
+
+  const Graph ifwd = models::build_incep_resnet_host(2, /*training=*/false);
+  EXPECT_EQ(ifwd.count_kind(OpKind::kApplyAdam), 0u);
+  EXPECT_GT(ifwd.count_kind(OpKind::kConcat), 0u);
+}
+
+TEST(DeepZoo, InceptionBlocksFanOutWide) {
+  const Graph g = models::build_incep_resnet_host();
+  // An A-block input feeds three branch convs plus the residual add: 4+
+  // consumers from one node.
+  bool wide = false;
+  for (const Node& n : g.nodes()) {
+    if (g.successors(n.id).size() >= 4) {
+      wide = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(wide);
+  // Concat joins per block: 6 A-blocks + 6 B-blocks.
+  EXPECT_EQ(g.count_kind(OpKind::kConcat), 12u);
+}
+
+}  // namespace
+}  // namespace opsched

@@ -118,6 +118,110 @@ TEST(LayerBuilder, ShapeOfUnknownNodeThrows) {
   EXPECT_THROW(lb.shape_of(42), std::out_of_range);
 }
 
+// ---- Build-time shape validation: every inconsistency throws
+// std::invalid_argument at graph construction, not kernel launch. ----
+
+TEST(LayerBuilderValidation, RejectsBadInputShapes) {
+  LayerBuilder lb;
+  EXPECT_THROW(lb.input("empty", TensorShape{}), std::invalid_argument);
+  EXPECT_THROW(lb.input("zero", TensorShape{4, 0, 8, 3}),
+               std::invalid_argument);
+  EXPECT_THROW(lb.input("neg", TensorShape{-1, 8, 8, 3}),
+               std::invalid_argument);
+}
+
+TEST(LayerBuilderValidation, RejectsConvOnWrongRankOrBadParams) {
+  LayerBuilder lb;
+  NodeId x = lb.input("in", TensorShape{2, 8, 8, 3});
+  EXPECT_THROW(lb.conv_bn_relu(x, TensorShape{2, 8, 8}, 3, 3, 8, 1, true, "r3"),
+               std::invalid_argument);
+  EXPECT_THROW(lb.conv_bn_relu(x, lb.shape_of(x), 0, 3, 8, 1, true, "k0"),
+               std::invalid_argument);
+  EXPECT_THROW(lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 0, 1, true, "f0"),
+               std::invalid_argument);
+  EXPECT_THROW(lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 8, 0, true, "s0"),
+               std::invalid_argument);
+  // Stride larger than the spatial extent would produce a zero-dim output.
+  EXPECT_THROW(lb.conv_bn_relu(x, lb.shape_of(x), 3, 3, 8, 16, true, "s16"),
+               std::invalid_argument);
+}
+
+TEST(LayerBuilderValidation, RejectsDeclaredShapeContradictingProducer) {
+  LayerBuilder lb;
+  NodeId x = lb.input("in", TensorShape{2, 8, 8, 3});
+  // Producer emits (2,8,8,3); declaring (2,8,8,4) is a wiring bug.
+  EXPECT_THROW(lb.conv_bn_relu(x, TensorShape{2, 8, 8, 4}, 3, 3, 8, 1, true,
+                               "lie"),
+               std::invalid_argument);
+  EXPECT_THROW(lb.max_pool(x, TensorShape{2, 4, 4, 3}, "lie"),
+               std::invalid_argument);
+}
+
+TEST(LayerBuilderValidation, AllowsUnknownProducersFromRawBuilder) {
+  // Nodes emitted through gb() directly have no recorded shape; declared
+  // shapes on their consumers are trusted (the dcgan reshape idiom).
+  LayerBuilder lb;
+  const NodeId raw = lb.gb().source(OpKind::kInputConversion, "raw",
+                                    TensorShape{2, 8, 8, 3});
+  EXPECT_NO_THROW(
+      lb.conv_bn_relu(raw, TensorShape{2, 8, 8, 3}, 3, 3, 8, 1, true, "ok"));
+}
+
+TEST(LayerBuilderValidation, RejectsPoolOnTooSmallOrWrongRankInput) {
+  LayerBuilder lb;
+  NodeId tiny = lb.input("tiny", TensorShape{2, 1, 1, 8});
+  EXPECT_THROW(lb.max_pool(tiny, lb.shape_of(tiny), "p"),
+               std::invalid_argument);
+  NodeId flat = lb.input("flat", TensorShape{2, 64});
+  EXPECT_THROW(lb.global_avg_pool(flat, lb.shape_of(flat), "g"),
+               std::invalid_argument);
+  EXPECT_THROW(lb.avg_pool3x3(flat, lb.shape_of(flat), "a"),
+               std::invalid_argument);
+}
+
+TEST(LayerBuilderValidation, RejectsDenseElementMismatch) {
+  LayerBuilder lb;
+  NodeId x = lb.input("in", TensorShape{2, 4, 4, 8});  // 256 elements
+  EXPECT_THROW(lb.dense(x, 2, 100, 10, "fc"), std::invalid_argument);
+  EXPECT_THROW(lb.dense(x, 0, 128, 10, "fc"), std::invalid_argument);
+  EXPECT_NO_THROW(lb.dense(x, 2, 128, 10, "fc"));  // 2*128 == 256
+}
+
+TEST(LayerBuilderValidation, RejectsConcatChannelMismatch) {
+  LayerBuilder lb;
+  NodeId a = lb.input("a", TensorShape{2, 8, 8, 4});
+  NodeId b = lb.input("b", TensorShape{2, 8, 8, 8});
+  EXPECT_THROW(lb.concat({}, TensorShape{2, 8, 8, 12}, "none"),
+               std::invalid_argument);
+  // Channels sum to 12, not 16.
+  EXPECT_THROW(lb.concat({a, b}, TensorShape{2, 8, 8, 16}, "bad"),
+               std::invalid_argument);
+  // A branch disagreeing on H/W is also a wiring bug.
+  NodeId c = lb.input("c", TensorShape{2, 4, 4, 4});
+  EXPECT_THROW(lb.concat({a, c}, TensorShape{2, 8, 8, 8}, "hw"),
+               std::invalid_argument);
+  EXPECT_NO_THROW(lb.concat({a, b}, TensorShape{2, 8, 8, 12}, "ok"));
+}
+
+TEST(LayerBuilderValidation, RejectsAddShapeMismatch) {
+  LayerBuilder lb;
+  NodeId a = lb.input("a", TensorShape{2, 8, 8, 4});
+  NodeId b = lb.input("b", TensorShape{2, 8, 8, 8});
+  EXPECT_THROW(lb.add(a, b, TensorShape{2, 8, 8, 4}, "skip"),
+               std::invalid_argument);
+}
+
+TEST(LayerBuilderValidation, RejectsBadLossDims) {
+  LayerBuilder lb;
+  NodeId x = lb.input("in", TensorShape{4, 4, 4, 8});
+  x = lb.dense(x, 4, 128, 10, "fc");
+  EXPECT_THROW(lb.loss_and_backward(x, 0, 10), std::invalid_argument);
+  EXPECT_THROW(lb.loss_and_backward(x, 4, 1), std::invalid_argument);
+  // Logits are (4,10); claiming batch 8 contradicts the producer.
+  EXPECT_THROW(lb.loss_and_backward(x, 8, 10), std::invalid_argument);
+  EXPECT_NO_THROW(lb.loss_and_backward(x, 4, 10));
+}
+
 TEST(LayerBuilder, PoolBackwardChainsThroughGrads) {
   LayerBuilder lb;
   NodeId x = lb.input("in", TensorShape{2, 8, 8, 4});

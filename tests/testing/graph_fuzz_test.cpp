@@ -12,6 +12,7 @@
 #include <set>
 
 #include "core/runtime.hpp"
+#include "models/zoo.hpp"
 #include "ops/host_program.hpp"
 
 namespace opsched {
@@ -132,6 +133,69 @@ TEST(GraphFuzzTest, CoLocatedFuzzTenantsKeepTheirSoloChecksums) {
     EXPECT_DOUBLE_EQ(r[0].checksum, reference_checksum(ga, 0));
     EXPECT_DOUBLE_EQ(r[1].checksum, reference_checksum(gb, 1));
   }
+}
+
+TEST(GraphFuzzTest, ZooModelsMatchSerialReferenceAcrossPoliciesAndWidths) {
+  // The deep-model zoo covers the structured axes the random generator
+  // does not: 150+-layer chains, residual skip joins, inception fan-out —
+  // at 700-2200 nodes, an order of magnitude above the fuzzed graphs. The
+  // same contract applies: no policy, width or interleaving may perturb
+  // the step checksum.
+  for (const models::ZooEntry& e : models::zoo()) {
+    SCOPED_TRACE(e.name);
+    const Graph g = e.build(e.default_batch);
+    const double ref = reference_checksum(g);
+
+    HostGraphProgram program(g);
+    Runtime rt(MachineSpec::knl());
+    rt.profile_host(program, /*repeats=*/1);
+
+    TeamPool pool(4);
+    for (const std::size_t cores : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+      HostCorunOptions host;
+      host.cores = cores;
+      HostCorunExecutor exec(rt.controller(), pool, rt.options(), host);
+      const StepResult r = exec.run_step(program);
+      EXPECT_EQ(r.ops_run, g.size());
+      EXPECT_DOUBLE_EQ(r.checksum, ref) << "adaptive, " << cores << " cores";
+    }
+
+    HostCorunOptions host;
+    host.cores = 4;
+    HostCorunExecutor exec(rt.controller(), pool, rt.options(), host);
+    EXPECT_DOUBLE_EQ(exec.run_step_fifo(program, 2, 2).checksum, ref)
+        << "fifo";
+    EXPECT_DOUBLE_EQ(exec.run_step_recommendation(program).checksum, ref)
+        << "recommendation";
+  }
+}
+
+TEST(GraphFuzzTest, CoLocatedZooTenantsKeepTheirSoloChecksums) {
+  // ResNet-152 (deep chain) co-located with Inception-ResNet (wide
+  // fan-out): each tenant's training step must equal its solo
+  // tenant-namespaced serial reference bit for bit.
+  const Graph ga = models::build_resnet152_host();
+  const Graph gb = models::build_incep_resnet_host();
+  // Scope the reference programs so only two live at a time.
+  const double ref_a = reference_checksum(ga, 0);
+  const double ref_b = reference_checksum(gb, 1);
+
+  HostGraphProgram pa(ga, 0x5eedULL, /*tenant=*/0);
+  HostGraphProgram pb(gb, 0x5eedULL, /*tenant=*/1);
+  Runtime rt(MachineSpec::knl());
+  rt.profile_host_multi({&pa, &pb}, /*repeats=*/1);
+
+  TeamPool pool(4);
+  HostCorunOptions host;
+  host.cores = 4;
+  HostCorunExecutor exec(rt.controller(), pool, rt.options(), host);
+  const std::vector<StepResult> r = exec.run_step_multi({&pa, &pb});
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].ops_run, ga.size());
+  EXPECT_EQ(r[1].ops_run, gb.size());
+  EXPECT_DOUBLE_EQ(r[0].checksum, ref_a);
+  EXPECT_DOUBLE_EQ(r[1].checksum, ref_b);
 }
 
 TEST(GraphFuzzTest, TenantNamespaceSeparatesIdenticalGraphs) {
