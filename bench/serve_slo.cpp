@@ -1,0 +1,160 @@
+// serve_slo: latency-SLO inference tenancy under open-loop traffic — a
+// forward-only zoo model served next to a batch training tenant through
+// SchedulerService on the simulated substrate with the VIRTUAL service
+// clock, so every number here is a deterministic function of (trace seed,
+// config) and safe to gate in CI. Reported:
+//   - inference p99 SLO attainment and goodput over a seeded Poisson
+//     arrival trace (the paper-style co-run, with the inference tenant
+//     holding a width floor and op-boundary priority);
+//   - training throughput retention: co-run steps/s against the same job
+//     run solo on an identical service (the acceptance ratio);
+//   - latency percentiles and step makespans as context (info-only: they
+//     shift with any cost-model retune, the gated ratios should not).
+#include "all_benchmarks.hpp"
+#include "models/models.hpp"
+#include "models/zoo.hpp"
+#include "serve/service.hpp"
+#include "serve/traffic.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace opsched::bench {
+namespace {
+
+/// One deterministic service over the simulated substrate + virtual clock.
+serve::SchedulerService make_service(Runtime& rt) {
+  serve::ServiceOptions sopt;
+  sopt.substrate = serve::Substrate::kSimulated;
+  sopt.clock = serve::ClockMode::kVirtual;
+  return serve::SchedulerService(rt, sopt);
+}
+
+const serve::JobRecord& record_of(const serve::ServiceSnapshot& snap,
+                                  serve::JobId id) {
+  for (const serve::JobRecord& r : snap.jobs) {
+    if (r.id == id) return r;
+  }
+  throw std::logic_error("serve_slo: job lost from the ledger");
+}
+
+void run(Context& ctx) {
+  const int train_steps = std::clamp(ctx.param_int("train_steps", 24), 4, 256);
+  const auto batch = static_cast<std::int64_t>(ctx.param_int("batch", 2));
+  const double rate = std::clamp(ctx.param_double("rps", 25.0), 1.0, 5000.0);
+  const double window = ctx.param_double("window_ms", 800.0);
+  const double deadline = ctx.param_double("deadline_ms", 60.0);
+  const int floor = std::clamp(ctx.param_int("floor", 8), 1, 64);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(ctx.param_int("seed", 42));
+
+  // Training tenant: the MNIST-scale host training graph (kept small so a
+  // co-located step makespan stays well inside the request deadline — the
+  // virtual clock serves at most one request per co-located step, so the
+  // step time IS the service-rate floor). Inference tenant: the cached
+  // forward-only ResNet-50 zoo view.
+  const Graph train_graph = build_mnist_host(batch);
+  const Graph& infer_graph = models::zoo_forward("resnet50_host", 1);
+
+  ctx.header("Latency-SLO inference next to batch training (virtual clock)",
+             "resnet50_host fwd @ " + fmt_double(rate, 0) + " rps Poisson, " +
+                 fmt_double(deadline, 0) + " ms deadline, floor " +
+                 std::to_string(floor) + "; train mnist_host batch " +
+                 std::to_string(batch));
+
+  serve::JobSpec train;
+  train.name = "train";
+  train.graph = train_graph;
+  train.steps = train_steps;
+
+  // Solo reference: the training job alone on an identical service.
+  Runtime solo_rt(MachineSpec::knl());
+  serve::SchedulerService solo = make_service(solo_rt);
+  const serve::JobId solo_id = solo.submit(train);
+  solo.drain();
+  const serve::JobRecord solo_rec = record_of(solo.snapshot(), solo_id);
+  const double solo_sps =
+      solo_rec.steps_done / std::max(solo_rec.service_ms, 1e-9) * 1000.0;
+
+  // Co-run: same training spec plus the open-loop inference tenant.
+  Runtime rt(MachineSpec::knl());
+  serve::SchedulerService svc = make_service(rt);
+  const serve::JobId t = svc.submit(train);
+
+  serve::JobSpec inf;
+  inf.name = "slo-inf";
+  inf.kind = serve::JobKind::kInference;
+  inf.graph = infer_graph;
+  inf.arrivals = serve::poisson_trace(rate, window, seed);
+  inf.deadline_ms = deadline;
+  inf.width_floor = floor;
+  const serve::JobId i = svc.submit(inf);
+
+  svc.drain();
+  const serve::ServiceSnapshot snap = svc.snapshot();
+  const serve::JobRecord& trec = record_of(snap, t);
+  const serve::JobRecord& irec = record_of(snap, i);
+  if (trec.state != serve::JobState::kCompleted ||
+      irec.state != serve::JobState::kCompleted) {
+    throw std::logic_error("serve_slo: non-terminal job after drain");
+  }
+
+  const double corun_sps =
+      trec.steps_done / std::max(trec.service_ms, 1e-9) * 1000.0;
+  const double retention = corun_sps / std::max(solo_sps, 1e-9);
+  const double attainment = irec.slo_attainment();
+
+  // The two acceptance ratios, gated in CI: attainment >= 0.95 and
+  // retention >= 0.80 at the default config, both bit-deterministic.
+  ctx.metric("slo_attainment", attainment, "frac", Direction::kHigherIsBetter);
+  ctx.metric("train_retention", retention, "frac",
+             Direction::kHigherIsBetter);
+  ctx.metric("goodput", irec.goodput_rps(snap.now_ms), "req/s",
+             Direction::kHigherIsBetter);
+  ctx.metric("requests_served", static_cast<double>(irec.steps_done), "req",
+             Direction::kInfo);
+  ctx.metric("p50_latency", irec.p50_latency_ms, "ms", Direction::kInfo);
+  ctx.metric("p99_latency", irec.p99_latency_ms, "ms", Direction::kInfo);
+  ctx.metric("max_latency", irec.max_latency_ms, "ms", Direction::kInfo);
+  ctx.metric("train_solo_sps", solo_sps, "steps/s", Direction::kInfo);
+  ctx.metric("train_corun_sps", corun_sps, "steps/s", Direction::kInfo);
+  ctx.metric("steps_run", static_cast<double>(snap.steps_run), "steps",
+             Direction::kInfo);
+
+  TablePrinter table({"Tenant", "Done", "Attainment", "p99 (ms)", "steps/s"});
+  table.add_row({"inference", std::to_string(irec.steps_done),
+                 fmt_double(attainment, 4), fmt_double(irec.p99_latency_ms, 2),
+                 "-"});
+  table.add_row({"training (corun)", std::to_string(trec.steps_done), "-", "-",
+                 fmt_double(corun_sps, 2)});
+  table.add_row({"training (solo)", std::to_string(solo_rec.steps_done), "-",
+                 "-", fmt_double(solo_sps, 2)});
+  table.print(ctx.out());
+  ctx.out() << irec.steps_done << " requests, SLO attainment "
+            << fmt_double(attainment * 100.0, 1) << "%, training retains "
+            << fmt_double(retention * 100.0, 1)
+            << "% of solo throughput under the co-run\n";
+}
+
+}  // namespace
+
+void register_serve_slo(Registry& reg) {
+  Benchmark b;
+  b.name = "serve_slo";
+  b.figure = "ext";
+  b.description =
+      "latency-SLO inference tenancy: p99 SLO attainment + goodput under "
+      "open-loop Poisson traffic next to batch training, vs solo training";
+  b.default_params = {{"train_steps", "24"}, {"batch", "2"},
+                      {"rps", "25"},         {"window_ms", "800"},
+                      {"deadline_ms", "60"}, {"floor", "8"},
+                      {"seed", "42"}};
+  b.fn = run;
+  reg.add(std::move(b));
+}
+
+}  // namespace opsched::bench

@@ -187,6 +187,10 @@ void AdmissionPolicy::configure_tenants(const TenantSet& set) {
     throw std::invalid_argument(
         "AdmissionPolicy::configure_tenants: weights/ids size mismatch");
   }
+  if (!set.floors.empty() && set.floors.size() != count) {
+    throw std::invalid_argument(
+        "AdmissionPolicy::configure_tenants: floors/ids size mismatch");
+  }
   if (std::set<std::size_t>(set.ids.begin(), set.ids.end()).size() != count) {
     throw std::invalid_argument(
         "AdmissionPolicy::configure_tenants: duplicate tenant ids");
@@ -196,6 +200,10 @@ void AdmissionPolicy::configure_tenants(const TenantSet& set) {
   weights_.assign(count, 1.0);
   for (std::size_t t = 0; t < count && t < set.weights.size(); ++t) {
     if (set.weights[t] > 0.0) weights_[t] = set.weights[t];
+  }
+  floors_.assign(count, 0);
+  for (std::size_t t = 0; t < count && t < set.floors.size(); ++t) {
+    if (set.floors[t] > 0) floors_[t] = set.floors[t];
   }
   service_.assign(count, 0.0);
   explicitly_configured_ = true;
@@ -236,6 +244,7 @@ void AdmissionPolicy::ensure_tenants(std::size_t count) {
     if (service_.size() > count) return;
     service_.resize(count, 0.0);
     weights_.resize(count, 1.0);
+    floors_.resize(count, 0);
     while (slot_ids_.size() < count) slot_ids_.push_back(slot_ids_.size());
     return;
   }
@@ -247,6 +256,7 @@ void AdmissionPolicy::ensure_tenants(std::size_t count) {
   // whatever job id happened to hold slot 0).
   service_.assign(count, 0.0);
   weights_.assign(count, 1.0);
+  floors_.assign(count, 0);
   slot_ids_.resize(count);
   for (std::size_t t = 0; t < count; ++t) slot_ids_[t] = t;
   explicitly_configured_ = false;
@@ -256,8 +266,14 @@ void AdmissionPolicy::tenant_order(std::size_t count,
                                    std::vector<std::size_t>& order) const {
   order.resize(count);
   for (std::size_t t = 0; t < count; ++t) order[t] = t;
+  // Latency-critical slots first — op-boundary preemption priority over
+  // batch training tenants — then the weighted-deficit race within each
+  // group; stable, so ties keep slot order (deterministic).
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t a, std::size_t b) {
+                     const bool lat_a = tenant_floor(a) > 0;
+                     const bool lat_b = tenant_floor(b) > 0;
+                     if (lat_a != lat_b) return lat_a;
                      return service_[a] < service_[b];
                    });
 }
@@ -393,14 +409,40 @@ void AdmissionPolicy::resolve_running(
     const std::vector<RunningOpView>& running, RunningScratch& out) const {
   out.ops.clear();
   out.max_remaining = 0.0;
+  out.held.assign(service_.size(), 0);
   for (const RunningOpView& r : running) {
     out.max_remaining = std::max(out.max_remaining, r.remaining_ms);
+    if (r.threads > 0) {
+      if (out.held.size() <= r.tenant) out.held.resize(r.tenant + 1, 0);
+      out.held[r.tenant] += r.threads;
+    }
     // The caller's token (handed out with the admission decision) spares
     // the arena-map lookup; untokened views resolve by key.
     const ArenaOp op =
         r.op_token != kNoOpToken ? r.op_token : lookup_arena(r.key);
     out.ops.push_back(TenantArenaOp{stable_id(r.tenant), op});
   }
+}
+
+int AdmissionPolicy::reserved_for_latency(
+    const std::vector<TenantReadyView>& tenants, const RunningScratch& running,
+    int idle_cores) const {
+  int reserved = 0;
+  bool batch_has_work = false;
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const int floor = tenant_floor(t);
+    if (floor == 0) {
+      batch_has_work = batch_has_work || !tenants[t].ready->empty();
+      continue;
+    }
+    if (tenants[t].ready->empty()) continue;  // idle latency tenant: no claim
+    const int held = t < running.held.size() ? running.held[t] : 0;
+    reserved += std::max(0, floor - held);
+  }
+  // The starvation guard: a batch tenant with ready work always keeps at
+  // least one admissible core, however the floors were (mis)configured.
+  if (batch_has_work) reserved = std::min(reserved, idle_cores - 1);
+  return std::max(0, reserved);
 }
 
 // ---- the Strategy-3 walk -------------------------------------------------
@@ -543,10 +585,20 @@ std::optional<MultiAdmissionDecision> AdmissionPolicy::pick_once(
     return std::nullopt;
   }
 
+  // Latency floors: cores reserved away from batch picks this round, so a
+  // latency-critical tenant's next ready op always finds its floor free.
+  // Zero (no reservation arithmetic at all) for all-batch populations.
+  const bool any_floor =
+      std::any_of(floors_.begin(), floors_.end(), [](int f) { return f > 0; });
+  const int reserved =
+      any_floor ? reserved_for_latency(tenants, running, idle_cores) : 0;
+
   for (const std::size_t t : order_scratch_) {
     if (tenants[t].ready->empty()) continue;
+    const int usable = tenant_floor(t) > 0 ? idle_cores : idle_cores - reserved;
+    if (usable <= 0) continue;
     const GraphBinding& b = bind(t, *tenants[t].graph);
-    auto pick = pick_for_tenant(t, b, *tenants[t].ready, idle_cores, running,
+    auto pick = pick_for_tenant(t, b, *tenants[t].ready, usable, running,
                                 skips.empty() ? kNoSkip : skips[t],
                                 stats != nullptr ? &(*stats)[t] : nullptr);
     if (pick.has_value()) {
@@ -558,10 +610,13 @@ std::optional<MultiAdmissionDecision> AdmissionPolicy::pick_once(
   if (!running.ops.empty()) return std::nullopt;  // wait for a completion
 
   // Machine empty but nothing "fits" anywhere: the least-served tenant with
-  // ready work runs its most time-consuming op, capped to the idle width.
+  // ready work runs its most time-consuming op, capped to the idle width
+  // (batch tenants additionally leave the latency reservation untouched).
   for (const std::size_t t : order_scratch_) {
     const ReadyQueue& ready = *tenants[t].ready;
     if (ready.empty()) continue;
+    const int usable = tenant_floor(t) > 0 ? idle_cores : idle_cores - reserved;
+    if (usable <= 0) continue;
     const GraphBinding& b = bind(t, *tenants[t].graph);
     const auto& skip = skips.empty() ? kNoSkip : skips[t];
     std::size_t heavy_pos = 0;
@@ -582,7 +637,7 @@ std::optional<MultiAdmissionDecision> AdmissionPolicy::pick_once(
     d.decision.ready_pos = heavy_pos;
     d.decision.candidate = b.nodes[ready[heavy_pos]].choice;
     d.decision.candidate.threads =
-        std::min(d.decision.candidate.threads, idle_cores);
+        std::min(d.decision.candidate.threads, usable);
     d.decision.heavy_fallback = true;
     d.decision.op_token = b.nodes[ready[heavy_pos]].op;
     charge(t, d.decision.candidate);
@@ -662,6 +717,9 @@ std::vector<MultiAdmissionDecision> AdmissionPolicy::next_launch_batch(
         TenantArenaOp{stable_id(t), node.op});
     running_scratch_.max_remaining =
         std::max(running_scratch_.max_remaining, remaining);
+    if (running_scratch_.held.size() <= t)
+      running_scratch_.held.resize(t + 1, 0);
+    running_scratch_.held[t] += std::max(1, c.threads);
   }
   return batch;
 }

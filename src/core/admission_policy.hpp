@@ -67,6 +67,9 @@ struct RunningOpView {
   double remaining_ms = 0.0;
   /// Tenant that launched the op (0 on the single-tenant paths).
   std::size_t tenant = 0;
+  /// Cores the op occupies. 0 means "unknown" — the latency-floor
+  /// reservation then conservatively treats the tenant as holding nothing.
+  int threads = 0;
   /// Dense policy-arena id of `key`, when the caller kept the one its
   /// admission decision returned (AdmissionDecision::op_token). Passing it
   /// back keeps per-wake snapshot resolution off the arena map — the
@@ -95,6 +98,17 @@ struct TenantSet {
   std::vector<std::size_t> ids;
   /// Relative service shares per slot (missing/non-positive default 1.0).
   std::vector<double> weights;
+  /// Per-slot latency width floors (missing entries default 0). A non-zero
+  /// floor marks the slot LATENCY-CRITICAL: the admission walk visits such
+  /// tenants before every batch tenant whatever their fairness deficit
+  /// (preempt-at-op-boundary priority — a training op is never interrupted
+  /// mid-kernel, but as cores free up the latency tenant's ready ops claim
+  /// them first), and while a latency tenant has ready work, batch picks
+  /// must leave it at least `floor` cores (counting the cores it already
+  /// holds). Floors are clamped so batch tenants with ready work always
+  /// keep at least one admissible core — latency tenants may never starve
+  /// training to zero progress.
+  std::vector<int> floors;
   /// Keep each id's accumulated fairness deficit from previous steps
   /// (churn-tolerant co-run: a job shortchanged last step is first in line
   /// this step). false reproduces the per-step reset of the slot-indexed
@@ -268,6 +282,12 @@ class AdmissionPolicy {
   double tenant_service(std::size_t tenant) const;
   std::size_t tenant_count() const noexcept { return service_.size(); }
 
+  /// Latency width floor of slot `tenant` for the configured population
+  /// (0 for batch tenants and unknown slots). Exposed for the SLO tests.
+  int tenant_floor(std::size_t tenant) const {
+    return tenant < floors_.size() ? floors_[tenant] : 0;
+  }
+
   /// Accumulated weighted service of stable id `id` across every step since
   /// it first appeared in a configure_tenants(TenantSet) population (0 for
   /// unknown ids). Survives reconfigurations until retire_tenant(id).
@@ -371,8 +391,10 @@ class AdmissionPolicy {
   /// the identity population of `count` — a legacy call must never inherit
   /// a departed configuration's deficits, weights, or slot→id mapping.
   void ensure_tenants(std::size_t count);
-  /// Tenant visit order: ascending accumulated weighted service, ties by
-  /// tenant index (deterministic). Fills the reusable scratch vector.
+  /// Tenant visit order: latency-critical slots (non-zero floor) before
+  /// batch slots, each group in ascending accumulated weighted service,
+  /// ties by tenant index (deterministic). Fills the reusable scratch
+  /// vector.
   void tenant_order(std::size_t count, std::vector<std::size_t>& order) const;
   /// Adds one launch's weighted cost to the tenant's service ledger.
   void charge(std::size_t tenant, const Candidate& c);
@@ -390,9 +412,22 @@ class AdmissionPolicy {
   struct RunningScratch {
     std::vector<TenantArenaOp> ops;
     double max_remaining = 0.0;
+    /// Cores currently held per SLOT (from RunningOpView::threads), the
+    /// input to the latency-floor reservation. Sized to the largest slot
+    /// index seen; missing slots hold nothing.
+    std::vector<int> held;
   };
   void resolve_running(const std::vector<RunningOpView>& running,
                        RunningScratch& out) const;
+
+  /// Idle cores the latency floors reserve away from BATCH picks this
+  /// round: for every latency-critical slot with ready work, the part of
+  /// its floor not already covered by cores it holds. Clamped to
+  /// idle_cores - 1 whenever a batch tenant has ready work, so floors can
+  /// slow training down but never starve it outright.
+  int reserved_for_latency(const std::vector<TenantReadyView>& tenants,
+                           const RunningScratch& running,
+                           int idle_cores) const;
 
   bool bad_pair_with(const TenantArenaOp& key,
                      const std::vector<TenantArenaOp>& running) const;
@@ -449,6 +484,8 @@ class AdmissionPolicy {
   /// the current step's population.
   std::vector<double> service_;
   std::vector<double> weights_;
+  /// Latency width floor per SLOT (0 = batch tenant); see TenantSet::floors.
+  std::vector<int> floors_;
   /// Stable id per slot (empty/identity for the legacy entry points).
   std::vector<std::size_t> slot_ids_;
   /// The current population came from configure_tenants — a later implicit

@@ -17,6 +17,7 @@ std::vector<RunningOpView> CorunScheduler::running_views(
     v.tenant = it != in_flight_.end() ? it->second.tenant : 0;
     v.key = OpKey::of(graphs[v.tenant]->node(task.node));
     v.remaining_ms = task.remaining_ms / task.rate;
+    v.threads = static_cast<int>(task.cores.count());
     views.push_back(v);
   }
   return views;

@@ -205,6 +205,7 @@ std::vector<StepResult> HostCorunExecutor::run_step_multi(
       r.key = fl.key;
       r.tenant = fl.tenant;
       r.op_token = fl.op_token;
+      r.threads = static_cast<int>(fl.cores.count());
       const double elapsed_model = (now - fl.start_wall_ms) / calib;
       r.remaining_ms = std::max(0.0, fl.predicted_ms - elapsed_model);
       v.push_back(r);

@@ -1,6 +1,9 @@
 #include "models/zoo.hpp"
 
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "models/layer_builder.hpp"
 
@@ -172,20 +175,55 @@ Graph zoo_incep_resnet(std::int64_t batch) {
   return build_incep_resnet_host(batch);
 }
 
+Graph zoo_resnet50_fwd(std::int64_t batch) {
+  return build_resnet(resnet_host_spec(50), batch, /*training=*/false);
+}
+Graph zoo_resnet101_fwd(std::int64_t batch) {
+  return build_resnet(resnet_host_spec(101), batch, /*training=*/false);
+}
+Graph zoo_resnet152_fwd(std::int64_t batch) {
+  return build_resnet(resnet_host_spec(152), batch, /*training=*/false);
+}
+Graph zoo_incep_resnet_fwd(std::int64_t batch) {
+  return build_incep_resnet_host(batch, /*training=*/false);
+}
+
 }  // namespace
 
 const std::vector<ZooEntry>& zoo() {
   static const std::vector<ZooEntry> entries = {
       {"resnet50_host", "ResNet-50", ZooCharacter::kSkipEdge,
-       /*min_nodes=*/700, /*default_batch=*/2, &build_resnet50_host},
+       /*min_nodes=*/700, /*default_batch=*/2, &build_resnet50_host,
+       &zoo_resnet50_fwd},
       {"resnet101", "ResNet-101", ZooCharacter::kSkipEdge,
-       /*min_nodes=*/1400, /*default_batch=*/2, &build_resnet101_host},
+       /*min_nodes=*/1400, /*default_batch=*/2, &build_resnet101_host,
+       &zoo_resnet101_fwd},
       {"resnet152", "ResNet-152", ZooCharacter::kDeepChain,
-       /*min_nodes=*/2000, /*default_batch=*/2, &build_resnet152_host},
+       /*min_nodes=*/2000, /*default_batch=*/2, &build_resnet152_host,
+       &zoo_resnet152_fwd},
       {"incep_resnet", "Inception-ResNet", ZooCharacter::kWideFanOut,
-       /*min_nodes=*/900, /*default_batch=*/2, &zoo_incep_resnet},
+       /*min_nodes=*/900, /*default_batch=*/2, &zoo_incep_resnet,
+       &zoo_incep_resnet_fwd},
   };
   return entries;
+}
+
+const Graph& zoo_forward(const std::string& name, std::int64_t batch) {
+  if (batch <= 0)
+    throw std::invalid_argument("zoo_forward: non-positive batch");
+  const ZooEntry* entry = zoo_find(name);
+  if (entry == nullptr || entry->build_forward == nullptr)
+    throw std::invalid_argument("zoo_forward: unknown zoo model " + name);
+  // One cache entry per (model, batch), built under the lock on first
+  // request. std::map node stability keeps handed-out references valid
+  // across later insertions; entries live for the process (a handful of
+  // graphs — the registry is small and batches are, too).
+  static std::mutex mu;
+  static std::map<std::pair<std::string, std::int64_t>, Graph> cache;
+  const std::lock_guard<std::mutex> lock(mu);
+  const auto [it, inserted] = cache.try_emplace({name, batch});
+  if (inserted) it->second = entry->build_forward(batch);
+  return it->second;
 }
 
 const ZooEntry* zoo_find(const std::string& name) {

@@ -91,6 +91,11 @@ struct ZooEntry {
   std::size_t min_nodes = 0;
   std::int64_t default_batch = 2;
   Graph (*build)(std::int64_t batch) = nullptr;
+  /// Forward-only (inference) view of the same topology; prefer
+  /// zoo_forward(), which caches — serving submits the same view per
+  /// request stream and rebuilding a thousand-node graph per submit is
+  /// pure waste.
+  Graph (*build_forward)(std::int64_t batch) = nullptr;
 };
 
 /// The registry, in ascending depth order. Every entry's training graph is
@@ -100,6 +105,13 @@ const std::vector<ZooEntry>& zoo();
 
 /// nullptr when `name` is not a zoo model.
 const ZooEntry* zoo_find(const std::string& name);
+
+/// The CACHED forward-only view of zoo model `name` at `batch`: built on
+/// first request, then handed out by reference for the process lifetime
+/// (graphs are immutable once built; callers that need to own a copy just
+/// copy-construct). Thread-safe. Throws std::invalid_argument on an
+/// unknown model or non-positive batch.
+const Graph& zoo_forward(const std::string& name, std::int64_t batch);
 
 std::vector<std::string> zoo_names();
 

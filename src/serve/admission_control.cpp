@@ -47,4 +47,25 @@ bool AdmissionController::admit(
   return total_mean_width(resident) + candidate.mean_width <= budget;
 }
 
+bool AdmissionController::admit(
+    const WidthDemand& candidate, JobKind kind, int width_floor,
+    const std::vector<ResidentDemand>& resident) const {
+  if (resident.empty()) return true;  // idle machine: always take work
+  if (resident.size() >= options_.max_corun_jobs) return false;
+  if (kind == JobKind::kInference) {
+    // Floors are HARD reservations the per-op walk honors every round, so
+    // the only thing that can make an inference tenant unschedulable is
+    // other inference tenants' floors: admit while they all fit the cores
+    // that physically exist. Batch residents don't count — the walk
+    // preempts them at op boundaries.
+    int floors = std::max(1, width_floor);
+    for (const ResidentDemand& r : resident)
+      if (r.kind == JobKind::kInference) floors += std::max(1, r.width_floor);
+    return floors <= static_cast<int>(cores_);
+  }
+  double total = candidate.mean_width;
+  for (const ResidentDemand& r : resident) total += r.demand.mean_width;
+  return total <= options_.capacity_factor * static_cast<double>(cores_);
+}
+
 }  // namespace opsched::serve

@@ -13,6 +13,7 @@
 
 #include "graph/graph.hpp"
 #include "perf/perf_db.hpp"
+#include "serve/job.hpp"
 
 namespace opsched::serve {
 
@@ -35,6 +36,16 @@ struct WidthDemand {
 /// reports the neutral demand {1.0, 1, 0.0}.
 WidthDemand estimate_demand(const Graph& g, const PerfDatabase& db);
 
+/// What the class-aware admit() weighs a resident job by: its profiled
+/// appetite plus the tenancy class that decides WHICH budget it charges.
+struct ResidentDemand {
+  WidthDemand demand;
+  JobKind kind = JobKind::kTraining;
+  /// Inference only: the width floor the core admission walk reserves for
+  /// this tenant while it has a pending request (>= 1 once resident).
+  int width_floor = 1;
+};
+
 struct AdmissionOptions {
   /// Hard cap on co-resident jobs, whatever their demand: each tenant
   /// costs scheduler state and dispatcher work every round.
@@ -43,6 +54,8 @@ struct AdmissionOptions {
   /// capacity_factor x machine cores. > 1.0 oversubscribes on purpose —
   /// co-located jobs rarely peak together (that bet is the paper's
   /// Strategy 3 applied at job granularity); < 1.0 reserves headroom.
+  /// Batch (training) candidates only — inference candidates are admitted
+  /// by floors instead (see admit()).
   double capacity_factor = 1.25;
 };
 
@@ -56,8 +69,20 @@ class AdmissionController {
   /// Admit `candidate` alongside `resident` now? An empty machine always
   /// admits (a job wider than the machine must still run eventually —
   /// the per-op scheduler caps its launches to the cores that exist).
+  /// Batch-only form: every resident is charged as a training tenant.
   bool admit(const WidthDemand& candidate,
              const std::vector<WidthDemand>& resident) const;
+
+  /// Class-aware form. Training candidates take the capacity test above
+  /// (their mean width plus every resident's must fit the oversubscribed
+  /// budget). Inference candidates are admitted while the resident
+  /// inference FLOORS plus their own fit the physical cores — their per-op
+  /// priority displaces batch work at op boundaries anyway, so charging
+  /// them against batch demand would only keep latency tenants out of a
+  /// machine that can serve them. `width_floor` is clamped up to 1 for
+  /// inference and ignored for training.
+  bool admit(const WidthDemand& candidate, JobKind kind, int width_floor,
+             const std::vector<ResidentDemand>& resident) const;
 
   /// Sum of resident mean widths the capacity test charges.
   static double total_mean_width(const std::vector<WidthDemand>& resident);

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "graph/graph.hpp"
 
@@ -39,16 +40,47 @@ bool job_state_terminal(JobState s) noexcept;
 /// True when `from -> to` is a legal lifecycle edge (see diagram above).
 bool job_transition_valid(JobState from, JobState to) noexcept;
 
-/// What a client submits: a training-step graph and the knobs the service
-/// schedules it by.
+/// What kind of tenant a job is. Training jobs are throughput-oriented
+/// closed loops (run `steps` co-located steps, each a full fwd+bwd+update
+/// trace). Inference jobs are the production shape: a forward-only graph
+/// serving an OPEN-LOOP request stream — requests arrive on their own
+/// schedule (serve/traffic.hpp), each carries a latency deadline, and the
+/// service books per-request SLO attainment and goodput instead of step
+/// throughput.
+enum class JobKind : std::uint8_t {
+  kTraining = 0,
+  kInference,
+};
+
+const char* job_kind_name(JobKind k) noexcept;
+
+/// What a client submits: a step graph and the knobs the service schedules
+/// it by.
 struct JobSpec {
   /// Display name (not an identity; the returned JobId is).
   std::string name;
-  /// The training-step graph. Copied into the service, which must outlive
-  /// the caller's copy anyway — jobs run long after submit() returns.
+  /// The step graph: a full training trace for kTraining, a forward-only
+  /// view for kInference (models::zoo_forward hands out cached views).
+  /// Copied into the service, which must outlive the caller's copy anyway —
+  /// jobs run long after submit() returns.
   Graph graph;
-  /// Step budget: the job completes after this many co-located steps.
+  JobKind kind = JobKind::kTraining;
+  /// Training: the job completes after this many co-located steps.
+  /// Ignored for inference jobs, whose budget is `arrivals.size()`.
   int steps = 1;
+  /// Inference only: request arrival offsets in ms AFTER submit, ascending
+  /// (one forward step serves one request, FIFO). Must be non-empty for
+  /// kInference; must be empty for kTraining.
+  std::vector<double> arrivals;
+  /// Inference only: per-request latency SLO in service-clock ms
+  /// (arrival -> completion). A request served within deadline_ms is an
+  /// SLO hit; the ledger reports attainment and goodput over these.
+  double deadline_ms = 100.0;
+  /// Inference only: width floor while co-running — the cores the core
+  /// admission walk keeps free of batch work whenever this tenant has a
+  /// pending request (see TenantSet::floors). 0 means 1 (a latency tenant
+  /// always has SOME preempt-at-op-boundary priority).
+  int width_floor = 0;
   /// Relative claim on contended cores while co-running (the weighted-
   /// deficit fairness walk's weight; non-positive values mean 1.0).
   double weight = 1.0;
@@ -71,6 +103,9 @@ struct JobRecord {
   JobId id = kInvalidJob;
   std::string name;
   JobState state = JobState::kQueued;
+  JobKind kind = JobKind::kTraining;
+  /// Training: steps of the budget. Inference: requests (steps_total is the
+  /// arrival-trace length; one co-located step serves one request).
   int steps_total = 0;
   int steps_done = 0;
   double weight = 1.0;
@@ -97,6 +132,19 @@ struct JobRecord {
   /// on the simulated substrate, which never touches tensor values.
   double checksum = 0.0;
 
+  // -- inference (SLO) metrics; zero/negative for training jobs -----------
+
+  /// Per-request SLO copied from the spec.
+  double deadline_ms = 0.0;
+  /// Requests served within deadline_ms so far.
+  std::size_t slo_hits = 0;
+  /// Request latency (arrival -> completion) aggregates over the requests
+  /// served so far; percentiles are finalized from the full latency series
+  /// as requests complete. -1 while no request was served.
+  double p50_latency_ms = -1.0;
+  double p99_latency_ms = -1.0;
+  double max_latency_ms = -1.0;
+
   /// Queue latency: submit to first admission (-1 while never admitted).
   double wait_ms() const {
     return admit_ms < 0.0 ? -1.0 : admit_ms - submit_ms;
@@ -104,6 +152,23 @@ struct JobRecord {
   /// Submit to terminal state (-1 while not terminal).
   double turnaround_ms() const {
     return finish_ms < 0.0 ? -1.0 : finish_ms - submit_ms;
+  }
+  /// Fraction of served requests that met the deadline (1.0 before any
+  /// request was served — an empty window has no misses).
+  double slo_attainment() const {
+    return steps_done == 0
+               ? 1.0
+               : static_cast<double>(slo_hits) /
+                     static_cast<double>(steps_done);
+  }
+  /// SLO-hitting requests per second of the job's lifetime so far
+  /// (submit -> finish, or submit -> `now_ms` while live). The canonical
+  /// "goodput" of a latency-SLO tenant: work delivered on time, not work
+  /// delivered late.
+  double goodput_rps(double now_ms) const {
+    const double end = finish_ms >= 0.0 ? finish_ms : now_ms;
+    const double span = end - submit_ms;
+    return span > 0.0 ? static_cast<double>(slo_hits) / span * 1000.0 : 0.0;
   }
 };
 

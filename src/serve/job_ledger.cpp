@@ -16,6 +16,14 @@ const char* job_state_name(JobState s) noexcept {
   return "?";
 }
 
+const char* job_kind_name(JobKind k) noexcept {
+  switch (k) {
+    case JobKind::kTraining: return "training";
+    case JobKind::kInference: return "inference";
+  }
+  return "?";
+}
+
 bool job_state_terminal(JobState s) noexcept {
   return s == JobState::kCompleted || s == JobState::kCancelled;
 }
@@ -45,9 +53,13 @@ JobRecord& JobLedger::add(const JobSpec& spec, double now_ms) {
   rec.id = id;
   rec.name = spec.name;
   rec.state = JobState::kQueued;
-  rec.steps_total = spec.steps;
+  rec.kind = spec.kind;
+  rec.steps_total = spec.kind == JobKind::kInference
+                        ? static_cast<int>(spec.arrivals.size())
+                        : spec.steps;
   rec.weight = spec.weight > 0.0 ? spec.weight : 1.0;
   rec.priority = spec.priority;
+  rec.deadline_ms = spec.kind == JobKind::kInference ? spec.deadline_ms : 0.0;
   rec.submit_ms = now_ms;
   ++counts_[static_cast<std::size_t>(JobState::kQueued)];
   return records_.emplace(id, std::move(rec)).first->second;

@@ -1,11 +1,14 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "util/clock.hpp"
+#include "util/stats.hpp"
 
 namespace opsched::serve {
 
@@ -30,26 +33,51 @@ SchedulerService::~SchedulerService() { stop(); }
 JobId SchedulerService::submit(JobSpec spec) {
   if (spec.graph.size() == 0)
     throw std::invalid_argument("SchedulerService::submit: empty graph");
-  if (spec.steps <= 0)
-    throw std::invalid_argument(
-        "SchedulerService::submit: non-positive step budget");
+  if (spec.kind == JobKind::kInference) {
+    if (spec.arrivals.empty())
+      throw std::invalid_argument(
+          "SchedulerService::submit: inference job without an arrival "
+          "trace");
+    if (!std::is_sorted(spec.arrivals.begin(), spec.arrivals.end()))
+      throw std::invalid_argument(
+          "SchedulerService::submit: arrival trace not ascending");
+    if (spec.arrivals.front() < 0.0)
+      throw std::invalid_argument(
+          "SchedulerService::submit: negative arrival offset");
+    if (spec.deadline_ms <= 0.0)
+      throw std::invalid_argument(
+          "SchedulerService::submit: non-positive deadline");
+  } else {
+    if (!spec.arrivals.empty())
+      throw std::invalid_argument(
+          "SchedulerService::submit: training job with an arrival trace");
+    if (spec.steps <= 0)
+      throw std::invalid_argument(
+          "SchedulerService::submit: non-positive step budget");
+  }
 
   std::unique_lock<std::mutex> lk(mu_);
   if (stopped_ || stop_requested_)
     throw std::logic_error("SchedulerService::submit: service stopped");
 
-  JobRecord& rec = ledger_.add(spec, wall_time_ms());
+  JobRecord& rec = ledger_.add(spec, now_locked());
   const JobId id = rec.id;
   auto job = std::make_unique<Job>();
   job->spec = std::move(spec);
   jobs_.emplace(id, std::move(job));
 
-  // Keep the wait queue sorted by (priority desc, submit order asc): ids
-  // are monotone in submit order, so (priority, id) is the full key.
-  const int priority = rec.priority;
+  // Keep the wait queue sorted by (inference first, priority desc, submit
+  // order asc): latency-SLO tenants are considered before any batch job,
+  // and ids are monotone in submit order, so this triple is the full key.
+  const auto rank = [this](JobId jid) {
+    const JobRecord& r = ledger_.at(jid);
+    return std::make_pair(r.kind == JobKind::kInference ? 0 : 1,
+                          -r.priority);
+  };
+  const auto mine = rank(id);
   const auto pos = std::find_if(
       queue_.begin(), queue_.end(), [&](JobId other) {
-        return ledger_.at(other).priority < priority;
+        return rank(other) > mine;
       });
   queue_.insert(pos, id);
   cv_.notify_all();
@@ -197,6 +225,42 @@ JobRecord SchedulerService::wait(JobId id) {
       "SchedulerService::wait: service stopped before the job finished");
 }
 
+double SchedulerService::now_locked() const {
+  return options_.clock == ClockMode::kVirtual ? vnow_ : wall_time_ms();
+}
+
+std::vector<JobId> SchedulerService::steppable_locked(double now) const {
+  std::vector<JobId> out;
+  out.reserve(resident_.size());
+  for (const JobId id : resident_) {
+    const Job& job = *jobs_.at(id);
+    if (job.spec.kind != JobKind::kInference) {
+      out.push_back(id);
+      continue;
+    }
+    const JobRecord& rec = ledger_.at(id);
+    const auto served = static_cast<std::size_t>(rec.steps_done);
+    if (served < job.spec.arrivals.size() &&
+        rec.submit_ms + job.spec.arrivals[served] <= now) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+double SchedulerService::next_arrival_ms_locked() const {
+  double next = std::numeric_limits<double>::infinity();
+  for (const JobId id : resident_) {
+    const Job& job = *jobs_.at(id);
+    if (job.spec.kind != JobKind::kInference) continue;
+    const JobRecord& rec = ledger_.at(id);
+    const auto served = static_cast<std::size_t>(rec.steps_done);
+    if (served < job.spec.arrivals.size())
+      next = std::min(next, rec.submit_ms + job.spec.arrivals[served]);
+  }
+  return next;
+}
+
 ServiceSnapshot SchedulerService::snapshot() const {
   std::unique_lock<std::mutex> lk(mu_);
   ServiceSnapshot snap;
@@ -209,6 +273,7 @@ ServiceSnapshot SchedulerService::snapshot() const {
   snap.steps_run = steps_run_;
   snap.reconfigurations = reconfigurations_;
   snap.stepped_service_ms = stepped_service_ms_;
+  snap.now_ms = now_locked();
   return snap;
 }
 
@@ -218,7 +283,7 @@ bool SchedulerService::started() const {
 }
 
 void SchedulerService::finish_job_locked(JobId id, JobState terminal) {
-  ledger_.transition(id, terminal, wall_time_ms());
+  ledger_.transition(id, terminal, now_locked());
   Job& job = *jobs_.at(id);
   if (!job.retired) {
     // Drop the job's learned scheduler state on both substrates; profiled
@@ -232,6 +297,7 @@ void SchedulerService::finish_job_locked(JobId id, JobState terminal) {
   // ever served.
   job.program.reset();
   job.spec.graph = Graph();
+  job.latencies = std::vector<double>();
   cv_.notify_all();
 }
 
@@ -277,7 +343,7 @@ void SchedulerService::admission_pass(std::unique_lock<std::mutex>& lk) {
         // Lazy profiling at first admission consideration: warm
         // (kind, shape) keys in the shared PerfDatabase are reused, so
         // only genuinely new shapes cost hill-climb samples.
-        ledger_.transition(id, JobState::kProfiling, wall_time_ms());
+        ledger_.transition(id, JobState::kProfiling, now_locked());
         lk.unlock();
         const double t0 = wall_time_ms();
         ProfilingReport report;
@@ -298,11 +364,16 @@ void SchedulerService::admission_pass(std::unique_lock<std::mutex>& lk) {
           // cycle() must exit with the lock held whatever happens in the
           // unlocked region — the loop/drain handlers mutate shared state.
           lk.lock();
-          ledger_.transition(id, JobState::kQueued, wall_time_ms());
+          ledger_.transition(id, JobState::kQueued, now_locked());
           decisions_stale_ = true;  // the partial profile may have built
           throw;
         }
-        const double profile_ms = wall_time_ms() - t0;
+        // The virtual clock books profiling as free: replay determinism
+        // would otherwise leak real profiling wall time into every
+        // downstream arrival comparison.
+        const double profile_ms = options_.clock == ClockMode::kVirtual
+                                      ? 0.0
+                                      : wall_time_ms() - t0;
         lk.lock();
         job.demand = demand;
         job.demand_known = true;
@@ -320,20 +391,25 @@ void SchedulerService::admission_pass(std::unique_lock<std::mutex>& lk) {
         break;  // restart the scan: the queue may have changed meanwhile
       }
 
-      std::vector<WidthDemand> resident_demands;
+      std::vector<ResidentDemand> resident_demands;
       resident_demands.reserve(resident_.size());
-      for (const JobId rid : resident_)
-        resident_demands.push_back(jobs_.at(rid)->demand);
-      if (admission_.admit(job.demand, resident_demands)) {
+      for (const JobId rid : resident_) {
+        const Job& rj = *jobs_.at(rid);
+        resident_demands.push_back(
+            {rj.demand, rj.spec.kind, std::max(1, rj.spec.width_floor)});
+      }
+      if (admission_.admit(job.demand, job.spec.kind,
+                           std::max(1, job.spec.width_floor),
+                           resident_demands)) {
         queue_.erase(std::find(queue_.begin(), queue_.end(), id));
         resident_.push_back(id);
-        ledger_.transition(id, JobState::kRunning, wall_time_ms());
+        ledger_.transition(id, JobState::kRunning, now_locked());
         decisions_stale_ = true;
         ++reconfigurations_;
         progress = true;
       } else if (ledger_.at(id).state == JobState::kProfiling) {
         // Profiled but declined: back to the queue with its demand cached.
-        ledger_.transition(id, JobState::kQueued, wall_time_ms());
+        ledger_.transition(id, JobState::kQueued, now_locked());
       }
       // Declined jobs stay queued; the scan continues — a narrower job
       // further back may still fit (backfill; see docs/SERVING.md).
@@ -342,7 +418,10 @@ void SchedulerService::admission_pass(std::unique_lock<std::mutex>& lk) {
 }
 
 void SchedulerService::run_one_step(std::unique_lock<std::mutex>& lk) {
-  const std::vector<JobId> stepped(resident_);
+  // Only STEPPABLE tenants join this step: inference tenants between
+  // requests sit it out (open loop — their next request has not arrived),
+  // so the step's cores go to tenants with actual work.
+  const std::vector<JobId> stepped = steppable_locked(now_locked());
   TenantSet set;
   set.preserve_service = true;
   std::vector<const Graph*> graphs;
@@ -351,11 +430,21 @@ void SchedulerService::run_one_step(std::unique_lock<std::mutex>& lk) {
     const Job& job = *jobs_.at(id);
     set.ids.push_back(static_cast<std::size_t>(id));
     set.weights.push_back(ledger_.at(id).weight);
+    // Inference tenants are latency-critical in the core admission walk:
+    // visited first at every op boundary, with their width floor kept
+    // clear of batch picks (TenantSet::floors).
+    set.floors.push_back(job.spec.kind == JobKind::kInference
+                             ? std::max(1, job.spec.width_floor)
+                             : 0);
     graphs.push_back(&job.spec.graph);
     if (options_.substrate == Substrate::kHost)
       programs.push_back(job.program.get());
   }
-  const bool rebuild = decisions_stale_;
+  // Consolidation decisions are built over the union of the stepped
+  // graphs, so a different tenant subset forces a rebuild even when the
+  // resident set itself is unchanged.
+  const bool rebuild = decisions_stale_ || stepped != last_stepped_;
+  last_stepped_ = stepped;
   decisions_stale_ = false;
 
   lk.unlock();
@@ -375,8 +464,18 @@ void SchedulerService::run_one_step(std::unique_lock<std::mutex>& lk) {
   lk.lock();
 
   ++steps_run_;
+  // The virtual clock advances by the step's makespan: the longest
+  // per-tenant virtual time of this co-located step.
+  if (options_.clock == ClockMode::kVirtual) {
+    double makespan = 0.0;
+    for (const StepResult& r : results)
+      makespan = std::max(makespan, r.time_ms);
+    vnow_ += makespan;
+  }
+  const double now = now_locked();
   for (std::size_t t = 0; t < stepped.size(); ++t) {
     const StepResult& r = results[t];
+    Job& job = *jobs_.at(stepped[t]);
     JobRecord& rec = ledger_.at(stepped[t]);
     ++rec.steps_done;
     rec.service_ms += r.service_ms;
@@ -384,6 +483,18 @@ void SchedulerService::run_one_step(std::unique_lock<std::mutex>& lk) {
     rec.corun_launches += r.corun_launches;
     rec.overlay_launches += r.overlay_launches;
     stepped_service_ms_ += r.service_ms;
+    if (job.spec.kind == JobKind::kInference) {
+      // This step served the job's oldest pending request (FIFO, one per
+      // step): book its arrival -> completion latency against the SLO.
+      const auto idx = static_cast<std::size_t>(rec.steps_done - 1);
+      const double arrival = rec.submit_ms + job.spec.arrivals[idx];
+      const double latency = std::max(0.0, now - arrival);
+      job.latencies.push_back(latency);
+      if (latency <= rec.deadline_ms) ++rec.slo_hits;
+      rec.max_latency_ms = std::max(rec.max_latency_ms, latency);
+      rec.p50_latency_ms = percentile(job.latencies, 50.0);
+      rec.p99_latency_ms = percentile(job.latencies, 99.0);
+    }
     if (options_.substrate == Substrate::kHost) {
       if (rec.steps_done == 1) {
         rec.checksum = r.checksum;
@@ -411,6 +522,23 @@ SchedulerService::CycleOutcome SchedulerService::cycle(
   apply_cancels_locked();
   admission_pass(lk);
   if (resident_.empty()) return CycleOutcome::kIdle;
+  if (steppable_locked(now_locked()).empty()) {
+    // Every resident tenant is an inference job between requests. The
+    // open loop says when work arrives next — jump the virtual clock
+    // there, or sleep the wall clock until then (a submit or cancel
+    // wakes the sleeper early).
+    const double next = next_arrival_ms_locked();
+    if (options_.clock == ClockMode::kVirtual) {
+      vnow_ = std::max(vnow_, next);
+    } else {
+      const double wait_ms = next - wall_time_ms();
+      if (wait_ms > 0.0) {
+        cv_.wait_for(lk, std::chrono::duration<double, std::milli>(wait_ms),
+                     [&] { return stop_requested_ || work_pending_locked(); });
+      }
+    }
+    return CycleOutcome::kWorked;
+  }
   run_one_step(lk);
   return CycleOutcome::kWorked;
 }

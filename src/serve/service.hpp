@@ -55,8 +55,25 @@ enum class Substrate : std::uint8_t {
 
 const char* substrate_name(Substrate s) noexcept;
 
+/// What clock stamps the ledger and paces open-loop arrivals.
+///   kWall    — real wall time (util/clock.hpp); production shape, but two
+///              runs never book identical timestamps.
+///   kVirtual — a deterministic service clock: starts at 0, advances only
+///              by step makespans (the max of the step's per-tenant
+///              time_ms), jumps to the next arrival when every resident
+///              inference tenant is between requests, and books profiling
+///              as free. On the simulated substrate this makes the ENTIRE
+///              service replayable — same submits, traces, and seeds give
+///              bit-identical ledger metrics — which is what the SLO
+///              replay tests assert.
+enum class ClockMode : std::uint8_t {
+  kWall = 0,
+  kVirtual,
+};
+
 struct ServiceOptions {
   Substrate substrate = Substrate::kSimulated;
+  ClockMode clock = ClockMode::kWall;
   AdmissionOptions admission;
   /// Timed repeats per host profiling sample (Runtime::profile_host_multi).
   int profile_repeats = 1;
@@ -82,6 +99,9 @@ struct ServiceSnapshot {
   /// the per-job ledger — conservation demands this equals the sum of the
   /// jobs' service_ms (the churn tests assert it).
   double stepped_service_ms = 0.0;
+  /// The service clock at snapshot time (wall ms or the virtual clock,
+  /// per ServiceOptions::clock) — the `now` for goodput_rps on live jobs.
+  double now_ms = 0.0;
 };
 
 /// Lifetime: borrows `runtime`, which must outlive the service. One
@@ -153,13 +173,18 @@ class SchedulerService {
     std::unique_ptr<HostGraphProgram> program;
     bool demand_known = false;
     WidthDemand demand;
+    /// Inference: latency of every request served so far (the percentile
+    /// basis). Freed with the rest of the working state at terminal.
+    std::vector<double> latencies;
     bool cancel_requested = false;
     bool retired = false;  // runtime.retire_tenant(id) already called
   };
 
   enum class CycleOutcome {
     kIdle,    // no resident jobs after reconfiguration: nothing to step
-    kWorked,  // ran one co-located step
+    kWorked,  // ran one co-located step, or advanced the clock to the
+              // next open-loop arrival (resident inference tenants exist
+              // but none had a pending request)
   };
 
   /// One loop iteration: apply cancellations, run the admission pass
@@ -172,6 +197,15 @@ class SchedulerService {
   void admission_pass(std::unique_lock<std::mutex>& lk);
   void run_one_step(std::unique_lock<std::mutex>& lk);
   void finish_job_locked(JobId id, JobState terminal);
+  /// The service clock: wall ms, or the virtual clock in kVirtual mode.
+  double now_locked() const;
+  /// Resident jobs that can join the NEXT co-located step at clock `now`:
+  /// every training job, plus inference jobs with an arrived-but-unserved
+  /// request (open-loop tenants between requests sit the step out).
+  std::vector<JobId> steppable_locked(double now) const;
+  /// Earliest unarrived request among resident inference jobs (service-
+  /// clock ms); +infinity when none is pending.
+  double next_arrival_ms_locked() const;
   /// True when a boundary action is pending: something submitted/cancelled
   /// that the next cycle must look at.
   bool work_pending_locked() const;
@@ -186,13 +220,21 @@ class SchedulerService {
   std::condition_variable cv_;
   JobLedger ledger_;
   std::map<JobId, std::unique_ptr<Job>> jobs_;
-  /// Waiting jobs, kept sorted by (priority desc, id asc).
+  /// Waiting jobs, kept sorted by (inference first, then priority desc,
+  /// id asc) — latency-SLO tenants are considered for admission before any
+  /// batch job of whatever priority.
   std::vector<JobId> queue_;
   /// Resident (admitted, stepping) jobs, in admission order.
   std::vector<JobId> resident_;
   /// Resident set changed (or a candidate was profiled, which clobbers the
   /// controller's decisions): rebuild decisions before the next step.
   bool decisions_stale_ = false;
+  /// The tenant subset the last step actually ran (consolidation decisions
+  /// are built over the UNION of the stepped graphs, so a different subset
+  /// forces a rebuild even when the resident set is unchanged).
+  std::vector<JobId> last_stepped_;
+  /// The virtual service clock (kVirtual mode only); ms since construction.
+  double vnow_ = 0.0;
   std::size_t steps_run_ = 0;
   std::size_t reconfigurations_ = 0;
   double stepped_service_ms_ = 0.0;

@@ -1,0 +1,72 @@
+#include "serve/traffic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace opsched::serve {
+
+namespace {
+
+/// Exponential gap in ms at `rate_rps`, by inverse CDF over the engine's
+/// uniform [0, 1). 1 - u keeps the argument of log strictly positive.
+double exp_gap_ms(Xoshiro256& rng, double rate_rps) {
+  const double u = rng.uniform();
+  return -std::log(1.0 - u) / rate_rps * 1000.0;
+}
+
+}  // namespace
+
+ArrivalTrace poisson_trace(double rate_rps, double duration_ms,
+                           std::uint64_t seed) {
+  if (rate_rps <= 0.0)
+    throw std::invalid_argument("poisson_trace: non-positive rate");
+  if (duration_ms <= 0.0)
+    throw std::invalid_argument("poisson_trace: non-positive duration");
+  Xoshiro256 rng(seed);
+  ArrivalTrace trace;
+  trace.reserve(static_cast<std::size_t>(rate_rps * duration_ms / 1000.0) + 8);
+  for (double t = exp_gap_ms(rng, rate_rps); t < duration_ms;
+       t += exp_gap_ms(rng, rate_rps)) {
+    trace.push_back(t);
+  }
+  return trace;
+}
+
+double rate_at(const DiurnalEnvelope& env, double t_ms) {
+  return in_burst(env, t_ms) ? env.peak_rps : env.base_rps;
+}
+
+bool in_burst(const DiurnalEnvelope& env, double t_ms) {
+  const double phase = std::fmod(t_ms, env.period_ms);
+  return phase < env.burst_fraction * env.period_ms;
+}
+
+ArrivalTrace diurnal_trace(const DiurnalEnvelope& env, double duration_ms,
+                           std::uint64_t seed) {
+  if (env.base_rps <= 0.0 || env.peak_rps <= 0.0)
+    throw std::invalid_argument("diurnal_trace: non-positive rate");
+  if (env.peak_rps < env.base_rps)
+    throw std::invalid_argument("diurnal_trace: peak below base");
+  if (env.period_ms <= 0.0 || duration_ms <= 0.0)
+    throw std::invalid_argument("diurnal_trace: non-positive duration");
+  if (env.burst_fraction <= 0.0 || env.burst_fraction >= 1.0)
+    throw std::invalid_argument("diurnal_trace: burst_fraction not in (0,1)");
+
+  // Thinning (Lewis-Shedler): candidates at the majorizing constant rate
+  // peak_rps, each kept with probability rate(t)/peak. One uniform is
+  // drawn per candidate unconditionally, so the accept decision at time t
+  // never shifts the gap stream — the kept arrivals in a window depend
+  // only on the candidates and coins up to it (stable, testable).
+  Xoshiro256 rng(seed);
+  ArrivalTrace trace;
+  for (double t = exp_gap_ms(rng, env.peak_rps); t < duration_ms;
+       t += exp_gap_ms(rng, env.peak_rps)) {
+    const double keep = rng.uniform();
+    if (keep * env.peak_rps < rate_at(env, t)) trace.push_back(t);
+  }
+  return trace;
+}
+
+}  // namespace opsched::serve

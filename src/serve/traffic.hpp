@@ -1,0 +1,56 @@
+// Open-loop traffic generation for the inference tenancy: seeded arrival
+// traces the serving layer replays. Open-loop means arrivals do NOT wait
+// for earlier requests to finish — the trace is fixed up front, so a slow
+// server builds a queue and pays it in latency, exactly like production
+// traffic from millions of independent users. Everything here is
+// deterministic under a fixed seed (util/rng.hpp engines, explicit
+// inverse-CDF sampling): the same (parameters, seed) always yields the
+// bit-identical trace, which is what makes the SLO replay tests assertable
+// rather than merely benchmarkable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace opsched::serve {
+
+/// Request arrival offsets in ms (ascending, relative to an epoch the
+/// consumer chooses — the service uses the job's submit time).
+using ArrivalTrace = std::vector<double>;
+
+/// Homogeneous Poisson process: exponential inter-arrival gaps at
+/// `rate_rps` requests per second, truncated to [0, duration_ms). Returns
+/// the ascending trace (possibly empty for tiny rate x duration). Throws
+/// std::invalid_argument on non-positive rate or duration.
+ArrivalTrace poisson_trace(double rate_rps, double duration_ms,
+                           std::uint64_t seed);
+
+/// A compressed diurnal day: traffic alternates between a base load and
+/// burst (peak-hour) windows. Each period of `period_ms` opens with a
+/// burst window of `burst_fraction` x period at `peak_rps`; the remainder
+/// runs at `base_rps`. Piecewise-constant on purpose — burst membership of
+/// any instant is exact, so the generator's property tests can assert the
+/// envelope instead of eyeballing it.
+struct DiurnalEnvelope {
+  double base_rps = 10.0;
+  double peak_rps = 50.0;
+  double period_ms = 1000.0;
+  double burst_fraction = 0.25;  // in (0, 1)
+};
+
+/// Instantaneous arrival rate (requests per second) of the envelope at
+/// offset `t_ms` — peak_rps inside a burst window, base_rps outside.
+double rate_at(const DiurnalEnvelope& env, double t_ms);
+
+/// True when `t_ms` falls inside one of the envelope's burst windows.
+bool in_burst(const DiurnalEnvelope& env, double t_ms);
+
+/// Inhomogeneous Poisson arrivals under the diurnal envelope over
+/// [0, duration_ms), via thinning: candidates are drawn at peak_rps and
+/// kept with probability rate_at(t)/peak_rps. Deterministic under a fixed
+/// seed. Throws std::invalid_argument on non-positive rates/durations, a
+/// burst_fraction outside (0, 1), or peak_rps < base_rps.
+ArrivalTrace diurnal_trace(const DiurnalEnvelope& env, double duration_ms,
+                           std::uint64_t seed);
+
+}  // namespace opsched::serve

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 #include <string>
 
 #include "models/models.hpp"
@@ -148,6 +149,48 @@ TEST(DeepZoo, ForwardOnlyViewDropsBackwardAndOptimizer) {
   const Graph ifwd = models::build_incep_resnet_host(2, /*training=*/false);
   EXPECT_EQ(ifwd.count_kind(OpKind::kApplyAdam), 0u);
   EXPECT_GT(ifwd.count_kind(OpKind::kConcat), 0u);
+}
+
+TEST(DeepZoo, ZooForwardViewsAreCachedPerModelAndBatch) {
+  // Repeat requests must hand back the SAME object — the registry caches
+  // the forward view instead of re-deriving a thousand-node graph per
+  // call (the serving layer submits these per request stream).
+  const Graph& a = models::zoo_forward("resnet50_host", 2);
+  const Graph& b = models::zoo_forward("resnet50_host", 2);
+  EXPECT_EQ(&a, &b);
+  // Distinct (model, batch) keys are distinct entries.
+  const Graph& c = models::zoo_forward("resnet50_host", 1);
+  EXPECT_NE(&a, &c);
+  const Graph& d = models::zoo_forward("incep_resnet", 2);
+  EXPECT_NE(&a, &d);
+
+  // The cached view IS the forward-only build: same topology, no
+  // backward/optimizer ops.
+  const Graph fresh =
+      models::build_resnet(models::resnet_host_spec(50), 2, false);
+  EXPECT_EQ(a.size(), fresh.size());
+  EXPECT_EQ(a.count_kind(OpKind::kApplyAdam), 0u);
+  EXPECT_EQ(d.count_kind(OpKind::kApplyAdam), 0u);
+}
+
+TEST(DeepZoo, ZooForwardValidatesItsArguments) {
+  EXPECT_THROW(models::zoo_forward("no_such_model", 2),
+               std::invalid_argument);
+  EXPECT_THROW(models::zoo_forward("resnet50_host", 0),
+               std::invalid_argument);
+  EXPECT_THROW(models::zoo_forward("resnet50_host", -1),
+               std::invalid_argument);
+}
+
+TEST(DeepZoo, RegistryEntriesAllCarryForwardBuilders) {
+  for (const models::ZooEntry& e : models::zoo()) {
+    SCOPED_TRACE(e.name);
+    ASSERT_NE(e.build_forward, nullptr);
+    const Graph& fwd = models::zoo_forward(e.name, e.default_batch);
+    EXPECT_GT(fwd.size(), 0u);
+    const Graph train = e.build(e.default_batch);
+    EXPECT_LT(fwd.size(), train.size());
+  }
 }
 
 TEST(DeepZoo, InceptionBlocksFanOutWide) {

@@ -95,6 +95,60 @@ TEST(AdmissionController, MaxCorunJobsCapBindsRegardlessOfWidth) {
   EXPECT_FALSE(ctl.admit(tiny, {tiny, tiny}));
 }
 
+TEST(AdmissionController, InferenceAdmitsByFloorsNotBatchDemand) {
+  AdmissionOptions opt;
+  opt.capacity_factor = 1.0;
+  opt.max_corun_jobs = 8;
+  const AdmissionController ctl(opt, 16);
+
+  // The machine is saturated with batch demand — a batch candidate is
+  // rejected, but an inference candidate with a modest floor still fits:
+  // its per-op priority displaces batch work at op boundaries.
+  WidthDemand wide;
+  wide.mean_width = 15.0;
+  const std::vector<ResidentDemand> residents = {
+      {wide, JobKind::kTraining, 1}};
+  WidthDemand more;
+  more.mean_width = 4.0;
+  EXPECT_FALSE(ctl.admit(more, JobKind::kTraining, 1, residents));
+  EXPECT_TRUE(ctl.admit(more, JobKind::kInference, 4, residents));
+}
+
+TEST(AdmissionController, InferenceFloorsMustFitThePhysicalCores) {
+  const AdmissionController ctl({}, 16);
+  WidthDemand slim;
+  slim.mean_width = 1.0;
+  const std::vector<ResidentDemand> residents = {
+      {slim, JobKind::kInference, 10},
+      {slim, JobKind::kTraining, 1}};
+  // Resident inference floors total 10 of 16 cores: a candidate floor of 6
+  // fits exactly; 7 does not (floors are hard reservations — overlapping
+  // them would make one tenant's SLO a lie).
+  EXPECT_TRUE(ctl.admit(slim, JobKind::kInference, 6, residents));
+  EXPECT_FALSE(ctl.admit(slim, JobKind::kInference, 7, residents));
+  // Zero/negative floors clamp to 1 — a latency tenant always claims a
+  // core.
+  EXPECT_TRUE(ctl.admit(slim, JobKind::kInference, 0, residents));
+}
+
+TEST(AdmissionController, BatchOnlyFormMatchesClassAwareTrainingForm) {
+  AdmissionOptions opt;
+  opt.capacity_factor = 1.0;
+  const AdmissionController ctl(opt, 16);
+  WidthDemand ten;
+  ten.mean_width = 10.0;
+  WidthDemand six;
+  six.mean_width = 6.0;
+  WidthDemand seven;
+  seven.mean_width = 7.0;
+  const std::vector<ResidentDemand> residents = {
+      {ten, JobKind::kTraining, 1}};
+  EXPECT_EQ(ctl.admit(six, {ten}),
+            ctl.admit(six, JobKind::kTraining, 1, residents));
+  EXPECT_EQ(ctl.admit(seven, {ten}),
+            ctl.admit(seven, JobKind::kTraining, 1, residents));
+}
+
 TEST(AdmissionController, DegenerateOptionsAreSanitised) {
   AdmissionOptions opt;
   opt.max_corun_jobs = 0;

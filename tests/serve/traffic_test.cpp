@@ -1,0 +1,130 @@
+// Property tests for the open-loop traffic generator (serve/traffic.hpp):
+// determinism under a fixed seed, trace well-formedness, empirical rate
+// against the requested intensity, and — for the diurnal generator — that
+// the arrivals respect the piecewise-constant envelope (peak rate inside
+// burst windows, base rate outside) rather than merely averaging out.
+#include "serve/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace opsched::serve {
+namespace {
+
+double empirical_rps(std::size_t count, double window_ms) {
+  return static_cast<double>(count) / window_ms * 1000.0;
+}
+
+TEST(TrafficPoisson, FixedSeedIsBitDeterministic) {
+  const ArrivalTrace a = poisson_trace(120.0, 30'000.0, /*seed=*/42);
+  const ArrivalTrace b = poisson_trace(120.0, 30'000.0, /*seed=*/42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]) << "arrival " << i;
+  }
+  // A different seed draws a genuinely different process.
+  const ArrivalTrace c = poisson_trace(120.0, 30'000.0, /*seed=*/43);
+  EXPECT_TRUE(a != c);
+}
+
+TEST(TrafficPoisson, TraceIsAscendingWithinWindow) {
+  const ArrivalTrace t = poisson_trace(50.0, 10'000.0, /*seed=*/7);
+  ASSERT_FALSE(t.empty());
+  EXPECT_TRUE(std::is_sorted(t.begin(), t.end()));
+  EXPECT_GE(t.front(), 0.0);
+  EXPECT_LT(t.back(), 10'000.0);
+}
+
+TEST(TrafficPoisson, EmpiricalRateMatchesLambda) {
+  // 200 rps over 60 virtual seconds: ~12000 arrivals, sigma ~sqrt(12000)
+  // ~110. A 5% band is ~5.5 sigma — loose enough to be seed-robust, tight
+  // enough to catch a rate-scale bug (ms vs s confusion is a factor 1000).
+  const double rate = 200.0;
+  const double window = 60'000.0;
+  const ArrivalTrace t = poisson_trace(rate, window, /*seed=*/1234);
+  const double measured = empirical_rps(t.size(), window);
+  EXPECT_NEAR(measured, rate, 0.05 * rate);
+
+  // Mean inter-arrival gap must sit near 1000/rate ms.
+  double gap_sum = t.front();
+  for (std::size_t i = 1; i < t.size(); ++i) gap_sum += t[i] - t[i - 1];
+  const double mean_gap = gap_sum / static_cast<double>(t.size());
+  EXPECT_NEAR(mean_gap, 1000.0 / rate, 0.05 * 1000.0 / rate);
+}
+
+TEST(TrafficPoisson, RejectsNonPositiveParameters) {
+  EXPECT_THROW(poisson_trace(0.0, 1000.0, 1), std::invalid_argument);
+  EXPECT_THROW(poisson_trace(-5.0, 1000.0, 1), std::invalid_argument);
+  EXPECT_THROW(poisson_trace(10.0, 0.0, 1), std::invalid_argument);
+}
+
+TEST(TrafficDiurnal, EnvelopeMembershipIsExact) {
+  DiurnalEnvelope env;
+  env.base_rps = 10.0;
+  env.peak_rps = 80.0;
+  env.period_ms = 1000.0;
+  env.burst_fraction = 0.25;
+  // Bursts open each period: [0, 250), [1000, 1250), ...
+  EXPECT_TRUE(in_burst(env, 0.0));
+  EXPECT_TRUE(in_burst(env, 249.9));
+  EXPECT_FALSE(in_burst(env, 250.0));
+  EXPECT_FALSE(in_burst(env, 999.9));
+  EXPECT_TRUE(in_burst(env, 1000.0));
+  EXPECT_DOUBLE_EQ(rate_at(env, 100.0), 80.0);
+  EXPECT_DOUBLE_EQ(rate_at(env, 600.0), 10.0);
+}
+
+TEST(TrafficDiurnal, FixedSeedIsBitDeterministic) {
+  DiurnalEnvelope env;
+  const ArrivalTrace a = diurnal_trace(env, 20'000.0, /*seed=*/9);
+  const ArrivalTrace b = diurnal_trace(env, 20'000.0, /*seed=*/9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]) << "arrival " << i;
+  }
+}
+
+TEST(TrafficDiurnal, BurstWindowsRunAtPeakAndValleysAtBase) {
+  DiurnalEnvelope env;
+  env.base_rps = 20.0;
+  env.peak_rps = 200.0;
+  env.period_ms = 2000.0;
+  env.burst_fraction = 0.25;
+  const double window = 120'000.0;  // 60 periods
+  const ArrivalTrace t = diurnal_trace(env, window, /*seed=*/77);
+  ASSERT_FALSE(t.empty());
+  EXPECT_TRUE(std::is_sorted(t.begin(), t.end()));
+  EXPECT_LT(t.back(), window);
+
+  std::size_t in = 0, out = 0;
+  for (const double a : t) (in_burst(env, a) ? in : out)++;
+  const double burst_ms = window * env.burst_fraction;
+  const double valley_ms = window - burst_ms;
+  // Burst time carries peak_rps, valley time base_rps; 10% bands (the
+  // thinning splits the samples, so each side has fewer arrivals than the
+  // homogeneous test — wider band, same failure modes caught).
+  EXPECT_NEAR(empirical_rps(in, burst_ms), env.peak_rps,
+              0.10 * env.peak_rps);
+  EXPECT_NEAR(empirical_rps(out, valley_ms), env.base_rps,
+              0.10 * env.base_rps);
+}
+
+TEST(TrafficDiurnal, RejectsMalformedEnvelopes) {
+  DiurnalEnvelope bad;
+  bad.base_rps = 0.0;
+  EXPECT_THROW(diurnal_trace(bad, 1000.0, 1), std::invalid_argument);
+  bad = DiurnalEnvelope{};
+  bad.peak_rps = bad.base_rps / 2.0;  // peak below base
+  EXPECT_THROW(diurnal_trace(bad, 1000.0, 1), std::invalid_argument);
+  bad = DiurnalEnvelope{};
+  bad.burst_fraction = 1.0;
+  EXPECT_THROW(diurnal_trace(bad, 1000.0, 1), std::invalid_argument);
+  EXPECT_THROW(diurnal_trace(DiurnalEnvelope{}, -1.0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace opsched::serve
