@@ -22,6 +22,7 @@ void register_all(Registry& reg) {
   register_deep_models(reg);
   register_serve_churn(reg);
   register_serve_slo(reg);
+  register_serve_cluster(reg);
   register_micro_kernels(reg);
   register_micro_threadpool(reg);
   register_micro_dispatch(reg);

@@ -28,6 +28,7 @@ void register_multi_tenant(Registry& reg);
 void register_deep_models(Registry& reg);
 void register_serve_churn(Registry& reg);
 void register_serve_slo(Registry& reg);
+void register_serve_cluster(Registry& reg);
 void register_micro_kernels(Registry& reg);
 void register_micro_threadpool(Registry& reg);
 void register_micro_dispatch(Registry& reg);

@@ -52,7 +52,7 @@ for doc in "${docs[@]}"; do
       # host_*, multi_*, and serve_* would false-positive on non-benchmark
       # tokens like host_replay, host_logical_cores, multi_team_capacity,
       # or serve_job (docs prose).
-      fig[0-9]*|table[0-9]*|ext_*|micro_*|ablation*|host_corun*|multi_tenant*|serve_churn*|serve_slo*|deep_models*)
+      fig[0-9]*|table[0-9]*|ext_*|micro_*|ablation*|host_corun*|multi_tenant*|serve_churn*|serve_slo*|serve_cluster*|deep_models*)
         if [ ! -f "bench/$tok.cpp" ]; then
           echo "$doc: unknown benchmark \`$tok\` (no bench/$tok.cpp)"
           fail=1

@@ -20,6 +20,7 @@ WidthDemand estimate_demand(const Graph& g, const PerfDatabase& db) {
     d.area_ms += time * static_cast<double>(width);
   }
   d.mean_width = total_time > 0.0 ? weighted_width / total_time : 1.0;
+  d.profiled = total_time > 0.0;
   return d;
 }
 
@@ -37,6 +38,15 @@ double AdmissionController::total_mean_width(
   return total;
 }
 
+int AdmissionController::clamped_floor(int width_floor) const noexcept {
+  return std::min(std::max(1, width_floor), static_cast<int>(cores_));
+}
+
+double AdmissionController::charged_width(
+    const WidthDemand& d) const noexcept {
+  return d.profiled ? d.mean_width : static_cast<double>(cores_);
+}
+
 bool AdmissionController::admit(
     const WidthDemand& candidate,
     const std::vector<WidthDemand>& resident) const {
@@ -44,7 +54,9 @@ bool AdmissionController::admit(
   if (resident.size() >= options_.max_corun_jobs) return false;
   const double budget =
       options_.capacity_factor * static_cast<double>(cores_);
-  return total_mean_width(resident) + candidate.mean_width <= budget;
+  double total = charged_width(candidate);
+  for (const WidthDemand& d : resident) total += charged_width(d);
+  return total <= budget;
 }
 
 bool AdmissionController::admit(
@@ -57,14 +69,16 @@ bool AdmissionController::admit(
     // the only thing that can make an inference tenant unschedulable is
     // other inference tenants' floors: admit while they all fit the cores
     // that physically exist. Batch residents don't count — the walk
-    // preempts them at op boundaries.
-    int floors = std::max(1, width_floor);
+    // preempts them at op boundaries. Every floor is clamped to the
+    // machine first: an over-wide floor is served at machine width, not
+    // held as an unsatisfiable reservation that starves the queue forever.
+    int floors = clamped_floor(width_floor);
     for (const ResidentDemand& r : resident)
-      if (r.kind == JobKind::kInference) floors += std::max(1, r.width_floor);
+      if (r.kind == JobKind::kInference) floors += clamped_floor(r.width_floor);
     return floors <= static_cast<int>(cores_);
   }
-  double total = candidate.mean_width;
-  for (const ResidentDemand& r : resident) total += r.demand.mean_width;
+  double total = charged_width(candidate);
+  for (const ResidentDemand& r : resident) total += charged_width(r.demand);
   return total <= options_.capacity_factor * static_cast<double>(cores_);
 }
 

@@ -28,12 +28,18 @@ struct WidthDemand {
   /// Core-time area of one step (sum of profiled-best time x width) on the
   /// profiling timescale.
   double area_ms = 0.0;
+  /// False when NO profile curve contributed — the numbers above are then
+  /// placeholders, not measurements, and admission/placement must treat
+  /// the job conservatively (charged as a full machine) instead of packing
+  /// it blind as a width-1 job. estimate_demand clears this for zero-curve
+  /// graphs; hand-built demands default to trusted.
+  bool profiled = true;
 };
 
 /// Condenses `g`'s profiled curves into a WidthDemand. Nodes without a
 /// curve (non-tunable layout ops, or shapes the profiler has not seen)
 /// are excluded from the time weighting; a graph with no curves at all
-/// reports the neutral demand {1.0, 1, 0.0}.
+/// reports the neutral demand {1.0, 1, 0.0} with `profiled == false`.
 WidthDemand estimate_demand(const Graph& g, const PerfDatabase& db);
 
 /// What the class-aware admit() weighs a resident job by: its profiled
@@ -79,10 +85,25 @@ class AdmissionController {
   /// inference FLOORS plus their own fit the physical cores — their per-op
   /// priority displaces batch work at op boundaries anyway, so charging
   /// them against batch demand would only keep latency tenants out of a
-  /// machine that can serve them. `width_floor` is clamped up to 1 for
-  /// inference and ignored for training.
+  /// machine that can serve them. Every floor (candidate and resident) is
+  /// passed through clamped_floor() first: a floor wider than the machine
+  /// is a request the hardware can never satisfy, and letting it into the
+  /// floors sum would starve every later inference candidate behind a
+  /// reservation that cannot exist (it also used to leak into the per-op
+  /// walk as a permanently unsatisfiable reservation).
   bool admit(const WidthDemand& candidate, JobKind kind, int width_floor,
              const std::vector<ResidentDemand>& resident) const;
+
+  /// The effective inference width floor this machine can actually
+  /// reserve: max(1, width_floor), capped at the physical cores. The
+  /// serving layer books THIS value (not the raw spec) into the ledger and
+  /// the per-op TenantSet, so reservations stay physically satisfiable.
+  int clamped_floor(int width_floor) const noexcept;
+
+  /// The mean width the capacity test charges `d` at: its profiled mean,
+  /// or the full machine when the demand is unprofiled (packing a job the
+  /// profiler knows nothing about as width-1 would place it blind).
+  double charged_width(const WidthDemand& d) const noexcept;
 
   /// Sum of resident mean widths the capacity test charges.
   static double total_mean_width(const std::vector<WidthDemand>& resident);

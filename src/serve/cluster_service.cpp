@@ -1,0 +1,437 @@
+#include "serve/cluster_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace opsched::serve {
+
+ClusterService::ClusterService(const MachineSpec& shard_spec,
+                               ClusterServiceOptions options)
+    : options_(std::move(options)) {
+  if (options_.num_shards == 0)
+    throw std::invalid_argument("ClusterService: zero shards");
+  runtimes_.reserve(options_.num_shards);
+  shards_.reserve(options_.num_shards);
+  for (std::size_t s = 0; s < options_.num_shards; ++s) {
+    runtimes_.push_back(
+        std::make_unique<Runtime>(shard_spec, options_.runtime));
+    shards_.push_back(std::make_unique<SchedulerService>(*runtimes_.back(),
+                                                         options_.service));
+  }
+}
+
+ClusterService::~ClusterService() { stop(); }
+
+ClusterJobId ClusterService::submit(JobSpec spec) {
+  validate_job_spec(spec);
+  std::unique_lock<std::mutex> lk(mu_);
+  if (stopped_ || stop_requested_)
+    throw std::logic_error("ClusterService::submit: cluster stopped");
+  Job job;
+  job.submit_ms = fleet_now_locked();
+  job.demand.profiled = false;  // nothing known until a shard profiles it
+  job.spec = std::move(spec);
+  jobs_.push_back(std::move(job));
+  cv_.notify_all();
+  return static_cast<ClusterJobId>(jobs_.size());
+}
+
+bool ClusterService::cancel(ClusterJobId id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (id == kInvalidClusterJob || id > jobs_.size()) return false;
+  Job& job = jobs_[id - 1];
+  if (!job.placed) {
+    if (job.cancelled_unplaced) return false;
+    // Never reached a shard: close it at the front door, synchronously.
+    job.cancelled_unplaced = true;
+    job.cancel_requested = true;
+    cv_.notify_all();
+    return true;
+  }
+  job.cancel_requested = true;
+  const bool accepted = shards_[job.shard]->cancel(job.local_id);
+  cv_.notify_all();
+  return accepted;
+}
+
+void ClusterService::start() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (stopped_)
+    throw std::logic_error("ClusterService::start: cluster stopped");
+  if (started_)
+    throw std::logic_error("ClusterService::start: already started");
+  started_ = true;
+  thread_ = std::thread([this] { pump_loop(); });
+}
+
+void ClusterService::stop() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!started_) {
+      stopped_ = true;
+      return;
+    }
+    stop_requested_ = true;
+    cv_.notify_all();
+  }
+  thread_.join();
+  std::unique_lock<std::mutex> lk(mu_);
+  started_ = false;
+  stopped_ = true;
+}
+
+void ClusterService::pump_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_requested_) {
+    bool progress;
+    try {
+      progress = pump(lk);
+    } catch (...) {
+      failure_ = std::current_exception();
+      stop_requested_ = true;
+      cv_.notify_all();
+      return;
+    }
+    cv_.notify_all();  // waiters re-check job states after every pump
+    if (stop_requested_) break;
+    if (!progress) {
+      cv_.wait(lk, [&] {
+        if (stop_requested_) return true;
+        for (const Job& job : jobs_)
+          if (!job.placed && !job.cancelled_unplaced) return true;
+        // A cancel on a placed job needs the pump to drive that shard's
+        // boundary pass.
+        for (const Job& job : jobs_)
+          if (job.placed && job.cancel_requested) return true;
+        return false;
+      });
+    }
+  }
+}
+
+void ClusterService::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (started_ && !stop_requested_) {
+    cv_.wait(lk, [&] {
+      return all_terminal_locked() || failure_ != nullptr || stop_requested_;
+    });
+    if (failure_ != nullptr) std::rethrow_exception(failure_);
+    if (!all_terminal_locked())
+      throw std::logic_error(
+          "ClusterService::drain: cluster stopped with jobs outstanding");
+    return;
+  }
+  if (started_) {
+    if (failure_ != nullptr) std::rethrow_exception(failure_);
+    throw std::logic_error("ClusterService::drain: racing stop()");
+  }
+  if (pumping_inline_)
+    throw std::logic_error("ClusterService::drain: concurrent inline drain");
+  pumping_inline_ = true;
+  try {
+    while (!all_terminal_locked()) {
+      const bool progress = pump(lk);
+      if (!progress && !all_terminal_locked()) {
+        throw std::logic_error(
+            "ClusterService::drain: no progress with non-terminal jobs");
+      }
+    }
+  } catch (...) {
+    pumping_inline_ = false;
+    throw;
+  }
+  pumping_inline_ = false;
+}
+
+bool ClusterService::run_pump() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (started_)
+    throw std::logic_error(
+        "ClusterService::run_pump: background pump owns the loop");
+  if (pumping_inline_)
+    throw std::logic_error("ClusterService::run_pump: concurrent driver");
+  pumping_inline_ = true;
+  bool progress;
+  try {
+    progress = pump(lk);
+  } catch (...) {
+    pumping_inline_ = false;
+    throw;
+  }
+  pumping_inline_ = false;
+  return progress;
+}
+
+FleetJob ClusterService::wait(ClusterJobId id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (id == kInvalidClusterJob || id > jobs_.size())
+    throw std::out_of_range("ClusterService::wait: unknown job " +
+                            std::to_string(id));
+  const auto terminal = [&] {
+    return job_state_terminal(fleet_job_locked(id, jobs_[id - 1]).record.state);
+  };
+  if (terminal()) return fleet_job_locked(id, jobs_[id - 1]);
+  if (!started_)
+    throw std::logic_error(
+        "ClusterService::wait: pump not started (drain() drives it inline "
+        "instead)");
+  cv_.wait(lk, [&] {
+    return terminal() || failure_ != nullptr || stop_requested_;
+  });
+  if (terminal()) return fleet_job_locked(id, jobs_[id - 1]);
+  if (failure_ != nullptr) std::rethrow_exception(failure_);
+  throw std::logic_error(
+      "ClusterService::wait: cluster stopped before the job finished");
+}
+
+FleetSnapshot ClusterService::snapshot() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  FleetSnapshot snap;
+  snap.jobs.reserve(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    FleetJob fj = fleet_job_locked(static_cast<ClusterJobId>(i + 1),
+                                   jobs_[i]);
+    switch (fj.record.state) {
+      case JobState::kQueued:
+      case JobState::kProfiling: ++snap.queued; break;
+      case JobState::kRunning: ++snap.running; break;
+      case JobState::kCompleted: ++snap.completed; break;
+      case JobState::kCancelled: ++snap.cancelled; break;
+    }
+    snap.jobs.push_back(std::move(fj));
+  }
+  snap.placements = placements_;
+  snap.migrations = migrations_;
+  snap.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    snap.shards.push_back(shard->snapshot());
+    const ServiceSnapshot& s = snap.shards.back();
+    snap.steps_run += s.steps_run;
+    snap.reconfigurations += s.reconfigurations;
+    snap.stepped_service_ms += s.stepped_service_ms;
+    snap.now_ms = std::max(snap.now_ms, s.now_ms);
+  }
+  return snap;
+}
+
+bool ClusterService::started() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return started_;
+}
+
+double ClusterService::fleet_now_locked() const {
+  double now = 0.0;
+  for (const auto& shard : shards_) now = std::max(now, shard->now_ms());
+  return now;
+}
+
+bool ClusterService::all_terminal_locked() const {
+  for (const Job& job : jobs_) {
+    if (!job.placed) {
+      if (!job.cancelled_unplaced) return false;
+      continue;
+    }
+    if (!job_state_terminal(
+            shards_[job.shard]->job_record(job.local_id).state))
+      return false;
+  }
+  return true;
+}
+
+FleetJob ClusterService::fleet_job_locked(ClusterJobId id,
+                                          const Job& job) const {
+  FleetJob fj;
+  fj.id = id;
+  fj.migrations = job.migrations;
+  if (job.placed) {
+    fj.shard = job.shard;
+    fj.local_id = job.local_id;
+    fj.record = shards_[job.shard]->job_record(job.local_id);
+    return fj;
+  }
+  // Never reached a shard: synthesize the front-door view from the spec.
+  fj.record.id = kInvalidJob;
+  fj.record.name = job.spec.name;
+  fj.record.state =
+      job.cancelled_unplaced ? JobState::kCancelled : JobState::kQueued;
+  fj.record.kind = job.spec.kind;
+  fj.record.steps_total = job.spec.kind == JobKind::kInference
+                              ? static_cast<int>(job.spec.arrivals.size())
+                              : job.spec.steps;
+  fj.record.weight = job.spec.weight > 0.0 ? job.spec.weight : 1.0;
+  fj.record.priority = job.spec.priority;
+  fj.record.submit_ms = job.submit_ms;
+  if (job.cancelled_unplaced) fj.record.finish_ms = job.submit_ms;
+  return fj;
+}
+
+std::vector<ShardLoad> ClusterService::shard_loads_locked() const {
+  std::vector<ShardLoad> loads(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    loads[s].cores = shards_[s]->capacity_cores();
+  for (const Job& job : jobs_) {
+    if (!job.placed) continue;
+    if (job_state_terminal(
+            shards_[job.shard]->job_record(job.local_id).state))
+      continue;
+    loads[job.shard].width +=
+        placement_charged_width(job.demand, loads[job.shard].cores);
+  }
+  return loads;
+}
+
+void ClusterService::refresh_demand_locked() {
+  for (Job& job : jobs_) {
+    if (!job.placed || job.demand.profiled) continue;
+    const WidthDemand d = shards_[job.shard]->demand_of(job.local_id);
+    if (d.profiled) job.demand = d;
+  }
+}
+
+WidthDemand ClusterService::estimate_pending_locked(
+    const JobSpec& spec) const {
+  // First shard database holding matching curves wins — shards profile the
+  // same (kind, shape) keys identically, so any hit is as good as another.
+  for (const auto& rt : runtimes_) {
+    const WidthDemand d = estimate_demand(spec.graph, rt->database());
+    if (d.profiled) return d;
+  }
+  WidthDemand unknown;
+  unknown.profiled = false;
+  return unknown;
+}
+
+void ClusterService::place_pending_locked() {
+  std::vector<std::size_t> pending;  // indices into jobs_
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    Job& job = jobs_[i];
+    if (job.placed || job.cancelled_unplaced) continue;
+    pending.push_back(i);
+  }
+  if (pending.empty()) return;
+
+  std::vector<double> widths;
+  widths.reserve(pending.size());
+  const std::vector<ShardLoad> base = shard_loads_locked();
+  for (const std::size_t i : pending) {
+    Job& job = jobs_[i];
+    if (!job.demand.profiled)
+      job.demand = estimate_pending_locked(job.spec);
+    // Charge against the first shard's core count — shards are identical
+    // machines (one spec for the whole fleet).
+    widths.push_back(placement_charged_width(job.demand, base[0].cores));
+  }
+
+  std::vector<std::size_t> assignment = greedy_place(widths, base);
+  if (options_.placement.anneal && shards_.size() > 1) {
+    PlacementOptions popt = options_.placement;
+    popt.anneal_seed = mix64(popt.anneal_seed, placement_batches_);
+    assignment = anneal_place(widths, base, std::move(assignment), popt);
+  }
+  ++placement_batches_;
+
+  for (std::size_t k = 0; k < pending.size(); ++k) {
+    Job& job = jobs_[pending[k]];
+    const std::size_t s = assignment[k];
+    job.local_id = shards_[s]->submit(std::move(job.spec));
+    job.spec = JobSpec();
+    job.placed = true;
+    job.shard = s;
+    ++placements_;
+    if (job.cancel_requested) shards_[s]->cancel(job.local_id);
+  }
+}
+
+void ClusterService::migrate_queued_locked() {
+  if (!options_.enable_migration || shards_.size() < 2) return;
+  std::vector<ShardLoad> loads = shard_loads_locked();
+  std::size_t moved = 0;
+  for (std::size_t i = 0;
+       i < jobs_.size() && moved < options_.max_migrations_per_pump; ++i) {
+    Job& job = jobs_[i];
+    if (!job.placed || job.cancel_requested) continue;
+    const JobRecord rec = shards_[job.shard]->job_record(job.local_id);
+    // Only never-admitted jobs move: a running job keeps its shard (the
+    // step is atomic and its checksums must not change machines mid-run).
+    if (rec.state != JobState::kQueued || rec.admit_ms >= 0.0) continue;
+
+    const std::size_t from = job.shard;
+    const double w = placement_charged_width(job.demand, loads[from].cores);
+    std::size_t to = from;
+    double best_rel = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < loads.size(); ++s) {
+      if (s == from) continue;
+      const double rel = (loads[s].width + w) /
+                         static_cast<double>(std::max<std::size_t>(
+                             1, loads[s].cores));
+      if (rel < best_rel) {
+        best_rel = rel;
+        to = s;
+      }
+    }
+    if (to == from) continue;
+    const auto term = [](const ShardLoad& l, double delta) {
+      const double rel =
+          (l.width + delta) /
+          static_cast<double>(std::max<std::size_t>(1, l.cores));
+      return rel * rel;
+    };
+    const double gain = term(loads[from], 0.0) + term(loads[to], 0.0) -
+                        term(loads[from], -w) - term(loads[to], w);
+    if (gain <= options_.migration_min_gain) continue;
+
+    std::optional<JobSpec> spec = shards_[from]->withdraw(job.local_id);
+    if (!spec.has_value()) continue;  // state changed under us: leave it
+    job.local_id = shards_[to]->submit(std::move(*spec));
+    job.shard = to;
+    ++job.migrations;
+    ++migrations_;
+    ++placements_;
+    loads[from].width -= w;
+    loads[to].width += w;
+    ++moved;
+  }
+}
+
+bool ClusterService::pump(std::unique_lock<std::mutex>& lk) {
+  bool progress = false;
+
+  // Close out front-door cancellations of still-unplaced jobs (cancel()
+  // marks them terminal synchronously; this just counts the progress so
+  // an idle pump woken only by such a cancel reports it).
+  refresh_demand_locked();
+  const std::size_t placements_before = placements_;
+  place_pending_locked();
+  migrate_queued_locked();
+  progress |= placements_ != placements_before;
+
+  // Drive every shard one service cycle, round-robin, with the cluster
+  // lock released: submit/cancel/snapshot stay responsive while shards
+  // step, and shard cycles only touch shard state.
+  lk.unlock();
+  bool shard_worked = false;
+  try {
+    for (const auto& shard : shards_) shard_worked |= shard->run_cycle();
+  } catch (...) {
+    lk.lock();
+    throw;
+  }
+  lk.lock();
+
+  // A cancel_requested flag is the pump's "boundary work pending" signal;
+  // drop it once the shard has booked the cancel, or the background pump
+  // would never park again.
+  for (Job& job : jobs_) {
+    if (!job.placed || !job.cancel_requested) continue;
+    if (job_state_terminal(
+            shards_[job.shard]->job_record(job.local_id).state))
+      job.cancel_requested = false;
+  }
+  return progress || shard_worked;
+}
+
+}  // namespace opsched::serve

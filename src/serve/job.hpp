@@ -96,6 +96,14 @@ struct JobSpec {
   std::uint64_t seed = 0x5eedULL;
 };
 
+/// Validates the client-facing fields of `spec` (the checks both
+/// SchedulerService::submit and ClusterService::submit apply before
+/// accepting a job): non-empty graph; for training a positive step budget
+/// and no arrival trace; for inference a non-empty, ascending, FINITE,
+/// non-negative arrival trace and a positive finite deadline. Throws
+/// std::invalid_argument naming the offending field.
+void validate_job_spec(const JobSpec& spec);
+
 /// One job's ledger entry. Timestamps are on the service clock
 /// (wall-clock ms since an arbitrary epoch, both substrates); -1 marks
 /// "not yet". Aggregates accumulate across the job's co-located steps.
@@ -110,6 +118,12 @@ struct JobRecord {
   int steps_done = 0;
   double weight = 1.0;
   int priority = 0;
+
+  /// Inference: the EFFECTIVE width floor the service reserves — the spec's
+  /// width_floor validated at admission (raised to 1, capped at the
+  /// machine's physical cores, so the reservation handed to the per-op walk
+  /// is always satisfiable). 0 for training jobs.
+  int width_floor = 0;
 
   double submit_ms = -1.0;  // set at submit
   double admit_ms = -1.0;   // first transition to kRunning

@@ -1,5 +1,7 @@
 #include "serve/job_ledger.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -47,6 +49,35 @@ bool job_transition_valid(JobState from, JobState to) noexcept {
   return false;
 }
 
+void validate_job_spec(const JobSpec& spec) {
+  if (spec.graph.size() == 0)
+    throw std::invalid_argument("JobSpec: empty graph");
+  if (spec.kind == JobKind::kInference) {
+    if (spec.arrivals.empty())
+      throw std::invalid_argument(
+          "JobSpec: inference job without an arrival trace");
+    for (const double a : spec.arrivals) {
+      // A non-finite offset would make the idle wait for "the next
+      // arrival" unbounded (and NaN sails through is_sorted): reject the
+      // malformed trace at the door.
+      if (!std::isfinite(a))
+        throw std::invalid_argument("JobSpec: non-finite arrival offset");
+    }
+    if (!std::is_sorted(spec.arrivals.begin(), spec.arrivals.end()))
+      throw std::invalid_argument("JobSpec: arrival trace not ascending");
+    if (spec.arrivals.front() < 0.0)
+      throw std::invalid_argument("JobSpec: negative arrival offset");
+    if (!(spec.deadline_ms > 0.0) || !std::isfinite(spec.deadline_ms))
+      throw std::invalid_argument("JobSpec: non-positive deadline");
+  } else {
+    if (!spec.arrivals.empty())
+      throw std::invalid_argument(
+          "JobSpec: training job with an arrival trace");
+    if (spec.steps <= 0)
+      throw std::invalid_argument("JobSpec: non-positive step budget");
+  }
+}
+
 JobRecord& JobLedger::add(const JobSpec& spec, double now_ms) {
   const JobId id = next_id_++;
   JobRecord rec;
@@ -59,6 +90,9 @@ JobRecord& JobLedger::add(const JobSpec& spec, double now_ms) {
                         : spec.steps;
   rec.weight = spec.weight > 0.0 ? spec.weight : 1.0;
   rec.priority = spec.priority;
+  rec.width_floor = spec.kind == JobKind::kInference
+                        ? std::max(1, spec.width_floor)
+                        : 0;
   rec.deadline_ms = spec.kind == JobKind::kInference ? spec.deadline_ms : 0.0;
   rec.submit_ms = now_ms;
   ++counts_[static_cast<std::size_t>(JobState::kQueued)];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -31,30 +32,14 @@ SchedulerService::SchedulerService(Runtime& runtime, ServiceOptions options)
 SchedulerService::~SchedulerService() { stop(); }
 
 JobId SchedulerService::submit(JobSpec spec) {
-  if (spec.graph.size() == 0)
-    throw std::invalid_argument("SchedulerService::submit: empty graph");
-  if (spec.kind == JobKind::kInference) {
-    if (spec.arrivals.empty())
-      throw std::invalid_argument(
-          "SchedulerService::submit: inference job without an arrival "
-          "trace");
-    if (!std::is_sorted(spec.arrivals.begin(), spec.arrivals.end()))
-      throw std::invalid_argument(
-          "SchedulerService::submit: arrival trace not ascending");
-    if (spec.arrivals.front() < 0.0)
-      throw std::invalid_argument(
-          "SchedulerService::submit: negative arrival offset");
-    if (spec.deadline_ms <= 0.0)
-      throw std::invalid_argument(
-          "SchedulerService::submit: non-positive deadline");
-  } else {
-    if (!spec.arrivals.empty())
-      throw std::invalid_argument(
-          "SchedulerService::submit: training job with an arrival trace");
-    if (spec.steps <= 0)
-      throw std::invalid_argument(
-          "SchedulerService::submit: non-positive step budget");
-  }
+  validate_job_spec(spec);
+  // Validate/clamp the inference width floor HERE, at the admission door:
+  // the raw spec may ask for more cores than physically exist, and every
+  // downstream consumer (the floors-fit admission test, the per-op walk's
+  // TenantSet reservation, the ledger) must only ever see a floor the
+  // machine can satisfy.
+  if (spec.kind == JobKind::kInference)
+    spec.width_floor = admission_.clamped_floor(spec.width_floor);
 
   std::unique_lock<std::mutex> lk(mu_);
   if (stopped_ || stop_requested_)
@@ -93,6 +78,43 @@ bool SchedulerService::cancel(JobId id) {
   pending_cancel_ = true;
   cv_.notify_all();
   return true;
+}
+
+std::optional<JobSpec> SchedulerService::withdraw(JobId id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  // Exactly kQueued: running jobs keep their machine (the step is atomic
+  // and checksums must not change substrate mid-run), and a mid-profiling
+  // job is owned by the admission pass until it relocks.
+  if (ledger_.at(id).state != JobState::kQueued) return std::nullopt;
+  const auto pos = std::find(queue_.begin(), queue_.end(), id);
+  if (pos == queue_.end()) return std::nullopt;  // admission pass owns it
+  queue_.erase(pos);
+  JobSpec spec = std::move(it->second->spec);
+  // The shard's books close the job as cancelled; the caller (the cluster
+  // layer) owns the fleet-level record that survives the move.
+  finish_job_locked(id, JobState::kCancelled);
+  return spec;
+}
+
+JobRecord SchedulerService::job_record(JobId id) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return ledger_.at(id);
+}
+
+WidthDemand SchedulerService::demand_of(JobId id) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end())
+    throw std::out_of_range("SchedulerService::demand_of: unknown job " +
+                            std::to_string(id));
+  if (!it->second->demand_known) {
+    WidthDemand unknown;
+    unknown.profiled = false;
+    return unknown;
+  }
+  return it->second->demand;
 }
 
 void SchedulerService::start() {
@@ -277,6 +299,11 @@ ServiceSnapshot SchedulerService::snapshot() const {
   return snap;
 }
 
+double SchedulerService::now_ms() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return now_locked();
+}
+
 bool SchedulerService::started() const {
   std::unique_lock<std::mutex> lk(mu_);
   return started_;
@@ -395,12 +422,14 @@ void SchedulerService::admission_pass(std::unique_lock<std::mutex>& lk) {
       resident_demands.reserve(resident_.size());
       for (const JobId rid : resident_) {
         const Job& rj = *jobs_.at(rid);
+        // The ledger's width_floor is the EFFECTIVE floor (validated at
+        // submit: >= 1, capped at the physical cores), so the floors-fit
+        // test below sums reservations the machine can actually honor.
         resident_demands.push_back(
-            {rj.demand, rj.spec.kind, std::max(1, rj.spec.width_floor)});
+            {rj.demand, rj.spec.kind, ledger_.at(rid).width_floor});
       }
       if (admission_.admit(job.demand, job.spec.kind,
-                           std::max(1, job.spec.width_floor),
-                           resident_demands)) {
+                           ledger_.at(id).width_floor, resident_demands)) {
         queue_.erase(std::find(queue_.begin(), queue_.end(), id));
         resident_.push_back(id);
         ledger_.transition(id, JobState::kRunning, now_locked());
@@ -432,10 +461,10 @@ void SchedulerService::run_one_step(std::unique_lock<std::mutex>& lk) {
     set.weights.push_back(ledger_.at(id).weight);
     // Inference tenants are latency-critical in the core admission walk:
     // visited first at every op boundary, with their width floor kept
-    // clear of batch picks (TenantSet::floors).
-    set.floors.push_back(job.spec.kind == JobKind::kInference
-                             ? std::max(1, job.spec.width_floor)
-                             : 0);
+    // clear of batch picks (TenantSet::floors). The ledger's floor is the
+    // validated one — never wider than the machine, so the reservation is
+    // always satisfiable.
+    set.floors.push_back(ledger_.at(id).width_floor);
     graphs.push_back(&job.spec.graph);
     if (options_.substrate == Substrate::kHost)
       programs.push_back(job.program.get());
@@ -528,10 +557,22 @@ SchedulerService::CycleOutcome SchedulerService::cycle(
     // there, or sleep the wall clock until then (a submit or cancel
     // wakes the sleeper early).
     const double next = next_arrival_ms_locked();
+    if (!std::isfinite(next)) {
+      // No resident inference tenant has a future arrival (an exhausted
+      // or malformed trace — submit() rejects non-finite offsets, so this
+      // is defense in depth). There is nothing to wait FOR: report idle
+      // instead of feeding an unbounded duration to the clock or the
+      // condition variable.
+      return CycleOutcome::kIdle;
+    }
     if (options_.clock == ClockMode::kVirtual) {
       vnow_ = std::max(vnow_, next);
     } else {
-      const double wait_ms = next - wall_time_ms();
+      // Bounded nap: never sleep past max_idle_wait_ms in one go, however
+      // far the next arrival is — an unbounded cv_.wait_for would wedge
+      // the loop (and the cluster pump driving it) on a far-future trace.
+      const double wait_ms = std::min(next - wall_time_ms(),
+                                      std::max(1.0, options_.max_idle_wait_ms));
       if (wait_ms > 0.0) {
         cv_.wait_for(lk, std::chrono::duration<double, std::milli>(wait_ms),
                      [&] { return stop_requested_ || work_pending_locked(); });

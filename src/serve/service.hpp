@@ -36,6 +36,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -77,6 +78,14 @@ struct ServiceOptions {
   AdmissionOptions admission;
   /// Timed repeats per host profiling sample (Runtime::profile_host_multi).
   int profile_repeats = 1;
+  /// Wall-clock mode: the longest single idle sleep (ms) while every
+  /// resident inference tenant is between requests. The loop used to sleep
+  /// straight through to the next arrival — with a far-future (or, via a
+  /// malformed trace, non-finite) arrival that turned into an unbounded
+  /// cv_.wait_for. Now each idle nap is capped here and the loop re-checks
+  /// the world. Ignored on the virtual clock, which jumps instead of
+  /// sleeping.
+  double max_idle_wait_ms = 50.0;
   /// Host substrate: throw std::logic_error if a job's step checksum ever
   /// differs from its first step's — the cross-job corruption detector.
   bool verify_checksums = true;
@@ -127,6 +136,23 @@ class SchedulerService {
   /// Returns false for unknown or already-terminal jobs. Idempotent.
   bool cancel(JobId id);
 
+  /// Takes a NEVER-ADMITTED job back out of the wait queue, returning its
+  /// spec for resubmission elsewhere — the cluster layer's migration
+  /// primitive. Only jobs in exactly kQueued can be withdrawn (running
+  /// jobs keep their shard: the step is atomic and their checksums must
+  /// not change machines mid-run); the shard ledger books the withdrawal
+  /// as a cancellation. Returns std::nullopt for unknown, terminal,
+  /// running, or mid-profiling jobs.
+  std::optional<JobSpec> withdraw(JobId id);
+
+  /// Copy of `id`'s ledger record. Throws std::out_of_range on unknown id.
+  JobRecord job_record(JobId id) const;
+
+  /// The job's profiled width demand, or an UNPROFILED WidthDemand (see
+  /// admission_control.hpp) while the job has not reached its first
+  /// admission consideration. Throws std::out_of_range on unknown id.
+  WidthDemand demand_of(JobId id) const;
+
   /// Spawns the background service thread. Throws std::logic_error if
   /// already started or already stopped.
   void start();
@@ -157,6 +183,10 @@ class SchedulerService {
   JobRecord wait(JobId id);
 
   ServiceSnapshot snapshot() const;
+
+  /// The service clock right now (wall ms or the virtual clock, per
+  /// ServiceOptions::clock) — snapshot().now_ms without copying the books.
+  double now_ms() const;
 
   bool started() const;
   /// Cores of the chosen substrate (the admission capacity base).

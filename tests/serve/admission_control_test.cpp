@@ -39,14 +39,46 @@ TEST(EstimateDemand, TimeWeightedMeanAndPeak) {
   EXPECT_DOUBLE_EQ(d.area_ms, 140.0);
 }
 
-TEST(EstimateDemand, UnprofiledGraphIsNeutral) {
+TEST(EstimateDemand, UnprofiledGraphIsFlaggedNotSilentlyNeutral) {
+  // Regression: a zero-curve graph used to report the same
+  // {mean_width=1.0, area_ms=0} a genuinely 1-wide profiled job reports,
+  // so every consumer bin-packed it blind. The explicit `profiled` flag is
+  // the fix — neutral numbers, but marked untrusted.
   Graph g;
   Node n = fig1_conv2d();
   n.id = g.add_node(n);
   const WidthDemand d = estimate_demand(g, PerfDatabase{});
+  EXPECT_FALSE(d.profiled);
   EXPECT_DOUBLE_EQ(d.mean_width, 1.0);
   EXPECT_EQ(d.peak_width, 1);
   EXPECT_DOUBLE_EQ(d.area_ms, 0.0);
+
+  // And the moment a curve exists, the estimate is trusted again.
+  PerfDatabase db;
+  db.put(OpKey::of(n), curve_best(4, 5.0));
+  EXPECT_TRUE(estimate_demand(g, db).profiled);
+}
+
+TEST(EstimateDemand, UnprofiledDemandIsChargedAsTheWholeMachine) {
+  // What the flag buys: admission charges an unprofiled candidate the full
+  // machine, so it can only land alone (conservative), instead of packing
+  // next to a saturating resident on the strength of a made-up width of 1.
+  AdmissionOptions opt;
+  opt.capacity_factor = 1.0;
+  const AdmissionController ctl(opt, 16);
+  EXPECT_DOUBLE_EQ(ctl.charged_width(WidthDemand{}), 1.0);  // trusted default
+
+  WidthDemand unknown;
+  unknown.profiled = false;
+  unknown.mean_width = 1.0;  // the old silently-neutral report
+  EXPECT_DOUBLE_EQ(ctl.charged_width(unknown), 16.0);
+
+  WidthDemand wide;
+  wide.mean_width = 10.0;
+  // Pre-fix: 10 + 1 <= 16 admitted the stranger. Post-fix it waits for an
+  // empty machine (where admission always accepts).
+  EXPECT_FALSE(ctl.admit(unknown, {wide}));
+  EXPECT_TRUE(ctl.admit(unknown, {}));
 }
 
 TEST(AdmissionController, EmptyMachineAlwaysAdmits) {
@@ -129,6 +161,39 @@ TEST(AdmissionController, InferenceFloorsMustFitThePhysicalCores) {
   // Zero/negative floors clamp to 1 — a latency tenant always claims a
   // core.
   EXPECT_TRUE(ctl.admit(slim, JobKind::kInference, 0, residents));
+}
+
+TEST(AdmissionController, OverwideFloorClampsToPhysicalCoresAtAdmission) {
+  // Regression (idle-machine fast path): admit() accepts ANY candidate on
+  // an empty machine — including an inference job whose width_floor
+  // exceeds the physical cores. Pre-fix that floor was then held verbatim
+  // as a resident reservation no later floors-fit test could ever satisfy,
+  // and with a non-empty machine the same job starved forever in the
+  // queue (its floor could never fit). clamped_floor() caps the
+  // reservation at the machine at admission time.
+  const AdmissionController ctl({}, 16);
+  EXPECT_EQ(ctl.clamped_floor(200), 16);
+  EXPECT_EQ(ctl.clamped_floor(16), 16);
+  EXPECT_EQ(ctl.clamped_floor(5), 5);
+  EXPECT_EQ(ctl.clamped_floor(0), 1);   // a latency tenant always claims one
+  EXPECT_EQ(ctl.clamped_floor(-3), 1);
+
+  WidthDemand slim;
+  slim.mean_width = 1.0;
+  // A training resident keeps the machine non-empty, so the idle fast path
+  // does not mask the floors-fit test. Pre-fix: floor 200 > 16 cores ->
+  // rejected on every attempt, job starves. Post-fix: the floor clamps to
+  // the whole machine and the tenant is admitted.
+  const std::vector<ResidentDemand> busy = {{slim, JobKind::kTraining, 1}};
+  EXPECT_TRUE(ctl.admit(slim, JobKind::kInference, 200, busy));
+
+  // Residents' recorded floors are clamped in the same pass: a resident
+  // booked with an absurd floor must not poison every later admission.
+  const std::vector<ResidentDemand> poisoned = {
+      {slim, JobKind::kInference, 200}, {slim, JobKind::kTraining, 1}};
+  // 16 (clamped resident) + 1 (candidate) > 16: still full — the clamp
+  // makes the reservation satisfiable, not free.
+  EXPECT_FALSE(ctl.admit(slim, JobKind::kInference, 1, poisoned));
 }
 
 TEST(AdmissionController, BatchOnlyFormMatchesClassAwareTrainingForm) {
