@@ -7,12 +7,14 @@
 //   opsched_cli compare  --model inception_v3
 //   opsched_cli serve    [--substrate host|sim] [--jobs 8] [--corun 3]
 //                        [--model NAME] [--db FILE] [--save-db FILE]
+//                        [--metrics-json FILE] [--trace-out FILE]
 //   opsched_cli bench    [--list] [--filter a,b] [--repeats N] [--json FILE]
 //                        (same flags as the opsched_bench runner)
 //
 // Database files ending in .json use the schema-versioned JSON form, any
 // other suffix the one-line-per-sample text form.
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <vector>
@@ -20,6 +22,8 @@
 #include "core/runtime.hpp"
 #include "core/trace_export.hpp"
 #include "models/models.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
@@ -51,6 +55,9 @@ int usage() {
          "            trace  [--substrate host|sim] [--jobs N] [--corun K]\n"
          "            [--seed S] [--db FILE] [--save-db FILE] (warm-start\n"
          "            profile reuse across restarts)\n"
+         "            [--metrics-json FILE] (serve_*/host_*/policy_* metric\n"
+         "            snapshot) [--trace-out FILE] (Chrome trace: job/step/\n"
+         "            request spans + per-op host spans)\n"
          "  bench   : run the registered paper benchmarks (--list, --filter,\n"
          "            --repeats, --json, --baseline — see opsched_bench)\n";
   return 2;
@@ -140,6 +147,10 @@ int cmd_serve(const Flags& flags) {
   opt.substrate = host ? serve::Substrate::kHost : serve::Substrate::kSimulated;
   opt.admission.max_corun_jobs = static_cast<std::size_t>(
       std::clamp(flags.get_int("corun", 3), 1, 8));
+  obs::Registry registry;
+  obs::TraceCollector collector;
+  if (flags.has("metrics-json")) opt.metrics = &registry;
+  if (flags.has("trace-out")) opt.trace = &collector;
   serve::SchedulerService svc(rt, opt);
 
   // Scripted churn: staggered arrivals, mixed budgets/weights/priorities,
@@ -188,6 +199,19 @@ int cmd_serve(const Flags& flags) {
     std::cout << "profile database saved to " << path << " ("
               << rt.database().size()
               << " curves) — pass --db to warm-start the next run\n";
+  }
+  if (flags.has("metrics-json")) {
+    const std::string path = flags.get("metrics-json", "metrics.json");
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    out << obs::to_json(registry.snapshot());
+    std::cout << "metrics written to " << path << "\n";
+  }
+  if (flags.has("trace-out")) {
+    const std::string path = flags.get("trace-out", "serve_trace.json");
+    collector.write(path);
+    std::cout << "trace written to " << path << " (" << collector.size()
+              << " spans)\n";
   }
   return 0;
 }

@@ -15,13 +15,18 @@
 //      the virtual clock the whole run replays bit-identically.
 //
 //   ./serve_cluster [--shards 4] [--jobs 16] [--steps 4] [--seed 42]
+//                   [--trace FILE] [--metrics FILE]
 #include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "models/models.hpp"
 #include "models/zoo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/cluster_service.hpp"
 #include "serve/traffic.hpp"
 #include "util/flags.hpp"
@@ -43,6 +48,10 @@ int main(int argc, char** argv) {
   opt.service.substrate = serve::Substrate::kSimulated;
   opt.service.clock = serve::ClockMode::kVirtual;
   opt.service.admission.max_corun_jobs = 3;
+  obs::Registry registry;
+  obs::TraceCollector collector;
+  if (flags.has("metrics")) opt.metrics = &registry;
+  if (flags.has("trace")) opt.trace = &collector;
   serve::ClusterService cluster(MachineSpec::knl(), opt);
 
   std::cout << "Fleet: " << shards << " simulated machine(s), virtual clock\n";
@@ -100,6 +109,21 @@ int main(int argc, char** argv) {
               << fmt_double(shard.stepped_service_ms, 1)
               << " ms of machine time, " << shard.reconfigurations
               << " reconfigurations\n";
+  }
+  if (flags.has("metrics")) {
+    const std::string path = flags.get("metrics", "fleet_metrics.json");
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    out << obs::to_json(snap.metrics);
+    std::cout << "\nFleet metrics written to " << path << "\n";
+  }
+  if (flags.has("trace")) {
+    const std::string path = flags.get("trace", "fleet_trace.json");
+    collector.write(path);
+    std::cout << "\nChrome trace written to " << path << " ("
+              << collector.size()
+              << " spans, one process per shard) — open in "
+                 "chrome://tracing or Perfetto\n";
   }
   std::cout << "\nRe-running the identical trace replays these books "
                "bit-identically (see tests/serve/cluster_service_test.cpp).\n";

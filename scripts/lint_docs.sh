@@ -52,7 +52,9 @@ for doc in "${docs[@]}"; do
       # host_*, multi_*, and serve_* would false-positive on non-benchmark
       # tokens like host_replay, host_logical_cores, multi_team_capacity,
       # or serve_job (docs prose).
-      fig[0-9]*|table[0-9]*|ext_*|micro_*|ablation*|host_corun*|multi_tenant*|serve_churn*|serve_slo*|serve_cluster*|deep_models*)
+      # serve_slo is exact: serve_slo_* names the bench's JSON metrics
+      # (e.g. serve_slo_misses_total is a service counter, not a bench).
+      fig[0-9]*|table[0-9]*|ext_*|micro_*|ablation*|host_corun*|multi_tenant*|serve_churn*|serve_slo|serve_cluster*|deep_models*|obs_overhead*)
         if [ ! -f "bench/$tok.cpp" ]; then
           echo "$doc: unknown benchmark \`$tok\` (no bench/$tok.cpp)"
           fail=1

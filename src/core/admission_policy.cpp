@@ -6,6 +6,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "util/clock.hpp"
+
 namespace opsched {
 
 TenantSet TenantSet::slots(std::size_t count,
@@ -101,6 +103,45 @@ void AdmissionPolicy::DecisionCache::clear() {
 }
 
 // ---- learned state -------------------------------------------------------
+
+// ---- telemetry -----------------------------------------------------------
+
+void AdmissionPolicy::attach_metrics(obs::Registry* reg,
+                                     const std::string& instance) {
+  telem_ = Telemetry{};
+  deficit_gauges_.clear();
+  if (reg == nullptr) return;
+  telem_.reg = reg;
+  telem_.instance = instance;
+  const auto qual = [&](const char* name) {
+    return instance.empty() ? std::string(name)
+                            : obs::label(name, "shard", instance);
+  };
+  telem_.decisions = reg->counter(qual("policy_decisions_total"));
+  telem_.cache_hits = reg->counter(qual("policy_cache_hits_total"));
+  telem_.cache_misses = reg->counter(qual("policy_cache_misses_total"));
+  telem_.quick_rejects = reg->counter(qual("policy_quick_rejects_total"));
+  telem_.badpair_skips = reg->counter(qual("policy_badpair_skips_total"));
+  telem_.overlay_grants = reg->counter(qual("policy_overlay_grants_total"));
+  telem_.heavy_fallbacks = reg->counter(qual("policy_heavy_fallbacks_total"));
+  telem_.decision_ms = reg->histogram(qual("policy_decision_ms"));
+  rebuild_deficit_gauges();
+}
+
+void AdmissionPolicy::rebuild_deficit_gauges() {
+  deficit_gauges_.clear();
+  if (telem_.reg == nullptr) return;
+  deficit_gauges_.resize(service_.size(), nullptr);
+  for (std::size_t t = 0; t < service_.size(); ++t) {
+    std::string name = obs::label("policy_fairness_service_ms", "tenant",
+                                  std::to_string(stable_id(t)));
+    if (!telem_.instance.empty()) {
+      name = obs::label(name, "shard", telem_.instance);
+    }
+    deficit_gauges_[t] = telem_.reg->gauge(name);
+    deficit_gauges_[t]->set(service_[t]);
+  }
+}
 
 void AdmissionPolicy::reset_learning() {
   bad_pairs_.clear();
@@ -221,6 +262,7 @@ void AdmissionPolicy::configure_tenants(const TenantSet& set) {
     for (const std::size_t id : outgoing) retained_service_.erase(id);
     for (const std::size_t id : set.ids) retained_service_.erase(id);
   }
+  if (telem_.reg != nullptr) rebuild_deficit_gauges();
 }
 
 void AdmissionPolicy::retire_tenant(std::size_t id) {
@@ -246,6 +288,7 @@ void AdmissionPolicy::ensure_tenants(std::size_t count) {
     weights_.resize(count, 1.0);
     floors_.resize(count, 0);
     while (slot_ids_.size() < count) slot_ids_.push_back(slot_ids_.size());
+    if (telem_.reg != nullptr) rebuild_deficit_gauges();
     return;
   }
   // A population of a DIFFERENT size was explicitly configured and this
@@ -260,6 +303,7 @@ void AdmissionPolicy::ensure_tenants(std::size_t count) {
   slot_ids_.resize(count);
   for (std::size_t t = 0; t < count; ++t) slot_ids_[t] = t;
   explicitly_configured_ = false;
+  if (telem_.reg != nullptr) rebuild_deficit_gauges();
 }
 
 void AdmissionPolicy::tenant_order(std::size_t count,
@@ -287,6 +331,9 @@ void AdmissionPolicy::charge(std::size_t tenant, const Candidate& c) {
                       static_cast<double>(std::max(1, c.threads));
   service_[tenant] += cost / weights_[tenant];
   retained_service_[stable_id(tenant)] = service_[tenant];
+  if (tenant < deficit_gauges_.size() && deficit_gauges_[tenant] != nullptr) {
+    deficit_gauges_[tenant]->set(service_[tenant]);
+  }
 }
 
 double AdmissionPolicy::tenant_service(std::size_t tenant) const {
@@ -471,6 +518,16 @@ std::optional<AdmissionDecision> AdmissionPolicy::pick_for_tenant(
   const bool has_skip = !skip.empty();
   const std::size_t id = stable_id(tenant);
 
+  // Telemetry accumulates in locals and flushes once per walk, so the
+  // failing-scan loop stays branch-cheap whether or not metrics are on.
+  std::uint64_t n_quick = 0;
+  std::uint64_t n_badpair = 0;
+  const auto flush_telemetry = [&] {
+    if (telem_.reg == nullptr) return;
+    if (n_quick != 0) telem_.quick_rejects->add(n_quick);
+    if (n_badpair != 0) telem_.badpair_skips->add(n_badpair);
+  };
+
   // Per-walk rejection memo: the snapshot (idle width, running set, bad
   // pairs, cache) is fixed for the duration of one walk, so two queue
   // entries with the same arena op id resolve identically — the duplicate
@@ -492,9 +549,13 @@ std::optional<AdmissionDecision> AdmissionPolicy::pick_for_tenant(
   for (std::size_t pos = 0; pos < ready.size(); ++pos) {
     if (has_skip && position_skipped(skip, pos)) continue;
     const BoundNode& node = binding.nodes[ready[pos]];
-    if (badpair_stamp_[node.op] == walk_id_) continue;
+    if (badpair_stamp_[node.op] == walk_id_) {
+      ++n_badpair;
+      continue;
+    }
     if (reject_stamp_[node.op] == walk_id_) {
       if (stats != nullptr) stats->guard_fallbacks += node.guard_rewrites;
+      ++n_quick;
       continue;
     }
 
@@ -506,6 +567,7 @@ std::optional<AdmissionDecision> AdmissionPolicy::pick_for_tenant(
         (something_running && node.min_time_ms > bound)) {
       if (stats != nullptr) stats->guard_fallbacks += node.guard_rewrites;
       reject_stamp_[node.op] = walk_id_;
+      ++n_quick;
       continue;
     }
 
@@ -520,6 +582,8 @@ std::optional<AdmissionDecision> AdmissionPolicy::pick_for_tenant(
         d.ready_pos = pos;
         d.candidate = *c;
         d.op_token = node.op;
+        if (telem_.reg != nullptr) telem_.cache_hits->inc();
+        flush_telemetry();
         return d;
       }
     }
@@ -543,11 +607,16 @@ std::optional<AdmissionDecision> AdmissionPolicy::pick_for_tenant(
       d.ready_pos = pos;
       d.candidate = *best;
       d.op_token = node.op;
-      if (use_cache) decision_cache_.insert(id, node.op, idle_cores, *best);
+      if (use_cache) {
+        decision_cache_.insert(id, node.op, idle_cores, *best);
+        if (telem_.reg != nullptr) telem_.cache_misses->inc();
+      }
+      flush_telemetry();
       return d;
     }
     reject_stamp_[node.op] = walk_id_;
   }
+  flush_telemetry();
   return std::nullopt;
 }
 
@@ -641,6 +710,7 @@ std::optional<MultiAdmissionDecision> AdmissionPolicy::pick_once(
     d.decision.heavy_fallback = true;
     d.decision.op_token = b.nodes[ready[heavy_pos]].op;
     charge(t, d.decision.candidate);
+    if (telem_.reg != nullptr) telem_.heavy_fallbacks->inc();
     return d;
   }
   return std::nullopt;
@@ -669,10 +739,16 @@ std::optional<MultiAdmissionDecision> AdmissionPolicy::next_launch_multi(
     std::vector<AdmissionStats>* stats) {
   if (tenants.empty() || idle_cores <= 0) return std::nullopt;
   if (stats != nullptr) stats->resize(tenants.size());
+  const double t0 = telem_.reg != nullptr ? wall_time_ms() : 0.0;
   ensure_tenants(tenants.size());
   resolve_running(running, running_scratch_);
   // No skips: positions are queue positions verbatim.
-  return pick_once(tenants, idle_cores, running_scratch_, {}, stats);
+  auto d = pick_once(tenants, idle_cores, running_scratch_, {}, stats);
+  if (telem_.reg != nullptr) {
+    telem_.decisions->inc();
+    telem_.decision_ms->observe(wall_time_ms() - t0);
+  }
+  return d;
 }
 
 std::vector<MultiAdmissionDecision> AdmissionPolicy::next_launch_batch(
@@ -682,6 +758,7 @@ std::vector<MultiAdmissionDecision> AdmissionPolicy::next_launch_batch(
   std::vector<MultiAdmissionDecision> batch;
   if (tenants.empty() || idle_cores <= 0 || max_launches == 0) return batch;
   if (stats != nullptr) stats->resize(tenants.size());
+  const double t0 = telem_.reg != nullptr ? wall_time_ms() : 0.0;
   ensure_tenants(tenants.size());
   resolve_running(running, running_scratch_);
 
@@ -720,6 +797,10 @@ std::vector<MultiAdmissionDecision> AdmissionPolicy::next_launch_batch(
     if (running_scratch_.held.size() <= t)
       running_scratch_.held.resize(t + 1, 0);
     running_scratch_.held[t] += std::max(1, c.threads);
+  }
+  if (telem_.reg != nullptr) {
+    telem_.decisions->inc();
+    telem_.decision_ms->observe(wall_time_ms() - t0);
   }
   return batch;
 }
@@ -802,6 +883,7 @@ std::optional<MultiAdmissionDecision> AdmissionPolicy::next_overlay_multi(
     // No service charge: overlays consume spare hyper-thread contexts that
     // cost the other tenants nothing, so they must not move their rider
     // down the primary-core deficit order.
+    if (telem_.reg != nullptr) telem_.overlay_grants->inc();
     return d;
   }
 }

@@ -41,6 +41,7 @@
 
 #include "core/concurrency_controller.hpp"
 #include "core/ready_queue.hpp"
+#include "obs/metrics.hpp"
 
 namespace opsched {
 
@@ -310,6 +311,15 @@ class AdmissionPolicy {
   /// Clears learned state (decision cache + interference record).
   void reset_learning();
 
+  /// Attaches fleet telemetry: registers the policy_* metric family in
+  /// `reg` (qualified with {shard="<instance>"} when `instance` is
+  /// non-empty) and starts updating it. nullptr detaches. Cells are
+  /// resolved once here, so the hot walk pays one pointer test when
+  /// detached and relaxed atomic adds (batched per call) when attached.
+  /// Metrics are write-only from the policy's perspective — attaching can
+  /// never change a decision.
+  void attach_metrics(obs::Registry* reg, const std::string& instance = "");
+
   const RuntimeOptions& options() const noexcept { return options_; }
 
  private:
@@ -506,6 +516,26 @@ class AdmissionPolicy {
   std::vector<std::uint64_t> reject_stamp_;
   std::vector<std::uint64_t> badpair_stamp_;
   std::uint64_t walk_id_ = 0;
+
+  /// Telemetry cells resolved at attach_metrics time (all null when
+  /// detached). deficit_gauges_ is slot-indexed and rebuilt whenever the
+  /// population changes, so charge() updates a gauge with one array load.
+  struct Telemetry {
+    obs::Registry* reg = nullptr;
+    std::string instance;
+    obs::Counter* decisions = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* quick_rejects = nullptr;
+    obs::Counter* badpair_skips = nullptr;
+    obs::Counter* overlay_grants = nullptr;
+    obs::Counter* heavy_fallbacks = nullptr;
+    obs::Histogram* decision_ms = nullptr;
+  };
+  Telemetry telem_;
+  std::vector<obs::Gauge*> deficit_gauges_;
+  /// (Re)creates the per-slot fairness gauges for the current population.
+  void rebuild_deficit_gauges();
 };
 
 }  // namespace opsched

@@ -125,6 +125,35 @@ HostCorunExecutor::HostCorunExecutor(const ConcurrencyController& controller,
   lane_teams_.resize(2 * cores_);
 }
 
+void HostCorunExecutor::attach_observability(obs::Registry* reg,
+                                             obs::TraceCollector* trace,
+                                             std::uint32_t trace_pid,
+                                             const std::string& instance) {
+  metrics_ = reg;
+  trace_ = trace;
+  trace_pid_ = trace_pid;
+  trace_named_tenants_ = 0;
+  m_inline_launches_ = nullptr;
+  m_team_launches_ = nullptr;
+  m_overlay_launches_ = nullptr;
+  m_launch_ms_ = nullptr;
+  m_lanes_inflight_ = nullptr;
+  if (reg != nullptr) {
+    const auto qual = [&](const char* name) {
+      return instance.empty() ? std::string(name)
+                              : obs::label(name, "shard", instance);
+    };
+    m_inline_launches_ = reg->counter(qual("host_inline_launches_total"));
+    m_team_launches_ = reg->counter(qual("host_team_launches_total"));
+    m_overlay_launches_ = reg->counter(qual("host_overlay_launches_total"));
+    m_launch_ms_ = reg->histogram(qual("host_launch_ms"));
+    m_lanes_inflight_ = reg->histogram(
+        qual("host_lanes_inflight"),
+        {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+  }
+  policy_.attach_metrics(reg, instance);
+}
+
 StepResult HostCorunExecutor::run_step(HostGraphProgram& program) {
   std::vector<StepResult> results = run_step_multi({&program});
   return std::move(results.front());
@@ -148,6 +177,21 @@ std::vector<StepResult> HostCorunExecutor::run_step_multi(
   policy_.configure_tenants(set);
   const std::size_t lanes = 2 * cores_;
   const std::size_t batch_k = std::max<std::size_t>(1, host_.decision_batch);
+
+  // Trace track metadata: one track per tenant×lane (primary + overlay
+  // sub-track per core), named once per population growth.
+  if (trace_ != nullptr && trace_named_tenants_ < tenants) {
+    for (std::size_t t = trace_named_tenants_; t < tenants; ++t) {
+      for (std::size_t c = 0; c < cores_; ++c) {
+        const auto tid = static_cast<std::uint32_t>(t * lanes + 2 * c);
+        const std::string base =
+            "tenant " + std::to_string(t) + " core " + std::to_string(c);
+        trace_->set_track_name(trace_pid_, tid, base);
+        trace_->set_track_name(trace_pid_, tid + 1, base + " ovl");
+      }
+    }
+    trace_named_tenants_ = tenants;
+  }
 
   std::vector<StepResult> results(tenants);
   const double t0 = wall_time_ms();
@@ -259,6 +303,21 @@ std::vector<StepResult> HostCorunExecutor::run_step_multi(
                        programs[fl.tenant]->graph().node(fl.node).kind,
                        static_cast<int>(inflight_count));
 
+    // One wall-clock span per completed op, on its tenant×lane track.
+    if (trace_ != nullptr) {
+      const Node& node = programs[fl.tenant]->graph().node(fl.node);
+      obs::TraceSpan span;
+      span.name = node.label.empty() ? std::string(op_kind_name(node.kind))
+                                     : node.label;
+      span.cat = fl.overlay ? "op.overlay" : "op";
+      span.pid = trace_pid_;
+      span.tid = static_cast<std::uint32_t>(
+          fl.tenant * lanes + 2 * fl.cores.lowest() + (fl.overlay ? 1 : 0));
+      span.start_ms = fl.start_wall_ms;
+      span.dur_ms = end_wall - fl.start_wall_ms;
+      trace_->span(std::move(span));
+    }
+
     std::vector<NodeId> newly;
     trackers[fl.tenant].mark_done(fl.node, newly);
     for (NodeId nid : newly) ready[fl.tenant].push_back(nid);
@@ -270,6 +329,7 @@ std::vector<StepResult> HostCorunExecutor::run_step_multi(
                           bool overlay, std::uint32_t op_token) {
     HostGraphProgram& program = *programs[tenant];
     StepResult& stats = results[tenant];
+    const double l0 = metrics_ != nullptr ? wall_time_ms() : 0.0;
     const NodeId node_id = ready[tenant][ready_pos];
     ready[tenant].erase(ready_pos);
     const Node& node = program.graph().node(node_id);
@@ -348,6 +408,19 @@ std::vector<StepResult> HostCorunExecutor::run_step_multi(
       ++stats.corun_launches;
     } else if (corun) {
       ++stats.corun_launches;
+    }
+    if (metrics_ != nullptr) {
+      if (overlay) {
+        m_overlay_launches_->inc();
+      } else if (inline_run) {
+        m_inline_launches_->inc();
+      } else {
+        m_team_launches_->inc();
+      }
+      m_lanes_inflight_->observe(static_cast<double>(inflight_count));
+      // Dispatch handoff cost: admission bookkeeping to kernel handoff
+      // (team resolution, lane setup) — kernel time excluded on every path.
+      m_launch_ms_->observe(wall_time_ms() - l0);
     }
     if (inline_run) {
       program.run_node(node_id, *team);

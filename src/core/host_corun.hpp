@@ -40,6 +40,8 @@
 
 #include "core/admission_policy.hpp"
 #include "core/corun_scheduler.hpp"  // StepResult
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ops/host_program.hpp"
 #include "threading/launch_pad.hpp"
 #include "threading/team_pool.hpp"
@@ -122,6 +124,18 @@ class HostCorunExecutor {
   /// scheduler embeds). Exposed for the drift tests.
   const AdmissionPolicy& policy() const noexcept { return policy_; }
 
+  /// Attaches fleet telemetry. `reg` (may be null) receives the host_*
+  /// metric family — launch counters by mode, dispatch handoff latency,
+  /// lane occupancy — qualified with {shard="<instance>"} when `instance`
+  /// is non-empty; the embedded AdmissionPolicy's policy_* family attaches
+  /// alongside. `trace` (may be null) receives one wall-clock span per
+  /// completed op under process `trace_pid`, one track per tenant×lane
+  /// ("tenant T core C [+ovl]"). Both are observers: attaching never
+  /// changes a scheduling decision or a checksum.
+  void attach_observability(obs::Registry* reg, obs::TraceCollector* trace,
+                            std::uint32_t trace_pid = 1,
+                            const std::string& instance = "");
+
   /// Wall-ms per predicted-ms learned so far (0 until the first
   /// completion). Exposed for tests and the benchmarks' sanity output.
   double calibration() const noexcept { return calib_; }
@@ -165,6 +179,20 @@ class HostCorunExecutor {
   ThreadTeam inline1_{1, CoreSet(), /*inline_single=*/true};
   double calib_ = 0.0;  // EWMA of wall/predicted; 0 = no sample yet
   std::vector<LaneTeam> lane_teams_;  // one per lane, persists across steps
+
+  /// Telemetry cells resolved at attach_observability time (all null when
+  /// detached); see that method for the contract.
+  obs::Registry* metrics_ = nullptr;
+  obs::TraceCollector* trace_ = nullptr;
+  std::uint32_t trace_pid_ = 1;
+  obs::Counter* m_inline_launches_ = nullptr;
+  obs::Counter* m_team_launches_ = nullptr;
+  obs::Counter* m_overlay_launches_ = nullptr;
+  obs::Histogram* m_launch_ms_ = nullptr;
+  obs::Histogram* m_lanes_inflight_ = nullptr;
+  /// Highest tenant count already given trace track names, so track
+  /// metadata is emitted once per population growth instead of per step.
+  std::size_t trace_named_tenants_ = 0;
 };
 
 }  // namespace opsched

@@ -5,19 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
-namespace opsched {
+#include "util/json.hpp"
 
-namespace {
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
-}  // namespace
+namespace opsched {
 
 std::string trace_to_chrome_json(const EventTrace& trace, const Graph& g) {
   std::map<NodeId, double> start_ms;
@@ -44,10 +34,11 @@ std::string trace_to_chrome_json(const EventTrace& trace, const Graph& g) {
     const Node& node = g.node(e.node);
     if (!first) os << ",";
     first = false;
-    os << "\n{\"name\":\"" << escape(node.label) << "\",\"cat\":\""
+    os << "\n{\"name\":\"" << json::escape(node.label) << "\",\"cat\":\""
        << op_kind_name(node.kind) << "\",\"ph\":\"X\",\"ts\":"
-       << it->second * 1000.0 << ",\"dur\":" << dur_us
-       << ",\"pid\":1,\"tid\":" << lane_of[e.node] << "}";
+       << json::number(it->second * 1000.0) << ",\"dur\":"
+       << json::number(dur_us) << ",\"pid\":1,\"tid\":" << lane_of[e.node]
+       << "}";
     lane_busy[static_cast<std::size_t>(lane_of[e.node])] = false;
     start_ms.erase(it);
   }

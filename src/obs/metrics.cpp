@@ -1,0 +1,242 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace opsched::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_ms_bounds();
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::logic_error("Histogram bounds must be strictly ascending");
+    }
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::observe(double v) noexcept {
+  // Lower_bound over ~20 bounds; the bucket add and the sum CAS dominate.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> default_ms_bounds() {
+  return {0.01, 0.025, 0.05, 0.1,  0.25, 0.5,  1.0,    2.5,   5.0,
+          10.0, 25.0,  50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 10000.0};
+}
+
+const MetricPoint* MetricsSnapshot::find(const std::string& name) const {
+  const auto it = std::lower_bound(
+      metrics.begin(), metrics.end(), name,
+      [](const MetricPoint& p, const std::string& n) { return p.name < n; });
+  if (it == metrics.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  const MetricPoint* p = find(name);
+  return (p != nullptr && p->kind == MetricKind::kCounter) ? p->counter : 0;
+}
+
+double MetricsSnapshot::gauge(const std::string& name) const {
+  const MetricPoint* p = find(name);
+  return (p != nullptr && p->kind == MetricKind::kGauge) ? p->gauge : 0.0;
+}
+
+std::string label(const std::string& name, const std::string& key,
+                  const std::string& value) {
+  if (!name.empty() && name.back() == '}') {
+    return name.substr(0, name.size() - 1) + "," + key + "=\"" + value + "\"}";
+  }
+  return name + "{" + key + "=\"" + value + "\"}";
+}
+
+Registry::Shard& Registry::shard_of(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % kShards];
+}
+
+Registry::Cell* Registry::intern(const std::string& name, MetricKind kind,
+                                 std::vector<double>* bounds) {
+  Shard& sh = shard_of(name);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.cells.find(name);
+  if (it == sh.cells.end()) {
+    auto cell = std::make_unique<Cell>();
+    cell->kind = kind;
+    if (kind == MetricKind::kHistogram) {
+      cell->hist = std::make_unique<Histogram>(
+          bounds != nullptr ? std::move(*bounds) : std::vector<double>{});
+    }
+    it = sh.cells.emplace(name, std::move(cell)).first;
+  } else if (it->second->kind != kind) {
+    throw std::logic_error("metric '" + name +
+                           "' re-registered under a different kind");
+  }
+  return it->second.get();
+}
+
+Counter* Registry::counter(const std::string& name) {
+  return &intern(name, MetricKind::kCounter, nullptr)->counter;
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  return &intern(name, MetricKind::kGauge, nullptr)->gauge;
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  return intern(name, MetricKind::kHistogram, &bounds)->hist.get();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (const auto& [name, cell] : sh.cells) {
+      MetricPoint p;
+      p.name = name;
+      p.kind = cell->kind;
+      switch (cell->kind) {
+        case MetricKind::kCounter:
+          p.counter = cell->counter.value();
+          break;
+        case MetricKind::kGauge:
+          p.gauge = cell->gauge.value();
+          break;
+        case MetricKind::kHistogram:
+          p.bounds = cell->hist->bounds();
+          p.counts = cell->hist->bucket_counts();
+          p.count = cell->hist->count();
+          p.sum = cell->hist->sum();
+          break;
+      }
+      snap.metrics.push_back(std::move(p));
+    }
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricPoint& a, const MetricPoint& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+std::size_t Registry::size() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    n += sh.cells.size();
+  }
+  return n;
+}
+
+namespace {
+
+// Splits `base{k="v"}` into ("base", `{k="v"}`) so histogram expansion can
+// insert _bucket/_sum/_count before the label set.
+void split_labels(const std::string& name, std::string* base,
+                  std::string* labels) {
+  const std::size_t pos = name.find('{');
+  if (pos == std::string::npos) {
+    *base = name;
+    labels->clear();
+  } else {
+    *base = name.substr(0, pos);
+    *labels = name.substr(pos);
+  }
+}
+
+// Merges an `le` label into an existing (possibly empty) `{...}` suffix.
+std::string with_le(const std::string& labels, const std::string& le) {
+  if (labels.empty()) return "{le=\"" + le + "\"}";
+  return labels.substr(0, labels.size() - 1) + ",le=\"" + le + "\"}";
+}
+
+std::string fmt_num(double v) { return json::number(v); }
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  for (const MetricPoint& p : snap.metrics) {
+    switch (p.kind) {
+      case MetricKind::kCounter:
+        os << p.name << " " << p.counter << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << p.name << " " << fmt_num(p.gauge) << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        std::string base;
+        std::string labels;
+        split_labels(p.name, &base, &labels);
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < p.counts.size(); ++i) {
+          cum += p.counts[i];
+          const std::string le =
+              i < p.bounds.size() ? fmt_num(p.bounds[i]) : "+Inf";
+          os << base << "_bucket" << with_le(labels, le) << " " << cum << "\n";
+        }
+        os << base << "_sum" << labels << " " << fmt_num(p.sum) << "\n";
+        os << base << "_count" << labels << " " << p.count << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string to_json(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"opsched.metrics.v1\",\n  \"metrics\": [";
+  bool first = true;
+  for (const MetricPoint& p : snap.metrics) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"name\": \"" << json::escape(p.name) << "\", ";
+    switch (p.kind) {
+      case MetricKind::kCounter:
+        os << "\"kind\": \"counter\", \"value\": " << p.counter << "}";
+        break;
+      case MetricKind::kGauge:
+        os << "\"kind\": \"gauge\", \"value\": " << fmt_num(p.gauge) << "}";
+        break;
+      case MetricKind::kHistogram: {
+        os << "\"kind\": \"histogram\", \"count\": " << p.count
+           << ", \"sum\": " << fmt_num(p.sum) << ", \"bounds\": [";
+        for (std::size_t i = 0; i < p.bounds.size(); ++i) {
+          os << (i != 0 ? ", " : "") << fmt_num(p.bounds[i]);
+        }
+        os << "], \"counts\": [";
+        for (std::size_t i = 0; i < p.counts.size(); ++i) {
+          os << (i != 0 ? ", " : "") << p.counts[i];
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace opsched::obs

@@ -1,0 +1,163 @@
+// Fleet-wide metrics registry.
+//
+// obs::Registry is the process-wide surface every layer reports into:
+// counters (monotonic, relaxed atomics), gauges (last-write-wins doubles)
+// and fixed-bucket histograms (cumulative le-bounds, Prometheus style).
+// Cells are name-interned with stable addresses, so hot paths resolve a
+// name once at attach time and afterwards pay a single relaxed atomic op
+// per event. The registry itself is lock-sharded by name hash; the shard
+// mutex is only taken on first registration and during snapshot().
+//
+// Determinism contract: metrics are pure observers. Nothing in the
+// scheduler reads a metric back, so attaching a registry must never
+// change a scheduling decision (tests/serve/obs_replay_test.cpp enforces
+// this bit-for-bit).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace opsched::obs {
+
+/// Monotonic counter. add/load are relaxed: cross-counter ordering is
+/// provided by whatever lock the caller already holds (e.g. the service
+/// mutex), not by the cell itself.
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins double gauge.
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. `bounds` are ascending inclusive upper bounds;
+/// an implicit +Inf bucket catches the tail. observe() is two relaxed
+/// atomic adds plus a CAS loop for the sum.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1.
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default millisecond-latency bounds: 10 µs .. 10 s, roughly log-spaced.
+std::vector<double> default_ms_bounds();
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One exported metric at snapshot time.
+struct MetricPoint {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter = 0;  // kCounter
+  double gauge = 0.0;         // kGauge
+  // kHistogram: bounds.size() + 1 == counts.size() (last bucket is +Inf).
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time view of a registry, sorted by name.
+struct MetricsSnapshot {
+  std::vector<MetricPoint> metrics;
+
+  /// Returns the named point or nullptr.
+  const MetricPoint* find(const std::string& name) const;
+  /// Counter value by name; 0 when absent (convenient for tests/CLI).
+  std::uint64_t counter(const std::string& name) const;
+  /// Gauge value by name; 0.0 when absent.
+  double gauge(const std::string& name) const;
+};
+
+/// Folds a label into a metric name: label("a", "k", "v") == `a{k="v"}`,
+/// and labelling an already-labelled name appends: `a{k="v",k2="v2"}`.
+/// Exporters understand this form natively.
+std::string label(const std::string& name, const std::string& key,
+                  const std::string& value);
+
+/// Lock-sharded, name-interned registry. counter()/gauge()/histogram()
+/// return stable pointers that remain valid for the registry's lifetime;
+/// re-registering a name returns the same cell (histogram bounds from the
+/// first registration win). Registering a name under a different kind
+/// throws std::logic_error — that is always a wiring bug.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  /// Empty `bounds` selects default_ms_bounds().
+  Histogram* histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+  std::size_t size() const;
+
+ private:
+  struct Cell {
+    MetricKind kind;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> hist;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Cell>> cells;
+  };
+
+  Cell* intern(const std::string& name, MetricKind kind,
+               std::vector<double>* bounds);
+  Shard& shard_of(const std::string& name);
+
+  static constexpr std::size_t kShards = 8;
+  std::array<Shard, kShards> shards_;
+};
+
+/// Prometheus text exposition (histograms expand to cumulative
+/// `_bucket{le=...}` series plus `_sum` / `_count`).
+std::string to_prometheus(const MetricsSnapshot& snap);
+
+/// Schema-versioned JSON ("opsched.metrics.v1"), parseable by util/json.
+std::string to_json(const MetricsSnapshot& snap);
+
+}  // namespace opsched::obs

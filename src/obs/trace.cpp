@@ -1,0 +1,83 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace opsched::obs {
+
+void TraceCollector::set_process_name(std::uint32_t pid,
+                                      const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  process_names_[pid] = name;
+}
+
+void TraceCollector::set_track_name(std::uint32_t pid, std::uint32_t tid,
+                                    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  track_names_[{pid, tid}] = name;
+}
+
+void TraceCollector::span(TraceSpan s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(s));
+}
+
+std::size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<TraceSpan> TraceCollector::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  process_names_.clear();
+  track_names_.clear();
+}
+
+std::string TraceCollector::to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  const auto sep = [&] {
+    os << (first ? "\n" : ",\n");
+    first = false;
+  };
+  for (const auto& [pid, name] : process_names_) {
+    sep();
+    os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+       << ", \"args\": {\"name\": \"" << json::escape(name) << "\"}}";
+  }
+  for (const auto& [key, name] : track_names_) {
+    sep();
+    os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << key.first
+       << ", \"tid\": " << key.second << ", \"args\": {\"name\": \""
+       << json::escape(name) << "\"}}";
+  }
+  for (const TraceSpan& s : spans_) {
+    sep();
+    os << "{\"name\": \"" << json::escape(s.name) << "\", \"cat\": \""
+       << json::escape(s.cat) << "\", \"ph\": \"X\", \"pid\": " << s.pid
+       << ", \"tid\": " << s.tid
+       << ", \"ts\": " << json::number(s.start_ms * 1000.0)
+       << ", \"dur\": " << json::number(s.dur_ms * 1000.0) << "}";
+  }
+  os << (first ? "]" : "\n]") << "\n";
+  return os.str();
+}
+
+void TraceCollector::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  out << to_chrome_json();
+}
+
+}  // namespace opsched::obs

@@ -1,0 +1,59 @@
+// Fleet-wide trace collector (Chrome/Perfetto trace-event JSON).
+//
+// TraceCollector accumulates complete spans ("X" events) from every layer
+// into one timeline: serve-layer job/request/step spans (timestamped with
+// the service clock, so bit-replayable under ClockMode::kVirtual) and
+// host-executor per-op spans (wall clock — real kernel timings, not
+// replayable). Processes (pid) separate shards/services; threads (tid)
+// separate tracks inside a process (scheduler track, per-job tracks,
+// tenant×lane tracks). Load the output in chrome://tracing or Perfetto.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace opsched::obs {
+
+/// One complete span. Times are milliseconds (the repo-wide unit); the
+/// exporter converts to the microseconds Chrome expects.
+struct TraceSpan {
+  std::string name;
+  std::string cat;
+  std::uint32_t pid = 1;
+  std::uint32_t tid = 0;
+  double start_ms = 0.0;
+  double dur_ms = 0.0;
+};
+
+/// Thread-safe append-only span sink. Append order is the export order, so
+/// a deterministic caller sequence yields a byte-identical trace file.
+class TraceCollector {
+ public:
+  void set_process_name(std::uint32_t pid, const std::string& name);
+  void set_track_name(std::uint32_t pid, std::uint32_t tid,
+                      const std::string& name);
+
+  void span(TraceSpan s);
+
+  std::size_t size() const;
+  std::vector<TraceSpan> spans() const;
+  void clear();
+
+  /// Chrome trace-event array: metadata events first (process/track
+  /// names, sorted by id), then spans in append order. Always valid JSON,
+  /// including the zero-event case ("[]").
+  std::string to_chrome_json() const;
+  void write(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::map<std::uint32_t, std::string> process_names_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::string> track_names_;
+};
+
+}  // namespace opsched::obs

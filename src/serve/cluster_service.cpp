@@ -19,8 +19,24 @@ ClusterService::ClusterService(const MachineSpec& shard_spec,
   for (std::size_t s = 0; s < options_.num_shards; ++s) {
     runtimes_.push_back(
         std::make_unique<Runtime>(shard_spec, options_.runtime));
+    ServiceOptions so = options_.service;
+    so.metrics = options_.metrics;
+    so.trace = options_.trace;
+    so.instance = std::to_string(s);
+    so.trace_pid = static_cast<std::uint32_t>(s + 1);
     shards_.push_back(std::make_unique<SchedulerService>(*runtimes_.back(),
-                                                         options_.service));
+                                                         std::move(so)));
+  }
+  if (options_.metrics != nullptr) {
+    obs::Registry& reg = *options_.metrics;
+    m_placements_ = reg.counter("cluster_placements_total");
+    m_migrations_ = reg.counter("cluster_migrations_total");
+    m_objective_ = reg.gauge("cluster_objective");
+    m_objective_before_ = reg.gauge("cluster_objective_before");
+    m_shard_load_.reserve(options_.num_shards);
+    for (std::size_t s = 0; s < options_.num_shards; ++s)
+      m_shard_load_.push_back(reg.gauge(
+          obs::label("cluster_shard_load", "shard", std::to_string(s))));
   }
 }
 
@@ -215,6 +231,7 @@ FleetSnapshot ClusterService::snapshot() const {
     snap.stepped_service_ms += s.stepped_service_ms;
     snap.now_ms = std::max(snap.now_ms, s.now_ms);
   }
+  if (options_.metrics != nullptr) snap.metrics = options_.metrics->snapshot();
   return snap;
 }
 
@@ -342,6 +359,7 @@ void ClusterService::place_pending_locked() {
     job.placed = true;
     job.shard = s;
     ++placements_;
+    if (m_placements_ != nullptr) m_placements_->inc();
     if (job.cancel_requested) shards_[s]->cancel(job.local_id);
   }
 }
@@ -391,10 +409,22 @@ void ClusterService::migrate_queued_locked() {
     ++job.migrations;
     ++migrations_;
     ++placements_;
+    if (m_migrations_ != nullptr) {
+      m_migrations_->inc();
+      m_placements_->inc();
+    }
     loads[from].width -= w;
     loads[to].width += w;
     ++moved;
   }
+}
+
+void ClusterService::update_load_gauges_locked() {
+  if (m_objective_ == nullptr) return;
+  const std::vector<ShardLoad> loads = shard_loads_locked();
+  m_objective_->set(placement_objective(loads));
+  for (std::size_t s = 0; s < loads.size(); ++s)
+    m_shard_load_[s]->set(loads[s].width);
 }
 
 bool ClusterService::pump(std::unique_lock<std::mutex>& lk) {
@@ -404,9 +434,12 @@ bool ClusterService::pump(std::unique_lock<std::mutex>& lk) {
   // marks them terminal synchronously; this just counts the progress so
   // an idle pump woken only by such a cancel reports it).
   refresh_demand_locked();
+  if (m_objective_before_ != nullptr)
+    m_objective_before_->set(placement_objective(shard_loads_locked()));
   const std::size_t placements_before = placements_;
   place_pending_locked();
   migrate_queued_locked();
+  update_load_gauges_locked();
   progress |= placements_ != placements_before;
 
   // Drive every shard one service cycle, round-robin, with the cluster

@@ -42,6 +42,8 @@
 
 #include "core/runtime.hpp"
 #include "machine/machine_spec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/placement.hpp"
 #include "serve/service.hpp"
 
@@ -68,6 +70,15 @@ struct ClusterServiceOptions {
   /// A queued job's move must improve the balance objective by more than
   /// this to be worth the requeue.
   double migration_min_gain = 1e-9;
+  /// Fleet telemetry (both may be null = detached). The cluster registers
+  /// its cluster_* family here and hands the same registry/collector to
+  /// every shard: shard metrics arrive qualified with {shard="<s>"} and
+  /// shard trace spans under process id s+1 (host substrate spans under
+  /// s+1+kHostTracePidOffset). Any `metrics`/`instance`/`trace_pid` set on
+  /// `service` is overridden per shard. Pure observers — attaching never
+  /// changes a placement, migration, or scheduling decision.
+  obs::Registry* metrics = nullptr;
+  obs::TraceCollector* trace = nullptr;
 };
 
 /// Fleet view of one job: where it lives now, how it got there, and the
@@ -107,6 +118,9 @@ struct FleetSnapshot {
   /// count includes migration withdrawals (the shard books a withdraw as a
   /// cancel); the fleet-level counts above do not.
   std::vector<ServiceSnapshot> shards;
+  /// Fleet-wide metrics snapshot (empty when no registry is attached),
+  /// taken under the cluster lock alongside the books above.
+  obs::MetricsSnapshot metrics;
 };
 
 class ClusterService {
@@ -186,6 +200,9 @@ class ClusterService {
   bool pump(std::unique_lock<std::mutex>& lk);
   void place_pending_locked();
   void migrate_queued_locked();
+  /// Refreshes cluster_objective / cluster_shard_load gauges from the
+  /// current books; no-op when detached.
+  void update_load_gauges_locked();
   /// Charged-width loads of every shard from the cluster's books.
   std::vector<ShardLoad> shard_loads_locked() const;
   /// Refreshes each placed job's demand estimate from its shard.
@@ -211,6 +228,13 @@ class ClusterService {
   /// Mixed into the annealer seed so each batch explores differently while
   /// the whole sequence stays deterministic.
   std::uint64_t placement_batches_ = 0;
+
+  /// Cluster-level telemetry cells (all null when detached).
+  obs::Counter* m_placements_ = nullptr;
+  obs::Counter* m_migrations_ = nullptr;
+  obs::Gauge* m_objective_ = nullptr;
+  obs::Gauge* m_objective_before_ = nullptr;
+  std::vector<obs::Gauge*> m_shard_load_;  // index = shard
 
   bool started_ = false;
   bool stopped_ = false;

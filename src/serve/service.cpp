@@ -27,7 +27,98 @@ SchedulerService::SchedulerService(Runtime& runtime, ServiceOptions options)
       cores_(options.substrate == Substrate::kHost
                  ? runtime.host_executor().cores()
                  : runtime.machine().spec().num_cores),
-      admission_(options.admission, cores_) {}
+      admission_(options.admission, cores_) {
+  init_telemetry();
+}
+
+void SchedulerService::init_telemetry() {
+  if (options_.metrics != nullptr) {
+    obs::Registry& reg = *options_.metrics;
+    const auto qual = [&](const char* name) {
+      return options_.instance.empty()
+                 ? std::string(name)
+                 : obs::label(name, "shard", options_.instance);
+    };
+    telem_.submitted = reg.counter(qual("serve_jobs_submitted_total"));
+    telem_.admitted_training =
+        reg.counter(qual("serve_jobs_admitted_training_total"));
+    telem_.admitted_inference =
+        reg.counter(qual("serve_jobs_admitted_inference_total"));
+    telem_.declined = reg.counter(qual("serve_admission_declined_total"));
+    telem_.profiled_jobs = reg.counter(qual("serve_jobs_profiled_total"));
+    telem_.completed = reg.counter(qual("serve_jobs_completed_total"));
+    telem_.cancelled = reg.counter(qual("serve_jobs_cancelled_total"));
+    telem_.steps = reg.counter(qual("serve_steps_total"));
+    telem_.reconfigurations =
+        reg.counter(qual("serve_reconfigurations_total"));
+    telem_.slo_misses = reg.counter(qual("serve_slo_misses_total"));
+    telem_.queue_depth = reg.gauge(qual("serve_queue_depth"));
+    telem_.resident = reg.gauge(qual("serve_resident_jobs"));
+    telem_.step_ms = reg.histogram(qual("serve_step_ms"));
+    telem_.request_latency_ms =
+        reg.histogram(qual("serve_request_latency_ms"));
+  }
+  if (options_.trace != nullptr) {
+    const std::string who = options_.instance.empty()
+                                ? std::string("service")
+                                : "shard " + options_.instance;
+    options_.trace->set_process_name(options_.trace_pid, who);
+    options_.trace->set_track_name(options_.trace_pid, 0, "scheduler");
+  }
+  // Host substrate: the executor (and its embedded policy) report into the
+  // same registry; per-op wall-clock spans land in a separate "host"
+  // process so virtual-clock serve spans stay replayable on their own.
+  if (options_.substrate == Substrate::kHost &&
+      (options_.metrics != nullptr || options_.trace != nullptr)) {
+    const std::uint32_t host_pid = options_.trace_pid + kHostTracePidOffset;
+    if (options_.trace != nullptr) {
+      const std::string who = options_.instance.empty()
+                                  ? std::string("host executor")
+                                  : "shard " + options_.instance + " host";
+      options_.trace->set_process_name(host_pid, who);
+    }
+    runtime_.host_executor().attach_observability(
+        options_.metrics, options_.trace, host_pid, options_.instance);
+  }
+}
+
+void SchedulerService::update_gauges_locked() {
+  if (telem_.queue_depth == nullptr) return;
+  telem_.queue_depth->set(static_cast<double>(queue_.size()));
+  telem_.resident->set(static_cast<double>(resident_.size()));
+}
+
+void SchedulerService::trace_job_locked(const JobRecord& rec) {
+  if (options_.trace == nullptr) return;
+  const auto tid = static_cast<std::uint32_t>(rec.id);
+  const double queued_end = rec.admit_ms >= 0.0 ? rec.admit_ms : rec.finish_ms;
+  obs::TraceSpan whole;
+  whole.name = "job " + rec.name;
+  whole.cat = "job";
+  whole.pid = options_.trace_pid;
+  whole.tid = tid;
+  whole.start_ms = rec.submit_ms;
+  whole.dur_ms = rec.finish_ms - rec.submit_ms;
+  options_.trace->span(std::move(whole));
+  obs::TraceSpan queued;
+  queued.name = "queued";
+  queued.cat = "phase";
+  queued.pid = options_.trace_pid;
+  queued.tid = tid;
+  queued.start_ms = rec.submit_ms;
+  queued.dur_ms = queued_end - rec.submit_ms;
+  options_.trace->span(std::move(queued));
+  if (rec.admit_ms >= 0.0) {
+    obs::TraceSpan run;
+    run.name = rec.state == JobState::kCompleted ? "run" : "run (cancelled)";
+    run.cat = "phase";
+    run.pid = options_.trace_pid;
+    run.tid = tid;
+    run.start_ms = rec.admit_ms;
+    run.dur_ms = rec.finish_ms - rec.admit_ms;
+    options_.trace->span(std::move(run));
+  }
+}
 
 SchedulerService::~SchedulerService() { stop(); }
 
@@ -65,6 +156,16 @@ JobId SchedulerService::submit(JobSpec spec) {
         return rank(other) > mine;
       });
   queue_.insert(pos, id);
+  if (telem_.submitted != nullptr) {
+    telem_.submitted->inc();
+    update_gauges_locked();
+  }
+  if (options_.trace != nullptr) {
+    options_.trace->set_track_name(options_.trace_pid,
+                                   static_cast<std::uint32_t>(id),
+                                   "job " + std::to_string(id) + " " +
+                                       ledger_.at(id).name);
+  }
   cv_.notify_all();
   return id;
 }
@@ -296,6 +397,9 @@ ServiceSnapshot SchedulerService::snapshot() const {
   snap.reconfigurations = reconfigurations_;
   snap.stepped_service_ms = stepped_service_ms_;
   snap.now_ms = now_locked();
+  // Under mu_ with every counter update also under mu_: the registry view
+  // and the ledger copy above are mutually consistent (no torn reads).
+  if (options_.metrics != nullptr) snap.metrics = options_.metrics->snapshot();
   return snap;
 }
 
@@ -311,6 +415,12 @@ bool SchedulerService::started() const {
 
 void SchedulerService::finish_job_locked(JobId id, JobState terminal) {
   ledger_.transition(id, terminal, now_locked());
+  if (telem_.submitted != nullptr) {
+    (terminal == JobState::kCompleted ? telem_.completed : telem_.cancelled)
+        ->inc();
+    update_gauges_locked();
+  }
+  trace_job_locked(ledger_.at(id));
   Job& job = *jobs_.at(id);
   if (!job.retired) {
     // Drop the job's learned scheduler state on both substrates; profiled
@@ -338,6 +448,7 @@ void SchedulerService::apply_cancels_locked() {
       resident_.erase(std::find(resident_.begin(), resident_.end(), id));
       decisions_stale_ = true;
       ++reconfigurations_;
+      if (telem_.reconfigurations != nullptr) telem_.reconfigurations->inc();
     } else {
       // kQueued (kProfiling only exists transiently inside the admission
       // pass, which handles its own cancellations on relock).
@@ -407,6 +518,7 @@ void SchedulerService::admission_pass(std::unique_lock<std::mutex>& lk) {
         JobRecord& rec = ledger_.at(id);
         rec.profile_ms += profile_ms;
         rec.profiled_ops += report.unique_ops;
+        if (telem_.profiled_jobs != nullptr) telem_.profiled_jobs->inc();
         // Profiling rebuilt the controller's decisions over the candidate
         // alone; the resident union must be restored before the next step.
         decisions_stale_ = true;
@@ -435,10 +547,20 @@ void SchedulerService::admission_pass(std::unique_lock<std::mutex>& lk) {
         ledger_.transition(id, JobState::kRunning, now_locked());
         decisions_stale_ = true;
         ++reconfigurations_;
+        if (telem_.submitted != nullptr) {
+          (job.spec.kind == JobKind::kInference ? telem_.admitted_inference
+                                                : telem_.admitted_training)
+              ->inc();
+          telem_.reconfigurations->inc();
+          update_gauges_locked();
+        }
         progress = true;
-      } else if (ledger_.at(id).state == JobState::kProfiling) {
-        // Profiled but declined: back to the queue with its demand cached.
-        ledger_.transition(id, JobState::kQueued, now_locked());
+      } else {
+        if (telem_.declined != nullptr) telem_.declined->inc();
+        if (ledger_.at(id).state == JobState::kProfiling) {
+          // Profiled but declined: back to the queue with its demand cached.
+          ledger_.transition(id, JobState::kQueued, now_locked());
+        }
       }
       // Declined jobs stay queued; the scan continues — a narrower job
       // further back may still fit (backfill; see docs/SERVING.md).
@@ -475,6 +597,7 @@ void SchedulerService::run_one_step(std::unique_lock<std::mutex>& lk) {
   const bool rebuild = decisions_stale_ || stepped != last_stepped_;
   last_stepped_ = stepped;
   decisions_stale_ = false;
+  const double step_start = now_locked();
 
   lk.unlock();
   std::vector<StepResult> results;
@@ -493,13 +616,25 @@ void SchedulerService::run_one_step(std::unique_lock<std::mutex>& lk) {
   lk.lock();
 
   ++steps_run_;
-  // The virtual clock advances by the step's makespan: the longest
-  // per-tenant virtual time of this co-located step.
-  if (options_.clock == ClockMode::kVirtual) {
-    double makespan = 0.0;
-    for (const StepResult& r : results)
-      makespan = std::max(makespan, r.time_ms);
-    vnow_ += makespan;
+  // The step's makespan: the longest per-tenant time of this co-located
+  // step. The virtual clock advances by it; telemetry books it either way.
+  double makespan = 0.0;
+  for (const StepResult& r : results)
+    makespan = std::max(makespan, r.time_ms);
+  if (options_.clock == ClockMode::kVirtual) vnow_ += makespan;
+  if (telem_.steps != nullptr) {
+    telem_.steps->inc();
+    telem_.step_ms->observe(makespan);
+  }
+  if (options_.trace != nullptr) {
+    obs::TraceSpan span;
+    span.name = "step " + std::to_string(steps_run_);
+    span.cat = "step";
+    span.pid = options_.trace_pid;
+    span.tid = 0;
+    span.start_ms = step_start;
+    span.dur_ms = makespan;
+    options_.trace->span(std::move(span));
   }
   const double now = now_locked();
   for (std::size_t t = 0; t < stepped.size(); ++t) {
@@ -519,7 +654,23 @@ void SchedulerService::run_one_step(std::unique_lock<std::mutex>& lk) {
       const double arrival = rec.submit_ms + job.spec.arrivals[idx];
       const double latency = std::max(0.0, now - arrival);
       job.latencies.push_back(latency);
-      if (latency <= rec.deadline_ms) ++rec.slo_hits;
+      if (latency <= rec.deadline_ms) {
+        ++rec.slo_hits;
+      } else if (telem_.slo_misses != nullptr) {
+        telem_.slo_misses->inc();
+      }
+      if (telem_.request_latency_ms != nullptr)
+        telem_.request_latency_ms->observe(latency);
+      if (options_.trace != nullptr) {
+        obs::TraceSpan span;
+        span.name = "req " + std::to_string(idx);
+        span.cat = "request";
+        span.pid = options_.trace_pid;
+        span.tid = static_cast<std::uint32_t>(stepped[t]);
+        span.start_ms = arrival;
+        span.dur_ms = latency;
+        options_.trace->span(std::move(span));
+      }
       rec.max_latency_ms = std::max(rec.max_latency_ms, latency);
       rec.p50_latency_ms = percentile(job.latencies, 50.0);
       rec.p99_latency_ms = percentile(job.latencies, 99.0);
@@ -540,6 +691,7 @@ void SchedulerService::run_one_step(std::unique_lock<std::mutex>& lk) {
       resident_.erase(std::find(resident_.begin(), resident_.end(), id));
       decisions_stale_ = true;
       ++reconfigurations_;
+      if (telem_.reconfigurations != nullptr) telem_.reconfigurations->inc();
       finish_job_locked(id, JobState::kCompleted);
     }
   }

@@ -41,6 +41,8 @@
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/admission_control.hpp"
 #include "serve/job.hpp"
 #include "serve/job_ledger.hpp"
@@ -89,7 +91,26 @@ struct ServiceOptions {
   /// Host substrate: throw std::logic_error if a job's step checksum ever
   /// differs from its first step's — the cross-job corruption detector.
   bool verify_checksums = true;
+
+  /// Fleet telemetry (both borrowed; must outlive the service; may be
+  /// null). `metrics` receives the serve_* family — and, on the host
+  /// substrate, the executor's host_*/policy_* families — qualified with
+  /// {shard="<instance>"} when `instance` is non-empty. `trace` receives
+  /// job/request/step spans under process `trace_pid`, timestamped with
+  /// the SERVICE clock: under ClockMode::kVirtual the whole trace is
+  /// bit-replayable (host op spans, which use wall time, land under
+  /// trace_pid + kHostTracePidOffset). Metrics and traces are pure
+  /// observers — attaching them never changes a scheduling decision
+  /// (tests/serve/obs_replay_test.cpp pins this bit-for-bit).
+  obs::Registry* metrics = nullptr;
+  obs::TraceCollector* trace = nullptr;
+  std::string instance;
+  std::uint32_t trace_pid = 1;
 };
+
+/// Host per-op spans use wall time while serve spans may use the virtual
+/// clock, so they live in a separate trace process: pid + this offset.
+inline constexpr std::uint32_t kHostTracePidOffset = 1000;
 
 /// Point-in-time copy of the service's books (see JobRecord for the
 /// per-job fields).
@@ -111,6 +132,12 @@ struct ServiceSnapshot {
   /// The service clock at snapshot time (wall ms or the virtual clock,
   /// per ServiceOptions::clock) — the `now` for goodput_rps on live jobs.
   double now_ms = 0.0;
+  /// Metrics registry snapshot, taken under the same lock as the ledger
+  /// copy above — counters here reconcile EXACTLY with the ledger-derived
+  /// counts (the consistency tests assert equality, not bounds). Empty
+  /// when no registry is attached. Note: a registry shared across shards
+  /// snapshots the whole fleet's cells, shard-qualified by name.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Lifetime: borrows `runtime`, which must outlive the service. One
@@ -241,10 +268,40 @@ class SchedulerService {
   bool work_pending_locked() const;
   void loop();  // background-thread body
 
+  /// Telemetry cells resolved once at construction (all null when no
+  /// registry is attached). Every update happens under mu_, so a
+  /// snapshot() taken under the same lock sees counters and ledger in
+  /// exact agreement.
+  struct Telemetry {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* admitted_training = nullptr;
+    obs::Counter* admitted_inference = nullptr;
+    obs::Counter* declined = nullptr;
+    obs::Counter* profiled_jobs = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* steps = nullptr;
+    obs::Counter* reconfigurations = nullptr;
+    obs::Counter* slo_misses = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* resident = nullptr;
+    obs::Histogram* step_ms = nullptr;
+    obs::Histogram* request_latency_ms = nullptr;
+  };
+  /// Registers the serve_* cells (and attaches host-executor telemetry on
+  /// the host substrate). Called from the constructor.
+  void init_telemetry();
+  /// Refreshes the queue/resident gauges; call wherever either changes.
+  void update_gauges_locked();
+  /// Emits the job's lifecycle spans (whole job + queued/run phases) at
+  /// its terminal transition. Service-clock timestamps; tid = job id.
+  void trace_job_locked(const JobRecord& rec);
+
   Runtime& runtime_;
   ServiceOptions options_;
   std::size_t cores_;
   AdmissionController admission_;
+  Telemetry telem_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

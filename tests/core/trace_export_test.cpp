@@ -8,6 +8,7 @@
 #include "core/runtime.hpp"
 #include "graph/builder.hpp"
 #include "models/models.hpp"
+#include "util/json.hpp"
 
 namespace opsched {
 namespace {
@@ -64,6 +65,37 @@ TEST(TraceExport, EscapesQuotesInLabels) {
   trace.record(1.0, false, a, OpKind::kConv2D, 0);
   const std::string json = trace_to_chrome_json(trace, g);
   EXPECT_NE(json.find("weird\\\"label"), std::string::npos);
+}
+
+TEST(TraceExport, AdversarialLabelsStillParse) {
+  // Backslashes, embedded quotes, newlines, tabs and raw control bytes in
+  // op labels must all survive into VALID JSON (chrome://tracing rejects
+  // the whole file otherwise).
+  GraphBuilder gb;
+  const NodeId a = gb.source(OpKind::kConv2D, "conv\\bwd \"grad\"",
+                             TensorShape{2, 4, 4, 8});
+  const NodeId b = gb.source(OpKind::kMatMul, "mm\nline\ttab\x01ctl",
+                             TensorShape{2, 4, 4, 8});
+  const Graph g = gb.take();
+  EventTrace trace;
+  trace.record(0.0, true, a, OpKind::kConv2D, 1);
+  trace.record(0.5, true, b, OpKind::kMatMul, 2);
+  trace.record(1.0, false, a, OpKind::kConv2D, 1);
+  trace.record(1.5, false, b, OpKind::kMatMul, 0);
+
+  const json::JsonValue doc = json::parse(trace_to_chrome_json(trace, g));
+  ASSERT_EQ(doc.kind, json::JsonValue::Kind::kArray);
+  ASSERT_EQ(doc.array->size(), 2u);
+  EXPECT_EQ(json::str_member((*doc.array)[0], "name"), "conv\\bwd \"grad\"");
+  EXPECT_EQ(json::str_member((*doc.array)[1], "name"), "mm\nline\ttab\x01ctl");
+}
+
+TEST(TraceExport, EmptyTraceParsesAsEmptyArray) {
+  const Graph g;
+  EventTrace trace;
+  const json::JsonValue doc = json::parse(trace_to_chrome_json(trace, g));
+  ASSERT_EQ(doc.kind, json::JsonValue::Kind::kArray);
+  EXPECT_TRUE(doc.array->empty());
 }
 
 TEST(TraceExport, FullStepTraceRoundTripsToFile) {

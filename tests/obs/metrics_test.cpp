@@ -1,0 +1,153 @@
+// Registry semantics (interning, kinds, snapshots) and the two exposition
+// formats. The JSON checks round-trip through util/json's parser so a
+// malformed export fails here, not in a downstream dashboard.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace opsched::obs {
+namespace {
+
+TEST(MetricsRegistry, InternsCellsByName) {
+  Registry reg;
+  Counter* a = reg.counter("requests_total");
+  Counter* b = reg.counter("requests_total");
+  EXPECT_EQ(a, b);  // same cell, stable address
+  a->add(3);
+  b->inc();
+  EXPECT_EQ(a->value(), 4u);
+  EXPECT_EQ(reg.size(), 1u);
+
+  Gauge* g1 = reg.gauge("depth");
+  Gauge* g2 = reg.gauge("depth");
+  EXPECT_EQ(g1, g2);
+  g1->set(7.5);
+  EXPECT_DOUBLE_EQ(g2->value(), 7.5);
+
+  Histogram* h1 = reg.histogram("lat_ms", {1.0, 10.0});
+  Histogram* h2 = reg.histogram("lat_ms", {99.0});  // first bounds win
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->bounds(), (std::vector<double>{1.0, 10.0}));
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  Registry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x"), std::logic_error);
+  reg.histogram("h");
+  EXPECT_THROW(reg.counter("h"), std::logic_error);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAreInclusiveUpperBounds) {
+  Registry reg;
+  Histogram* h = reg.histogram("ms", {1.0, 10.0, 100.0});
+  h->observe(0.5);    // <= 1
+  h->observe(1.0);    // <= 1 (inclusive)
+  h->observe(5.0);    // <= 10
+  h->observe(1000.0); // +Inf tail
+  const auto counts = h->bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_DOUBLE_EQ(h->sum(), 1006.5);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndComplete) {
+  Registry reg;
+  reg.counter("zeta")->add(2);
+  reg.gauge("alpha")->set(-1.0);
+  reg.histogram("mid", {5.0})->observe(3.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "alpha");
+  EXPECT_EQ(snap.metrics[1].name, "mid");
+  EXPECT_EQ(snap.metrics[2].name, "zeta");
+  EXPECT_EQ(snap.counter("zeta"), 2u);
+  EXPECT_DOUBLE_EQ(snap.gauge("alpha"), -1.0);
+  EXPECT_EQ(snap.counter("absent"), 0u);
+  EXPECT_EQ(snap.find("absent"), nullptr);
+  const MetricPoint* mid = snap.find("mid");
+  ASSERT_NE(mid, nullptr);
+  EXPECT_EQ(mid->kind, MetricKind::kHistogram);
+  EXPECT_EQ(mid->count, 1u);
+  ASSERT_EQ(mid->counts.size(), 2u);
+  EXPECT_EQ(mid->counts[0], 1u);
+}
+
+TEST(MetricsRegistry, LabelHelperComposes) {
+  EXPECT_EQ(label("a", "k", "v"), "a{k=\"v\"}");
+  EXPECT_EQ(label(label("a", "k", "v"), "k2", "v2"), "a{k=\"v\",k2=\"v2\"}");
+}
+
+TEST(MetricsRegistry, ConcurrentCounterAddsAreLossless) {
+  Registry reg;
+  Counter* c = reg.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPer = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([c] {
+      for (std::uint64_t i = 0; i < kPer; ++i) c->inc();
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->value(), kThreads * kPer);
+}
+
+TEST(MetricsExport, PrometheusTextFormat) {
+  Registry reg;
+  reg.counter("jobs_total")->add(5);
+  reg.gauge(label("load", "shard", "0"))->set(2.5);
+  Histogram* h = reg.histogram("lat_ms", {1.0, 10.0});
+  h->observe(0.5);
+  h->observe(5.0);
+  h->observe(50.0);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("jobs_total 5"), std::string::npos);
+  EXPECT_NE(text.find("load{shard=\"0\"} 2.5"), std::string::npos);
+  // Histogram buckets are CUMULATIVE and end with +Inf == _count.
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_count 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_sum 55.5"), std::string::npos);
+}
+
+TEST(MetricsExport, JsonRoundTripsThroughParser) {
+  Registry reg;
+  reg.counter("jobs_total")->add(7);
+  reg.gauge("depth")->set(1.25);
+  Histogram* h = reg.histogram("ms", {2.0});
+  h->observe(1.0);
+  h->observe(9.0);
+  const json::JsonValue doc = json::parse(to_json(reg.snapshot()));
+  EXPECT_EQ(json::str_member(doc, "schema"), "opsched.metrics.v1");
+  const json::JsonArray& arr = json::array_member(doc, "metrics");
+  ASSERT_EQ(arr.size(), 3u);
+  // Sorted by name: depth, jobs_total, ms.
+  EXPECT_EQ(json::str_member(arr[0], "name"), "depth");
+  EXPECT_EQ(json::str_member(arr[0], "kind"), "gauge");
+  EXPECT_DOUBLE_EQ(json::num_member(arr[0], "value"), 1.25);
+  EXPECT_EQ(json::str_member(arr[1], "name"), "jobs_total");
+  EXPECT_EQ(json::str_member(arr[1], "kind"), "counter");
+  EXPECT_DOUBLE_EQ(json::num_member(arr[1], "value"), 7.0);
+  EXPECT_EQ(json::str_member(arr[2], "kind"), "histogram");
+  ASSERT_EQ(json::array_member(arr[2], "bounds").size(), 1u);
+  const json::JsonArray& counts = json::array_member(arr[2], "counts");
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_DOUBLE_EQ(counts[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(counts[1].number, 1.0);
+  EXPECT_DOUBLE_EQ(json::num_member(arr[2], "sum"), 10.0);
+  EXPECT_DOUBLE_EQ(json::num_member(arr[2], "count"), 2.0);
+}
+
+}  // namespace
+}  // namespace opsched::obs

@@ -1,0 +1,150 @@
+// Snapshot consistency under concurrent churn: a background-thread
+// SchedulerService hammered by submit/cancel threads must hand out metrics
+// snapshots that reconcile EXACTLY with the ledger copied under the same
+// lock — no torn reads, no counter ever running ahead of or behind the
+// books it mirrors, and every counter monotone across samples. Runs under
+// TSan via the serve_ ctest regex.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "models/models.hpp"
+#include "obs/metrics.hpp"
+#include "serve/service.hpp"
+
+namespace opsched::serve {
+namespace {
+
+struct Sample {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t reconfigs = 0;
+  std::uint64_t declined = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t profiled = 0;
+};
+
+// One snapshot -> (metrics sample, exact reconciliation asserts).
+Sample check_snapshot(const ServiceSnapshot& snap) {
+  Sample s;
+  s.submitted = snap.metrics.counter("serve_jobs_submitted_total");
+  s.completed = snap.metrics.counter("serve_jobs_completed_total");
+  s.cancelled = snap.metrics.counter("serve_jobs_cancelled_total");
+  s.steps = snap.metrics.counter("serve_steps_total");
+  s.reconfigs = snap.metrics.counter("serve_reconfigurations_total");
+  s.declined = snap.metrics.counter("serve_admission_declined_total");
+  s.admitted = snap.metrics.counter("serve_jobs_admitted_training_total") +
+               snap.metrics.counter("serve_jobs_admitted_inference_total");
+  s.profiled = snap.metrics.counter("serve_jobs_profiled_total");
+
+  // Counters and ledger were copied under ONE lock hold: they must agree
+  // exactly, not approximately.
+  EXPECT_EQ(s.submitted, snap.jobs.size());
+  std::size_t completed = 0;
+  std::size_t cancelled = 0;
+  for (const JobRecord& rec : snap.jobs) {
+    if (rec.state == JobState::kCompleted) ++completed;
+    if (rec.state == JobState::kCancelled) ++cancelled;
+  }
+  EXPECT_EQ(s.completed, completed);
+  EXPECT_EQ(s.completed, snap.completed);
+  EXPECT_EQ(s.cancelled, cancelled);
+  EXPECT_EQ(s.cancelled, snap.cancelled);
+  EXPECT_EQ(s.steps, snap.steps_run);
+  EXPECT_EQ(s.reconfigs, snap.reconfigurations);
+  // Every admitted job was profiled first (or found its demand warm — the
+  // profiled counter books the job, not the ops), and each step lands one
+  // observation in the step-latency histogram.
+  const obs::MetricPoint* step_ms = snap.metrics.find("serve_step_ms");
+  if (step_ms != nullptr) EXPECT_EQ(step_ms->count, snap.steps_run);
+  return s;
+}
+
+void expect_monotonic(const Sample& prev, const Sample& cur) {
+  EXPECT_GE(cur.submitted, prev.submitted);
+  EXPECT_GE(cur.completed, prev.completed);
+  EXPECT_GE(cur.cancelled, prev.cancelled);
+  EXPECT_GE(cur.steps, prev.steps);
+  EXPECT_GE(cur.reconfigs, prev.reconfigs);
+  EXPECT_GE(cur.declined, prev.declined);
+  EXPECT_GE(cur.admitted, prev.admitted);
+  EXPECT_GE(cur.profiled, prev.profiled);
+}
+
+TEST(ServeMetricsConsistency, ConcurrentChurnSnapshotsReconcileExactly) {
+  Runtime rt(MachineSpec::knl());
+  obs::Registry registry;
+  ServiceOptions opt;
+  opt.substrate = Substrate::kSimulated;
+  opt.clock = ClockMode::kVirtual;
+  opt.metrics = &registry;
+  SchedulerService svc(rt, opt);
+  svc.start();
+
+  constexpr int kSubmitters = 3;
+  constexpr int kJobsPer = 6;
+  std::mutex ids_mu;
+  std::vector<JobId> ids;
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int j = 0; j < kJobsPer; ++j) {
+        JobSpec spec;
+        spec.name = "t" + std::to_string(t) + "j" + std::to_string(j);
+        spec.graph = build_model("toy_cnn");
+        spec.steps = 1 + (t + j) % 3;
+        spec.weight = (j % 2 == 0) ? 2.0 : 1.0;
+        spec.priority = j % 2;
+        const JobId id = svc.submit(spec);
+        std::lock_guard<std::mutex> lock(ids_mu);
+        ids.push_back(id);
+      }
+    });
+  }
+  // Cancel a few of whatever has been submitted so far, concurrently.
+  std::thread canceller([&] {
+    for (int k = 0; k < kSubmitters * 2; ++k) {
+      JobId victim = kInvalidJob;
+      {
+        std::lock_guard<std::mutex> lock(ids_mu);
+        if (!ids.empty())
+          victim = ids[static_cast<std::size_t>(k) % ids.size()];
+      }
+      if (victim != kInvalidJob) svc.cancel(victim);
+      std::this_thread::yield();
+    }
+  });
+  // Sample snapshots while the churn is live; every sample must reconcile
+  // and counters must never step backwards between samples.
+  std::thread sampler([&] {
+    Sample prev;
+    for (int k = 0; k < 40; ++k) {
+      const Sample cur = check_snapshot(svc.snapshot());
+      expect_monotonic(prev, cur);
+      prev = cur;
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& th : submitters) th.join();
+  canceller.join();
+  sampler.join();
+  svc.drain();
+
+  const ServiceSnapshot fin = svc.snapshot();
+  const Sample last = check_snapshot(fin);
+  EXPECT_EQ(last.submitted, kSubmitters * kJobsPer);
+  EXPECT_EQ(last.completed + last.cancelled, kSubmitters * kJobsPer);
+  EXPECT_GT(last.steps, 0u);
+  svc.stop();
+}
+
+}  // namespace
+}  // namespace opsched::serve
